@@ -1,0 +1,192 @@
+//! Chieu & Lee 2004: query-based event extraction along a timeline.
+//!
+//! Their system ranks sentences by *interest* — the summed similarity to
+//! other sentences whose dates fall within a ±`window`-day neighborhood
+//! (reporting "bursts" mark important events) — and reports the top
+//! sentences date by date. Duplicate days are collapsed; the `t` most
+//! interesting dates survive with their `n` most interesting sentences.
+
+use std::collections::HashMap;
+use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_temporal::Date;
+
+/// The Chieu & Lee baseline.
+#[derive(Debug, Clone)]
+pub struct ChieuBaseline {
+    /// Burst window in days (the original uses ±10).
+    pub window: u32,
+}
+
+impl Default for ChieuBaseline {
+    fn default() -> Self {
+        Self { window: 10 }
+    }
+}
+
+impl TimelineGenerator for ChieuBaseline {
+    fn name(&self) -> &'static str {
+        "Chieu et al."
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        // Pre-HeidelTime system: operates on publication-date pairings only
+        // (no temporal tagging existed for it), like the original.
+        let sentences: Vec<DatedSentence> = sentences
+            .iter()
+            .filter(|s| !s.from_mention)
+            .cloned()
+            .collect();
+        let sentences = &sentences[..];
+        if sentences.is_empty() {
+            return Timeline::default();
+        }
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let tokens: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| analyzer.analyze(&s.text))
+            .collect();
+        let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
+        let vectors: Vec<SparseVector> = tokens.iter().map(|tk| tfidf.unit_vector(tk)).collect();
+
+        // Sort sentence indices by date for windowed interest computation.
+        let mut order: Vec<usize> = (0..sentences.len()).collect();
+        order.sort_by_key(|&i| sentences[i].date);
+
+        // interest(i) = Σ_{j : |date_j − date_i| ≤ window} sim(i, j).
+        // Two-pointer sweep keeps it to the in-window pairs only.
+        let mut interest = vec![0.0f64; sentences.len()];
+        let days: Vec<i32> = order.iter().map(|&i| sentences[i].date.days()).collect();
+        let mut lo = 0usize;
+        for a in 0..order.len() {
+            while days[a] - days[lo] > self.window as i32 {
+                lo += 1;
+            }
+            for b in lo..a {
+                let (i, j) = (order[a], order[b]);
+                let sim = vectors[i].cosine(&vectors[j]);
+                if sim > 0.0 {
+                    interest[i] += sim;
+                    interest[j] += sim;
+                }
+            }
+        }
+
+        // Date interest = max sentence interest on the date.
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (i, s) in sentences.iter().enumerate() {
+            by_date.entry(s.date).or_default().push(i);
+        }
+        let mut date_rank: Vec<(Date, f64)> = by_date
+            .iter()
+            .map(|(d, ix)| {
+                let best = ix
+                    .iter()
+                    .map(|&i| interest[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (*d, best)
+            })
+            .collect();
+        date_rank.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut selected: Vec<Date> = date_rank.into_iter().take(t).map(|(d, _)| d).collect();
+        selected.sort_unstable();
+
+        let entries = selected
+            .into_iter()
+            .map(|d| {
+                let mut ix = by_date[&d].clone();
+                ix.sort_by(|&a, &b| {
+                    interest[b]
+                        .partial_cmp(&interest[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                ix.truncate(n);
+                (
+                    d,
+                    ix.into_iter().map(|i| sentences[i].text.clone()).collect(),
+                )
+            })
+            .collect();
+        Timeline::new(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(day: i32, text: &str) -> DatedSentence {
+        let date = Date::from_days(17000 + day);
+        DatedSentence {
+            date,
+            pub_date: date,
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: false,
+        }
+    }
+
+    #[test]
+    fn burst_date_beats_quiet_date() {
+        // Day 0–2: a burst of similar reporting. Day 40: one stray note.
+        let corpus = vec![
+            sent(0, "explosion rocked the oil refinery near the port"),
+            sent(1, "the refinery explosion at the port injured workers"),
+            sent(2, "port refinery explosion investigation continues"),
+            sent(40, "quiet municipal budget meeting concluded"),
+        ];
+        let tl = ChieuBaseline::default().generate(&corpus, "q", 1, 1);
+        assert!(tl.dates()[0] <= Date::from_days(17002));
+        assert!(
+            tl.entries[0].1[0].contains("explosion") || tl.entries[0].1[0].contains("refinery")
+        );
+    }
+
+    #[test]
+    fn window_limits_interest() {
+        // Two similar sentences 100 days apart contribute nothing to each
+        // other inside a 10-day window.
+        let corpus = vec![
+            sent(0, "ceasefire agreement signed between factions"),
+            sent(100, "ceasefire agreement signed between factions"),
+            sent(1, "ceasefire holding in the capital region"),
+        ];
+        let small = ChieuBaseline { window: 10 };
+        let tl = small.generate(&corpus, "q", 1, 1);
+        // Days 0-1 reinforce each other; day 100 is isolated.
+        assert!(tl.dates()[0] <= Date::from_days(17001));
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let corpus: Vec<DatedSentence> = (0..25)
+            .map(|i| sent(i % 5, &format!("event update number {i} from the field")))
+            .collect();
+        let a = ChieuBaseline::default().generate(&corpus, "q", 3, 2);
+        let b = ChieuBaseline::default().generate(&corpus, "q", 3, 2);
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.num_dates(), 3);
+        for (_, s) in &a.entries {
+            assert!(s.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            ChieuBaseline::default()
+                .generate(&[], "q", 2, 2)
+                .num_dates(),
+            0
+        );
+    }
+}

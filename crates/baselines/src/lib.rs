@@ -1,0 +1,37 @@
+//! Competing timeline-summarization methods (§3.1.2 of the WILSON paper).
+//!
+//! Every method the paper *runs* (as opposed to quoting from prior work) is
+//! implemented here against the shared [`tl_corpus::TimelineGenerator`]
+//! interface:
+//!
+//! * [`random`] — the Random baseline (random dates, random sentences),
+//! * [`mead`] — MEAD-style centroid multi-document summarization
+//!   (Radev et al. 2004),
+//! * [`chieu`] — Chieu & Lee 2004: date-local "interest/burstiness"
+//!   sentence scoring,
+//! * [`ets`] — ETS (Yan et al. 2011): iterative-substitution optimization
+//!   of relevance / coverage / coherence / diversity,
+//! * [`regression`] — the supervised Regression baseline (pointwise linear
+//!   regression on shallow sentence features, trained on a held-out seed),
+//! * [`submodular`] — the TILSE framework (Martschat & Markert 2018) in
+//!   both variants, **ASMDS** and **TLSConstraints**: greedy maximization
+//!   of a saturated-coverage + diversity objective over the full pairwise
+//!   sentence-similarity structure. This is the state-of-the-art
+//!   comparison system of Tables 7 and Figure 2 — deliberately `O((TN)²)`
+//!   in the similarity construction, which is exactly the scalability wall
+//!   the paper measures.
+#![warn(missing_docs)]
+
+pub mod chieu;
+pub mod ets;
+pub mod mead;
+pub mod random;
+pub mod regression;
+pub mod submodular;
+
+pub use chieu::ChieuBaseline;
+pub use ets::EtsBaseline;
+pub use mead::MeadBaseline;
+pub use random::RandomBaseline;
+pub use regression::RegressionBaseline;
+pub use submodular::{SubmodularConfig, SubmodularVariant, TilseBaseline};

@@ -1,0 +1,125 @@
+//! The Random baseline: random date selection, random sentence selection.
+//!
+//! Table 5's weakest row — it anchors the ROUGE scale for the dataset.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
+use tl_temporal::Date;
+
+/// Random timeline generator (deterministic given its seed).
+#[derive(Debug, Clone)]
+pub struct RandomBaseline {
+    seed: u64,
+}
+
+impl RandomBaseline {
+    /// Create with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for RandomBaseline {
+    fn default() -> Self {
+        Self::new(0x5EED)
+    }
+}
+
+impl TimelineGenerator for RandomBaseline {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (i, s) in sentences.iter().enumerate() {
+            by_date.entry(s.date).or_default().push(i);
+        }
+        let mut dates: Vec<Date> = by_date.keys().copied().collect();
+        dates.sort_unstable();
+        dates.shuffle(&mut rng);
+        dates.truncate(t);
+        dates.sort_unstable();
+        let entries = dates
+            .into_iter()
+            .map(|d| {
+                let mut pool = by_date[&d].clone();
+                pool.shuffle(&mut rng);
+                pool.truncate(n);
+                let sents = pool
+                    .into_iter()
+                    .map(|i| sentences[i].text.clone())
+                    .collect();
+                (d, sents)
+            })
+            .collect();
+        Timeline::new(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<DatedSentence> {
+        (0usize..40)
+            .map(|i| {
+                let date = Date::from_days(17000 + (i % 10) as i32);
+                DatedSentence {
+                    date,
+                    pub_date: date,
+                    article: 0,
+                    sentence_index: i,
+                    text: format!("sentence number {i} about events"),
+                    from_mention: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn respects_t_and_n() {
+        let c = corpus();
+        let tl = RandomBaseline::new(1).generate(&c, "q", 4, 2);
+        assert_eq!(tl.num_dates(), 4);
+        for (_, s) in &tl.entries {
+            assert!(s.len() <= 2 && !s.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = corpus();
+        let a = RandomBaseline::new(9).generate(&c, "q", 4, 2);
+        let b = RandomBaseline::new(9).generate(&c, "q", 4, 2);
+        assert_eq!(a.entries, b.entries);
+        let other = RandomBaseline::new(10).generate(&c, "q", 4, 2);
+        assert!(a.entries != other.entries || a.dates() == other.dates());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tl = RandomBaseline::default().generate(&[], "q", 3, 2);
+        assert_eq!(tl.num_dates(), 0);
+        let c = corpus();
+        assert_eq!(
+            RandomBaseline::default()
+                .generate(&c, "q", 0, 2)
+                .num_dates(),
+            0
+        );
+    }
+
+    #[test]
+    fn more_dates_requested_than_available() {
+        let c = corpus(); // 10 distinct dates
+        let tl = RandomBaseline::default().generate(&c, "q", 50, 1);
+        assert_eq!(tl.num_dates(), 10);
+    }
+}

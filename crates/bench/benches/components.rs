@@ -1,0 +1,145 @@
+//! Substrate micro-benchmarks: every stage of the WILSON pipeline in
+//! isolation, so a regression in any component is attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tl_bench::timeline17_corpus;
+use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
+use tl_graph::{pagerank, DiGraph, PageRankConfig};
+use tl_ir::{Bm25Params, Bm25Scorer};
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_rouge::RougeScorer;
+use tl_temporal::{Date, TemporalTagger};
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank");
+    for &n in &[100usize, 400, 1600] {
+        // Ring + chords: sparse but connected.
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0);
+            g.add_edge(i, (i * 7 + 3) % n, 0.5);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(pagerank(g, &PageRankConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis_and_tagging(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.02);
+    let texts: Vec<&str> = corpus
+        .sentences
+        .iter()
+        .take(2000)
+        .map(|s| s.text.as_str())
+        .collect();
+    c.bench_function("analyze_2000_sentences", |b| {
+        b.iter(|| {
+            let mut a = Analyzer::new(AnalysisOptions::retrieval());
+            for t in &texts {
+                black_box(a.analyze(t));
+            }
+        });
+    });
+    let dct = Date::from_ymd(2011, 6, 1).expect("valid");
+    c.bench_function("tag_2000_sentences", |b| {
+        let tagger = TemporalTagger::new();
+        b.iter(|| {
+            for t in &texts {
+                black_box(tagger.tag(t, dct));
+            }
+        });
+    });
+}
+
+fn bench_bm25(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.02);
+    let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+    let docs: Vec<Vec<u32>> = corpus
+        .sentences
+        .iter()
+        .take(1000)
+        .map(|s| analyzer.analyze(&s.text))
+        .collect();
+    let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+    let query = analyzer.analyze_frozen(&corpus.query);
+    c.bench_function("bm25_score_1000_docs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in &docs {
+                acc += scorer.score(&query, d);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_rouge(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.02);
+    let sys: String = corpus
+        .sentences
+        .iter()
+        .take(80)
+        .map(|s| s.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let reference: String = corpus
+        .sentences
+        .iter()
+        .skip(80)
+        .take(80)
+        .map(|s| s.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    c.bench_function("rouge2_80_sentences", |b| {
+        b.iter(|| {
+            let mut r = RougeScorer::new();
+            black_box(r.rouge_2(&sys, &reference))
+        });
+    });
+    c.bench_function("rouge_s_star_80_sentences", |b| {
+        b.iter(|| {
+            let mut r = RougeScorer::new();
+            black_box(r.rouge_s_star(&sys, &reference))
+        });
+    });
+}
+
+fn bench_affinity(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.02);
+    let mut embedder = SentenceEmbedder::new(256);
+    let vectors: Vec<Vec<f64>> = corpus
+        .sentences
+        .iter()
+        .take(120)
+        .map(|s| embedder.embed(&s.text))
+        .collect();
+    let n = vectors.len();
+    let sim: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| tl_embed::embedding::cosine(&vectors[i], &vectors[k]))
+                .collect()
+        })
+        .collect();
+    c.bench_function("affinity_propagation_120", |b| {
+        b.iter(|| {
+            black_box(affinity_propagation(
+                &sim,
+                &AffinityPropagationConfig::default(),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pagerank,
+    bench_analysis_and_tagging,
+    bench_bm25,
+    bench_rouge,
+    bench_affinity
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **Table 7's runtime column** as Criterion benches: seconds per timeline
+//! for every measured method on one Timeline17-profile topic, plus the two
+//! ablations DESIGN.md calls out — post-processing cost and the
+//! parallel-vs-serial daily summarization (§2.3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tl_baselines::{ChieuBaseline, EtsBaseline, MeadBaseline, RandomBaseline, TilseBaseline};
+use tl_bench::timeline17_corpus;
+use tl_corpus::TimelineGenerator;
+use tl_wilson::{Wilson, WilsonConfig};
+
+fn bench_methods(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.02);
+    let mut group = c.benchmark_group("table7_runtime");
+    group.sample_size(10);
+    let methods: Vec<Box<dyn TimelineGenerator>> = vec![
+        Box::new(RandomBaseline::default()),
+        Box::new(MeadBaseline::default()),
+        Box::new(ChieuBaseline::default()),
+        Box::new(EtsBaseline::default()),
+        Box::new(TilseBaseline::asmds()),
+        Box::new(TilseBaseline::tls_constraints()),
+        Box::new(Wilson::new(WilsonConfig::uniform())),
+        Box::new(Wilson::new(WilsonConfig::tran())),
+        Box::new(Wilson::new(WilsonConfig::without_post())),
+        Box::new(Wilson::new(WilsonConfig::default())),
+    ];
+    for m in &methods {
+        group.bench_function(m.name().replace([' ', '/'], "_"), |b| {
+            b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let corpus = timeline17_corpus(0.03);
+    let mut group = c.benchmark_group("wilson_ablations");
+    group.sample_size(10);
+    group.bench_function("parallel_days", |b| {
+        let m = Wilson::new(WilsonConfig::default().with_parallel(true));
+        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    });
+    group.bench_function("serial_days", |b| {
+        let m = Wilson::new(WilsonConfig::default().with_parallel(false));
+        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    });
+    group.bench_function("with_postprocess", |b| {
+        let m = Wilson::new(WilsonConfig::default());
+        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    });
+    group.bench_function("without_postprocess", |b| {
+        let m = Wilson::new(WilsonConfig::without_post());
+        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    });
+    // Date-selection stage in isolation (the O(T^2) term of §2.5).
+    group.bench_function("date_selection_only", |b| {
+        let m = Wilson::new(WilsonConfig::default());
+        b.iter(|| black_box(m.select_dates(&corpus.sentences, &corpus.query, corpus.t)));
+    });
+    group.finish();
+}
+
+fn bench_realtime(c: &mut Criterion) {
+    // §5 claim: query-to-timeline in seconds on a large index. Ingest once,
+    // then measure pure query latency.
+    use tl_corpus::{generate, SynthConfig};
+    use tl_wilson::realtime::TimelineQuery;
+    use tl_wilson::RealTimeSystem;
+
+    let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
+    let mut system = RealTimeSystem::new(WilsonConfig::default());
+    for topic in &dataset.topics {
+        system.ingest_all(&topic.articles);
+    }
+    let cfg = SynthConfig::timeline17();
+    let query = TimelineQuery {
+        keywords: dataset.topics[0].query.clone(),
+        window: (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        ),
+        num_dates: 10,
+        sents_per_date: 2,
+        fetch_limit: 2000,
+    };
+    let mut group = c.benchmark_group("realtime");
+    group.sample_size(10);
+    group.bench_function(
+        format!("query_over_{}_sentences", system.num_sentences()),
+        |b| b.iter(|| black_box(system.timeline(&query))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_ablations, bench_realtime);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate the paper's speed results:
+//!
+//! * `benches/scaling.rs` — **Figure 2**: generation time vs corpus size
+//!   for WILSON and the TILSE submodular variants (quadratic vs
+//!   near-linear),
+//! * `benches/pipeline.rs` — **Table 7's runtime column**: seconds per
+//!   timeline for every method, plus the parallel-vs-serial and
+//!   post-processing ablations DESIGN.md calls out,
+//! * `benches/components.rs` — substrate micro-benches (PageRank, BM25,
+//!   TextRank, temporal tagging, ROUGE, affinity propagation) so
+//!   regressions in any stage are attributable.
+#![warn(missing_docs)]
+
+use tl_corpus::{dated_sentences, generate, DatedSentence, SynthConfig};
+
+/// A ready-to-summarize benchmark corpus: dated sentences + query + (T, N).
+pub struct BenchCorpus {
+    /// The dated-sentence corpus.
+    pub sentences: Vec<DatedSentence>,
+    /// Topic query.
+    pub query: String,
+    /// Number of timeline dates (ground-truth derived).
+    pub t: usize,
+    /// Sentences per date.
+    pub n: usize,
+}
+
+/// Build a Timeline17-profile corpus at the given scale (topic 0).
+pub fn timeline17_corpus(scale: f64) -> BenchCorpus {
+    let ds = generate(&SynthConfig::timeline17().with_scale(scale));
+    let topic = &ds.topics[0];
+    let gt = &topic.timelines[0];
+    BenchCorpus {
+        sentences: dated_sentences(&topic.articles, None),
+        query: topic.query.clone(),
+        t: gt.num_dates(),
+        n: gt.target_sentences_per_date(),
+    }
+}
+
+/// Build a tiny-profile corpus at the given scale (topic 0) — used by the
+/// scaling bench, where corpus size must actually grow with scale (the
+/// Timeline17 profile's minimum-articles floor flattens small scales).
+pub fn tiny_corpus(scale: f64) -> BenchCorpus {
+    let ds = generate(&SynthConfig::tiny().with_scale(scale));
+    let topic = &ds.topics[0];
+    let gt = &topic.timelines[0];
+    BenchCorpus {
+        sentences: dated_sentences(&topic.articles, None),
+        query: topic.query.clone(),
+        t: gt.num_dates(),
+        n: gt.target_sentences_per_date(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ladder_grows() {
+        let a = tiny_corpus(2.0);
+        let b = tiny_corpus(4.0);
+        assert!(b.sentences.len() > a.sentences.len() * 3 / 2);
+    }
+
+    #[test]
+    fn fixture_is_nonempty() {
+        let c = timeline17_corpus(0.01);
+        assert!(!c.sentences.is_empty());
+        assert!(c.t > 0 && c.n > 0);
+        assert!(!c.query.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Automatic date compression (§3.2.3): predict the number of timeline
+//! dates from the corpus instead of requiring the user to preset `T`.
+//!
+//! Procedure from the paper: generate a daily summary for every candidate
+//! date, encode the summaries into embedding vectors (BERT in the paper,
+//! feature-hashed TF-IDF here — see `tl-embed`), cluster them with Affinity
+//! Propagation, and adopt the number of detected clusters as the number of
+//! dates. The intuition: each major event produces a run of similar daily
+//! summaries, so event clusters ≈ timeline entries.
+
+use crate::textrank::textrank_order;
+use std::collections::BTreeMap;
+use tl_corpus::DatedSentence;
+use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_temporal::Date;
+
+/// Configuration for the date-count predictor.
+#[derive(Debug, Clone)]
+pub struct AutoCompressConfig {
+    /// Embedding dimension for the daily-summary encoder.
+    pub embed_dim: usize,
+    /// Affinity Propagation settings.
+    pub ap: AffinityPropagationConfig,
+    /// Only dates with at least this many sentences participate (singleton
+    /// report days are mostly noise).
+    pub min_sentences_per_date: usize,
+    /// PageRank damping for the per-day TextRank.
+    pub damping: f64,
+}
+
+impl Default for AutoCompressConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 256,
+            ap: AffinityPropagationConfig::default(),
+            min_sentences_per_date: 2,
+            damping: 0.85,
+        }
+    }
+}
+
+/// Predict the number of timeline dates for a corpus.
+///
+/// Returns at least 1 for a non-empty corpus.
+pub fn predict_num_dates(sentences: &[DatedSentence], config: &AutoCompressConfig) -> usize {
+    let summaries = daily_top_sentences(sentences, config);
+    if summaries.is_empty() {
+        return if sentences.is_empty() { 0 } else { 1 };
+    }
+    if summaries.len() == 1 {
+        return 1;
+    }
+    let mut embedder = SentenceEmbedder::new(config.embed_dim);
+    let vectors: Vec<Vec<f64>> = summaries
+        .iter()
+        .map(|(_, text)| embedder.embed(text))
+        .collect();
+    let n = vectors.len();
+    let sim: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| tl_embed::embedding::cosine(&vectors[i], &vectors[k]))
+                .collect()
+        })
+        .collect();
+    let result = affinity_propagation(&sim, &config.ap);
+    result.num_clusters().max(1)
+}
+
+/// Top TextRank sentence per qualifying date — the "daily summaries" the
+/// clustering operates on.
+fn daily_top_sentences(
+    sentences: &[DatedSentence],
+    config: &AutoCompressConfig,
+) -> Vec<(Date, String)> {
+    let mut by_date: BTreeMap<Date, Vec<usize>> = BTreeMap::new();
+    for (i, s) in sentences.iter().enumerate() {
+        by_date.entry(s.date).or_default().push(i);
+    }
+    let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+    let mut out = Vec::new();
+    for (date, indices) in by_date {
+        if indices.len() < config.min_sentences_per_date {
+            continue;
+        }
+        let toks: Vec<Vec<u32>> = indices
+            .iter()
+            .map(|&i| analyzer.analyze(&sentences[i].text))
+            .collect();
+        let order = textrank_order(&toks, config.damping);
+        if let Some(&best) = order.first() {
+            out.push((date, sentences[indices[best]].text.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(date: &str, text: &str) -> DatedSentence {
+        let d: Date = date.parse().unwrap();
+        DatedSentence {
+            date: d,
+            pub_date: d,
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: false,
+        }
+    }
+
+    #[test]
+    fn empty_corpus_predicts_zero() {
+        assert_eq!(predict_num_dates(&[], &AutoCompressConfig::default()), 0);
+    }
+
+    #[test]
+    fn single_date_predicts_one() {
+        let corpus = vec![
+            sent("2018-06-12", "the summit took place in singapore"),
+            sent("2018-06-12", "trump met kim at the summit"),
+        ];
+        assert_eq!(
+            predict_num_dates(&corpus, &AutoCompressConfig::default()),
+            1
+        );
+    }
+
+    #[test]
+    fn distinct_events_produce_multiple_clusters() {
+        // Three lexically disjoint events, each spanning several days.
+        let mut corpus = Vec::new();
+        let themes: [(&str, &str); 3] = [
+            (
+                "2018-01-10",
+                "earthquake rubble rescue survivors collapsed buildings",
+            ),
+            (
+                "2018-03-15",
+                "election ballot candidate campaign votes parliament",
+            ),
+            (
+                "2018-06-20",
+                "hurricane flood evacuation coastal storm damage",
+            ),
+        ];
+        for (start, words) in themes {
+            let d0: Date = start.parse().unwrap();
+            for off in 0..3 {
+                let day = d0.plus_days(off);
+                let date = day.to_string();
+                corpus.push(sent(&date, &format!("{words} reported widely")));
+                corpus.push(sent(&date, &format!("more on {words}")));
+            }
+        }
+        let k = predict_num_dates(&corpus, &AutoCompressConfig::default());
+        assert!((2..=9).contains(&k), "predicted {k}");
+    }
+
+    #[test]
+    fn thin_dates_filtered() {
+        let corpus = vec![
+            sent("2018-01-01", "lone stray sentence"),
+            sent("2018-06-12", "the summit took place"),
+            sent("2018-06-12", "kim met trump at the summit"),
+        ];
+        let cfg = AutoCompressConfig::default();
+        let tops = daily_top_sentences(&corpus, &cfg);
+        assert_eq!(tops.len(), 1);
+        assert_eq!(tops[0].0, "2018-06-12".parse().unwrap());
+    }
+
+    #[test]
+    fn prediction_at_least_one_for_nonempty() {
+        let corpus = vec![sent("2018-01-01", "single item")];
+        let k = predict_num_dates(&corpus, &AutoCompressConfig::default());
+        assert_eq!(k, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Configuration of the WILSON pipeline.
+
+/// Edge-weight scheme for the date reference graph (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeWeight {
+    /// W1: number of reference sentences `|s_ij|`.
+    W1,
+    /// W2: temporal distance `|date_j − date_i|` in days.
+    W2,
+    /// W3: `W1 · W2` — the paper's final choice (comparable quality to the
+    /// others without needing query relevance).
+    #[default]
+    W3,
+    /// W4: `max BM25(s_ij, q)` — query relevance of the reference sentences.
+    W4,
+}
+
+impl EdgeWeight {
+    /// All four schemes, in Table 2 order.
+    pub fn all() -> [EdgeWeight; 4] {
+        [Self::W1, Self::W2, Self::W3, Self::W4]
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::W1 => "W1",
+            Self::W2 => "W2",
+            Self::W3 => "W3",
+            Self::W4 => "W4",
+        }
+    }
+}
+
+/// How the T salient dates are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DateStrategy {
+    /// Truly uniformly spaced dates over the corpus span (the
+    /// `WILSON-uniform` ablation and the "Uniform" row of Table 3).
+    Uniform,
+    /// Plain PageRank on the date reference graph (Tran et al. 2015; the
+    /// `WILSON-Tran` ablation).
+    PageRank,
+    /// Personalized PageRank with the recency adjustment of §2.2.1:
+    /// restart mass `α^{−dᵢ}`, α grid-searched for the most uniform
+    /// selected-date spacing (Definition 3).
+    RecencyAdjusted {
+        /// Candidate α values; the paper grid-searches (0, 1).
+        alpha_grid: Vec<f64>,
+    },
+}
+
+impl Default for DateStrategy {
+    fn default() -> Self {
+        Self::RecencyAdjusted {
+            alpha_grid: default_alpha_grid(),
+        }
+    }
+}
+
+/// Default α grid: values close to 1 (a per-day boost of even 0.5% compounds
+/// to a large restart tilt over a 200–400 day corpus). α = 1.0 reproduces
+/// plain PageRank and anchors the grid.
+pub fn default_alpha_grid() -> Vec<f64> {
+    vec![
+        1.0, 0.999, 0.998, 0.995, 0.99, 0.985, 0.98, 0.97, 0.96, 0.95, 0.93, 0.9,
+    ]
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilsonConfig {
+    /// Date-graph edge weighting (Table 2; default W3 per §2.2).
+    pub edge_weight: EdgeWeight,
+    /// Date-selection strategy (default: recency-adjusted, the full model).
+    pub date_strategy: DateStrategy,
+    /// Run the cross-date redundancy post-processing (Algorithm 1, lines
+    /// 15–21). Disabled in the `WILSON w/o Post` ablation.
+    pub post_process: bool,
+    /// Maximum cosine similarity a new sentence may have with any selected
+    /// sentence (paper: 0.5).
+    pub sim_threshold: f64,
+    /// PageRank damping (NetworkX default, Appendix A).
+    pub damping: f64,
+    /// Parallelize per-day summarization (§2.3.1).
+    pub parallel: bool,
+}
+
+impl Default for WilsonConfig {
+    fn default() -> Self {
+        Self {
+            edge_weight: EdgeWeight::W3,
+            date_strategy: DateStrategy::default(),
+            post_process: true,
+            sim_threshold: 0.5,
+            damping: 0.85,
+            parallel: true,
+        }
+    }
+}
+
+impl WilsonConfig {
+    /// The `WILSON-uniform` ablation of Table 7.
+    pub fn uniform() -> Self {
+        Self {
+            date_strategy: DateStrategy::Uniform,
+            ..Self::default()
+        }
+    }
+
+    /// The `WILSON-Tran` ablation of Table 7 (W3 + plain PageRank, no
+    /// recency adjustment).
+    pub fn tran() -> Self {
+        Self {
+            date_strategy: DateStrategy::PageRank,
+            ..Self::default()
+        }
+    }
+
+    /// The `WILSON w/o Post` ablation of Table 7.
+    pub fn without_post() -> Self {
+        Self {
+            post_process: false,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style edge-weight override (Table 2 sweeps).
+    pub fn with_edge_weight(mut self, w: EdgeWeight) -> Self {
+        self.edge_weight = w;
+        self
+    }
+
+    /// Builder-style parallelism override (benchmarks time both modes).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_model() {
+        let c = WilsonConfig::default();
+        assert_eq!(c.edge_weight, EdgeWeight::W3);
+        assert!(matches!(
+            c.date_strategy,
+            DateStrategy::RecencyAdjusted { .. }
+        ));
+        assert!(c.post_process);
+        assert_eq!(c.sim_threshold, 0.5);
+    }
+
+    #[test]
+    fn ablations_differ_in_one_knob() {
+        assert_eq!(WilsonConfig::uniform().date_strategy, DateStrategy::Uniform);
+        assert_eq!(WilsonConfig::tran().date_strategy, DateStrategy::PageRank);
+        assert!(!WilsonConfig::without_post().post_process);
+        assert!(WilsonConfig::without_post().post_process != WilsonConfig::default().post_process);
+    }
+
+    #[test]
+    fn alpha_grid_in_unit_interval() {
+        for a in default_alpha_grid() {
+            assert!(a > 0.0 && a <= 1.0);
+        }
+    }
+
+    #[test]
+    fn edge_weight_labels() {
+        let labels: Vec<_> = EdgeWeight::all().iter().map(|w| w.label()).collect();
+        assert_eq!(labels, ["W1", "W2", "W3", "W4"]);
+    }
+}

@@ -1,0 +1,257 @@
+//! The date reference graph (§2.2).
+//!
+//! Nodes are the distinct day-level dates of the corpus. A directed edge
+//! `date_i → date_j` exists when some sentence *published* on `date_i`
+//! *mentions* `date_j` (a "date reference"); its weight follows the chosen
+//! scheme W1–W4. The example from §2.2: with `date_i` = 2018-06-01,
+//! `date_j` = 2018-06-12 and two reference sentences, W1 = 2, W2 = 11 and
+//! W3 = 22; W4 is the maximum BM25 relevance of the reference sentences to
+//! the topic query.
+
+use crate::config::EdgeWeight;
+use std::collections::HashMap;
+use tl_corpus::DatedSentence;
+use tl_graph::DiGraph;
+use tl_ir::{Bm25Params, Bm25Scorer};
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_temporal::Date;
+
+/// The compiled date reference graph plus the node ↔ date mapping.
+#[derive(Debug)]
+pub struct DateGraph {
+    /// Distinct corpus dates, sorted ascending; node `i` is `dates[i]`.
+    dates: Vec<Date>,
+    /// Reference statistics per (src, dst) node pair: sentence count and
+    /// max query-BM25 of the reference sentences.
+    edges: HashMap<(usize, usize), EdgeStats>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct EdgeStats {
+    count: u32,
+    max_bm25: f64,
+}
+
+impl DateGraph {
+    /// Build the graph from a dated-sentence corpus and the topic query.
+    ///
+    /// Only *mention* pairings create edges (`from_mention == true`): the
+    /// source node is the sentence's publication date, the target the
+    /// mentioned date. All distinct corpus dates (mention or publication)
+    /// become nodes so selection can also surface report-only days.
+    pub fn build(sentences: &[DatedSentence], query: &str) -> Self {
+        // Collect node set.
+        let mut dates: Vec<Date> = sentences
+            .iter()
+            .flat_map(|s| [s.date, s.pub_date])
+            .collect();
+        dates.sort_unstable();
+        dates.dedup();
+        let index: HashMap<Date, usize> = dates.iter().enumerate().map(|(i, d)| (*d, i)).collect();
+
+        // BM25 relevance of each mention sentence to the query (for W4).
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let tokenized: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| analyzer.analyze(&s.text))
+            .collect();
+        let scorer = Bm25Scorer::fit(tokenized.iter().map(Vec::as_slice), Bm25Params::default());
+        let query_tokens = analyzer.analyze_frozen(query);
+
+        let mut edges: HashMap<(usize, usize), EdgeStats> = HashMap::new();
+        for (si, s) in sentences.iter().enumerate() {
+            if !s.from_mention || s.date == s.pub_date {
+                continue;
+            }
+            let src = index[&s.pub_date];
+            let dst = index[&s.date];
+            let relevance = scorer.score(&query_tokens, &tokenized[si]);
+            let e = edges.entry((src, dst)).or_default();
+            e.count += 1;
+            if relevance > e.max_bm25 {
+                e.max_bm25 = relevance;
+            }
+        }
+        Self { dates, edges }
+    }
+
+    /// Number of date nodes.
+    pub fn num_dates(&self) -> usize {
+        self.dates.len()
+    }
+
+    /// The sorted node dates.
+    pub fn dates(&self) -> &[Date] {
+        &self.dates
+    }
+
+    /// Number of distinct reference edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The weight of edge `(src, dst)` under a scheme (0.0 if absent).
+    pub fn edge_weight(&self, src: usize, dst: usize, scheme: EdgeWeight) -> f64 {
+        let Some(e) = self.edges.get(&(src, dst)) else {
+            return 0.0;
+        };
+        let w1 = e.count as f64;
+        let w2 = self.dates[dst].distance(self.dates[src]) as f64;
+        match scheme {
+            EdgeWeight::W1 => w1,
+            EdgeWeight::W2 => w2,
+            EdgeWeight::W3 => w1 * w2,
+            EdgeWeight::W4 => e.max_bm25,
+        }
+    }
+
+    /// Materialize the weighted digraph for a scheme.
+    pub fn to_digraph(&self, scheme: EdgeWeight) -> DiGraph {
+        let mut g = DiGraph::new(self.dates.len());
+        for &(src, dst) in self.edges.keys() {
+            let w = self.edge_weight(src, dst, scheme);
+            if w > 0.0 {
+                g.add_edge(src, dst, w);
+            }
+        }
+        g
+    }
+
+    /// Total inbound reference-sentence count per date (diagnostics and the
+    /// date-distribution analyses of Figure 4).
+    pub fn in_reference_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.dates.len()];
+        for (&(_, dst), e) in &self.edges {
+            counts[dst] += e.count;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn sent(pub_date: &str, date: &str, text: &str, from_mention: bool) -> DatedSentence {
+        DatedSentence {
+            date: d(date),
+            pub_date: d(pub_date),
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention,
+        }
+    }
+
+    /// The §2.2 worked example: two sentences published 2018-06-01
+    /// mentioning 2018-06-12 → W1 = 2, W2 = 11, W3 = 22.
+    #[test]
+    fn paper_worked_example() {
+        let corpus = vec![
+            sent(
+                "2018-06-01",
+                "2018-06-12",
+                "Trump says summit with North Korea will take place on June 12.",
+                true,
+            ),
+            sent(
+                "2018-06-01",
+                "2018-06-12",
+                "The summit will take place on June 12.",
+                true,
+            ),
+            sent(
+                "2018-06-01",
+                "2018-06-01",
+                "Unrelated coverage today.",
+                false,
+            ),
+        ];
+        let g = DateGraph::build(&corpus, "summit north korea");
+        assert_eq!(g.num_dates(), 2);
+        let (src, dst) = (0, 1); // dates sorted: 06-01 then 06-12
+        assert_eq!(g.edge_weight(src, dst, EdgeWeight::W1), 2.0);
+        assert_eq!(g.edge_weight(src, dst, EdgeWeight::W2), 11.0);
+        assert_eq!(g.edge_weight(src, dst, EdgeWeight::W3), 22.0);
+        assert!(g.edge_weight(src, dst, EdgeWeight::W4) > 0.0);
+        // No reverse edge.
+        assert_eq!(g.edge_weight(dst, src, EdgeWeight::W1), 0.0);
+    }
+
+    #[test]
+    fn pub_date_pairings_do_not_create_edges() {
+        let corpus = vec![sent("2018-06-01", "2018-06-01", "Today's report.", false)];
+        let g = DateGraph::build(&corpus, "report");
+        assert_eq!(g.num_dates(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_mention_ignored() {
+        // A sentence mentioning its own publication day adds no edge.
+        let corpus = vec![sent(
+            "2018-06-12",
+            "2018-06-12",
+            "The summit happened June 12.",
+            true,
+        )];
+        let g = DateGraph::build(&corpus, "summit");
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn w4_tracks_query_relevance() {
+        let corpus = vec![
+            sent("2018-06-01", "2018-06-12", "summit summit summit", true),
+            sent("2018-06-01", "2018-05-01", "weather forecast cloudy", true),
+            // Padding so idf varies.
+            sent(
+                "2018-06-02",
+                "2018-06-02",
+                "markets rallied strongly",
+                false,
+            ),
+        ];
+        let g = DateGraph::build(&corpus, "summit");
+        // Node order: 05-01, 06-01, 06-02, 06-12.
+        let rel_edge = g.edge_weight(1, 3, EdgeWeight::W4);
+        let irrel_edge = g.edge_weight(1, 0, EdgeWeight::W4);
+        assert!(rel_edge > irrel_edge);
+        assert_eq!(irrel_edge, 0.0);
+    }
+
+    #[test]
+    fn digraph_roundtrip() {
+        let corpus = vec![
+            sent("2018-06-01", "2018-06-12", "summit on june 12", true),
+            sent("2018-06-05", "2018-06-01", "talks from june 1", true),
+        ];
+        let g = DateGraph::build(&corpus, "summit");
+        let dg = g.to_digraph(EdgeWeight::W3);
+        assert_eq!(dg.num_nodes(), g.num_dates());
+        assert_eq!(dg.num_edges(), 2);
+    }
+
+    #[test]
+    fn in_reference_counts_aggregate() {
+        let corpus = vec![
+            sent("2018-06-01", "2018-06-12", "summit june 12 a", true),
+            sent("2018-06-05", "2018-06-12", "summit june 12 b", true),
+        ];
+        let g = DateGraph::build(&corpus, "summit");
+        let counts = g.in_reference_counts();
+        // Dates: 06-01, 06-05, 06-12.
+        assert_eq!(counts, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let g = DateGraph::build(&[], "query");
+        assert_eq!(g.num_dates(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Date selection (§2.2): PageRank over the date reference graph, the
+//! recency adjustment (§2.2.1), and the uniform baseline.
+
+use crate::config::{DateStrategy, EdgeWeight};
+use crate::dategraph::DateGraph;
+use tl_graph::{pagerank, personalized_pagerank, top_k, PageRankConfig};
+use tl_temporal::Date;
+
+/// Uniformity of a date selection (Definition 3): the standard deviation of
+/// consecutive-date gaps. Lower = more uniform. Selections with fewer than
+/// two dates are perfectly uniform (0.0).
+pub fn uniformity(dates: &[Date]) -> f64 {
+    if dates.len() < 2 {
+        return 0.0;
+    }
+    let mut sorted: Vec<i32> = dates.iter().map(|d| d.days()).collect();
+    sorted.sort_unstable();
+    let diffs: Vec<f64> = sorted.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / diffs.len() as f64;
+    var.sqrt()
+}
+
+/// Select `t` dates according to the strategy, returning them sorted
+/// ascending.
+///
+/// * `Uniform` — `t` evenly spaced dates over the corpus span, each snapped
+///   to the nearest date that actually has sentences (so daily
+///   summarization has material to work with).
+/// * `PageRank` — plain PageRank on the `scheme`-weighted graph, top-`t`.
+/// * `RecencyAdjusted` — for each α in the grid, personalized PageRank with
+///   restart mass `α^{−(dateᵢ − date_start)}`; keep the α whose top-`t`
+///   selection has the lowest uniformity σ (Algorithm 1, lines 4–9).
+pub fn select_dates(
+    graph: &DateGraph,
+    scheme: EdgeWeight,
+    strategy: &DateStrategy,
+    t: usize,
+    damping: f64,
+) -> Vec<Date> {
+    let dates = graph.dates();
+    if dates.is_empty() || t == 0 {
+        return Vec::new();
+    }
+    let t = t.min(dates.len());
+    match strategy {
+        DateStrategy::Uniform => uniform_dates(dates, t),
+        DateStrategy::PageRank => {
+            let g = graph.to_digraph(scheme);
+            let config = PageRankConfig {
+                damping,
+                ..Default::default()
+            };
+            let scores = pagerank(&g, &config);
+            let mut selected: Vec<Date> = top_k(&scores, t).into_iter().map(|i| dates[i]).collect();
+            selected.sort_unstable();
+            selected
+        }
+        DateStrategy::RecencyAdjusted { alpha_grid } => {
+            let g = graph.to_digraph(scheme);
+            let config = PageRankConfig {
+                damping,
+                ..Default::default()
+            };
+            let start = dates[0];
+            let mut best: Option<(f64, Vec<Date>)> = None;
+            for &alpha in alpha_grid {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "alpha must lie in (0, 1], got {alpha}"
+                );
+                // W_i = α^{-d_i}; normalize by the maximum exponent to keep
+                // the weights finite for long corpora before PageRank's own
+                // normalization.
+                let max_d = dates.last().expect("non-empty").diff_days(start) as f64;
+                let personalization: Vec<f64> = dates
+                    .iter()
+                    .map(|d| {
+                        let di = d.diff_days(start) as f64;
+                        // α^{−dᵢ} / α^{−max_d} = α^{max_d − dᵢ}
+                        alpha.powf(max_d - di)
+                    })
+                    .collect();
+                let scores = personalized_pagerank(&g, &personalization, &config);
+                let mut selected: Vec<Date> =
+                    top_k(&scores, t).into_iter().map(|i| dates[i]).collect();
+                selected.sort_unstable();
+                let sigma = uniformity(&selected);
+                let better = match &best {
+                    None => true,
+                    Some((best_sigma, _)) => sigma < *best_sigma,
+                };
+                if better {
+                    best = Some((sigma, selected));
+                }
+            }
+            best.map(|(_, sel)| sel).unwrap_or_default()
+        }
+    }
+}
+
+/// `t` evenly spaced dates over `[first, last]`, snapped to the nearest
+/// corpus date (dates sorted ascending; duplicates removed, so the result
+/// may be shorter than `t` on tiny corpora).
+fn uniform_dates(dates: &[Date], t: usize) -> Vec<Date> {
+    let first = dates[0].days();
+    let last = dates[dates.len() - 1].days();
+    let mut out: Vec<Date> = Vec::with_capacity(t);
+    for k in 0..t {
+        let target = if t == 1 {
+            (first + last) / 2
+        } else {
+            first + ((last - first) as f64 * k as f64 / (t - 1) as f64).round() as i32
+        };
+        out.push(nearest_date(dates, target));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The corpus date nearest to epoch-day `target` (ties: earlier date).
+fn nearest_date(dates: &[Date], target: i32) -> Date {
+    let days: Vec<i32> = dates.iter().map(|d| d.days()).collect();
+    match days.binary_search(&target) {
+        Ok(i) => dates[i],
+        Err(pos) => {
+            let mut best = None::<(i32, Date)>;
+            if pos > 0 {
+                best = Some(((target - days[pos - 1]).abs(), dates[pos - 1]));
+            }
+            if pos < days.len() {
+                let cand = ((days[pos] - target).abs(), dates[pos]);
+                best = Some(match best {
+                    Some(b) if b.0 <= cand.0 => b,
+                    _ => cand,
+                });
+            }
+            best.expect("dates non-empty").1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_corpus::DatedSentence;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn mention(pub_date: &str, date: &str, text: &str) -> DatedSentence {
+        DatedSentence {
+            date: d(date),
+            pub_date: d(pub_date),
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: true,
+        }
+    }
+
+    fn report(pub_date: &str, text: &str) -> DatedSentence {
+        DatedSentence {
+            date: d(pub_date),
+            pub_date: d(pub_date),
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: false,
+        }
+    }
+
+    /// A corpus where one date receives far more references than others.
+    fn reference_heavy_corpus() -> Vec<DatedSentence> {
+        let mut v = Vec::new();
+        // 2018-06-12 referenced from five different days.
+        for pd in [
+            "2018-06-01",
+            "2018-06-03",
+            "2018-06-05",
+            "2018-06-07",
+            "2018-06-09",
+        ] {
+            v.push(mention(pd, "2018-06-12", "summit on june 12 confirmed"));
+            v.push(report(pd, "daily coverage continues"));
+        }
+        // 2018-06-20 referenced once.
+        v.push(mention(
+            "2018-06-14",
+            "2018-06-20",
+            "follow-up meeting planned",
+        ));
+        v
+    }
+
+    #[test]
+    fn uniformity_hand_computed() {
+        // Gaps 10, 10, 10 → σ = 0.
+        let dates: Vec<Date> = [0, 10, 20, 30]
+            .iter()
+            .map(|&x| Date::from_days(x))
+            .collect();
+        assert_eq!(uniformity(&dates), 0.0);
+        // Gaps 1, 19 → mean 10, var ((−9)² + 9²)/2 = 81 → σ = 9.
+        let dates: Vec<Date> = [0, 1, 20].iter().map(|&x| Date::from_days(x)).collect();
+        assert!((uniformity(&dates) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniformity_degenerate() {
+        assert_eq!(uniformity(&[]), 0.0);
+        assert_eq!(uniformity(&[Date::from_days(5)]), 0.0);
+    }
+
+    #[test]
+    fn uniformity_unsorted_input_ok() {
+        let a: Vec<Date> = [20, 0, 10].iter().map(|&x| Date::from_days(x)).collect();
+        assert_eq!(uniformity(&a), 0.0);
+    }
+
+    #[test]
+    fn pagerank_selects_most_referenced() {
+        let corpus = reference_heavy_corpus();
+        let g = DateGraph::build(&corpus, "summit");
+        let sel = select_dates(&g, EdgeWeight::W3, &DateStrategy::PageRank, 1, 0.85);
+        assert_eq!(sel, vec![d("2018-06-12")]);
+    }
+
+    #[test]
+    fn selected_sorted_ascending() {
+        let corpus = reference_heavy_corpus();
+        let g = DateGraph::build(&corpus, "summit");
+        for strategy in [
+            DateStrategy::Uniform,
+            DateStrategy::PageRank,
+            DateStrategy::default(),
+        ] {
+            let sel = select_dates(&g, EdgeWeight::W3, &strategy, 4, 0.85);
+            assert!(sel.windows(2).all(|w| w[0] < w[1]), "{strategy:?}: {sel:?}");
+            assert!(sel.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn t_larger_than_corpus_clamped() {
+        let corpus = vec![report("2018-06-01", "only day")];
+        let g = DateGraph::build(&corpus, "q");
+        let sel = select_dates(&g, EdgeWeight::W3, &DateStrategy::PageRank, 10, 0.85);
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn t_zero_or_empty_graph() {
+        let g = DateGraph::build(&[], "q");
+        assert!(select_dates(&g, EdgeWeight::W3, &DateStrategy::PageRank, 3, 0.85).is_empty());
+        let corpus = vec![report("2018-06-01", "x")];
+        let g = DateGraph::build(&corpus, "q");
+        assert!(select_dates(&g, EdgeWeight::W3, &DateStrategy::PageRank, 0, 0.85).is_empty());
+    }
+
+    #[test]
+    fn uniform_spans_the_window() {
+        // Corpus dates every day over 30 days.
+        let corpus: Vec<DatedSentence> = (0..30)
+            .map(|i| {
+                let date = Date::from_days(17000 + i);
+                DatedSentence {
+                    date,
+                    pub_date: date,
+                    article: 0,
+                    sentence_index: 0,
+                    text: "daily item".into(),
+                    from_mention: false,
+                }
+            })
+            .collect();
+        let g = DateGraph::build(&corpus, "q");
+        let sel = select_dates(&g, EdgeWeight::W3, &DateStrategy::Uniform, 4, 0.85);
+        assert_eq!(sel.len(), 4);
+        assert_eq!(sel[0], Date::from_days(17000));
+        assert_eq!(sel[3], Date::from_days(17029));
+        // Near-perfect spacing.
+        assert!(uniformity(&sel) < 1.0);
+    }
+
+    #[test]
+    fn recency_adjustment_more_uniform_than_plain() {
+        // Heavily past-skewed references: early dates dominate plain
+        // PageRank; the recency adjustment must spread the selection.
+        let mut corpus = Vec::new();
+        let base = d("2018-01-01");
+        // Events on days 0, 10, ..., 90; references always point backwards,
+        // and early events get quadratically more references.
+        for e in 0..10 {
+            let event_day = base.plus_days(e * 10);
+            let refs = (10 - e) * 3;
+            for r in 0..refs {
+                let pub_day = event_day.plus_days(1 + (r % 60));
+                corpus.push(DatedSentence {
+                    date: event_day,
+                    pub_date: pub_day,
+                    article: 0,
+                    sentence_index: 0,
+                    text: format!("reference to event {e}"),
+                    from_mention: true,
+                });
+            }
+        }
+        let g = DateGraph::build(&corpus, "event");
+        let plain = select_dates(&g, EdgeWeight::W3, &DateStrategy::PageRank, 5, 0.85);
+        let adjusted = select_dates(&g, EdgeWeight::W3, &DateStrategy::default(), 5, 0.85);
+        assert!(
+            uniformity(&adjusted) <= uniformity(&plain) + 1e-9,
+            "adjusted σ = {} vs plain σ = {}",
+            uniformity(&adjusted),
+            uniformity(&plain)
+        );
+        // And the adjusted selection must reach later into the corpus.
+        assert!(adjusted.last() >= plain.last());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let corpus = vec![report("2018-06-01", "x"), report("2018-06-05", "y")];
+        let g = DateGraph::build(&corpus, "q");
+        select_dates(
+            &g,
+            EdgeWeight::W3,
+            &DateStrategy::RecencyAdjusted {
+                alpha_grid: vec![1.5],
+            },
+            1,
+            0.85,
+        );
+    }
+}

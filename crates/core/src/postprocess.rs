@@ -1,0 +1,265 @@
+//! Cross-date redundancy post-processing (Algorithm 1, lines 15–21).
+//!
+//! Daily summarization is local, so two days can surface near-identical
+//! sentences (e.g. the same background recap). The post-processing pass
+//! assembles the timeline round-robin: each iteration pops the best
+//! remaining sentence of every day, discards any whose maximum cosine
+//! similarity with *all already-selected sentences across the whole
+//! timeline* exceeds the threshold (paper: 0.5), and admits the rest until
+//! every day holds `n` sentences or its candidates are exhausted.
+
+use tl_nlp::SparseVector;
+use tl_temporal::Date;
+
+/// One day's ranked candidates: sentence indices, best first.
+#[derive(Debug, Clone)]
+pub struct DayCandidates {
+    /// The selected date.
+    pub date: Date,
+    /// Candidate sentence indices into the shared sentence array, in
+    /// descending TextRank order.
+    pub ranked: Vec<usize>,
+}
+
+/// Assemble the final timeline from per-day rankings.
+///
+/// `vectors[i]` is the similarity vector of sentence `i` (TF-IDF unit
+/// vectors in the full pipeline). With `post_process` off, each day simply
+/// takes its top `n` candidates (the `WILSON w/o Post` ablation) — except
+/// that exact duplicates of already-selected sentences (cosine ≈ 1 and the
+/// same index) are still unique per day by construction.
+///
+/// Returns `(date, selected indices)` per day, dates in input order.
+pub fn assemble_timeline(
+    days: &[DayCandidates],
+    vectors: &[SparseVector],
+    n: usize,
+    sim_threshold: f64,
+    post_process: bool,
+) -> Vec<(Date, Vec<usize>)> {
+    assert!(n > 0, "n must be positive");
+    if !post_process {
+        return days
+            .iter()
+            .map(|d| (d.date, d.ranked.iter().copied().take(n).collect()))
+            .collect();
+    }
+
+    let t = days.len();
+    let mut selected: Vec<Vec<usize>> = vec![Vec::new(); t];
+    let mut cursor: Vec<usize> = vec![0; t];
+    // Flat list of all selected sentence indices for the global similarity
+    // check (line 19 checks against S = ∪ S_i).
+    let mut all_selected: Vec<usize> = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        // Line 17–18: take (and remove) the current top sentence per day.
+        for i in 0..t {
+            if selected[i].len() >= n {
+                continue;
+            }
+            let Some(&cand) = days[i].ranked.get(cursor[i]) else {
+                continue;
+            };
+            cursor[i] += 1;
+            progressed = true;
+            // Line 19: reject candidates too similar to anything selected.
+            let too_similar = all_selected
+                .iter()
+                .any(|&s| vectors[cand].cosine(&vectors[s]) > sim_threshold);
+            if too_similar {
+                continue;
+            }
+            // Line 20: admit.
+            selected[i].push(cand);
+            all_selected.push(cand);
+        }
+        // Line 21: stop when all days are full or all heaps are dry.
+        let all_done = (0..t).all(|i| selected[i].len() >= n || cursor[i] >= days[i].ranked.len());
+        if all_done || !progressed {
+            break;
+        }
+    }
+
+    days.iter()
+        .zip(selected)
+        .map(|(d, sel)| (d.date, sel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: i32) -> Date {
+        Date::from_days(n)
+    }
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// Orthogonal unit vectors: nothing is similar to anything.
+    fn orthogonal(n: usize) -> Vec<SparseVector> {
+        (0..n).map(|i| v(&[(i as u32, 1.0)])).collect()
+    }
+
+    #[test]
+    fn no_post_takes_top_n() {
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0, 1, 2],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![3, 4],
+            },
+        ];
+        let vectors = orthogonal(5);
+        let tl = assemble_timeline(&days, &vectors, 2, 0.5, false);
+        assert_eq!(tl[0].1, vec![0, 1]);
+        assert_eq!(tl[1].1, vec![3, 4]);
+    }
+
+    #[test]
+    fn post_with_orthogonal_vectors_equals_top_n() {
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0, 1],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![2, 3],
+            },
+        ];
+        let vectors = orthogonal(4);
+        let tl = assemble_timeline(&days, &vectors, 2, 0.5, true);
+        assert_eq!(tl[0].1, vec![0, 1]);
+        assert_eq!(tl[1].1, vec![2, 3]);
+    }
+
+    #[test]
+    fn duplicate_across_days_removed() {
+        // Sentence 2 is identical to sentence 0 (same vector).
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![2, 3],
+            },
+        ];
+        let vectors = vec![
+            v(&[(0, 1.0)]),
+            v(&[(1, 1.0)]),
+            v(&[(0, 1.0)]), // duplicate of 0
+            v(&[(2, 1.0)]),
+        ];
+        let tl = assemble_timeline(&days, &vectors, 1, 0.5, true);
+        assert_eq!(tl[0].1, vec![0]);
+        // Day 1's top candidate was rejected; the next one is admitted.
+        assert_eq!(tl[1].1, vec![3]);
+    }
+
+    #[test]
+    fn rejected_candidates_are_discarded_not_requeued() {
+        // Day 1 has only a duplicate: it ends up empty.
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![1],
+            },
+        ];
+        let vectors = vec![v(&[(0, 1.0)]), v(&[(0, 1.0)])];
+        let tl = assemble_timeline(&days, &vectors, 1, 0.5, true);
+        assert_eq!(tl[0].1, vec![0]);
+        assert!(tl[1].1.is_empty());
+    }
+
+    #[test]
+    fn threshold_boundary_is_strict() {
+        // cosine exactly == threshold is allowed (paper: "smaller than a
+        // threshold", our check rejects only > threshold).
+        let a = v(&[(0, 1.0)]);
+        let b = v(&[(0, 1.0), (1, 1.0)]); // cosine = 1/√2 ≈ 0.707
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![1],
+            },
+        ];
+        let cos = a.cosine(&b);
+        let tl = assemble_timeline(&days, &[a.clone(), b.clone()], 1, cos, true);
+        assert_eq!(tl[1].1, vec![1], "equal-to-threshold must pass");
+        let tl = assemble_timeline(&days, &[a, b], 1, cos - 1e-9, true);
+        assert!(tl[1].1.is_empty(), "above threshold must be rejected");
+    }
+
+    #[test]
+    fn round_robin_alternates_days() {
+        // Day 0's second candidate duplicates day 1's first. Round-robin
+        // means day 1's first is selected *before* day 0's second is
+        // examined, so the duplicate is caught.
+        let days = vec![
+            DayCandidates {
+                date: d(0),
+                ranked: vec![0, 1],
+            },
+            DayCandidates {
+                date: d(1),
+                ranked: vec![2],
+            },
+        ];
+        let vectors = vec![
+            v(&[(0, 1.0)]),
+            v(&[(5, 1.0)]), // duplicate of sentence 2
+            v(&[(5, 1.0)]),
+        ];
+        let tl = assemble_timeline(&days, &vectors, 2, 0.5, true);
+        assert_eq!(tl[0].1, vec![0], "day 0 second candidate rejected");
+        assert_eq!(tl[1].1, vec![2]);
+    }
+
+    #[test]
+    fn respects_n_cap() {
+        let days = vec![DayCandidates {
+            date: d(0),
+            ranked: (0..10).collect(),
+        }];
+        let vectors = orthogonal(10);
+        let tl = assemble_timeline(&days, &vectors, 3, 0.5, true);
+        assert_eq!(tl[0].1.len(), 3);
+    }
+
+    #[test]
+    fn empty_days_and_candidates() {
+        let tl = assemble_timeline(&[], &[], 2, 0.5, true);
+        assert!(tl.is_empty());
+        let days = vec![DayCandidates {
+            date: d(0),
+            ranked: vec![],
+        }];
+        let tl = assemble_timeline(&days, &[], 2, 0.5, true);
+        assert_eq!(tl.len(), 1);
+        assert!(tl[0].1.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_rejected() {
+        assemble_timeline(&[], &[], 0, 0.5, true);
+    }
+}

@@ -1,0 +1,209 @@
+//! The real-time timeline service (§5).
+//!
+//! The paper's production framework at The Washington Post indexes four
+//! years of temporally tagged sentences in ElasticSearch and answers
+//! `(keywords, [t1, t2])` queries with a WILSON timeline in seconds. This
+//! module wires the same flow over `tl-ir`'s search engine: ingest articles
+//! (incrementally — §5 stresses that newly published news just gets
+//! inserted), fetch the query-relevant dated sentences, run WILSON.
+
+use crate::config::WilsonConfig;
+use crate::summarize::Wilson;
+use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline, TimelineGenerator};
+use tl_ir::{SearchEngine, SearchQuery};
+use tl_temporal::Date;
+
+/// A query against the real-time system.
+#[derive(Debug, Clone)]
+pub struct TimelineQuery {
+    /// Event keywords, e.g. `"trump north korea kim summit"`.
+    pub keywords: String,
+    /// Inclusive event window `[t1, t2]`.
+    pub window: (Date, Date),
+    /// Number of timeline dates.
+    pub num_dates: usize,
+    /// Sentences per date.
+    pub sents_per_date: usize,
+    /// Maximum sentences fetched from the engine per query.
+    pub fetch_limit: usize,
+}
+
+/// The ingestion + query service.
+pub struct RealTimeSystem {
+    engine: SearchEngine,
+    wilson: Wilson,
+    num_articles: usize,
+}
+
+impl Default for RealTimeSystem {
+    fn default() -> Self {
+        Self::new(WilsonConfig::default())
+    }
+}
+
+impl RealTimeSystem {
+    /// Create an empty service with the given WILSON configuration.
+    pub fn new(config: WilsonConfig) -> Self {
+        Self {
+            engine: SearchEngine::new(),
+            wilson: Wilson::new(config),
+            num_articles: 0,
+        }
+    }
+
+    /// Ingest one article: split-tag-index all of its dated sentences.
+    pub fn ingest(&mut self, article: &Article) {
+        for ds in dated_sentences(std::slice::from_ref(article), None) {
+            self.engine.insert(ds.date, ds.pub_date, &ds.text);
+        }
+        self.num_articles += 1;
+    }
+
+    /// Ingest a batch of articles.
+    pub fn ingest_all(&mut self, articles: &[Article]) {
+        for a in articles {
+            self.ingest(a);
+        }
+    }
+
+    /// Number of ingested articles.
+    pub fn num_articles(&self) -> usize {
+        self.num_articles
+    }
+
+    /// Number of indexed dated sentences.
+    pub fn num_sentences(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Answer a timeline query: fetch relevant dated sentences in the
+    /// window, then run WILSON on them.
+    pub fn timeline(&self, query: &TimelineQuery) -> Timeline {
+        let hits = self.engine.search(&SearchQuery {
+            keywords: query.keywords.clone(),
+            range: Some(query.window),
+            limit: query.fetch_limit,
+        });
+        let corpus: Vec<DatedSentence> = hits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| {
+                self.engine.get(h.id).map(|s| DatedSentence {
+                    date: s.date,
+                    pub_date: s.pub_date,
+                    article: 0,
+                    sentence_index: i,
+                    text: s.text.clone(),
+                    from_mention: s.date != s.pub_date,
+                })
+            })
+            .collect();
+        self.wilson.generate(
+            &corpus,
+            &query.keywords,
+            query.num_dates,
+            query.sents_per_date,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_corpus::{generate, SynthConfig};
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn loaded_system() -> (RealTimeSystem, String, (Date, Date)) {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let mut sys = RealTimeSystem::default();
+        sys.ingest_all(&topic.articles);
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        (sys, topic.query.clone(), window)
+    }
+
+    #[test]
+    fn ingest_counts() {
+        let (sys, _, _) = loaded_system();
+        assert!(sys.num_articles() > 0);
+        assert!(sys.num_sentences() > sys.num_articles());
+    }
+
+    #[test]
+    fn query_returns_timeline_in_window() {
+        let (sys, query, window) = loaded_system();
+        let tl = sys.timeline(&TimelineQuery {
+            keywords: query,
+            window,
+            num_dates: 6,
+            sents_per_date: 2,
+            fetch_limit: 500,
+        });
+        assert!(tl.num_dates() > 0);
+        assert!(tl.num_dates() <= 6);
+        for date in tl.dates() {
+            assert!(date >= window.0 && date <= window.1);
+        }
+    }
+
+    #[test]
+    fn narrow_window_filters_dates() {
+        let (sys, query, window) = loaded_system();
+        let narrow = (window.0, window.0.plus_days(20));
+        let tl = sys.timeline(&TimelineQuery {
+            keywords: query,
+            window: narrow,
+            num_dates: 6,
+            sents_per_date: 1,
+            fetch_limit: 500,
+        });
+        for date in tl.dates() {
+            assert!(date <= narrow.1);
+        }
+    }
+
+    #[test]
+    fn irrelevant_keywords_give_empty_timeline() {
+        let (sys, _, window) = loaded_system();
+        let tl = sys.timeline(&TimelineQuery {
+            keywords: "xylophone zeppelin quixotic".into(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 100,
+        });
+        assert_eq!(tl.num_dates(), 0);
+    }
+
+    #[test]
+    fn incremental_ingestion_extends_results() {
+        let mut sys = RealTimeSystem::default();
+        let article = Article {
+            id: 0,
+            pub_date: d("2018-06-12"),
+            sentences: vec![
+                "The historic summit between Trump and Kim took place.".into(),
+                "Trump and Kim shook hands at the summit venue.".into(),
+                "The summit concluded with a joint declaration.".into(),
+            ],
+        };
+        sys.ingest(&article);
+        let q = TimelineQuery {
+            keywords: "summit trump kim".into(),
+            window: (d("2018-01-01"), d("2018-12-31")),
+            num_dates: 3,
+            sents_per_date: 1,
+            fetch_limit: 50,
+        };
+        let tl = sys.timeline(&q);
+        assert_eq!(tl.num_dates(), 1);
+        assert_eq!(tl.dates()[0], d("2018-06-12"));
+    }
+}

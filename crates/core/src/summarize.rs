@@ -1,0 +1,308 @@
+//! The WILSON pipeline (Algorithm 1): date selection → per-day TextRank →
+//! cross-date post-processing.
+
+use crate::config::{DateStrategy, WilsonConfig};
+use crate::dategraph::DateGraph;
+use crate::dateselect::select_dates;
+use crate::postprocess::{assemble_timeline, DayCandidates};
+use crate::textrank::textrank_order;
+use std::collections::HashMap;
+use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_temporal::Date;
+
+/// The WILSON timeline summarizer.
+#[derive(Debug, Clone, Default)]
+pub struct Wilson {
+    config: WilsonConfig,
+}
+
+impl Wilson {
+    /// Create a summarizer with the given configuration.
+    pub fn new(config: WilsonConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WilsonConfig {
+        &self.config
+    }
+
+    /// Run only the date-selection stage (used by Table 2/3 experiments and
+    /// Figure 4's distribution analysis).
+    pub fn select_dates(&self, sentences: &[DatedSentence], query: &str, t: usize) -> Vec<Date> {
+        let graph = DateGraph::build(sentences, query);
+        select_dates(
+            &graph,
+            self.config.edge_weight,
+            &self.config.date_strategy,
+            t,
+            self.config.damping,
+        )
+    }
+
+    /// Generate a timeline on externally supplied dates (the Table 8
+    /// ground-truth-dates upper bound feeds journalist dates in here).
+    pub fn generate_on_dates(
+        &self,
+        sentences: &[DatedSentence],
+        dates: &[Date],
+        n: usize,
+    ) -> Timeline {
+        let prepared = Prepared::build(sentences);
+        self.summarize_days(&prepared, dates, n)
+    }
+
+    fn summarize_days(&self, prepared: &Prepared, dates: &[Date], n: usize) -> Timeline {
+        // Rank each day's sentences with TextRank (parallel across days —
+        // §2.3.1 notes the sub-tasks parallelize naturally).
+        let day_indices: Vec<(Date, &[usize])> = dates
+            .iter()
+            .filter_map(|d| prepared.by_date.get(d).map(|ix| (*d, ix.as_slice())))
+            .collect();
+
+        let damping = self.config.damping;
+        let rank_one = |(date, indices): &(Date, &[usize])| -> DayCandidates {
+            let toks: Vec<Vec<u32>> = indices
+                .iter()
+                .map(|&i| prepared.tokens[i].clone())
+                .collect();
+            let order = textrank_order(&toks, damping);
+            DayCandidates {
+                date: *date,
+                ranked: order.into_iter().map(|k| indices[k]).collect(),
+            }
+        };
+
+        let mut days: Vec<DayCandidates> = if self.config.parallel && day_indices.len() > 1 {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(day_indices.len());
+            let chunk = day_indices.len().div_ceil(threads);
+            let mut out: Vec<Vec<DayCandidates>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = day_indices
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move |_| slice.iter().map(rank_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("day-ranking worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            out.into_iter().flatten().collect()
+        } else {
+            day_indices.iter().map(rank_one).collect()
+        };
+        days.sort_by_key(|d| d.date);
+
+        let entries = assemble_timeline(
+            &days,
+            &prepared.vectors,
+            n,
+            self.config.sim_threshold,
+            self.config.post_process,
+        );
+        Timeline::new(
+            entries
+                .into_iter()
+                .filter(|(_, sel)| !sel.is_empty())
+                .map(|(date, sel)| {
+                    let sents = sel
+                        .into_iter()
+                        .map(|i| prepared.sentences[i].text.clone())
+                        .collect();
+                    (date, sents)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Pre-analyzed corpus: analyzed tokens, TF-IDF similarity vectors, and the
+/// date → sentence-indices grouping.
+struct Prepared<'a> {
+    sentences: &'a [DatedSentence],
+    tokens: Vec<Vec<u32>>,
+    vectors: Vec<SparseVector>,
+    by_date: HashMap<Date, Vec<usize>>,
+}
+
+impl<'a> Prepared<'a> {
+    fn build(sentences: &'a [DatedSentence]) -> Self {
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let tokens: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| analyzer.analyze(&s.text))
+            .collect();
+        let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
+        let vectors: Vec<SparseVector> = tokens.iter().map(|t| tfidf.unit_vector(t)).collect();
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (i, s) in sentences.iter().enumerate() {
+            by_date.entry(s.date).or_default().push(i);
+        }
+        Self {
+            sentences,
+            tokens,
+            vectors,
+            by_date,
+        }
+    }
+}
+
+impl TimelineGenerator for Wilson {
+    fn name(&self) -> &'static str {
+        match (&self.config.date_strategy, self.config.post_process) {
+            (DateStrategy::Uniform, _) => "WILSON-uniform",
+            (DateStrategy::PageRank, _) => "WILSON-Tran",
+            (DateStrategy::RecencyAdjusted { .. }, false) => "WILSON w/o Post",
+            (DateStrategy::RecencyAdjusted { .. }, true) => "WILSON",
+        }
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let dates = self.select_dates(sentences, query, t);
+        let prepared = Prepared::build(sentences);
+        self.summarize_days(&prepared, &dates, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WilsonConfig;
+    use tl_corpus::{dated_sentences, generate, SynthConfig};
+
+    fn tiny_corpus() -> (Vec<DatedSentence>, String, Timeline) {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let corpus = dated_sentences(&topic.articles, None);
+        (corpus, topic.query.clone(), topic.timelines[0].clone())
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let (corpus, query, gt) = tiny_corpus();
+        let t = gt.num_dates();
+        let wilson = Wilson::new(WilsonConfig::default());
+        let tl = wilson.generate(&corpus, &query, t, 2);
+        assert!(tl.num_dates() <= t);
+        assert!(tl.num_dates() > 0);
+        for (_, sents) in &tl.entries {
+            assert!(!sents.is_empty() && sents.len() <= 2);
+        }
+        // Chronological order.
+        let dates = tl.dates();
+        assert!(dates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sentences_come_from_corpus() {
+        let (corpus, query, _) = tiny_corpus();
+        let wilson = Wilson::new(WilsonConfig::default());
+        let tl = wilson.generate(&corpus, &query, 5, 2);
+        let pool: std::collections::HashSet<&str> =
+            corpus.iter().map(|s| s.text.as_str()).collect();
+        for (_, sents) in &tl.entries {
+            for s in sents {
+                assert!(pool.contains(s.as_str()), "non-extractive sentence: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_timeline() {
+        let wilson = Wilson::new(WilsonConfig::default());
+        assert_eq!(wilson.generate(&[], "q", 5, 2).num_dates(), 0);
+        let (corpus, query, _) = tiny_corpus();
+        assert_eq!(wilson.generate(&corpus, &query, 0, 2).num_dates(), 0);
+        assert_eq!(wilson.generate(&corpus, &query, 5, 0).num_dates(), 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (corpus, query, _) = tiny_corpus();
+        let par = Wilson::new(WilsonConfig::default().with_parallel(true));
+        let ser = Wilson::new(WilsonConfig::default().with_parallel(false));
+        let a = par.generate(&corpus, &query, 6, 2);
+        let b = ser.generate(&corpus, &query, 6, 2);
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(Wilson::new(WilsonConfig::default()).name(), "WILSON");
+        assert_eq!(
+            Wilson::new(WilsonConfig::uniform()).name(),
+            "WILSON-uniform"
+        );
+        assert_eq!(Wilson::new(WilsonConfig::tran()).name(), "WILSON-Tran");
+        assert_eq!(
+            Wilson::new(WilsonConfig::without_post()).name(),
+            "WILSON w/o Post"
+        );
+    }
+
+    #[test]
+    fn post_processing_never_increases_duplicates() {
+        let (corpus, query, _) = tiny_corpus();
+        let with = Wilson::new(WilsonConfig::default());
+        let without = Wilson::new(WilsonConfig::without_post());
+        let a = with.generate(&corpus, &query, 8, 3);
+        let b = without.generate(&corpus, &query, 8, 3);
+        let dup = |tl: &Timeline| {
+            let all: Vec<&String> = tl.entries.iter().flat_map(|(_, s)| s.iter()).collect();
+            let mut set = std::collections::HashSet::new();
+            all.iter().filter(|s| !set.insert(s.as_str())).count()
+        };
+        assert!(dup(&a) <= dup(&b));
+    }
+
+    #[test]
+    fn generate_on_dates_uses_exactly_those_days() {
+        let (corpus, _, gt) = tiny_corpus();
+        let wilson = Wilson::new(WilsonConfig::default());
+        let dates = gt.dates();
+        let tl = wilson.generate_on_dates(&corpus, &dates, 2);
+        for d in tl.dates() {
+            assert!(dates.contains(&d));
+        }
+    }
+
+    #[test]
+    fn selects_better_dates_than_random_chance() {
+        // WILSON's date F1 against the ground truth must beat the expected
+        // F1 of picking T dates uniformly at random from the corpus dates.
+        let (corpus, query, gt) = tiny_corpus();
+        let t = gt.num_dates();
+        let wilson = Wilson::new(WilsonConfig::default());
+        let selected = wilson.select_dates(&corpus, &query, t);
+        let f1 = tl_date_f1(&selected, &gt.dates());
+        let mut all_dates: Vec<Date> = corpus.iter().map(|s| s.date).collect();
+        all_dates.sort_unstable();
+        all_dates.dedup();
+        // Random expectation ≈ t / |dates|.
+        let chance = t as f64 / all_dates.len() as f64;
+        assert!(
+            f1 > chance,
+            "date F1 {f1:.3} not better than chance {chance:.3}"
+        );
+    }
+
+    /// Local date-F1 (tl-rouge is not a dependency of this crate).
+    fn tl_date_f1(sel: &[Date], gt: &[Date]) -> f64 {
+        let m = sel.iter().filter(|d| gt.contains(d)).count() as f64;
+        if sel.is_empty() || gt.is_empty() || m == 0.0 {
+            return 0.0;
+        }
+        let p = m / sel.len() as f64;
+        let r = m / gt.len() as f64;
+        2.0 * p * r / (p + r)
+    }
+}

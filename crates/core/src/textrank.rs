@@ -1,0 +1,144 @@
+//! Per-day TextRank with BM25 edge weights (§2.3, Appendix A).
+//!
+//! For one selected date, the day's sentences form a *directed* graph: the
+//! edge `u → v` carries `BM25(query = sentence_u, doc = sentence_v)` —
+//! BM25 is asymmetric, hence the directed graph (Appendix A, following
+//! Barrios et al. 2016). PageRank scores the sentences; higher = more
+//! central to the day's reporting.
+
+use tl_graph::{pagerank, DiGraph, PageRankConfig};
+use tl_ir::{Bm25Params, Bm25Scorer};
+
+/// Rank a day's sentences; returns one importance score per input sentence.
+///
+/// `tokenized` holds the analyzed token ids of each sentence (retrieval
+/// analysis: stemmed, stopword-filtered). Scores sum to 1 (they are a
+/// PageRank distribution); an empty input yields an empty vector and a
+/// single sentence scores 1.
+pub fn textrank_scores(tokenized: &[Vec<u32>], damping: f64) -> Vec<f64> {
+    let n = tokenized.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let scorer = Bm25Scorer::fit(tokenized.iter().map(Vec::as_slice), Bm25Params::default());
+    let mut g = DiGraph::new(n);
+    #[allow(clippy::needless_range_loop)] // u and v jointly index tokenized
+    for u in 0..n {
+        if tokenized[u].is_empty() {
+            continue;
+        }
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let w = scorer.score(&tokenized[u], &tokenized[v]);
+            if w > 0.0 {
+                g.add_edge(u, v, w);
+            }
+        }
+    }
+    let config = PageRankConfig {
+        damping,
+        ..Default::default()
+    };
+    pagerank(&g, &config)
+}
+
+/// Rank and order a day's sentences: returns sentence indices sorted by
+/// descending TextRank score (ties by index — deterministic).
+pub fn textrank_order(tokenized: &[Vec<u32>], damping: f64) -> Vec<usize> {
+    let scores = textrank_scores(tokenized, damping);
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_nlp::{AnalysisOptions, Analyzer};
+
+    fn tokenize(texts: &[&str]) -> Vec<Vec<u32>> {
+        let mut a = Analyzer::new(AnalysisOptions::retrieval());
+        texts.iter().map(|t| a.analyze(t)).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(textrank_scores(&[], 0.85).is_empty());
+        let one = tokenize(&["the summit took place"]);
+        assert_eq!(textrank_scores(&one, 0.85), vec![1.0]);
+    }
+
+    #[test]
+    fn scores_form_distribution() {
+        let toks = tokenize(&[
+            "the summit between trump and kim took place in singapore",
+            "trump met kim at the historic singapore summit",
+            "markets rallied on strong earnings data",
+            "kim and trump shook hands at the summit",
+        ]);
+        let s = textrank_scores(&toks, 0.85);
+        assert_eq!(s.len(), 4);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn central_sentence_wins() {
+        // Three summit sentences reinforce each other; the outlier about
+        // weather is peripheral.
+        let toks = tokenize(&[
+            "trump kim summit singapore nuclear talks",
+            "summit talks between trump and kim in singapore",
+            "kim trump singapore summit nuclear agreement",
+            "heavy rain flooded the coastal village yesterday",
+        ]);
+        let s = textrank_scores(&toks, 0.85);
+        let outlier = s[3];
+        for i in 0..3 {
+            assert!(s[i] > outlier, "sentence {i}: {} <= {}", s[i], outlier);
+        }
+    }
+
+    #[test]
+    fn order_is_descending_and_deterministic() {
+        let toks = tokenize(&[
+            "unique words here entirely",
+            "summit summit summit talks",
+            "talks about the summit continue",
+        ]);
+        let order = textrank_order(&toks, 0.85);
+        let scores = textrank_scores(&toks, 0.85);
+        for w in order.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]]);
+        }
+        assert_eq!(order, textrank_order(&toks, 0.85));
+    }
+
+    #[test]
+    fn empty_token_sentences_handled() {
+        // A sentence that analyzed to nothing must not panic or win.
+        let mut toks = tokenize(&["summit talks continue", "more summit talks"]);
+        toks.push(Vec::new());
+        let s = textrank_scores(&toks, 0.85);
+        assert_eq!(s.len(), 3);
+        assert!(s[2] <= s[0] && s[2] <= s[1]);
+    }
+
+    #[test]
+    fn identical_sentences_tie() {
+        let toks = tokenize(&["summit talks today", "summit talks today"]);
+        let s = textrank_scores(&toks, 0.85);
+        assert!((s[0] - s[1]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests of the WILSON core invariants.
+
+use proptest::prelude::*;
+use tl_corpus::DatedSentence;
+use tl_nlp::SparseVector;
+use tl_temporal::Date;
+use tl_wilson::postprocess::{assemble_timeline, DayCandidates};
+use tl_wilson::{uniformity, DateGraph, DateStrategy, EdgeWeight};
+
+/// Strategy: a set of day-candidate lists over a shared sentence pool with
+/// random sparse vectors.
+fn day_setup() -> impl Strategy<Value = (Vec<DayCandidates>, Vec<SparseVector>)> {
+    (2usize..6, 4usize..30).prop_flat_map(|(num_days, pool)| {
+        let vectors = proptest::collection::vec(
+            proptest::collection::vec((0u32..12, 0.1f64..1.0), 1..6),
+            pool..=pool,
+        );
+        let days = proptest::collection::vec(
+            proptest::collection::vec(0usize..pool, 0..8),
+            num_days..=num_days,
+        );
+        (days, vectors).prop_map(move |(days, vectors)| {
+            let days = days
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut ranked)| {
+                    ranked.sort_unstable();
+                    ranked.dedup();
+                    DayCandidates {
+                        date: Date::from_days(18000 + i as i32),
+                        ranked,
+                    }
+                })
+                .collect::<Vec<_>>();
+            let vectors = vectors
+                .into_iter()
+                .map(|pairs| {
+                    let mut v = SparseVector::from_pairs(pairs);
+                    v.normalize();
+                    v
+                })
+                .collect::<Vec<_>>();
+            (days, vectors)
+        })
+    })
+}
+
+proptest! {
+    /// Post-processing never exceeds the per-day budget, only emits
+    /// candidates from the day's own list, and honors the similarity bound.
+    #[test]
+    fn postprocess_invariants(
+        (days, vectors) in day_setup(),
+        n in 1usize..4,
+        threshold in 0.2f64..0.9,
+    ) {
+        let out = assemble_timeline(&days, &vectors, n, threshold, true);
+        prop_assert_eq!(out.len(), days.len());
+        let mut all_selected: Vec<usize> = Vec::new();
+        for ((date, selected), day) in out.iter().zip(&days) {
+            prop_assert_eq!(*date, day.date);
+            prop_assert!(selected.len() <= n);
+            for s in selected {
+                prop_assert!(day.ranked.contains(s), "selected {} not a candidate", s);
+            }
+            all_selected.extend(selected.iter().copied());
+        }
+        // Pairwise similarity bound across the whole timeline.
+        for (i, &a) in all_selected.iter().enumerate() {
+            for &b in &all_selected[i + 1..] {
+                if a == b { continue; }
+                prop_assert!(
+                    vectors[a].cosine(&vectors[b]) <= threshold + 1e-9,
+                    "similarity bound violated: {} vs {}", a, b
+                );
+            }
+        }
+    }
+
+    /// Without post-processing, output is exactly the per-day top-n prefix.
+    #[test]
+    fn no_post_is_prefix(
+        (days, vectors) in day_setup(),
+        n in 1usize..4,
+    ) {
+        let out = assemble_timeline(&days, &vectors, n, 0.5, false);
+        for ((_, selected), day) in out.iter().zip(&days) {
+            let expected: Vec<usize> = day.ranked.iter().copied().take(n).collect();
+            prop_assert_eq!(selected.clone(), expected);
+        }
+    }
+
+    /// Post-processing output per day is always a subsequence of the
+    /// no-post output's candidate order (it only skips, never reorders).
+    #[test]
+    fn post_preserves_rank_order(
+        (days, vectors) in day_setup(),
+        n in 1usize..4,
+    ) {
+        let out = assemble_timeline(&days, &vectors, n, 0.5, true);
+        for ((_, selected), day) in out.iter().zip(&days) {
+            // Positions within the ranked list must be increasing.
+            let positions: Vec<usize> = selected
+                .iter()
+                .map(|s| day.ranked.iter().position(|r| r == s).expect("from list"))
+                .collect();
+            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Uniformity is shift-invariant and scales linearly with gap scaling.
+    #[test]
+    fn uniformity_shift_and_scale(
+        days in proptest::collection::vec(0i32..2000, 2..15),
+        shift in -500i32..500,
+    ) {
+        let dates: Vec<Date> = days.iter().map(|&d| Date::from_days(d)).collect();
+        let shifted: Vec<Date> = days.iter().map(|&d| Date::from_days(d + shift)).collect();
+        let s1 = uniformity(&dates);
+        let s2 = uniformity(&shifted);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        prop_assert!(s1 >= 0.0);
+        // Evenly spaced dates have sigma 0.
+        let even: Vec<Date> = (0..days.len() as i32).map(|i| Date::from_days(i * 10)).collect();
+        prop_assert!(uniformity(&even) < 1e-12);
+    }
+
+    /// The date graph never has more nodes than distinct dates and its
+    /// edge weights follow the W1/W2/W3 identities.
+    #[test]
+    fn dategraph_weight_identities(
+        entries in proptest::collection::vec((0i32..60, 0i32..60), 1..40),
+    ) {
+        let sentences: Vec<DatedSentence> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(pub_off, date_off))| DatedSentence {
+                date: Date::from_days(18000 + date_off),
+                pub_date: Date::from_days(18000 + pub_off),
+                article: i,
+                sentence_index: 0,
+                text: format!("reference sentence number {i}"),
+                from_mention: pub_off != date_off,
+            })
+            .collect();
+        let g = DateGraph::build(&sentences, "reference");
+        let mut distinct: Vec<i32> = entries
+            .iter()
+            .flat_map(|&(p, d)| [p, d])
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(g.num_dates(), distinct.len());
+        for src in 0..g.num_dates() {
+            for dst in 0..g.num_dates() {
+                let w1 = g.edge_weight(src, dst, EdgeWeight::W1);
+                let w2 = g.edge_weight(src, dst, EdgeWeight::W2);
+                let w3 = g.edge_weight(src, dst, EdgeWeight::W3);
+                prop_assert!((w3 - w1 * w2).abs() < 1e-9);
+                if w1 > 0.0 {
+                    // Mentions of a different day: distance >= 1.
+                    prop_assert!(w2 >= 1.0);
+                }
+            }
+        }
+    }
+
+    /// select_dates returns sorted, deduplicated dates, at most t of them,
+    /// all present in the corpus, for every strategy.
+    #[test]
+    fn select_dates_shape(
+        entries in proptest::collection::vec((0i32..60, 0i32..60), 2..40),
+        t in 1usize..10,
+    ) {
+        let sentences: Vec<DatedSentence> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(pub_off, date_off))| DatedSentence {
+                date: Date::from_days(18000 + date_off),
+                pub_date: Date::from_days(18000 + pub_off),
+                article: i,
+                sentence_index: 0,
+                text: format!("sentence {i}"),
+                from_mention: pub_off != date_off,
+            })
+            .collect();
+        let g = DateGraph::build(&sentences, "sentence");
+        let corpus_dates: Vec<Date> = g.dates().to_vec();
+        for strategy in [
+            DateStrategy::Uniform,
+            DateStrategy::PageRank,
+            DateStrategy::default(),
+        ] {
+            let sel = tl_wilson::select_dates(&g, EdgeWeight::W3, &strategy, t, 0.85);
+            prop_assert!(sel.len() <= t);
+            prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{:?}", strategy);
+            for d in &sel {
+                prop_assert!(corpus_dates.contains(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Keyword filtering of dated-sentence corpora.
+//!
+//! §2.5 / §3.1.3 of the paper: the TILSE implementation *"filtered
+//! sentences with predefined keywords to reduce N by over one order of
+//! magnitude"* — without this, the submodular framework cannot run on the
+//! full Crisis corpus at all. The paper runs its TILSE comparison (Table 7)
+//! on exactly this filtered sentence pool, so the filter is part of the
+//! reproduction surface.
+//!
+//! A sentence passes if it contains at least `min_hits` of the query's
+//! analyzed terms (stemmed, stopword-filtered).
+
+use crate::model::DatedSentence;
+use tl_nlp::{AnalysisOptions, Analyzer};
+
+/// Keyword filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeywordFilter {
+    /// Minimum number of distinct query terms a sentence must contain.
+    pub min_hits: usize,
+}
+
+impl Default for KeywordFilter {
+    fn default() -> Self {
+        Self { min_hits: 1 }
+    }
+}
+
+impl KeywordFilter {
+    /// Filter `sentences` against the topic `query`, returning the
+    /// surviving subset (clones). An empty analyzed query passes everything
+    /// (no keywords = no filter), matching the tilse behaviour of running
+    /// unfiltered when no keyword file is configured.
+    pub fn filter(&self, sentences: &[DatedSentence], query: &str) -> Vec<DatedSentence> {
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let mut query_terms = analyzer.analyze(query);
+        query_terms.sort_unstable();
+        query_terms.dedup();
+        if query_terms.is_empty() {
+            return sentences.to_vec();
+        }
+        sentences
+            .iter()
+            .filter(|s| {
+                let mut terms = analyzer.analyze_frozen(&s.text);
+                terms.sort_unstable();
+                terms.dedup();
+                let hits = terms
+                    .iter()
+                    .filter(|t| query_terms.binary_search(t).is_ok())
+                    .count();
+                hits >= self.min_hits
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Fraction of the corpus surviving the filter (diagnostics; the paper
+    /// reports ~10% for its keyword lists).
+    pub fn survival_rate(&self, sentences: &[DatedSentence], query: &str) -> f64 {
+        if sentences.is_empty() {
+            return 0.0;
+        }
+        self.filter(sentences, query).len() as f64 / sentences.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_temporal::Date;
+
+    fn sent(text: &str) -> DatedSentence {
+        let d = Date::from_days(17000);
+        DatedSentence {
+            date: d,
+            pub_date: d,
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: false,
+        }
+    }
+
+    #[test]
+    fn keeps_matching_sentences() {
+        let corpus = vec![
+            sent("the summit between leaders was historic"),
+            sent("markets rallied on earnings"),
+            sent("nuclear summit talks continue"),
+        ];
+        let kept = KeywordFilter::default().filter(&corpus, "summit nuclear");
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|s| s.text.contains("summit")));
+    }
+
+    #[test]
+    fn min_hits_two_is_stricter() {
+        let corpus = vec![
+            sent("the summit between leaders was historic"),
+            sent("nuclear summit talks continue"),
+        ];
+        let strict = KeywordFilter { min_hits: 2 };
+        let kept = strict.filter(&corpus, "summit nuclear");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].text.contains("nuclear"));
+    }
+
+    #[test]
+    fn stemming_matches_inflections() {
+        let corpus = vec![sent("negotiations stalled again today")];
+        let kept = KeywordFilter::default().filter(&corpus, "negotiation");
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_passes_everything() {
+        let corpus = vec![sent("anything at all")];
+        let kept = KeywordFilter::default().filter(&corpus, "");
+        assert_eq!(kept.len(), 1);
+        // Pure stopwords analyze to nothing: same behaviour.
+        let kept = KeywordFilter::default().filter(&corpus, "the of and");
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn survival_rate() {
+        let corpus = vec![
+            sent("summit talks"),
+            sent("unrelated content"),
+            sent("more summit news"),
+            sent("weather report"),
+        ];
+        let rate = KeywordFilter::default().survival_rate(&corpus, "summit");
+        assert!((rate - 0.5).abs() < 1e-12);
+        assert_eq!(KeywordFilter::default().survival_rate(&[], "summit"), 0.0);
+    }
+}

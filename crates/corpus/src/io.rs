@@ -1,0 +1,60 @@
+//! Dataset (de)serialization: save generated datasets to JSON and reload
+//! them, so experiment runs can pin an exact corpus (or ship one for
+//! inspection) independent of generator-version drift.
+
+use crate::model::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialize a dataset to pretty JSON at `path` (creates parent dirs).
+pub fn save_json(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string(dataset).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Load a dataset previously written by [`save_json`].
+pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn roundtrip() {
+        let ds = generate(&SynthConfig::tiny());
+        let path = std::env::temp_dir().join(format!("tl_ds_{}.json", std::process::id()));
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        fs::remove_file(&path).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.topics.len(), ds.topics.len());
+        for (a, b) in ds.topics.iter().zip(&back.topics) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.articles.len(), b.articles.len());
+            assert_eq!(a.articles[0].sentences, b.articles[0].sentences);
+            assert_eq!(a.timelines[0].entries, b.timelines[0].entries);
+        }
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_json(Path::new("/nonexistent/nope.json")).is_err());
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = std::env::temp_dir().join(format!("tl_garbage_{}.json", std::process::id()));
+        fs::write(&path, "{not json").unwrap();
+        let r = load_json(&path);
+        fs::remove_file(&path).unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Dataset substrate for the WILSON reproduction.
+//!
+//! The paper evaluates on *Timeline17* (Tran et al. 2013) and *Crisis*
+//! (Tran et al. 2015): per-topic corpora of news articles plus
+//! journalist-written ground-truth timelines (Table 4). Those corpora are
+//! not redistributable here, so this crate provides both:
+//!
+//! * [`model`] — the shared data model: articles, ground-truth timelines,
+//!   topic corpora, datasets and evaluation units,
+//! * [`synth`] — a *seeded generative news model* calibrated to Table 4
+//!   that reproduces the statistical structure the algorithms exploit
+//!   (event bursts, past-skewed date references, shared event vocabulary),
+//! * [`preprocess`] — the tokenize + temporally-tag pipeline producing the
+//!   dated-sentence corpus `{(date_i, sentence_i)}` of Definition 2,
+//! * [`stats`] — dataset overview statistics (regenerates Table 4),
+//! * [`loader`] — a loader for the original l3s on-disk layout, so the real
+//!   datasets drop in unchanged when available,
+//! * [`wordbank`] — the English word inventory backing the generator.
+#![warn(missing_docs)]
+
+pub mod filter;
+pub mod io;
+pub mod loader;
+pub mod model;
+pub mod preprocess;
+pub mod render;
+pub mod stats;
+pub mod synth;
+pub mod wordbank;
+
+pub use filter::KeywordFilter;
+pub use model::{
+    Article, Dataset, DatedSentence, EvalUnit, Timeline, TimelineGenerator, TopicCorpus,
+};
+pub use preprocess::dated_sentences;
+pub use stats::{dataset_stats, DatasetStats};
+pub use synth::{generate, SynthConfig};

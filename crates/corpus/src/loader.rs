@@ -1,0 +1,338 @@
+//! Loader for the original l3s on-disk dataset layout.
+//!
+//! The Timeline17 / Crisis release (http://l3s.de/~gtran/timeline/) ships
+//! per-topic directories:
+//!
+//! ```text
+//! <root>/<topic>/InputDocs/<YYYY-MM-DD>/<doc>.txt   # articles by pub date
+//! <root>/<topic>/timelines/<source>.txt             # ground-truth timelines
+//! ```
+//!
+//! Timeline files interleave date lines with daily-summary sentences,
+//! blocks separated by dashed lines:
+//!
+//! ```text
+//! 2011-01-25
+//! Protesters take to the streets of Cairo.
+//! --------------------------------
+//! 2011-02-11
+//! Mubarak steps down.
+//! --------------------------------
+//! ```
+//!
+//! This loader is tolerant: article files may hold one sentence per line or
+//! raw paragraphs (then split with [`tl_nlp::split_sentences`]); unparsable
+//! entries are skipped with a count in the returned report. The synthetic
+//! generator is the default data source — this exists so the real corpora
+//! drop in without code changes.
+
+use crate::model::{Article, Dataset, Timeline, TopicCorpus};
+use std::fs;
+use std::path::Path;
+use tl_temporal::Date;
+
+/// What the loader skipped, for transparency.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Article files whose date directory failed to parse.
+    pub skipped_docs: usize,
+    /// Timeline blocks whose date line failed to parse.
+    pub skipped_blocks: usize,
+}
+
+/// Load a dataset from an l3s-layout directory tree.
+///
+/// Returns `Ok((dataset, report))`; IO errors abort, format oddities are
+/// skipped and counted.
+pub fn load_l3s(root: &Path, name: &str) -> std::io::Result<(Dataset, LoadReport)> {
+    let mut report = LoadReport::default();
+    let mut topics = Vec::new();
+    let mut topic_dirs: Vec<_> = fs::read_dir(root)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.path())
+        .collect();
+    topic_dirs.sort();
+    for dir in topic_dirs {
+        let topic_name = dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut articles = Vec::new();
+        let input_docs = dir.join("InputDocs");
+        if input_docs.is_dir() {
+            let mut date_dirs: Vec<_> = fs::read_dir(&input_docs)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            date_dirs.sort();
+            for date_dir in date_dirs {
+                let date_str = date_dir
+                    .file_name()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let Ok(pub_date) = date_str.parse::<Date>() else {
+                    report.skipped_docs += 1;
+                    continue;
+                };
+                let mut files: Vec<_> = fs::read_dir(&date_dir)?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.is_file())
+                    .collect();
+                files.sort();
+                for file in files {
+                    let text = fs::read_to_string(&file)?;
+                    let sentences = split_article(&text);
+                    if sentences.is_empty() {
+                        report.skipped_docs += 1;
+                        continue;
+                    }
+                    articles.push(Article {
+                        id: articles.len(),
+                        pub_date,
+                        sentences,
+                    });
+                }
+            }
+        }
+        let mut timelines = Vec::new();
+        let tl_dir = dir.join("timelines");
+        if tl_dir.is_dir() {
+            let mut files: Vec<_> = fs::read_dir(&tl_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_file())
+                .collect();
+            files.sort();
+            for file in files {
+                let text = fs::read_to_string(&file)?;
+                let (tl, skipped) = parse_timeline(&text);
+                report.skipped_blocks += skipped;
+                if tl.num_dates() > 0 {
+                    timelines.push(tl);
+                }
+            }
+        }
+        // Query defaults to the topic directory name with separators spaced.
+        let query = topic_name.replace(['_', '-'], " ");
+        topics.push(TopicCorpus {
+            name: topic_name,
+            query,
+            articles,
+            timelines,
+        });
+    }
+    Ok((
+        Dataset {
+            name: name.to_string(),
+            topics,
+        },
+        report,
+    ))
+}
+
+/// Split an article file into sentences: each non-empty line is run through
+/// the sentence splitter, so both one-sentence-per-line files and raw
+/// paragraph files come out right.
+fn split_article(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .flat_map(tl_nlp::split_sentences)
+        .collect()
+}
+
+/// Parse a timeline file; returns the timeline and the number of skipped
+/// blocks.
+fn parse_timeline(text: &str) -> (Timeline, usize) {
+    let mut entries: Vec<(Date, Vec<String>)> = Vec::new();
+    let mut skipped = 0usize;
+    let mut current: Option<(Date, Vec<String>)> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.chars().all(|c| c == '-') && line.len() >= 4 {
+            if let Some(e) = current.take() {
+                if e.1.is_empty() {
+                    skipped += 1;
+                } else {
+                    entries.push(e);
+                }
+            }
+            continue;
+        }
+        if let Ok(date) = line.parse::<Date>() {
+            if let Some(e) = current.take() {
+                if e.1.is_empty() {
+                    skipped += 1;
+                } else {
+                    entries.push(e);
+                }
+            }
+            current = Some((date, Vec::new()));
+        } else if let Some((_, sents)) = current.as_mut() {
+            sents.push(line.to_string());
+        } else {
+            skipped += 1;
+        }
+    }
+    if let Some(e) = current.take() {
+        if e.1.is_empty() {
+            skipped += 1;
+        } else {
+            entries.push(e);
+        }
+    }
+    (Timeline::new(entries), skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_timeline_blocks() {
+        let text = "\
+2011-01-25
+Protesters take to the streets of Cairo.
+Police respond with tear gas.
+--------------------------------
+2011-02-11
+Mubarak steps down.
+--------------------------------
+";
+        let (tl, skipped) = parse_timeline(text);
+        assert_eq!(skipped, 0);
+        assert_eq!(tl.num_dates(), 2);
+        assert_eq!(tl.entries[0].1.len(), 2);
+        assert_eq!(tl.entries[1].1, vec!["Mubarak steps down.".to_string()]);
+    }
+
+    #[test]
+    fn parse_timeline_skips_garbage() {
+        let text = "\
+not a date line
+2011-01-25
+A summary sentence.
+2011-99-99
+2011-02-11
+Another summary.
+";
+        let (tl, skipped) = parse_timeline(text);
+        // "not a date line" before any date is skipped; "2011-99-99" is an
+        // unparsable date treated as a summary line of the 01-25 block.
+        assert!(skipped >= 1);
+        assert_eq!(tl.num_dates(), 2);
+    }
+
+    #[test]
+    fn split_article_line_mode_vs_paragraph_mode() {
+        let per_line = "First sentence.\nSecond sentence.\n";
+        assert_eq!(split_article(per_line).len(), 2);
+        let paragraph = "First sentence. Second sentence. Third one here.";
+        assert_eq!(split_article(paragraph).len(), 3);
+        assert!(split_article("  \n ").is_empty());
+    }
+
+    #[test]
+    fn load_l3s_roundtrip() {
+        let root = std::env::temp_dir().join(format!("tl_l3s_test_{}", std::process::id()));
+        let topic = root.join("egypt_crisis");
+        fs::create_dir_all(topic.join("InputDocs/2011-01-25")).unwrap();
+        fs::create_dir_all(topic.join("timelines")).unwrap();
+        fs::write(
+            topic.join("InputDocs/2011-01-25/doc1.txt"),
+            "Protests erupted in Cairo. Thousands marched downtown.\n",
+        )
+        .unwrap();
+        fs::write(
+            topic.join("timelines/bbc.txt"),
+            "2011-01-25\nProtests erupt across Egypt.\n----\n",
+        )
+        .unwrap();
+        // A malformed date directory must be skipped, not fatal.
+        fs::create_dir_all(topic.join("InputDocs/not-a-date")).unwrap();
+
+        let (ds, report) = load_l3s(&root, "test").unwrap();
+        fs::remove_dir_all(&root).unwrap();
+
+        assert_eq!(ds.topics.len(), 1);
+        let t = &ds.topics[0];
+        assert_eq!(t.name, "egypt_crisis");
+        assert_eq!(t.query, "egypt crisis");
+        assert_eq!(t.articles.len(), 1);
+        assert_eq!(t.articles[0].sentences.len(), 2);
+        assert_eq!(t.timelines.len(), 1);
+        assert_eq!(t.timelines[0].num_dates(), 1);
+        assert_eq!(report.skipped_docs, 1);
+    }
+}
+
+/// Export a dataset to the l3s on-disk layout (inverse of [`load_l3s`]),
+/// so synthetic corpora can be materialized for inspection or for tools
+/// that consume the original format. One file per article, named
+/// `doc<id>.txt`, one sentence per line; timelines as
+/// `timelines/timeline<k>.txt` in the dashed-block format.
+pub fn export_l3s(dataset: &crate::model::Dataset, root: &Path) -> std::io::Result<()> {
+    for topic in &dataset.topics {
+        let tdir = root.join(&topic.name);
+        for article in &topic.articles {
+            let ddir = tdir.join("InputDocs").join(article.pub_date.to_string());
+            fs::create_dir_all(&ddir)?;
+            fs::write(
+                ddir.join(format!("doc{}.txt", article.id)),
+                article.sentences.join("\n") + "\n",
+            )?;
+        }
+        let tldir = tdir.join("timelines");
+        fs::create_dir_all(&tldir)?;
+        for (k, tl) in topic.timelines.iter().enumerate() {
+            let mut out = String::new();
+            for (date, sents) in &tl.entries {
+                out.push_str(&date.to_string());
+                out.push('\n');
+                for s in sents {
+                    out.push_str(s);
+                    out.push('\n');
+                }
+                out.push_str("--------------------------------\n");
+            }
+            fs::write(tldir.join(format!("timeline{k}.txt")), out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn export_then_load_round_trips() {
+        let ds = generate(&SynthConfig::tiny());
+        let root = std::env::temp_dir().join(format!("tl_l3s_export_{}", std::process::id()));
+        export_l3s(&ds, &root).unwrap();
+        let (back, report) = load_l3s(&root, "roundtrip").unwrap();
+        fs::remove_dir_all(&root).unwrap();
+
+        assert_eq!(report.skipped_docs, 0);
+        assert_eq!(report.skipped_blocks, 0);
+        assert_eq!(back.topics.len(), ds.topics.len());
+        for (orig, loaded) in ds.topics.iter().zip(&back.topics) {
+            assert_eq!(orig.articles.len(), loaded.articles.len());
+            assert_eq!(orig.timelines.len(), loaded.timelines.len());
+            // Sentence totals survive (article ids may be renumbered by
+            // pub-date ordering, which the generator already applies).
+            assert_eq!(orig.num_sentences(), loaded.num_sentences());
+            for (a, b) in orig.timelines.iter().zip(&loaded.timelines) {
+                assert_eq!(a.dates(), b.dates());
+                assert_eq!(a.num_sentences(), b.num_sentences());
+            }
+        }
+    }
+}

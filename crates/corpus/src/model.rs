@@ -1,0 +1,277 @@
+//! The shared data model: articles, timelines, topics, datasets.
+
+use serde::{Deserialize, Serialize};
+use tl_temporal::Date;
+
+/// A news article: publication date plus pre-split sentences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Article {
+    /// Stable id within its topic corpus.
+    pub id: usize,
+    /// Publication date.
+    pub pub_date: Date,
+    /// Sentences in document order.
+    pub sentences: Vec<String>,
+}
+
+impl Article {
+    /// Full text (sentences joined by spaces).
+    pub fn text(&self) -> String {
+        self.sentences.join(" ")
+    }
+}
+
+/// A timeline: chronologically ordered `(date, daily summary)` entries
+/// (Definition 1 of the paper).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Entries sorted by date; each date carries one or more sentences.
+    pub entries: Vec<(Date, Vec<String>)>,
+}
+
+impl Timeline {
+    /// Build from entries, sorting by date and merging duplicate dates.
+    pub fn new(mut entries: Vec<(Date, Vec<String>)>) -> Self {
+        entries.sort_by_key(|(d, _)| *d);
+        let mut merged: Vec<(Date, Vec<String>)> = Vec::with_capacity(entries.len());
+        for (d, sents) in entries {
+            match merged.last_mut() {
+                Some((last, acc)) if *last == d => acc.extend(sents),
+                _ => merged.push((d, sents)),
+            }
+        }
+        Self { entries: merged }
+    }
+
+    /// The selected dates in chronological order.
+    pub fn dates(&self) -> Vec<Date> {
+        self.entries.iter().map(|(d, _)| *d).collect()
+    }
+
+    /// Number of dates.
+    pub fn num_dates(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of summary sentences.
+    pub fn num_sentences(&self) -> usize {
+        self.entries.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Average sentences per date — the paper sets the generation parameter
+    /// `N` to this value rounded (§3.1.3).
+    pub fn avg_sentences_per_date(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.num_sentences() as f64 / self.num_dates() as f64
+        }
+    }
+
+    /// The `N` hyper-parameter derived from this ground truth: rounded
+    /// average sentences per date, at least 1.
+    pub fn target_sentences_per_date(&self) -> usize {
+        (self.avg_sentences_per_date().round() as usize).max(1)
+    }
+
+    /// First and last date, if non-empty.
+    pub fn span(&self) -> Option<(Date, Date)> {
+        match (self.entries.first(), self.entries.last()) {
+            (Some((a, _)), Some((b, _))) => Some((*a, *b)),
+            _ => None,
+        }
+    }
+
+    /// View as the `&[(Date, Vec<String>)]` slice the evaluators take.
+    pub fn as_slice(&self) -> &[(Date, Vec<String>)] {
+        &self.entries
+    }
+}
+
+/// A topic: its article corpus, topic query, and ground-truth timelines
+/// (one per news agency in the original datasets).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicCorpus {
+    /// Topic name, e.g. `"egypt-crisis"`.
+    pub name: String,
+    /// The topic query `q` (keywords) used for W4/BM25 relevance.
+    pub query: String,
+    /// The article pool shared by all of this topic's timelines.
+    pub articles: Vec<Article>,
+    /// Journalist ground-truth timelines.
+    pub timelines: Vec<Timeline>,
+}
+
+impl TopicCorpus {
+    /// Total sentences in the article pool.
+    pub fn num_sentences(&self) -> usize {
+        self.articles.iter().map(|a| a.sentences.len()).sum()
+    }
+
+    /// Publication-date span of the corpus.
+    pub fn span(&self) -> Option<(Date, Date)> {
+        let min = self.articles.iter().map(|a| a.pub_date).min()?;
+        let max = self.articles.iter().map(|a| a.pub_date).max()?;
+        Some((min, max))
+    }
+}
+
+/// A full dataset (Timeline17 or Crisis shaped).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// Topic corpora.
+    pub topics: Vec<TopicCorpus>,
+}
+
+impl Dataset {
+    /// Iterate evaluation units: each ground-truth timeline paired with its
+    /// topic corpus (the granularity of every table in the paper).
+    pub fn eval_units(&self) -> impl Iterator<Item = EvalUnit<'_>> {
+        self.topics.iter().flat_map(|topic| {
+            topic
+                .timelines
+                .iter()
+                .enumerate()
+                .map(move |(i, timeline)| EvalUnit {
+                    topic,
+                    timeline,
+                    timeline_index: i,
+                })
+        })
+    }
+
+    /// Number of evaluation units (= number of ground-truth timelines).
+    pub fn num_timelines(&self) -> usize {
+        self.topics.iter().map(|t| t.timelines.len()).sum()
+    }
+}
+
+/// One evaluation unit: a topic corpus + one of its ground-truth timelines.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalUnit<'a> {
+    /// The shared topic corpus.
+    pub topic: &'a TopicCorpus,
+    /// The ground-truth timeline to evaluate against.
+    pub timeline: &'a Timeline,
+    /// Index of the timeline within the topic.
+    pub timeline_index: usize,
+}
+
+/// A sentence paired with a day-level date (Definition 2): either its
+/// article's publication date or a date its text mentions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatedSentence {
+    /// The paired date.
+    pub date: Date,
+    /// Publication date of the source article.
+    pub pub_date: Date,
+    /// Index of the source article in the topic corpus.
+    pub article: usize,
+    /// Index of the sentence within its article.
+    pub sentence_index: usize,
+    /// The sentence text.
+    pub text: String,
+    /// True if `date` came from a mention in the text (false: pub date).
+    pub from_mention: bool,
+}
+
+/// The interface every timeline-summarization method in this workspace
+/// implements (WILSON and all baselines), so the experiment harness can
+/// treat them uniformly.
+///
+/// Inputs follow §3.1.3 of the paper: the dated-sentence corpus, the topic
+/// query `q`, the number of dates `T` and sentences per date `N` (both
+/// derived from the ground-truth timeline in the standard protocol).
+pub trait TimelineGenerator {
+    /// Human-readable method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Generate a timeline with `t` dates and up to `n` sentences per date.
+    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn timeline_sorts_and_merges() {
+        let t = Timeline::new(vec![
+            (d("2018-06-12"), vec!["b".into()]),
+            (d("2018-03-08"), vec!["a".into()]),
+            (d("2018-06-12"), vec!["c".into()]),
+        ]);
+        assert_eq!(t.num_dates(), 2);
+        assert_eq!(t.dates(), vec![d("2018-03-08"), d("2018-06-12")]);
+        assert_eq!(t.entries[1].1, vec!["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn timeline_stats() {
+        let t = Timeline::new(vec![
+            (d("2018-03-08"), vec!["a".into(), "b".into()]),
+            (d("2018-06-12"), vec!["c".into()]),
+        ]);
+        assert_eq!(t.num_sentences(), 3);
+        assert!((t.avg_sentences_per_date() - 1.5).abs() < 1e-12);
+        assert_eq!(t.target_sentences_per_date(), 2); // 1.5 rounds to 2
+        assert_eq!(t.span(), Some((d("2018-03-08"), d("2018-06-12"))));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::default();
+        assert_eq!(t.num_dates(), 0);
+        assert_eq!(t.avg_sentences_per_date(), 0.0);
+        assert_eq!(t.target_sentences_per_date(), 1);
+        assert_eq!(t.span(), None);
+    }
+
+    #[test]
+    fn eval_units_enumerate_all_timelines() {
+        let topic = |name: &str, n: usize| TopicCorpus {
+            name: name.into(),
+            query: String::new(),
+            articles: vec![],
+            timelines: (0..n).map(|_| Timeline::default()).collect(),
+        };
+        let ds = Dataset {
+            name: "test".into(),
+            topics: vec![topic("a", 2), topic("b", 3)],
+        };
+        assert_eq!(ds.num_timelines(), 5);
+        let units: Vec<_> = ds.eval_units().collect();
+        assert_eq!(units.len(), 5);
+        assert_eq!(units[0].topic.name, "a");
+        assert_eq!(units[4].timeline_index, 2);
+    }
+
+    #[test]
+    fn corpus_span() {
+        let c = TopicCorpus {
+            name: "x".into(),
+            query: String::new(),
+            articles: vec![
+                Article {
+                    id: 0,
+                    pub_date: d("2011-02-01"),
+                    sentences: vec!["s".into()],
+                },
+                Article {
+                    id: 1,
+                    pub_date: d("2011-01-01"),
+                    sentences: vec!["t".into(), "u".into()],
+                },
+            ],
+            timelines: vec![],
+        };
+        assert_eq!(c.span(), Some((d("2011-01-01"), d("2011-02-01"))));
+        assert_eq!(c.num_sentences(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pre-processing: articles → dated sentences (Definition 2).
+//!
+//! Appendix A of the paper: *"If one sentence contains multiple date
+//! expressions, we consider all distinct date-sentence pairs … Besides, each
+//! sentence is also paired with the publication date of the article it
+//! appears in."* This module runs the temporal tagger over every sentence
+//! and emits exactly that pairing.
+
+use crate::model::{Article, DatedSentence};
+use tl_temporal::tagger::Granularity;
+use tl_temporal::{Date, TemporalTagger};
+
+/// Produce the dated-sentence corpus `{(date_i, sentence_i)}` for a set of
+/// articles, restricted to the `[t1, t2]` window when given.
+///
+/// Every sentence yields one pair with its publication date, plus one pair
+/// per *distinct day-granular* date mentioned in its text (month/year
+/// granularity mentions are skipped — WILSON operates on days).
+pub fn dated_sentences(articles: &[Article], window: Option<(Date, Date)>) -> Vec<DatedSentence> {
+    let tagger = TemporalTagger::new();
+    let mut out = Vec::new();
+    for article in articles {
+        for (si, text) in article.sentences.iter().enumerate() {
+            let mut dates: Vec<(Date, bool)> = vec![(article.pub_date, false)];
+            for tag in tagger.tag(text, article.pub_date) {
+                if tag.granularity == Granularity::Day {
+                    dates.push((tag.date, true));
+                }
+            }
+            // Distinct dates only; mention-pairing wins over pub-date
+            // pairing for the same day (it is more informative).
+            dates.sort_by_key(|&(d, from_mention)| (d, !from_mention));
+            dates.dedup_by_key(|&mut (d, _)| d);
+            for (date, from_mention) in dates {
+                if let Some((lo, hi)) = window {
+                    if date < lo || date > hi {
+                        continue;
+                    }
+                }
+                out.push(DatedSentence {
+                    date,
+                    pub_date: article.pub_date,
+                    article: article.id,
+                    sentence_index: si,
+                    text: text.clone(),
+                    from_mention,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Group dated sentences by date, returning `(date, indices)` pairs in
+/// chronological order. Indices point into the input slice.
+pub fn group_by_date(sentences: &[DatedSentence]) -> Vec<(Date, Vec<usize>)> {
+    let mut by_date: std::collections::BTreeMap<Date, Vec<usize>> = Default::default();
+    for (i, s) in sentences.iter().enumerate() {
+        by_date.entry(s.date).or_default().push(i);
+    }
+    by_date.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn article(id: usize, pub_date: &str, sentences: &[&str]) -> Article {
+        Article {
+            id,
+            pub_date: d(pub_date),
+            sentences: sentences.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn pub_date_pairing_always_present() {
+        let a = article(0, "2018-06-01", &["Nothing temporal here."]);
+        let out = dated_sentences(&[a], None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].date, d("2018-06-01"));
+        assert!(!out[0].from_mention);
+    }
+
+    #[test]
+    fn mention_creates_second_pair() {
+        let a = article(0, "2018-06-01", &["The summit will take place on June 12."]);
+        let out = dated_sentences(&[a], None);
+        assert_eq!(out.len(), 2);
+        let mention: Vec<_> = out.iter().filter(|s| s.from_mention).collect();
+        assert_eq!(mention.len(), 1);
+        assert_eq!(mention[0].date, d("2018-06-12"));
+    }
+
+    #[test]
+    fn multiple_mentions_all_paired() {
+        let a = article(
+            0,
+            "2018-06-01",
+            &["Talks on 2018-03-08 led to the 2018-06-12 summit."],
+        );
+        let out = dated_sentences(&[a], None);
+        let dates: Vec<Date> = out.iter().map(|s| s.date).collect();
+        assert!(dates.contains(&d("2018-03-08")));
+        assert!(dates.contains(&d("2018-06-12")));
+        assert!(dates.contains(&d("2018-06-01"))); // pub date
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn mention_equal_to_pub_date_deduped() {
+        let a = article(
+            0,
+            "2018-06-12",
+            &["The summit took place on June 12, 2018."],
+        );
+        let out = dated_sentences(&[a], None);
+        assert_eq!(out.len(), 1);
+        // The mention pairing wins the dedup.
+        assert!(out[0].from_mention);
+    }
+
+    #[test]
+    fn year_granularity_skipped() {
+        let a = article(0, "2012-05-01", &["The war started in 2011."]);
+        let out = dated_sentences(&[a], None);
+        assert_eq!(out.len(), 1); // only pub-date pair
+        assert!(!out[0].from_mention);
+    }
+
+    #[test]
+    fn window_filters() {
+        let a = article(
+            0,
+            "2018-06-01",
+            &["Talks on 2018-03-08 led to the 2018-06-12 summit."],
+        );
+        let out = dated_sentences(&[a], Some((d("2018-06-01"), d("2018-06-30"))));
+        let dates: Vec<Date> = out.iter().map(|s| s.date).collect();
+        assert!(!dates.contains(&d("2018-03-08")));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn group_by_date_chronological() {
+        let a = article(
+            0,
+            "2018-06-01",
+            &["On 2018-03-08 talks began.", "More news."],
+        );
+        let out = dated_sentences(&[a], None);
+        let groups = group_by_date(&out);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, d("2018-03-08"));
+        assert_eq!(groups[1].0, d("2018-06-01"));
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, out.len());
+    }
+
+    #[test]
+    fn indices_track_source() {
+        let a0 = article(0, "2018-06-01", &["First sentence.", "Second sentence."]);
+        let a1 = article(1, "2018-06-02", &["Third sentence."]);
+        let out = dated_sentences(&[a0, a1], None);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].article, 0);
+        assert_eq!(out[0].sentence_index, 0);
+        assert_eq!(out[1].sentence_index, 1);
+        assert_eq!(out[2].article, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Dataset overview statistics — regenerates Table 4 of the paper.
+
+use crate::model::Dataset;
+
+/// Aggregate statistics in the shape of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// Number of ground-truth timelines.
+    pub num_timelines: usize,
+    /// Average number of articles per timeline (per evaluation unit; each
+    /// unit sees its whole topic corpus — Table 4 counts it that way).
+    pub avg_docs: f64,
+    /// Average number of corpus sentences per timeline.
+    pub avg_sents: f64,
+    /// Average corpus duration in days per timeline.
+    pub avg_duration_days: f64,
+}
+
+/// Compute Table-4-style statistics.
+pub fn dataset_stats(dataset: &Dataset) -> DatasetStats {
+    let mut docs = 0usize;
+    let mut sents = 0usize;
+    let mut duration = 0i64;
+    let mut units = 0usize;
+    for topic in &dataset.topics {
+        let n = topic.timelines.len();
+        units += n;
+        docs += topic.articles.len() * n;
+        sents += topic.num_sentences() * n;
+        if let Some((lo, hi)) = topic.span() {
+            duration += (hi.diff_days(lo) as i64 + 1) * n as i64;
+        }
+    }
+    let k = units.max(1) as f64;
+    DatasetStats {
+        name: dataset.name.clone(),
+        num_topics: dataset.topics.len(),
+        num_timelines: units,
+        avg_docs: docs as f64 / k,
+        avg_sents: sents as f64 / k,
+        avg_duration_days: duration as f64 / k,
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} topics={:<3} timelines={:<3} avg_docs={:<8.0} avg_sents={:<9.0} avg_duration={:.0}d",
+            self.name, self.num_topics, self.num_timelines, self.avg_docs,
+            self.avg_sents, self.avg_duration_days
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn tiny_stats_consistent() {
+        let ds = generate(&SynthConfig::tiny());
+        let s = dataset_stats(&ds);
+        assert_eq!(s.num_topics, 2);
+        assert_eq!(s.num_timelines, 3);
+        assert!(s.avg_docs > 0.0);
+        assert!(s.avg_sents > s.avg_docs); // multiple sentences per doc
+        assert!(s.avg_duration_days > 0.0 && s.avg_duration_days <= 90.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset {
+            name: "empty".into(),
+            topics: vec![],
+        };
+        let s = dataset_stats(&ds);
+        assert_eq!(s.num_timelines, 0);
+        assert_eq!(s.avg_docs, 0.0);
+    }
+
+    #[test]
+    fn scaled_timeline17_approaches_table4_ratios() {
+        // At scale 0.05, sentences/doc must still be ≈ 50 and duration ≈ 242.
+        let ds = generate(&SynthConfig::timeline17().with_scale(0.05));
+        let s = dataset_stats(&ds);
+        let sents_per_doc = s.avg_sents / s.avg_docs;
+        assert!(
+            (35.0..=65.0).contains(&sents_per_doc),
+            "sents/doc = {sents_per_doc}"
+        );
+        assert!(
+            (150.0..=242.0).contains(&s.avg_duration_days),
+            "duration = {}",
+            s.avg_duration_days
+        );
+        assert_eq!(s.num_timelines, 19);
+        assert_eq!(s.num_topics, 9);
+    }
+}

@@ -1,0 +1,204 @@
+//! Statistical properties of the synthetic news generator.
+//!
+//! DESIGN.md §2 claims the generator reproduces the structural properties
+//! the WILSON paper's algorithms exploit; these tests measure each claim
+//! on generated data rather than trusting the generator's intent.
+
+use tl_corpus::{dated_sentences, generate, SynthConfig};
+use tl_temporal::Date;
+
+fn t17_small() -> tl_corpus::Dataset {
+    generate(&SynthConfig::timeline17().with_scale(0.05))
+}
+
+/// "References overwhelmingly point to past events": the fraction of
+/// mention pairings whose mentioned date precedes the publication date
+/// must dominate.
+#[test]
+fn references_point_backwards() {
+    let ds = t17_small();
+    let mut past = 0usize;
+    let mut future = 0usize;
+    for topic in &ds.topics {
+        for s in dated_sentences(&topic.articles, None) {
+            if s.from_mention && s.date != s.pub_date {
+                if s.date < s.pub_date {
+                    past += 1;
+                } else {
+                    future += 1;
+                }
+            }
+        }
+    }
+    let frac = past as f64 / (past + future).max(1) as f64;
+    assert!(frac > 0.8, "only {frac:.2} of references point backwards");
+}
+
+/// "Report volume is proportional to salience": ground-truth dates (the
+/// most salient events) must attract more dated sentences than the median
+/// corpus date.
+#[test]
+fn gt_dates_attract_above_median_volume() {
+    let ds = t17_small();
+    for topic in ds.topics.iter().take(3) {
+        let corpus = dated_sentences(&topic.articles, None);
+        let mut volume: std::collections::HashMap<Date, usize> = Default::default();
+        for s in &corpus {
+            *volume.entry(s.date).or_insert(0) += 1;
+        }
+        let mut all: Vec<usize> = volume.values().copied().collect();
+        all.sort_unstable();
+        let median = all[all.len() / 2] as f64;
+        let gt = &topic.timelines[0];
+        let gt_mean: f64 = gt
+            .dates()
+            .iter()
+            .map(|d| volume.get(d).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            / gt.num_dates() as f64;
+        assert!(
+            gt_mean > median,
+            "{}: gt mean volume {gt_mean:.1} <= median {median}",
+            topic.name
+        );
+    }
+}
+
+/// "Ground-truth timelines distribute roughly uniformly" (Fig. 4): the
+/// fraction of gt dates in each third of the corpus span must be balanced
+/// within a loose tolerance.
+#[test]
+fn gt_dates_roughly_uniform_over_span() {
+    let ds = t17_small();
+    let mut thirds = [0usize; 3];
+    let mut total = 0usize;
+    for topic in &ds.topics {
+        let Some((lo, hi)) = topic.span() else {
+            continue;
+        };
+        let span = hi.diff_days(lo).max(1) as f64;
+        for gt in &topic.timelines {
+            for d in gt.dates() {
+                let frac = d.diff_days(lo) as f64 / span;
+                let bin = ((frac * 3.0) as usize).min(2);
+                thirds[bin] += 1;
+                total += 1;
+            }
+        }
+    }
+    for (i, &c) in thirds.iter().enumerate() {
+        let frac = c as f64 / total as f64;
+        assert!(
+            (0.15..=0.55).contains(&frac),
+            "third {i} holds {frac:.2} of gt dates: {thirds:?}"
+        );
+    }
+}
+
+/// "Same-event sentences share vocabulary": sentences mention-paired to a
+/// gt date must be lexically closer to that date's gt summary than to a
+/// random other date's summary.
+#[test]
+fn mention_sentences_match_their_events_summary() {
+    let ds = t17_small();
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    let gt = &topic.timelines[0];
+    let word_bag = |text: &str| -> std::collections::HashSet<String> {
+        text.to_lowercase()
+            .split_whitespace()
+            .map(|w| {
+                w.trim_matches(|c: char| !c.is_alphanumeric() && c != '-')
+                    .to_string()
+            })
+            .filter(|w| w.len() > 3)
+            .collect()
+    };
+    let overlap = |a: &std::collections::HashSet<String>, b: &std::collections::HashSet<String>| {
+        if a.is_empty() {
+            return 0.0;
+        }
+        a.iter().filter(|w| b.contains(*w)).count() as f64 / a.len() as f64
+    };
+    let entries = &gt.entries;
+    let mut own_total = 0.0;
+    let mut other_total = 0.0;
+    let mut n = 0usize;
+    for (k, (date, sents)) in entries.iter().enumerate() {
+        let own_bag = word_bag(&sents.join(" "));
+        let other = &entries[(k + entries.len() / 2) % entries.len()];
+        let other_bag = word_bag(&other.1.join(" "));
+        for s in corpus
+            .iter()
+            .filter(|s| s.from_mention && s.date == *date)
+            .take(10)
+        {
+            let bag = word_bag(&s.text);
+            own_total += overlap(&bag, &own_bag);
+            other_total += overlap(&bag, &other_bag);
+            n += 1;
+        }
+    }
+    assert!(n > 20, "too few mention sentences sampled: {n}");
+    assert!(
+        own_total > other_total * 1.5,
+        "own-event overlap {own_total:.1} not clearly above cross-event {other_total:.1}"
+    );
+}
+
+/// Embedded date expressions must resolve to the intended day: every
+/// mention pairing's date string round-trips through the tagger (checked
+/// implicitly by construction — here we just require a healthy mention
+/// rate, since mentions are what the whole date graph is made of).
+#[test]
+fn mention_rate_is_substantial() {
+    let ds = t17_small();
+    let corpus = dated_sentences(&ds.topics[0].articles, None);
+    let mentions = corpus.iter().filter(|s| s.from_mention).count();
+    let rate = mentions as f64 / corpus.len() as f64;
+    assert!(
+        (0.05..=0.6).contains(&rate),
+        "mention rate {rate:.3} outside plausible news range"
+    );
+}
+
+/// Coverage noise: media volume must NOT perfectly follow journalist
+/// salience — the rank correlation between a date's volume and gt
+/// membership should be positive but far from 1 (DESIGN.md: volume-based
+/// methods must not get a free ride).
+#[test]
+fn volume_is_noisy_proxy_for_gt() {
+    let ds = t17_small();
+    let mut in_gt_better = 0usize;
+    let mut trials = 0usize;
+    for topic in &ds.topics {
+        let corpus = dated_sentences(&topic.articles, None);
+        let mut volume: std::collections::HashMap<Date, usize> = Default::default();
+        for s in &corpus {
+            *volume.entry(s.date).or_insert(0) += 1;
+        }
+        let gt: std::collections::HashSet<Date> = topic.timelines[0].dates().into_iter().collect();
+        // Compare each gt date against a non-gt date with the next-closest
+        // volume: gt should win often but not always.
+        let mut non_gt: Vec<usize> = volume
+            .iter()
+            .filter(|(d, _)| !gt.contains(d))
+            .map(|(_, &v)| v)
+            .collect();
+        non_gt.sort_unstable_by(|a, b| b.cmp(a));
+        for (i, d) in gt.iter().enumerate() {
+            if let Some(&rival) = non_gt.get(i) {
+                trials += 1;
+                if volume.get(d).copied().unwrap_or(0) > rival {
+                    in_gt_better += 1;
+                }
+            }
+        }
+    }
+    let frac = in_gt_better as f64 / trials.max(1) as f64;
+    assert!(
+        (0.05..=0.95).contains(&frac),
+        "gt-vs-rival volume win rate {frac:.2} — coverage either perfectly \
+         or never tracks salience; both break the evaluation's realism"
+    );
+}

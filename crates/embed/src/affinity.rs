@@ -1,0 +1,382 @@
+//! Affinity Propagation clustering (Frey & Dueck, *Science* 2007).
+//!
+//! AP exchanges two message matrices over a similarity matrix `S`:
+//!
+//! * responsibility `r(i,k)`: how well-suited point `k` is to be the
+//!   exemplar of `i`, relative to other candidates —
+//!   `r(i,k) = s(i,k) − max_{k'≠k} [a(i,k') + s(i,k')]`,
+//! * availability `a(i,k)`: how appropriate it is for `i` to choose `k` —
+//!   `a(i,k) = min(0, r(k,k) + Σ_{i'∉{i,k}} max(0, r(i',k)))` and
+//!   `a(k,k) = Σ_{i'≠k} max(0, r(i',k))`.
+//!
+//! Exemplars are points with `r(k,k) + a(k,k) > 0`; every point is assigned
+//! to its best exemplar. The self-similarity ("preference") controls the
+//! number of clusters — the paper's §3.2.3 uses the default (median
+//! similarity) and takes the resulting cluster count as the timeline's date
+//! count.
+
+/// Configuration for Affinity Propagation.
+#[derive(Debug, Clone, Copy)]
+pub struct AffinityPropagationConfig {
+    /// Message damping in `[0.5, 1)`; scikit-learn default 0.5.
+    pub damping: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Stop after this many iterations without exemplar-set change.
+    pub convergence_iter: usize,
+    /// Self-similarity; `None` = median of off-diagonal similarities.
+    pub preference: Option<f64>,
+}
+
+impl Default for AffinityPropagationConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.5,
+            max_iter: 200,
+            convergence_iter: 15,
+            preference: None,
+        }
+    }
+}
+
+/// Clustering outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterResult {
+    /// Exemplar index per point.
+    pub assignments: Vec<usize>,
+    /// Distinct exemplar indices (sorted).
+    pub exemplars: Vec<usize>,
+    /// Whether the message loop converged before `max_iter`.
+    pub converged: bool,
+}
+
+impl ClusterResult {
+    /// Number of clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.exemplars.len()
+    }
+}
+
+/// Run Affinity Propagation on a dense similarity matrix (row-major,
+/// `n × n`). Higher `s[i][k]` = more similar.
+pub fn affinity_propagation(
+    similarity: &[Vec<f64>],
+    config: &AffinityPropagationConfig,
+) -> ClusterResult {
+    let n = similarity.len();
+    if n == 0 {
+        return ClusterResult {
+            assignments: Vec::new(),
+            exemplars: Vec::new(),
+            converged: true,
+        };
+    }
+    for row in similarity {
+        assert_eq!(row.len(), n, "similarity matrix must be square");
+    }
+    assert!(
+        (0.5..1.0).contains(&config.damping),
+        "damping must be in [0.5, 1)"
+    );
+    if n == 1 {
+        return ClusterResult {
+            assignments: vec![0],
+            exemplars: vec![0],
+            converged: true,
+        };
+    }
+
+    // Working copy with preferences on the diagonal.
+    let pref = config
+        .preference
+        .unwrap_or_else(|| median_off_diagonal(similarity));
+    let mut s: Vec<f64> = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            s[i * n + k] = if i == k { pref } else { similarity[i][k] };
+        }
+    }
+    // Tiny deterministic jitter breaks exact symmetry ties (scikit-learn
+    // adds random noise; we derive it from the indices to stay seedless).
+    #[allow(clippy::needless_range_loop)] // i and k jointly form the jitter key
+    for i in 0..n {
+        for k in 0..n {
+            let jitter = ((i * 2654435761 + k * 40503) % 1000) as f64 * 1e-12;
+            s[i * n + k] += jitter;
+        }
+    }
+
+    let damping = config.damping;
+    let mut r = vec![0.0f64; n * n];
+    let mut a = vec![0.0f64; n * n];
+    let mut last_exemplars: Vec<usize> = Vec::new();
+    let mut stable = 0usize;
+    let mut converged = false;
+
+    for _ in 0..config.max_iter {
+        // --- responsibilities ---
+        for i in 0..n {
+            // Top-2 of a(i,k) + s(i,k) over k.
+            let (mut best, mut second, mut best_k) = (f64::NEG_INFINITY, f64::NEG_INFINITY, 0);
+            for k in 0..n {
+                let v = a[i * n + k] + s[i * n + k];
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_k = k;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            for k in 0..n {
+                let cutoff = if k == best_k { second } else { best };
+                let new_r = s[i * n + k] - cutoff;
+                r[i * n + k] = damping * r[i * n + k] + (1.0 - damping) * new_r;
+            }
+        }
+        // --- availabilities ---
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for i in 0..n {
+                if i != k {
+                    pos_sum += r[i * n + k].max(0.0);
+                }
+            }
+            let rkk = r[k * n + k];
+            for i in 0..n {
+                let new_a = if i == k {
+                    pos_sum
+                } else {
+                    let adjusted = rkk + pos_sum - r[i * n + k].max(0.0);
+                    adjusted.min(0.0)
+                };
+                a[i * n + k] = damping * a[i * n + k] + (1.0 - damping) * new_a;
+            }
+        }
+        // --- exemplar check ---
+        let exemplars: Vec<usize> = (0..n)
+            .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+            .collect();
+        if exemplars == last_exemplars && !exemplars.is_empty() {
+            stable += 1;
+            if stable >= config.convergence_iter {
+                converged = true;
+                break;
+            }
+        } else {
+            stable = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    let mut exemplars = last_exemplars;
+    if exemplars.is_empty() {
+        // Degenerate run (all messages tied): fall back to the single best
+        // self-score so callers always get a valid clustering.
+        let best = (0..n)
+            .max_by(|&x, &y| {
+                (r[x * n + x] + a[x * n + x])
+                    .partial_cmp(&(r[y * n + y] + a[y * n + y]))
+                    .expect("finite messages")
+            })
+            .expect("n > 0");
+        exemplars = vec![best];
+    }
+
+    // Assign each point to its most similar exemplar; exemplars to
+    // themselves.
+    let assignments: Vec<usize> = (0..n)
+        .map(|i| {
+            if exemplars.contains(&i) {
+                i
+            } else {
+                *exemplars
+                    .iter()
+                    .max_by(|&&x, &&y| {
+                        s[i * n + x]
+                            .partial_cmp(&s[i * n + y])
+                            .expect("finite similarities")
+                    })
+                    .expect("non-empty exemplars")
+            }
+        })
+        .collect();
+
+    ClusterResult {
+        assignments,
+        exemplars,
+        converged,
+    }
+}
+
+fn median_off_diagonal(s: &[Vec<f64>]) -> f64 {
+    let n = s.len();
+    let mut vals: Vec<f64> = Vec::with_capacity(n * (n - 1));
+    #[allow(clippy::needless_range_loop)] // i and k jointly index the matrix
+    for i in 0..n {
+        for k in 0..n {
+            if i != k {
+                vals.push(s[i][k]);
+            }
+        }
+    }
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
+    let m = vals.len();
+    if m % 2 == 1 {
+        vals[m / 2]
+    } else {
+        (vals[m / 2 - 1] + vals[m / 2]) / 2.0
+    }
+}
+
+/// Convenience: cluster points given a similarity function.
+pub fn cluster_by<T, F>(items: &[T], sim: F, config: &AffinityPropagationConfig) -> ClusterResult
+where
+    F: Fn(&T, &T) -> f64,
+{
+    let n = items.len();
+    let matrix: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|k| sim(&items[i], &items[k])).collect())
+        .collect();
+    affinity_propagation(&matrix, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity = negative squared euclidean distance (Frey & Dueck's
+    /// choice for point data).
+    fn neg_sq_dist(points: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|&(x1, y1)| {
+                points
+                    .iter()
+                    .map(|&(x2, y2)| -((x1 - x2).powi(2) + (y1 - y2).powi(2)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = affinity_propagation(&[], &AffinityPropagationConfig::default());
+        assert_eq!(r.num_clusters(), 0);
+        let r = affinity_propagation(&[vec![0.0]], &AffinityPropagationConfig::default());
+        assert_eq!(r.num_clusters(), 1);
+        assert_eq!(r.assignments, vec![0]);
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let points = [
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (10.0, 10.0),
+            (10.1, 10.0),
+            (10.0, 10.1),
+        ];
+        let s = neg_sq_dist(&points);
+        let r = affinity_propagation(&s, &AffinityPropagationConfig::default());
+        assert_eq!(r.num_clusters(), 2, "{r:?}");
+        // Points 0-2 share an exemplar; 3-5 share the other.
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[1], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_eq!(r.assignments[4], r.assignments[5]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+    }
+
+    #[test]
+    fn three_blobs() {
+        let mut points = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (8.0, 0.0), (4.0, 7.0)] {
+            for d in 0..4 {
+                points.push((cx + 0.1 * d as f64, cy + 0.07 * d as f64));
+            }
+        }
+        let s = neg_sq_dist(&points);
+        let r = affinity_propagation(&s, &AffinityPropagationConfig::default());
+        assert_eq!(r.num_clusters(), 3, "{r:?}");
+    }
+
+    #[test]
+    fn preference_controls_cluster_count() {
+        let points: Vec<(f64, f64)> = (0..8).map(|i| (i as f64, 0.0)).collect();
+        let s = neg_sq_dist(&points);
+        let low = affinity_propagation(
+            &s,
+            &AffinityPropagationConfig {
+                preference: Some(-100.0),
+                ..Default::default()
+            },
+        );
+        let high = affinity_propagation(
+            &s,
+            &AffinityPropagationConfig {
+                preference: Some(-0.1),
+                ..Default::default()
+            },
+        );
+        assert!(
+            low.num_clusters() < high.num_clusters(),
+            "{low:?} vs {high:?}"
+        );
+    }
+
+    #[test]
+    fn exemplars_assign_to_themselves() {
+        let points = [(0.0, 0.0), (0.1, 0.1), (5.0, 5.0), (5.1, 5.1)];
+        let s = neg_sq_dist(&points);
+        let r = affinity_propagation(&s, &AffinityPropagationConfig::default());
+        for &e in &r.exemplars {
+            assert_eq!(r.assignments[e], e);
+        }
+        // Every assignment target is an exemplar.
+        for &a in &r.assignments {
+            assert!(r.exemplars.contains(&a));
+        }
+    }
+
+    #[test]
+    fn identical_points_single_cluster() {
+        let s = vec![vec![0.0; 5]; 5]; // all similarities equal
+        let r = affinity_propagation(&s, &AffinityPropagationConfig::default());
+        assert!(r.num_clusters() >= 1);
+        assert_eq!(r.assignments.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        affinity_propagation(&[vec![0.0, 1.0]], &AffinityPropagationConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn bad_damping_rejected() {
+        affinity_propagation(
+            &[vec![0.0]],
+            &AffinityPropagationConfig {
+                damping: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn cluster_by_convenience() {
+        let items = vec![1.0f64, 1.1, 0.9, 9.0, 9.1, 8.9];
+        let r = cluster_by(
+            &items,
+            |a, b| -(a - b).powi(2),
+            &AffinityPropagationConfig::default(),
+        );
+        assert_eq!(r.num_clusters(), 2);
+    }
+}

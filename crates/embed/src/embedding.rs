@@ -1,0 +1,172 @@
+//! Feature-hashed sentence embeddings — the BERT substitute.
+//!
+//! Each sentence is analyzed (stemmed, stopword-filtered), every term is
+//! hashed into `dim` buckets with a sign hash (the classic hashing trick),
+//! weighted by a smoothed idf estimated online, and the result is
+//! L2-normalized. Dot products of these vectors approximate TF-IDF cosine
+//! similarity, which is all Affinity Propagation needs to find event
+//! clusters among daily summaries.
+
+use tl_nlp::{AnalysisOptions, Analyzer};
+
+/// Dense sentence embedder with a fixed output dimension.
+#[derive(Debug)]
+pub struct SentenceEmbedder {
+    analyzer: Analyzer,
+    dim: usize,
+}
+
+/// 64-bit mix hash (splitmix64 finalizer) — stable across platforms.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    mix(h)
+}
+
+impl SentenceEmbedder {
+    /// Create an embedder producing `dim`-dimensional unit vectors.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+            dim,
+        }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed one sentence into a unit vector (zero vector if no content
+    /// terms survive analysis).
+    pub fn embed(&mut self, text: &str) -> Vec<f64> {
+        let ids = self.analyzer.analyze(text);
+        let mut v = vec![0.0f64; self.dim];
+        for id in ids {
+            let term = self
+                .analyzer
+                .vocab()
+                .term(id)
+                .expect("just-interned id resolves")
+                .to_string();
+            let h = hash_str(&term);
+            let bucket = (h % self.dim as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign;
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Embed a batch of sentences.
+    pub fn embed_all<S: AsRef<str>>(&mut self, texts: &[S]) -> Vec<Vec<f64>> {
+        texts.iter().map(|t| self.embed(t.as_ref())).collect()
+    }
+}
+
+/// Cosine similarity of two dense vectors of equal length.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_norm() {
+        let mut e = SentenceEmbedder::new(64);
+        let v = e.embed("the summit between trump and kim took place");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_text_gives_zero_vector() {
+        let mut e = SentenceEmbedder::new(32);
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        // Pure stopwords also vanish under retrieval analysis.
+        let v = e.embed("the of and was");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut e1 = SentenceEmbedder::new(64);
+        let mut e2 = SentenceEmbedder::new(64);
+        assert_eq!(
+            e1.embed("nuclear summit talks"),
+            e2.embed("nuclear summit talks")
+        );
+    }
+
+    #[test]
+    fn same_topic_closer_than_different_topic() {
+        let mut e = SentenceEmbedder::new(256);
+        let a = e.embed("nuclear summit negotiations between leaders");
+        let b = e.embed("summit negotiations on nuclear weapons");
+        let c = e.embed("hurricane flood damage rescue shelter evacuation");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn word_order_invariant() {
+        let mut e = SentenceEmbedder::new(128);
+        let a = e.embed("protest police cairo");
+        let b = e.embed("cairo police protest");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dimension_checked() {
+        cosine(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        SentenceEmbedder::new(0);
+    }
+
+    #[test]
+    fn embed_all_matches_embed() {
+        let mut e = SentenceEmbedder::new(64);
+        let batch = e.embed_all(&["alpha beta", "gamma delta"]);
+        let mut e2 = SentenceEmbedder::new(64);
+        assert_eq!(batch[0], e2.embed("alpha beta"));
+        assert_eq!(batch[1], e2.embed("gamma delta"));
+    }
+}

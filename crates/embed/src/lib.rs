@@ -1,0 +1,17 @@
+//! Embedding substrate for the WILSON reproduction.
+//!
+//! §3.2.3 of the paper (*automatic date compression*) encodes daily
+//! summaries with BERT and clusters them with Affinity Propagation; the
+//! number of detected clusters becomes the number of timeline dates. BERT
+//! is substituted with [`embedding`] — deterministic feature-hashed TF-IDF
+//! projections, which preserve the property AP actually consumes (summaries
+//! about the same event are more similar than summaries about different
+//! events) — while [`affinity`] is a full from-scratch implementation of
+//! Affinity Propagation (Frey & Dueck, *Science* 2007).
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod embedding;
+
+pub use affinity::{affinity_propagation, AffinityPropagationConfig, ClusterResult};
+pub use embedding::SentenceEmbedder;

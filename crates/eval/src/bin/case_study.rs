@@ -1,0 +1,156 @@
+//! Regenerates the paper's **qualitative artifacts**:
+//!
+//! * **Table 10** — side-by-side daily summaries (ground truth vs TILSE's
+//!   two variants vs WILSON) on the dates all four timelines share, with
+//!   token-overlap-vs-ground-truth percentages standing in for the paper's
+//!   colored highlighting,
+//! * **Table 11** — a §5-style query-driven timeline from the real-time
+//!   system (keywords + window → 10 dates), the Trump–Kim-summit demo.
+
+use std::collections::HashSet;
+use tl_baselines::TilseBaseline;
+use tl_corpus::{dated_sentences, TimelineGenerator};
+use tl_eval::protocol::DatasetChoice;
+use tl_wilson::realtime::TimelineQuery;
+use tl_wilson::{RealTimeSystem, Wilson, WilsonConfig};
+
+/// Fraction of a summary's content words that appear in the reference
+/// day's summary (the "red/blue overlap" of Table 10, quantified).
+fn overlap(summary: &[String], reference: &[String]) -> f64 {
+    let bag = |sents: &[String]| -> HashSet<String> {
+        sents
+            .iter()
+            .flat_map(|s| s.split_whitespace())
+            .map(|w| {
+                w.trim_matches(|c: char| !c.is_alphanumeric())
+                    .to_lowercase()
+            })
+            .filter(|w| w.len() > 3)
+            .collect()
+    };
+    let sys = bag(summary);
+    let rf = bag(reference);
+    if sys.is_empty() {
+        return 0.0;
+    }
+    sys.iter().filter(|w| rf.contains(*w)).count() as f64 / sys.len() as f64
+}
+
+fn main() {
+    // --- Table 10 analog ---
+    let ds = DatasetChoice::Timeline17.dataset();
+    let topic = &ds.topics[0];
+    let gt = &topic.timelines[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    let (t, n) = (gt.num_dates(), gt.target_sentences_per_date());
+
+    eprintln!("generating three machine timelines for {} ...", topic.name);
+    let outputs = [
+        (
+            "TLSCONSTRAINTS",
+            TilseBaseline::tls_constraints().generate(&corpus, &topic.query, t, n),
+        ),
+        (
+            "ASMDS",
+            TilseBaseline::asmds().generate(&corpus, &topic.query, t, n),
+        ),
+        (
+            "WILSON",
+            Wilson::new(WilsonConfig::default()).generate(&corpus, &topic.query, t, n),
+        ),
+    ];
+
+    // Dates present in all four timelines (as Table 10 restricts itself to).
+    let mut common: Vec<_> = gt.dates();
+    for (_, tl) in &outputs {
+        let dates: HashSet<_> = tl.dates().into_iter().collect();
+        common.retain(|d| dates.contains(d));
+    }
+    println!(
+        "== Table 10 analog: dates shared by ground truth and all systems ({}) ==",
+        topic.name
+    );
+    println!("(percentages = content-word overlap with the ground-truth entry)\n");
+    for date in common.iter().take(5) {
+        let gt_sents = &gt
+            .entries
+            .iter()
+            .find(|(d, _)| d == date)
+            .expect("common date")
+            .1;
+        println!("--- {date} ---");
+        println!("  GROUND TRUTH:");
+        for s in gt_sents.iter().take(2) {
+            println!("    {s}");
+        }
+        for (name, tl) in &outputs {
+            let sents = &tl
+                .entries
+                .iter()
+                .find(|(d, _)| d == date)
+                .expect("common date")
+                .1;
+            println!(
+                "  {name} (overlap {:.0}%):",
+                overlap(sents, gt_sents) * 100.0
+            );
+            for s in sents.iter().take(2) {
+                println!("    {s}");
+            }
+        }
+        println!();
+    }
+    // Aggregate overlap per system over all common dates (the paper's
+    // qualitative claim: WILSON aligns best with the handcrafted timeline).
+    println!(
+        "mean overlap with ground truth over {} shared dates:",
+        common.len()
+    );
+    for (name, tl) in &outputs {
+        let mut acc = 0.0;
+        for date in &common {
+            let gt_sents = &gt
+                .entries
+                .iter()
+                .find(|(d, _)| d == date)
+                .expect("common")
+                .1;
+            let sents = &tl
+                .entries
+                .iter()
+                .find(|(d, _)| d == date)
+                .expect("common")
+                .1;
+            acc += overlap(sents, gt_sents);
+        }
+        println!(
+            "  {name:<16} {:.1}%",
+            acc / common.len().max(1) as f64 * 100.0
+        );
+    }
+
+    // --- Table 11 analog: query-driven real-time timeline ---
+    println!("\n== Table 11 analog: real-time query-driven timeline ==");
+    let mut system = RealTimeSystem::new(WilsonConfig::default());
+    system.ingest_all(&topic.articles);
+    let cfg = tl_corpus::SynthConfig::timeline17();
+    let tl = system.timeline(&TimelineQuery {
+        keywords: topic.query.clone(),
+        window: (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        ),
+        num_dates: 10,
+        sents_per_date: 1,
+        fetch_limit: 3000,
+    });
+    println!(
+        "query {:?} over {} indexed sentences -> {} dates:\n",
+        topic.query,
+        system.num_sentences(),
+        tl.num_dates()
+    );
+    for (d, s) in &tl.entries {
+        println!("{d}  {}", s.first().map(String::as_str).unwrap_or(""));
+    }
+}

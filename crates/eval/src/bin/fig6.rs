@@ -1,0 +1,58 @@
+//! Regenerates **Figure 6** (automatic date compression): Mean Absolute
+//! Percentage Error of the predicted number of timeline dates, comparing
+//! the Affinity-Propagation predictor (§3.2.3) with fixed compression
+//! rates of the corpus date count.
+
+use tl_corpus::dated_sentences;
+use tl_eval::protocol::DatasetChoice;
+use tl_eval::table::render;
+use tl_wilson::autocompress::{predict_num_dates, AutoCompressConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for choice in [DatasetChoice::Timeline17, DatasetChoice::Crisis] {
+        let ds = choice.dataset();
+        let mut ape_auto = Vec::new();
+        let mut ape_fixed: Vec<Vec<f64>> = vec![Vec::new(); 5]; // 10%..50%
+        let rates = [0.1, 0.2, 0.3, 0.4, 0.5];
+        for topic in &ds.topics {
+            let corpus = dated_sentences(&topic.articles, None);
+            let mut all_dates: Vec<_> = corpus.iter().map(|s| s.date).collect();
+            all_dates.sort_unstable();
+            all_dates.dedup();
+            let predicted = predict_num_dates(&corpus, &AutoCompressConfig::default()) as f64;
+            eprintln!(
+                "  {}: {} corpus dates, AP predicts {predicted}",
+                topic.name,
+                all_dates.len()
+            );
+            for gt in &topic.timelines {
+                let truth = gt.num_dates() as f64;
+                ape_auto.push((predicted - truth).abs() / truth);
+                for (i, r) in rates.iter().enumerate() {
+                    let fixed = (all_dates.len() as f64 * r).round().max(1.0);
+                    ape_fixed[i].push((fixed - truth).abs() / truth);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 * 100.0;
+        rows.push(vec![
+            choice.name().to_string(),
+            format!("{:.1}%", mean(&ape_auto)),
+            format!("{:.1}%", mean(&ape_fixed[0])),
+            format!("{:.1}%", mean(&ape_fixed[1])),
+            format!("{:.1}%", mean(&ape_fixed[2])),
+            format!("{:.1}%", mean(&ape_fixed[3])),
+            format!("{:.1}%", mean(&ape_fixed[4])),
+        ]);
+    }
+    let out = render(
+        "Figure 6: MAPE of predicted #dates (auto AP clustering vs fixed rates)",
+        &["dataset", "auto (AP)", "10%", "20%", "30%", "40%", "50%"],
+        &rows,
+    );
+    print!("{out}");
+    println!("\nShape to verify: the AP predictor's MAPE is competitive with the best");
+    println!("fixed rate on both datasets without knowing the rate in advance");
+    println!("(the fixed-rate optimum differs per dataset — that is the paper's point).");
+}

@@ -1,0 +1,87 @@
+//! Runs every table/figure experiment binary in sequence, teeing each
+//! output to `results/<id>.txt`.
+//!
+//! ```text
+//! cargo run --release -p tl-eval --bin run_all          # everything
+//! cargo run --release -p tl-eval --bin run_all -- fast  # skip the slow ones
+//! ```
+//!
+//! `fast` skips `table7`, `fig2`, `fig5` and `table9` (the ones that run
+//! the quadratic TILSE baseline or long sweeps).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const ALL: &[&str] = &[
+    "table4",
+    "table2",
+    "table3",
+    "table5",
+    "table6",
+    "table8",
+    "fig4",
+    "fig6",
+    "case_study",
+    "table7",
+    "fig2",
+    "fig5",
+    "table9",
+];
+const SLOW: &[&str] = &["table7", "fig2", "fig5", "table9"];
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let exe_dir: PathBuf = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+    let results = PathBuf::from("results");
+    fs::create_dir_all(&results).expect("create results dir");
+
+    let mut failures = Vec::new();
+    for &name in ALL {
+        if fast && SLOW.contains(&name) {
+            println!("skipping {name} (fast mode)");
+            continue;
+        }
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!("binary {} missing — build with --bins first", bin.display());
+            failures.push(name);
+            continue;
+        }
+        println!("=== running {name} ===");
+        let started = std::time::Instant::now();
+        match Command::new(&bin).output() {
+            Ok(out) if out.status.success() => {
+                fs::write(results.join(format!("{name}.txt")), &out.stdout)
+                    .expect("write result file");
+                println!(
+                    "    ok in {:.1?} -> results/{name}.txt ({} bytes)",
+                    started.elapsed(),
+                    out.stdout.len()
+                );
+            }
+            Ok(out) => {
+                eprintln!(
+                    "    FAILED (status {:?}):\n{}",
+                    out.status.code(),
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("    FAILED to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; outputs in results/");
+    } else {
+        eprintln!("\nexperiments failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

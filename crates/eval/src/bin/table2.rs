@@ -1,0 +1,42 @@
+//! Regenerates **Table 2** (edge-weight comparison): for each of W1–W4,
+//! date-selection F1 plus concat ROUGE-1/2 of the full pipeline using that
+//! edge weight with plain PageRank (the table isolates the weight choice;
+//! recency adjustment enters later in Table 3).
+
+use tl_eval::paper::{Table2Row, TABLE2_CRISIS, TABLE2_TIMELINE17};
+use tl_eval::protocol::{evaluate_method, DatasetChoice};
+use tl_eval::table::{f4, render};
+use tl_wilson::{EdgeWeight, Wilson, WilsonConfig};
+
+fn run(choice: DatasetChoice, paper: &[Table2Row]) {
+    let ds = choice.dataset();
+    let mut rows = Vec::new();
+    for (w, p) in EdgeWeight::all().into_iter().zip(paper) {
+        let method = Wilson::new(WilsonConfig::tran().with_edge_weight(w));
+        let m = evaluate_method(&ds, &method);
+        rows.push(vec![
+            w.label().to_string(),
+            f4(m.date_f1()),
+            f4(p.date_f1),
+            f4(m.concat_r1()),
+            f4(p.r1),
+            f4(m.concat_r2()),
+            f4(p.r2),
+        ]);
+    }
+    let out = render(
+        &format!("Table 2 ({}): edge weights W1-W4", choice.name()),
+        &[
+            "weight", "Date F1", "(paper)", "ROUGE-1", "(paper)", "ROUGE-2", "(paper)",
+        ],
+        &rows,
+    );
+    print!("{out}");
+}
+
+fn main() {
+    run(DatasetChoice::Timeline17, TABLE2_TIMELINE17);
+    run(DatasetChoice::Crisis, TABLE2_CRISIS);
+    println!("\nPaper's takeaway to verify: all four weights perform comparably;");
+    println!("W3 is adopted because it needs no query relevance computation.");
+}

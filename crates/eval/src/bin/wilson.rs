@@ -1,0 +1,196 @@
+//! `wilson` — command-line timeline generation.
+//!
+//! ```text
+//! wilson generate [--dataset timeline17|crisis|l3s:<path>] [--scale S]
+//!                 [--topic N] [--dates T] [--sents N] [--query "..."]
+//!                 [--variant full|uniform|tran|nopost]
+//!                 [--format digest|plain|markdown] [--explain]
+//! wilson stats    [--dataset ...] [--scale S]
+//! ```
+//!
+//! Runs the complete pipeline: load or generate a corpus, pre-process into
+//! dated sentences, run WILSON, render. `--dataset l3s:<path>` consumes the
+//! original Timeline17/Crisis on-disk layout.
+
+use std::collections::HashMap;
+use std::process::exit;
+use tl_corpus::{
+    dataset_stats, dated_sentences, generate, loader::load_l3s, render, Dataset, SynthConfig,
+    TimelineGenerator,
+};
+use tl_wilson::{explain_date_selection, Wilson, WilsonConfig};
+
+const USAGE: &str = "\
+wilson — fast news timeline summarization (WILSON, EDBT 2021)
+
+USAGE:
+    wilson generate [OPTIONS]     generate a timeline
+    wilson stats    [OPTIONS]     dataset overview (Table 4 shape)
+
+OPTIONS:
+    --dataset <D>    timeline17 (default) | crisis | l3s:<path>
+    --scale <S>      synthetic corpus scale (default 0.05)
+    --topic <N>      topic index (default 0)
+    --dates <T>      number of timeline dates (default: ground-truth count)
+    --sents <N>      sentences per date (default: ground-truth average)
+    --query <Q>      override the topic query (supports \"quoted phrases\")
+    --variant <V>    full (default) | uniform | tran | nopost
+    --format <F>     digest (default) | plain | markdown
+    --explain        print per-date selection evidence instead of a timeline
+    --help           this text
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        if key == "help" || key == "explain" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("--{key} requires a value"));
+        };
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let scale: f64 = flags
+        .get("scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale {s:?}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    match flags
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("timeline17")
+    {
+        "timeline17" => Ok(generate(&SynthConfig::timeline17().with_scale(scale))),
+        "crisis" => Ok(generate(&SynthConfig::crisis().with_scale(scale))),
+        other => {
+            if let Some(path) = other.strip_prefix("l3s:") {
+                let (ds, report) = load_l3s(std::path::Path::new(path), "l3s")
+                    .map_err(|e| format!("loading {path}: {e}"))?;
+                if report.skipped_docs + report.skipped_blocks > 0 {
+                    eprintln!(
+                        "note: skipped {} docs / {} timeline blocks while loading",
+                        report.skipped_docs, report.skipped_blocks
+                    );
+                }
+                Ok(ds)
+            } else {
+                Err(format!("unknown --dataset {other:?}"))
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        exit(2);
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            exit(2);
+        }
+    };
+    if flags.contains_key("help") || command == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let dataset = match load_dataset(&flags) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+
+    match command.as_str() {
+        "stats" => {
+            println!("{}", dataset_stats(&dataset));
+        }
+        "generate" => {
+            let topic_idx: usize = flags.get("topic").and_then(|s| s.parse().ok()).unwrap_or(0);
+            let Some(topic) = dataset.topics.get(topic_idx) else {
+                eprintln!(
+                    "error: topic {topic_idx} out of range (dataset has {})",
+                    dataset.topics.len()
+                );
+                exit(1);
+            };
+            let gt = topic.timelines.first();
+            let t: usize = flags
+                .get("dates")
+                .and_then(|s| s.parse().ok())
+                .or_else(|| gt.map(|g| g.num_dates()))
+                .unwrap_or(20);
+            let n: usize = flags
+                .get("sents")
+                .and_then(|s| s.parse().ok())
+                .or_else(|| gt.map(|g| g.target_sentences_per_date()))
+                .unwrap_or(2);
+            let query = flags
+                .get("query")
+                .cloned()
+                .unwrap_or_else(|| topic.query.clone());
+            let config = match flags.get("variant").map(String::as_str).unwrap_or("full") {
+                "full" => WilsonConfig::default(),
+                "uniform" => WilsonConfig::uniform(),
+                "tran" => WilsonConfig::tran(),
+                "nopost" => WilsonConfig::without_post(),
+                other => {
+                    eprintln!("error: unknown --variant {other:?}");
+                    exit(2);
+                }
+            };
+            let corpus = dated_sentences(&topic.articles, None);
+            eprintln!(
+                "topic {:?}: {} dated sentences, T = {t}, N = {n}",
+                topic.name,
+                corpus.len()
+            );
+            if flags.contains_key("explain") {
+                for e in explain_date_selection(&corpus, &query, &config, t, 2) {
+                    print!("{e}");
+                }
+                return;
+            }
+            let started = std::time::Instant::now();
+            let timeline = Wilson::new(config).generate(&corpus, &query, t, n);
+            eprintln!(
+                "generated {} dates in {:.2?}\n",
+                timeline.num_dates(),
+                started.elapsed()
+            );
+            let out = match flags.get("format").map(String::as_str).unwrap_or("digest") {
+                "digest" => render::to_digest(&timeline, 100),
+                "plain" => render::to_plain(&timeline),
+                "markdown" => render::to_markdown(&timeline, Some(&topic.name)),
+                other => {
+                    eprintln!("error: unknown --format {other:?}");
+                    exit(2);
+                }
+            };
+            print!("{out}");
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness for the WILSON reproduction.
+//!
+//! One binary per table/figure of the paper regenerates that artifact on the
+//! synthetic datasets (see `DESIGN.md` §3 for the index):
+//!
+//! ```text
+//! cargo run --release -p tl-eval --bin table2   # edge weights W1–W4
+//! cargo run --release -p tl-eval --bin table3   # date coverage
+//! cargo run --release -p tl-eval --bin table4   # dataset overview
+//! cargo run --release -p tl-eval --bin table5   # Timeline17 baselines
+//! cargo run --release -p tl-eval --bin table6   # Crisis baselines
+//! cargo run --release -p tl-eval --bin table7   # TILSE comparison + ablations
+//! cargo run --release -p tl-eval --bin table8   # empirical upper bounds
+//! cargo run --release -p tl-eval --bin table9   # simulated journalist study
+//! cargo run --release -p tl-eval --bin fig2     # running time vs corpus size
+//! cargo run --release -p tl-eval --bin fig4     # selected-date CDFs
+//! cargo run --release -p tl-eval --bin fig5     # post-processing sweep
+//! cargo run --release -p tl-eval --bin fig6     # automatic date compression
+//! ```
+//!
+//! Each prints the paper's reported numbers next to the measured ones. The
+//! corpus scale defaults to a size that finishes in minutes (the paper
+//! itself runs TILSE on keyword-filtered corpora for the same reason,
+//! §3.1.3) and can be overridden with the `TL_SCALE` environment variable.
+#![warn(missing_docs)]
+
+pub mod judge;
+pub mod oracle;
+pub mod paper;
+pub mod protocol;
+pub mod report;
+pub mod table;
+
+pub use protocol::{evaluate_method, DatasetChoice, MethodMetrics, UnitMetrics};

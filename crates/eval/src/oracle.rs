@@ -1,0 +1,254 @@
+//! ROUGE-optimizing oracles for the empirical upper bounds of Table 8.
+//!
+//! The paper's Table 8 reports two bounds:
+//!
+//! * **submodular-framework bound** — generated with ground-truth dates *and*
+//!   ground-truth summaries by greedily optimizing ROUGE F1 directly (a
+//!   supervised oracle over sentence selection),
+//! * **two-stage bound** — ground-truth dates fed into WILSON's ordinary
+//!   (unsupervised) daily summarizer; only the dates are oracle knowledge.
+//!
+//! This module implements the first; the second is
+//! [`tl_wilson::Wilson::generate_on_dates`] with ground-truth dates.
+//!
+//! The greedy step is computed *incrementally*: per-candidate gain needs
+//! only the candidate's own n-grams against the remaining (unclipped)
+//! reference budget, so one selection round is `O(Σ|candidate|)` instead of
+//! re-scoring the whole growing summary.
+
+use std::collections::HashMap;
+use tl_corpus::{DatedSentence, Timeline};
+use tl_nlp::ngram::{ngrams, total, NgramCounts};
+use tl_rouge::RougeScorer;
+use tl_temporal::Date;
+
+/// Incremental clipped-overlap state for one n-gram order.
+struct OverlapState<const N: usize> {
+    reference: NgramCounts<N>,
+    current: NgramCounts<N>,
+    ref_total: f64,
+    sys_total: f64,
+    matched: f64,
+}
+
+impl<const N: usize> OverlapState<N> {
+    fn new(ref_tokens: &[u32]) -> Self {
+        let reference = ngrams::<N>(ref_tokens);
+        let ref_total = total(&reference) as f64;
+        Self {
+            reference,
+            current: HashMap::new(),
+            ref_total,
+            sys_total: 0.0,
+            matched: 0.0,
+        }
+    }
+
+    /// Clipped-match and total deltas from adding `cand` (not committed).
+    fn deltas(&self, cand: &NgramCounts<N>, cand_total: u64) -> (f64, f64) {
+        let mut dm = 0.0;
+        for (k, &c) in cand {
+            let Some(&r) = self.reference.get(k) else {
+                continue;
+            };
+            let cur = self.current.get(k).copied().unwrap_or(0);
+            dm += (r.min(cur + c) - r.min(cur)) as f64;
+        }
+        (dm, cand_total as f64)
+    }
+
+    fn commit(&mut self, cand: &NgramCounts<N>, cand_total: u64) {
+        let (dm, dt) = self.deltas(cand, cand_total);
+        self.matched += dm;
+        self.sys_total += dt;
+        for (k, &c) in cand {
+            *self.current.entry(*k).or_insert(0) += c;
+        }
+    }
+
+    fn f1_after(&self, dm: f64, dt: f64) -> f64 {
+        let matched = self.matched + dm;
+        let sys_total = self.sys_total + dt;
+        if sys_total == 0.0 || self.ref_total == 0.0 {
+            return 0.0;
+        }
+        let p = matched / sys_total;
+        let r = matched / self.ref_total;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    fn f1(&self) -> f64 {
+        self.f1_after(0.0, 0.0)
+    }
+}
+
+/// Greedily select up to `t × n` sentences (≤ `n` per date, ≤ `t` dates)
+/// maximizing concat ROUGE-1 + ROUGE-2 F1 against the reference text — the
+/// supervised upper bound of the one-stage (global) framework.
+///
+/// Boundary bigrams between concatenated sentences are ignored (each
+/// sentence's n-grams are counted independently), a negligible and
+/// direction-free approximation at summary scale.
+pub fn rouge_oracle_timeline(
+    sentences: &[DatedSentence],
+    reference_text: &str,
+    t: usize,
+    n: usize,
+) -> Timeline {
+    if sentences.is_empty() || t == 0 || n == 0 {
+        return Timeline::default();
+    }
+    let mut scorer = RougeScorer::new();
+    let ref_tokens = scorer.tokens(reference_text);
+    let sent_tokens: Vec<Vec<u32>> = sentences.iter().map(|s| scorer.tokens(&s.text)).collect();
+    let cand_uni: Vec<NgramCounts<1>> = sent_tokens.iter().map(|t| ngrams(t)).collect();
+    let cand_bi: Vec<NgramCounts<2>> = sent_tokens.iter().map(|t| ngrams(t)).collect();
+    let cand_uni_total: Vec<u64> = cand_uni.iter().map(total).collect();
+    let cand_bi_total: Vec<u64> = cand_bi.iter().map(total).collect();
+
+    let mut uni = OverlapState::<1>::new(&ref_tokens);
+    let mut bi = OverlapState::<2>::new(&ref_tokens);
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut date_counts: HashMap<Date, usize> = Default::default();
+    let mut taken = vec![false; sentences.len()];
+    let budget = t.saturating_mul(n);
+    let mut best_score = 0.0f64;
+
+    while selected.len() < budget {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..sentences.len() {
+            if taken[j] || sent_tokens[j].is_empty() {
+                continue;
+            }
+            let dc = date_counts.get(&sentences[j].date).copied().unwrap_or(0);
+            if dc >= n || (dc == 0 && date_counts.len() >= t) {
+                continue;
+            }
+            let (du_m, du_t) = uni.deltas(&cand_uni[j], cand_uni_total[j]);
+            let (db_m, db_t) = bi.deltas(&cand_bi[j], cand_bi_total[j]);
+            let s = uni.f1_after(du_m, du_t) + bi.f1_after(db_m, db_t);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((j, s));
+            }
+        }
+        let Some((j, s)) = best else { break };
+        if s <= best_score {
+            break; // adding anything else only dilutes F1
+        }
+        best_score = s;
+        taken[j] = true;
+        selected.push(j);
+        uni.commit(&cand_uni[j], cand_uni_total[j]);
+        bi.commit(&cand_bi[j], cand_bi_total[j]);
+        debug_assert!((uni.f1() + bi.f1() - best_score).abs() < 1e-9);
+        *date_counts.entry(sentences[j].date).or_insert(0) += 1;
+    }
+
+    let mut by_date: HashMap<Date, Vec<usize>> = Default::default();
+    for &j in &selected {
+        by_date.entry(sentences[j].date).or_default().push(j);
+    }
+    Timeline::new(
+        by_date
+            .into_iter()
+            .map(|(d, mut ix)| {
+                ix.sort_unstable();
+                (
+                    d,
+                    ix.into_iter().map(|i| sentences[i].text.clone()).collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(day: i32, text: &str) -> DatedSentence {
+        let date = Date::from_days(17000 + day);
+        DatedSentence {
+            date,
+            pub_date: date,
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention: false,
+        }
+    }
+
+    #[test]
+    fn oracle_picks_reference_matching_sentences() {
+        let corpus = vec![
+            sent(0, "the ceasefire agreement was signed by both factions"),
+            sent(0, "completely unrelated municipal budget discussion"),
+            sent(5, "aid convoys entered the besieged city"),
+        ];
+        let reference = "ceasefire agreement signed by factions. aid convoys entered the city.";
+        let tl = rouge_oracle_timeline(&corpus, reference, 2, 1);
+        let all: Vec<&String> = tl.entries.iter().flat_map(|(_, s)| s.iter()).collect();
+        assert!(all.iter().any(|s| s.contains("ceasefire")));
+        assert!(all.iter().any(|s| s.contains("convoys")));
+        assert!(!all.iter().any(|s| s.contains("municipal")));
+    }
+
+    #[test]
+    fn oracle_stops_when_f1_would_drop() {
+        // One perfect sentence; adding noise only dilutes precision.
+        let corpus = vec![
+            sent(0, "summit held in singapore"),
+            sent(1, "totally irrelevant gardening column content"),
+        ];
+        let tl = rouge_oracle_timeline(&corpus, "summit held in singapore", 2, 1);
+        assert_eq!(tl.num_sentences(), 1);
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let corpus: Vec<DatedSentence> = (0..10)
+            .map(|i| sent(i % 2, &format!("reference word{i} appears here")))
+            .collect();
+        let reference: String = (0..10).map(|i| format!("word{i} ")).collect();
+        let tl = rouge_oracle_timeline(&corpus, &reference, 2, 3);
+        assert!(tl.num_dates() <= 2);
+        for (_, s) in &tl.entries {
+            assert!(s.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rouge_oracle_timeline(&[], "ref", 2, 2).num_dates(), 0);
+        let corpus = vec![sent(0, "text")];
+        assert_eq!(rouge_oracle_timeline(&corpus, "ref", 0, 2).num_dates(), 0);
+    }
+
+    #[test]
+    fn incremental_state_matches_direct_computation() {
+        // The incremental F1 must equal a from-scratch ROUGE on the final
+        // selection (modulo boundary bigrams, absent here by construction).
+        let corpus = vec![
+            sent(0, "alpha beta gamma delta"),
+            sent(1, "epsilon zeta eta theta"),
+        ];
+        let reference = "alpha beta gamma delta epsilon zeta";
+        let tl = rouge_oracle_timeline(&corpus, reference, 2, 1);
+        assert_eq!(tl.num_sentences(), 2);
+        // Hand check: all reference unigrams except "eta theta" extras.
+        let mut scorer = RougeScorer::new();
+        let sys_text: String = tl
+            .entries
+            .iter()
+            .flat_map(|(_, s)| s.iter().cloned())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let direct = scorer.rouge_1(&sys_text, reference);
+        assert!(direct.f1 > 0.7);
+    }
+}

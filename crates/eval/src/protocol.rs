@@ -1,0 +1,235 @@
+//! The standard evaluation protocol (§3.1.3 of the paper).
+//!
+//! For every evaluation unit (topic corpus + one ground-truth timeline):
+//! `T` is set to the number of ground-truth dates and `N` to the rounded
+//! average ground-truth sentences per date; the method generates a timeline
+//! from the dated-sentence corpus; concat / agreement / align ROUGE, date
+//! F1 and date coverage are scored against the ground truth; generation
+//! wall time is recorded. Aggregates are means over units.
+
+use std::time::Instant;
+use tl_corpus::{dated_sentences, generate, Dataset, SynthConfig, TimelineGenerator};
+use tl_rouge::{date_coverage, date_f1, TimelineRouge, TimelineRougeMode};
+
+/// Which calibrated dataset profile to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// The Timeline17-shaped profile.
+    Timeline17,
+    /// The Crisis-shaped profile.
+    Crisis,
+}
+
+impl DatasetChoice {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Timeline17 => "Timeline17",
+            Self::Crisis => "Crisis",
+        }
+    }
+
+    /// Default corpus scale: sized so the quadratic baseline finishes in
+    /// minutes (the paper likewise filters the corpus for TILSE, §3.1.3).
+    /// Override with `TL_SCALE`.
+    pub fn default_scale(self) -> f64 {
+        match self {
+            Self::Timeline17 => 0.10,
+            Self::Crisis => 0.04,
+        }
+    }
+
+    /// Build the generator config at the environment-resolved scale.
+    pub fn config(self) -> SynthConfig {
+        let base = match self {
+            Self::Timeline17 => SynthConfig::timeline17(),
+            Self::Crisis => SynthConfig::crisis(),
+        };
+        base.with_scale(resolve_scale(self))
+    }
+
+    /// Generate the dataset.
+    pub fn dataset(self) -> Dataset {
+        generate(&self.config())
+    }
+}
+
+/// `TL_SCALE` override or the per-dataset default.
+pub fn resolve_scale(choice: DatasetChoice) -> f64 {
+    std::env::var("TL_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or_else(|| choice.default_scale())
+}
+
+/// Metrics of one method on one evaluation unit.
+#[derive(Debug, Clone, Default)]
+pub struct UnitMetrics {
+    /// Concat ROUGE-1 / ROUGE-2 F1.
+    pub concat_r1: f64,
+    /// Concat ROUGE-2 F1.
+    pub concat_r2: f64,
+    /// Concat ROUGE-S\* F1.
+    pub concat_rs: f64,
+    /// Agreement ROUGE-1 F1.
+    pub agree_r1: f64,
+    /// Agreement ROUGE-2 F1.
+    pub agree_r2: f64,
+    /// Align+ m:1 ROUGE-1 F1.
+    pub align_r1: f64,
+    /// Align+ m:1 ROUGE-2 F1.
+    pub align_r2: f64,
+    /// Date-selection F1.
+    pub date_f1: f64,
+    /// Date coverage within ±3 days.
+    pub date_coverage3: f64,
+    /// Generation wall time in seconds.
+    pub seconds: f64,
+}
+
+/// Aggregated metrics of one method over a dataset.
+#[derive(Debug, Clone, Default)]
+pub struct MethodMetrics {
+    /// Method display name.
+    pub name: String,
+    /// Per-unit metrics, in `Dataset::eval_units` order.
+    pub units: Vec<UnitMetrics>,
+}
+
+macro_rules! mean_of {
+    ($($field:ident),+) => {
+        $(
+            /// Mean of the per-unit field.
+            pub fn $field(&self) -> f64 {
+                if self.units.is_empty() {
+                    0.0
+                } else {
+                    self.units.iter().map(|u| u.$field).sum::<f64>() / self.units.len() as f64
+                }
+            }
+        )+
+    };
+}
+
+impl MethodMetrics {
+    mean_of!(
+        concat_r1,
+        concat_r2,
+        concat_rs,
+        agree_r1,
+        agree_r2,
+        align_r1,
+        align_r2,
+        date_f1,
+        date_coverage3,
+        seconds
+    );
+
+    /// Per-unit values of one metric (for significance testing).
+    pub fn series(&self, metric: fn(&UnitMetrics) -> f64) -> Vec<f64> {
+        self.units.iter().map(metric).collect()
+    }
+}
+
+/// Run a method over every evaluation unit of a dataset.
+///
+/// The dated-sentence pre-processing is *excluded* from the timing, exactly
+/// as the paper excludes temporal tagging from the speed comparison
+/// (Appendix A: "we do not consider the temporal tagging in the
+/// pre-processing, and only measure the speed of generation on the tagged
+/// sentences").
+pub fn evaluate_method<M: TimelineGenerator + ?Sized>(
+    dataset: &Dataset,
+    method: &M,
+) -> MethodMetrics {
+    let mut rouge = TimelineRouge::new();
+    let mut units = Vec::new();
+    for topic in &dataset.topics {
+        // Pre-processing shared across this topic's timelines (and untimed).
+        let corpus = dated_sentences(&topic.articles, None);
+        for gt in &topic.timelines {
+            let t = gt.num_dates();
+            let n = gt.target_sentences_per_date();
+            let start = Instant::now();
+            let tl = method.generate(&corpus, &topic.query, t, n);
+            let seconds = start.elapsed().as_secs_f64();
+            let sys = tl.as_slice();
+            let gts = gt.as_slice();
+            units.push(UnitMetrics {
+                concat_r1: rouge.rouge_n(1, TimelineRougeMode::Concat, sys, gts).f1,
+                concat_r2: rouge.rouge_n(2, TimelineRougeMode::Concat, sys, gts).f1,
+                concat_rs: rouge.rouge_s_star_concat(sys, gts).f1,
+                agree_r1: rouge.rouge_n(1, TimelineRougeMode::Agreement, sys, gts).f1,
+                agree_r2: rouge.rouge_n(2, TimelineRougeMode::Agreement, sys, gts).f1,
+                align_r1: rouge.rouge_n(1, TimelineRougeMode::AlignMto1, sys, gts).f1,
+                align_r2: rouge.rouge_n(2, TimelineRougeMode::AlignMto1, sys, gts).f1,
+                date_f1: date_f1(&tl.dates(), &gt.dates()),
+                date_coverage3: date_coverage(&tl.dates(), &gt.dates(), 3),
+                seconds,
+            });
+        }
+    }
+    MethodMetrics {
+        name: method.name().to_string(),
+        units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_wilson::{Wilson, WilsonConfig};
+
+    #[test]
+    fn evaluate_on_tiny_dataset() {
+        let ds = generate(&SynthConfig::tiny());
+        let m = evaluate_method(&ds, &Wilson::new(WilsonConfig::default()));
+        assert_eq!(m.name, "WILSON");
+        assert_eq!(m.units.len(), ds.num_timelines());
+        assert!(m.concat_r1() > 0.0, "concat R1 = {}", m.concat_r1());
+        assert!(m.date_f1() > 0.0);
+        assert!(m.seconds() > 0.0);
+        for u in &m.units {
+            assert!((0.0..=1.0).contains(&u.concat_r1));
+            assert!((0.0..=1.0).contains(&u.date_coverage3));
+            assert!(u.align_r1 >= u.agree_r1 - 1e-9, "align >= agreement");
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let m = MethodMetrics::default();
+        assert_eq!(m.concat_r1(), 0.0);
+        assert_eq!(m.seconds(), 0.0);
+    }
+
+    #[test]
+    fn series_extracts_per_unit() {
+        let m = MethodMetrics {
+            name: "x".into(),
+            units: vec![
+                UnitMetrics {
+                    concat_r2: 0.1,
+                    ..Default::default()
+                },
+                UnitMetrics {
+                    concat_r2: 0.3,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(m.series(|u| u.concat_r2), vec![0.1, 0.3]);
+        assert!((m.concat_r2() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_env_override() {
+        // resolve_scale falls back to defaults when unset/garbage.
+        std::env::remove_var("TL_SCALE");
+        assert_eq!(
+            resolve_scale(DatasetChoice::Timeline17),
+            DatasetChoice::Timeline17.default_scale()
+        );
+    }
+}

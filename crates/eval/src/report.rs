@@ -1,0 +1,160 @@
+//! Machine-readable experiment reports.
+//!
+//! The table binaries print human-readable tables; this module serializes
+//! the same measurements to JSON (`results/*.json`) so downstream tooling
+//! (plots, regression tracking between commits) can consume them without
+//! scraping text.
+
+use crate::protocol::MethodMetrics;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// One method's aggregated metrics in serializable form.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MethodReport {
+    /// Method display name.
+    pub method: String,
+    /// Number of evaluation units aggregated.
+    pub units: usize,
+    /// Mean concat ROUGE-1 / ROUGE-2 / ROUGE-S\* F1.
+    pub concat_r1: f64,
+    /// Mean concat ROUGE-2 F1.
+    pub concat_r2: f64,
+    /// Mean concat ROUGE-S\* F1.
+    pub concat_rs: f64,
+    /// Mean agreement ROUGE-1 / ROUGE-2 F1.
+    pub agree_r1: f64,
+    /// Mean agreement ROUGE-2 F1.
+    pub agree_r2: f64,
+    /// Mean align+ m:1 ROUGE-1 / ROUGE-2 F1.
+    pub align_r1: f64,
+    /// Mean align+ m:1 ROUGE-2 F1.
+    pub align_r2: f64,
+    /// Mean date-selection F1.
+    pub date_f1: f64,
+    /// Mean date coverage ±3 days.
+    pub date_coverage3: f64,
+    /// Mean generation seconds per timeline.
+    pub seconds: f64,
+}
+
+impl From<&MethodMetrics> for MethodReport {
+    fn from(m: &MethodMetrics) -> Self {
+        Self {
+            method: m.name.clone(),
+            units: m.units.len(),
+            concat_r1: m.concat_r1(),
+            concat_r2: m.concat_r2(),
+            concat_rs: m.concat_rs(),
+            agree_r1: m.agree_r1(),
+            agree_r2: m.agree_r2(),
+            align_r1: m.align_r1(),
+            align_r2: m.align_r2(),
+            date_f1: m.date_f1(),
+            date_coverage3: m.date_coverage3(),
+            seconds: m.seconds(),
+        }
+    }
+}
+
+/// A full experiment report: id, dataset, corpus scale, per-method rows.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. `"table7"`).
+    pub experiment: String,
+    /// Dataset name (e.g. `"Timeline17"`).
+    pub dataset: String,
+    /// Corpus scale the run used.
+    pub scale: f64,
+    /// One row per method.
+    pub methods: Vec<MethodReport>,
+}
+
+impl ExperimentReport {
+    /// Assemble a report from method metrics.
+    pub fn new(experiment: &str, dataset: &str, scale: f64, methods: &[MethodMetrics]) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            dataset: dataset.to_string(),
+            scale,
+            methods: methods.iter().map(MethodReport::from).collect(),
+        }
+    }
+
+    /// Write as pretty JSON (creates parent dirs).
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a report back.
+    pub fn read_json(path: &Path) -> io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::UnitMetrics;
+
+    fn metrics(name: &str, r2: f64) -> MethodMetrics {
+        MethodMetrics {
+            name: name.to_string(),
+            units: vec![
+                UnitMetrics {
+                    concat_r2: r2,
+                    seconds: 1.0,
+                    ..Default::default()
+                },
+                UnitMetrics {
+                    concat_r2: r2 + 0.02,
+                    seconds: 3.0,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn conversion_aggregates_means() {
+        let r = MethodReport::from(&metrics("WILSON", 0.10));
+        assert_eq!(r.method, "WILSON");
+        assert_eq!(r.units, 2);
+        assert!((r.concat_r2 - 0.11).abs() < 1e-12);
+        assert!((r.seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = ExperimentReport::new(
+            "table7",
+            "Timeline17",
+            0.1,
+            &[metrics("WILSON", 0.1), metrics("ASMDS", 0.06)],
+        );
+        let path = std::env::temp_dir().join(format!("tl_report_{}.json", std::process::id()));
+        report.write_json(&path).unwrap();
+        let back = ExperimentReport::read_json(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back.experiment, report.experiment);
+        assert_eq!(back.methods.len(), report.methods.len());
+        for (a, b) in back.methods.iter().zip(&report.methods) {
+            assert_eq!(a.method, b.method);
+            // JSON prints the shortest round-trippable decimal; compare
+            // numerically, not bitwise.
+            assert!((a.concat_r2 - b.concat_r2).abs() < 1e-9);
+            assert!((a.seconds - b.seconds).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn read_missing_errors() {
+        assert!(ExperimentReport::read_json(Path::new("/nope/x.json")).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Fixed-width table printing for the experiment binaries.
+
+/// Print a titled table: header row + data rows, columns padded to the
+/// widest cell. Returns the rendered string (also printed to stdout by the
+/// binaries so output can be teed into EXPERIMENTS.md).
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch in table '{title}'");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float to 4 decimals (the paper's table precision).
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a float to 3 decimals (Tables 5/6 precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format seconds to 2 decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(
+            "demo",
+            &["method", "r1"],
+            &[
+                vec!["WILSON".into(), "0.4075".into()],
+                vec!["ASMDS".into(), "0.3452".into()],
+            ],
+        );
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("WILSON  0.4075"));
+        assert!(s.contains("ASMDS   0.3452"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        render("bad", &["a", "b"], &[vec!["only one".into()]]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(secs(1.239), "1.24");
+    }
+}

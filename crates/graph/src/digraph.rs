@@ -1,0 +1,195 @@
+//! A compact weighted directed graph.
+//!
+//! Built incrementally with [`DiGraph::add_edge`], then compiled on demand
+//! into a CSR (compressed sparse row) adjacency used by the PageRank kernel.
+//! Parallel edges are merged by summing weights, matching NetworkX's
+//! behaviour when the paper's Python implementation adds repeated
+//! `(date_i, date_j)` references with accumulated weights.
+
+/// Node index type.
+pub type NodeId = usize;
+
+/// A weighted directed graph with dense `usize` node ids `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    num_nodes: usize,
+    /// Edge list as (src, dst, weight); compiled lazily.
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+/// CSR view produced by [`DiGraph::compile`].
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Column (destination) indices, grouped by source.
+    pub targets: Vec<NodeId>,
+    /// Edge weights parallel to `targets`.
+    pub weights: Vec<f64>,
+    /// Total outgoing weight per node.
+    pub out_weight: Vec<f64>,
+}
+
+impl DiGraph {
+    /// Create a graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added (before parallel-edge merging).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensure the graph has at least `n` nodes.
+    pub fn grow_to(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Add a directed edge `src → dst` with `weight`.
+    ///
+    /// Panics if either endpoint is out of range or the weight is not finite
+    /// and non-negative — PageRank requires a sub-stochastic matrix.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f64) {
+        assert!(src < self.num_nodes, "src {src} out of range");
+        assert!(dst < self.num_nodes, "dst {dst} out of range");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        self.edges.push((src, dst, weight));
+    }
+
+    /// Compile to CSR, merging parallel edges by summing their weights and
+    /// dropping zero-weight edges.
+    pub fn compile(&self) -> Csr {
+        let n = self.num_nodes;
+        let mut edges = self.edges.clone();
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        // Merge parallel edges.
+        let mut merged: Vec<(NodeId, NodeId, f64)> = Vec::with_capacity(edges.len());
+        for (s, d, w) in edges {
+            if w == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if last.0 == s && last.1 == d => last.2 += w,
+                _ => merged.push((s, d, w)),
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for &(s, _, _) in &merged {
+            offsets[s + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(merged.len());
+        let mut weights = Vec::with_capacity(merged.len());
+        let mut out_weight = vec![0.0f64; n];
+        for (s, d, w) in merged {
+            targets.push(d);
+            weights.push(w);
+            out_weight[s] += w;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+            out_weight,
+        }
+    }
+}
+
+impl Csr {
+    /// Outgoing `(target, weight)` pairs of `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let lo = self.offsets[node];
+        let hi = self.offsets[node + 1];
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_compiles() {
+        let g = DiGraph::new(0);
+        let c = g.compile();
+        assert_eq!(c.num_nodes(), 0);
+        assert!(c.targets.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.5);
+        let c = g.compile();
+        let out: Vec<_> = c.out_edges(0).collect();
+        assert_eq!(out, [(1, 3.5)]);
+        assert_eq!(c.out_weight[0], 3.5);
+        assert_eq!(c.out_weight[1], 0.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_dropped() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 0.0);
+        let c = g.compile();
+        assert_eq!(c.out_edges(0).count(), 0);
+    }
+
+    #[test]
+    fn csr_layout() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(2, 0, 1.0);
+        g.add_edge(0, 2, 4.0);
+        g.add_edge(0, 1, 3.0);
+        let c = g.compile();
+        assert_eq!(c.out_edges(0).collect::<Vec<_>>(), [(1, 3.0), (2, 4.0)]);
+        assert_eq!(c.out_edges(1).count(), 0);
+        assert_eq!(c.out_edges(2).collect::<Vec<_>>(), [(0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = DiGraph::new(1);
+        g.add_edge(0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn grow_to_expands() {
+        let mut g = DiGraph::new(1);
+        g.grow_to(5);
+        assert_eq!(g.num_nodes(), 5);
+        g.grow_to(2); // never shrinks
+        assert_eq!(g.num_nodes(), 5);
+    }
+}

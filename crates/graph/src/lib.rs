@@ -1,0 +1,19 @@
+//! Graph substrate for the WILSON reproduction.
+//!
+//! Both stages of WILSON are PageRank computations: date selection runs
+//! (personalized) PageRank over the *date reference graph* (§2.2) and daily
+//! summarization runs PageRank over per-day *sentence graphs* with BM25 edge
+//! weights (TextRank, §2.3). This crate provides the shared machinery:
+//!
+//! * [`digraph`] — a compact weighted directed graph in CSR form,
+//! * [`pagerank`] — PageRank / Personalized PageRank by power iteration,
+//!   matching NetworkX semantics (the paper's implementation, Appendix A):
+//!   damping 0.85, out-weight-normalized transition, dangling mass
+//!   redistributed to the personalization vector.
+#![warn(missing_docs)]
+
+pub mod digraph;
+pub mod pagerank;
+
+pub use digraph::DiGraph;
+pub use pagerank::{pagerank, personalized_pagerank, top_k, PageRankConfig};

@@ -1,0 +1,242 @@
+//! Okapi BM25 (Robertson & Zaragoza 2009).
+//!
+//! `score(q, d) = Σ_{t ∈ q} idf(t) · tf(t,d)·(k1+1) / (tf(t,d) + k1·(1 − b + b·|d|/avgdl))`
+//!
+//! with the standard "plus"-floored idf `ln(1 + (N − df + 0.5)/(df + 0.5))`
+//! so scores never go negative (the paper uses BM25 both as a relevance
+//! score for W4 and as a *graph edge weight* for TextRank, where negative
+//! weights would break PageRank).
+
+use std::collections::HashMap;
+use tl_nlp::vocab::TermId;
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation. Standard default 1.2.
+    pub k1: f64,
+    /// Length normalization. Standard default 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Corpus statistics + parameters, ready to score queries against documents.
+#[derive(Debug, Clone)]
+pub struct Bm25Scorer {
+    params: Bm25Params,
+    doc_freq: HashMap<TermId, u32>,
+    num_docs: u32,
+    avg_len: f64,
+}
+
+impl Bm25Scorer {
+    /// Fit corpus statistics over token-id documents.
+    pub fn fit<'a, I>(docs: I, params: Bm25Params) -> Self
+    where
+        I: IntoIterator<Item = &'a [TermId]>,
+    {
+        let mut doc_freq: HashMap<TermId, u32> = HashMap::new();
+        let mut num_docs = 0u32;
+        let mut total_len = 0u64;
+        for doc in docs {
+            num_docs += 1;
+            total_len += doc.len() as u64;
+            let mut seen: Vec<TermId> = doc.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let avg_len = if num_docs == 0 {
+            0.0
+        } else {
+            total_len as f64 / num_docs as f64
+        };
+        Self {
+            params,
+            doc_freq,
+            num_docs,
+            avg_len,
+        }
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Average document length.
+    pub fn avg_len(&self) -> f64 {
+        self.avg_len
+    }
+
+    /// Document frequency of `term`.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.doc_freq.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Non-negative BM25 idf.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.df(term) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Score a query (bag of term ids) against a document (bag of term ids).
+    pub fn score(&self, query: &[TermId], doc: &[TermId]) -> f64 {
+        if query.is_empty() || doc.is_empty() {
+            return 0.0;
+        }
+        let mut tf: HashMap<TermId, f64> = HashMap::new();
+        for &t in doc {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        self.score_with_tf(query, &tf, doc.len())
+    }
+
+    /// Score against pre-computed term frequencies (hot path for indexes).
+    pub fn score_with_tf(
+        &self,
+        query: &[TermId],
+        doc_tf: &HashMap<TermId, f64>,
+        doc_len: usize,
+    ) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let len_norm = if self.avg_len > 0.0 {
+            1.0 - b + b * (doc_len as f64) / self.avg_len
+        } else {
+            1.0
+        };
+        // Deduplicate query terms: BM25 sums over distinct query terms with
+        // query term frequency folded in; for the short queries and
+        // sentence-as-query uses in this workspace we weight each distinct
+        // term by its frequency in the query.
+        let mut qtf: Vec<(TermId, f64)> = {
+            let mut m: HashMap<TermId, f64> = HashMap::new();
+            for &t in query {
+                *m.entry(t).or_insert(0.0) += 1.0;
+            }
+            m.into_iter().collect()
+        };
+        // Deterministic summation order: floating-point addition is not
+        // associative, and HashMap order varies per thread.
+        qtf.sort_unstable_by_key(|&(t, _)| t);
+        let mut score = 0.0;
+        for &(t, qf) in &qtf {
+            let Some(&f) = doc_tf.get(&t) else { continue };
+            let idf = self.idf(t);
+            score += qf * idf * f * (k1 + 1.0) / (f + k1 * len_norm);
+        }
+        score
+    }
+
+    /// The term-saturation component for a single term occurrence count —
+    /// exposed for the TextRank edge-weight construction.
+    pub fn term_weight(&self, term: TermId, tf: f64, doc_len: usize) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let len_norm = if self.avg_len > 0.0 {
+            1.0 - b + b * (doc_len as f64) / self.avg_len
+        } else {
+            1.0
+        };
+        self.idf(term) * tf * (k1 + 1.0) / (tf + k1 * len_norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fit(docs: &[Vec<TermId>]) -> Bm25Scorer {
+        Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default())
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = fit(&[vec![1, 2], vec![2, 3]]);
+        assert_eq!(s.score(&[], &[1, 2]), 0.0);
+        assert_eq!(s.score(&[1], &[]), 0.0);
+        // A scorer fitted on an empty corpus must stay finite (no NaN from
+        // the zero average length).
+        let empty = fit(&[]);
+        assert!(empty.score(&[1], &[1]).is_finite());
+    }
+
+    #[test]
+    fn idf_is_positive_and_monotone() {
+        // term 1 in 3 docs, term 2 in 1 doc.
+        let s = fit(&[vec![1, 2], vec![1], vec![1]]);
+        assert!(s.idf(1) > 0.0);
+        assert!(s.idf(2) > s.idf(1));
+        assert!(s.idf(99) > s.idf(2)); // unseen rarest of all
+    }
+
+    #[test]
+    fn hand_computed_score() {
+        // Corpus: d1 = [1 2], d2 = [2 3]. N=2, avgdl=2.
+        // Query [1] against d1: tf=1, df(1)=1.
+        // idf = ln(1 + (2-1+0.5)/(1+0.5)) = ln(2)
+        // len_norm = 1 - 0.75 + 0.75 * 2/2 = 1
+        // score = ln(2) * 1*2.2 / (1 + 1.2) = ln(2) * 1.0
+        let s = fit(&[vec![1, 2], vec![2, 3]]);
+        let expected = (2.0f64).ln() * (1.0 * 2.2) / (1.0 + 1.2);
+        assert!((s.score(&[1], &[1, 2]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_beats_nonmatching() {
+        let s = fit(&[vec![1, 2], vec![3, 4], vec![5, 6]]);
+        assert!(s.score(&[1, 2], &[1, 2]) > s.score(&[1, 2], &[3, 4]));
+        assert_eq!(s.score(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let s = fit(&[vec![1], vec![2], vec![3]]);
+        let s1 = s.score(&[1], &[1]);
+        let s2 = s.score(&[1], &[1, 1]);
+        let s8 = s.score(&[1], &[1; 8]);
+        assert!(s2 > s1);
+        // Marginal gain of extra occurrences must shrink (concavity).
+        // Compare same-length docs by padding with a non-query term... here
+        // doc length grows too, which *also* penalizes, reinforcing saturation.
+        assert!(s8 - s2 < (s2 - s1) * 6.0);
+    }
+
+    #[test]
+    fn longer_docs_penalized() {
+        let s = fit(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        let short = s.score(&[1], &[1, 2]);
+        let long = s.score(&[1], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn repeated_query_terms_scale() {
+        let s = fit(&[vec![1, 2], vec![2, 3]]);
+        let once = s.score(&[1], &[1, 2]);
+        let twice = s.score(&[1, 1], &[1, 2]);
+        assert!((twice - 2.0 * once).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn scores_are_finite_and_nonnegative(
+            docs in proptest::collection::vec(proptest::collection::vec(0u32..30, 1..15), 1..10),
+            query in proptest::collection::vec(0u32..30, 0..8),
+            doc in proptest::collection::vec(0u32..30, 0..15),
+        ) {
+            let s = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+            let x = s.score(&query, &doc);
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= 0.0);
+        }
+    }
+}

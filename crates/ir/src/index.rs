@@ -1,0 +1,226 @@
+//! An inverted index over token-id documents.
+//!
+//! Postings store `(doc id, term frequency)` pairs in doc-id order, enabling
+//! BM25-ranked retrieval without rescanning documents. This is the storage
+//! layer under [`crate::search::SearchEngine`].
+
+use crate::bm25::{Bm25Params, Bm25Scorer};
+use std::collections::HashMap;
+use tl_nlp::vocab::TermId;
+
+/// Internal document id.
+pub type DocId = usize;
+
+/// A posting: document id and term frequency of the term in that document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document id.
+    pub doc: DocId,
+    /// Occurrences of the term in the document.
+    pub tf: u32,
+}
+
+/// Inverted index with per-document lengths.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    postings: HashMap<TermId, Vec<Posting>>,
+    doc_lens: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document, returning its [`DocId`]. Documents are immutable once
+    /// added (append-only, like a Lucene segment).
+    pub fn add_document(&mut self, tokens: &[TermId]) -> DocId {
+        let doc = self.doc_lens.len();
+        self.doc_lens.push(tokens.len() as u32);
+        let mut tf: HashMap<TermId, u32> = HashMap::new();
+        for &t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (t, f) in tf {
+            self.postings
+                .entry(t)
+                .or_default()
+                .push(Posting { doc, tf: f });
+        }
+        // Postings stay doc-id-sorted because doc ids are monotonically
+        // assigned.
+        doc
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Token length of `doc`.
+    pub fn doc_len(&self, doc: DocId) -> usize {
+        self.doc_lens[doc] as usize
+    }
+
+    /// Average document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lens.is_empty() {
+            0.0
+        } else {
+            self.doc_lens.iter().map(|&l| l as u64).sum::<u64>() as f64 / self.doc_lens.len() as f64
+        }
+    }
+
+    /// The posting list for `term` (empty slice if unseen).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings.get(&term).map_or(&[], Vec::as_slice)
+    }
+
+    /// Document frequency of `term`.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.postings(term).len() as u32
+    }
+
+    /// Build a [`Bm25Scorer`] from the index statistics.
+    pub fn bm25_scorer(&self, params: Bm25Params) -> IndexBm25<'_> {
+        IndexBm25 {
+            params,
+            index: self,
+        }
+    }
+
+    /// BM25-rank all documents matching at least one query term; returns
+    /// `(doc, score)` sorted by descending score (ties by doc id).
+    pub fn rank(&self, query: &[TermId], params: Bm25Params) -> Vec<(DocId, f64)> {
+        let scorer = self.bm25_scorer(params);
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        let mut qtf: Vec<(TermId, f64)> = {
+            let mut m: HashMap<TermId, f64> = HashMap::new();
+            for &t in query {
+                *m.entry(t).or_insert(0.0) += 1.0;
+            }
+            m.into_iter().collect()
+        };
+        // Deterministic float-summation order (HashMap order varies).
+        qtf.sort_unstable_by_key(|&(t, _)| t);
+        for &(t, qf) in &qtf {
+            for p in self.postings(t) {
+                *scores.entry(p.doc).or_insert(0.0) +=
+                    qf * scorer.term_score(t, p.tf as f64, self.doc_len(p.doc));
+            }
+        }
+        let mut out: Vec<(DocId, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+/// BM25 scoring view over an [`InvertedIndex`].
+pub struct IndexBm25<'a> {
+    params: Bm25Params,
+    index: &'a InvertedIndex,
+}
+
+impl IndexBm25<'_> {
+    /// Non-negative BM25 idf from index statistics.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.index.num_docs() as f64;
+        let df = self.index.df(term) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// One term's BM25 contribution for a document.
+    pub fn term_score(&self, term: TermId, tf: f64, doc_len: usize) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let avg = self.index.avg_doc_len();
+        let len_norm = if avg > 0.0 {
+            1.0 - b + b * (doc_len as f64) / avg
+        } else {
+            1.0
+        };
+        self.idf(term) * tf * (k1 + 1.0) / (tf + k1 * len_norm)
+    }
+}
+
+/// Convenience: a standalone scorer with the same statistics as the index
+/// (for callers that score documents not stored in the index).
+impl InvertedIndex {
+    /// Export corpus statistics into a standalone [`Bm25Scorer`]-compatible
+    /// form by refitting; prefer [`InvertedIndex::rank`] for indexed docs.
+    pub fn to_scorer(&self, docs: &[Vec<TermId>], params: Bm25Params) -> Bm25Scorer {
+        Bm25Scorer::fit(docs.iter().map(Vec::as_slice), params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_stats() {
+        let mut ix = InvertedIndex::new();
+        let d0 = ix.add_document(&[1, 2, 2]);
+        let d1 = ix.add_document(&[2, 3]);
+        assert_eq!((d0, d1), (0, 1));
+        assert_eq!(ix.num_docs(), 2);
+        assert_eq!(ix.doc_len(0), 3);
+        assert_eq!(ix.avg_doc_len(), 2.5);
+        assert_eq!(ix.df(2), 2);
+        assert_eq!(ix.df(1), 1);
+        assert_eq!(ix.df(9), 0);
+    }
+
+    #[test]
+    fn postings_carry_tf() {
+        let mut ix = InvertedIndex::new();
+        ix.add_document(&[1, 1, 1, 2]);
+        let p = ix.postings(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].tf, 3);
+    }
+
+    #[test]
+    fn rank_orders_by_relevance() {
+        let mut ix = InvertedIndex::new();
+        ix.add_document(&[1, 2, 3]); // matches both query terms
+        ix.add_document(&[1, 4, 5]); // matches one
+        ix.add_document(&[6, 7]); // matches none
+        let ranked = ix.rank(&[1, 2], Bm25Params::default());
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, 0);
+        assert_eq!(ranked[1].0, 1);
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn rank_empty_query() {
+        let mut ix = InvertedIndex::new();
+        ix.add_document(&[1]);
+        assert!(ix.rank(&[], Bm25Params::default()).is_empty());
+    }
+
+    #[test]
+    fn rank_matches_standalone_scorer() {
+        // The index-based ranking must agree with Bm25Scorer on the same corpus.
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 2, 3], vec![1, 1, 4], vec![5, 6]];
+        let mut ix = InvertedIndex::new();
+        for d in &docs {
+            ix.add_document(d);
+        }
+        let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+        let query = vec![1u32, 4];
+        let ranked = ix.rank(&query, Bm25Params::default());
+        for (doc, score) in ranked {
+            let expected = scorer.score(&query, &docs[doc]);
+            assert!(
+                (score - expected).abs() < 1e-9,
+                "doc {doc}: {score} vs {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Information-retrieval substrate for the WILSON reproduction.
+//!
+//! Three of the paper's components are IR machinery:
+//!
+//! * the **W4 edge weight** of date selection uses BM25 relevance of
+//!   reference sentences to the topic query (§2.2),
+//! * **TextRank edge weights** in daily summarization are BM25 scores with
+//!   the source sentence as query and the target as document (§2.3,
+//!   Appendix A, after Barrios et al. 2016),
+//! * the **real-time system** (§5) indexes all tagged sentences in a search
+//!   engine (ElasticSearch in the paper) and retrieves by keywords + date
+//!   range.
+//!
+//! Modules:
+//!
+//! * [`bm25`] — Okapi BM25 scoring over interned term ids,
+//! * [`index`] — an inverted index with in-postings term frequencies,
+//! * [`positional`] — positional postings and exact-phrase matching,
+//! * [`search`] — the dated-sentence search engine (ElasticSearch
+//!   substitute) with keyword + quoted-phrase + date-range queries.
+#![warn(missing_docs)]
+
+pub mod bm25;
+pub mod index;
+pub mod positional;
+pub mod search;
+
+pub use bm25::{Bm25Params, Bm25Scorer};
+pub use index::InvertedIndex;
+pub use positional::{split_query, PositionalIndex};
+pub use search::{SearchEngine, SearchHit, SearchQuery};

@@ -1,0 +1,247 @@
+//! Positional inverted index and phrase matching.
+//!
+//! The §5 service fields journalist queries; quoted phrases (`"north
+//! korea"`) need *positional* postings — which terms appear where — on top
+//! of the bag-of-words index. This module stores per-document term
+//! positions and answers exact-phrase containment, which
+//! [`crate::search::SearchEngine`] uses to filter BM25 candidates when the
+//! query contains quoted phrases.
+
+use std::collections::HashMap;
+use tl_nlp::vocab::TermId;
+
+/// Document id (shared with [`crate::index::InvertedIndex`]).
+pub type DocId = usize;
+
+/// Positional postings: for each term, `(doc, positions)` pairs in doc
+/// order; positions are token offsets after analysis.
+#[derive(Debug, Default, Clone)]
+pub struct PositionalIndex {
+    postings: HashMap<TermId, Vec<(DocId, Vec<u32>)>>,
+    num_docs: usize,
+}
+
+impl PositionalIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document's analyzed tokens; returns its id (monotonic).
+    pub fn add_document(&mut self, tokens: &[TermId]) -> DocId {
+        let doc = self.num_docs;
+        self.num_docs += 1;
+        let mut by_term: HashMap<TermId, Vec<u32>> = HashMap::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            by_term.entry(t).or_default().push(pos as u32);
+        }
+        for (t, positions) in by_term {
+            self.postings.entry(t).or_default().push((doc, positions));
+        }
+        doc
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Positions of `term` in `doc` (empty if absent).
+    pub fn positions(&self, term: TermId, doc: DocId) -> &[u32] {
+        self.postings
+            .get(&term)
+            .and_then(|list| {
+                list.binary_search_by_key(&doc, |(d, _)| *d)
+                    .ok()
+                    .map(|i| list[i].1.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// Does `doc` contain the exact token sequence `phrase`?
+    ///
+    /// Standard positional intersection: start from the rarest term's
+    /// positions and check the aligned offsets of the others.
+    pub fn contains_phrase(&self, phrase: &[TermId], doc: DocId) -> bool {
+        match phrase.len() {
+            0 => return true,
+            1 => return !self.positions(phrase[0], doc).is_empty(),
+            _ => {}
+        }
+        // Anchor on the rarest term for fewer candidate alignments.
+        let (anchor_idx, anchor_positions) = match phrase
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, self.positions(t, doc)))
+            .min_by_key(|(_, p)| p.len())
+        {
+            Some(x) => x,
+            None => return false,
+        };
+        if anchor_positions.is_empty() {
+            return false;
+        }
+        'candidates: for &p in anchor_positions {
+            let start = p as i64 - anchor_idx as i64;
+            if start < 0 {
+                continue;
+            }
+            for (k, &t) in phrase.iter().enumerate() {
+                if k == anchor_idx {
+                    continue;
+                }
+                let want = (start + k as i64) as u32;
+                if self.positions(t, doc).binary_search(&want).is_err() {
+                    continue 'candidates;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// All documents containing the exact phrase (ascending doc ids).
+    pub fn phrase_docs(&self, phrase: &[TermId]) -> Vec<DocId> {
+        if phrase.is_empty() {
+            return (0..self.num_docs).collect();
+        }
+        // Candidate docs = docs containing the rarest term.
+        let rarest = phrase
+            .iter()
+            .min_by_key(|t| self.postings.get(t).map_or(0, Vec::len))
+            .expect("non-empty phrase");
+        let Some(candidates) = self.postings.get(rarest) else {
+            return Vec::new();
+        };
+        candidates
+            .iter()
+            .map(|(d, _)| *d)
+            .filter(|&d| self.contains_phrase(phrase, d))
+            .collect()
+    }
+}
+
+/// Split a raw query into quoted phrases and loose keyword text:
+/// `"north korea" summit "kim jong un"` → phrases `["north korea", "kim
+/// jong un"]`, keywords `"summit"`. Unbalanced quotes treat the tail as
+/// keywords.
+pub fn split_query(raw: &str) -> (Vec<String>, String) {
+    let mut phrases = Vec::new();
+    let mut keywords = String::new();
+    let mut rest = raw;
+    while let Some(open) = rest.find('"') {
+        keywords.push_str(&rest[..open]);
+        keywords.push(' ');
+        let after = &rest[open + 1..];
+        match after.find('"') {
+            Some(close) => {
+                let phrase = after[..close].trim();
+                if !phrase.is_empty() {
+                    phrases.push(phrase.to_string());
+                }
+                rest = &after[close + 1..];
+            }
+            None => {
+                keywords.push_str(after);
+                rest = "";
+                break;
+            }
+        }
+    }
+    keywords.push_str(rest);
+    (
+        phrases,
+        keywords.split_whitespace().collect::<Vec<_>>().join(" "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_nlp::{AnalysisOptions, Analyzer};
+
+    fn setup(texts: &[&str]) -> (PositionalIndex, Analyzer) {
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let mut ix = PositionalIndex::new();
+        for t in texts {
+            let toks = analyzer.analyze(t);
+            ix.add_document(&toks);
+        }
+        (ix, analyzer)
+    }
+
+    #[test]
+    fn phrase_containment() {
+        let (ix, a) = setup(&[
+            "north korea summit talks",
+            "korea north relations",
+            "the summit in north korea continues",
+        ]);
+        let phrase = a.analyze_frozen("north korea");
+        assert!(ix.contains_phrase(&phrase, 0));
+        assert!(
+            !ix.contains_phrase(&phrase, 1),
+            "reversed order must not match"
+        );
+        assert!(ix.contains_phrase(&phrase, 2));
+        assert_eq!(ix.phrase_docs(&phrase), vec![0, 2]);
+    }
+
+    #[test]
+    fn single_and_empty_phrase() {
+        let (ix, a) = setup(&["summit talks", "markets rally"]);
+        let one = a.analyze_frozen("summit");
+        assert_eq!(ix.phrase_docs(&one), vec![0]);
+        assert_eq!(ix.phrase_docs(&[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn repeated_terms_in_phrase() {
+        let (ix, a) = setup(&["talks about talks failed", "talks failed"]);
+        // "talks about talks" requires the exact repetition.
+        let phrase = a.analyze_frozen("talks about talks");
+        // "about" is a stopword and is removed by retrieval analysis, so
+        // the phrase becomes [talks talks]; doc 0 has talks at 0 and 1
+        // (consecutive after stopword removal) — this documents that
+        // phrases operate on the analyzed token stream.
+        assert!(ix.contains_phrase(&phrase, 0));
+        assert!(!ix.contains_phrase(&phrase, 1));
+    }
+
+    #[test]
+    fn unseen_term_no_match() {
+        let (ix, mut a) = setup(&["summit talks"]);
+        let toks = a.analyze("zebra summit");
+        assert!(!ix.contains_phrase(&toks, 0));
+        assert!(ix.phrase_docs(&toks).is_empty());
+    }
+
+    #[test]
+    fn positions_sorted_and_queryable() {
+        let (ix, a) = setup(&["kim met kim again with kim"]);
+        let kim = a.analyze_frozen("kim")[0];
+        let pos = ix.positions(kim, 0);
+        assert_eq!(pos.len(), 3);
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        assert!(ix.positions(kim, 7).is_empty());
+    }
+
+    #[test]
+    fn split_query_forms() {
+        let (phrases, kw) = split_query("\"north korea\" summit \"kim jong un\"");
+        assert_eq!(
+            phrases,
+            vec!["north korea".to_string(), "kim jong un".to_string()]
+        );
+        assert_eq!(kw, "summit");
+        let (phrases, kw) = split_query("plain keyword query");
+        assert!(phrases.is_empty());
+        assert_eq!(kw, "plain keyword query");
+        let (phrases, kw) = split_query("\"unbalanced quote here");
+        assert!(phrases.is_empty());
+        assert_eq!(kw, "unbalanced quote here");
+        let (phrases, kw) = split_query("\"\" empty phrase");
+        assert!(phrases.is_empty());
+        assert_eq!(kw, "empty phrase");
+    }
+}

@@ -1,0 +1,387 @@
+//! The dated-sentence search engine — ElasticSearch substitute for the
+//! real-time system of §5.
+//!
+//! The paper's production framework tokenizes all articles into sentences,
+//! tags them temporally, indexes *both date and content* in ElasticSearch,
+//! and answers `(keywords, [t1, t2])` queries with relevant dated sentences
+//! that are then fed to WILSON. This module reproduces that surface:
+//!
+//! * [`SearchEngine::insert`] — add a dated sentence (supports incremental
+//!   ingestion of newly published articles, as §5 highlights),
+//! * [`SearchEngine::search`] — BM25-ranked keyword retrieval with a hard
+//!   date-range filter and a result cap.
+
+use crate::bm25::Bm25Params;
+use crate::index::{DocId, InvertedIndex};
+use crate::positional::{split_query, PositionalIndex};
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_temporal::Date;
+
+/// A stored dated sentence.
+#[derive(Debug, Clone)]
+pub struct StoredSentence {
+    /// Day-level date the sentence is about (mention date or pub date).
+    pub date: Date,
+    /// Publication date of the source article.
+    pub pub_date: Date,
+    /// The raw sentence text.
+    pub text: String,
+}
+
+/// A query against the engine.
+#[derive(Debug, Clone)]
+pub struct SearchQuery {
+    /// Free-text keywords (analyzed with the engine's analyzer).
+    pub keywords: String,
+    /// Inclusive date-range filter on the sentence date.
+    pub range: Option<(Date, Date)>,
+    /// Maximum number of hits to return.
+    pub limit: usize,
+}
+
+/// A search hit.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// Index of the stored sentence (stable across queries).
+    pub id: DocId,
+    /// BM25 relevance score.
+    pub score: f64,
+    /// The sentence date.
+    pub date: Date,
+}
+
+/// An in-memory search engine over dated sentences.
+pub struct SearchEngine {
+    analyzer: Analyzer,
+    index: InvertedIndex,
+    positional: PositionalIndex,
+    store: Vec<StoredSentence>,
+    params: Bm25Params,
+}
+
+impl Default for SearchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchEngine {
+    /// Create an engine with retrieval-style analysis (stemmed, stopword-
+    /// filtered) and default BM25 parameters.
+    pub fn new() -> Self {
+        Self::with_params(Bm25Params::default())
+    }
+
+    /// Create an engine with custom BM25 parameters.
+    pub fn with_params(params: Bm25Params) -> Self {
+        Self {
+            analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+            index: InvertedIndex::new(),
+            positional: PositionalIndex::new(),
+            store: Vec::new(),
+            params,
+        }
+    }
+
+    /// Insert a dated sentence; returns its stable id. O(|sentence|).
+    pub fn insert(&mut self, date: Date, pub_date: Date, text: &str) -> DocId {
+        let tokens = self.analyzer.analyze(text);
+        let id = self.index.add_document(&tokens);
+        let pid = self.positional.add_document(&tokens);
+        debug_assert_eq!(id, pid);
+        debug_assert_eq!(id, self.store.len());
+        self.store.push(StoredSentence {
+            date,
+            pub_date,
+            text: text.to_string(),
+        });
+        id
+    }
+
+    /// Number of indexed sentences.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Fetch a stored sentence by id.
+    pub fn get(&self, id: DocId) -> Option<&StoredSentence> {
+        self.store.get(id)
+    }
+
+    /// Run a query: BM25 ranking over keyword matches, with quoted phrases
+    /// (`"north korea"`) as hard containment filters, restricted to the
+    /// date range and truncated to `limit`.
+    pub fn search(&self, query: &SearchQuery) -> Vec<SearchHit> {
+        let (phrase_texts, keywords) = split_query(&query.keywords);
+        // Strict phrase analysis: a phrase containing an unindexed word can
+        // match nothing, so the whole query returns empty.
+        let mut phrases: Vec<Vec<u32>> = Vec::new();
+        for p in &phrase_texts {
+            match self.analyzer.analyze_frozen_strict(p) {
+                Some(toks) if !toks.is_empty() => phrases.push(toks),
+                Some(_) => {} // all-stopword phrase: no constraint
+                None => return Vec::new(),
+            }
+        }
+        // BM25 terms: loose keywords plus the phrase words (a phrase both
+        // filters and contributes relevance, as in Lucene).
+        let mut q = self.analyzer.analyze_frozen(&keywords);
+        for p in &phrases {
+            q.extend_from_slice(p);
+        }
+        if q.is_empty() {
+            return Vec::new();
+        }
+        let ranked = self.index.rank(&q, self.params);
+        let mut out = Vec::new();
+        for (doc, score) in ranked {
+            let s = &self.store[doc];
+            if let Some((lo, hi)) = query.range {
+                if s.date < lo || s.date > hi {
+                    continue;
+                }
+            }
+            if !phrases
+                .iter()
+                .all(|p| self.positional.contains_phrase(p, doc))
+            {
+                continue;
+            }
+            out.push(SearchHit {
+                id: doc,
+                score,
+                date: s.date,
+            });
+            if out.len() >= query.limit {
+                break;
+            }
+        }
+        out
+    }
+
+    /// All sentences within a date range (no keyword scoring) — used to
+    /// hand a query-window corpus to WILSON when no keywords are given.
+    pub fn range_scan(&self, lo: Date, hi: Date) -> Vec<DocId> {
+        (0..self.store.len())
+            .filter(|&i| {
+                let d = self.store[i].date;
+                d >= lo && d <= hi
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> SearchEngine {
+        let mut e = SearchEngine::new();
+        e.insert(
+            d("2018-03-08"),
+            d("2018-03-08"),
+            "Trump agrees to meet Kim for talks after months of tension.",
+        );
+        e.insert(
+            d("2018-05-24"),
+            d("2018-05-24"),
+            "President Trump abruptly canceled the June 12 summit.",
+        );
+        e.insert(
+            d("2018-06-12"),
+            d("2018-06-12"),
+            "The historic summit with North Korean leader Kim Jong Un took place.",
+        );
+        e.insert(
+            d("2018-04-10"),
+            d("2018-04-10"),
+            "Markets rallied on unrelated economic data.",
+        );
+        e
+    }
+
+    #[test]
+    fn keyword_search_ranks_relevant_first() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "summit kim".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(!hits.is_empty());
+        // Sentence 2 mentions both summit and Kim.
+        assert_eq!(hits[0].id, 2);
+        // The markets sentence matches nothing.
+        assert!(hits.iter().all(|h| h.id != 3));
+    }
+
+    #[test]
+    fn date_range_filters() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "summit".into(),
+            range: Some((d("2018-06-01"), d("2018-06-30"))),
+            limit: 10,
+        });
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].date, d("2018-06-12"));
+    }
+
+    #[test]
+    fn limit_respected() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "trump summit kim".into(),
+            range: None,
+            limit: 1,
+        });
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(hits.is_empty());
+        // Pure-stopword query also yields nothing.
+        let hits = e.search(&SearchQuery {
+            keywords: "the of and".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn unseen_terms_ignored() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "zebra unicorn".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn incremental_insert_visible() {
+        let mut e = engine();
+        let before = e
+            .search(&SearchQuery {
+                keywords: "denuclearization".into(),
+                range: None,
+                limit: 10,
+            })
+            .len();
+        assert_eq!(before, 0);
+        e.insert(
+            d("2018-06-13"),
+            d("2018-06-13"),
+            "Pyongyang pledged denuclearization after the summit.",
+        );
+        let after = e.search(&SearchQuery {
+            keywords: "denuclearization".into(),
+            range: None,
+            limit: 10,
+        });
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let e = engine();
+        let ids = e.range_scan(d("2018-03-08"), d("2018-04-10"));
+        assert_eq!(ids, vec![0, 3]);
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let e = engine();
+        assert!(e.get(0).unwrap().text.contains("Trump agrees"));
+        assert!(e.get(99).is_none());
+    }
+}
+
+#[cfg(test)]
+mod phrase_tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> SearchEngine {
+        let mut e = SearchEngine::new();
+        e.insert(
+            d("2018-03-08"),
+            d("2018-03-08"),
+            "North Korea agreed to summit talks.",
+        );
+        e.insert(
+            d("2018-04-01"),
+            d("2018-04-01"),
+            "Korea north of the river saw floods.",
+        );
+        e.insert(
+            d("2018-06-12"),
+            d("2018-06-12"),
+            "The North Korea summit took place.",
+        );
+        e
+    }
+
+    #[test]
+    fn quoted_phrase_filters_word_order() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "\"north korea\"".into(),
+            range: None,
+            limit: 10,
+        });
+        let ids: Vec<_> = hits.iter().map(|h| h.id).collect();
+        assert!(ids.contains(&0) && ids.contains(&2));
+        assert!(
+            !ids.contains(&1),
+            "reversed word order must not match the phrase"
+        );
+    }
+
+    #[test]
+    fn phrase_plus_keywords_combined() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "\"north korea\" summit".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let text = &e.get(h.id).unwrap().text.to_lowercase();
+            assert!(text.contains("north korea"));
+        }
+    }
+
+    #[test]
+    fn unmatched_phrase_empty() {
+        let e = engine();
+        let hits = e.search(&SearchQuery {
+            keywords: "\"south korea\"".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(hits.is_empty());
+    }
+}

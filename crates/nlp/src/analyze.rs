@@ -1,0 +1,228 @@
+//! The composed analysis pipeline: tokenize → lowercase → (stopword filter)
+//! → (Porter stem) → intern.
+//!
+//! Every consumer in the workspace (BM25, TextRank, ROUGE, embeddings,
+//! baselines) runs sentences through an [`Analyzer`] so that term ids are
+//! consistent across components that share a vocabulary.
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::spans;
+use crate::vocab::{TermId, Vocabulary};
+
+/// Options controlling the analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Drop English stopwords before interning.
+    pub remove_stopwords: bool,
+    /// Apply Porter stemming.
+    pub stem: bool,
+    /// Drop pure-punctuation tokens.
+    pub drop_punctuation: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            remove_stopwords: true,
+            stem: true,
+            drop_punctuation: true,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// ROUGE-style analysis: stem but keep stopwords (ROUGE-1.5.5 default
+    /// keeps stopwords unless `-s` is passed).
+    pub fn rouge() -> Self {
+        Self {
+            remove_stopwords: false,
+            stem: true,
+            drop_punctuation: true,
+        }
+    }
+
+    /// Retrieval-style analysis: stem and remove stopwords.
+    pub fn retrieval() -> Self {
+        Self::default()
+    }
+
+    /// Raw surface tokens: no stemming, no stopword removal.
+    pub fn surface() -> Self {
+        Self {
+            remove_stopwords: false,
+            stem: false,
+            drop_punctuation: true,
+        }
+    }
+}
+
+/// A stateful analyzer owning a [`Vocabulary`].
+#[derive(Debug, Default, Clone)]
+pub struct Analyzer {
+    vocab: Vocabulary,
+    options: AnalysisOptions,
+}
+
+impl Analyzer {
+    /// Create an analyzer with the given options.
+    pub fn new(options: AnalysisOptions) -> Self {
+        Self {
+            vocab: Vocabulary::new(),
+            options,
+        }
+    }
+
+    /// The options this analyzer applies.
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// Immutable access to the underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Analyze `text` into interned term ids, growing the vocabulary.
+    pub fn analyze(&mut self, text: &str) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for tok in spans(text) {
+            if self.options.drop_punctuation && !tok.text.chars().any(char::is_alphanumeric) {
+                continue;
+            }
+            let lower = tok.text.to_lowercase();
+            if self.options.remove_stopwords && is_stopword(&lower) {
+                continue;
+            }
+            let term = if self.options.stem {
+                porter_stem(&lower)
+            } else {
+                lower
+            };
+            out.push(self.vocab.intern(&term));
+        }
+        out
+    }
+
+    /// Like [`Analyzer::analyze_frozen`] but *strict*: returns `None` if
+    /// any surviving (non-stopword, non-punctuation) term is absent from
+    /// the vocabulary. Phrase queries need this — silently dropping an
+    /// unseen word would turn `"south korea"` into `"korea"`.
+    pub fn analyze_frozen_strict(&self, text: &str) -> Option<Vec<TermId>> {
+        let mut out = Vec::new();
+        for tok in spans(text) {
+            if self.options.drop_punctuation && !tok.text.chars().any(char::is_alphanumeric) {
+                continue;
+            }
+            let lower = tok.text.to_lowercase();
+            if self.options.remove_stopwords && is_stopword(&lower) {
+                continue;
+            }
+            let term = if self.options.stem {
+                porter_stem(&lower)
+            } else {
+                lower
+            };
+            out.push(self.vocab.get(&term)?);
+        }
+        Some(out)
+    }
+
+    /// Analyze without growing the vocabulary; unseen terms are dropped.
+    /// Used when scoring queries against a frozen index.
+    pub fn analyze_frozen(&self, text: &str) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for tok in spans(text) {
+            if self.options.drop_punctuation && !tok.text.chars().any(char::is_alphanumeric) {
+                continue;
+            }
+            let lower = tok.text.to_lowercase();
+            if self.options.remove_stopwords && is_stopword(&lower) {
+                continue;
+            }
+            let term = if self.options.stem {
+                porter_stem(&lower)
+            } else {
+                lower
+            };
+            if let Some(id) = self.vocab.get(&term) {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_removes_stopwords_and_stems() {
+        let mut a = Analyzer::new(AnalysisOptions::default());
+        let ids = a.analyze("The investigations are continuing.");
+        // "the", "are" dropped; "investigations" -> investig, "continuing" -> continu
+        assert_eq!(ids.len(), 2);
+        assert_eq!(a.vocab().term(ids[0]), Some("investig"));
+        assert_eq!(a.vocab().term(ids[1]), Some("continu"));
+    }
+
+    #[test]
+    fn rouge_pipeline_keeps_stopwords() {
+        let mut a = Analyzer::new(AnalysisOptions::rouge());
+        let ids = a.analyze("The summit happened.");
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn surface_pipeline_keeps_inflection() {
+        let mut a = Analyzer::new(AnalysisOptions::surface());
+        let ids = a.analyze("meetings");
+        assert_eq!(a.vocab().term(ids[0]), Some("meetings"));
+    }
+
+    #[test]
+    fn shared_vocab_across_sentences() {
+        let mut a = Analyzer::new(AnalysisOptions::default());
+        let x = a.analyze("nuclear summit");
+        let y = a.analyze("the summit");
+        assert_eq!(x[1], y[0], "summit must intern to the same id");
+    }
+
+    #[test]
+    fn frozen_drops_unseen() {
+        let mut a = Analyzer::new(AnalysisOptions::default());
+        a.analyze("nuclear summit");
+        let before = a.vocab().len();
+        let ids = a.analyze_frozen("nuclear missile");
+        assert_eq!(ids.len(), 1); // "missile" unseen, dropped
+        assert_eq!(a.vocab().len(), before);
+    }
+
+    #[test]
+    fn punctuation_dropped() {
+        let mut a = Analyzer::new(AnalysisOptions::surface());
+        let ids = a.analyze("wait - what ?!");
+        assert_eq!(ids.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod strict_tests {
+    use super::*;
+
+    #[test]
+    fn strict_rejects_unseen_terms() {
+        let mut a = Analyzer::new(AnalysisOptions::default());
+        a.analyze("north korea summit");
+        assert!(a.analyze_frozen_strict("north korea").is_some());
+        assert!(a.analyze_frozen_strict("south korea").is_none());
+        // Stopwords and punctuation never disqualify.
+        assert_eq!(
+            a.analyze_frozen_strict("the summit!").map(|v| v.len()),
+            Some(1)
+        );
+        // Empty input is trivially satisfiable.
+        assert_eq!(a.analyze_frozen_strict(""), Some(vec![]));
+    }
+}

@@ -1,0 +1,184 @@
+//! Unsupervised keyphrase extraction (RAKE-flavoured).
+//!
+//! The real-time system (§5) and the W4 edge weight need a topic *query*;
+//! when a corpus arrives without one (e.g. loading raw l3s topic folders),
+//! keyphrases extracted from the text itself bootstrap it. The method is
+//! RAKE (Rose et al. 2010) over the workspace's own tokenizer: candidate
+//! phrases are maximal stopword-free token runs; each word scores
+//! `degree(w) / freq(w)` over phrase co-occurrence; a phrase scores the sum
+//! of its word scores *times its occurrence count* (the common frequency
+//! boost — plain RAKE over-rewards long one-off runs, which is noise for
+//! query bootstrapping).
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::spans;
+use std::collections::HashMap;
+
+/// A scored keyphrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyphrase {
+    /// The phrase, lowercased, words joined by single spaces.
+    pub text: String,
+    /// RAKE score (degree/frequency sum over member words).
+    pub score: f64,
+    /// Occurrence count in the input.
+    pub count: u32,
+}
+
+/// Extract the top-`k` keyphrases from an iterator of texts.
+///
+/// Phrases longer than `max_words` are skipped (RAKE's usual guard against
+/// run-on candidates in noisy text).
+pub fn extract_keyphrases<'a, I>(texts: I, k: usize, max_words: usize) -> Vec<Keyphrase>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    // Collect candidate phrases: maximal runs of non-stopword word tokens.
+    let mut phrase_counts: HashMap<Vec<String>, u32> = HashMap::new();
+    for text in texts {
+        let mut run: Vec<String> = Vec::new();
+        let flush = |run: &mut Vec<String>, out: &mut HashMap<Vec<String>, u32>| {
+            if !run.is_empty() && run.len() <= max_words {
+                *out.entry(std::mem::take(run)).or_insert(0) += 1;
+            } else {
+                run.clear();
+            }
+        };
+        for tok in spans(text) {
+            let is_word = tok.text.chars().any(char::is_alphanumeric);
+            let lower = tok.text.to_lowercase();
+            if is_word && !is_stopword(&lower) && lower.chars().any(char::is_alphabetic) {
+                run.push(lower);
+            } else {
+                flush(&mut run, &mut phrase_counts);
+            }
+        }
+        flush(&mut run, &mut phrase_counts);
+    }
+
+    // Word statistics: frequency and degree (co-occurrence within phrases).
+    let mut freq: HashMap<&str, f64> = HashMap::new();
+    let mut degree: HashMap<&str, f64> = HashMap::new();
+    for (phrase, &count) in &phrase_counts {
+        let c = count as f64;
+        for w in phrase {
+            *freq.entry(w).or_insert(0.0) += c;
+            *degree.entry(w).or_insert(0.0) += c * phrase.len() as f64;
+        }
+    }
+
+    let mut scored: Vec<Keyphrase> = phrase_counts
+        .iter()
+        .map(|(phrase, &count)| {
+            let score = phrase
+                .iter()
+                .map(|w| degree[w.as_str()] / freq[w.as_str()].max(1.0))
+                .sum::<f64>()
+                * count as f64;
+            Keyphrase {
+                text: phrase.join(" "),
+                score,
+                count,
+            }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.count.cmp(&a.count))
+            .then(a.text.cmp(&b.text))
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// Convenience: build a space-separated query string from the top
+/// keyphrases' distinct words (for `SearchEngine` / W4 use).
+pub fn keyphrase_query<'a, I>(texts: I, max_terms: usize) -> String
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let phrases = extract_keyphrases(texts, max_terms * 2, 4);
+    let mut words: Vec<&str> = Vec::new();
+    for p in &phrases {
+        for w in p.text.split(' ') {
+            if !words.contains(&w) {
+                words.push(w);
+            }
+            if words.len() >= max_terms {
+                return words.join(" ");
+            }
+        }
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOCS: [&str; 4] = [
+        "The ceasefire agreement between rebel factions was signed in Cairo.",
+        "Rebel factions agreed to honor the ceasefire agreement after mediation.",
+        "Aid convoys reached the besieged city once the ceasefire agreement held.",
+        "Weather was mild over the coast on Sunday.",
+    ];
+
+    #[test]
+    fn recurring_phrase_ranks_first() {
+        let ks = extract_keyphrases(DOCS.iter().copied(), 5, 4);
+        assert!(!ks.is_empty());
+        assert_eq!(ks[0].text, "ceasefire agreement");
+        // Two clean occurrences; the third is absorbed into the longer
+        // candidate "ceasefire agreement held".
+        assert_eq!(ks[0].count, 2);
+    }
+
+    #[test]
+    fn stopwords_break_phrases() {
+        let ks = extract_keyphrases(["the summit between leaders"].into_iter(), 10, 4);
+        let texts: Vec<&str> = ks.iter().map(|k| k.text.as_str()).collect();
+        assert!(texts.contains(&"summit"));
+        assert!(texts.contains(&"leaders"));
+        assert!(!texts.iter().any(|t| t.contains("between")));
+    }
+
+    #[test]
+    fn max_words_guard() {
+        let long = "alpha beta gamma delta epsilon zeta eta theta";
+        let ks = extract_keyphrases([long].into_iter(), 10, 3);
+        assert!(ks.is_empty(), "8-word run must be discarded: {ks:?}");
+    }
+
+    #[test]
+    fn numbers_alone_not_phrases() {
+        let ks = extract_keyphrases(["It cost 42 7 dollars overall"].into_iter(), 10, 4);
+        assert!(ks.iter().all(|k| k.text.chars().any(char::is_alphabetic)));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(extract_keyphrases(std::iter::empty::<&str>(), 5, 4).is_empty());
+        assert!(extract_keyphrases([""].into_iter(), 5, 4).is_empty());
+    }
+
+    #[test]
+    fn query_builder_dedups_and_caps() {
+        let q = keyphrase_query(DOCS.iter().copied(), 4);
+        let words: Vec<&str> = q.split(' ').collect();
+        assert!(words.len() <= 4);
+        let mut dedup = words.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), words.len(), "duplicate words in query {q:?}");
+        assert!(q.contains("ceasefire"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = extract_keyphrases(DOCS.iter().copied(), 8, 4);
+        let b = extract_keyphrases(DOCS.iter().copied(), 8, 4);
+        assert_eq!(a, b);
+    }
+}

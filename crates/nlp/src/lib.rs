@@ -1,0 +1,41 @@
+//! Text-processing substrate for the WILSON reproduction.
+//!
+//! The WILSON paper (Liao, Wang & Lee, EDBT 2021) relies on a conventional
+//! NLP pre-processing stack: spaCy for sentence segmentation and
+//! tokenization, lower-cased stemmed tokens for ROUGE and BM25, and cosine
+//! similarity over bag-of-words vectors for the redundancy post-processing
+//! step. This crate re-implements that stack from scratch so that the rest
+//! of the workspace has no external NLP dependencies:
+//!
+//! * [`tokenize`] — word-level tokenization,
+//! * [`sentences`] — abbreviation-aware sentence splitting,
+//! * [`stem`] — the Porter stemming algorithm,
+//! * [`stopwords`] — a standard English stopword list,
+//! * [`vocab`] — string interning into dense `u32` term ids,
+//! * [`vector`] — sparse vectors with dot product / cosine similarity,
+//! * [`tfidf`] — corpus-level document frequencies and TF-IDF weighting,
+//! * [`ngram`] — n-gram and skip-bigram extraction (used by ROUGE),
+//! * [`keyphrase`] — RAKE-style keyphrase extraction (query bootstrap),
+//! * [`analyze`] — the composed analysis pipeline used across the workspace.
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod keyphrase;
+pub mod ngram;
+pub mod sentences;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vector;
+pub mod vocab;
+
+pub use analyze::{AnalysisOptions, Analyzer};
+pub use keyphrase::{extract_keyphrases, keyphrase_query, Keyphrase};
+pub use sentences::split_sentences;
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tfidf::TfIdfModel;
+pub use tokenize::{tokenize, tokenize_lower};
+pub use vector::SparseVector;
+pub use vocab::Vocabulary;

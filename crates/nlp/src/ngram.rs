@@ -1,0 +1,169 @@
+//! N-gram and skip-bigram extraction over interned token ids.
+//!
+//! ROUGE-N counts contiguous n-gram overlap; ROUGE-S\* (the third metric in
+//! Tables 2, 3, 5 and 6 of the paper) counts *skip-bigrams* — ordered token
+//! pairs with arbitrary gap. Counting is done in hash maps keyed by small
+//! fixed arrays so no string re-hashing happens in the scoring loop.
+
+use crate::vocab::TermId;
+use std::collections::HashMap;
+
+/// Multiset of n-grams of a fixed order `N`.
+pub type NgramCounts<const N: usize> = HashMap<[TermId; N], u64>;
+
+/// Count contiguous n-grams of order `N` in `tokens`.
+///
+/// ```
+/// use tl_nlp::ngram::ngrams;
+/// let counts = ngrams::<2>(&[1, 2, 3, 1, 2]);
+/// assert_eq!(counts[&[1, 2]], 2);
+/// assert_eq!(counts[&[2, 3]], 1);
+/// ```
+pub fn ngrams<const N: usize>(tokens: &[TermId]) -> NgramCounts<N> {
+    let mut counts = HashMap::new();
+    if tokens.len() < N {
+        return counts;
+    }
+    for w in tokens.windows(N) {
+        let key: [TermId; N] = w.try_into().expect("window size == N");
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Count skip-bigrams: all ordered pairs `(tokens[i], tokens[j])` with
+/// `i < j` and `j − i − 1 ≤ max_gap`. `max_gap = usize::MAX` gives ROUGE-S\*
+/// (unlimited gap).
+pub fn skip_bigrams(tokens: &[TermId], max_gap: usize) -> NgramCounts<2> {
+    let mut counts = HashMap::new();
+    for i in 0..tokens.len() {
+        let hi = match max_gap {
+            usize::MAX => tokens.len(),
+            g => (i + 1)
+                .saturating_add(g)
+                .saturating_add(1)
+                .min(tokens.len()),
+        };
+        for j in (i + 1)..hi {
+            *counts.entry([tokens[i], tokens[j]]).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Total count mass of a multiset.
+pub fn total<const N: usize>(counts: &NgramCounts<N>) -> u64 {
+    counts.values().sum()
+}
+
+/// Size of the multiset intersection (sum of per-key minima).
+pub fn intersection_size<const N: usize>(a: &NgramCounts<N>, b: &NgramCounts<N>) -> u64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .map(|(k, &ca)| large.get(k).map_or(0, |&cb| ca.min(cb)))
+        .sum()
+}
+
+/// Merge `src` into `dst` (multiset union by sum) — used to pool reference
+/// n-grams across daily summaries for concat-ROUGE.
+pub fn merge_into<const N: usize>(dst: &mut NgramCounts<N>, src: &NgramCounts<N>) {
+    for (k, &v) in src {
+        *dst.entry(*k).or_insert(0) += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unigrams() {
+        let c = ngrams::<1>(&[5, 5, 7]);
+        assert_eq!(c[&[5]], 2);
+        assert_eq!(c[&[7]], 1);
+    }
+
+    #[test]
+    fn bigrams_short_input() {
+        assert!(ngrams::<2>(&[1]).is_empty());
+        assert!(ngrams::<2>(&[]).is_empty());
+    }
+
+    #[test]
+    fn skip_bigrams_unlimited() {
+        // tokens a b c -> pairs (a,b) (a,c) (b,c)
+        let c = skip_bigrams(&[1, 2, 3], usize::MAX);
+        assert_eq!(total(&c), 3);
+        assert_eq!(c[&[1, 2]], 1);
+        assert_eq!(c[&[1, 3]], 1);
+        assert_eq!(c[&[2, 3]], 1);
+    }
+
+    #[test]
+    fn skip_bigrams_gap_zero_equals_bigrams() {
+        let tokens = [1, 2, 3, 1, 2];
+        let sb = skip_bigrams(&tokens, 0);
+        let bg = ngrams::<2>(&tokens);
+        assert_eq!(sb, bg);
+    }
+
+    #[test]
+    fn skip_bigram_count_formula() {
+        // n tokens -> n*(n-1)/2 unlimited skip bigrams.
+        let tokens: Vec<TermId> = (0..10).collect();
+        assert_eq!(total(&skip_bigrams(&tokens, usize::MAX)), 45);
+    }
+
+    #[test]
+    fn intersection_hand_case() {
+        let a = ngrams::<1>(&[1, 1, 2, 3]);
+        let b = ngrams::<1>(&[1, 2, 2, 4]);
+        // min counts: 1 -> 1, 2 -> 1
+        assert_eq!(intersection_size(&a, &b), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ngrams::<1>(&[1, 2]);
+        let b = ngrams::<1>(&[2, 3]);
+        merge_into(&mut a, &b);
+        assert_eq!(a[&[2]], 2);
+        assert_eq!(a[&[1]], 1);
+        assert_eq!(a[&[3]], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn ngram_total_formula(tokens in proptest::collection::vec(0u32..20, 0..60)) {
+            let c = ngrams::<2>(&tokens);
+            let expected = tokens.len().saturating_sub(1) as u64;
+            prop_assert_eq!(total(&c), expected);
+        }
+
+        #[test]
+        fn intersection_bounded_by_totals(a in proptest::collection::vec(0u32..10, 0..40),
+                                          b in proptest::collection::vec(0u32..10, 0..40)) {
+            let ca = ngrams::<1>(&a);
+            let cb = ngrams::<1>(&b);
+            let i = intersection_size(&ca, &cb);
+            prop_assert!(i <= total(&ca));
+            prop_assert!(i <= total(&cb));
+        }
+
+        #[test]
+        fn intersection_symmetric(a in proptest::collection::vec(0u32..10, 0..40),
+                                  b in proptest::collection::vec(0u32..10, 0..40)) {
+            let ca = ngrams::<2>(&a);
+            let cb = ngrams::<2>(&b);
+            prop_assert_eq!(intersection_size(&ca, &cb), intersection_size(&cb, &ca));
+        }
+
+        #[test]
+        fn self_intersection_is_total(a in proptest::collection::vec(0u32..10, 0..40)) {
+            let ca = ngrams::<1>(&a);
+            prop_assert_eq!(intersection_size(&ca, &ca), total(&ca));
+        }
+    }
+}

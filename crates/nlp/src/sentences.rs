@@ -1,0 +1,226 @@
+//! Abbreviation-aware sentence splitting.
+//!
+//! Substitute for spaCy's sentence segmenter (paper, Appendix A: *"We use
+//! spaCy to tokenize news articles into sentences"*). The splitter is a
+//! rule-based scanner over the raw text: a sentence ends at `.`, `!` or `?`
+//! followed by whitespace and an upper-case/digit/quote opener, unless the
+//! period terminates a known abbreviation, a single initial, or a decimal
+//! number. Newlines that separate paragraphs always end a sentence.
+
+/// Common English abbreviations whose trailing period does not end a
+/// sentence. Matched case-insensitively against the token preceding the dot.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "rev", "gen", "sen", "rep", "gov", "sgt", "col", "capt", "lt",
+    "cmdr", "adm", "maj", "st", "jr", "sr", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep",
+    "sept", "oct", "nov", "dec", "mon", "tue", "tues", "wed", "thu", "thur", "thurs", "fri", "sat",
+    "sun", "etc", "e.g", "i.e", "vs", "v", "no", "dept", "univ", "assn", "bros", "inc", "ltd",
+    "co", "corp", "mt", "ft", "ave", "blvd", "rd", "approx", "appt", "est", "min", "max", "misc",
+    "al",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_lowercase();
+    // Single letters ("J. Smith") behave like initials.
+    if w.chars().count() == 1 && w.chars().all(|c| c.is_alphabetic()) {
+        return true;
+    }
+    ABBREVIATIONS.contains(&w.as_str())
+}
+
+/// Split `text` into sentences, returning trimmed sentence strings.
+///
+/// ```
+/// use tl_nlp::split_sentences;
+/// let s = split_sentences("Dr. Murray was questioned. He is not a suspect.");
+/// assert_eq!(s, vec![
+///     "Dr. Murray was questioned.".to_string(),
+///     "He is not a suspect.".to_string(),
+/// ]);
+/// ```
+pub fn split_sentences(text: &str) -> Vec<String> {
+    split_sentence_spans(text)
+        .into_iter()
+        .map(|(a, b)| text[a..b].trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Split `text` into sentence byte ranges `(start, end)`.
+pub fn split_sentence_spans(text: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut spans = Vec::new();
+    let mut sent_start = 0usize;
+    let mut i = 0usize;
+
+    // Returns the word (maximal non-whitespace run) ending at char index `i`
+    // inclusive.
+    let word_ending_at = |i: usize| -> &str {
+        let end = if i + 1 < n {
+            chars[i + 1].0
+        } else {
+            text.len()
+        };
+        let mut j = i;
+        while j > 0 && !chars[j - 1].1.is_whitespace() {
+            j -= 1;
+        }
+        &text[chars[j].0..end]
+    };
+
+    while i < n {
+        let (pos, c) = chars[i];
+        // Paragraph break: two consecutive newlines (possibly with blanks).
+        if c == '\n' {
+            let mut j = i + 1;
+            let mut newline_count = 1;
+            while j < n && chars[j].1.is_whitespace() {
+                if chars[j].1 == '\n' {
+                    newline_count += 1;
+                }
+                j += 1;
+            }
+            if newline_count >= 2 || j >= n {
+                if pos > sent_start {
+                    spans.push((sent_start, pos));
+                }
+                sent_start = if j < n { chars[j].0 } else { text.len() };
+                i = j;
+                continue;
+            }
+        }
+        if c == '.' || c == '!' || c == '?' {
+            // Absorb closing quotes/brackets after the terminator.
+            let mut j = i + 1;
+            while j < n && matches!(chars[j].1, '"' | '\'' | ')' | ']' | '\u{201d}' | '\u{2019}') {
+                j += 1;
+            }
+            // Must be followed by whitespace (or end of text).
+            let followed_by_space = j >= n || chars[j].1.is_whitespace();
+            // Find next non-whitespace char.
+            let mut k = j;
+            while k < n && chars[k].1.is_whitespace() {
+                k += 1;
+            }
+            let next_opens_sentence = k >= n || {
+                let nc = chars[k].1;
+                nc.is_uppercase()
+                    || nc.is_numeric()
+                    || matches!(nc, '"' | '\'' | '(' | '[' | '\u{201c}' | '\u{2018}')
+            };
+            let mut boundary = followed_by_space && next_opens_sentence;
+            if boundary && c == '.' {
+                let word = word_ending_at(i);
+                // "Dr." or "J." — not a boundary; "U.S." at true end-of-text
+                // still closes the final sentence below.
+                if is_abbreviation(word) && k < n {
+                    boundary = false;
+                }
+                // Decimal number "3.5" never reaches here (no space), but a
+                // numbered list "1. Item" should not split.
+                let bare = word.trim_end_matches('.');
+                if bare.chars().all(|ch| ch.is_ascii_digit()) && !bare.is_empty() && k < n {
+                    boundary = false;
+                }
+            }
+            if boundary {
+                let end = if j < n { chars[j].0 } else { text.len() };
+                spans.push((sent_start, end));
+                sent_start = if k < n { chars[k].0 } else { text.len() };
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if sent_start < text.len() && !text[sent_start..].trim().is_empty() {
+        spans.push((sent_start, text.len()));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_two_sentences() {
+        let s = split_sentences("The summit happened. It went well.");
+        assert_eq!(s, ["The summit happened.", "It went well."]);
+    }
+
+    #[test]
+    fn abbreviation_not_boundary() {
+        let s = split_sentences("Dr. Murray found Jackson unconscious. Paramedics came.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].starts_with("Dr. Murray"));
+    }
+
+    #[test]
+    fn initials_not_boundary() {
+        let s = split_sentences("Kim Jong Un met J. Smith today. They talked.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn question_and_exclamation() {
+        let s = split_sentences("Will they meet? Yes! The date is set.");
+        assert_eq!(s, ["Will they meet?", "Yes!", "The date is set."]);
+    }
+
+    #[test]
+    fn decimal_numbers_intact() {
+        let s = split_sentences("Growth was 3.5 percent. Markets rose.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5"));
+    }
+
+    #[test]
+    fn quotes_after_terminator() {
+        let s = split_sentences("\"It was a waste of my time.\" The judge ruled quickly.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].ends_with('"'));
+    }
+
+    #[test]
+    fn paragraph_break_ends_sentence() {
+        let s = split_sentences("A headline without period\n\nThe body starts here.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "A headline without period");
+    }
+
+    #[test]
+    fn lowercase_continuation_not_split() {
+        // "U.S. officials" — next word lowercase, must not split.
+        let s = split_sentences("The U.S. officials agreed to the plan.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n\n  ").is_empty());
+    }
+
+    #[test]
+    fn no_terminal_punctuation() {
+        let s = split_sentences("A fragment with no period");
+        assert_eq!(s, ["A fragment with no period"]);
+    }
+
+    #[test]
+    fn numbered_list_items_not_split() {
+        let s = split_sentences("There were 3. No more arrived.");
+        // "3." followed by capitalized word is ambiguous; we err on not
+        // splitting after a bare number mid-text.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn spans_are_valid_byte_ranges() {
+        let text = "Café closed. The naïve résumé—rejected! Done?";
+        for (a, b) in split_sentence_spans(text) {
+            assert!(text.get(a..b).is_some());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Corpus-level document frequencies and TF-IDF weighting.
+//!
+//! Used by the Chieu & Lee baseline (date-interest TF-IDF scores), the MEAD
+//! centroid, the embedding substrate, and the cosine vectors of WILSON's
+//! post-processing step.
+
+use crate::vector::SparseVector;
+use crate::vocab::TermId;
+use std::collections::HashMap;
+
+/// Document-frequency statistics accumulated over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    doc_freq: HashMap<TermId, u32>,
+    num_docs: u32,
+}
+
+impl TfIdfModel {
+    /// Create an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit a model over an iterator of token-id documents.
+    pub fn fit<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [TermId]>,
+    {
+        let mut model = Self::new();
+        for doc in docs {
+            model.add_document(doc);
+        }
+        model
+    }
+
+    /// Add one document's tokens to the document-frequency counts.
+    pub fn add_document(&mut self, tokens: &[TermId]) {
+        self.num_docs += 1;
+        let mut seen: Vec<TermId> = tokens.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents the model was fit on.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.doc_freq.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln((1 + N) / (1 + df)) + 1`.
+    ///
+    /// The +1 smoothing keeps unseen terms finite and corpus-wide terms
+    /// positive (scikit-learn's convention), which keeps cosine values
+    /// well-behaved on short news sentences.
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.df(term) as f64;
+        ((1.0 + n) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Build the TF-IDF vector of a document (raw tf × idf), not normalized.
+    pub fn vector(&self, tokens: &[TermId]) -> SparseVector {
+        let mut tf: HashMap<TermId, f64> = HashMap::new();
+        for &t in tokens {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        SparseVector::from_pairs(tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect())
+    }
+
+    /// Build the L2-normalized TF-IDF vector of a document.
+    pub fn unit_vector(&self, tokens: &[TermId]) -> SparseVector {
+        let mut v = self.vector(tokens);
+        v.normalize();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 1, 1, 2], vec![2, 3], vec![3]];
+        let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        assert_eq!(m.num_docs(), 3);
+        assert_eq!(m.df(1), 1);
+        assert_eq!(m.df(2), 2);
+        assert_eq!(m.df(3), 2);
+        assert_eq!(m.df(9), 0);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 2], vec![1], vec![1]];
+        let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        assert!(m.idf(2) > m.idf(1));
+        // Unseen term has the highest idf.
+        assert!(m.idf(9) > m.idf(2));
+    }
+
+    #[test]
+    fn idf_always_positive() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1], vec![1], vec![1]];
+        let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        assert!(m.idf(1) > 0.0);
+    }
+
+    #[test]
+    fn vector_weights_tf_times_idf() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 2], vec![1]];
+        let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        let v = m.vector(&[1, 1, 2]);
+        assert!((v.get(1) - 2.0 * m.idf(1)).abs() < 1e-12);
+        assert!((v.get(2) - 1.0 * m.idf(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_vector_is_normalized() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 2, 3]];
+        let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        let v = m.unit_vector(&[1, 2, 2, 3]);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_document_gives_empty_vector() {
+        let m = TfIdfModel::new();
+        assert!(m.vector(&[]).is_empty());
+        assert!(m.unit_vector(&[]).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Word-level tokenization.
+//!
+//! The tokenizer approximates spaCy's English word tokenizer on news text:
+//! it splits on whitespace and punctuation, keeps contiguous alphanumeric
+//! runs together, preserves internal apostrophes and hyphens inside words
+//! (`don't`, `north-korea`), keeps decimal numbers and date-like tokens
+//! (`2018-06-12`, `7:30`) intact, and emits punctuation characters as their
+//! own single-character tokens so that sentence boundaries remain visible
+//! downstream.
+
+/// A token together with its byte offsets into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the input.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Characters allowed *inside* a word token when flanked by word characters.
+fn is_internal_joiner(c: char) -> bool {
+    matches!(c, '\'' | '\u{2019}' | '-' | '.' | ':' | '/' | ',')
+}
+
+/// Tokenize `text` into word and punctuation tokens with byte offsets.
+///
+/// Joiners (`-`, `'`, `.`, `:`, `/`, `,`) are kept inside a token only when
+/// both neighbours are alphanumeric, so `U.S.` stays one token while a
+/// sentence-final period is split off.
+///
+/// ```
+/// use tl_nlp::tokenize::spans;
+/// let toks: Vec<&str> = spans("Trump's summit on 2018-06-12.").iter().map(|t| t.text).collect();
+/// assert_eq!(toks, ["Trump's", "summit", "on", "2018-06-12", "."]);
+/// ```
+pub fn spans(text: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let (start, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_word_char(c) {
+            // Consume a word, allowing internal joiners between word chars.
+            let mut j = i + 1;
+            while j < n {
+                let (_, cj) = chars[j];
+                if is_word_char(cj) {
+                    j += 1;
+                } else if is_internal_joiner(cj) && j + 1 < n && is_word_char(chars[j + 1].1) {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < n { chars[j].0 } else { text.len() };
+            out.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+            });
+            i = j;
+        } else {
+            // A single punctuation character is its own token.
+            let end = if i + 1 < n {
+                chars[i + 1].0
+            } else {
+                text.len()
+            };
+            out.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Tokenize `text`, returning only the token strings.
+pub fn tokenize(text: &str) -> Vec<&str> {
+    spans(text).into_iter().map(|t| t.text).collect()
+}
+
+/// Tokenize `text` and lowercase every token (allocates).
+pub fn tokenize_lower(text: &str) -> Vec<String> {
+    spans(text)
+        .into_iter()
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+/// Tokenize and keep only word tokens (tokens that contain at least one
+/// alphanumeric character), lowercased.
+pub fn tokenize_words_lower(text: &str) -> Vec<String> {
+    spans(text)
+        .into_iter()
+        .filter(|t| t.text.chars().any(char::is_alphanumeric))
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_plain_words() {
+        assert_eq!(
+            tokenize("the quick brown fox"),
+            ["the", "quick", "brown", "fox"]
+        );
+    }
+
+    #[test]
+    fn splits_punctuation_off() {
+        assert_eq!(tokenize("Hello, world!"), ["Hello", ",", "world", "!"]);
+    }
+
+    #[test]
+    fn keeps_contractions_together() {
+        assert_eq!(tokenize("don't won't"), ["don't", "won't"]);
+    }
+
+    #[test]
+    fn keeps_hyphenated_words() {
+        assert_eq!(
+            tokenize("state-of-the-art system"),
+            ["state-of-the-art", "system"]
+        );
+    }
+
+    #[test]
+    fn keeps_iso_dates_and_times() {
+        assert_eq!(
+            tokenize("at 7:30 on 2018-06-12"),
+            ["at", "7:30", "on", "2018-06-12"]
+        );
+    }
+
+    #[test]
+    fn keeps_abbreviations_with_internal_periods() {
+        assert_eq!(tokenize("the U.S. side"), ["the", "U.S", ".", "side"]);
+    }
+
+    #[test]
+    fn keeps_numbers_with_commas() {
+        assert_eq!(
+            tokenize("about 36,915 sentences"),
+            ["about", "36,915", "sentences"]
+        );
+    }
+
+    #[test]
+    fn trailing_joiner_is_split() {
+        assert_eq!(tokenize("wait- what"), ["wait", "-", "what"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn offsets_roundtrip() {
+        let text = "Kim Jong Un, leader of North Korea.";
+        for t in spans(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn unicode_apostrophe() {
+        assert_eq!(tokenize("Trump\u{2019}s plan"), ["Trump\u{2019}s", "plan"]);
+    }
+
+    #[test]
+    fn words_lower_drops_punct() {
+        assert_eq!(
+            tokenize_words_lower("Hello, World! 42."),
+            ["hello", "world", "42"]
+        );
+    }
+
+    #[test]
+    fn non_ascii_text() {
+        // Multi-byte characters must not panic and offsets must be byte-valid.
+        let text = "café — naïve résumé";
+        let toks = tokenize(text);
+        assert!(toks.contains(&"café"));
+        assert!(toks.contains(&"naïve"));
+        for t in spans(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Sparse term vectors with dot-product and cosine similarity.
+//!
+//! WILSON's post-processing step (Algorithm 1, line 19) rejects a candidate
+//! sentence whose *maximum cosine similarity* with already-selected sentences
+//! exceeds 0.5; MEAD's centroid and the submodular baseline's coverage term
+//! are also cosine-based. Vectors are stored as parallel `(term id, weight)`
+//! arrays sorted by term id, so a dot product is a linear merge.
+
+use crate::vocab::TermId;
+
+/// A sparse vector over interned term ids, sorted by id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    ids: Vec<TermId>,
+    weights: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Build from unsorted `(id, weight)` pairs; duplicate ids are summed and
+    /// zero weights dropped.
+    pub fn from_pairs(mut pairs: Vec<(TermId, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut weights = Vec::with_capacity(pairs.len());
+        for (id, w) in pairs {
+            if w == 0.0 {
+                continue;
+            }
+            if ids.last() == Some(&id) {
+                *weights.last_mut().expect("non-empty") += w;
+            } else {
+                ids.push(id);
+                weights.push(w);
+            }
+        }
+        // Summing duplicates can produce zeros; sweep them out.
+        let mut out_ids = Vec::with_capacity(ids.len());
+        let mut out_w = Vec::with_capacity(weights.len());
+        for (id, w) in ids.into_iter().zip(weights) {
+            if w != 0.0 {
+                out_ids.push(id);
+                out_w.push(w);
+            }
+        }
+        Self {
+            ids: out_ids,
+            weights: out_w,
+        }
+    }
+
+    /// Build a term-frequency vector from a token-id sequence.
+    pub fn term_counts(tokens: &[TermId]) -> Self {
+        let mut pairs: Vec<(TermId, f64)> = tokens.iter().map(|&t| (t, 1.0)).collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        Self::from_pairs(pairs)
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterate `(id, weight)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, f64)> + '_ {
+        self.ids.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// The weight for `id` (0.0 if absent).
+    pub fn get(&self, id: TermId) -> f64 {
+        match self.ids.binary_search(&id) {
+            Ok(i) => self.weights[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product by linear merge over the sorted id arrays.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.weights[i] * other.weights[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.weights.iter().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Cosine similarity in `[−1, 1]`; 0.0 when either vector is empty.
+    pub fn cosine(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Scale every weight by `factor` in place.
+    pub fn scale(&mut self, factor: f64) {
+        for w in &mut self.weights {
+            *w *= factor;
+        }
+    }
+
+    /// Normalize to unit L2 length in place (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// Accumulate `other` into `self` (sparse addition).
+    pub fn add_assign(&mut self, other: &Self) {
+        let mut pairs: Vec<(TermId, f64)> = self.iter().chain(other.iter()).collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        *self = Self::from_pairs(pairs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(pairs: &[(TermId, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(x.nnz(), 2);
+        assert_eq!(x.get(1), 2.0);
+        assert_eq!(x.get(3), 5.0);
+        assert_eq!(x.get(2), 0.0);
+    }
+
+    #[test]
+    fn duplicate_cancellation_removed() {
+        let x = v(&[(1, 2.0), (1, -2.0)]);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn dot_product_hand_computed() {
+        let a = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = v(&[(2, 4.0), (5, 1.0), (7, 9.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 + 3.0 * 1.0);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = v(&[(0, 1.0), (1, 2.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = v(&[(0, 1.0)]);
+        let b = v(&[(1, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero() {
+        let a = v(&[(0, 1.0)]);
+        let empty = SparseVector::default();
+        assert_eq!(a.cosine(&empty), 0.0);
+        assert_eq!(empty.cosine(&empty), 0.0);
+    }
+
+    #[test]
+    fn term_counts() {
+        let x = SparseVector::term_counts(&[1, 2, 1, 1, 5]);
+        assert_eq!(x.get(1), 3.0);
+        assert_eq!(x.get(2), 1.0);
+        assert_eq!(x.get(5), 1.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut x = v(&[(0, 3.0), (1, 4.0)]);
+        x.normalize();
+        assert!((x.norm() - 1.0).abs() < 1e-12);
+        let mut zero = SparseVector::default();
+        zero.normalize(); // must not panic or divide by zero
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = v(&[(0, 1.0), (2, 1.0)]);
+        a.add_assign(&v(&[(2, 2.0), (3, 5.0)]));
+        assert_eq!(a.get(0), 1.0);
+        assert_eq!(a.get(2), 3.0);
+        assert_eq!(a.get(3), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded(pairs_a in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20),
+                          pairs_b in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
+            let a = SparseVector::from_pairs(pairs_a);
+            let b = SparseVector::from_pairs(pairs_b);
+            let c = a.cosine(&b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+        }
+
+        #[test]
+        fn dot_commutative(pairs_a in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20),
+                           pairs_b in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
+            let a = SparseVector::from_pairs(pairs_a);
+            let b = SparseVector::from_pairs(pairs_b);
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn norm_matches_self_dot(pairs in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
+            let a = SparseVector::from_pairs(pairs);
+            prop_assert!((a.norm() * a.norm() - a.dot(&a)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! String interning: map terms to dense `u32` ids.
+//!
+//! Every component that builds vectors or graphs over terms (TF-IDF, BM25,
+//! TextRank, ROUGE) first interns tokens into a [`Vocabulary`], so hot loops
+//! compare integers rather than strings — the standard trick in IR engines.
+
+use std::collections::HashMap;
+
+/// A term id produced by a [`Vocabulary`].
+pub type TermId = u32;
+
+/// An append-only string interner.
+///
+/// ```
+/// use tl_nlp::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let a = v.intern("summit");
+/// let b = v.intern("korea");
+/// assert_ne!(a, b);
+/// assert_eq!(v.intern("summit"), a);
+/// assert_eq!(v.term(a), Some("summit"));
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    ids: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a vocabulary with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ids: HashMap::with_capacity(cap),
+            terms: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `term`, returning its id (allocates only on first sight).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_string());
+        self.ids.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up the id of `term` without inserting.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term string for `id`, if allocated.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = ["a", "b", "c", "a", "b"]
+            .iter()
+            .map(|t| v.intern(t))
+            .collect();
+        assert_eq!(ids, [0, 1, 2, 0, 1]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get("x"), None);
+        v.intern("x");
+        assert_eq!(v.get("x"), Some(0));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut v = Vocabulary::new();
+        for t in ["north", "korea", "summit"] {
+            let id = v.intern(t);
+            assert_eq!(v.term(id), Some(t));
+        }
+        assert_eq!(v.term(99), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("z");
+        v.intern("a");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, [(0, "z"), (1, "a")]);
+    }
+}

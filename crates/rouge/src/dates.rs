@@ -1,0 +1,154 @@
+//! Date-selection metrics: F1 (Tables 2, 3, 7) and coverage ±k (Table 3).
+
+use tl_temporal::Date;
+
+/// Precision/recall/F1 of a selected date set against the ground-truth set.
+///
+/// Exact-day matching, as in the paper ("Date selection is evaluated by f1
+/// scores", §2.1).
+pub fn date_f1(selected: &[Date], ground_truth: &[Date]) -> f64 {
+    if selected.is_empty() || ground_truth.is_empty() {
+        return 0.0;
+    }
+    let mut sel: Vec<Date> = selected.to_vec();
+    sel.sort_unstable();
+    sel.dedup();
+    let mut gt: Vec<Date> = ground_truth.to_vec();
+    gt.sort_unstable();
+    gt.dedup();
+    let matched = sel.iter().filter(|d| gt.binary_search(d).is_ok()).count() as f64;
+    let p = matched / sel.len() as f64;
+    let r = matched / gt.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Date coverage within ±`window` days (§2.2.2): the fraction of
+/// ground-truth dates `g` for which some selected date lies in
+/// `[g − window, g + window]`.
+pub fn date_coverage(selected: &[Date], ground_truth: &[Date], window: u32) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let mut sel: Vec<i32> = selected.iter().map(|d| d.days()).collect();
+    sel.sort_unstable();
+    let covered = ground_truth
+        .iter()
+        .filter(|g| {
+            let day = g.days();
+            // Nearest selected date via binary search.
+            match sel.binary_search(&day) {
+                Ok(_) => true,
+                Err(pos) => {
+                    let before = pos.checked_sub(1).map(|i| (day - sel[i]).unsigned_abs());
+                    let after = sel.get(pos).map(|&s| (s - day).unsigned_abs());
+                    before.is_some_and(|d| d <= window) || after.is_some_and(|d| d <= window)
+                }
+            }
+        })
+        .count();
+    covered as f64 / ground_truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn ds(strs: &[&str]) -> Vec<Date> {
+        strs.iter().map(|s| d(s)).collect()
+    }
+
+    #[test]
+    fn perfect_selection() {
+        let gt = ds(&["2018-03-08", "2018-06-12"]);
+        assert!((date_f1(&gt, &gt) - 1.0).abs() < 1e-12);
+        assert!((date_coverage(&gt, &gt, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_selection() {
+        let sel = ds(&["2018-01-01"]);
+        let gt = ds(&["2018-06-12"]);
+        assert_eq!(date_f1(&sel, &gt), 0.0);
+        assert_eq!(date_coverage(&sel, &gt, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_hand_computed() {
+        let sel = ds(&["2018-03-08", "2018-04-01", "2018-05-01", "2018-06-12"]);
+        let gt = ds(&["2018-03-08", "2018-06-12", "2018-07-04"]);
+        // matched 2; P = 2/4, R = 2/3; F1 = 2*0.5*(2/3)/(0.5+2/3) = 4/7
+        assert!((date_f1(&sel, &gt) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_window_semantics() {
+        let gt = ds(&["2018-06-12"]);
+        let sel = ds(&["2018-06-09"]); // 3 days away
+        assert_eq!(date_coverage(&sel, &gt, 3), 1.0);
+        assert_eq!(date_coverage(&sel, &gt, 2), 0.0);
+        let sel_after = ds(&["2018-06-15"]); // 3 days after
+        assert_eq!(date_coverage(&sel_after, &gt, 3), 1.0);
+    }
+
+    #[test]
+    fn coverage_counts_fraction_of_gt() {
+        let gt = ds(&["2018-01-01", "2018-02-01", "2018-03-01", "2018-04-01"]);
+        let sel = ds(&["2018-01-02", "2018-03-29"]);
+        // Covers 01-01 (±3) and 04-01 (±3): 2/4.
+        assert!((date_coverage(&sel, &gt, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let some = ds(&["2018-01-01"]);
+        assert_eq!(date_f1(&[], &some), 0.0);
+        assert_eq!(date_f1(&some, &[]), 0.0);
+        assert_eq!(date_coverage(&[], &some, 3), 0.0);
+        assert_eq!(date_coverage(&some, &[], 3), 0.0);
+    }
+
+    #[test]
+    fn duplicates_deduped_in_f1() {
+        let sel = ds(&["2018-06-12", "2018-06-12"]);
+        let gt = ds(&["2018-06-12"]);
+        assert!((date_f1(&sel, &gt) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn f1_bounded(sel in proptest::collection::vec(0i32..1000, 0..30),
+                      gt in proptest::collection::vec(0i32..1000, 0..30)) {
+            let sel: Vec<Date> = sel.into_iter().map(Date::from_days).collect();
+            let gt: Vec<Date> = gt.into_iter().map(Date::from_days).collect();
+            let f = date_f1(&sel, &gt);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn coverage_monotone_in_window(sel in proptest::collection::vec(0i32..300, 1..20),
+                                       gt in proptest::collection::vec(0i32..300, 1..20)) {
+            let sel: Vec<Date> = sel.into_iter().map(Date::from_days).collect();
+            let gt: Vec<Date> = gt.into_iter().map(Date::from_days).collect();
+            let c0 = date_coverage(&sel, &gt, 0);
+            let c3 = date_coverage(&sel, &gt, 3);
+            let c10 = date_coverage(&sel, &gt, 10);
+            prop_assert!(c0 <= c3 + 1e-12);
+            prop_assert!(c3 <= c10 + 1e-12);
+        }
+
+        #[test]
+        fn exact_match_implies_coverage(days in proptest::collection::vec(0i32..300, 1..20)) {
+            let dates: Vec<Date> = days.into_iter().map(Date::from_days).collect();
+            prop_assert!((date_coverage(&dates, &dates, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Evaluation substrate for the WILSON reproduction.
+//!
+//! Re-implements, from the primary sources, every metric the paper reports:
+//!
+//! * **ROUGE-N** and **ROUGE-S\*** F1 (Lin 2004; §3.1.4) — [`scores`],
+//! * **time-sensitive ROUGE** in the three modes of Martschat & Markert
+//!   2017 used in Table 7: *concat*, *agreement* and *align+ m:1* with
+//!   date-distance discounting — [`temporal`],
+//! * **date-selection F1** and **date coverage ±k** (Table 3) — [`dates`],
+//! * the **approximate randomization significance test** (Noreen 1989)
+//!   behind the ★/† markers of Table 7 — [`significance`].
+//!
+//! A machine timeline is represented throughout as a chronologically sorted
+//! slice of `(Date, Vec<String>)` daily summaries, matching Definition 1 of
+//! the paper.
+#![warn(missing_docs)]
+
+pub mod dates;
+pub mod scores;
+pub mod significance;
+pub mod temporal;
+
+pub use dates::{date_coverage, date_f1};
+pub use scores::{RougeScore, RougeScorer};
+pub use significance::approximate_randomization;
+pub use temporal::{TimelineRouge, TimelineRougeMode};
+
+/// One dated daily summary: the date plus its selected sentences.
+pub type DatedSummary = (tl_temporal::Date, Vec<String>);

@@ -1,0 +1,290 @@
+//! Core ROUGE-N and ROUGE-S\* computation (Lin, 2004).
+//!
+//! Matching follows ROUGE-1.5.5 semantics as the paper uses it (Appendix A):
+//! tokens are lower-cased and Porter-stemmed, stopwords are *kept*, and
+//! n-gram overlap is clipped multiset intersection. ROUGE-S\* is skip-bigram
+//! co-occurrence with unlimited gap. All three report precision, recall and
+//! F1; the paper reports F1 throughout.
+
+use tl_nlp::ngram::{intersection_size, ngrams, skip_bigrams, total, NgramCounts};
+use tl_nlp::{AnalysisOptions, Analyzer};
+
+/// Precision / recall / F-measure triple.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RougeScore {
+    /// Fraction of system n-grams found in the reference.
+    pub precision: f64,
+    /// Fraction of reference n-grams found in the system output.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (β = 1, as the paper reports).
+    pub f1: f64,
+}
+
+impl RougeScore {
+    /// Build from raw counts.
+    pub fn from_counts(matched: u64, sys_total: u64, ref_total: u64) -> Self {
+        Self::from_weighted(matched as f64, sys_total as f64, ref_total as f64)
+    }
+
+    /// Build from (possibly discounted) weighted counts.
+    pub fn from_weighted(matched: f64, sys_total: f64, ref_total: f64) -> Self {
+        let precision = if sys_total > 0.0 {
+            matched / sys_total
+        } else {
+            0.0
+        };
+        let recall = if ref_total > 0.0 {
+            matched / ref_total
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// A ROUGE scorer holding the shared token vocabulary.
+///
+/// The scorer interns tokens once per text; repeated evaluations over the
+/// same corpus share the vocabulary. Construction is cheap.
+#[derive(Debug)]
+pub struct RougeScorer {
+    analyzer: Analyzer,
+}
+
+impl Default for RougeScorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RougeScorer {
+    /// Create a scorer with ROUGE-1.5.5-style analysis (stem, keep
+    /// stopwords).
+    pub fn new() -> Self {
+        Self {
+            analyzer: Analyzer::new(AnalysisOptions::rouge()),
+        }
+    }
+
+    /// Tokenize a text for ROUGE matching (public so temporal modes can
+    /// pre-tokenize daily summaries).
+    pub fn tokens(&mut self, text: &str) -> Vec<u32> {
+        self.analyzer.analyze(text)
+    }
+
+    /// ROUGE-N between a system text and one reference text.
+    pub fn rouge_n(&mut self, n: usize, system: &str, reference: &str) -> RougeScore {
+        let sys = self.tokens(system);
+        let rf = self.tokens(reference);
+        rouge_n_tokens(n, &sys, &rf)
+    }
+
+    /// ROUGE-1 convenience.
+    pub fn rouge_1(&mut self, system: &str, reference: &str) -> RougeScore {
+        self.rouge_n(1, system, reference)
+    }
+
+    /// ROUGE-2 convenience.
+    pub fn rouge_2(&mut self, system: &str, reference: &str) -> RougeScore {
+        self.rouge_n(2, system, reference)
+    }
+
+    /// ROUGE-S\* (skip-bigram, unlimited gap) between system and reference.
+    pub fn rouge_s_star(&mut self, system: &str, reference: &str) -> RougeScore {
+        let sys = self.tokens(system);
+        let rf = self.tokens(reference);
+        let sys_sb = skip_bigrams(&sys, usize::MAX);
+        let ref_sb = skip_bigrams(&rf, usize::MAX);
+        RougeScore::from_counts(
+            intersection_size(&sys_sb, &ref_sb),
+            total(&sys_sb),
+            total(&ref_sb),
+        )
+    }
+
+    /// Multi-reference ROUGE-N: average the per-reference scores
+    /// (ROUGE-1.5.5 `-f A` averaging, the common default).
+    pub fn rouge_n_multi(&mut self, n: usize, system: &str, references: &[&str]) -> RougeScore {
+        if references.is_empty() {
+            return RougeScore::default();
+        }
+        let mut acc = RougeScore::default();
+        for r in references {
+            let s = self.rouge_n(n, system, r);
+            acc.precision += s.precision;
+            acc.recall += s.recall;
+            acc.f1 += s.f1;
+        }
+        let k = references.len() as f64;
+        RougeScore {
+            precision: acc.precision / k,
+            recall: acc.recall / k,
+            f1: acc.f1 / k,
+        }
+    }
+}
+
+/// ROUGE-N over pre-tokenized inputs.
+pub fn rouge_n_tokens(n: usize, system: &[u32], reference: &[u32]) -> RougeScore {
+    match n {
+        1 => score_ngrams::<1>(system, reference),
+        2 => score_ngrams::<2>(system, reference),
+        3 => score_ngrams::<3>(system, reference),
+        4 => score_ngrams::<4>(system, reference),
+        _ => panic!("ROUGE-N supported for n in 1..=4, got {n}"),
+    }
+}
+
+fn score_ngrams<const N: usize>(system: &[u32], reference: &[u32]) -> RougeScore {
+    let sys: NgramCounts<N> = ngrams(system);
+    let rf: NgramCounts<N> = ngrams(reference);
+    RougeScore::from_counts(intersection_size(&sys, &rf), total(&sys), total(&rf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_texts_score_one() {
+        let mut r = RougeScorer::new();
+        let s = r.rouge_1(
+            "the summit took place in june",
+            "the summit took place in june",
+        );
+        assert!((s.f1 - 1.0).abs() < 1e-12);
+        let s2 = r.rouge_2(
+            "the summit took place in june",
+            "the summit took place in june",
+        );
+        assert!((s2.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_texts_score_zero() {
+        let mut r = RougeScorer::new();
+        let s = r.rouge_1("alpha beta gamma", "delta epsilon zeta");
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+    }
+
+    #[test]
+    fn hand_computed_rouge_1() {
+        // sys: "the cat sat" -> [the, cat, sat]
+        // ref: "the cat ate fish" -> [the, cat, ate, fish]
+        // match = 2, P = 2/3, R = 2/4.
+        let mut r = RougeScorer::new();
+        let s = r.rouge_1("the cat sat", "the cat ate fish");
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        let f = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((s.f1 - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_rouge_2() {
+        // sys bigrams: (the cat)(cat sat); ref bigrams: (the cat)(cat ate)(ate fish)
+        // match = 1, P = 1/2, R = 1/3.
+        let mut r = RougeScorer::new();
+        let s = r.rouge_2("the cat sat", "the cat ate fish");
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_prevents_overcount() {
+        // sys repeats "kim" three times, ref has it once: clipped match = 1.
+        let mut r = RougeScorer::new();
+        let s = r.rouge_1("kim kim kim", "kim spoke");
+        assert!((s.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stemming_matches_inflections() {
+        let mut r = RougeScorer::new();
+        // "negotiations" and "negotiation" must match after stemming.
+        let s = r.rouge_1("negotiations continued", "negotiation continues");
+        assert!(s.f1 > 0.9, "{s:?}");
+    }
+
+    #[test]
+    fn skip_bigram_hand_case() {
+        // sys "a b c": pairs ab ac bc. ref "a c b": pairs ac ab cb.
+        // match = {ab, ac} = 2; totals 3 and 3.
+        let mut r = RougeScorer::new();
+        let s = r.rouge_s_star("alpha beta gamma", "alpha gamma beta");
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut r = RougeScorer::new();
+        assert_eq!(r.rouge_1("", "reference text").f1, 0.0);
+        assert_eq!(r.rouge_1("system text", "").f1, 0.0);
+        assert_eq!(r.rouge_2("one", "one").f1, 0.0); // too short for bigrams
+        assert_eq!(r.rouge_s_star("", "").f1, 0.0);
+    }
+
+    #[test]
+    fn multi_reference_average() {
+        let mut r = RougeScorer::new();
+        let perfect = r.rouge_n_multi(1, "alpha beta", &["alpha beta", "gamma delta"]);
+        let single = r.rouge_n(1, "alpha beta", "alpha beta");
+        assert!((perfect.f1 - single.f1 / 2.0).abs() < 1e-12);
+        assert_eq!(r.rouge_n_multi(1, "alpha", &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut r = RougeScorer::new();
+        let s = r.rouge_1("TRUMP MET KIM", "trump met kim");
+        assert!((s.f1 - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn f1_bounded_and_symmetric_on_identity(words in proptest::collection::vec("[a-z]{2,6}", 1..20)) {
+            let text = words.join(" ");
+            let mut r = RougeScorer::new();
+            let s = r.rouge_1(&text, &text);
+            prop_assert!((s.f1 - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn precision_recall_swap_on_reversal(a in proptest::collection::vec("[a-z]{2,6}", 1..15),
+                                             b in proptest::collection::vec("[a-z]{2,6}", 1..15)) {
+            let (ta, tb) = (a.join(" "), b.join(" "));
+            let mut r = RougeScorer::new();
+            let ab = r.rouge_1(&ta, &tb);
+            let ba = r.rouge_1(&tb, &ta);
+            prop_assert!((ab.precision - ba.recall).abs() < 1e-9);
+            prop_assert!((ab.recall - ba.precision).abs() < 1e-9);
+            prop_assert!((ab.f1 - ba.f1).abs() < 1e-9);
+        }
+
+        #[test]
+        fn scores_in_unit_interval(a in proptest::collection::vec("[a-z]{2,5}", 0..15),
+                                   b in proptest::collection::vec("[a-z]{2,5}", 0..15)) {
+            let (ta, tb) = (a.join(" "), b.join(" "));
+            let mut r = RougeScorer::new();
+            for s in [r.rouge_1(&ta, &tb), r.rouge_2(&ta, &tb), r.rouge_s_star(&ta, &tb)] {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.precision));
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.recall));
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.f1));
+            }
+        }
+    }
+}

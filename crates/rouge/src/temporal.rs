@@ -1,0 +1,366 @@
+//! Time-sensitive ROUGE for timelines (Martschat & Markert, 2017).
+//!
+//! The paper's Table 7 reports three evaluation modes against the TILSE
+//! evaluation library:
+//!
+//! * **concat** — ignore dates entirely: concatenate all daily summaries of
+//!   the system and of the reference and run plain ROUGE,
+//! * **agreement** — n-gram matches count only between summaries *on the
+//!   same date*; precision is normalized by all system n-grams and recall
+//!   by all reference n-grams, so writing on a wrong date costs precision
+//!   and missing a reference date costs recall,
+//! * **align+ m:1** — each system day is aligned to its best-matching
+//!   reference day (several system days may map to the same reference day),
+//!   and the matched counts are discounted by `1 / (1 + |d_sys − d_ref|)`,
+//!   so near-miss dates earn partial credit.
+//!
+//! All modes are computed for ROUGE-1 and ROUGE-2 (micro-averaged counts,
+//! as in the tilse library).
+
+use crate::scores::{RougeScore, RougeScorer};
+use crate::DatedSummary;
+use tl_nlp::ngram::{intersection_size, ngrams, total, NgramCounts};
+
+/// Which time-sensitive mode to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelineRougeMode {
+    /// Date-agnostic concatenation.
+    Concat,
+    /// Same-date matching only.
+    Agreement,
+    /// Best-reference-day alignment (m:1) with date-distance discount.
+    AlignMto1,
+    /// One-to-one alignment: each reference day may be claimed by at most
+    /// one system day (greedy on discounted match, the tilse library's
+    /// second alignment flavour). Never exceeds [`Self::AlignMto1`].
+    Align1to1,
+}
+
+/// Evaluator for timeline-level ROUGE.
+#[derive(Debug, Default)]
+pub struct TimelineRouge {
+    scorer: RougeScorer,
+}
+
+/// Tokenized daily summaries (one token vector per day).
+struct TokenizedTimeline {
+    days: Vec<(i32, Vec<u32>)>, // (epoch day, tokens)
+}
+
+impl TimelineRouge {
+    /// Create an evaluator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tokenize(&mut self, tl: &[DatedSummary]) -> TokenizedTimeline {
+        let days = tl
+            .iter()
+            .map(|(d, sents)| {
+                let joined = sents.join(" ");
+                (d.days(), self.scorer.tokens(&joined))
+            })
+            .collect();
+        TokenizedTimeline { days }
+    }
+
+    /// Compute ROUGE-N (n = 1 or 2) in the given mode.
+    pub fn rouge_n(
+        &mut self,
+        n: usize,
+        mode: TimelineRougeMode,
+        system: &[DatedSummary],
+        reference: &[DatedSummary],
+    ) -> RougeScore {
+        let sys = self.tokenize(system);
+        let rf = self.tokenize(reference);
+        match n {
+            1 => mode_dispatch::<1>(mode, &sys, &rf),
+            2 => mode_dispatch::<2>(mode, &sys, &rf),
+            _ => panic!("timeline ROUGE supported for n in {{1, 2}}, got {n}"),
+        }
+    }
+
+    /// ROUGE-S\* on the concatenation (used for Tables 2, 3, 5, 6).
+    pub fn rouge_s_star_concat(
+        &mut self,
+        system: &[DatedSummary],
+        reference: &[DatedSummary],
+    ) -> RougeScore {
+        let sys_text = concat_text(system);
+        let ref_text = concat_text(reference);
+        self.scorer.rouge_s_star(&sys_text, &ref_text)
+    }
+}
+
+fn concat_text(tl: &[DatedSummary]) -> String {
+    tl.iter()
+        .map(|(_, sents)| sents.join(" "))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn mode_dispatch<const N: usize>(
+    mode: TimelineRougeMode,
+    sys: &TokenizedTimeline,
+    rf: &TokenizedTimeline,
+) -> RougeScore {
+    match mode {
+        TimelineRougeMode::Concat => concat_mode::<N>(sys, rf),
+        TimelineRougeMode::Agreement => agreement_mode::<N>(sys, rf),
+        TimelineRougeMode::AlignMto1 => align_mode::<N>(sys, rf),
+        TimelineRougeMode::Align1to1 => align_1to1_mode::<N>(sys, rf),
+    }
+}
+
+fn day_ngrams<const N: usize>(tl: &TokenizedTimeline) -> Vec<(i32, NgramCounts<N>)> {
+    tl.days
+        .iter()
+        .map(|(d, toks)| (*d, ngrams::<N>(toks)))
+        .collect()
+}
+
+fn concat_mode<const N: usize>(sys: &TokenizedTimeline, rf: &TokenizedTimeline) -> RougeScore {
+    // Concatenate token streams. Joining at day boundaries creates one
+    // spurious cross-boundary n-gram per boundary — the reference
+    // implementation concatenates text the same way, so we match that.
+    let sys_tokens: Vec<u32> = sys
+        .days
+        .iter()
+        .flat_map(|(_, t)| t.iter().copied())
+        .collect();
+    let ref_tokens: Vec<u32> = rf
+        .days
+        .iter()
+        .flat_map(|(_, t)| t.iter().copied())
+        .collect();
+    let s: NgramCounts<N> = ngrams(&sys_tokens);
+    let r: NgramCounts<N> = ngrams(&ref_tokens);
+    RougeScore::from_counts(intersection_size(&s, &r), total(&s), total(&r))
+}
+
+fn agreement_mode<const N: usize>(sys: &TokenizedTimeline, rf: &TokenizedTimeline) -> RougeScore {
+    let sys_days = day_ngrams::<N>(sys);
+    let ref_days = day_ngrams::<N>(rf);
+    let sys_total: u64 = sys_days.iter().map(|(_, c)| total(c)).sum();
+    let ref_total: u64 = ref_days.iter().map(|(_, c)| total(c)).sum();
+    let mut matched = 0u64;
+    for (d, sc) in &sys_days {
+        if let Some((_, rc)) = ref_days.iter().find(|(rd, _)| rd == d) {
+            matched += intersection_size(sc, rc);
+        }
+    }
+    RougeScore::from_counts(matched, sys_total, ref_total)
+}
+
+fn align_mode<const N: usize>(sys: &TokenizedTimeline, rf: &TokenizedTimeline) -> RougeScore {
+    let sys_days = day_ngrams::<N>(sys);
+    let ref_days = day_ngrams::<N>(rf);
+    let sys_total: u64 = sys_days.iter().map(|(_, c)| total(c)).sum();
+    let ref_total: u64 = ref_days.iter().map(|(_, c)| total(c)).sum();
+    let mut matched = 0.0f64;
+    for (d, sc) in &sys_days {
+        // Align this system day to the reference day maximizing the
+        // distance-discounted match; m:1 — several system days may pick the
+        // same reference day.
+        let mut best = 0.0f64;
+        for (rd, rc) in &ref_days {
+            let discount = 1.0 / (1.0 + (d - rd).abs() as f64);
+            let m = intersection_size(sc, rc) as f64 * discount;
+            if m > best {
+                best = m;
+            }
+        }
+        matched += best;
+    }
+    RougeScore::from_weighted(matched, sys_total as f64, ref_total as f64)
+}
+
+fn align_1to1_mode<const N: usize>(sys: &TokenizedTimeline, rf: &TokenizedTimeline) -> RougeScore {
+    let sys_days = day_ngrams::<N>(sys);
+    let ref_days = day_ngrams::<N>(rf);
+    let sys_total: u64 = sys_days.iter().map(|(_, c)| total(c)).sum();
+    let ref_total: u64 = ref_days.iter().map(|(_, c)| total(c)).sum();
+    // All candidate (sys, ref) pairs with their discounted match, assigned
+    // greedily best-first so each side is used at most once — the standard
+    // greedy 1:1 matching (optimal assignment is overkill for this metric
+    // and tilse also matches greedily).
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, (d, sc)) in sys_days.iter().enumerate() {
+        for (j, (rd, rc)) in ref_days.iter().enumerate() {
+            let discount = 1.0 / (1.0 + (d - rd).abs() as f64);
+            let m = intersection_size(sc, rc) as f64 * discount;
+            if m > 0.0 {
+                pairs.push((m, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut sys_used = vec![false; sys_days.len()];
+    let mut ref_used = vec![false; ref_days.len()];
+    let mut matched = 0.0;
+    for (m, i, j) in pairs {
+        if !sys_used[i] && !ref_used[j] {
+            sys_used[i] = true;
+            ref_used[j] = true;
+            matched += m;
+        }
+    }
+    RougeScore::from_weighted(matched, sys_total as f64, ref_total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_temporal::Date;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn tl(entries: &[(&str, &[&str])]) -> Vec<DatedSummary> {
+        entries
+            .iter()
+            .map(|(date, sents)| (d(date), sents.iter().map(|s| s.to_string()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_timelines_perfect_everywhere() {
+        let t = tl(&[
+            ("2018-03-08", &["Trump agrees to meet Kim for talks."]),
+            ("2018-06-12", &["The summit takes place in Singapore."]),
+        ]);
+        let mut ev = TimelineRouge::new();
+        for mode in [
+            TimelineRougeMode::Concat,
+            TimelineRougeMode::Agreement,
+            TimelineRougeMode::AlignMto1,
+        ] {
+            let s = ev.rouge_n(1, mode, &t, &t);
+            assert!((s.f1 - 1.0).abs() < 1e-9, "{mode:?}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn agreement_zero_when_dates_disjoint() {
+        let sys = tl(&[("2018-03-08", &["the summit talks happened"])]);
+        let rf = tl(&[("2018-06-12", &["the summit talks happened"])]);
+        let mut ev = TimelineRouge::new();
+        let agr = ev.rouge_n(1, TimelineRougeMode::Agreement, &sys, &rf);
+        assert_eq!(agr.f1, 0.0);
+        // Concat ignores the date difference entirely.
+        let cat = ev.rouge_n(1, TimelineRougeMode::Concat, &sys, &rf);
+        assert!((cat.f1 - 1.0).abs() < 1e-9);
+        // Alignment gives discounted credit: distance 96 days.
+        let al = ev.rouge_n(1, TimelineRougeMode::AlignMto1, &sys, &rf);
+        assert!(al.f1 > 0.0 && al.f1 < cat.f1);
+    }
+
+    #[test]
+    fn align_discount_value() {
+        // One day off: discount = 1/2. 4 unigrams all matching.
+        let sys = tl(&[("2018-06-11", &["alpha beta gamma delta"])]);
+        let rf = tl(&[("2018-06-12", &["alpha beta gamma delta"])]);
+        let mut ev = TimelineRouge::new();
+        let al = ev.rouge_n(1, TimelineRougeMode::AlignMto1, &sys, &rf);
+        assert!((al.precision - 0.5).abs() < 1e-9);
+        assert!((al.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn align_at_least_agreement() {
+        // Alignment with discount 1 on same dates reduces to agreement.
+        let sys = tl(&[
+            ("2018-03-08", &["trump kim talks"]),
+            ("2018-05-24", &["summit canceled abruptly"]),
+        ]);
+        let rf = tl(&[
+            ("2018-03-08", &["kim requested talks"]),
+            ("2018-06-12", &["summit happened in singapore"]),
+        ]);
+        let mut ev = TimelineRouge::new();
+        let agr = ev.rouge_n(1, TimelineRougeMode::Agreement, &sys, &rf);
+        let al = ev.rouge_n(1, TimelineRougeMode::AlignMto1, &sys, &rf);
+        assert!(al.f1 >= agr.f1 - 1e-12, "{al:?} vs {agr:?}");
+    }
+
+    #[test]
+    fn wrong_date_costs_precision_in_agreement() {
+        // System writes perfect content on the right date plus noise on a
+        // wrong date: recall stays 1, precision drops.
+        let rf = tl(&[("2018-06-12", &["summit happened"])]);
+        let sys = tl(&[
+            ("2018-06-12", &["summit happened"]),
+            ("2018-06-13", &["irrelevant chatter words"]),
+        ]);
+        let mut ev = TimelineRouge::new();
+        let agr = ev.rouge_n(1, TimelineRougeMode::Agreement, &sys, &rf);
+        assert!((agr.recall - 1.0).abs() < 1e-9);
+        assert!(agr.precision < 1.0);
+    }
+
+    #[test]
+    fn rouge2_concat_on_timelines() {
+        let sys = tl(&[("2018-06-12", &["the historic summit took place"])]);
+        let rf = tl(&[("2018-06-12", &["the historic summit was held"])]);
+        let mut ev = TimelineRouge::new();
+        let s = ev.rouge_n(2, TimelineRougeMode::Concat, &sys, &rf);
+        // sys bigrams: (the historic)(historic summit)(summit took)(took place)
+        // ref bigrams: (the historic)(historic summit)(summit was)(was held)
+        // match 2, P=R=1/2.
+        assert!((s.precision - 0.5).abs() < 1e-9);
+        assert!((s.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timelines() {
+        let mut ev = TimelineRouge::new();
+        let t = tl(&[("2018-06-12", &["summit"])]);
+        for mode in [
+            TimelineRougeMode::Concat,
+            TimelineRougeMode::Agreement,
+            TimelineRougeMode::AlignMto1,
+        ] {
+            assert_eq!(ev.rouge_n(1, mode, &[], &t).f1, 0.0);
+            assert_eq!(ev.rouge_n(1, mode, &t, &[]).f1, 0.0);
+            assert_eq!(ev.rouge_n(1, mode, &[], &[]).f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn align_1to1_never_exceeds_m_to_1() {
+        let sys = tl(&[
+            ("2018-03-08", &["summit talks announced"]),
+            ("2018-03-09", &["summit talks announced again"]),
+        ]);
+        let rf = tl(&[("2018-03-08", &["summit talks announced"])]);
+        let mut ev = TimelineRouge::new();
+        let m = ev.rouge_n(1, TimelineRougeMode::AlignMto1, &sys, &rf);
+        let one = ev.rouge_n(1, TimelineRougeMode::Align1to1, &sys, &rf);
+        assert!(one.f1 <= m.f1 + 1e-12, "{one:?} vs {m:?}");
+        // Both system days would align to the same reference day under m:1;
+        // under 1:1 only one may claim it.
+        assert!(one.f1 < m.f1);
+    }
+
+    #[test]
+    fn align_1to1_identical_is_perfect() {
+        let t = tl(&[
+            ("2018-03-08", &["trump agrees to meet kim"]),
+            ("2018-06-12", &["the summit takes place"]),
+        ]);
+        let mut ev = TimelineRouge::new();
+        let s = ev.rouge_n(1, TimelineRougeMode::Align1to1, &t, &t);
+        assert!((s.f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_star_concat() {
+        let sys = tl(&[("2018-06-12", &["alpha beta gamma"])]);
+        let rf = tl(&[("2018-06-12", &["alpha gamma beta"])]);
+        let mut ev = TimelineRouge::new();
+        let s = ev.rouge_s_star_concat(&sys, &rf);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,476 @@
+//! A day-precision proleptic-Gregorian calendar date.
+//!
+//! All of WILSON's temporal reasoning is day-granular: date-reference edge
+//! weights are day differences (W2 = |date_j − date_i|), the recency
+//! adjustment exponentiates day offsets, uniformity (Definition 3) is the
+//! standard deviation of day gaps, and date coverage is a ±3 day window.
+//! `Date` therefore stores a single `i32` *day number* (days since
+//! 1970-01-01, negative before) so ordering and differences are integer ops,
+//! with exact conversion to and from `(year, month, day)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Months of the Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum Month {
+    January = 1,
+    February = 2,
+    March = 3,
+    April = 4,
+    May = 5,
+    June = 6,
+    July = 7,
+    August = 8,
+    September = 9,
+    October = 10,
+    November = 11,
+    December = 12,
+}
+
+impl Month {
+    /// Month from its 1-based number.
+    pub fn from_number(n: u32) -> Option<Self> {
+        use Month::*;
+        Some(match n {
+            1 => January,
+            2 => February,
+            3 => March,
+            4 => April,
+            5 => May,
+            6 => June,
+            7 => July,
+            8 => August,
+            9 => September,
+            10 => October,
+            11 => November,
+            12 => December,
+            _ => return None,
+        })
+    }
+
+    /// 1-based month number.
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// Full lowercase English name.
+    pub fn name(self) -> &'static str {
+        use Month::*;
+        match self {
+            January => "january",
+            February => "february",
+            March => "march",
+            April => "april",
+            May => "may",
+            June => "june",
+            July => "july",
+            August => "august",
+            September => "september",
+            October => "october",
+            November => "november",
+            December => "december",
+        }
+    }
+
+    /// Parse a full or abbreviated English month name (case-insensitive,
+    /// trailing period allowed: "Jun.", "sept").
+    pub fn parse_name(s: &str) -> Option<Self> {
+        use Month::*;
+        let lower = s.trim_end_matches('.').to_lowercase();
+        Some(match lower.as_str() {
+            "january" | "jan" => January,
+            "february" | "feb" => February,
+            "march" | "mar" => March,
+            "april" | "apr" => April,
+            "may" => May,
+            "june" | "jun" => June,
+            "july" | "jul" => July,
+            "august" | "aug" => August,
+            "september" | "sep" | "sept" => September,
+            "october" | "oct" => October,
+            "november" | "nov" => November,
+            "december" | "dec" => December,
+            _ => return None,
+        })
+    }
+}
+
+/// Days of the week.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// 0-based index with Monday = 0.
+    pub fn index(self) -> i32 {
+        use Weekday::*;
+        match self {
+            Monday => 0,
+            Tuesday => 1,
+            Wednesday => 2,
+            Thursday => 3,
+            Friday => 4,
+            Saturday => 5,
+            Sunday => 6,
+        }
+    }
+
+    /// Parse a full or abbreviated English weekday name.
+    pub fn parse_name(s: &str) -> Option<Self> {
+        use Weekday::*;
+        let lower = s.trim_end_matches('.').to_lowercase();
+        Some(match lower.as_str() {
+            "monday" | "mon" => Monday,
+            "tuesday" | "tue" | "tues" => Tuesday,
+            "wednesday" | "wed" => Wednesday,
+            "thursday" | "thu" | "thur" | "thurs" => Thursday,
+            "friday" | "fri" => Friday,
+            "saturday" | "sat" => Saturday,
+            "sunday" | "sun" => Sunday,
+            _ => return None,
+        })
+    }
+}
+
+/// A calendar date stored as days since 1970-01-01 (the Unix epoch day).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Date(i32);
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days from civil date to epoch day — Howard Hinnant's `days_from_civil`
+/// algorithm, exact over the full i32 range we use.
+fn civil_to_days(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m as i64) + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`civil_to_days`].
+fn days_to_civil(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+impl Date {
+    /// Construct from year/month/day; returns `None` for invalid dates
+    /// (month out of range, day 30 of February, …).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date(civil_to_days(year, month, day)))
+    }
+
+    /// Construct directly from an epoch-day number.
+    pub fn from_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// Days since 1970-01-01 (negative before).
+    pub fn days(self) -> i32 {
+        self.0
+    }
+
+    /// `(year, month, day)` triple.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        days_to_civil(self.0)
+    }
+
+    /// The year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The 1-based month number.
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// The 1-based day of month.
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// Month as an enum.
+    pub fn month_enum(self) -> Month {
+        Month::from_number(self.month()).expect("valid month")
+    }
+
+    /// Day of week (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> Weekday {
+        use Weekday::*;
+        match (self.0.rem_euclid(7) + 3) % 7 {
+            0 => Monday,
+            1 => Tuesday,
+            2 => Wednesday,
+            3 => Thursday,
+            4 => Friday,
+            5 => Saturday,
+            _ => Sunday,
+        }
+    }
+
+    /// Date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(self, n: i32) -> Self {
+        Date(self.0 + n)
+    }
+
+    /// Signed day difference `self − other`.
+    pub fn diff_days(self, other: Self) -> i32 {
+        self.0 - other.0
+    }
+
+    /// Absolute day distance.
+    pub fn distance(self, other: Self) -> u32 {
+        (self.0 - other.0).unsigned_abs()
+    }
+
+    /// First day of this date's month.
+    pub fn first_of_month(self) -> Self {
+        let (y, m, _) = self.ymd();
+        Date(civil_to_days(y, m, 1))
+    }
+
+    /// First day of this date's year.
+    pub fn first_of_year(self) -> Self {
+        Date(civil_to_days(self.year(), 1, 1))
+    }
+
+    /// Iterate every date in `[start, end]` inclusive.
+    pub fn range_inclusive(start: Self, end: Self) -> impl Iterator<Item = Date> {
+        (start.0..=end.0).map(Date)
+    }
+}
+
+impl fmt::Display for Date {
+    /// ISO-8601 `YYYY-MM-DD`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+/// Error from [`Date::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDateError(pub String);
+
+impl fmt::Display for ParseDateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDateError {}
+
+impl FromStr for Date {
+    type Err = ParseDateError;
+
+    /// Parse `YYYY-MM-DD` (also accepts `YYYY/MM/DD` and `YYYYMMDD`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseDateError(s.to_string());
+        let (y, m, d) = if let Some((y, rest)) = s.split_once(['-', '/']) {
+            let (m, d) = rest.split_once(['-', '/']).ok_or_else(err)?;
+            (y, m, d)
+        } else if s.len() == 8 && s.bytes().all(|b| b.is_ascii_digit()) {
+            (&s[0..4], &s[4..6], &s[6..8])
+        } else {
+            return Err(err());
+        };
+        let y: i32 = y.parse().map_err(|_| err())?;
+        let m: u32 = m.parse().map_err(|_| err())?;
+        let d: u32 = d.parse().map_err(|_| err())?;
+        Date::from_ymd(y, m, d).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        let epoch = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(epoch.days(), 0);
+        assert_eq!(epoch.ymd(), (1970, 1, 1));
+        assert_eq!(epoch.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2018-06-12: the Singapore summit (Tuesday).
+        let d = Date::from_ymd(2018, 6, 12).unwrap();
+        assert_eq!(d.to_string(), "2018-06-12");
+        assert_eq!(d.weekday(), Weekday::Tuesday);
+        // 2000-02-29 exists (leap, divisible by 400).
+        assert!(Date::from_ymd(2000, 2, 29).is_some());
+        // 1900-02-29 does not (divisible by 100, not 400).
+        assert!(Date::from_ymd(1900, 2, 29).is_none());
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Date::from_ymd(2018, 13, 1).is_none());
+        assert!(Date::from_ymd(2018, 0, 1).is_none());
+        assert!(Date::from_ymd(2018, 4, 31).is_none());
+        assert!(Date::from_ymd(2018, 2, 0).is_none());
+    }
+
+    #[test]
+    fn arithmetic_across_month_and_year() {
+        let d = Date::from_ymd(2011, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1).to_string(), "2012-01-01");
+        assert_eq!(d.plus_days(60).to_string(), "2012-02-29"); // 2012 leap
+        let earlier = Date::from_ymd(2011, 1, 1).unwrap();
+        assert_eq!(d.diff_days(earlier), 364);
+        assert_eq!(earlier.diff_days(d), -364);
+        assert_eq!(d.distance(earlier), 364);
+    }
+
+    #[test]
+    fn paper_example_w2() {
+        // §2.2: W2 between 2018-06-01 and 2018-06-12 equals 11.
+        let a = Date::from_ymd(2018, 6, 1).unwrap();
+        let b = Date::from_ymd(2018, 6, 12).unwrap();
+        assert_eq!(b.distance(a), 11);
+    }
+
+    #[test]
+    fn parse_formats() {
+        assert_eq!("2018-06-12".parse::<Date>().unwrap().ymd(), (2018, 6, 12));
+        assert_eq!("2018/06/12".parse::<Date>().unwrap().ymd(), (2018, 6, 12));
+        assert_eq!("20180612".parse::<Date>().unwrap().ymd(), (2018, 6, 12));
+        assert!("2018-02-30".parse::<Date>().is_err());
+        assert!("hello".parse::<Date>().is_err());
+        assert!("2018-06".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn month_name_parsing() {
+        assert_eq!(Month::parse_name("June"), Some(Month::June));
+        assert_eq!(Month::parse_name("Jun."), Some(Month::June));
+        assert_eq!(Month::parse_name("SEPT"), Some(Month::September));
+        assert_eq!(Month::parse_name("movember"), None);
+    }
+
+    #[test]
+    fn weekday_name_parsing() {
+        assert_eq!(Weekday::parse_name("Tuesday"), Some(Weekday::Tuesday));
+        assert_eq!(Weekday::parse_name("thurs."), Some(Weekday::Thursday));
+        assert_eq!(Weekday::parse_name("someday"), None);
+    }
+
+    #[test]
+    fn firsts() {
+        let d = Date::from_ymd(2018, 6, 12).unwrap();
+        assert_eq!(d.first_of_month().to_string(), "2018-06-01");
+        assert_eq!(d.first_of_year().to_string(), "2018-01-01");
+    }
+
+    #[test]
+    fn range_inclusive_length() {
+        let a = Date::from_ymd(2018, 2, 27).unwrap();
+        let b = Date::from_ymd(2018, 3, 2).unwrap();
+        let days: Vec<_> = Date::range_inclusive(a, b).collect();
+        assert_eq!(days.len(), 4);
+        assert_eq!(days[1].to_string(), "2018-02-28");
+        assert_eq!(days[2].to_string(), "2018-03-01");
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        let a = Date::from_ymd(2017, 12, 31).unwrap();
+        let b = Date::from_ymd(2018, 1, 1).unwrap();
+        assert!(a < b);
+    }
+
+    proptest! {
+        #[test]
+        fn ymd_roundtrip(days in -1_000_000i32..1_000_000) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.ymd();
+            let back = Date::from_ymd(y, m, dd).expect("ymd from valid date is valid");
+            prop_assert_eq!(back, d);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(days in -500_000i32..500_000) {
+            let d = Date::from_days(days);
+            let s = d.to_string();
+            prop_assert_eq!(s.parse::<Date>().unwrap(), d);
+        }
+
+        #[test]
+        fn plus_days_inverts(days in -100_000i32..100_000, n in -5_000i32..5_000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(d.plus_days(n).plus_days(-n), d);
+            prop_assert_eq!(d.plus_days(n).diff_days(d), n);
+        }
+
+        #[test]
+        fn weekday_cycles(days in -100_000i32..100_000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(d.plus_days(7).weekday(), d.weekday());
+            prop_assert_eq!(
+                (d.plus_days(1).weekday().index() - d.weekday().index()).rem_euclid(7),
+                1
+            );
+        }
+
+        #[test]
+        fn month_lengths_respected(days in -100_000i32..100_000) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.ymd();
+            prop_assert!(dd >= 1 && dd <= super::days_in_month(y, m));
+        }
+    }
+}

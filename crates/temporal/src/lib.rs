@@ -1,0 +1,19 @@
+//! Temporal substrate for the WILSON reproduction.
+//!
+//! WILSON consumes sentences annotated with day-level dates: every sentence
+//! is paired with (a) its article's publication date and (b) any calendar
+//! dates its text mentions (the paper uses HeidelTime for this tagging,
+//! Appendix A). This crate provides:
+//!
+//! * [`date`] — a proleptic-Gregorian calendar [`Date`] with day arithmetic,
+//!   parsing and formatting, built from scratch (no `chrono`),
+//! * [`tagger`] — a rule-based temporal tagger that finds explicit, partial
+//!   and relative date expressions in tokenized text and resolves them
+//!   against the document publication date.
+#![warn(missing_docs)]
+
+pub mod date;
+pub mod tagger;
+
+pub use date::{Date, Month, Weekday};
+pub use tagger::{tag_dates, TaggedDate, TemporalTagger};

@@ -1,0 +1,853 @@
+//! Rule-based temporal tagger — the HeidelTime substitute.
+//!
+//! The paper (Appendix A) tags every sentence with the dates it mentions via
+//! HeidelTime and pairs each sentence both with those mentioned dates and
+//! with the article's publication date. WILSON only ever consumes the
+//! *resolved day-level date* of each expression, so this tagger covers the
+//! expression classes that dominate news text and resolves them against the
+//! document creation time (DCT):
+//!
+//! | class | examples |
+//! |---|---|
+//! | explicit | `2018-06-12`, `2018/06/12`, `June 12, 2018`, `12 June 2018` |
+//! | partial | `June 12` (year from DCT), `June 2018` (month granularity), `2018` (year granularity) |
+//! | relative | `today`, `yesterday`, `tomorrow`, `last week`, `next month`, `three days ago`, `on Monday` |
+//!
+//! Weekday and underspecified month-day expressions resolve to the nearest
+//! matching date *not after* the DCT, matching HeidelTime's news-domain
+//! heuristic that reporting overwhelmingly refers to the recent past.
+
+use crate::date::{Date, Month, Weekday};
+
+/// Granularity of a resolved temporal expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Resolved to an exact day.
+    Day,
+    /// Only the month is known; `date` is the first of the month.
+    Month,
+    /// Only the year is known; `date` is January 1st.
+    Year,
+}
+
+/// A temporal expression found in text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedDate {
+    /// Resolved calendar date (see [`Granularity`] for its precision).
+    pub date: Date,
+    /// Precision of the resolution.
+    pub granularity: Granularity,
+    /// Byte range of the expression in the input text.
+    pub span: (usize, usize),
+}
+
+/// A reusable tagger. Currently stateless; the struct exists so callers can
+/// hold one and so future configuration (locale, resolution policy) has a
+/// home.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TemporalTagger;
+
+/// Internal word token: text + byte span.
+struct Word<'a> {
+    text: &'a str,
+    start: usize,
+    end: usize,
+}
+
+fn words(text: &str) -> Vec<Word<'_>> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        let is_word = c.is_alphanumeric() || matches!(c, '-' | '/' | ',' | '.');
+        match (is_word, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(Word {
+                    text: &text[s..i],
+                    start: s,
+                    end: i,
+                });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Word {
+            text: &text[s..],
+            start: s,
+            end: text.len(),
+        });
+    }
+    out
+}
+
+/// Strip ordinal suffixes and punctuation from a day-number word:
+/// `12th,` → `12`.
+fn parse_day_number(word: &str) -> Option<u32> {
+    let w = word.trim_matches(|c: char| matches!(c, ',' | '.'));
+    let w = w
+        .strip_suffix("st")
+        .or_else(|| w.strip_suffix("nd"))
+        .or_else(|| w.strip_suffix("rd"))
+        .or_else(|| w.strip_suffix("th"))
+        .unwrap_or(w);
+    let n: u32 = w.parse().ok()?;
+    (1..=31).contains(&n).then_some(n)
+}
+
+fn parse_year_number(word: &str) -> Option<i32> {
+    let w = word.trim_matches(|c: char| matches!(c, ',' | '.'));
+    if w.len() != 4 || !w.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let y: i32 = w.parse().ok()?;
+    (1500..=2200).contains(&y).then_some(y)
+}
+
+/// Spelled-out small numbers for "three days ago".
+fn parse_small_number(word: &str) -> Option<i32> {
+    let n = match word.to_lowercase().as_str() {
+        "one" | "a" => 1,
+        "two" => 2,
+        "three" => 3,
+        "four" => 4,
+        "five" => 5,
+        "six" => 6,
+        "seven" => 7,
+        "eight" => 8,
+        "nine" => 9,
+        "ten" => 10,
+        other => other.parse().ok()?,
+    };
+    (n > 0 && n <= 400).then_some(n)
+}
+
+/// Most recent date with the given weekday, strictly before or equal to
+/// `dct` minus one day (i.e. "on Monday" in news copy refers to the latest
+/// past Monday, not today).
+fn previous_weekday(dct: Date, target: Weekday) -> Date {
+    let delta = (dct.weekday().index() - target.index()).rem_euclid(7);
+    let delta = if delta == 0 { 7 } else { delta };
+    dct.plus_days(-delta)
+}
+
+impl TemporalTagger {
+    /// Create a tagger.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Tag all temporal expressions in `text`, resolving against `dct`
+    /// (document creation time = article publication date).
+    pub fn tag(&self, text: &str, dct: Date) -> Vec<TaggedDate> {
+        let ws = words(text);
+        let mut out: Vec<TaggedDate> = Vec::new();
+        let mut i = 0;
+        while i < ws.len() {
+            if let Some((tags, consumed)) = self.match_multi_at(&ws, i, dct) {
+                out.extend(tags);
+                i += consumed;
+            } else if let Some((tag, consumed)) = self.match_at(&ws, i, dct) {
+                out.push(tag);
+                i += consumed;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Match expressions that resolve to *several* dates (ranges like
+    /// "June 12-14" / "June 12 to June 14"): one tag per covered day (the
+    /// paper's pre-processing pairs a sentence with every distinct date it
+    /// mentions, so a range contributes each of its days).
+    fn match_multi_at(
+        &self,
+        ws: &[Word<'_>],
+        i: usize,
+        dct: Date,
+    ) -> Option<(Vec<TaggedDate>, usize)> {
+        let w = ws[i].text;
+        let capitalized = w.chars().next().is_some_and(char::is_uppercase);
+        let bare = w.trim_matches(|c: char| matches!(c, ',' | '.'));
+        let month = Month::parse_name(bare)?;
+        if !capitalized || i + 1 >= ws.len() {
+            return None;
+        }
+        // "<Month> <d1>-<d2>" — the day token carries the hyphen.
+        let day_tok = ws[i + 1]
+            .text
+            .trim_matches(|c: char| matches!(c, ',' | '.'));
+        if let Some((a, b)) = day_tok.split_once('-') {
+            let (d1, d2) = (parse_day_number(a)?, parse_day_number(b)?);
+            if d1 < d2 {
+                // Optional trailing year.
+                let (year, consumed) = match ws.get(i + 2).and_then(|t| parse_year_number(t.text)) {
+                    Some(y) => (y, 3),
+                    None => (resolve_month_day(dct, month, d1)?.year(), 2),
+                };
+                let start = Date::from_ymd(year, month.number(), d1)?;
+                let end = Date::from_ymd(year, month.number(), d2)?;
+                let span = (ws[i].start, ws[i + consumed - 1].end);
+                let tags = Date::range_inclusive(start, end)
+                    .map(|date| TaggedDate {
+                        date,
+                        granularity: Granularity::Day,
+                        span,
+                    })
+                    .collect();
+                return Some((tags, consumed));
+            }
+        }
+        None
+    }
+
+    /// Try to match a temporal expression starting at word index `i`;
+    /// returns the tag and the number of words consumed.
+    fn match_at(&self, ws: &[Word<'_>], i: usize, dct: Date) -> Option<(TaggedDate, usize)> {
+        let trim = |t: &str| {
+            t.trim_matches(|c: char| matches!(c, ',' | '.'))
+                .to_lowercase()
+        };
+        let w = ws[i].text;
+        // --- ISO / slashed explicit dates: 2018-06-12, 2018/06/12 ---
+        let bare = w.trim_matches(|c: char| matches!(c, ',' | '.'));
+        let lower = bare.to_lowercase();
+        if bare.len() >= 8 && (bare.contains('-') || bare.contains('/')) {
+            if let Ok(d) = bare.parse::<Date>() {
+                return Some((
+                    TaggedDate {
+                        date: d,
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i].start + bare.len()),
+                    },
+                    1,
+                ));
+            }
+        }
+
+        // --- Month-led expressions: "June 12, 2018" / "June 12" / "June 2018" / bare won't match ---
+        if let Some(month) = Month::parse_name(bare) {
+            // Month name must be capitalized in running text to avoid "may".
+            let capitalized = w.chars().next().is_some_and(char::is_uppercase);
+            if capitalized {
+                // Try "<Month> <day>[,] [<year>]".
+                if i + 1 < ws.len() {
+                    if let Some(day) = parse_day_number(ws[i + 1].text) {
+                        // Optional year.
+                        if i + 2 < ws.len() {
+                            if let Some(year) = parse_year_number(ws[i + 2].text) {
+                                if let Some(d) = Date::from_ymd(year, month.number(), day) {
+                                    return Some((
+                                        TaggedDate {
+                                            date: d,
+                                            granularity: Granularity::Day,
+                                            span: (ws[i].start, ws[i + 2].end),
+                                        },
+                                        3,
+                                    ));
+                                }
+                            }
+                        }
+                        if let Some(d) = resolve_month_day(dct, month, day) {
+                            return Some((
+                                TaggedDate {
+                                    date: d,
+                                    granularity: Granularity::Day,
+                                    span: (ws[i].start, ws[i + 1].end),
+                                },
+                                2,
+                            ));
+                        }
+                    }
+                    // "<Month> <year>" — month granularity.
+                    if let Some(year) = parse_year_number(ws[i + 1].text) {
+                        if let Some(d) = Date::from_ymd(year, month.number(), 1) {
+                            return Some((
+                                TaggedDate {
+                                    date: d,
+                                    granularity: Granularity::Month,
+                                    span: (ws[i].start, ws[i + 1].end),
+                                },
+                                2,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Day-led: "12 June 2018" / "12 June" ---
+        if let Some(day) = parse_day_number(bare) {
+            if i + 1 < ws.len() {
+                if let Some(month) = Month::parse_name(ws[i + 1].text) {
+                    if i + 2 < ws.len() {
+                        if let Some(year) = parse_year_number(ws[i + 2].text) {
+                            if let Some(d) = Date::from_ymd(year, month.number(), day) {
+                                return Some((
+                                    TaggedDate {
+                                        date: d,
+                                        granularity: Granularity::Day,
+                                        span: (ws[i].start, ws[i + 2].end),
+                                    },
+                                    3,
+                                ));
+                            }
+                        }
+                    }
+                    if let Some(d) = resolve_month_day(dct, month, day) {
+                        return Some((
+                            TaggedDate {
+                                date: d,
+                                granularity: Granularity::Day,
+                                span: (ws[i].start, ws[i + 1].end),
+                            },
+                            2,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- Relative single words ---
+        match lower.as_str() {
+            "today" | "tonight" => {
+                return Some((
+                    TaggedDate {
+                        date: dct,
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i].end),
+                    },
+                    1,
+                ))
+            }
+            "yesterday" => {
+                return Some((
+                    TaggedDate {
+                        date: dct.plus_days(-1),
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i].end),
+                    },
+                    1,
+                ))
+            }
+            "tomorrow" => {
+                return Some((
+                    TaggedDate {
+                        date: dct.plus_days(1),
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i].end),
+                    },
+                    1,
+                ))
+            }
+            _ => {}
+        }
+
+        // --- "last/next/this week|month|year" and "last/next <Weekday>" ---
+        if matches!(lower.as_str(), "last" | "next" | "this") && i + 1 < ws.len() {
+            let sign = match lower.as_str() {
+                "last" => -1,
+                "next" => 1,
+                _ => 0,
+            };
+            let unit = trim(ws[i + 1].text);
+            let resolved = match unit.as_str() {
+                "week" => Some((dct.plus_days(sign * 7), Granularity::Day)),
+                "month" => {
+                    let shifted = shift_months(dct.first_of_month(), sign);
+                    Some((shifted, Granularity::Month))
+                }
+                "year" => Date::from_ymd(dct.year() + sign, 1, 1).map(|d| (d, Granularity::Year)),
+                _ => Weekday::parse_name(&unit).map(|wd| {
+                    let d = match sign {
+                        -1 => previous_weekday(dct, wd),
+                        1 => {
+                            let prev = previous_weekday(dct, wd);
+                            prev.plus_days(if prev.plus_days(7) <= dct { 14 } else { 7 })
+                        }
+                        _ => previous_weekday(dct, wd).plus_days(7),
+                    };
+                    (d, Granularity::Day)
+                }),
+            };
+            if let Some((date, granularity)) = resolved {
+                return Some((
+                    TaggedDate {
+                        date,
+                        granularity,
+                        span: (ws[i].start, ws[i + 1].end),
+                    },
+                    2,
+                ));
+            }
+        }
+
+        // --- "<N> days/weeks ago" ---
+        if let Some(n) = parse_small_number(&lower) {
+            if i + 2 < ws.len() && trim(ws[i + 2].text) == "ago" {
+                let unit = trim(ws[i + 1].text);
+                let days = match unit.as_str() {
+                    "day" | "days" => Some(n),
+                    "week" | "weeks" => Some(n * 7),
+                    _ => None,
+                };
+                if let Some(days) = days {
+                    return Some((
+                        TaggedDate {
+                            date: dct.plus_days(-days),
+                            granularity: Granularity::Day,
+                            span: (ws[i].start, ws[i + 2].end),
+                        },
+                        3,
+                    ));
+                }
+            }
+        }
+
+        // --- "the following/next/previous day", "the day before/after" ---
+        if lower == "the" && i + 2 < ws.len() {
+            let w1 = trim(ws[i + 1].text);
+            let w2 = trim(ws[i + 2].text);
+            let offset = match (w1.as_str(), w2.as_str()) {
+                ("following", "day") | ("next", "day") => Some(1),
+                ("previous", "day") => Some(-1),
+                ("day", "before") => Some(-1),
+                ("day", "after") => Some(1),
+                _ => None,
+            };
+            if let Some(off) = offset {
+                return Some((
+                    TaggedDate {
+                        date: dct.plus_days(off),
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i + 2].end),
+                    },
+                    3,
+                ));
+            }
+        }
+
+        // --- "this morning/afternoon/evening" → the DCT day ---
+        if lower == "this" && i + 1 < ws.len() {
+            let unit = trim(ws[i + 1].text);
+            if matches!(unit.as_str(), "morning" | "afternoon" | "evening") {
+                return Some((
+                    TaggedDate {
+                        date: dct,
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i + 1].end),
+                    },
+                    2,
+                ));
+            }
+        }
+
+        // --- Seasons: "spring 2011" / "in the spring of 2011" (month
+        // granularity at the season's meteorological start) ---
+        if let Some(start_month) = match lower.as_str() {
+            "spring" => Some(3),
+            "summer" => Some(6),
+            "autumn" | "fall" => Some(9),
+            "winter" => Some(12),
+            _ => None,
+        } {
+            // Find a year within the next two tokens ("spring 2011",
+            // "spring of 2011"); without one the season is ambiguous in
+            // news copy, so it is left untagged.
+            for k in 1..=2usize {
+                let Some(word) = ws.get(i + k) else { break };
+                if let Some(year) = parse_year_number(word.text) {
+                    if let Some(d) = Date::from_ymd(year, start_month, 1) {
+                        return Some((
+                            TaggedDate {
+                                date: d,
+                                granularity: Granularity::Month,
+                                span: (ws[i].start, ws[i + k].end),
+                            },
+                            k + 1,
+                        ));
+                    }
+                }
+                if trim(word.text) != "of" {
+                    break;
+                }
+            }
+        }
+
+        // --- "early/mid/late <Month> [year]" (month granularity) ---
+        if matches!(lower.as_str(), "early" | "mid" | "late") && i + 1 < ws.len() {
+            let next = ws[i + 1].text;
+            let next_cap = next.chars().next().is_some_and(char::is_uppercase);
+            if next_cap {
+                if let Some(month) =
+                    Month::parse_name(next.trim_matches(|c: char| matches!(c, ',' | '.')))
+                {
+                    let year = ws.get(i + 2).and_then(|t| parse_year_number(t.text));
+                    let (year, consumed) = match year {
+                        Some(y) => (y, 3),
+                        None => {
+                            // Year from the nearest resolution of the month.
+                            let approx = resolve_month_day(dct, month, 15)?;
+                            (approx.year(), 2)
+                        }
+                    };
+                    if let Some(d) = Date::from_ymd(year, month.number(), 1) {
+                        return Some((
+                            TaggedDate {
+                                date: d,
+                                granularity: Granularity::Month,
+                                span: (ws[i].start, ws[i + consumed - 1].end),
+                            },
+                            consumed,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- Bare weekday: "on Monday" (capitalized) ---
+        if w.chars().next().is_some_and(char::is_uppercase) {
+            if let Some(wd) = Weekday::parse_name(bare) {
+                return Some((
+                    TaggedDate {
+                        date: previous_weekday(dct, wd),
+                        granularity: Granularity::Day,
+                        span: (ws[i].start, ws[i].end),
+                    },
+                    1,
+                ));
+            }
+        }
+
+        // --- Bare year: "in 2018" ---
+        if let Some(year) = parse_year_number(bare) {
+            if let Some(d) = Date::from_ymd(year, 1, 1) {
+                return Some((
+                    TaggedDate {
+                        date: d,
+                        granularity: Granularity::Year,
+                        span: (ws[i].start, ws[i].end),
+                    },
+                    1,
+                ));
+            }
+        }
+
+        None
+    }
+}
+
+/// Resolve a month+day with no year: choose the candidate in the DCT's year,
+/// or the adjacent year whose date is *closest* to the DCT, preferring the
+/// past on ties (news reports mostly look backwards).
+fn resolve_month_day(dct: Date, month: Month, day: u32) -> Option<Date> {
+    let candidates = [
+        Date::from_ymd(dct.year() - 1, month.number(), day),
+        Date::from_ymd(dct.year(), month.number(), day),
+        Date::from_ymd(dct.year() + 1, month.number(), day),
+    ];
+    candidates
+        .into_iter()
+        .flatten()
+        .min_by_key(|d| (d.distance(dct), *d > dct))
+}
+
+/// Shift a first-of-month date by `n` months (n in small range).
+fn shift_months(first: Date, n: i32) -> Date {
+    let (y, m, _) = first.ymd();
+    let total = y * 12 + (m as i32 - 1) + n;
+    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) + 1);
+    Date::from_ymd(ny, nm as u32, 1).expect("day 1 always valid")
+}
+
+/// Convenience: tag `text` against `dct` with a default tagger.
+pub fn tag_dates(text: &str, dct: Date) -> Vec<TaggedDate> {
+    TemporalTagger::new().tag(text, dct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn tags(text: &str, dct: &str) -> Vec<TaggedDate> {
+        tag_dates(text, d(dct))
+    }
+
+    #[test]
+    fn iso_date() {
+        let t = tags(
+            "The summit is set for 2018-06-12 in Singapore.",
+            "2018-06-01",
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].date, d("2018-06-12"));
+        assert_eq!(t[0].granularity, Granularity::Day);
+    }
+
+    #[test]
+    fn month_day_year() {
+        let t = tags("He arrived on June 12, 2018 as planned.", "2018-06-01");
+        assert_eq!(t[0].date, d("2018-06-12"));
+        assert_eq!(t[0].granularity, Granularity::Day);
+    }
+
+    #[test]
+    fn month_day_without_year_resolves_to_nearest() {
+        // DCT June 2018; "June 12" must resolve within 2018.
+        let t = tags("The summit will take place on June 12.", "2018-06-01");
+        assert_eq!(t[0].date, d("2018-06-12"));
+        // DCT January 2018; "December 25" is nearest in the *past* year.
+        let t = tags("Festivities on December 25 were quiet.", "2018-01-03");
+        assert_eq!(t[0].date, d("2017-12-25"));
+    }
+
+    #[test]
+    fn day_month_order() {
+        let t = tags(
+            "Fighting escalated on 12 June 2011 in the capital.",
+            "2011-06-20",
+        );
+        assert_eq!(t[0].date, d("2011-06-12"));
+        let t = tags(
+            "Fighting escalated on 12 June in the capital.",
+            "2011-06-20",
+        );
+        assert_eq!(t[0].date, d("2011-06-12"));
+    }
+
+    #[test]
+    fn abbreviated_month() {
+        let t = tags("On Feb. 25, 2018 the Olympics closed.", "2018-02-26");
+        assert_eq!(t[0].date, d("2018-02-25"));
+    }
+
+    #[test]
+    fn ordinal_day() {
+        let t = tags(
+            "March 8th brought an extraordinary development.",
+            "2018-03-09",
+        );
+        assert_eq!(t[0].date, d("2018-03-08"));
+    }
+
+    #[test]
+    fn month_year_granularity() {
+        let t = tags("Protests began in January 2011 across Egypt.", "2011-03-01");
+        assert_eq!(t[0].date, d("2011-01-01"));
+        assert_eq!(t[0].granularity, Granularity::Month);
+    }
+
+    #[test]
+    fn bare_year() {
+        let t = tags("The war started in 2011.", "2012-05-01");
+        assert_eq!(t[0].date, d("2011-01-01"));
+        assert_eq!(t[0].granularity, Granularity::Year);
+    }
+
+    #[test]
+    fn relative_words() {
+        let dct = "2018-06-05";
+        assert_eq!(
+            tags("He said today that talks continue.", dct)[0].date,
+            d(dct)
+        );
+        assert_eq!(
+            tags("It was announced yesterday.", dct)[0].date,
+            d("2018-06-04")
+        );
+        assert_eq!(tags("They meet tomorrow.", dct)[0].date, d("2018-06-06"));
+    }
+
+    #[test]
+    fn last_next_units() {
+        let dct = "2018-06-15"; // a Friday
+        assert_eq!(tags("It happened last week.", dct)[0].date, d("2018-06-08"));
+        let lm = tags("Sales fell last month.", dct);
+        assert_eq!(lm[0].date, d("2018-05-01"));
+        assert_eq!(lm[0].granularity, Granularity::Month);
+        let ly = tags("It was agreed last year.", dct);
+        assert_eq!(ly[0].date, d("2017-01-01"));
+        assert_eq!(ly[0].granularity, Granularity::Year);
+        assert_eq!(
+            tags("Talks resume next week.", dct)[0].date,
+            d("2018-06-22")
+        );
+    }
+
+    #[test]
+    fn weekday_resolution() {
+        // DCT 2018-06-15 is a Friday. "on Monday" -> 2018-06-11.
+        let t = tags("The deal was signed on Monday.", "2018-06-15");
+        assert_eq!(t[0].date, d("2018-06-11"));
+        assert_eq!(t[0].date.weekday(), Weekday::Monday);
+        // "on Friday" (same weekday as DCT) -> previous Friday, not today.
+        let t = tags("Officials met on Friday.", "2018-06-15");
+        assert_eq!(t[0].date, d("2018-06-08"));
+    }
+
+    #[test]
+    fn last_and_next_weekday() {
+        // DCT Friday 2018-06-15.
+        let t = tags("She left last Tuesday.", "2018-06-15");
+        assert_eq!(t[0].date, d("2018-06-12"));
+        let t = tags("They return next Tuesday.", "2018-06-15");
+        assert_eq!(t[0].date, d("2018-06-19"));
+    }
+
+    #[test]
+    fn n_days_ago() {
+        let t = tags("The attack occurred three days ago.", "2011-03-10");
+        assert_eq!(t[0].date, d("2011-03-07"));
+        let t = tags("It began 2 weeks ago.", "2011-03-15");
+        assert_eq!(t[0].date, d("2011-03-01"));
+    }
+
+    #[test]
+    fn lowercase_may_is_not_a_month() {
+        let t = tags("They may meet again soon.", "2018-06-01");
+        assert!(t.is_empty(), "{t:?}");
+    }
+
+    #[test]
+    fn multiple_expressions_in_one_sentence() {
+        let t = tags(
+            "Trump said on June 1 the summit will take place June 12 as planned.",
+            "2018-06-01",
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].date, d("2018-06-01"));
+        assert_eq!(t[1].date, d("2018-06-12"));
+    }
+
+    #[test]
+    fn spans_point_at_expression() {
+        let text = "The summit is set for 2018-06-12 now.";
+        let t = tags(text, "2018-06-01");
+        let (a, b) = t[0].span;
+        assert_eq!(&text[a..b], "2018-06-12");
+    }
+
+    #[test]
+    fn no_dates_no_tags() {
+        assert!(tags("Nothing temporal here at all.", "2018-01-01").is_empty());
+    }
+
+    #[test]
+    fn invalid_calendar_dates_not_tagged() {
+        let t = tags("Versions 2018-13-40 and 0.2018 are codes.", "2018-01-01");
+        assert!(t.iter().all(|t| t.granularity != Granularity::Day));
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn tags(text: &str, dct: &str) -> Vec<TaggedDate> {
+        tag_dates(text, d(dct))
+    }
+
+    #[test]
+    fn day_range_with_year() {
+        let t = tags(
+            "The summit runs June 12-14, 2018 in Singapore.",
+            "2018-06-01",
+        );
+        let days: Vec<Date> = t.iter().map(|x| x.date).collect();
+        assert_eq!(
+            days,
+            vec![d("2018-06-12"), d("2018-06-13"), d("2018-06-14")]
+        );
+        assert!(t.iter().all(|x| x.granularity == Granularity::Day));
+    }
+
+    #[test]
+    fn day_range_without_year_resolves_near_dct() {
+        let t = tags("Talks are scheduled for March 3-5 next.", "2018-03-01");
+        let days: Vec<Date> = t.iter().map(|x| x.date).collect();
+        assert_eq!(
+            days,
+            vec![d("2018-03-03"), d("2018-03-04"), d("2018-03-05")]
+        );
+    }
+
+    #[test]
+    fn degenerate_range_not_tagged_as_range() {
+        // "June 14-12" (reversed) must not produce a backwards range.
+        let t = tags("Version June 14-12 is a code.", "2018-06-01");
+        assert!(t.len() <= 1, "{t:?}");
+    }
+
+    #[test]
+    fn following_and_previous_day() {
+        assert_eq!(
+            tags("Officials resigned the following day.", "2011-02-11")[0].date,
+            d("2011-02-12")
+        );
+        assert_eq!(
+            tags("They had met the previous day.", "2011-02-11")[0].date,
+            d("2011-02-10")
+        );
+        assert_eq!(
+            tags("Shops reopened the day after.", "2011-02-11")[0].date,
+            d("2011-02-12")
+        );
+    }
+
+    #[test]
+    fn this_morning_is_dct() {
+        let t = tags("The verdict arrived this morning.", "2011-11-07");
+        assert_eq!(t[0].date, d("2011-11-07"));
+        assert_eq!(t[0].granularity, Granularity::Day);
+    }
+
+    #[test]
+    fn seasons_with_year() {
+        let t = tags(
+            "Protests began in the spring of 2011 across the region.",
+            "2012-01-01",
+        );
+        assert_eq!(t[0].date, d("2011-03-01"));
+        assert_eq!(t[0].granularity, Granularity::Month);
+        let t = tags("It was winter 2010 when the crisis started.", "2011-06-01");
+        assert_eq!(t[0].date, d("2010-12-01"));
+    }
+
+    #[test]
+    fn season_without_year_untagged() {
+        let t = tags("They hope to finish by summer.", "2011-06-01");
+        assert!(t.is_empty(), "{t:?}");
+    }
+
+    #[test]
+    fn early_mid_late_month() {
+        let t = tags(
+            "Fighting intensified in early March 2011 near the coast.",
+            "2011-04-01",
+        );
+        assert_eq!(t[0].date, d("2011-03-01"));
+        assert_eq!(t[0].granularity, Granularity::Month);
+        let t = tags("A deal is expected by late June.", "2018-06-01");
+        assert_eq!(t[0].date, d("2018-06-01"));
+        assert_eq!(t[0].granularity, Granularity::Month);
+    }
+
+    #[test]
+    fn range_spans_slice_cleanly() {
+        let text = "The summit runs June 12-14, 2018 in Singapore.";
+        for t in tags(text, "2018-06-01") {
+            let (a, b) = t.span;
+            assert_eq!(&text[a..b], "June 12-14, 2018");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: generate a news corpus, run WILSON, print the timeline.
+//!
+//! ```text
+//! cargo run --release -p tl-eval --example quickstart
+//! ```
+
+use tl_corpus::{dated_sentences, generate, SynthConfig, TimelineGenerator};
+use tl_rouge::{date_f1, TimelineRouge, TimelineRougeMode};
+use tl_wilson::{Wilson, WilsonConfig};
+
+fn main() {
+    // 1. A topic corpus. Swap in `tl_corpus::loader::load_l3s` to run on the
+    //    real Timeline17/Crisis data if you have it on disk.
+    let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
+    let topic = &dataset.topics[0];
+    let ground_truth = &topic.timelines[0];
+    println!(
+        "topic {:?}: {} articles, query {:?}",
+        topic.name,
+        topic.articles.len(),
+        topic.query
+    );
+
+    // 2. Pre-process: tokenize + temporally tag into dated sentences
+    //    (Definition 2 of the paper).
+    let corpus = dated_sentences(&topic.articles, None);
+    println!("dated sentences: {}", corpus.len());
+
+    // 3. Run WILSON with the protocol hyper-parameters: T = ground-truth
+    //    date count, N = rounded ground-truth sentences per date.
+    let t = ground_truth.num_dates();
+    let n = ground_truth.target_sentences_per_date();
+    let wilson = Wilson::new(WilsonConfig::default());
+    let started = std::time::Instant::now();
+    let timeline = wilson.generate(&corpus, &topic.query, t, n);
+    println!(
+        "generated {} dates x up to {n} sentences in {:.2?}\n",
+        timeline.num_dates(),
+        started.elapsed()
+    );
+
+    // 4. Print the first few entries.
+    for (date, sentences) in timeline.entries.iter().take(5) {
+        println!("{date}");
+        for s in sentences {
+            println!("  - {s}");
+        }
+    }
+    println!("  ...");
+
+    // 5. Score against the journalist ground truth.
+    let mut rouge = TimelineRouge::new();
+    let r1 = rouge.rouge_n(
+        1,
+        TimelineRougeMode::Concat,
+        timeline.as_slice(),
+        ground_truth.as_slice(),
+    );
+    let r2 = rouge.rouge_n(
+        2,
+        TimelineRougeMode::Concat,
+        timeline.as_slice(),
+        ground_truth.as_slice(),
+    );
+    println!(
+        "\nconcat ROUGE-1 F1 {:.4} | concat ROUGE-2 F1 {:.4} | date F1 {:.4}",
+        r1.f1,
+        r2.f1,
+        date_f1(&timeline.dates(), &ground_truth.dates())
+    );
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, tests, experiment smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all -- --check || { echo "run: cargo fmt --all"; exit 1; }
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace --release
+
+echo "== fast experiment smoke =="
+cargo build --release -p tl-eval --bins
+cargo run --release -p tl-eval --bin run_all -- fast
+
+echo "all checks passed"

@@ -1,0 +1,173 @@
+//! Cross-crate consistency tests: components agree where their contracts
+//! overlap (analysis pipelines, similarity measures, graph semantics).
+
+use tl_corpus::{dated_sentences, generate, SynthConfig};
+use tl_graph::{pagerank, DiGraph, PageRankConfig};
+use tl_ir::{Bm25Params, Bm25Scorer, InvertedIndex};
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_rouge::RougeScorer;
+use tl_temporal::TemporalTagger;
+
+#[test]
+fn index_rank_agrees_with_scorer_on_synthetic_corpus() {
+    let ds = generate(&SynthConfig::tiny());
+    let texts: Vec<&String> = ds.topics[0]
+        .articles
+        .iter()
+        .flat_map(|a| a.sentences.iter())
+        .take(200)
+        .collect();
+    let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+    let docs: Vec<Vec<u32>> = texts.iter().map(|t| analyzer.analyze(t)).collect();
+    let mut index = InvertedIndex::new();
+    for d in &docs {
+        index.add_document(d);
+    }
+    let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+    let query = analyzer.analyze_frozen(&ds.topics[0].query);
+    for (doc, score) in index
+        .rank(&query, Bm25Params::default())
+        .into_iter()
+        .take(20)
+    {
+        let expected = scorer.score(&query, &docs[doc]);
+        assert!(
+            (score - expected).abs() < 1e-9,
+            "doc {doc}: index {score} vs scorer {expected}"
+        );
+    }
+}
+
+#[test]
+fn tagger_findings_match_preprocess_pairings() {
+    // Every day-granular tag the tagger produces must appear as a
+    // mention pairing in dated_sentences, and vice versa.
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    let tagger = TemporalTagger::new();
+    for article in topic.articles.iter().take(10) {
+        for (si, text) in article.sentences.iter().enumerate() {
+            let tags: Vec<_> = tagger
+                .tag(text, article.pub_date)
+                .into_iter()
+                .filter(|t| t.granularity == tl_temporal::tagger::Granularity::Day)
+                .collect();
+            let mentions: Vec<_> = corpus
+                .iter()
+                .filter(|s| s.article == article.id && s.sentence_index == si && s.from_mention)
+                .collect();
+            for tag in &tags {
+                assert!(
+                    mentions.iter().any(|m| m.date == tag.date) || tag.date == article.pub_date,
+                    "tag {tag:?} missing from preprocess output"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rouge_identity_on_generated_ground_truth() {
+    // A ground-truth timeline scored against itself is perfect — catches
+    // analysis/tokenization mismatches between corpus text and the scorer.
+    let ds = generate(&SynthConfig::tiny());
+    let gt = &ds.topics[0].timelines[0];
+    let mut rouge = tl_rouge::TimelineRouge::new();
+    for mode in [
+        tl_rouge::TimelineRougeMode::Concat,
+        tl_rouge::TimelineRougeMode::Agreement,
+        tl_rouge::TimelineRougeMode::AlignMto1,
+    ] {
+        let s = rouge.rouge_n(1, mode, gt.as_slice(), gt.as_slice());
+        assert!((s.f1 - 1.0).abs() < 1e-9, "{mode:?}");
+    }
+}
+
+#[test]
+fn date_graph_pagerank_mass_is_conserved() {
+    // Building the WILSON date graph from a real synthetic corpus and
+    // running PageRank must yield a probability distribution.
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    let graph = tl_wilson::DateGraph::build(&corpus, &topic.query);
+    assert!(graph.num_dates() > 0);
+    assert!(
+        graph.num_edges() > 0,
+        "synthetic corpus must carry references"
+    );
+    let g = graph.to_digraph(tl_wilson::EdgeWeight::W3);
+    let r = pagerank(&g, &PageRankConfig::default());
+    let sum: f64 = r.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn stemming_is_consistent_between_rouge_and_nlp() {
+    let mut scorer = RougeScorer::new();
+    let a = scorer.tokens("negotiations");
+    let b = scorer.tokens("negotiation");
+    assert_eq!(a, b, "rouge scorer must stem consistently");
+    assert_eq!(
+        tl_nlp::porter_stem("negotiations"),
+        tl_nlp::porter_stem("negotiation")
+    );
+}
+
+#[test]
+fn digraph_pagerank_matches_manual_two_node_solution() {
+    // Shared sanity anchor between tl-graph and consumers: the analytic
+    // two-node chain.
+    let mut g = DiGraph::new(2);
+    g.add_edge(0, 1, 3.0); // weight scale must not matter
+    let r = pagerank(&g, &PageRankConfig::default());
+    assert!((r[0] - 0.350877).abs() < 1e-3);
+    assert!((r[1] - 0.649123).abs() < 1e-3);
+}
+
+#[test]
+fn embedder_separates_synthetic_topics() {
+    // Sentences from different synthetic topics must be less similar than
+    // sentences within a topic (what autocompression relies on).
+    let ds = generate(&SynthConfig::tiny());
+    // Sample broadly: individual sentences share little (compound words are
+    // near-unique), but topic vocabulary separates in aggregate.
+    let a: Vec<&String> = ds.topics[0]
+        .articles
+        .iter()
+        .flat_map(|ar| ar.sentences.iter())
+        .step_by(7)
+        .take(40)
+        .collect();
+    let b: Vec<&String> = ds.topics[1]
+        .articles
+        .iter()
+        .flat_map(|ar| ar.sentences.iter())
+        .step_by(7)
+        .take(40)
+        .collect();
+    let mut embedder = tl_embed::SentenceEmbedder::new(256);
+    let ea: Vec<Vec<f64>> = a.iter().map(|t| embedder.embed(t)).collect();
+    let eb: Vec<Vec<f64>> = b.iter().map(|t| embedder.embed(t)).collect();
+    let avg = |xs: &[Vec<f64>], ys: &[Vec<f64>], skip_same: bool| {
+        let mut s = 0.0;
+        let mut k = 0.0;
+        for (i, x) in xs.iter().enumerate() {
+            for (j, y) in ys.iter().enumerate() {
+                if skip_same && i == j {
+                    continue;
+                }
+                s += tl_embed::embedding::cosine(x, y);
+                k += 1.0;
+            }
+        }
+        s / k
+    };
+    let within = avg(&ea, &ea, true);
+    let across = avg(&ea, &eb, false);
+    assert!(
+        within > across,
+        "within-topic {within:.3} <= across-topic {across:.3}"
+    );
+}

@@ -1,0 +1,169 @@
+//! End-to-end integration tests: full pipelines from synthetic articles to
+//! evaluated timelines, spanning every crate in the workspace.
+
+use tl_baselines::{RandomBaseline, TilseBaseline};
+use tl_corpus::{dated_sentences, generate, SynthConfig, TimelineGenerator};
+use tl_eval::protocol::evaluate_method;
+use tl_rouge::{date_f1, TimelineRouge, TimelineRougeMode};
+use tl_wilson::{Wilson, WilsonConfig};
+
+fn tiny() -> tl_corpus::Dataset {
+    generate(&SynthConfig::tiny())
+}
+
+#[test]
+fn wilson_beats_random_on_rouge_and_dates() {
+    // The tiny profile is too noisy for ROUGE-2 ordering (3 units); use a
+    // small Timeline17-shaped corpus, as Tables 5/7 do. Three topics (6
+    // units) keep the default `cargo test` quick while staying stable.
+    let mut ds = generate(&SynthConfig::timeline17().with_scale(0.02));
+    ds.topics.truncate(3);
+    let wilson = evaluate_method(&ds, &Wilson::new(WilsonConfig::default()));
+    let random = evaluate_method(&ds, &RandomBaseline::default());
+    assert!(
+        wilson.concat_r2() > random.concat_r2(),
+        "WILSON R2 {} <= Random R2 {}",
+        wilson.concat_r2(),
+        random.concat_r2()
+    );
+    assert!(
+        wilson.date_f1() > random.date_f1(),
+        "WILSON date F1 {} <= Random {}",
+        wilson.date_f1(),
+        random.date_f1()
+    );
+}
+
+#[test]
+fn wilson_is_faster_than_submodular_on_nontrivial_corpus() {
+    // A corpus big enough that the quadratic similarity pass dominates.
+    let ds = generate(&SynthConfig::timeline17().with_scale(0.02));
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    assert!(corpus.len() > 2000, "corpus too small: {}", corpus.len());
+    let gt = &topic.timelines[0];
+    let (t, n) = (gt.num_dates(), gt.target_sentences_per_date());
+
+    let start = std::time::Instant::now();
+    let w = Wilson::new(WilsonConfig::default()).generate(&corpus, &topic.query, t, n);
+    let wilson_secs = start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    let s = TilseBaseline::asmds().generate(&corpus, &topic.query, t, n);
+    let tilse_secs = start.elapsed().as_secs_f64();
+
+    assert!(w.num_dates() > 0 && s.num_dates() > 0);
+    assert!(
+        tilse_secs > wilson_secs,
+        "TILSE {tilse_secs:.3}s not slower than WILSON {wilson_secs:.3}s"
+    );
+}
+
+#[test]
+fn ablation_ordering_holds_on_dates() {
+    // Date selection quality: uniform < W3 PageRank-based variants
+    // (Table 7's consistent ordering on Date F1).
+    let ds = tiny();
+    let uniform = evaluate_method(&ds, &Wilson::new(WilsonConfig::uniform()));
+    let tran = evaluate_method(&ds, &Wilson::new(WilsonConfig::tran()));
+    assert!(
+        tran.date_f1() > uniform.date_f1(),
+        "Tran {} <= uniform {}",
+        tran.date_f1(),
+        uniform.date_f1()
+    );
+}
+
+#[test]
+fn gt_dates_upper_bound_dominates_wilson() {
+    // Feeding ground-truth dates (Table 8's two-stage bound) must beat the
+    // unsupervised pipeline on date F1 by construction, and not hurt ROUGE.
+    let ds = tiny();
+    let wilson = Wilson::new(WilsonConfig::default());
+    let mut rouge = TimelineRouge::new();
+    for topic in &ds.topics {
+        let corpus = dated_sentences(&topic.articles, None);
+        for gt in &topic.timelines {
+            let n = gt.target_sentences_per_date();
+            let bound = wilson.generate_on_dates(&corpus, &gt.dates(), n);
+            let free = wilson.generate(&corpus, &topic.query, gt.num_dates(), n);
+            let f_bound = date_f1(&bound.dates(), &gt.dates());
+            let f_free = date_f1(&free.dates(), &gt.dates());
+            assert!(
+                f_bound >= f_free - 1e-9,
+                "bound dates {f_bound} < free dates {f_free}"
+            );
+            let r_bound = rouge
+                .rouge_n(
+                    1,
+                    TimelineRougeMode::Concat,
+                    bound.as_slice(),
+                    gt.as_slice(),
+                )
+                .f1;
+            assert!(r_bound > 0.0);
+        }
+    }
+}
+
+#[test]
+fn realtime_system_round_trip() {
+    let ds = tiny();
+    let topic = &ds.topics[0];
+    let mut sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
+    sys.ingest_all(&topic.articles);
+    let cfg = SynthConfig::tiny();
+    let tl = sys.timeline(&tl_wilson::realtime::TimelineQuery {
+        keywords: topic.query.clone(),
+        window: (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        ),
+        num_dates: 5,
+        sents_per_date: 2,
+        fetch_limit: 1000,
+    });
+    assert!(tl.num_dates() > 0);
+    // Every emitted sentence must exist in the ingested articles.
+    let pool: std::collections::HashSet<&str> = topic
+        .articles
+        .iter()
+        .flat_map(|a| a.sentences.iter().map(String::as_str))
+        .collect();
+    for (_, sents) in &tl.entries {
+        for s in sents {
+            assert!(pool.contains(s.as_str()));
+        }
+    }
+}
+
+#[test]
+fn all_methods_produce_valid_timelines() {
+    let ds = tiny();
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+    let methods: Vec<Box<dyn TimelineGenerator>> = vec![
+        Box::new(RandomBaseline::default()),
+        Box::new(tl_baselines::ChieuBaseline::default()),
+        Box::new(tl_baselines::MeadBaseline::default()),
+        Box::new(tl_baselines::EtsBaseline::default()),
+        Box::new(TilseBaseline::asmds()),
+        Box::new(TilseBaseline::tls_constraints()),
+        Box::new(Wilson::new(WilsonConfig::default())),
+    ];
+    for m in &methods {
+        let tl = m.generate(&corpus, &topic.query, 4, 2);
+        assert!(tl.num_dates() <= 4, "{}: too many dates", m.name());
+        assert!(tl.num_dates() > 0, "{}: empty timeline", m.name());
+        let dates = tl.dates();
+        assert!(
+            dates.windows(2).all(|w| w[0] < w[1]),
+            "{}: dates unsorted",
+            m.name()
+        );
+        for (_, sents) in &tl.entries {
+            assert!(sents.len() <= 2, "{}: too many sentences", m.name());
+            assert!(!sents.is_empty(), "{}: empty day", m.name());
+        }
+    }
+}
