@@ -2,8 +2,7 @@
 //!
 //! Table 5's weakest row — it anchors the ROUGE scale for the dataset.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use tl_support::rng::Rng;
 use std::collections::HashMap;
 use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
 use tl_temporal::Date;
@@ -36,21 +35,21 @@ impl TimelineGenerator for RandomBaseline {
         if sentences.is_empty() || t == 0 || n == 0 {
             return Timeline::default();
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
         for (i, s) in sentences.iter().enumerate() {
             by_date.entry(s.date).or_default().push(i);
         }
         let mut dates: Vec<Date> = by_date.keys().copied().collect();
         dates.sort_unstable();
-        dates.shuffle(&mut rng);
+        rng.shuffle(&mut dates);
         dates.truncate(t);
         dates.sort_unstable();
         let entries = dates
             .into_iter()
             .map(|d| {
                 let mut pool = by_date[&d].clone();
-                pool.shuffle(&mut rng);
+                rng.shuffle(&mut pool);
                 pool.truncate(n);
                 let sents = pool
                     .into_iter()

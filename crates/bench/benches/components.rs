@@ -1,9 +1,10 @@
 //! Substrate micro-benchmarks: every stage of the WILSON pipeline in
 //! isolation, so a regression in any component is attributable.
+//!
+//! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tl_bench::timeline17_corpus;
+use tl_bench::{bench, timeline17_corpus};
 use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
 use tl_graph::{pagerank, DiGraph, PageRankConfig};
 use tl_ir::{Bm25Params, Bm25Scorer};
@@ -11,8 +12,9 @@ use tl_nlp::{AnalysisOptions, Analyzer};
 use tl_rouge::RougeScorer;
 use tl_temporal::{Date, TemporalTagger};
 
-fn bench_pagerank(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pagerank");
+#[test]
+#[ignore = "benchmark"]
+fn bench_pagerank() {
     for &n in &[100usize, 400, 1600] {
         // Ring + chords: sparse but connected.
         let mut g = DiGraph::new(n);
@@ -20,14 +22,15 @@ fn bench_pagerank(c: &mut Criterion) {
             g.add_edge(i, (i + 1) % n, 1.0);
             g.add_edge(i, (i * 7 + 3) % n, 0.5);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(pagerank(g, &PageRankConfig::default())));
+        bench(&format!("pagerank/{n}"), || {
+            black_box(pagerank(&g, &PageRankConfig::default()));
         });
     }
-    group.finish();
 }
 
-fn bench_analysis_and_tagging(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_analysis_and_tagging() {
     let corpus = timeline17_corpus(0.02);
     let texts: Vec<&str> = corpus
         .sentences
@@ -35,26 +38,24 @@ fn bench_analysis_and_tagging(c: &mut Criterion) {
         .take(2000)
         .map(|s| s.text.as_str())
         .collect();
-    c.bench_function("analyze_2000_sentences", |b| {
-        b.iter(|| {
-            let mut a = Analyzer::new(AnalysisOptions::retrieval());
-            for t in &texts {
-                black_box(a.analyze(t));
-            }
-        });
+    bench("analyze_2000_sentences", || {
+        let mut a = Analyzer::new(AnalysisOptions::retrieval());
+        for t in &texts {
+            black_box(a.analyze(t));
+        }
     });
     let dct = Date::from_ymd(2011, 6, 1).expect("valid");
-    c.bench_function("tag_2000_sentences", |b| {
-        let tagger = TemporalTagger::new();
-        b.iter(|| {
-            for t in &texts {
-                black_box(tagger.tag(t, dct));
-            }
-        });
+    let tagger = TemporalTagger::new();
+    bench("tag_2000_sentences", || {
+        for t in &texts {
+            black_box(tagger.tag(t, dct));
+        }
     });
 }
 
-fn bench_bm25(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_bm25() {
     let corpus = timeline17_corpus(0.02);
     let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
     let docs: Vec<Vec<u32>> = corpus
@@ -65,18 +66,18 @@ fn bench_bm25(c: &mut Criterion) {
         .collect();
     let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
     let query = analyzer.analyze_frozen(&corpus.query);
-    c.bench_function("bm25_score_1000_docs", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for d in &docs {
-                acc += scorer.score(&query, d);
-            }
-            black_box(acc)
-        });
+    bench("bm25_score_1000_docs", || {
+        let mut acc = 0.0;
+        for d in &docs {
+            acc += scorer.score(&query, d);
+        }
+        black_box(acc);
     });
 }
 
-fn bench_rouge(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_rouge() {
     let corpus = timeline17_corpus(0.02);
     let sys: String = corpus
         .sentences
@@ -93,21 +94,19 @@ fn bench_rouge(c: &mut Criterion) {
         .map(|s| s.text.as_str())
         .collect::<Vec<_>>()
         .join(" ");
-    c.bench_function("rouge2_80_sentences", |b| {
-        b.iter(|| {
-            let mut r = RougeScorer::new();
-            black_box(r.rouge_2(&sys, &reference))
-        });
+    bench("rouge2_80_sentences", || {
+        let mut r = RougeScorer::new();
+        black_box(r.rouge_2(&sys, &reference));
     });
-    c.bench_function("rouge_s_star_80_sentences", |b| {
-        b.iter(|| {
-            let mut r = RougeScorer::new();
-            black_box(r.rouge_s_star(&sys, &reference))
-        });
+    bench("rouge_s_star_80_sentences", || {
+        let mut r = RougeScorer::new();
+        black_box(r.rouge_s_star(&sys, &reference));
     });
 }
 
-fn bench_affinity(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_affinity() {
     let corpus = timeline17_corpus(0.02);
     let mut embedder = SentenceEmbedder::new(256);
     let vectors: Vec<Vec<f64>> = corpus
@@ -124,22 +123,10 @@ fn bench_affinity(c: &mut Criterion) {
                 .collect()
         })
         .collect();
-    c.bench_function("affinity_propagation_120", |b| {
-        b.iter(|| {
-            black_box(affinity_propagation(
-                &sim,
-                &AffinityPropagationConfig::default(),
-            ))
-        });
+    bench("affinity_propagation_120", || {
+        black_box(affinity_propagation(
+            &sim,
+            &AffinityPropagationConfig::default(),
+        ));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_pagerank,
-    bench_analysis_and_tagging,
-    bench_bm25,
-    bench_rouge,
-    bench_affinity
-);
-criterion_main!(benches);

@@ -1,19 +1,20 @@
-//! **Table 7's runtime column** as Criterion benches: seconds per timeline
+//! **Table 7's runtime column** as wall-clock benches: seconds per timeline
 //! for every measured method on one Timeline17-profile topic, plus the two
 //! ablations DESIGN.md calls out — post-processing cost and the
 //! parallel-vs-serial daily summarization (§2.3.1).
+//!
+//! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tl_baselines::{ChieuBaseline, EtsBaseline, MeadBaseline, RandomBaseline, TilseBaseline};
-use tl_bench::timeline17_corpus;
+use tl_bench::{bench, timeline17_corpus};
 use tl_corpus::TimelineGenerator;
 use tl_wilson::{Wilson, WilsonConfig};
 
-fn bench_methods(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_methods() {
     let corpus = timeline17_corpus(0.02);
-    let mut group = c.benchmark_group("table7_runtime");
-    group.sample_size(10);
     let methods: Vec<Box<dyn TimelineGenerator>> = vec![
         Box::new(RandomBaseline::default()),
         Box::new(MeadBaseline::default()),
@@ -27,42 +28,43 @@ fn bench_methods(c: &mut Criterion) {
         Box::new(Wilson::new(WilsonConfig::default())),
     ];
     for m in &methods {
-        group.bench_function(m.name().replace([' ', '/'], "_"), |b| {
-            b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+        let name = format!("table7_runtime/{}", m.name().replace([' ', '/'], "_"));
+        bench(&name, || {
+            black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
         });
     }
-    group.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_ablations() {
     let corpus = timeline17_corpus(0.03);
-    let mut group = c.benchmark_group("wilson_ablations");
-    group.sample_size(10);
-    group.bench_function("parallel_days", |b| {
-        let m = Wilson::new(WilsonConfig::default().with_parallel(true));
-        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    let parallel = Wilson::new(WilsonConfig::default().with_parallel(true));
+    bench("wilson_ablations/parallel_days", || {
+        black_box(parallel.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
-    group.bench_function("serial_days", |b| {
-        let m = Wilson::new(WilsonConfig::default().with_parallel(false));
-        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    let serial = Wilson::new(WilsonConfig::default().with_parallel(false));
+    bench("wilson_ablations/serial_days", || {
+        black_box(serial.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
-    group.bench_function("with_postprocess", |b| {
-        let m = Wilson::new(WilsonConfig::default());
-        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    let with_post = Wilson::new(WilsonConfig::default());
+    bench("wilson_ablations/with_postprocess", || {
+        black_box(with_post.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
-    group.bench_function("without_postprocess", |b| {
-        let m = Wilson::new(WilsonConfig::without_post());
-        b.iter(|| black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n)));
+    let without_post = Wilson::new(WilsonConfig::without_post());
+    bench("wilson_ablations/without_postprocess", || {
+        black_box(without_post.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
     // Date-selection stage in isolation (the O(T^2) term of §2.5).
-    group.bench_function("date_selection_only", |b| {
-        let m = Wilson::new(WilsonConfig::default());
-        b.iter(|| black_box(m.select_dates(&corpus.sentences, &corpus.query, corpus.t)));
+    let wilson = Wilson::new(WilsonConfig::default());
+    bench("wilson_ablations/date_selection_only", || {
+        black_box(wilson.select_dates(&corpus.sentences, &corpus.query, corpus.t));
     });
-    group.finish();
 }
 
-fn bench_realtime(c: &mut Criterion) {
+#[test]
+#[ignore = "benchmark"]
+fn bench_realtime() {
     // §5 claim: query-to-timeline in seconds on a large index. Ingest once,
     // then measure pure query latency.
     use tl_corpus::{generate, SynthConfig};
@@ -85,14 +87,10 @@ fn bench_realtime(c: &mut Criterion) {
         sents_per_date: 2,
         fetch_limit: 2000,
     };
-    let mut group = c.benchmark_group("realtime");
-    group.sample_size(10);
-    group.bench_function(
-        format!("query_over_{}_sentences", system.num_sentences()),
-        |b| b.iter(|| black_box(system.timeline(&query))),
+    bench(
+        &format!("realtime/query_over_{}_sentences", system.num_sentences()),
+        || {
+            black_box(system.timeline(&query));
+        },
     );
-    group.finish();
 }
-
-criterion_group!(benches, bench_methods, bench_ablations, bench_realtime);
-criterion_main!(benches);

@@ -1,41 +1,34 @@
-//! **Figure 2** as a Criterion bench: generation time vs corpus size for
+//! **Figure 2** as a wall-clock bench: generation time vs corpus size for
 //! WILSON and the TILSE submodular framework. The submodular methods grow
 //! quadratically with the sentence count; WILSON is near-linear.
+//!
+//! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tl_baselines::TilseBaseline;
-use tl_bench::tiny_corpus;
+use tl_bench::{bench, tiny_corpus};
 use tl_corpus::TimelineGenerator;
 use tl_wilson::{Wilson, WilsonConfig};
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_scaling");
-    group.sample_size(10);
+#[test]
+#[ignore = "benchmark"]
+fn bench_scaling() {
     // Tiny-profile ladder: sizes that double (the Timeline17 profile's
     // minimum-articles floor would flatten small scales to one size).
     for &scale in &[2.0f64, 4.0, 8.0] {
-        let corpus = tiny_corpus(scale);
-        let size = corpus.sentences.len();
-        group.bench_with_input(BenchmarkId::new("wilson", size), &corpus, |b, cx| {
-            let m = Wilson::new(WilsonConfig::default());
-            b.iter(|| black_box(m.generate(&cx.sentences, &cx.query, cx.t, cx.n)));
+        let cx = tiny_corpus(scale);
+        let size = cx.sentences.len();
+        let wilson = Wilson::new(WilsonConfig::default());
+        bench(&format!("fig2_scaling/wilson/{size}"), || {
+            black_box(wilson.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
-        group.bench_with_input(BenchmarkId::new("asmds", size), &corpus, |b, cx| {
-            let m = TilseBaseline::asmds();
-            b.iter(|| black_box(m.generate(&cx.sentences, &cx.query, cx.t, cx.n)));
+        let asmds = TilseBaseline::asmds();
+        bench(&format!("fig2_scaling/asmds/{size}"), || {
+            black_box(asmds.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
-        group.bench_with_input(
-            BenchmarkId::new("tls_constraints", size),
-            &corpus,
-            |b, cx| {
-                let m = TilseBaseline::tls_constraints();
-                b.iter(|| black_box(m.generate(&cx.sentences, &cx.query, cx.t, cx.n)));
-            },
-        );
+        let tlsc = TilseBaseline::tls_constraints();
+        bench(&format!("fig2_scaling/tls_constraints/{size}"), || {
+            black_box(tlsc.generate(&cx.sentences, &cx.query, cx.t, cx.n));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

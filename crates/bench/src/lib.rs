@@ -1,4 +1,4 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the wall-clock runner for the benchmarks.
 //!
 //! The benches regenerate the paper's speed results:
 //!
@@ -11,9 +11,70 @@
 //! * `benches/components.rs` — substrate micro-benches (PageRank, BM25,
 //!   TextRank, temporal tagging, ROUGE, affinity propagation) so
 //!   regressions in any stage are attributable.
+//!
+//! Benches are plain `#[test] #[ignore]` functions driven by [`bench`] (a
+//! minimal warmup + N-iteration + median/p95 runner, the in-tree criterion
+//! replacement). Run them with:
+//!
+//! ```text
+//! cargo test -q -p tl-bench -- --ignored --nocapture
+//! ```
 #![warn(missing_docs)]
 
+use std::time::Instant;
 use tl_corpus::{dated_sentences, generate, DatedSentence, SynthConfig};
+
+/// Wall-clock statistics from one [`bench`] run, in seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Median iteration time.
+    pub median: f64,
+    /// 95th-percentile iteration time.
+    pub p95: f64,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+/// Benchmark a closure: `warmup` unmeasured runs, then `iters` timed runs;
+/// prints and returns median / p95 wall-clock seconds.
+///
+/// Keep the result observable inside `f` with `std::hint::black_box` so the
+/// optimizer cannot delete the work.
+pub fn bench_with(name: &str, warmup: usize, iters: usize, mut f: impl FnMut()) -> BenchStats {
+    assert!(iters > 0, "need at least one measured iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    let stats = BenchStats {
+        median: times[times.len() / 2],
+        p95: times[(times.len() * 95).div_ceil(100).saturating_sub(1)],
+        iters,
+    };
+    println!(
+        "bench {name}: median {:.3} ms, p95 {:.3} ms ({iters} iters)",
+        stats.median * 1e3,
+        stats.p95 * 1e3
+    );
+    stats
+}
+
+/// [`bench_with`] using the default sizing (2 warmup + 10 measured runs,
+/// override with the `TL_BENCH_ITERS` environment variable).
+pub fn bench(name: &str, f: impl FnMut()) -> BenchStats {
+    let iters = std::env::var("TL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    bench_with(name, 2, iters, f)
+}
 
 /// A ready-to-summarize benchmark corpus: dated sentences + query + (T, N).
 pub struct BenchCorpus {
@@ -64,6 +125,15 @@ mod tests {
         let a = tiny_corpus(2.0);
         let b = tiny_corpus(4.0);
         assert!(b.sentences.len() > a.sentences.len() * 3 / 2);
+    }
+
+    #[test]
+    fn bench_runner_reports_sane_stats() {
+        let mut count = 0usize;
+        let s = bench_with("noop", 1, 7, || count += 1);
+        assert_eq!(count, 8); // warmup + measured
+        assert_eq!(s.iters, 7);
+        assert!(s.median >= 0.0 && s.p95 >= s.median);
     }
 
     #[test]

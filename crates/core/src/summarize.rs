@@ -75,25 +75,7 @@ impl Wilson {
         };
 
         let mut days: Vec<DayCandidates> = if self.config.parallel && day_indices.len() > 1 {
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(day_indices.len());
-            let chunk = day_indices.len().div_ceil(threads);
-            let mut out: Vec<Vec<DayCandidates>> = Vec::new();
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = day_indices
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move |_| slice.iter().map(rank_one).collect::<Vec<_>>())
-                    })
-                    .collect();
-                for h in handles {
-                    out.push(h.join().expect("day-ranking worker panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            out.into_iter().flatten().collect()
+            tl_support::par::par_map(&day_indices, rank_one)
         } else {
             day_indices.iter().map(rank_one).collect()
         };

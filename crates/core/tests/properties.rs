@@ -1,202 +1,218 @@
 //! Property-based tests of the WILSON core invariants.
 
-use proptest::prelude::*;
 use tl_corpus::DatedSentence;
 use tl_nlp::SparseVector;
+use tl_support::quickprop::{check, gens, Gen};
+use tl_support::rng::Rng;
+use tl_support::{qp_assert, qp_assert_eq};
 use tl_temporal::Date;
 use tl_wilson::postprocess::{assemble_timeline, DayCandidates};
 use tl_wilson::{uniformity, DateGraph, DateStrategy, EdgeWeight};
 
-/// Strategy: a set of day-candidate lists over a shared sentence pool with
-/// random sparse vectors.
-fn day_setup() -> impl Strategy<Value = (Vec<DayCandidates>, Vec<SparseVector>)> {
-    (2usize..6, 4usize..30).prop_flat_map(|(num_days, pool)| {
-        let vectors = proptest::collection::vec(
-            proptest::collection::vec((0u32..12, 0.1f64..1.0), 1..6),
-            pool..=pool,
-        );
-        let days = proptest::collection::vec(
-            proptest::collection::vec(0usize..pool, 0..8),
-            num_days..=num_days,
-        );
-        (days, vectors).prop_map(move |(days, vectors)| {
-            let days = days
-                .into_iter()
-                .enumerate()
-                .map(|(i, mut ranked)| {
-                    ranked.sort_unstable();
-                    ranked.dedup();
-                    DayCandidates {
-                        date: Date::from_days(18000 + i as i32),
-                        ranked,
-                    }
-                })
-                .collect::<Vec<_>>();
-            let vectors = vectors
-                .into_iter()
-                .map(|pairs| {
-                    let mut v = SparseVector::from_pairs(pairs);
-                    v.normalize();
-                    v
-                })
-                .collect::<Vec<_>>();
-            (days, vectors)
-        })
+/// Generator: a set of day-candidate lists over a shared sentence pool with
+/// random normalized sparse vectors (dependent sizes, so built in one
+/// closure rather than composed from independent generators).
+fn day_setup() -> impl Gen<Value = (Vec<DayCandidates>, Vec<SparseVector>)> {
+    gens::from_fn(|rng: &mut Rng| {
+        let num_days = rng.gen_range(2..6usize);
+        let pool = rng.gen_range(4..30usize);
+        let vectors: Vec<SparseVector> = (0..pool)
+            .map(|_| {
+                let terms = rng.gen_range(1..6usize);
+                let pairs: Vec<(u32, f64)> = (0..terms)
+                    .map(|_| (rng.gen_range(0..12u32), rng.gen_range(0.1..1.0)))
+                    .collect();
+                let mut v = SparseVector::from_pairs(pairs);
+                v.normalize();
+                v
+            })
+            .collect();
+        let days: Vec<DayCandidates> = (0..num_days)
+            .map(|i| {
+                let len = rng.gen_range(0..8usize);
+                let mut ranked: Vec<usize> = (0..len).map(|_| rng.gen_range(0..pool)).collect();
+                ranked.sort_unstable();
+                ranked.dedup();
+                DayCandidates {
+                    date: Date::from_days(18000 + i as i32),
+                    ranked,
+                }
+            })
+            .collect();
+        (days, vectors)
     })
 }
 
-proptest! {
-    /// Post-processing never exceeds the per-day budget, only emits
-    /// candidates from the day's own list, and honors the similarity bound.
-    #[test]
-    fn postprocess_invariants(
-        (days, vectors) in day_setup(),
-        n in 1usize..4,
-        threshold in 0.2f64..0.9,
-    ) {
-        let out = assemble_timeline(&days, &vectors, n, threshold, true);
-        prop_assert_eq!(out.len(), days.len());
-        let mut all_selected: Vec<usize> = Vec::new();
-        for ((date, selected), day) in out.iter().zip(&days) {
-            prop_assert_eq!(*date, day.date);
-            prop_assert!(selected.len() <= n);
-            for s in selected {
-                prop_assert!(day.ranked.contains(s), "selected {} not a candidate", s);
-            }
-            all_selected.extend(selected.iter().copied());
-        }
-        // Pairwise similarity bound across the whole timeline.
-        for (i, &a) in all_selected.iter().enumerate() {
-            for &b in &all_selected[i + 1..] {
-                if a == b { continue; }
-                prop_assert!(
-                    vectors[a].cosine(&vectors[b]) <= threshold + 1e-9,
-                    "similarity bound violated: {} vs {}", a, b
-                );
-            }
-        }
-    }
+/// Generator for `(pub_offset, date_offset)` corpus entries.
+fn entries_gen(min: usize, max: usize) -> impl Gen<Value = Vec<(i32, i32)>> {
+    gens::vecs((gens::i32s(0..60), gens::i32s(0..60)), min..max)
+}
 
-    /// Without post-processing, output is exactly the per-day top-n prefix.
-    #[test]
-    fn no_post_is_prefix(
-        (days, vectors) in day_setup(),
-        n in 1usize..4,
-    ) {
-        let out = assemble_timeline(&days, &vectors, n, 0.5, false);
-        for ((_, selected), day) in out.iter().zip(&days) {
-            let expected: Vec<usize> = day.ranked.iter().copied().take(n).collect();
-            prop_assert_eq!(selected.clone(), expected);
-        }
-    }
+fn to_sentences(entries: &[(i32, i32)], word: &str) -> Vec<DatedSentence> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(pub_off, date_off))| DatedSentence {
+            date: Date::from_days(18000 + date_off),
+            pub_date: Date::from_days(18000 + pub_off),
+            article: i,
+            sentence_index: 0,
+            text: format!("{word} sentence number {i}"),
+            from_mention: pub_off != date_off,
+        })
+        .collect()
+}
 
-    /// Post-processing output per day is always a subsequence of the
-    /// no-post output's candidate order (it only skips, never reorders).
-    #[test]
-    fn post_preserves_rank_order(
-        (days, vectors) in day_setup(),
-        n in 1usize..4,
-    ) {
-        let out = assemble_timeline(&days, &vectors, n, 0.5, true);
-        for ((_, selected), day) in out.iter().zip(&days) {
-            // Positions within the ranked list must be increasing.
-            let positions: Vec<usize> = selected
-                .iter()
-                .map(|s| day.ranked.iter().position(|r| r == s).expect("from list"))
+/// Post-processing never exceeds the per-day budget, only emits candidates
+/// from the day's own list, and honors the similarity bound.
+#[test]
+fn postprocess_invariants() {
+    check(
+        "postprocess_invariants",
+        (day_setup(), gens::usizes(1..4), gens::f64s(0.2..0.9)),
+        |((days, vectors), n, threshold)| {
+            let (n, threshold) = (*n, *threshold);
+            let out = assemble_timeline(days, vectors, n, threshold, true);
+            qp_assert_eq!(out.len(), days.len());
+            let mut all_selected: Vec<usize> = Vec::new();
+            for ((date, selected), day) in out.iter().zip(days) {
+                qp_assert_eq!(*date, day.date);
+                qp_assert!(selected.len() <= n);
+                for s in selected {
+                    qp_assert!(day.ranked.contains(s), "selected {s} not a candidate");
+                }
+                all_selected.extend(selected.iter().copied());
+            }
+            // Pairwise similarity bound across the whole timeline.
+            for (i, &a) in all_selected.iter().enumerate() {
+                for &b in &all_selected[i + 1..] {
+                    if a == b {
+                        continue;
+                    }
+                    qp_assert!(
+                        vectors[a].cosine(&vectors[b]) <= threshold + 1e-9,
+                        "similarity bound violated: {a} vs {b}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Without post-processing, output is exactly the per-day top-n prefix.
+#[test]
+fn no_post_is_prefix() {
+    check(
+        "no_post_is_prefix",
+        (day_setup(), gens::usizes(1..4)),
+        |((days, vectors), n)| {
+            let out = assemble_timeline(days, vectors, *n, 0.5, false);
+            for ((_, selected), day) in out.iter().zip(days) {
+                let expected: Vec<usize> = day.ranked.iter().copied().take(*n).collect();
+                qp_assert_eq!(selected.clone(), expected);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Post-processing output per day is always a subsequence of the no-post
+/// output's candidate order (it only skips, never reorders).
+#[test]
+fn post_preserves_rank_order() {
+    check(
+        "post_preserves_rank_order",
+        (day_setup(), gens::usizes(1..4)),
+        |((days, vectors), n)| {
+            let out = assemble_timeline(days, vectors, *n, 0.5, true);
+            for ((_, selected), day) in out.iter().zip(days) {
+                // Positions within the ranked list must be increasing.
+                let positions: Vec<usize> = selected
+                    .iter()
+                    .map(|s| day.ranked.iter().position(|r| r == s).expect("from list"))
+                    .collect();
+                qp_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Uniformity is shift-invariant and scales linearly with gap scaling.
+#[test]
+fn uniformity_shift_and_scale() {
+    check(
+        "uniformity_shift_and_scale",
+        (gens::vecs(gens::i32s(0..2000), 2..15), gens::i32s(-500..500)),
+        |(days, shift)| {
+            let dates: Vec<Date> = days.iter().map(|&d| Date::from_days(d)).collect();
+            let shifted: Vec<Date> = days.iter().map(|&d| Date::from_days(d + shift)).collect();
+            let s1 = uniformity(&dates);
+            let s2 = uniformity(&shifted);
+            qp_assert!((s1 - s2).abs() < 1e-9);
+            qp_assert!(s1 >= 0.0);
+            // Evenly spaced dates have sigma 0.
+            let even: Vec<Date> = (0..days.len() as i32)
+                .map(|i| Date::from_days(i * 10))
                 .collect();
-            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
-        }
-    }
+            qp_assert!(uniformity(&even) < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Uniformity is shift-invariant and scales linearly with gap scaling.
-    #[test]
-    fn uniformity_shift_and_scale(
-        days in proptest::collection::vec(0i32..2000, 2..15),
-        shift in -500i32..500,
-    ) {
-        let dates: Vec<Date> = days.iter().map(|&d| Date::from_days(d)).collect();
-        let shifted: Vec<Date> = days.iter().map(|&d| Date::from_days(d + shift)).collect();
-        let s1 = uniformity(&dates);
-        let s2 = uniformity(&shifted);
-        prop_assert!((s1 - s2).abs() < 1e-9);
-        prop_assert!(s1 >= 0.0);
-        // Evenly spaced dates have sigma 0.
-        let even: Vec<Date> = (0..days.len() as i32).map(|i| Date::from_days(i * 10)).collect();
-        prop_assert!(uniformity(&even) < 1e-12);
-    }
-
-    /// The date graph never has more nodes than distinct dates and its
-    /// edge weights follow the W1/W2/W3 identities.
-    #[test]
-    fn dategraph_weight_identities(
-        entries in proptest::collection::vec((0i32..60, 0i32..60), 1..40),
-    ) {
-        let sentences: Vec<DatedSentence> = entries
-            .iter()
-            .enumerate()
-            .map(|(i, &(pub_off, date_off))| DatedSentence {
-                date: Date::from_days(18000 + date_off),
-                pub_date: Date::from_days(18000 + pub_off),
-                article: i,
-                sentence_index: 0,
-                text: format!("reference sentence number {i}"),
-                from_mention: pub_off != date_off,
-            })
-            .collect();
+/// The date graph never has more nodes than distinct dates and its edge
+/// weights follow the W1/W2/W3 identities.
+#[test]
+fn dategraph_weight_identities() {
+    check("dategraph_weight_identities", entries_gen(1, 40), |entries| {
+        let sentences = to_sentences(entries, "reference");
         let g = DateGraph::build(&sentences, "reference");
-        let mut distinct: Vec<i32> = entries
-            .iter()
-            .flat_map(|&(p, d)| [p, d])
-            .collect();
+        let mut distinct: Vec<i32> = entries.iter().flat_map(|&(p, d)| [p, d]).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(g.num_dates(), distinct.len());
+        qp_assert_eq!(g.num_dates(), distinct.len());
         for src in 0..g.num_dates() {
             for dst in 0..g.num_dates() {
                 let w1 = g.edge_weight(src, dst, EdgeWeight::W1);
                 let w2 = g.edge_weight(src, dst, EdgeWeight::W2);
                 let w3 = g.edge_weight(src, dst, EdgeWeight::W3);
-                prop_assert!((w3 - w1 * w2).abs() < 1e-9);
+                qp_assert!((w3 - w1 * w2).abs() < 1e-9);
                 if w1 > 0.0 {
                     // Mentions of a different day: distance >= 1.
-                    prop_assert!(w2 >= 1.0);
+                    qp_assert!(w2 >= 1.0);
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// select_dates returns sorted, deduplicated dates, at most t of them,
-    /// all present in the corpus, for every strategy.
-    #[test]
-    fn select_dates_shape(
-        entries in proptest::collection::vec((0i32..60, 0i32..60), 2..40),
-        t in 1usize..10,
-    ) {
-        let sentences: Vec<DatedSentence> = entries
-            .iter()
-            .enumerate()
-            .map(|(i, &(pub_off, date_off))| DatedSentence {
-                date: Date::from_days(18000 + date_off),
-                pub_date: Date::from_days(18000 + pub_off),
-                article: i,
-                sentence_index: 0,
-                text: format!("sentence {i}"),
-                from_mention: pub_off != date_off,
-            })
-            .collect();
-        let g = DateGraph::build(&sentences, "sentence");
-        let corpus_dates: Vec<Date> = g.dates().to_vec();
-        for strategy in [
-            DateStrategy::Uniform,
-            DateStrategy::PageRank,
-            DateStrategy::default(),
-        ] {
-            let sel = tl_wilson::select_dates(&g, EdgeWeight::W3, &strategy, t, 0.85);
-            prop_assert!(sel.len() <= t);
-            prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{:?}", strategy);
-            for d in &sel {
-                prop_assert!(corpus_dates.contains(d));
+/// select_dates returns sorted, deduplicated dates, at most t of them, all
+/// present in the corpus, for every strategy.
+#[test]
+fn select_dates_shape() {
+    check(
+        "select_dates_shape",
+        (entries_gen(2, 40), gens::usizes(1..10)),
+        |(entries, t)| {
+            let sentences = to_sentences(entries, "sentence");
+            let g = DateGraph::build(&sentences, "sentence");
+            let corpus_dates: Vec<Date> = g.dates().to_vec();
+            for strategy in [
+                DateStrategy::Uniform,
+                DateStrategy::PageRank,
+                DateStrategy::default(),
+            ] {
+                let sel = tl_wilson::select_dates(&g, EdgeWeight::W3, &strategy, *t, 0.85);
+                qp_assert!(sel.len() <= *t);
+                qp_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{strategy:?}");
+                for d in &sel {
+                    qp_assert!(corpus_dates.contains(d));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

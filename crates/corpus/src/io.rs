@@ -6,20 +6,21 @@ use crate::model::Dataset;
 use std::fs;
 use std::io;
 use std::path::Path;
+use tl_support::json::{FromJson, Json, ToJson};
 
-/// Serialize a dataset to pretty JSON at `path` (creates parent dirs).
+/// Serialize a dataset to compact JSON at `path` (creates parent dirs).
 pub fn save_json(dataset: &Dataset, path: &Path) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string(dataset).map_err(io::Error::other)?;
-    fs::write(path, json)
+    fs::write(path, dataset.to_json().to_string_compact())
 }
 
 /// Load a dataset previously written by [`save_json`].
 pub fn load_json(path: &Path) -> io::Result<Dataset> {
     let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(io::Error::other)
+    let value = Json::parse(&json).map_err(io::Error::other)?;
+    Dataset::from_json(&value).map_err(io::Error::other)
 }
 
 #[cfg(test)]

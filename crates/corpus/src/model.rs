@@ -1,10 +1,10 @@
 //! The shared data model: articles, timelines, topics, datasets.
 
-use serde::{Deserialize, Serialize};
+use tl_support::json::{obj, FromJson, Json, JsonError, ToJson};
 use tl_temporal::Date;
 
 /// A news article: publication date plus pre-split sentences.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Article {
     /// Stable id within its topic corpus.
     pub id: usize,
@@ -23,7 +23,7 @@ impl Article {
 
 /// A timeline: chronologically ordered `(date, daily summary)` entries
 /// (Definition 1 of the paper).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     /// Entries sorted by date; each date carries one or more sentences.
     pub entries: Vec<(Date, Vec<String>)>,
@@ -90,7 +90,7 @@ impl Timeline {
 
 /// A topic: its article corpus, topic query, and ground-truth timelines
 /// (one per news agency in the original datasets).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopicCorpus {
     /// Topic name, e.g. `"egypt-crisis"`.
     pub name: String,
@@ -117,7 +117,7 @@ impl TopicCorpus {
 }
 
 /// A full dataset (Timeline17 or Crisis shaped).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Dataset name.
     pub name: String,
@@ -145,6 +145,83 @@ impl Dataset {
     /// Number of evaluation units (= number of ground-truth timelines).
     pub fn num_timelines(&self) -> usize {
         self.topics.iter().map(|t| t.timelines.len()).sum()
+    }
+}
+
+// JSON representations match what the serde derives produced (structs as
+// objects keyed by field name, tuples as arrays, `Date` as a bare epoch-day
+// number), so datasets saved by earlier versions still load.
+impl ToJson for Article {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", self.id.to_json()),
+            ("pub_date", self.pub_date.to_json()),
+            ("sentences", self.sentences.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Article {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            id: usize::from_json(v.field("id")?)?,
+            pub_date: Date::from_json(v.field("pub_date")?)?,
+            sentences: Vec::from_json(v.field("sentences")?)?,
+        })
+    }
+}
+
+impl ToJson for Timeline {
+    fn to_json(&self) -> Json {
+        obj(vec![("entries", self.entries.to_json())])
+    }
+}
+
+impl FromJson for Timeline {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            entries: Vec::from_json(v.field("entries")?)?,
+        })
+    }
+}
+
+impl ToJson for TopicCorpus {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", self.name.to_json()),
+            ("query", self.query.to_json()),
+            ("articles", self.articles.to_json()),
+            ("timelines", self.timelines.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TopicCorpus {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            query: String::from_json(v.field("query")?)?,
+            articles: Vec::from_json(v.field("articles")?)?,
+            timelines: Vec::from_json(v.field("timelines")?)?,
+        })
+    }
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", self.name.to_json()),
+            ("topics", self.topics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            topics: Vec::from_json(v.field("topics")?)?,
+        })
     }
 }
 

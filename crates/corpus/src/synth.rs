@@ -23,8 +23,7 @@
 
 use crate::model::{Article, Dataset, Timeline, TopicCorpus};
 use crate::wordbank::{CONTENT_WORDS, GLUE_WORDS, REPORTING_FRAMES};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use tl_support::rng::Rng;
 use tl_temporal::Date;
 
 /// Configuration of the generative news model.
@@ -156,8 +155,8 @@ pub fn generate(config: &SynthConfig) -> Dataset {
     }
 }
 
-fn topic_rng(config: &SynthConfig, topic: usize) -> StdRng {
-    StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (topic as u64 + 1))
+fn topic_rng(config: &SynthConfig, topic: usize) -> Rng {
+    Rng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (topic as u64 + 1))
 }
 
 fn generate_topic(config: &SynthConfig, topic_idx: usize) -> TopicCorpus {
@@ -165,7 +164,7 @@ fn generate_topic(config: &SynthConfig, topic_idx: usize) -> TopicCorpus {
 
     // --- Topic vocabulary ---
     let mut bank: Vec<&'static str> = CONTENT_WORDS.to_vec();
-    bank.shuffle(&mut rng);
+    rng.shuffle(&mut bank);
     let topic_words: Vec<&'static str> = bank[..40].to_vec();
     let mut keyword_pool: Vec<&'static str> = bank[40..].to_vec();
     let query = topic_words[..4].join(" ");
@@ -191,12 +190,12 @@ fn generate_topic(config: &SynthConfig, topic_idx: usize) -> TopicCorpus {
     offsets.sort_unstable();
     let mut events: Vec<Event> = Vec::with_capacity(num_events);
     let mut ranks: Vec<usize> = (0..offsets.len()).collect();
-    ranks.shuffle(&mut rng);
+    rng.shuffle(&mut ranks);
     for (&offset, &rank) in offsets.iter().zip(ranks.iter()) {
         let date = config.start_date.plus_days(offset);
         let salience = 1.0 / ((rank + 2) as f64).powf(0.7);
         // Irwin-Hall approximate standard normal for the lognormal factor.
-        let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        let z: f64 = (0..12).map(|_| rng.f64()).sum::<f64>() - 6.0;
         let coverage = salience * (0.9 * z).exp();
         // Event key-phrase: 5 dedicated words.
         let kw_n = 5.min(keyword_pool.len());
@@ -216,7 +215,7 @@ fn generate_topic(config: &SynthConfig, topic_idx: usize) -> TopicCorpus {
             // Refill the pool; later events may share words with early ones,
             // which is realistic (stories overlap lexically).
             keyword_pool = bank[40..].to_vec();
-            keyword_pool.shuffle(&mut rng);
+            rng.shuffle(&mut keyword_pool);
         }
     }
     events.sort_by_key(|e| e.date);
@@ -252,9 +251,9 @@ fn generate_topic(config: &SynthConfig, topic_idx: usize) -> TopicCorpus {
 /// non-alphabetic tokens alone, so compounds square the effective
 /// vocabulary — unrelated sentences rarely collide on them, keeping the
 /// Random baseline's ROUGE honest while same-event sentences still match.
-fn compound(rng: &mut StdRng, bank: &[&'static str]) -> String {
-    let a = bank.choose(rng).expect("bank non-empty");
-    let b = bank.choose(rng).expect("bank non-empty");
+fn compound(rng: &mut Rng, bank: &[&'static str]) -> String {
+    let a = rng.choose(bank).expect("bank non-empty");
+    let b = rng.choose(bank).expect("bank non-empty");
     format!("{a}-{b}")
 }
 
@@ -262,30 +261,29 @@ fn compound(rng: &mut StdRng, bank: &[&'static str]) -> String {
 /// event key-phrase compounds, topic words and glue. Stored lowercase;
 /// renderers capitalize.
 fn make_fact(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     keywords: &[&'static str],
     topic_words: &[&'static str],
 ) -> Vec<String> {
-    let len = rng.gen_range(14..=22);
+    let len = rng.gen_range(14..=22usize);
     let mut tokens = Vec::with_capacity(len);
     for i in 0..len {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         let w = if i % 3 == 0 || roll < 0.35 {
             compound(rng, keywords)
         } else if roll < 0.7 {
-            topic_words
-                .choose(rng)
+            rng.choose(topic_words)
                 .expect("topic words non-empty")
                 .to_string()
         } else {
-            GLUE_WORDS.choose(rng).expect("glue non-empty").to_string()
+            rng.choose(GLUE_WORDS).expect("glue non-empty").to_string()
         };
         tokens.push(w);
     }
     tokens
 }
 
-fn make_gt_timeline(config: &SynthConfig, rng: &mut StdRng, events: &[Event]) -> Timeline {
+fn make_gt_timeline(config: &SynthConfig, rng: &mut Rng, events: &[Event]) -> Timeline {
     let t_target = rng
         .gen_range(config.gt_dates.0..=config.gt_dates.1)
         .min(events.len());
@@ -293,7 +291,7 @@ fn make_gt_timeline(config: &SynthConfig, rng: &mut StdRng, events: &[Event]) ->
     let mut scored: Vec<(usize, f64)> = events
         .iter()
         .enumerate()
-        .map(|(i, e)| (i, e.salience * (1.0 + 0.3 * rng.gen::<f64>())))
+        .map(|(i, e)| (i, e.salience * (1.0 + 0.3 * rng.f64())))
         .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let mut chosen: Vec<usize> = scored[..t_target].iter().map(|&(i, _)| i).collect();
@@ -351,24 +349,23 @@ fn render_date(date: Date, roll: f64) -> String {
 }
 
 /// Render a noisy paraphrase of a fact, optionally dated.
-fn render_report(rng: &mut StdRng, fact: &[String], mention: Option<Date>) -> String {
+fn render_report(rng: &mut Rng, fact: &[String], mention: Option<Date>) -> String {
     let mut tokens: Vec<String> = Vec::with_capacity(fact.len() + 6);
-    if rng.gen::<f64>() < 0.3 {
+    if rng.f64() < 0.3 {
         tokens.extend(
-            REPORTING_FRAMES
-                .choose(rng)
+            rng.choose(REPORTING_FRAMES)
                 .expect("frames non-empty")
                 .split(' ')
                 .map(str::to_string),
         );
     }
     for w in fact {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         if roll < 0.12 {
             continue; // drop
         }
         if roll > 0.88 {
-            tokens.push(GLUE_WORDS.choose(rng).expect("glue").to_string());
+            tokens.push(rng.choose(GLUE_WORDS).expect("glue").to_string());
         }
         tokens.push(w.clone());
     }
@@ -377,8 +374,8 @@ fn render_report(rng: &mut StdRng, fact: &[String], mention: Option<Date>) -> St
     }
     let mut s = tokens.join(" ");
     if let Some(date) = mention {
-        let expr = render_date(date, rng.gen());
-        if rng.gen::<f64>() < 0.5 {
+        let expr = render_date(date, rng.f64());
+        if rng.f64() < 0.5 {
             s = format!("On {expr} {s}");
         } else {
             s = format!("{s} on {expr}");
@@ -392,17 +389,17 @@ fn render_report(rng: &mut StdRng, fact: &[String], mention: Option<Date>) -> St
 }
 
 /// Render a background-noise sentence.
-fn render_noise(rng: &mut StdRng, topic_words: &[&'static str]) -> String {
-    let len = rng.gen_range(12..=20);
+fn render_noise(rng: &mut Rng, topic_words: &[&'static str]) -> String {
+    let len = rng.gen_range(12..=20usize);
     let mut tokens = Vec::with_capacity(len);
     for _ in 0..len {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         let w = if roll < 0.3 {
-            topic_words.choose(rng).expect("topic words").to_string()
+            rng.choose(topic_words).expect("topic words").to_string()
         } else if roll < 0.7 {
             compound(rng, CONTENT_WORDS)
         } else {
-            GLUE_WORDS.choose(rng).expect("glue").to_string()
+            rng.choose(GLUE_WORDS).expect("glue").to_string()
         };
         tokens.push(w);
     }
@@ -416,9 +413,9 @@ fn render_noise(rng: &mut StdRng, topic_words: &[&'static str]) -> String {
 
 /// Sample an anchor event index weighted by *media coverage* (not
 /// journalistic importance — the two are only loosely coupled).
-fn sample_event(rng: &mut StdRng, events: &[Event]) -> usize {
+fn sample_event(rng: &mut Rng, events: &[Event]) -> usize {
     let total: f64 = events.iter().map(|e| e.coverage).sum();
-    let mut x = rng.gen::<f64>() * total;
+    let mut x = rng.f64() * total;
     for (i, e) in events.iter().enumerate() {
         x -= e.coverage;
         if x <= 0.0 {
@@ -430,7 +427,7 @@ fn sample_event(rng: &mut StdRng, events: &[Event]) -> usize {
 
 fn make_article(
     config: &SynthConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     events: &[Event],
     topic_words: &[&'static str],
     id: usize,
@@ -439,10 +436,10 @@ fn make_article(
     let num_sents = {
         // Rough Poisson via sum of uniforms; exact distribution is
         // irrelevant — only the mean matters for Table 4 calibration.
-        let jitter: f64 = 0.5 + rng.gen::<f64>();
+        let jitter: f64 = 0.5 + rng.f64();
         ((config.sents_per_doc * jitter).round() as usize).max(3)
     };
-    let background = rng.gen::<f64>() < 0.2;
+    let background = rng.f64() < 0.2;
 
     if background {
         let offset = rng.gen_range(0..config.duration_days as i32);
@@ -464,21 +461,21 @@ fn make_article(
     // and follow-ups keep arriving for weeks, so publication days are
     // mixtures of several events' reporting (the realistic smear that
     // publication-date-only systems suffer from).
-    let lag = if rng.gen::<f64>() < 0.15 {
+    let lag = if rng.f64() < 0.15 {
         0
     } else {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.f64();
         1 + (-(1.0 - u).ln() * 9.0).round() as i32
     };
     let pub_date = e.date.plus_days(lag.clamp(0, 30)).min(end_date);
 
     let mut sentences = Vec::with_capacity(num_sents);
     for _ in 0..num_sents {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         if roll < 0.42 {
             // Anchor-event report; 45% carry an explicit date mention.
-            let fact = e.facts.choose(rng).expect("facts non-empty");
-            let mention = (rng.gen::<f64>() < 0.45).then_some(e.date);
+            let fact = rng.choose(&e.facts).expect("facts non-empty");
+            let mention = (rng.f64() < 0.45).then_some(e.date);
             sentences.push(render_report(rng, fact, mention));
         } else if roll < 0.60 {
             // Reference to another (past, pub-date-visible) event, weighted
@@ -500,7 +497,7 @@ fn make_article(
                     .collect();
                 let total: f64 = weights.iter().sum();
                 if total > 0.0 {
-                    let mut x = rng.gen::<f64>() * total;
+                    let mut x = rng.f64() * total;
                     let mut chosen = None;
                     for (k, w) in weights.iter().enumerate() {
                         x -= w;
@@ -516,7 +513,7 @@ fn make_article(
             };
             if let Some(ri) = picked {
                 let re = &events[ri];
-                let fact = re.facts.choose(rng).expect("facts non-empty");
+                let fact = rng.choose(&re.facts).expect("facts non-empty");
                 sentences.push(render_report(rng, fact, Some(re.date)));
             } else {
                 sentences.push(render_noise(rng, topic_words));

@@ -10,8 +10,7 @@
 //! per-judge noise; the judges' scores are summed and the systems ranked.
 //! MRR and DCG are computed exactly as in the paper.
 
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use tl_support::rng::Rng;
 use tl_rouge::{TimelineRouge, TimelineRougeMode};
 
 /// One system's output on one sampled timeline.
@@ -85,7 +84,7 @@ pub type JudgeSample<'a> = (Vec<JudgedEntry<'a>>, &'a [(tl_temporal::Date, Vec<S
 pub fn run_panel(samples: &[JudgeSample<'_>], panel: &JudgePanel) -> Vec<JudgeOutcome> {
     assert!(!samples.is_empty(), "no samples to judge");
     let num_systems = samples[0].0.len();
-    let mut rng = StdRng::seed_from_u64(panel.seed);
+    let mut rng = Rng::seed_from_u64(panel.seed);
     let mut rouge = TimelineRouge::new();
 
     let mut rank_counts = vec![vec![0usize; num_systems]; num_systems];

@@ -6,12 +6,12 @@
 //! scraping text.
 
 use crate::protocol::MethodMetrics;
-use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
+use tl_support::json::{obj, FromJson, Json, JsonError, ToJson};
 
 /// One method's aggregated metrics in serializable form.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodReport {
     /// Method display name.
     pub method: String,
@@ -58,8 +58,46 @@ impl From<&MethodMetrics> for MethodReport {
     }
 }
 
+impl ToJson for MethodReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("method", self.method.to_json()),
+            ("units", self.units.to_json()),
+            ("concat_r1", self.concat_r1.to_json()),
+            ("concat_r2", self.concat_r2.to_json()),
+            ("concat_rs", self.concat_rs.to_json()),
+            ("agree_r1", self.agree_r1.to_json()),
+            ("agree_r2", self.agree_r2.to_json()),
+            ("align_r1", self.align_r1.to_json()),
+            ("align_r2", self.align_r2.to_json()),
+            ("date_f1", self.date_f1.to_json()),
+            ("date_coverage3", self.date_coverage3.to_json()),
+            ("seconds", self.seconds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MethodReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            method: String::from_json(v.field("method")?)?,
+            units: usize::from_json(v.field("units")?)?,
+            concat_r1: f64::from_json(v.field("concat_r1")?)?,
+            concat_r2: f64::from_json(v.field("concat_r2")?)?,
+            concat_rs: f64::from_json(v.field("concat_rs")?)?,
+            agree_r1: f64::from_json(v.field("agree_r1")?)?,
+            agree_r2: f64::from_json(v.field("agree_r2")?)?,
+            align_r1: f64::from_json(v.field("align_r1")?)?,
+            align_r2: f64::from_json(v.field("align_r2")?)?,
+            date_f1: f64::from_json(v.field("date_f1")?)?,
+            date_coverage3: f64::from_json(v.field("date_coverage3")?)?,
+            seconds: f64::from_json(v.field("seconds")?)?,
+        })
+    }
+}
+
 /// A full experiment report: id, dataset, corpus scale, per-method rows.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id (e.g. `"table7"`).
     pub experiment: String,
@@ -87,14 +125,36 @@ impl ExperimentReport {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().to_string_pretty())
     }
 
     /// Load a report back.
     pub fn read_json(path: &Path) -> io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+        let value = Json::parse(&json).map_err(io::Error::other)?;
+        Self::from_json(&value).map_err(io::Error::other)
+    }
+}
+
+impl ToJson for ExperimentReport {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("experiment", self.experiment.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("scale", self.scale.to_json()),
+            ("methods", self.methods.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            experiment: String::from_json(v.field("experiment")?)?,
+            dataset: String::from_json(v.field("dataset")?)?,
+            scale: f64::from_json(v.field("scale")?)?,
+            methods: Vec::from_json(v.field("methods")?)?,
+        })
     }
 }
 

@@ -119,7 +119,6 @@ pub fn top_k(scores: &[f64], k: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn assert_close(a: f64, b: f64, eps: f64) {
         assert!((a - b).abs() < eps, "{a} vs {b}");
@@ -228,40 +227,60 @@ mod tests {
         assert!(top_k(&scores, 0).is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn rank_sums_to_one(
-            n in 1usize..25,
-            edges in proptest::collection::vec((0usize..25, 0usize..25, 0.1f64..5.0), 0..80)
-        ) {
-            let mut g = DiGraph::new(n);
-            for (s, d, w) in edges {
-                if s < n && d < n {
-                    g.add_edge(s, d, w);
-                }
-            }
-            let r = pagerank(&g, &PageRankConfig::default());
-            let sum: f64 = r.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
-            prop_assert!(r.iter().all(|&x| x >= 0.0));
-        }
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens};
 
-        #[test]
-        fn rank_invariant_to_weight_scaling(
-            edges in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..5.0), 1..40),
-            scale in 0.5f64..20.0
-        ) {
-            let mut g1 = DiGraph::new(10);
-            let mut g2 = DiGraph::new(10);
-            for &(s, d, w) in &edges {
-                g1.add_edge(s, d, w);
-                g2.add_edge(s, d, w * scale);
-            }
-            let r1 = pagerank(&g1, &PageRankConfig::default());
-            let r2 = pagerank(&g2, &PageRankConfig::default());
-            for (a, b) in r1.iter().zip(&r2) {
-                prop_assert!((a - b).abs() < 1e-8);
-            }
-        }
+    fn edge_gen(nodes: usize, max_edges: usize) -> impl tl_support::quickprop::Gen<Value = Vec<(usize, usize, f64)>> {
+        gens::vecs(
+            (gens::usizes(0..nodes), gens::usizes(0..nodes), gens::f64s(0.1..5.0)),
+            0..max_edges,
+        )
+    }
+
+    #[test]
+    fn prop_rank_sums_to_one() {
+        check(
+            "rank_sums_to_one",
+            (gens::usizes(1..25), edge_gen(25, 80)),
+            |(n, edges)| {
+                let n = *n;
+                let mut g = DiGraph::new(n);
+                for &(s, d, w) in edges {
+                    if s < n && d < n {
+                        g.add_edge(s, d, w);
+                    }
+                }
+                let r = pagerank(&g, &PageRankConfig::default());
+                let sum: f64 = r.iter().sum();
+                qp_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+                qp_assert!(r.iter().all(|&x| x >= 0.0));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_rank_invariant_to_weight_scaling() {
+        check(
+            "rank_invariant_to_weight_scaling",
+            (edge_gen(10, 40), gens::f64s(0.5..20.0)),
+            |(edges, scale)| {
+                if edges.is_empty() {
+                    return Ok(());
+                }
+                let mut g1 = DiGraph::new(10);
+                let mut g2 = DiGraph::new(10);
+                for &(s, d, w) in edges {
+                    g1.add_edge(s, d, w);
+                    g2.add_edge(s, d, w * scale);
+                }
+                let r1 = pagerank(&g1, &PageRankConfig::default());
+                let r2 = pagerank(&g2, &PageRankConfig::default());
+                for (a, b) in r1.iter().zip(&r2) {
+                    qp_assert!((a - b).abs() < 1e-8);
+                }
+                Ok(())
+            },
+        );
     }
 }

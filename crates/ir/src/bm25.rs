@@ -152,7 +152,6 @@ impl Bm25Scorer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn fit(docs: &[Vec<TermId>]) -> Bm25Scorer {
         Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default())
@@ -226,17 +225,25 @@ mod tests {
         assert!((twice - 2.0 * once).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn scores_are_finite_and_nonnegative(
-            docs in proptest::collection::vec(proptest::collection::vec(0u32..30, 1..15), 1..10),
-            query in proptest::collection::vec(0u32..30, 0..8),
-            doc in proptest::collection::vec(0u32..30, 0..15),
-        ) {
-            let s = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
-            let x = s.score(&query, &doc);
-            prop_assert!(x.is_finite());
-            prop_assert!(x >= 0.0);
-        }
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens};
+
+    #[test]
+    fn prop_scores_are_finite_and_nonnegative() {
+        check(
+            "scores_are_finite_and_nonnegative",
+            (
+                gens::vecs(gens::vecs(gens::u32s(0..30), 1..15), 1..10),
+                gens::vecs(gens::u32s(0..30), 0..8),
+                gens::vecs(gens::u32s(0..30), 0..15),
+            ),
+            |(docs, query, doc)| {
+                let s = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+                let x = s.score(query, doc);
+                qp_assert!(x.is_finite());
+                qp_assert!(x >= 0.0);
+                Ok(())
+            },
+        );
     }
 }

@@ -76,7 +76,6 @@ pub fn merge_into<const N: usize>(dst: &mut NgramCounts<N>, src: &NgramCounts<N>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn unigrams() {
@@ -134,36 +133,55 @@ mod tests {
         assert_eq!(a[&[3]], 1);
     }
 
-    proptest! {
-        #[test]
-        fn ngram_total_formula(tokens in proptest::collection::vec(0u32..20, 0..60)) {
-            let c = ngrams::<2>(&tokens);
+    use tl_support::quickprop::{check, gens};
+    use tl_support::{qp_assert, qp_assert_eq};
+
+    #[test]
+    fn prop_ngram_total_formula() {
+        check("ngram_total_formula", gens::vecs(gens::u32s(0..20), 0..60), |tokens| {
+            let c = ngrams::<2>(tokens);
             let expected = tokens.len().saturating_sub(1) as u64;
-            prop_assert_eq!(total(&c), expected);
-        }
+            qp_assert_eq!(total(&c), expected);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn intersection_bounded_by_totals(a in proptest::collection::vec(0u32..10, 0..40),
-                                          b in proptest::collection::vec(0u32..10, 0..40)) {
-            let ca = ngrams::<1>(&a);
-            let cb = ngrams::<1>(&b);
+    #[test]
+    fn prop_intersection_bounded_by_totals() {
+        let pair = (
+            gens::vecs(gens::u32s(0..10), 0..40),
+            gens::vecs(gens::u32s(0..10), 0..40),
+        );
+        check("intersection_bounded_by_totals", pair, |(a, b)| {
+            let ca = ngrams::<1>(a);
+            let cb = ngrams::<1>(b);
             let i = intersection_size(&ca, &cb);
-            prop_assert!(i <= total(&ca));
-            prop_assert!(i <= total(&cb));
-        }
+            qp_assert!(i <= total(&ca));
+            qp_assert!(i <= total(&cb));
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn intersection_symmetric(a in proptest::collection::vec(0u32..10, 0..40),
-                                  b in proptest::collection::vec(0u32..10, 0..40)) {
-            let ca = ngrams::<2>(&a);
-            let cb = ngrams::<2>(&b);
-            prop_assert_eq!(intersection_size(&ca, &cb), intersection_size(&cb, &ca));
-        }
+    #[test]
+    fn prop_intersection_symmetric() {
+        let pair = (
+            gens::vecs(gens::u32s(0..10), 0..40),
+            gens::vecs(gens::u32s(0..10), 0..40),
+        );
+        check("intersection_symmetric", pair, |(a, b)| {
+            let ca = ngrams::<2>(a);
+            let cb = ngrams::<2>(b);
+            qp_assert_eq!(intersection_size(&ca, &cb), intersection_size(&cb, &ca));
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn self_intersection_is_total(a in proptest::collection::vec(0u32..10, 0..40)) {
-            let ca = ngrams::<1>(&a);
-            prop_assert_eq!(intersection_size(&ca, &ca), total(&ca));
-        }
+    #[test]
+    fn prop_self_intersection_is_total() {
+        check("self_intersection_is_total", gens::vecs(gens::u32s(0..10), 0..40), |a| {
+            let ca = ngrams::<1>(a);
+            qp_assert_eq!(intersection_size(&ca, &ca), total(&ca));
+            Ok(())
+        });
     }
 }

@@ -137,7 +137,6 @@ impl SparseVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn v(pairs: &[(TermId, f64)]) -> SparseVector {
         SparseVector::from_pairs(pairs.to_vec())
@@ -213,28 +212,40 @@ mod tests {
         assert_eq!(a.get(3), 5.0);
     }
 
-    proptest! {
-        #[test]
-        fn cosine_bounded(pairs_a in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20),
-                          pairs_b in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
-            let a = SparseVector::from_pairs(pairs_a);
-            let b = SparseVector::from_pairs(pairs_b);
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens, Gen};
+
+    fn pairs_gen() -> impl Gen<Value = Vec<(u32, f64)>> {
+        gens::vecs((gens::u32s(0..50), gens::f64s(-10.0..10.0)), 0..20)
+    }
+
+    #[test]
+    fn prop_cosine_bounded() {
+        check("cosine_bounded", (pairs_gen(), pairs_gen()), |(pa, pb)| {
+            let a = SparseVector::from_pairs(pa.clone());
+            let b = SparseVector::from_pairs(pb.clone());
             let c = a.cosine(&b);
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
-        }
+            qp_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn dot_commutative(pairs_a in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20),
-                           pairs_b in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
-            let a = SparseVector::from_pairs(pairs_a);
-            let b = SparseVector::from_pairs(pairs_b);
-            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
-        }
+    #[test]
+    fn prop_dot_commutative() {
+        check("dot_commutative", (pairs_gen(), pairs_gen()), |(pa, pb)| {
+            let a = SparseVector::from_pairs(pa.clone());
+            let b = SparseVector::from_pairs(pb.clone());
+            qp_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn norm_matches_self_dot(pairs in proptest::collection::vec((0u32..50, -10.0f64..10.0), 0..20)) {
-            let a = SparseVector::from_pairs(pairs);
-            prop_assert!((a.norm() * a.norm() - a.dot(&a)).abs() < 1e-6);
-        }
+    #[test]
+    fn prop_norm_matches_self_dot() {
+        check("norm_matches_self_dot", pairs_gen(), |pairs| {
+            let a = SparseVector::from_pairs(pairs.clone());
+            qp_assert!((a.norm() * a.norm() - a.dot(&a)).abs() < 1e-6);
+            Ok(())
+        });
     }
 }

@@ -56,7 +56,6 @@ pub fn date_coverage(selected: &[Date], ground_truth: &[Date], window: u32) -> f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn d(s: &str) -> Date {
         s.parse().unwrap()
@@ -123,32 +122,49 @@ mod tests {
         assert!((date_f1(&sel, &gt) - 1.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn f1_bounded(sel in proptest::collection::vec(0i32..1000, 0..30),
-                      gt in proptest::collection::vec(0i32..1000, 0..30)) {
-            let sel: Vec<Date> = sel.into_iter().map(Date::from_days).collect();
-            let gt: Vec<Date> = gt.into_iter().map(Date::from_days).collect();
-            let f = date_f1(&sel, &gt);
-            prop_assert!((0.0..=1.0).contains(&f));
-        }
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens};
 
-        #[test]
-        fn coverage_monotone_in_window(sel in proptest::collection::vec(0i32..300, 1..20),
-                                       gt in proptest::collection::vec(0i32..300, 1..20)) {
-            let sel: Vec<Date> = sel.into_iter().map(Date::from_days).collect();
-            let gt: Vec<Date> = gt.into_iter().map(Date::from_days).collect();
+    fn to_dates(days: &[i32]) -> Vec<Date> {
+        days.iter().copied().map(Date::from_days).collect()
+    }
+
+    #[test]
+    fn prop_f1_bounded() {
+        let pair = (
+            gens::vecs(gens::i32s(0..1000), 0..30),
+            gens::vecs(gens::i32s(0..1000), 0..30),
+        );
+        check("f1_bounded", pair, |(sel, gt)| {
+            let f = date_f1(&to_dates(sel), &to_dates(gt));
+            qp_assert!((0.0..=1.0).contains(&f));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_coverage_monotone_in_window() {
+        let pair = (
+            gens::vecs(gens::i32s(0..300), 1..20),
+            gens::vecs(gens::i32s(0..300), 1..20),
+        );
+        check("coverage_monotone_in_window", pair, |(sel, gt)| {
+            let (sel, gt) = (to_dates(sel), to_dates(gt));
             let c0 = date_coverage(&sel, &gt, 0);
             let c3 = date_coverage(&sel, &gt, 3);
             let c10 = date_coverage(&sel, &gt, 10);
-            prop_assert!(c0 <= c3 + 1e-12);
-            prop_assert!(c3 <= c10 + 1e-12);
-        }
+            qp_assert!(c0 <= c3 + 1e-12);
+            qp_assert!(c3 <= c10 + 1e-12);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn exact_match_implies_coverage(days in proptest::collection::vec(0i32..300, 1..20)) {
-            let dates: Vec<Date> = days.into_iter().map(Date::from_days).collect();
-            prop_assert!((date_coverage(&dates, &dates, 0) - 1.0).abs() < 1e-12);
-        }
+    #[test]
+    fn prop_exact_match_implies_coverage() {
+        check("exact_match_implies_coverage", gens::vecs(gens::i32s(0..300), 1..20), |days| {
+            let dates = to_dates(days);
+            qp_assert!((date_coverage(&dates, &dates, 0) - 1.0).abs() < 1e-12);
+            Ok(())
+        });
     }
 }

@@ -153,7 +153,6 @@ fn score_ngrams<const N: usize>(system: &[u32], reference: &[u32]) -> RougeScore
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn identical_texts_score_one() {
@@ -254,37 +253,57 @@ mod tests {
         assert!((s.f1 - 1.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn f1_bounded_and_symmetric_on_identity(words in proptest::collection::vec("[a-z]{2,6}", 1..20)) {
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens, Gen};
+
+    fn words_gen(max: usize) -> impl Gen<Value = Vec<String>> {
+        gens::vecs(gens::lowercase(2..=6), 1..max)
+    }
+
+    #[test]
+    fn prop_f1_bounded_and_symmetric_on_identity() {
+        check("f1_bounded_and_symmetric_on_identity", words_gen(20), |words| {
             let text = words.join(" ");
             let mut r = RougeScorer::new();
             let s = r.rouge_1(&text, &text);
-            prop_assert!((s.f1 - 1.0).abs() < 1e-9);
-        }
+            qp_assert!((s.f1 - 1.0).abs() < 1e-9);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn precision_recall_swap_on_reversal(a in proptest::collection::vec("[a-z]{2,6}", 1..15),
-                                             b in proptest::collection::vec("[a-z]{2,6}", 1..15)) {
-            let (ta, tb) = (a.join(" "), b.join(" "));
-            let mut r = RougeScorer::new();
-            let ab = r.rouge_1(&ta, &tb);
-            let ba = r.rouge_1(&tb, &ta);
-            prop_assert!((ab.precision - ba.recall).abs() < 1e-9);
-            prop_assert!((ab.recall - ba.precision).abs() < 1e-9);
-            prop_assert!((ab.f1 - ba.f1).abs() < 1e-9);
-        }
+    #[test]
+    fn prop_precision_recall_swap_on_reversal() {
+        check(
+            "precision_recall_swap_on_reversal",
+            (words_gen(15), words_gen(15)),
+            |(a, b)| {
+                let (ta, tb) = (a.join(" "), b.join(" "));
+                let mut r = RougeScorer::new();
+                let ab = r.rouge_1(&ta, &tb);
+                let ba = r.rouge_1(&tb, &ta);
+                qp_assert!((ab.precision - ba.recall).abs() < 1e-9);
+                qp_assert!((ab.recall - ba.precision).abs() < 1e-9);
+                qp_assert!((ab.f1 - ba.f1).abs() < 1e-9);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn scores_in_unit_interval(a in proptest::collection::vec("[a-z]{2,5}", 0..15),
-                                   b in proptest::collection::vec("[a-z]{2,5}", 0..15)) {
+    #[test]
+    fn prop_scores_in_unit_interval() {
+        let texts = (
+            gens::vecs(gens::lowercase(2..=5), 0..15),
+            gens::vecs(gens::lowercase(2..=5), 0..15),
+        );
+        check("scores_in_unit_interval", texts, |(a, b)| {
             let (ta, tb) = (a.join(" "), b.join(" "));
             let mut r = RougeScorer::new();
             for s in [r.rouge_1(&ta, &tb), r.rouge_2(&ta, &tb), r.rouge_s_star(&ta, &tb)] {
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.precision));
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.recall));
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&s.f1));
+                qp_assert!((0.0..=1.0 + 1e-9).contains(&s.precision));
+                qp_assert!((0.0..=1.0 + 1e-9).contains(&s.recall));
+                qp_assert!((0.0..=1.0 + 1e-9).contains(&s.f1));
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -6,8 +6,7 @@
 //! labels were assigned at random per timeline, how often would the absolute
 //! difference of means be at least as large as observed?
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tl_support::rng::Rng;
 
 /// Result of an approximate randomization test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +48,7 @@ pub fn approximate_randomization(
             trials,
         };
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut at_least = 0usize;
     let mut pa = vec![0.0; n];
     let mut pb = vec![0.0; n];

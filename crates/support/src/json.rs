@@ -1,0 +1,787 @@
+//! A minimal JSON value type with a recursive-descent parser and
+//! serializer, plus [`ToJson`]/[`FromJson`] traits for the workspace's data
+//! model (the `serde`/`serde_json` replacement).
+//!
+//! Design constraints:
+//!
+//! * **Deterministic output** — objects preserve insertion order (stored as
+//!   a `Vec`, not a hash map), and numbers print Rust's shortest
+//!   round-trippable decimal, so serializing the same value twice yields
+//!   byte-identical text (what the determinism integration test pins).
+//! * **Lossless round-trips** — `parse(serialize(v)) == v` for any value
+//!   built from finite numbers (a property test in this module enforces
+//!   it). Non-finite numbers serialize as `null`, as `serde_json` does.
+//! * **Robust parsing** — full escape handling including `\uXXXX` and
+//!   surrogate pairs, a recursion-depth cap, and trailing-garbage
+//!   rejection.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like `serde_json`'s default).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved and duplicate keys are kept
+    /// as-written (last lookup wins in [`Json::get`]).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from parsing or from [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object field, as a `FromJson` error when missing.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field '{key}'")))
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize to pretty JSON text (two-space indent, like
+    /// `serde_json::to_string_pretty`).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(xs) => write_seq(out, indent, level, '[', ']', xs.len(), |out, i, lvl| {
+                xs[i].write(out, indent, lvl);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, level, '{', '}', fields.len(), |out, i, lvl| {
+                    let (k, v) = &fields[i];
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, lvl);
+                })
+            }
+        }
+    }
+
+    /// Parse JSON text. Rejects trailing non-whitespace and nesting deeper
+    /// than 256 levels.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's f64 Display prints the shortest decimal that round-trips,
+        // which is valid JSON for finite values (including "-0").
+        out.push_str(&x.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (level + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return err("nesting too deep");
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The slice is valid UTF-8 because the input is a &str and
+                // we only stop at ASCII boundaries.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonError("eof in escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.peek() != Some(b'\\') {
+                                    return err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return err("invalid low surrogate");
+                                }
+                                let cp =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or(JsonError("bad codepoint".into()))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return err("unpaired low surrogate");
+                            } else {
+                                char::from_u32(hi).ok_or(JsonError("bad codepoint".into()))?
+                            };
+                            out.push(c);
+                        }
+                        c => return err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(b) if b < 0x20 => return err("raw control character in string"),
+                Some(_) => unreachable!("fast path consumes plain bytes"),
+                None => return err("unterminated string"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return err("eof in \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError("non-ascii in \\u escape".into()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| JsonError("bad \\u escape".into()))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: "0" or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return err(format!("invalid number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return err("digit required after decimal point");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return err("digit required in exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError(format!("unparseable number '{text}'")))
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Build the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Parse from the JSON representation.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            _ => err(format!("expected bool, got {v}")),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError(format!("expected number, got {v}")))
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let x = v.as_f64().ok_or_else(|| JsonError(format!("expected number, got {v}")))?;
+                if x.fract() != 0.0 || x < <$ty>::MIN as f64 || x > <$ty>::MAX as f64 {
+                    return err(format!("number {x} is not a valid {}", stringify!($ty)));
+                }
+                Ok(x as $ty)
+            }
+        }
+    )*};
+}
+
+impl_json_int!(i32, u32, i64, u64, usize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError(format!("expected string, got {v}")))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()
+            .ok_or_else(|| JsonError(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    /// Two-tuples serialize as two-element arrays (serde-compatible).
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => err(format!("expected 2-element array, got {v}")),
+        }
+    }
+}
+
+/// Build a `Json::Obj` from `(key, value)` pairs — the serializer-side
+/// helper structs use this to keep field lists readable.
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) {
+        let compact = v.to_string_compact();
+        assert_eq!(&Json::parse(&compact).unwrap(), v, "compact: {compact}");
+        let pretty = v.to_string_pretty();
+        assert_eq!(&Json::parse(&pretty).unwrap(), v, "pretty: {pretty}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Json::Null);
+        roundtrip(&Json::Bool(true));
+        roundtrip(&Json::Bool(false));
+        roundtrip(&Json::Num(0.0));
+        roundtrip(&Json::Num(-0.0));
+        roundtrip(&Json::Num(1e300));
+        roundtrip(&Json::Num(-2.5e-10));
+        roundtrip(&Json::Num(f64::MAX));
+        roundtrip(&Json::Str(String::new()));
+        roundtrip(&Json::Str("hello \"world\"\n\t\\ \u{1F600} \u{0007}".into()));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&Json::Arr(vec![]));
+        roundtrip(&Json::Obj(vec![]));
+        roundtrip(&obj(vec![
+            ("name", Json::Str("timeline17".into())),
+            ("scale", Json::Num(0.05)),
+            (
+                "entries",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::Num(17000.0), Json::Str("event".into())]),
+                    Json::Null,
+                ]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn parses_standard_text() {
+        let v = Json::parse(r#" { "a" : [1, 2.5, -3e2, true, null], "b": "xéy" } "#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().as_str().unwrap(), "x\u{e9}y");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "{not json",
+            "",
+            "  ",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "[1] trailing",
+            "\"unterminated",
+            "nul",
+            "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_capped() {
+        let text = "[".repeat(300) + &"]".repeat(300);
+        assert!(Json::parse(&text).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_object_keys_preserved() {
+        let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+        // First match wins in get(); both survive serialization.
+        assert_eq!(v.get("a").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(v.to_string_compact(), r#"{"a":1,"a":2}"#);
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn primitive_conversions() {
+        assert_eq!(usize::from_json(&Json::Num(42.0)).unwrap(), 42usize);
+        assert!(usize::from_json(&Json::Num(1.5)).is_err());
+        assert!(usize::from_json(&Json::Num(-1.0)).is_err());
+        assert!(i32::from_json(&Json::Num(3e10)).is_err());
+        assert_eq!(i32::from_json(&Json::Num(-12.0)).unwrap(), -12);
+        assert_eq!(
+            <(u64, String)>::from_json(&Json::parse(r#"[7,"x"]"#).unwrap()).unwrap(),
+            (7, "x".to_string())
+        );
+        assert_eq!(
+            Vec::<f64>::from_json(&Json::parse("[1,2,3]").unwrap()).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        assert!(Vec::<f64>::from_json(&Json::Num(1.0)).is_err());
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_style() {
+        let v = obj(vec![("a", Json::Num(1.0)), ("b", Json::Arr(vec![]))]);
+        assert_eq!(v.to_string_pretty(), "{\n  \"a\": 1,\n  \"b\": []\n}");
+    }
+
+    #[test]
+    fn missing_field_error_names_field() {
+        let v = Json::parse(r#"{"a":1}"#).unwrap();
+        let e = v.field("zzz").unwrap_err();
+        assert!(e.0.contains("zzz"));
+    }
+
+    /// Generate an arbitrary `Json` value with nesting depth at most `depth`.
+    /// Strings mix multi-byte text; numbers span sign, magnitude, and exact
+    /// integers so the shortest-roundtrip printer is exercised on all paths.
+    fn arbitrary_json(rng: &mut crate::rng::Rng, depth: usize) -> Json {
+        let leaf_only = depth == 0;
+        match rng.gen_range(0..if leaf_only { 5u32 } else { 7 }) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => {
+                // Mix exact integers and harsh floats.
+                if rng.gen_bool(0.5) {
+                    Json::Num(rng.gen_range(-1_000_000i64..1_000_000) as f64)
+                } else {
+                    let mag = rng.gen_range(-300.0..300.0f64);
+                    Json::Num(rng.gen_range(-1.0..1.0f64) * 10f64.powf(mag))
+                }
+            }
+            3 => Json::Num(rng.gen_range(-1.0..1.0f64)),
+            4 => {
+                let len = rng.gen_range(0..12usize);
+                let s: String = (0..len)
+                    .map(|_| {
+                        const POOL: &[char] =
+                            &['a', 'Z', ' ', '"', '\\', '\n', '\u{0}', 'é', '中', '😀'];
+                        POOL[rng.gen_range(0..POOL.len())]
+                    })
+                    .collect();
+                Json::Str(s)
+            }
+            5 => {
+                let len = rng.gen_range(0..5usize);
+                Json::Arr((0..len).map(|_| arbitrary_json(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.gen_range(0..5usize);
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), arbitrary_json(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// The doc-comment promise: `parse(serialize(v)) == v` for arbitrary
+    /// finite-number values, through both the compact and pretty printers.
+    #[test]
+    fn prop_arbitrary_json_roundtrips() {
+        use crate::quickprop::{check, gens};
+        check(
+            "prop_arbitrary_json_roundtrips",
+            gens::from_fn(|rng: &mut crate::rng::Rng| arbitrary_json(rng, 4)),
+            |v| {
+                let compact = v.to_string_compact();
+                let back = Json::parse(&compact).map_err(|e| format!("{e:?} on {compact}"))?;
+                crate::qp_assert_eq!(&back, v);
+                let pretty = v.to_string_pretty();
+                let back = Json::parse(&pretty).map_err(|e| format!("{e:?} on {pretty}"))?;
+                crate::qp_assert_eq!(&back, v);
+                Ok(())
+            },
+        );
+    }
+}

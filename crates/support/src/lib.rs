@@ -1,0 +1,29 @@
+//! Zero-dependency support substrate for the WILSON workspace.
+//!
+//! The build environment has no crates.io registry access, so everything the
+//! workspace previously pulled from external crates lives here, in-tree:
+//!
+//! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG with ranges,
+//!   shuffling and sampling (the `rand::StdRng` replacement),
+//! * [`json`] — a minimal JSON value type with a recursive-descent parser
+//!   and serializer plus [`json::ToJson`]/[`json::FromJson`] traits (the
+//!   `serde`/`serde_json` replacement),
+//! * [`par`] — `std::thread::scope`-based data parallelism (the
+//!   `crossbeam::scope` replacement),
+//! * [`quickprop`] — a mini property-testing harness with seeded
+//!   generators, greedy input shrinking and failing-seed reporting (the
+//!   `proptest` replacement).
+//!
+//! Everything is deterministic given explicit seeds: `cargo build --release
+//! --offline && cargo test -q --offline` passes from a cold checkout, and a
+//! failing property case is reproducible from the seed it prints.
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod par;
+pub mod quickprop;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use par::par_map;
+pub use rng::Rng;

@@ -1,0 +1,102 @@
+//! Scoped data parallelism on `std::thread::scope` (the `crossbeam::scope`
+//! replacement — std has had scoped threads since 1.63).
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// Splits the slice into one contiguous chunk per worker (at most
+/// `available_parallelism`, at most one per item) and runs `f` on scoped
+/// threads. Falls back to a plain serial map for zero or one item. Panics in
+/// `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    par_map_threads(items, threads, f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to `[1, items.len()]`).
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out = par_map(&xs, |&x| x * x);
+        assert_eq!(out, xs.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let xs: Vec<i64> = (0..257).collect();
+        let serial = par_map_threads(&xs, 1, |&x| x * 3 - 1);
+        for threads in [2, 3, 8, 64, 1000] {
+            assert_eq!(par_map_threads(&xs, threads, |&x| x * 3 - 1), serial);
+        }
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // With 4 workers and 4 items that each wait on a shared barrier, the
+        // map can only finish if the items run on distinct threads.
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
+            return; // not enough cores to prove anything
+        }
+        let barrier = std::sync::Barrier::new(4);
+        let xs = [0u8; 4];
+        let out = par_map_threads(&xs, 4, |_| {
+            barrier.wait();
+            1u8
+        });
+        assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let xs: Vec<u32> = (0..8).collect();
+        par_map_threads(&xs, 4, |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,773 @@
+//! `quickprop` — a mini property-testing harness (the `proptest`
+//! replacement).
+//!
+//! * **Seeded, reproducible cases** — every case's input is generated from
+//!   a per-case seed derived from the property name and a fixed base seed,
+//!   so a failure report prints a single `u64` that replays the exact
+//!   failing input: `QUICKPROP_SEED=<seed> cargo test <test_name>`.
+//! * **Configurable case counts** — [`Config::cases`] (default 128; the
+//!   suite-wide floor is 64) or the `QUICKPROP_CASES` environment variable.
+//! * **Greedy input shrinking** — when a case fails, the harness walks
+//!   simpler candidate inputs (toward zero / empty) and reports the
+//!   smallest input that still fails.
+//!
+//! A property is a closure from the generated value to
+//! `Result<(), String>`; the [`qp_assert!`][crate::qp_assert],
+//! [`qp_assert_eq!`][crate::qp_assert_eq] and
+//! [`qp_assert_ne!`][crate::qp_assert_ne] macros produce the `Err` side
+//! with file/line context. Panics inside the property are caught and
+//! shrunk like assertion failures.
+//!
+//! ```
+//! use tl_support::quickprop::{check, gens};
+//! use tl_support::qp_assert;
+//!
+//! check("addition_commutes", (gens::i32s(-1000..1000), gens::i32s(-1000..1000)),
+//!     |&(a, b)| {
+//!         qp_assert!(a + b == b + a, "{a} + {b}");
+//!         Ok(())
+//!     });
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases to run (env `QUICKPROP_CASES` overrides).
+    pub cases: usize,
+    /// Base seed mixed with the property name into per-case seeds.
+    pub seed: u64,
+    /// Cap on shrink-candidate evaluations after a failure.
+    pub max_shrinks: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 128,
+            seed: 0x51ED_BA5E,
+            max_shrinks: 4096,
+        }
+    }
+}
+
+/// A value generator with shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+    /// Generate a value from the RNG.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+    /// Simpler candidates to try when `value` falsifies a property (may be
+    /// empty; candidates must not include `value` itself).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Run a property under the default [`Config`].
+///
+/// Panics with a replay seed and the shrunk counterexample on failure.
+pub fn check<G: Gen>(
+    name: &str,
+    gen: G,
+    prop: impl Fn(&G::Value) -> Result<(), String>,
+) {
+    check_with(&Config::default(), name, gen, prop)
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn case_seed(base: u64, case: usize) -> u64 {
+    let mut s = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Run a property under an explicit [`Config`].
+pub fn check_with<G: Gen>(
+    config: &Config,
+    name: &str,
+    gen: G,
+    prop: impl Fn(&G::Value) -> Result<(), String>,
+) {
+    // A property is falsified by an Err return or by a panic.
+    let fails = |value: &G::Value| -> Option<String> {
+        match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+            Ok(Ok(())) => None,
+            Ok(Err(msg)) => Some(msg),
+            Err(payload) => Some(panic_message(&payload)),
+        }
+    };
+
+    if let Ok(replay) = std::env::var("QUICKPROP_SEED") {
+        let seed: u64 = replay
+            .trim()
+            .parse()
+            .expect("QUICKPROP_SEED must be a u64");
+        let value = gen.generate(&mut Rng::seed_from_u64(seed));
+        if let Some(msg) = fails(&value) {
+            panic!(
+                "property '{name}' failed on replay seed {seed}\n  input: {value:?}\n  error: {msg}"
+            );
+        }
+        return;
+    }
+
+    let cases = std::env::var("QUICKPROP_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(config.cases);
+    let base = hash_name(name) ^ config.seed;
+
+    for case in 0..cases {
+        let seed = case_seed(base, case);
+        let value = gen.generate(&mut Rng::seed_from_u64(seed));
+        let Some(msg) = fails(&value) else { continue };
+
+        // Greedy shrink: take the first simpler candidate that still
+        // fails, restart from it, stop when no candidate fails (a local
+        // minimum) or the budget runs out. Panic output from candidate
+        // probes is suppressed while shrinking.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut cur = value;
+        let mut cur_msg = msg;
+        let mut shrinks = 0usize;
+        let mut budget = config.max_shrinks;
+        'outer: while budget > 0 {
+            for cand in gen.shrink(&cur) {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                if let Some(m) = fails(&cand) {
+                    cur = cand;
+                    cur_msg = m;
+                    shrinks += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(prev_hook);
+
+        panic!(
+            "property '{name}' falsified at case {case}/{cases} \
+             (shrunk {shrinks}x)\n  \
+             replay: QUICKPROP_SEED={seed}\n  \
+             counterexample: {cur:?}\n  \
+             error: {cur_msg}"
+        );
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Return `Err` with file/line context unless the condition holds.
+#[macro_export]
+macro_rules! qp_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} — {} ({}:{})",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// [`qp_assert!`][crate::qp_assert] for equality, printing both sides.
+#[macro_export]
+macro_rules! qp_assert_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?} ({}:{})",
+                stringify!($a), stringify!($b), lhs, rhs, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// [`qp_assert!`][crate::qp_assert] for inequality.
+#[macro_export]
+macro_rules! qp_assert_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?}) ({}:{})",
+                stringify!($a), stringify!($b), lhs, file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Built-in generators.
+pub mod gens {
+    use super::{Gen, Rng};
+    use std::ops::{Bound, RangeBounds};
+
+    fn bounds_i128(r: impl RangeBounds<i128>, lo_default: i128, hi_default: i128) -> (i128, i128) {
+        let lo = match r.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x + 1,
+            Bound::Unbounded => lo_default,
+        };
+        let hi = match r.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x - 1,
+            Bound::Unbounded => hi_default,
+        };
+        assert!(lo <= hi, "empty generator range");
+        (lo, hi)
+    }
+
+    macro_rules! int_gen {
+        ($fn_name:ident, $struct_name:ident, $ty:ty) => {
+            /// Uniform integer generator over the range; shrinks toward the
+            /// in-range value closest to zero.
+            #[derive(Debug, Clone)]
+            pub struct $struct_name {
+                lo: i128,
+                hi: i128,
+            }
+
+            /// Integers drawn uniformly from `range` (e.g. `-10..10`,
+            /// `3..=6`).
+            pub fn $fn_name<R>(range: R) -> $struct_name
+            where
+                R: RangeBounds<$ty>,
+            {
+                let lo = match range.start_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 + 1,
+                    Bound::Unbounded => <$ty>::MIN as i128,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 - 1,
+                    Bound::Unbounded => <$ty>::MAX as i128,
+                };
+                assert!(lo <= hi, "empty generator range");
+                $struct_name { lo, hi }
+            }
+
+            impl Gen for $struct_name {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut Rng) -> $ty {
+                    let span = (self.hi - self.lo + 1) as u64;
+                    (self.lo + rng.bounded_u64(span) as i128) as $ty
+                }
+
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    let v = *value as i128;
+                    let origin = 0i128.clamp(self.lo, self.hi);
+                    if v == origin {
+                        return Vec::new();
+                    }
+                    let step = if v > origin { -1 } else { 1 };
+                    let mut out = vec![origin, origin + (v - origin) / 2, v + step];
+                    out.retain(|&x| x != v && x >= self.lo && x <= self.hi);
+                    out.dedup();
+                    out.into_iter().map(|x| x as $ty).collect()
+                }
+            }
+        };
+    }
+
+    int_gen!(i32s, I32Gen, i32);
+    int_gen!(u32s, U32Gen, u32);
+    int_gen!(i64s, I64Gen, i64);
+    int_gen!(u64s, U64Gen, u64);
+    int_gen!(usizes, UsizeGen, usize);
+
+    // Silence the unused helper when no generator needs the generic form.
+    #[allow(dead_code)]
+    fn _use_bounds(r: std::ops::Range<i128>) -> (i128, i128) {
+        bounds_i128(r, 0, 0)
+    }
+
+    /// Uniform `f64` generator; shrinks toward the in-range value closest
+    /// to zero, preferring integral values.
+    #[derive(Debug, Clone)]
+    pub struct F64Gen {
+        lo: f64,
+        hi: f64,
+    }
+
+    /// Floats drawn uniformly from `[lo, hi)` / `[lo, hi]`.
+    pub fn f64s<R: RangeBounds<f64>>(range: R) -> F64Gen {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => -1e9,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => 1e9,
+        };
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad f64 range");
+        F64Gen { lo, hi }
+    }
+
+    impl Gen for F64Gen {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.lo + rng.f64() * (self.hi - self.lo)
+        }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let v = *value;
+            let origin = 0.0f64.clamp(self.lo, self.hi);
+            let mut out = vec![origin, v.trunc(), (v + origin) / 2.0];
+            out.retain(|&x| x != v && x >= self.lo && x <= self.hi);
+            out.dedup();
+            out
+        }
+    }
+
+    /// Boolean generator; `true` shrinks to `false`.
+    #[derive(Debug, Clone)]
+    pub struct BoolGen;
+
+    /// Fair coin flips.
+    pub fn bools() -> BoolGen {
+        BoolGen
+    }
+
+    impl Gen for BoolGen {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut Rng) -> bool {
+            rng.gen_bool(0.5)
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Vector generator: random length in `[min_len, max_len]`, elements
+    /// from `inner`. Shrinks by dropping elements (halving, point removal)
+    /// and by shrinking individual elements.
+    #[derive(Debug, Clone)]
+    pub struct VecGen<G> {
+        inner: G,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// Vectors of `inner`-generated elements with length in `len` (e.g.
+    /// `vecs(i32s(0..10), 0..40)`).
+    pub fn vecs<G: Gen, R: RangeBounds<usize>>(inner: G, len: R) -> VecGen<G> {
+        let (lo, hi) = bounds_i128(
+            (
+                match len.start_bound() {
+                    Bound::Included(&x) => Bound::Included(x as i128),
+                    Bound::Excluded(&x) => Bound::Excluded(x as i128),
+                    Bound::Unbounded => Bound::Unbounded,
+                },
+                match len.end_bound() {
+                    Bound::Included(&x) => Bound::Included(x as i128),
+                    Bound::Excluded(&x) => Bound::Excluded(x as i128),
+                    Bound::Unbounded => Bound::Unbounded,
+                },
+            ),
+            0,
+            64,
+        );
+        VecGen {
+            inner,
+            min_len: lo as usize,
+            max_len: hi as usize,
+        }
+    }
+
+    impl<G: Gen> Gen for VecGen<G> {
+        type Value = Vec<G::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+            let len = self.min_len + rng.bounded_u64((self.max_len - self.min_len + 1) as u64) as usize;
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+            let mut out: Vec<Vec<G::Value>> = Vec::new();
+            let len = value.len();
+            // Structural shrinks first: shorter vectors.
+            if len > self.min_len {
+                let half = (len / 2).max(self.min_len);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[len - half..].to_vec());
+                }
+                for i in 0..len.min(8) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Element-wise shrinks on a few positions.
+            for i in 0..len.min(4) {
+                for cand in self.inner.shrink(&value[i]).into_iter().take(3) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+
+    /// Lowercase `[a-z]` strings with char count in the given range
+    /// (replaces proptest's `"[a-z]{m,n}"` regex strategies). Shrinks by
+    /// shortening and by rewriting characters to `'a'`.
+    #[derive(Debug, Clone)]
+    pub struct LowercaseGen {
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// See [`LowercaseGen`].
+    pub fn lowercase<R: RangeBounds<usize>>(len: R) -> LowercaseGen {
+        let v = vecs(bools(), len); // reuse bounds handling
+        LowercaseGen {
+            min_len: v.min_len,
+            max_len: v.max_len,
+        }
+    }
+
+    impl Gen for LowercaseGen {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Rng) -> String {
+            let len = self.min_len + rng.bounded_u64((self.max_len - self.min_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| (b'a' + rng.bounded_u64(26) as u8) as char)
+                .collect()
+        }
+
+        fn shrink(&self, value: &String) -> Vec<String> {
+            let mut out = Vec::new();
+            let len = value.chars().count();
+            if len > self.min_len {
+                out.push(value.chars().take((len / 2).max(self.min_len)).collect());
+                out.push(value.chars().skip(1).collect());
+            }
+            if let Some(pos) = value.find(|c| c != 'a') {
+                let mut s: Vec<char> = value.chars().collect();
+                s[value[..pos].chars().count()] = 'a';
+                out.push(s.into_iter().collect());
+            }
+            out.retain(|s: &String| s != value);
+            out
+        }
+    }
+
+    /// Arbitrary text up to `max_len` chars: mixes ASCII, multi-byte Latin,
+    /// CJK, and emoji so byte-offset bugs surface (replaces proptest's
+    /// `"\\PC*"` strategies). Shrinks by dropping characters and
+    /// ASCII-fying.
+    #[derive(Debug, Clone)]
+    pub struct TextGen {
+        max_len: usize,
+    }
+
+    /// See [`TextGen`].
+    pub fn text(max_len: usize) -> TextGen {
+        TextGen { max_len }
+    }
+
+    impl Gen for TextGen {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Rng) -> String {
+            let len = rng.bounded_u64((self.max_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| match rng.bounded_u64(10) {
+                    0..=5 => (b' ' + rng.bounded_u64(95) as u8) as char, // printable ASCII
+                    6 => char::from_u32(0xA1 + rng.bounded_u64(0x5F) as u32).unwrap(), // Latin-1
+                    7 => char::from_u32(0x4E00 + rng.bounded_u64(0x100) as u32).unwrap(), // CJK
+                    8 => char::from_u32(0x1F600 + rng.bounded_u64(0x30) as u32).unwrap(), // emoji
+                    _ => ['\n', '\t', '0', '-', '.', ','][rng.bounded_u64(6) as usize],
+                })
+                .collect()
+        }
+
+        fn shrink(&self, value: &String) -> Vec<String> {
+            let chars: Vec<char> = value.chars().collect();
+            let mut out: Vec<String> = Vec::new();
+            if !chars.is_empty() {
+                out.push(String::new());
+                out.push(chars[..chars.len() / 2].iter().collect());
+                out.push(chars[chars.len() / 2..].iter().collect());
+                for i in 0..chars.len().min(6) {
+                    let mut c = chars.clone();
+                    c.remove(i);
+                    out.push(c.into_iter().collect());
+                }
+            }
+            if let Some(i) = chars.iter().position(|c| !c.is_ascii()) {
+                let mut c = chars.clone();
+                c[i] = 'a';
+                out.push(c.into_iter().collect());
+            }
+            out.retain(|s| s != value);
+            out
+        }
+    }
+
+    /// A fixed value (no shrinking).
+    #[derive(Debug, Clone)]
+    pub struct ConstGen<T>(pub T);
+
+    /// Always generate `value`.
+    pub fn constant<T: Clone + std::fmt::Debug>(value: T) -> ConstGen<T> {
+        ConstGen(value)
+    }
+
+    impl<T: Clone + std::fmt::Debug> Gen for ConstGen<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A generator from a closure, for composite setups that need
+    /// dependent randomness (no shrinking — keep the closure's output
+    /// small instead).
+    pub struct FnGen<F>(F);
+
+    /// See [`FnGen`].
+    pub fn from_fn<T, F>(f: F) -> FnGen<F>
+    where
+        T: Clone + std::fmt::Debug,
+        F: Fn(&mut Rng) -> T,
+    {
+        FnGen(f)
+    }
+
+    impl<T, F> Gen for FnGen<F>
+    where
+        T: Clone + std::fmt::Debug,
+        F: Fn(&mut Rng) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! tuple_gen {
+        ($($g:ident : $idx:tt),+) => {
+            impl<$($g: Gen),+> Gen for ($($g,)+) {
+                type Value = ($($g::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut v = value.clone();
+                            v.$idx = cand;
+                            out.push(v);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
+    }
+
+    tuple_gen!(A: 0, B: 1);
+    tuple_gen!(A: 0, B: 1, C: 2);
+    tuple_gen!(A: 0, B: 1, C: 2, D: 3);
+    tuple_gen!(A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens::*;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        check("always_ok", i32s(-5..5), |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), Config::default().cases);
+        assert!(Config::default().cases >= 64, "suite floor is 64 cases");
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(
+                &Config {
+                    cases: 64,
+                    ..Config::default()
+                },
+                "fails_over_100",
+                i32s(0..1000),
+                |&x| {
+                    qp_assert!(x < 100, "x = {x}");
+                    Ok(())
+                },
+            )
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("QUICKPROP_SEED="), "{msg}");
+        assert!(msg.contains("falsified"), "{msg}");
+        // Greedy shrinking must land exactly on the boundary.
+        assert!(msg.contains("counterexample: 100"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vectors() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no_vec_contains_7",
+                vecs(i32s(0..10), 0..30),
+                |v: &Vec<i32>| {
+                    qp_assert!(!v.contains(&7));
+                    Ok(())
+                },
+            )
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        // The minimal counterexample is the single-element vector [7].
+        assert!(msg.contains("counterexample: [7]"), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("div_by_value", i32s(-50..50), |&x| {
+                let _ = 100 / x; // panics at x = 0
+                Ok(())
+            })
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("counterexample: 0"), "{msg}");
+        assert!(msg.contains("panic"), "{msg}");
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "sum_small",
+                (i32s(0..100), i32s(0..100)),
+                |&(a, b)| {
+                    qp_assert!(a + b < 150);
+                    Ok(())
+                },
+            )
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("falsified"), "{msg}");
+    }
+
+    #[test]
+    fn generators_respect_ranges() {
+        check(
+            "gen_ranges",
+            (
+                i32s(-3..=3),
+                usizes(2..10),
+                f64s(0.5..2.0),
+                lowercase(2..=6),
+                vecs(u32s(0..5), 1..4),
+            ),
+            |(a, b, c, s, v)| {
+                qp_assert!((-3..=3).contains(a));
+                qp_assert!((2..10).contains(b));
+                qp_assert!((0.5..2.0).contains(c));
+                qp_assert!(s.len() >= 2 && s.len() <= 6);
+                qp_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+                qp_assert!(!v.is_empty() && v.len() < 4);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn text_gen_produces_multibyte() {
+        let mut rng = Rng::seed_from_u64(1);
+        let g = text(200);
+        let mut any_multibyte = false;
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            if s.bytes().len() > s.chars().count() {
+                any_multibyte = true;
+            }
+        }
+        assert!(any_multibyte, "text gen never produced multi-byte chars");
+    }
+
+    #[test]
+    fn same_name_same_inputs() {
+        let run = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            check_with(
+                &Config { cases: 10, ..Config::default() },
+                "determinism_probe",
+                i32s(0..1000),
+                |&x| {
+                    seen.borrow_mut().push(x);
+                    Ok(())
+                },
+            );
+            seen.into_inner()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.iter().collect::<std::collections::HashSet<_>>().len() > 5);
+    }
+}

@@ -8,9 +8,9 @@
 //! 1970-01-01, negative before) so ordering and differences are integer ops,
 //! with exact conversion to and from `(year, month, day)`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use tl_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// Months of the Gregorian calendar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -145,8 +145,22 @@ impl Weekday {
 }
 
 /// A calendar date stored as days since 1970-01-01 (the Unix epoch day).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Date(i32);
+
+impl ToJson for Date {
+    /// Serializes as the bare epoch-day number (the representation the
+    /// serde newtype derive produced, so saved datasets stay loadable).
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Date {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Date(i32::from_json(v)?))
+    }
+}
 
 fn is_leap(year: i32) -> bool {
     (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
@@ -335,7 +349,6 @@ impl FromStr for Date {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn epoch_is_day_zero() {
@@ -433,44 +446,137 @@ mod tests {
         assert!(a < b);
     }
 
-    proptest! {
-        #[test]
-        fn ymd_roundtrip(days in -1_000_000i32..1_000_000) {
+    use tl_support::quickprop::{check, gens};
+    use tl_support::{qp_assert, qp_assert_eq};
+
+    #[test]
+    fn prop_ymd_roundtrip() {
+        check("ymd_roundtrip", gens::i32s(-1_000_000..1_000_000), |&days| {
             let d = Date::from_days(days);
             let (y, m, dd) = d.ymd();
             let back = Date::from_ymd(y, m, dd).expect("ymd from valid date is valid");
-            prop_assert_eq!(back, d);
-        }
+            qp_assert_eq!(back, d);
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn display_parse_roundtrip(days in -500_000i32..500_000) {
-            let d = Date::from_days(days);
-            let s = d.to_string();
-            prop_assert_eq!(s.parse::<Date>().unwrap(), d);
-        }
+    #[test]
+    fn prop_display_parse_roundtrip() {
+        check(
+            "display_parse_roundtrip",
+            gens::i32s(-500_000..500_000),
+            |&days| {
+                let d = Date::from_days(days);
+                qp_assert_eq!(d.to_string().parse::<Date>().unwrap(), d);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn plus_days_inverts(days in -100_000i32..100_000, n in -5_000i32..5_000) {
-            let d = Date::from_days(days);
-            prop_assert_eq!(d.plus_days(n).plus_days(-n), d);
-            prop_assert_eq!(d.plus_days(n).diff_days(d), n);
-        }
+    #[test]
+    fn prop_plus_days_inverts() {
+        check(
+            "plus_days_inverts",
+            (gens::i32s(-100_000..100_000), gens::i32s(-5_000..5_000)),
+            |&(days, n)| {
+                let d = Date::from_days(days);
+                qp_assert_eq!(d.plus_days(n).plus_days(-n), d);
+                qp_assert_eq!(d.plus_days(n).diff_days(d), n);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn weekday_cycles(days in -100_000i32..100_000) {
+    #[test]
+    fn prop_weekday_cycles() {
+        check("weekday_cycles", gens::i32s(-100_000..100_000), |&days| {
             let d = Date::from_days(days);
-            prop_assert_eq!(d.plus_days(7).weekday(), d.weekday());
-            prop_assert_eq!(
+            qp_assert_eq!(d.plus_days(7).weekday(), d.weekday());
+            qp_assert_eq!(
                 (d.plus_days(1).weekday().index() - d.weekday().index()).rem_euclid(7),
                 1
             );
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn month_lengths_respected(days in -100_000i32..100_000) {
+    #[test]
+    fn prop_month_lengths_respected() {
+        check(
+            "month_lengths_respected",
+            gens::i32s(-100_000..100_000),
+            |&days| {
+                let d = Date::from_days(days);
+                let (y, m, dd) = d.ymd();
+                qp_assert!(dd >= 1 && dd <= super::days_in_month(y, m));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_add_then_sub_commutes_with_diff() {
+        // a.plus(n) and b = a.plus(n).plus(-m): distances compose linearly.
+        check(
+            "add_sub_days_linear",
+            (
+                gens::i32s(-200_000..200_000),
+                gens::i32s(-10_000..10_000),
+                gens::i32s(-10_000..10_000),
+            ),
+            |&(days, n, m)| {
+                let a = Date::from_days(days);
+                let b = a.plus_days(n).plus_days(m);
+                qp_assert_eq!(b.diff_days(a), n + m);
+                qp_assert_eq!(a.distance(b), (n + m).unsigned_abs());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_ordinal_ymd_bijection_is_monotone() {
+        // Consecutive epoch days map to strictly increasing (y, m, d)
+        // triples in lexicographic order — the ordinal↔ymd maps are order
+        // isomorphisms.
+        check(
+            "ordinal_ymd_monotone",
+            gens::i32s(-400_000..400_000),
+            |&days| {
+                let a = Date::from_days(days);
+                let b = Date::from_days(days + 1);
+                qp_assert!(a < b);
+                qp_assert!(a.ymd() < b.ymd(), "{:?} !< {:?}", a.ymd(), b.ymd());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_first_of_month_and_year_floor() {
+        check("first_of_floors", gens::i32s(-200_000..200_000), |&days| {
             let d = Date::from_days(days);
-            let (y, m, dd) = d.ymd();
-            prop_assert!(dd >= 1 && dd <= super::days_in_month(y, m));
-        }
+            let fm = d.first_of_month();
+            qp_assert_eq!(fm.day(), 1);
+            qp_assert_eq!(fm.month(), d.month());
+            qp_assert_eq!(fm.year(), d.year());
+            qp_assert!(fm <= d);
+            let fy = d.first_of_year();
+            qp_assert_eq!(fy.ymd(), (d.year(), 1, 1));
+            qp_assert!(fy <= fm);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn prop_json_roundtrip_preserves_date() {
+        check("date_json_roundtrip", gens::i32s(-1_000_000..1_000_000), |&days| {
+            let d = Date::from_days(days);
+            let text = d.to_json().to_string_compact();
+            qp_assert_eq!(text, days.to_string(), "bare-number representation");
+            let back = Date::from_json(&Json::parse(&text).unwrap()).unwrap();
+            qp_assert_eq!(back, d);
+            Ok(())
+        });
     }
 }

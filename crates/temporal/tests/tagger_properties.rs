@@ -1,98 +1,154 @@
 //! Property-based tests of the temporal tagger: total robustness on
 //! arbitrary input and semantic invariants of the resolutions.
 
-use proptest::prelude::*;
+use tl_support::quickprop::{check, gens, Gen};
+use tl_support::rng::Rng;
+use tl_support::{qp_assert, qp_assert_eq};
 use tl_temporal::tagger::Granularity;
 use tl_temporal::{tag_dates, Date};
 
-proptest! {
-    /// The tagger never panics and always returns in-text byte spans that
-    /// slice cleanly on any input, printable or not.
-    #[test]
-    fn tagger_total_on_arbitrary_text(text in "\\PC{0,200}", dct_days in -20000i32..40000) {
-        let dct = Date::from_days(dct_days);
-        for tag in tag_dates(&text, dct) {
-            let (a, b) = tag.span;
-            prop_assert!(a <= b && b <= text.len());
-            prop_assert!(text.get(a..b).is_some(), "span not on char boundary");
-        }
-    }
+/// `[a-zA-Z ]{0,max}` prose fragments.
+fn prose(max: usize) -> impl Gen<Value = String> {
+    gens::from_fn(move |rng: &mut Rng| {
+        let len = rng.gen_range(0..=max);
+        (0..len)
+            .map(|_| {
+                const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ";
+                CHARSET[rng.gen_range(0..CHARSET.len())] as char
+            })
+            .collect()
+    })
+}
 
-    /// ISO dates embedded in arbitrary prose resolve exactly.
-    #[test]
-    fn iso_dates_resolve_exactly(
-        y in 1900i32..2100,
-        m in 1u32..=12,
-        d in 1u32..=28,
-        prefix in "[a-zA-Z ]{0,30}",
-        suffix in "[a-zA-Z ]{0,30}",
-    ) {
-        let date = Date::from_ymd(y, m, d).expect("d <= 28 always valid");
-        let text = format!("{prefix} {date} {suffix}");
-        let tags = tag_dates(&text, Date::from_ymd(2015, 6, 1).expect("valid"));
-        prop_assert!(
-            tags.iter().any(|t| t.date == date && t.granularity == Granularity::Day),
-            "failed to tag {date} in {text:?}"
-        );
-    }
-
-    /// "Month day, year" renderings resolve to the same day as the ISO form.
-    #[test]
-    fn verbose_dates_match_iso(
-        y in 1900i32..2100,
-        m in 1u32..=12,
-        d in 1u32..=28,
-    ) {
-        let date = Date::from_ymd(y, m, d).expect("valid");
-        const MONTHS: [&str; 12] = [
-            "January", "February", "March", "April", "May", "June", "July",
-            "August", "September", "October", "November", "December",
-        ];
-        let dct = Date::from_ymd(2015, 6, 1).expect("valid");
-        let verbose = format!("It happened on {} {}, {}.", MONTHS[(m - 1) as usize], d, y);
-        let tags = tag_dates(&verbose, dct);
-        prop_assert!(
-            tags.iter().any(|t| t.date == date),
-            "verbose form missed {date}: {tags:?}"
-        );
-        let euro = format!("It happened on {} {} {}.", d, MONTHS[(m - 1) as usize], y);
-        let tags = tag_dates(&euro, dct);
-        prop_assert!(tags.iter().any(|t| t.date == date), "euro form missed {date}");
-    }
-
-    /// Relative expressions resolve within a bounded distance of the DCT.
-    #[test]
-    fn relative_expressions_near_dct(dct_days in 0i32..30000) {
-        let dct = Date::from_days(dct_days);
-        for (text, max_dist) in [
-            ("It was announced today.", 0u32),
-            ("It was announced yesterday.", 1),
-            ("They meet tomorrow.", 1),
-            ("It happened last week.", 7),
-            ("The deal was signed on Monday.", 7),
-            ("Three days ago it collapsed.", 3),
-        ] {
-            let tags = tag_dates(text, dct);
-            prop_assert!(!tags.is_empty(), "{text}");
-            for t in &tags {
-                prop_assert!(
-                    t.date.distance(dct) <= max_dist,
-                    "{text}: resolved {} from dct {} (> {max_dist})",
-                    t.date, dct
-                );
+/// The tagger never panics and always returns in-text byte spans that
+/// slice cleanly on any input, printable or not.
+#[test]
+fn tagger_total_on_arbitrary_text() {
+    check(
+        "tagger_total_on_arbitrary_text",
+        (gens::text(200), gens::i32s(-20000..40000)),
+        |(text, dct_days)| {
+            let dct = Date::from_days(*dct_days);
+            for tag in tag_dates(text, dct) {
+                let (a, b) = tag.span;
+                qp_assert!(a <= b && b <= text.len());
+                qp_assert!(text.get(a..b).is_some(), "span not on char boundary");
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Weekday mentions resolve to the named weekday, strictly in the past.
-    #[test]
-    fn weekday_mentions_resolve_to_past_weekday(dct_days in 0i32..30000) {
-        let dct = Date::from_days(dct_days);
-        let tags = tag_dates("Officials met on Friday.", dct);
-        prop_assert_eq!(tags.len(), 1);
-        let resolved = tags[0].date;
-        prop_assert_eq!(resolved.weekday(), tl_temporal::Weekday::Friday);
-        prop_assert!(resolved < dct);
-        prop_assert!(dct.diff_days(resolved) <= 7);
-    }
+/// ISO dates embedded in arbitrary prose resolve exactly.
+#[test]
+fn iso_dates_resolve_exactly() {
+    check(
+        "iso_dates_resolve_exactly",
+        (
+            gens::i32s(1900..2100),
+            gens::u32s(1..=12),
+            gens::u32s(1..=28),
+            prose(30),
+            prose(30),
+        ),
+        |(y, m, d, prefix, suffix)| {
+            let date = Date::from_ymd(*y, *m, *d).expect("d <= 28 always valid");
+            let text = format!("{prefix} {date} {suffix}");
+            let tags = tag_dates(&text, Date::from_ymd(2015, 6, 1).expect("valid"));
+            qp_assert!(
+                tags.iter()
+                    .any(|t| t.date == date && t.granularity == Granularity::Day),
+                "failed to tag {date} in {text:?}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// "Month day, year" renderings resolve to the same day as the ISO form.
+#[test]
+fn verbose_dates_match_iso() {
+    check(
+        "verbose_dates_match_iso",
+        (gens::i32s(1900..2100), gens::u32s(1..=12), gens::u32s(1..=28)),
+        |(y, m, d)| {
+            let date = Date::from_ymd(*y, *m, *d).expect("valid");
+            const MONTHS: [&str; 12] = [
+                "January",
+                "February",
+                "March",
+                "April",
+                "May",
+                "June",
+                "July",
+                "August",
+                "September",
+                "October",
+                "November",
+                "December",
+            ];
+            let dct = Date::from_ymd(2015, 6, 1).expect("valid");
+            let verbose = format!("It happened on {} {}, {}.", MONTHS[(m - 1) as usize], d, y);
+            let tags = tag_dates(&verbose, dct);
+            qp_assert!(
+                tags.iter().any(|t| t.date == date),
+                "verbose form missed {date}: {tags:?}"
+            );
+            let euro = format!("It happened on {} {} {}.", d, MONTHS[(m - 1) as usize], y);
+            let tags = tag_dates(&euro, dct);
+            qp_assert!(tags.iter().any(|t| t.date == date), "euro form missed {date}");
+            Ok(())
+        },
+    );
+}
+
+/// Relative expressions resolve within a bounded distance of the DCT.
+#[test]
+fn relative_expressions_near_dct() {
+    check(
+        "relative_expressions_near_dct",
+        gens::i32s(0..30000),
+        |&dct_days| {
+            let dct = Date::from_days(dct_days);
+            for (text, max_dist) in [
+                ("It was announced today.", 0u32),
+                ("It was announced yesterday.", 1),
+                ("They meet tomorrow.", 1),
+                ("It happened last week.", 7),
+                ("The deal was signed on Monday.", 7),
+                ("Three days ago it collapsed.", 3),
+            ] {
+                let tags = tag_dates(text, dct);
+                qp_assert!(!tags.is_empty(), "{text}");
+                for t in &tags {
+                    qp_assert!(
+                        t.date.distance(dct) <= max_dist,
+                        "{text}: resolved {} from dct {} (> {max_dist})",
+                        t.date,
+                        dct
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Weekday mentions resolve to the named weekday, strictly in the past.
+#[test]
+fn weekday_mentions_resolve_to_past_weekday() {
+    check(
+        "weekday_mentions_resolve_to_past_weekday",
+        gens::i32s(0..30000),
+        |&dct_days| {
+            let dct = Date::from_days(dct_days);
+            let tags = tag_dates("Officials met on Friday.", dct);
+            qp_assert_eq!(tags.len(), 1);
+            let resolved = tags[0].date;
+            qp_assert_eq!(resolved.weekday(), tl_temporal::Weekday::Friday);
+            qp_assert!(resolved < dct);
+            qp_assert!(dct.diff_days(resolved) <= 7);
+            Ok(())
+        },
+    );
 }

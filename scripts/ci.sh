@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build and test from a cold checkout with
+# no network and no registry cache, and must never reacquire a crates.io
+# dependency. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency policy: path-only =="
+# Any dependency line with `version = `, a bare `name = "x.y"` version
+# string, or a `git = ` source is a registry/git dependency. Everything in
+# this workspace must be `path = ...` / `workspace = true`.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Strip comments, then look at [*dependencies*] sections only.
+    deps=$(awk '
+        /^[[:space:]]*#/ { next }
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && NF { print }
+    ' "$manifest" | grep -v '^\[' || true)
+    offending=$(printf '%s\n' "$deps" \
+        | grep -E '(version[[:space:]]*=|git[[:space:]]*=|registry[[:space:]]*=|^[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*"[0-9])' \
+        || true)
+    if [ -n "$offending" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        printf '%s\n' "$offending" >&2
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: external dependencies are not allowed (see DESIGN.md, 'Hermetic build')" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path dependencies"
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline tests (all targets) =="
+cargo test -q --offline
+
+echo "== bench targets compile =="
+cargo build --offline --all-targets
+
+echo "CI passed."

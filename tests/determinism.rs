@@ -1,0 +1,56 @@
+//! The hermetic-build determinism guarantee: every stage of the pipeline is
+//! seeded, so two identical runs — synthetic corpus generation, the full
+//! WILSON pipeline plus a baseline, the approximate-randomization
+//! significance test, and report serialization — must produce byte-identical
+//! eval reports.
+
+use std::path::PathBuf;
+use tl_baselines::TilseBaseline;
+use tl_corpus::{generate, SynthConfig};
+use tl_eval::protocol::evaluate_method;
+use tl_eval::report::ExperimentReport;
+use tl_eval::UnitMetrics;
+use tl_rouge::approximate_randomization;
+use tl_wilson::{Wilson, WilsonConfig};
+
+/// One full run: generate the corpus, evaluate WILSON and ASMDS on it, run
+/// the significance test, and serialize the report. Returns the report bytes
+/// and the significance p-value.
+fn full_run(path: &PathBuf) -> (Vec<u8>, f64) {
+    let ds = generate(&SynthConfig::tiny());
+    let mut wilson = evaluate_method(&ds, &Wilson::new(WilsonConfig::default()));
+    let mut asmds = evaluate_method(&ds, &TilseBaseline::asmds());
+    // Wall-clock timing is the one legitimately nondeterministic field.
+    for m in [&mut wilson, &mut asmds] {
+        for u in &mut m.units {
+            u.seconds = 0.0;
+        }
+    }
+    let sig = approximate_randomization(
+        &wilson.series(|u: &UnitMetrics| u.concat_r1),
+        &asmds.series(|u: &UnitMetrics| u.concat_r1),
+        2000,
+        42,
+    );
+    let report = ExperimentReport::new("determinism", ds.name.as_str(), 1.0, &[wilson, asmds]);
+    report.write_json(path).expect("write report");
+    (std::fs::read(path).expect("read back"), sig.p_value)
+}
+
+#[test]
+fn two_runs_produce_byte_identical_reports() {
+    let dir = std::env::temp_dir().join(format!("tl-determinism-{}", std::process::id()));
+    let a_path = dir.join("run_a.json");
+    let b_path = dir.join("run_b.json");
+    let (a, p_a) = full_run(&a_path);
+    let (b, p_b) = full_run(&b_path);
+    assert_eq!(p_a, p_b, "significance test is not seed-deterministic");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "reports differ between identical seeded runs");
+
+    // And the serialized report loads back to an equal value.
+    let loaded = ExperimentReport::read_json(&a_path).expect("parse report");
+    assert_eq!(loaded.methods.len(), 2);
+    assert_eq!(loaded.experiment, "determinism");
+    let _ = std::fs::remove_dir_all(&dir);
+}
