@@ -4,7 +4,7 @@
 //! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
 
 use std::hint::black_box;
-use tl_bench::{bench, timeline17_corpus};
+use tl_bench::{bench_reported, timeline17_corpus};
 use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
 use tl_graph::{pagerank, DiGraph, PageRankConfig};
 use tl_ir::{Bm25Params, Bm25Scorer};
@@ -22,7 +22,7 @@ fn bench_pagerank() {
             g.add_edge(i, (i + 1) % n, 1.0);
             g.add_edge(i, (i * 7 + 3) % n, 0.5);
         }
-        bench(&format!("pagerank/{n}"), || {
+        bench_reported("BENCH_components.json", &format!("pagerank/{n}"), || {
             black_box(pagerank(&g, &PageRankConfig::default()));
         });
     }
@@ -38,7 +38,7 @@ fn bench_analysis_and_tagging() {
         .take(2000)
         .map(|s| s.text.as_str())
         .collect();
-    bench("analyze_2000_sentences", || {
+    bench_reported("BENCH_components.json", "analyze_2000_sentences", || {
         let mut a = Analyzer::new(AnalysisOptions::retrieval());
         for t in &texts {
             black_box(a.analyze(t));
@@ -46,7 +46,7 @@ fn bench_analysis_and_tagging() {
     });
     let dct = Date::from_ymd(2011, 6, 1).expect("valid");
     let tagger = TemporalTagger::new();
-    bench("tag_2000_sentences", || {
+    bench_reported("BENCH_components.json", "tag_2000_sentences", || {
         for t in &texts {
             black_box(tagger.tag(t, dct));
         }
@@ -66,7 +66,7 @@ fn bench_bm25() {
         .collect();
     let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
     let query = analyzer.analyze_frozen(&corpus.query);
-    bench("bm25_score_1000_docs", || {
+    bench_reported("BENCH_components.json", "bm25_score_1000_docs", || {
         let mut acc = 0.0;
         for d in &docs {
             acc += scorer.score(&query, d);
@@ -94,11 +94,11 @@ fn bench_rouge() {
         .map(|s| s.text.as_str())
         .collect::<Vec<_>>()
         .join(" ");
-    bench("rouge2_80_sentences", || {
+    bench_reported("BENCH_components.json", "rouge2_80_sentences", || {
         let mut r = RougeScorer::new();
         black_box(r.rouge_2(&sys, &reference));
     });
-    bench("rouge_s_star_80_sentences", || {
+    bench_reported("BENCH_components.json", "rouge_s_star_80_sentences", || {
         let mut r = RougeScorer::new();
         black_box(r.rouge_s_star(&sys, &reference));
     });
@@ -123,7 +123,7 @@ fn bench_affinity() {
                 .collect()
         })
         .collect();
-    bench("affinity_propagation_120", || {
+    bench_reported("BENCH_components.json", "affinity_propagation_120", || {
         black_box(affinity_propagation(
             &sim,
             &AffinityPropagationConfig::default(),

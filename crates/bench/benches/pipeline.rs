@@ -7,9 +7,57 @@
 
 use std::hint::black_box;
 use tl_baselines::{ChieuBaseline, EtsBaseline, MeadBaseline, RandomBaseline, TilseBaseline};
-use tl_bench::{bench, timeline17_corpus};
+use tl_bench::{bench_reported, timeline17_corpus};
 use tl_corpus::TimelineGenerator;
 use tl_wilson::{Wilson, WilsonConfig};
+
+/// CI smoke bench: a small full-pipeline run that (1) exercises the report
+/// writer and re-parses its output, and (2) with `TL_BENCH_ENFORCE=1`
+/// fails when the fresh median regresses more than 2× over the committed
+/// `BENCH_pipeline.json` baseline. `scripts/ci.sh` runs this with
+/// `TL_BENCH_REPORT_DIR` pointed at a scratch directory so the committed
+/// baseline is read-only for the gate.
+#[test]
+#[ignore = "benchmark"]
+fn bench_smoke() {
+    use tl_bench::{baseline_median, report_dir, REPORT_SCHEMA};
+    use tl_support::json::Json;
+
+    let corpus = timeline17_corpus(0.005);
+    let wilson = Wilson::new(WilsonConfig::default());
+    let stats = bench_reported("BENCH_pipeline.json", "pipeline/smoke", || {
+        black_box(wilson.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
+    });
+
+    // The written report must parse and contain the fresh entry.
+    let path = report_dir().join("BENCH_pipeline.json");
+    let text = std::fs::read_to_string(&path).expect("report written");
+    let doc = Json::parse(&text).expect("report parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+    let written = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .and_then(|bs| {
+            bs.iter()
+                .find(|b| b.get("name").and_then(Json::as_str) == Some("pipeline/smoke"))
+        })
+        .and_then(|b| b.get("median_s"))
+        .and_then(Json::as_f64)
+        .expect("smoke entry present");
+    assert_eq!(written, stats.median);
+
+    // Regression gate against the committed baseline (same-machine CI).
+    if std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1") {
+        let baseline = baseline_median("BENCH_pipeline.json", "pipeline/smoke")
+            .expect("committed BENCH_pipeline.json must contain pipeline/smoke");
+        assert!(
+            stats.median <= 2.0 * baseline,
+            "pipeline smoke bench regressed: median {:.3} ms > 2x baseline {:.3} ms",
+            stats.median * 1e3,
+            baseline * 1e3
+        );
+    }
+}
 
 #[test]
 #[ignore = "benchmark"]
@@ -29,7 +77,7 @@ fn bench_methods() {
     ];
     for m in &methods {
         let name = format!("table7_runtime/{}", m.name().replace([' ', '/'], "_"));
-        bench(&name, || {
+        bench_reported("BENCH_pipeline.json", &name, || {
             black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
         });
     }
@@ -40,24 +88,24 @@ fn bench_methods() {
 fn bench_ablations() {
     let corpus = timeline17_corpus(0.03);
     let parallel = Wilson::new(WilsonConfig::default().with_parallel(true));
-    bench("wilson_ablations/parallel_days", || {
+    bench_reported("BENCH_pipeline.json", "wilson_ablations/parallel_days", || {
         black_box(parallel.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
     let serial = Wilson::new(WilsonConfig::default().with_parallel(false));
-    bench("wilson_ablations/serial_days", || {
+    bench_reported("BENCH_pipeline.json", "wilson_ablations/serial_days", || {
         black_box(serial.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
     let with_post = Wilson::new(WilsonConfig::default());
-    bench("wilson_ablations/with_postprocess", || {
+    bench_reported("BENCH_pipeline.json", "wilson_ablations/with_postprocess", || {
         black_box(with_post.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
     let without_post = Wilson::new(WilsonConfig::without_post());
-    bench("wilson_ablations/without_postprocess", || {
+    bench_reported("BENCH_pipeline.json", "wilson_ablations/without_postprocess", || {
         black_box(without_post.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
     });
     // Date-selection stage in isolation (the O(T^2) term of §2.5).
     let wilson = Wilson::new(WilsonConfig::default());
-    bench("wilson_ablations/date_selection_only", || {
+    bench_reported("BENCH_pipeline.json", "wilson_ablations/date_selection_only", || {
         black_box(wilson.select_dates(&corpus.sentences, &corpus.query, corpus.t));
     });
 }
@@ -87,10 +135,26 @@ fn bench_realtime() {
         sents_per_date: 2,
         fetch_limit: 2000,
     };
-    bench(
+    // Cold path: vary the cache key each iteration so every run pays the
+    // full fetch + WILSON cost (fetch_limit past the hit count fetches the
+    // same sentences but is a distinct memo entry).
+    let mut bump = 0usize;
+    bench_reported(
+        "BENCH_pipeline.json",
         &format!("realtime/query_over_{}_sentences", system.num_sentences()),
         || {
-            black_box(system.timeline(&query));
+            bump += 1;
+            let cold = TimelineQuery {
+                fetch_limit: query.fetch_limit + bump,
+                ..query.clone()
+            };
+            black_box(system.timeline(&cold));
         },
     );
+    // Warm path: the §5 dashboard scenario — the same query repeated with
+    // no intervening ingestion is served from the epoch-keyed memo.
+    system.timeline(&query);
+    bench_reported("BENCH_pipeline.json", "realtime/repeated_query_cached", || {
+        black_box(system.timeline(&query));
+    });
 }

@@ -6,7 +6,7 @@
 
 use std::hint::black_box;
 use tl_baselines::TilseBaseline;
-use tl_bench::{bench, tiny_corpus};
+use tl_bench::{bench_reported, tiny_corpus};
 use tl_corpus::TimelineGenerator;
 use tl_wilson::{Wilson, WilsonConfig};
 
@@ -19,15 +19,15 @@ fn bench_scaling() {
         let cx = tiny_corpus(scale);
         let size = cx.sentences.len();
         let wilson = Wilson::new(WilsonConfig::default());
-        bench(&format!("fig2_scaling/wilson/{size}"), || {
+        bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/wilson/{size}"), || {
             black_box(wilson.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
         let asmds = TilseBaseline::asmds();
-        bench(&format!("fig2_scaling/asmds/{size}"), || {
+        bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/asmds/{size}"), || {
             black_box(asmds.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
         let tlsc = TilseBaseline::tls_constraints();
-        bench(&format!("fig2_scaling/tls_constraints/{size}"), || {
+        bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/tls_constraints/{size}"), || {
             black_box(tlsc.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
     }

@@ -21,8 +21,11 @@
 //! ```
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Instant;
 use tl_corpus::{dated_sentences, generate, DatedSentence, SynthConfig};
+use tl_support::json::{obj, Json};
 
 /// Wall-clock statistics from one [`bench`] run, in seconds.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +77,102 @@ pub fn bench(name: &str, f: impl FnMut()) -> BenchStats {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
     bench_with(name, 2, iters, f)
+}
+
+/// Schema tag of the `BENCH_*.json` reports.
+pub const REPORT_SCHEMA: &str = "tl-bench/v1";
+
+/// Serializes concurrent [`record`] calls within one test binary so
+/// read-merge-write cycles on a report file never interleave.
+static REPORT_LOCK: Mutex<()> = Mutex::new(());
+
+/// The repository root (`crates/bench/../..`) — where the committed
+/// `BENCH_*.json` baselines live.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Where reports are written: `TL_BENCH_REPORT_DIR` when set (CI smoke runs
+/// point this at a scratch directory so the committed baselines stay
+/// untouched), otherwise the repository root.
+pub fn report_dir() -> PathBuf {
+    match std::env::var("TL_BENCH_REPORT_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => repo_root(),
+    }
+}
+
+/// Merge `stats` into the report `dir/file` under the entry `name`.
+///
+/// The report is `{"schema": "tl-bench/v1", "benches": [{name, median_s,
+/// p95_s, iters}, ...]}`. An existing entry with the same name is replaced,
+/// others are preserved — each bench target updates only its own rows.
+/// A missing, unparseable, or wrong-schema file is started fresh.
+pub fn record_at(dir: &Path, file: &str, name: &str, stats: &BenchStats) -> PathBuf {
+    let _guard = REPORT_LOCK.lock().unwrap();
+    std::fs::create_dir_all(dir).expect("create report dir");
+    let path = dir.join(file);
+    let mut benches: Vec<Json> = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+    {
+        Some(doc) if doc.get("schema").and_then(Json::as_str) == Some(REPORT_SCHEMA) => doc
+            .get("benches")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    let entry = obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("median_s", Json::Num(stats.median)),
+        ("p95_s", Json::Num(stats.p95)),
+        ("iters", Json::Num(stats.iters as f64)),
+    ]);
+    let slot = benches
+        .iter_mut()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some(name));
+    match slot {
+        Some(existing) => *existing = entry,
+        None => benches.push(entry),
+    }
+    let doc = obj(vec![
+        ("schema", Json::Str(REPORT_SCHEMA.to_string())),
+        ("benches", Json::Arr(benches)),
+    ]);
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).expect("write bench report");
+    path
+}
+
+/// [`record_at`] into [`report_dir`].
+pub fn record(file: &str, name: &str, stats: &BenchStats) -> PathBuf {
+    record_at(&report_dir(), file, name, stats)
+}
+
+/// Run [`bench`] and persist the stats into the report `file`.
+pub fn bench_reported(file: &str, name: &str, f: impl FnMut()) -> BenchStats {
+    let stats = bench(name, f);
+    record(file, name, &stats);
+    stats
+}
+
+/// The committed baseline median for `name` in the repo-root report `file`
+/// (ignores `TL_BENCH_REPORT_DIR` — this is always the checked-in value the
+/// CI smoke gate compares fresh runs against).
+pub fn baseline_median(file: &str, name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(repo_root().join(file)).ok()?;
+    let doc = Json::parse(&text).ok()?;
+    if doc.get("schema").and_then(Json::as_str) != Some(REPORT_SCHEMA) {
+        return None;
+    }
+    doc.get("benches")?
+        .as_arr()?
+        .iter()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some(name))?
+        .get("median_s")?
+        .as_f64()
 }
 
 /// A ready-to-summarize benchmark corpus: dated sentences + query + (T, N).
@@ -142,5 +241,57 @@ mod tests {
         assert!(!c.sentences.is_empty());
         assert!(c.t > 0 && c.n > 0);
         assert!(!c.query.is_empty());
+    }
+
+    #[test]
+    fn report_merges_by_name() {
+        let dir = std::env::temp_dir().join(format!("tl-bench-report-{}", std::process::id()));
+        let stats = |median: f64| BenchStats {
+            median,
+            p95: median * 2.0,
+            iters: 5,
+        };
+        record_at(&dir, "BENCH_test.json", "a", &stats(1.0));
+        record_at(&dir, "BENCH_test.json", "b", &stats(2.0));
+        // Same name again: replaced, not appended.
+        let path = record_at(&dir, "BENCH_test.json", "a", &stats(3.0));
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(REPORT_SCHEMA));
+        let benches = doc.get("benches").and_then(Json::as_arr).unwrap();
+        assert_eq!(benches.len(), 2);
+        let median_of = |name: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|b| b.get("median_s"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(median_of("a"), 3.0);
+        assert_eq!(median_of("b"), 2.0);
+        let iters: usize = benches[0]
+            .get("iters")
+            .and_then(Json::as_f64)
+            .map(|x| x as usize)
+            .unwrap();
+        assert_eq!(iters, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_survives_corrupt_file() {
+        let dir = std::env::temp_dir().join(format!("tl-bench-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_bad.json"), "not json {{{").unwrap();
+        let stats = BenchStats {
+            median: 1.0,
+            p95: 1.0,
+            iters: 1,
+        };
+        let path = record_at(&dir, "BENCH_bad.json", "x", &stats);
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("benches").and_then(Json::as_arr).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

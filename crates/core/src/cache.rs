@@ -1,0 +1,134 @@
+//! The shared analysis cache: tokenize the corpus **exactly once** per
+//! pipeline run and hand the result to every stage.
+//!
+//! Before this cache existed, `Wilson::generate` analyzed the corpus twice
+//! (once inside `DateGraph::build`, once inside daily-summarization prep)
+//! and the real-time system re-analyzed fetched sentences on every query.
+//! [`AnalysisCache`] holds the per-sentence retrieval tokens plus the
+//! date → sentence-indices grouping; `DateGraph`, date selection, TextRank
+//! and the post-processing vectors all read from it.
+//!
+//! Built either from raw sentences ([`AnalysisCache::build`], optionally in
+//! parallel via `tl_nlp::analyze_batch` — results identical to serial), or
+//! from already-analyzed tokens ([`AnalysisCache::from_tokens`], the
+//! real-time path, where the search engine analyzed each sentence once at
+//! ingest).
+
+use std::collections::HashMap;
+use tl_corpus::DatedSentence;
+use tl_nlp::{analyze_batch, AnalysisOptions, Analyzer};
+use tl_temporal::Date;
+
+/// One-pass analyzed corpus: retrieval tokens per sentence and the
+/// date → sentence-indices grouping, indexed parallel to the sentence
+/// slice it was built from.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisCache {
+    tokens: Vec<Vec<u32>>,
+    by_date: HashMap<Date, Vec<usize>>,
+}
+
+impl AnalysisCache {
+    /// Analyze `sentences` in one pass (the only corpus tokenization of a
+    /// pipeline run). Returns the cache plus the analyzer owning the
+    /// shared vocabulary, for frozen query analysis.
+    ///
+    /// With `parallel = true` the pass shards across cores; the
+    /// frozen-vocabulary merge keeps tokens identical to the serial path.
+    pub fn build(sentences: &[DatedSentence], parallel: bool) -> (Self, Analyzer) {
+        let texts: Vec<&str> = sentences.iter().map(|s| s.text.as_str()).collect();
+        let (analyzer, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, parallel);
+        (
+            Self::from_tokens(tokens, sentences.iter().map(|s| s.date)),
+            analyzer,
+        )
+    }
+
+    /// Wrap already-analyzed tokens (one row per sentence, ids from a
+    /// shared vocabulary) and group row indices by `dates`.
+    pub fn from_tokens(tokens: Vec<Vec<u32>>, dates: impl IntoIterator<Item = Date>) -> Self {
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (i, d) in dates.into_iter().enumerate() {
+            by_date.entry(d).or_default().push(i);
+        }
+        debug_assert!(by_date.values().map(Vec::len).sum::<usize>() == tokens.len());
+        Self { tokens, by_date }
+    }
+
+    /// The analyzed token ids, row `i` for sentence `i`.
+    pub fn tokens(&self) -> &[Vec<u32>] {
+        &self.tokens
+    }
+
+    /// Sentence indices grouped by date.
+    pub fn by_date(&self) -> &HashMap<Date, Vec<usize>> {
+        &self.by_date
+    }
+
+    /// Number of cached sentences.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no sentences are cached.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_corpus::{dated_sentences, generate, SynthConfig};
+    use tl_nlp::{AnalysisOptions, Analyzer};
+
+    fn corpus() -> Vec<DatedSentence> {
+        let ds = generate(&SynthConfig::tiny());
+        dated_sentences(&ds.topics[0].articles, None)
+    }
+
+    #[test]
+    fn build_matches_direct_analysis() {
+        let corpus = corpus();
+        let (cache, analyzer) = AnalysisCache::build(&corpus, false);
+        assert_eq!(cache.len(), corpus.len());
+        let mut direct = Analyzer::new(AnalysisOptions::retrieval());
+        for (i, s) in corpus.iter().enumerate() {
+            assert_eq!(cache.tokens()[i], direct.analyze(&s.text), "sentence {i}");
+        }
+        assert_eq!(analyzer.vocab().len(), direct.vocab().len());
+    }
+
+    #[test]
+    fn parallel_build_identical_to_serial() {
+        let corpus = corpus();
+        let (serial, sa) = AnalysisCache::build(&corpus, false);
+        let (parallel, pa) = AnalysisCache::build(&corpus, true);
+        assert_eq!(serial.tokens(), parallel.tokens());
+        assert_eq!(sa.vocab().len(), pa.vocab().len());
+        assert_eq!(serial.by_date().len(), parallel.by_date().len());
+    }
+
+    #[test]
+    fn by_date_covers_all_sentences_in_order() {
+        let corpus = corpus();
+        let (cache, _) = AnalysisCache::build(&corpus, false);
+        let mut seen = 0usize;
+        for (date, indices) in cache.by_date() {
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+            for &i in indices {
+                assert_eq!(corpus[i].date, *date);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, corpus.len());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let (cache, _) = AnalysisCache::build(&[], false);
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+        assert!(cache.by_date().is_empty());
+    }
+}

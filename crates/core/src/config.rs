@@ -84,6 +84,9 @@ pub struct WilsonConfig {
     pub damping: f64,
     /// Parallelize per-day summarization (§2.3.1).
     pub parallel: bool,
+    /// Shard the one-pass corpus analysis across cores (frozen-vocabulary
+    /// merge keeps the result identical to serial analysis).
+    pub analysis_parallel: bool,
 }
 
 impl Default for WilsonConfig {
@@ -95,6 +98,7 @@ impl Default for WilsonConfig {
             sim_threshold: 0.5,
             damping: 0.85,
             parallel: true,
+            analysis_parallel: true,
         }
     }
 }
@@ -134,6 +138,13 @@ impl WilsonConfig {
     /// Builder-style parallelism override (benchmarks time both modes).
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Builder-style analysis-parallelism override (benchmarks and the
+    /// serial/parallel equivalence tests time both modes).
+    pub fn with_analysis_parallel(mut self, analysis_parallel: bool) -> Self {
+        self.analysis_parallel = analysis_parallel;
         self
     }
 }

@@ -40,6 +40,31 @@ impl DateGraph {
     /// mentioned date. All distinct corpus dates (mention or publication)
     /// become nodes so selection can also surface report-only days.
     pub fn build(sentences: &[DatedSentence], query: &str) -> Self {
+        // One analysis pass for W4 (standalone path — `Wilson::generate`
+        // reuses its shared cache via `build_analyzed` instead).
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let tokenized: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| analyzer.analyze(&s.text))
+            .collect();
+        let query_tokens = analyzer.analyze_frozen(query);
+        Self::build_analyzed(sentences, &tokenized, &query_tokens)
+    }
+
+    /// Build the graph from already-analyzed sentences: `tokens[i]` are the
+    /// retrieval token ids of `sentences[i]` and `query_tokens` the query's
+    /// ids from the *same* vocabulary. This is the one-pass pipeline entry —
+    /// no tokenization happens here.
+    pub fn build_analyzed(
+        sentences: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        query_tokens: &[u32],
+    ) -> Self {
+        assert_eq!(
+            sentences.len(),
+            tokens.len(),
+            "one token row per sentence required"
+        );
         // Collect node set.
         let mut dates: Vec<Date> = sentences
             .iter()
@@ -50,13 +75,7 @@ impl DateGraph {
         let index: HashMap<Date, usize> = dates.iter().enumerate().map(|(i, d)| (*d, i)).collect();
 
         // BM25 relevance of each mention sentence to the query (for W4).
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokenized: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
-        let scorer = Bm25Scorer::fit(tokenized.iter().map(Vec::as_slice), Bm25Params::default());
-        let query_tokens = analyzer.analyze_frozen(query);
+        let scorer = Bm25Scorer::fit(tokens.iter().map(Vec::as_slice), Bm25Params::default());
 
         let mut edges: HashMap<(usize, usize), EdgeStats> = HashMap::new();
         for (si, s) in sentences.iter().enumerate() {
@@ -65,7 +84,7 @@ impl DateGraph {
             }
             let src = index[&s.pub_date];
             let dst = index[&s.date];
-            let relevance = scorer.score(&query_tokens, &tokenized[si]);
+            let relevance = scorer.score(query_tokens, &tokens[si]);
             let e = edges.entry((src, dst)).or_default();
             e.count += 1;
             if relevance > e.max_bm25 {
@@ -253,5 +272,39 @@ mod tests {
         let g = DateGraph::build(&[], "query");
         assert_eq!(g.num_dates(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn build_analyzed_matches_build() {
+        use crate::cache::AnalysisCache;
+        let corpus = vec![
+            sent("2018-06-01", "2018-06-12", "summit on june 12", true),
+            sent("2018-06-05", "2018-06-01", "talks from june 1", true),
+            sent("2018-06-02", "2018-06-02", "markets rallied", false),
+        ];
+        let query = "summit talks";
+        let fresh = DateGraph::build(&corpus, query);
+        let (cache, analyzer) = AnalysisCache::build(&corpus, false);
+        let q = analyzer.analyze_frozen(query);
+        let cached = DateGraph::build_analyzed(&corpus, cache.tokens(), &q);
+        assert_eq!(fresh.dates(), cached.dates());
+        assert_eq!(fresh.num_edges(), cached.num_edges());
+        for scheme in EdgeWeight::all() {
+            for s in 0..fresh.num_dates() {
+                for t in 0..fresh.num_dates() {
+                    assert_eq!(
+                        fresh.edge_weight(s, t, scheme),
+                        cached.edge_weight(s, t, scheme)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one token row per sentence")]
+    fn build_analyzed_checks_lengths() {
+        let corpus = vec![sent("2018-06-01", "2018-06-12", "summit", true)];
+        DateGraph::build_analyzed(&corpus, &[], &[]);
     }
 }

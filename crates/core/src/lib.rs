@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod autocompress;
+pub mod cache;
 pub mod config;
 pub mod dategraph;
 pub mod dateselect;
@@ -44,6 +45,7 @@ pub mod realtime;
 pub mod summarize;
 pub mod textrank;
 
+pub use cache::AnalysisCache;
 pub use config::{DateStrategy, EdgeWeight, WilsonConfig};
 pub use dategraph::DateGraph;
 pub use dateselect::{select_dates, uniformity};

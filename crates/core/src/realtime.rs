@@ -7,9 +7,12 @@
 //! (incrementally — §5 stresses that newly published news just gets
 //! inserted), fetch the query-relevant dated sentences, run WILSON.
 
+use crate::cache::AnalysisCache;
 use crate::config::WilsonConfig;
 use crate::summarize::Wilson;
-use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline, TimelineGenerator};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
 use tl_ir::{SearchEngine, SearchQuery};
 use tl_temporal::Date;
 
@@ -28,11 +31,24 @@ pub struct TimelineQuery {
     pub fetch_limit: usize,
 }
 
+/// Cache key: every query knob that affects the answer.
+type QueryKey = (String, (Date, Date), usize, usize, usize);
+
+/// Answered-query cache, valid for one ingestion epoch (the number of
+/// indexed sentences at answer time). Any insert bumps the epoch and
+/// implicitly invalidates all cached timelines.
+#[derive(Debug, Default)]
+struct QueryCache {
+    epoch: usize,
+    answers: HashMap<QueryKey, Timeline>,
+}
+
 /// The ingestion + query service.
 pub struct RealTimeSystem {
     engine: SearchEngine,
     wilson: Wilson,
     num_articles: usize,
+    cache: Mutex<QueryCache>,
 }
 
 impl Default for RealTimeSystem {
@@ -48,6 +64,7 @@ impl RealTimeSystem {
             engine: SearchEngine::new(),
             wilson: Wilson::new(config),
             num_articles: 0,
+            cache: Mutex::new(QueryCache::default()),
         }
     }
 
@@ -76,31 +93,80 @@ impl RealTimeSystem {
         self.engine.len()
     }
 
+    /// Number of timelines cached for the current ingestion epoch.
+    pub fn cached_queries(&self) -> usize {
+        let cache = self.cache.lock().unwrap();
+        if cache.epoch == self.engine.len() {
+            cache.answers.len()
+        } else {
+            0
+        }
+    }
+
     /// Answer a timeline query: fetch relevant dated sentences in the
     /// window, then run WILSON on them.
+    ///
+    /// No sentence is tokenized here — the engine analyzed each sentence
+    /// once at ingest and WILSON consumes those tokens via its analysis
+    /// cache. Answers are memoized per ingestion epoch (keyed by the full
+    /// query), so a repeated or overlapping dashboard query returns
+    /// instantly until new articles arrive.
     pub fn timeline(&self, query: &TimelineQuery) -> Timeline {
+        let epoch = self.engine.len();
+        let key: QueryKey = (
+            query.keywords.clone(),
+            query.window,
+            query.num_dates,
+            query.sents_per_date,
+            query.fetch_limit,
+        );
+        {
+            let mut cache = self.cache.lock().unwrap();
+            if cache.epoch != epoch {
+                cache.epoch = epoch;
+                cache.answers.clear();
+            } else if let Some(tl) = cache.answers.get(&key) {
+                return tl.clone();
+            }
+        }
+        let timeline = self.answer(query);
+        let mut cache = self.cache.lock().unwrap();
+        if cache.epoch == epoch {
+            cache.answers.insert(key, timeline.clone());
+        }
+        timeline
+    }
+
+    fn answer(&self, query: &TimelineQuery) -> Timeline {
         let hits = self.engine.search(&SearchQuery {
             keywords: query.keywords.clone(),
             range: Some(query.window),
             limit: query.fetch_limit,
         });
-        let corpus: Vec<DatedSentence> = hits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, h)| {
-                self.engine.get(h.id).map(|s| DatedSentence {
-                    date: s.date,
-                    pub_date: s.pub_date,
-                    article: 0,
-                    sentence_index: i,
-                    text: s.text.clone(),
-                    from_mention: s.date != s.pub_date,
-                })
-            })
-            .collect();
-        self.wilson.generate(
+        let mut corpus: Vec<DatedSentence> = Vec::with_capacity(hits.len());
+        let mut tokens: Vec<Vec<u32>> = Vec::with_capacity(hits.len());
+        for (i, h) in hits.iter().enumerate() {
+            let Some(s) = self.engine.get(h.id) else {
+                continue;
+            };
+            corpus.push(DatedSentence {
+                date: s.date,
+                pub_date: s.pub_date,
+                article: 0,
+                sentence_index: i,
+                text: s.text.clone(),
+                from_mention: s.date != s.pub_date,
+            });
+            tokens.push(s.tokens.clone());
+        }
+        // Engine-vocabulary tokens: query terms never indexed carry no
+        // postings in the fetched subset, so scores match a fresh analysis.
+        let cache = AnalysisCache::from_tokens(tokens, corpus.iter().map(|s| s.date));
+        let query_tokens = self.engine.analyzer().analyze_frozen(&query.keywords);
+        self.wilson.generate_cached(
             &corpus,
-            &query.keywords,
+            &cache,
+            &query_tokens,
             query.num_dates,
             query.sents_per_date,
         )
@@ -205,5 +271,62 @@ mod tests {
         let tl = sys.timeline(&q);
         assert_eq!(tl.num_dates(), 1);
         assert_eq!(tl.dates()[0], d("2018-06-12"));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (sys, query, window) = loaded_system();
+        let q = TimelineQuery {
+            keywords: query,
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 200,
+        };
+        assert_eq!(sys.cached_queries(), 0);
+        let first = sys.timeline(&q);
+        assert_eq!(sys.cached_queries(), 1);
+        let second = sys.timeline(&q);
+        assert_eq!(first.entries, second.entries);
+        assert_eq!(sys.cached_queries(), 1);
+        // A different query is a separate entry.
+        let narrow = TimelineQuery {
+            num_dates: 3,
+            ..q.clone()
+        };
+        sys.timeline(&narrow);
+        assert_eq!(sys.cached_queries(), 2);
+    }
+
+    #[test]
+    fn ingestion_invalidates_cached_answers() {
+        let mut sys = RealTimeSystem::default();
+        let article = |day: &str, text: &str| Article {
+            id: 0,
+            pub_date: d(day),
+            sentences: vec![text.into()],
+        };
+        sys.ingest(&article(
+            "2018-06-12",
+            "The historic summit between Trump and Kim took place.",
+        ));
+        let q = TimelineQuery {
+            keywords: "summit trump kim".into(),
+            window: (d("2018-01-01"), d("2018-12-31")),
+            num_dates: 5,
+            sents_per_date: 1,
+            fetch_limit: 50,
+        };
+        let before = sys.timeline(&q);
+        assert_eq!(before.num_dates(), 1);
+        assert_eq!(sys.cached_queries(), 1);
+        sys.ingest(&article(
+            "2018-05-24",
+            "Trump abruptly canceled the planned summit with Kim.",
+        ));
+        // The stale answer must not be served after new articles arrive.
+        assert_eq!(sys.cached_queries(), 0);
+        let after = sys.timeline(&q);
+        assert_eq!(after.num_dates(), 2);
     }
 }

@@ -1,14 +1,14 @@
 //! The WILSON pipeline (Algorithm 1): date selection → per-day TextRank →
 //! cross-date post-processing.
 
+use crate::cache::AnalysisCache;
 use crate::config::{DateStrategy, WilsonConfig};
 use crate::dategraph::DateGraph;
 use crate::dateselect::select_dates;
 use crate::postprocess::{assemble_timeline, DayCandidates};
 use crate::textrank::textrank_order;
-use std::collections::HashMap;
 use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_nlp::{SparseVector, TfIdfModel};
 use tl_temporal::Date;
 
 /// The WILSON timeline summarizer.
@@ -32,8 +32,12 @@ impl Wilson {
     /// Figure 4's distribution analysis).
     pub fn select_dates(&self, sentences: &[DatedSentence], query: &str, t: usize) -> Vec<Date> {
         let graph = DateGraph::build(sentences, query);
+        self.select_from_graph(&graph, t)
+    }
+
+    fn select_from_graph(&self, graph: &DateGraph, t: usize) -> Vec<Date> {
         select_dates(
-            &graph,
+            graph,
             self.config.edge_weight,
             &self.config.date_strategy,
             t,
@@ -49,8 +53,30 @@ impl Wilson {
         dates: &[Date],
         n: usize,
     ) -> Timeline {
-        let prepared = Prepared::build(sentences);
+        let (cache, _) = AnalysisCache::build(sentences, self.config.analysis_parallel);
+        let prepared = Prepared::build(sentences, &cache);
         self.summarize_days(&prepared, dates, n)
+    }
+
+    /// Run the full pipeline on an **already-analyzed** corpus: `cache`
+    /// holds the one tokenization pass and `query_tokens` the query's ids
+    /// from the same vocabulary. Nothing in this path tokenizes — the
+    /// real-time system feeds insert-time engine tokens straight in.
+    pub fn generate_cached(
+        &self,
+        sentences: &[DatedSentence],
+        cache: &AnalysisCache,
+        query_tokens: &[u32],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let graph = DateGraph::build_analyzed(sentences, cache.tokens(), query_tokens);
+        let dates = self.select_from_graph(&graph, t);
+        let prepared = Prepared::build(sentences, cache);
+        self.summarize_days(&prepared, &dates, n)
     }
 
     fn summarize_days(&self, prepared: &Prepared, dates: &[Date], n: usize) -> Timeline {
@@ -58,15 +84,20 @@ impl Wilson {
         // §2.3.1 notes the sub-tasks parallelize naturally).
         let day_indices: Vec<(Date, &[usize])> = dates
             .iter()
-            .filter_map(|d| prepared.by_date.get(d).map(|ix| (*d, ix.as_slice())))
+            .filter_map(|d| {
+                prepared
+                    .cache
+                    .by_date()
+                    .get(d)
+                    .map(|ix| (*d, ix.as_slice()))
+            })
             .collect();
 
         let damping = self.config.damping;
+        let tokens = prepared.cache.tokens();
         let rank_one = |(date, indices): &(Date, &[usize])| -> DayCandidates {
-            let toks: Vec<Vec<u32>> = indices
-                .iter()
-                .map(|&i| prepared.tokens[i].clone())
-                .collect();
+            // Borrowed slices — no per-day token copies.
+            let toks: Vec<&[u32]> = indices.iter().map(|&i| tokens[i].as_slice()).collect();
             let order = textrank_order(&toks, damping);
             DayCandidates {
                 date: *date,
@@ -104,33 +135,28 @@ impl Wilson {
     }
 }
 
-/// Pre-analyzed corpus: analyzed tokens, TF-IDF similarity vectors, and the
-/// date → sentence-indices grouping.
+/// Daily-summarization view over the shared analysis cache: the raw
+/// sentences, the cached tokens/date grouping, and the TF-IDF similarity
+/// vectors for post-processing. Tokenizes nothing — the cache already did.
 struct Prepared<'a> {
     sentences: &'a [DatedSentence],
-    tokens: Vec<Vec<u32>>,
+    cache: &'a AnalysisCache,
     vectors: Vec<SparseVector>,
-    by_date: HashMap<Date, Vec<usize>>,
 }
 
 impl<'a> Prepared<'a> {
-    fn build(sentences: &'a [DatedSentence]) -> Self {
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
+    fn build(sentences: &'a [DatedSentence], cache: &'a AnalysisCache) -> Self {
+        debug_assert_eq!(sentences.len(), cache.len());
+        let tfidf = TfIdfModel::fit(cache.tokens().iter().map(Vec::as_slice));
+        let vectors: Vec<SparseVector> = cache
+            .tokens()
             .iter()
-            .map(|s| analyzer.analyze(&s.text))
+            .map(|t| tfidf.unit_vector(t))
             .collect();
-        let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
-        let vectors: Vec<SparseVector> = tokens.iter().map(|t| tfidf.unit_vector(t)).collect();
-        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
-        for (i, s) in sentences.iter().enumerate() {
-            by_date.entry(s.date).or_default().push(i);
-        }
         Self {
             sentences,
-            tokens,
+            cache,
             vectors,
-            by_date,
         }
     }
 }
@@ -149,9 +175,11 @@ impl TimelineGenerator for Wilson {
         if sentences.is_empty() || t == 0 || n == 0 {
             return Timeline::default();
         }
-        let dates = self.select_dates(sentences, query, t);
-        let prepared = Prepared::build(sentences);
-        self.summarize_days(&prepared, &dates, n)
+        // The single corpus tokenization of the whole run; date selection
+        // and daily summarization both read from the cache.
+        let (cache, analyzer) = AnalysisCache::build(sentences, self.config.analysis_parallel);
+        let query_tokens = analyzer.analyze_frozen(query);
+        self.generate_cached(sentences, &cache, &query_tokens, t, n)
     }
 }
 
@@ -215,6 +243,27 @@ mod tests {
         let a = par.generate(&corpus, &query, 6, 2);
         let b = ser.generate(&corpus, &query, 6, 2);
         assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn parallel_and_serial_analysis_agree() {
+        let (corpus, query, _) = tiny_corpus();
+        let par = Wilson::new(WilsonConfig::default().with_analysis_parallel(true));
+        let ser = Wilson::new(WilsonConfig::default().with_analysis_parallel(false));
+        let a = par.generate(&corpus, &query, 6, 2);
+        let b = ser.generate(&corpus, &query, 6, 2);
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn generate_cached_matches_generate() {
+        let (corpus, query, _) = tiny_corpus();
+        let wilson = Wilson::new(WilsonConfig::default());
+        let fresh = wilson.generate(&corpus, &query, 6, 2);
+        let (cache, analyzer) = crate::cache::AnalysisCache::build(&corpus, false);
+        let q = analyzer.analyze_frozen(&query);
+        let cached = wilson.generate_cached(&corpus, &cache, &q, 6, 2);
+        assert_eq!(fresh.entries, cached.entries);
     }
 
     #[test]

@@ -5,17 +5,87 @@
 //! BM25 is asymmetric, hence the directed graph (Appendix A, following
 //! Barrios et al. 2016). PageRank scores the sentences; higher = more
 //! central to the day's reporting.
+//!
+//! The graph is built **term-at-a-time**: an in-memory inverted index over
+//! the day's sentences ([`tl_ir::Bm25Accumulator`]) scatters each source
+//! sentence's BM25 contributions into a dense per-target buffer, so the
+//! cost is `O(Σ postings touched)` instead of the naive `O(n²)` pairwise
+//! scoring — while emitting the exact same edges in the exact same order
+//! (the pairwise construction is kept as [`bm25_graph_pairwise`], the
+//! reference the property tests compare against).
 
 use tl_graph::{pagerank, DiGraph, PageRankConfig};
-use tl_ir::{Bm25Params, Bm25Scorer};
+use tl_ir::{Bm25Accumulator, Bm25Params, Bm25Scorer};
+
+/// Build the day's BM25 sentence graph term-at-a-time.
+///
+/// Edge `u → v` (u ≠ v) gets weight `BM25(query = u, doc = v)` when
+/// positive. Weights and edge insertion order are identical to
+/// [`bm25_graph_pairwise`]: the accumulator replicates the scorer's
+/// distinct-term summation order, and targets are emitted in ascending
+/// order per source, just like the pairwise inner loop.
+pub fn bm25_graph<T: AsRef<[u32]>>(tokenized: &[T]) -> DiGraph {
+    let n = tokenized.len();
+    let acc = Bm25Accumulator::fit(
+        tokenized.iter().map(AsRef::as_ref),
+        Bm25Params::default(),
+    );
+    let mut g = DiGraph::new(n);
+    let mut scores = vec![0.0f64; n];
+    for (u, q) in tokenized.iter().enumerate() {
+        let q = q.as_ref();
+        if q.is_empty() {
+            continue;
+        }
+        scores.fill(0.0);
+        acc.accumulate(q, &mut scores);
+        #[allow(clippy::needless_range_loop)] // v is also the node id
+        for v in 0..n {
+            if v == u {
+                continue;
+            }
+            let w = scores[v];
+            if w > 0.0 {
+                g.add_edge(u, v, w);
+            }
+        }
+    }
+    g
+}
+
+/// Naive `O(n²)` pairwise construction of the same graph — the reference
+/// implementation the term-at-a-time kernel is proven equivalent to.
+pub fn bm25_graph_pairwise<T: AsRef<[u32]>>(tokenized: &[T]) -> DiGraph {
+    let n = tokenized.len();
+    let scorer = Bm25Scorer::fit(
+        tokenized.iter().map(AsRef::as_ref),
+        Bm25Params::default(),
+    );
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        if tokenized[u].as_ref().is_empty() {
+            continue;
+        }
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let w = scorer.score(tokenized[u].as_ref(), tokenized[v].as_ref());
+            if w > 0.0 {
+                g.add_edge(u, v, w);
+            }
+        }
+    }
+    g
+}
 
 /// Rank a day's sentences; returns one importance score per input sentence.
 ///
 /// `tokenized` holds the analyzed token ids of each sentence (retrieval
-/// analysis: stemmed, stopword-filtered). Scores sum to 1 (they are a
-/// PageRank distribution); an empty input yields an empty vector and a
-/// single sentence scores 1.
-pub fn textrank_scores(tokenized: &[Vec<u32>], damping: f64) -> Vec<f64> {
+/// analysis: stemmed, stopword-filtered) — owned vectors or borrowed
+/// slices both work. Scores sum to 1 (they are a PageRank distribution);
+/// an empty input yields an empty vector and a single sentence scores 1.
+pub fn textrank_scores<T: AsRef<[u32]>>(tokenized: &[T], damping: f64) -> Vec<f64> {
     let n = tokenized.len();
     if n == 0 {
         return Vec::new();
@@ -23,23 +93,7 @@ pub fn textrank_scores(tokenized: &[Vec<u32>], damping: f64) -> Vec<f64> {
     if n == 1 {
         return vec![1.0];
     }
-    let scorer = Bm25Scorer::fit(tokenized.iter().map(Vec::as_slice), Bm25Params::default());
-    let mut g = DiGraph::new(n);
-    #[allow(clippy::needless_range_loop)] // u and v jointly index tokenized
-    for u in 0..n {
-        if tokenized[u].is_empty() {
-            continue;
-        }
-        for v in 0..n {
-            if u == v {
-                continue;
-            }
-            let w = scorer.score(&tokenized[u], &tokenized[v]);
-            if w > 0.0 {
-                g.add_edge(u, v, w);
-            }
-        }
-    }
+    let g = bm25_graph(tokenized);
     let config = PageRankConfig {
         damping,
         ..Default::default()
@@ -49,7 +103,7 @@ pub fn textrank_scores(tokenized: &[Vec<u32>], damping: f64) -> Vec<f64> {
 
 /// Rank and order a day's sentences: returns sentence indices sorted by
 /// descending TextRank score (ties by index — deterministic).
-pub fn textrank_order(tokenized: &[Vec<u32>], damping: f64) -> Vec<usize> {
+pub fn textrank_order<T: AsRef<[u32]>>(tokenized: &[T], damping: f64) -> Vec<usize> {
     let scores = textrank_scores(tokenized, damping);
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
@@ -73,7 +127,7 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        assert!(textrank_scores(&[], 0.85).is_empty());
+        assert!(textrank_scores::<Vec<u32>>(&[], 0.85).is_empty());
         let one = tokenize(&["the summit took place"]);
         assert_eq!(textrank_scores(&one, 0.85), vec![1.0]);
     }
@@ -140,5 +194,59 @@ mod tests {
         let toks = tokenize(&["summit talks today", "summit talks today"]);
         let s = textrank_scores(&toks, 0.85);
         assert!((s[0] - s[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn borrowed_slices_match_owned() {
+        let toks = tokenize(&[
+            "summit talks between trump and kim",
+            "kim trump summit agreement",
+            "markets rallied strongly today",
+        ]);
+        let slices: Vec<&[u32]> = toks.iter().map(Vec::as_slice).collect();
+        assert_eq!(textrank_scores(&toks, 0.85), textrank_scores(&slices, 0.85));
+        assert_eq!(textrank_order(&toks, 0.85), textrank_order(&slices, 0.85));
+    }
+
+    #[test]
+    fn kernel_matches_pairwise_on_fixture() {
+        let toks = tokenize(&[
+            "the summit between trump and kim took place in singapore",
+            "trump met kim at the historic singapore summit",
+            "markets rallied on strong earnings data",
+            "kim and trump shook hands at the summit",
+            "",
+        ]);
+        let fast = bm25_graph(&toks);
+        let slow = bm25_graph_pairwise(&toks);
+        assert_eq!(fast.edges(), slow.edges());
+    }
+
+    /// The tentpole equivalence property: for arbitrary token corpora the
+    /// term-at-a-time kernel emits the *exact* same edge list (order,
+    /// endpoints and bit-identical weights) as the pairwise reference, and
+    /// therefore the same PageRank ordering.
+    #[test]
+    fn prop_kernel_equals_pairwise() {
+        use tl_support::quickprop::{check, gens};
+        use tl_support::{qp_assert, qp_assert_eq};
+        // Corpus: up to 12 "sentences" of up to 20 tokens over a small
+        // vocabulary (ids 0..30 — collisions make the BM25 stats dense).
+        let corpus_gen = gens::vecs(gens::vecs(gens::u32s(0..30), 0..=20), 0..=12);
+        check("textrank_kernel_equals_pairwise", corpus_gen, |toks| {
+            let fast = bm25_graph(toks);
+            let slow = bm25_graph_pairwise(toks);
+            qp_assert_eq!(fast.num_nodes(), slow.num_nodes());
+            qp_assert_eq!(fast.edges(), slow.edges());
+            let config = PageRankConfig {
+                damping: 0.85,
+                ..Default::default()
+            };
+            let fast_pr = pagerank(&fast, &config);
+            let slow_pr = pagerank(&slow, &config);
+            qp_assert_eq!(fast_pr, slow_pr);
+            qp_assert!(fast_pr.iter().all(|s| s.is_finite() && *s >= 0.0));
+            Ok(())
+        });
     }
 }

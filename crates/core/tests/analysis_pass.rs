@@ -1,0 +1,66 @@
+//! Asserts the one-tokenization-pass guarantee of the pipeline.
+//!
+//! `tl_nlp::analyze_call_count` is a process-wide counter of fresh
+//! (vocabulary-growing) sentence analyses, so this test lives in its own
+//! integration-test binary: nothing else in the process may analyze while
+//! the deltas below are measured. Frozen-vocabulary query analysis is
+//! deliberately *not* counted — freezing never re-tokenizes the corpus.
+
+use tl_corpus::{dated_sentences, generate, SynthConfig, TimelineGenerator};
+use tl_nlp::analyze_call_count;
+use tl_wilson::{RealTimeSystem, Wilson, WilsonConfig};
+
+#[test]
+fn pipeline_tokenizes_each_sentence_exactly_once() {
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let corpus = dated_sentences(&topic.articles, None);
+
+    // Full pipeline (serial analysis): exactly one analyze() per sentence.
+    let wilson = Wilson::new(WilsonConfig::default().with_analysis_parallel(false));
+    let before = analyze_call_count();
+    let tl = wilson.generate(&corpus, &topic.query, 6, 2);
+    let delta = analyze_call_count() - before;
+    assert!(tl.num_dates() > 0);
+    assert_eq!(
+        delta,
+        corpus.len() as u64,
+        "generate() must tokenize each of the {} sentences exactly once, measured {delta} calls",
+        corpus.len()
+    );
+
+    // Parallel sharded analysis: still exactly one pass.
+    let wilson = Wilson::new(WilsonConfig::default().with_analysis_parallel(true));
+    let before = analyze_call_count();
+    wilson.generate(&corpus, &topic.query, 6, 2);
+    assert_eq!(analyze_call_count() - before, corpus.len() as u64);
+
+    // Real-time system: ingestion analyzes each sentence once...
+    let mut sys = RealTimeSystem::default();
+    let before = analyze_call_count();
+    sys.ingest_all(&topic.articles);
+    assert_eq!(analyze_call_count() - before, sys.num_sentences() as u64);
+
+    // ...and queries re-analyze nothing at all, cached or not.
+    let cfg = SynthConfig::tiny();
+    let query = tl_wilson::realtime::TimelineQuery {
+        keywords: topic.query.clone(),
+        window: (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        ),
+        num_dates: 6,
+        sents_per_date: 2,
+        fetch_limit: 500,
+    };
+    let before = analyze_call_count();
+    let first = sys.timeline(&query);
+    let second = sys.timeline(&query);
+    assert_eq!(
+        analyze_call_count() - before,
+        0,
+        "real-time queries must never re-tokenize ingested sentences"
+    );
+    assert!(first.num_dates() > 0);
+    assert_eq!(first.entries, second.entries);
+}

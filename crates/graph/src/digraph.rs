@@ -49,6 +49,13 @@ impl DiGraph {
         self.edges.len()
     }
 
+    /// The raw edge list `(src, dst, weight)` in insertion order (before
+    /// parallel-edge merging) — equivalence tests compare graphs built by
+    /// different construction strategies edge-for-edge.
+    pub fn edges(&self) -> &[(NodeId, NodeId, f64)] {
+        &self.edges
+    }
+
     /// Ensure the graph has at least `n` nodes.
     pub fn grow_to(&mut self, n: usize) {
         self.num_nodes = self.num_nodes.max(n);

@@ -149,6 +149,133 @@ impl Bm25Scorer {
     }
 }
 
+/// Term-at-a-time BM25 over a fixed document collection.
+///
+/// [`Bm25Scorer::score`] re-walks both token lists on every call, which
+/// makes all-pairs scoring (TextRank's edge construction) O(n²·len). This
+/// evaluator builds an in-memory inverted index once and then scores one
+/// query against *every* document in a single pass over the query's posting
+/// lists, touching each posting once per query instead of once per
+/// (query, document) pair.
+///
+/// Scores are **bit-identical** to [`Bm25Scorer::score`] on the same fitted
+/// collection: contributions accumulate in ascending distinct-term order —
+/// the same float-summation order the pairwise scorer uses — and every
+/// arithmetic expression mirrors [`Bm25Scorer::score_with_tf`] (a property
+/// test below pins the equivalence).
+#[derive(Debug, Clone)]
+pub struct Bm25Accumulator {
+    params: Bm25Params,
+    num_docs: u32,
+    avg_len: f64,
+    /// Per-term postings: `(doc index, term frequency)`, doc ascending.
+    postings: HashMap<TermId, Vec<(u32, f64)>>,
+    /// Per-document BM25 length normalization `1 − b + b·|d|/avgdl`.
+    len_norm: Vec<f64>,
+}
+
+impl Bm25Accumulator {
+    /// Fit the inverted postings and corpus statistics over the collection.
+    pub fn fit<'a, I>(docs: I, params: Bm25Params) -> Self
+    where
+        I: IntoIterator<Item = &'a [TermId]>,
+    {
+        let docs: Vec<&[TermId]> = docs.into_iter().collect();
+        let total_len: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        let num_docs = docs.len() as u32;
+        let avg_len = if num_docs == 0 {
+            0.0
+        } else {
+            total_len as f64 / num_docs as f64
+        };
+        let Bm25Params { b, .. } = params;
+        let mut postings: HashMap<TermId, Vec<(u32, f64)>> = HashMap::new();
+        let mut len_norm = Vec::with_capacity(docs.len());
+        let mut tf: HashMap<TermId, f64> = HashMap::new();
+        for (i, doc) in docs.iter().enumerate() {
+            len_norm.push(if avg_len > 0.0 {
+                1.0 - b + b * (doc.len() as f64) / avg_len
+            } else {
+                1.0
+            });
+            tf.clear();
+            for &t in *doc {
+                *tf.entry(t).or_insert(0.0) += 1.0;
+            }
+            for (&t, &f) in &tf {
+                postings.entry(t).or_default().push((i as u32, f));
+            }
+        }
+        Self {
+            params,
+            num_docs,
+            avg_len,
+            postings,
+            len_norm,
+        }
+    }
+
+    /// Number of fitted documents.
+    pub fn num_docs(&self) -> usize {
+        self.len_norm.len()
+    }
+
+    /// Average document length.
+    pub fn avg_len(&self) -> f64 {
+        self.avg_len
+    }
+
+    /// Non-negative BM25 idf (identical to [`Bm25Scorer::idf`]).
+    pub fn idf(&self, term: TermId) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self
+            .postings
+            .get(&term)
+            .map(|p| p.len() as f64)
+            .unwrap_or(0.0);
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Add the BM25 score of `query` against every fitted document into
+    /// `scores` (`scores[d] += BM25(query, doc_d)`).
+    ///
+    /// The buffer must hold [`Bm25Accumulator::num_docs`] slots; the caller
+    /// zeroes (or seeds) it. An empty query contributes nothing — and so do
+    /// empty documents, which have no postings.
+    pub fn accumulate(&self, query: &[TermId], scores: &mut [f64]) {
+        assert!(
+            scores.len() >= self.num_docs(),
+            "scores buffer holds {} slots, need {}",
+            scores.len(),
+            self.num_docs()
+        );
+        if query.is_empty() {
+            return;
+        }
+        let Bm25Params { k1, .. } = self.params;
+        // Distinct query terms weighted by query frequency, ascending term
+        // order — the float-summation order of Bm25Scorer::score_with_tf.
+        let mut qtf: Vec<(TermId, f64)> = {
+            let mut m: HashMap<TermId, f64> = HashMap::new();
+            for &t in query {
+                *m.entry(t).or_insert(0.0) += 1.0;
+            }
+            m.into_iter().collect()
+        };
+        qtf.sort_unstable_by_key(|&(t, _)| t);
+        for &(t, qf) in &qtf {
+            let Some(postings) = self.postings.get(&t) else {
+                continue;
+            };
+            let idf = self.idf(t);
+            for &(doc, f) in postings {
+                let len_norm = self.len_norm[doc as usize];
+                scores[doc as usize] += qf * idf * f * (k1 + 1.0) / (f + k1 * len_norm);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +354,67 @@ mod tests {
 
     use tl_support::qp_assert;
     use tl_support::quickprop::{check, gens};
+
+    #[test]
+    fn accumulate_matches_pairwise_score() {
+        let docs = vec![vec![1u32, 2, 2, 3], vec![2, 3, 4], vec![5], vec![]];
+        let acc = Bm25Accumulator::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+        let scorer = fit(&docs);
+        let query = vec![2u32, 3, 2, 9];
+        let mut scores = vec![0.0; acc.num_docs()];
+        acc.accumulate(&query, &mut scores);
+        for (d, doc) in docs.iter().enumerate() {
+            assert_eq!(scores[d], scorer.score(&query, doc), "doc {d}");
+        }
+    }
+
+    #[test]
+    fn accumulate_empty_cases() {
+        let acc = Bm25Accumulator::fit(std::iter::empty(), Bm25Params::default());
+        assert_eq!(acc.num_docs(), 0);
+        acc.accumulate(&[1, 2], &mut []);
+        let docs = vec![vec![1u32, 2]];
+        let acc = Bm25Accumulator::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+        let mut scores = vec![0.0];
+        acc.accumulate(&[], &mut scores);
+        assert_eq!(scores, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scores buffer")]
+    fn accumulate_rejects_short_buffer() {
+        let docs = vec![vec![1u32], vec![2]];
+        let acc = Bm25Accumulator::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+        acc.accumulate(&[1], &mut [0.0]);
+    }
+
+    /// The term-at-a-time evaluator is bit-identical to the pairwise
+    /// scorer on arbitrary collections (the doc-comment promise).
+    #[test]
+    fn prop_accumulate_equals_score() {
+        check(
+            "accumulate_equals_score",
+            (
+                gens::vecs(gens::vecs(gens::u32s(0..25), 0..12), 0..12),
+                gens::vecs(gens::u32s(0..25), 0..10),
+            ),
+            |(docs, query)| {
+                let acc = Bm25Accumulator::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+                let scorer = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+                let mut scores = vec![0.0; acc.num_docs()];
+                acc.accumulate(query, &mut scores);
+                for (d, doc) in docs.iter().enumerate() {
+                    let expected = scorer.score(query, doc);
+                    qp_assert!(
+                        scores[d] == expected,
+                        "doc {d}: accumulated {} vs pairwise {expected}",
+                        scores[d]
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
 
     #[test]
     fn prop_scores_are_finite_and_nonnegative() {

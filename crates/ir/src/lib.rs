@@ -25,7 +25,7 @@ pub mod index;
 pub mod positional;
 pub mod search;
 
-pub use bm25::{Bm25Params, Bm25Scorer};
+pub use bm25::{Bm25Accumulator, Bm25Params, Bm25Scorer};
 pub use index::InvertedIndex;
 pub use positional::{split_query, PositionalIndex};
 pub use search::{SearchEngine, SearchHit, SearchQuery};

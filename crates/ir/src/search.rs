@@ -26,6 +26,10 @@ pub struct StoredSentence {
     pub pub_date: Date,
     /// The raw sentence text.
     pub text: String,
+    /// The analyzed token ids (engine vocabulary) — computed once at
+    /// insert time so consumers (e.g. WILSON's real-time system) never
+    /// re-analyze fetched sentences.
+    pub tokens: Vec<u32>,
 }
 
 /// A query against the engine.
@@ -94,8 +98,21 @@ impl SearchEngine {
             date,
             pub_date,
             text: text.to_string(),
+            tokens,
         });
         id
+    }
+
+    /// The analyzed token ids of a stored sentence (insert-time analysis —
+    /// reading this never re-tokenizes).
+    pub fn analyzed(&self, id: DocId) -> Option<&[u32]> {
+        self.store.get(id).map(|s| s.tokens.as_slice())
+    }
+
+    /// The engine's analyzer (frozen-vocabulary query analysis against the
+    /// engine vocabulary).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
     }
 
     /// Number of indexed sentences.

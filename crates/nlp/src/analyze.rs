@@ -9,6 +9,23 @@ use crate::stem::porter_stem;
 use crate::stopwords::is_stopword;
 use crate::tokenize::spans;
 use crate::vocab::{TermId, Vocabulary};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of full [`Analyzer::analyze`] calls (the frozen
+/// variants are not counted — they never tokenize *new* corpus material
+/// into the vocabulary).
+///
+/// This is a diagnostic hook: the single-pass tests in `tl-wilson` read it
+/// before and after a pipeline run to prove the corpus is tokenized exactly
+/// once. The counter is monotonically increasing and shared by every
+/// analyzer in the process, so only deltas are meaningful, and only in
+/// tests that own their process (integration-test binaries).
+static ANALYZE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-wide [`Analyzer::analyze`] call counter.
+pub fn analyze_call_count() -> u64 {
+    ANALYZE_CALLS.load(Ordering::Relaxed)
+}
 
 /// Options controlling the analysis pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +90,12 @@ impl Analyzer {
         }
     }
 
+    /// Create an analyzer over an existing vocabulary (the merge phase of
+    /// [`crate::batch::analyze_batch`] builds the vocabulary separately).
+    pub fn with_vocab(vocab: Vocabulary, options: AnalysisOptions) -> Self {
+        Self { vocab, options }
+    }
+
     /// The options this analyzer applies.
     pub fn options(&self) -> AnalysisOptions {
         self.options
@@ -85,6 +108,7 @@ impl Analyzer {
 
     /// Analyze `text` into interned term ids, growing the vocabulary.
     pub fn analyze(&mut self, text: &str) -> Vec<TermId> {
+        ANALYZE_CALLS.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();
         for tok in spans(text) {
             if self.options.drop_punctuation && !tok.text.chars().any(char::is_alphanumeric) {

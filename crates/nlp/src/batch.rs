@@ -1,0 +1,179 @@
+//! Batch analysis: tokenize a whole corpus in one pass, optionally in
+//! parallel, with results **byte-identical** to serial analysis.
+//!
+//! Interning makes naive parallel analysis wrong: term ids are assigned in
+//! first-appearance order, so two workers with private vocabularies
+//! disagree on ids. [`analyze_batch`] solves this with a two-phase
+//! frozen-vocabulary merge:
+//!
+//! 1. **Shard phase** (parallel, via `tl_support::par::par_map`): the
+//!    corpus is split into contiguous shards; each worker analyzes its
+//!    shard with a private [`Analyzer`], producing shard-local token ids
+//!    and a shard-local vocabulary in shard-local first-appearance order.
+//! 2. **Merge phase** (serial, cheap): shard vocabularies are re-interned
+//!    into one global vocabulary *in shard order*. Because serial analysis
+//!    would have consumed shard 1 completely before shard 2, interning
+//!    shard 1's terms (in shard-1 first-appearance order), then shard 2's
+//!    unseen terms (in shard-2 first-appearance order), and so on, yields
+//!    exactly the global first-appearance order — so the remapped token
+//!    streams equal the serial result token-for-token (a property test in
+//!    this module pins this).
+//!
+//! The heavy work — tokenization, lowercasing, stemming, string interning —
+//! happens in the parallel phase; the merge only touches each *distinct*
+//! term once per shard plus one integer remap per token.
+
+use crate::analyze::{AnalysisOptions, Analyzer};
+use crate::vocab::{TermId, Vocabulary};
+
+/// Corpora smaller than this are analyzed serially — thread spawn and merge
+/// overhead would exceed the tokenization work.
+const MIN_PARALLEL: usize = 256;
+
+/// Analyze every text in one pass, returning the shared-vocabulary analyzer
+/// and one token-id vector per input text.
+///
+/// With `parallel = true` the corpus is sharded across
+/// `available_parallelism` workers; the result is identical to the serial
+/// path in both token ids and vocabulary contents (see the module docs for
+/// why). The returned [`Analyzer`] owns the merged vocabulary, ready for
+/// frozen query analysis.
+pub fn analyze_batch<S: AsRef<str> + Sync>(
+    options: AnalysisOptions,
+    texts: &[S],
+    parallel: bool,
+) -> (Analyzer, Vec<Vec<TermId>>) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !parallel || workers < 2 || texts.len() < MIN_PARALLEL {
+        let mut analyzer = Analyzer::new(options);
+        let tokens = texts.iter().map(|t| analyzer.analyze(t.as_ref())).collect();
+        return (analyzer, tokens);
+    }
+
+    // Shard phase: contiguous chunks, one private analyzer per shard.
+    let shards: Vec<&[S]> = texts.chunks(texts.len().div_ceil(workers)).collect();
+    let analyzed: Vec<(Analyzer, Vec<Vec<TermId>>)> = tl_support::par::par_map(&shards, |shard| {
+        let mut analyzer = Analyzer::new(options);
+        let tokens: Vec<Vec<TermId>> = shard.iter().map(|t| analyzer.analyze(t.as_ref())).collect();
+        (analyzer, tokens)
+    });
+
+    // Merge phase: re-intern shard vocabularies in shard order (global
+    // first-appearance order), then remap every shard's token ids.
+    let mut vocab = Vocabulary::with_capacity(analyzed.iter().map(|(a, _)| a.vocab().len()).sum());
+    let mut out: Vec<Vec<TermId>> = Vec::with_capacity(texts.len());
+    for (analyzer, tokens) in analyzed {
+        let remap: Vec<TermId> = analyzer
+            .vocab()
+            .iter()
+            .map(|(_, term)| vocab.intern(term))
+            .collect();
+        out.extend(
+            tokens
+                .into_iter()
+                .map(|toks| toks.into_iter().map(|id| remap[id as usize]).collect()),
+        );
+    }
+    (Analyzer::with_vocab(vocab, options), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial(options: AnalysisOptions, texts: &[String]) -> (Analyzer, Vec<Vec<TermId>>) {
+        let mut a = Analyzer::new(options);
+        let toks = texts.iter().map(|t| a.analyze(t)).collect();
+        (a, toks)
+    }
+
+    fn assert_equivalent(texts: &[String]) {
+        let (sa, st) = serial(AnalysisOptions::retrieval(), texts);
+        let (pa, pt) = analyze_batch(AnalysisOptions::retrieval(), texts, true);
+        assert_eq!(st, pt, "token streams differ");
+        assert_eq!(sa.vocab().len(), pa.vocab().len(), "vocab sizes differ");
+        for (id, term) in sa.vocab().iter() {
+            assert_eq!(pa.vocab().term(id), Some(term), "vocab id {id} differs");
+        }
+    }
+
+    #[test]
+    fn small_corpus_stays_serial_and_identical() {
+        let texts: Vec<String> = vec![
+            "The summit between Trump and Kim took place.".into(),
+            "Trump met Kim at the historic summit.".into(),
+            "Markets rallied on strong earnings.".into(),
+        ];
+        assert_equivalent(&texts);
+    }
+
+    #[test]
+    fn large_corpus_parallel_matches_serial() {
+        // Enough texts to cross MIN_PARALLEL, with heavy vocabulary overlap
+        // across shard boundaries so the merge remap is exercised.
+        let texts: Vec<String> = (0..1000)
+            .map(|i| {
+                format!(
+                    "event {} unfolded as leaders met on day {} amid talks {}",
+                    i % 37,
+                    i,
+                    (i * 7) % 11
+                )
+            })
+            .collect();
+        assert_equivalent(&texts);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<String> = Vec::new();
+        let (_, toks) = analyze_batch(AnalysisOptions::retrieval(), &none, true);
+        assert!(toks.is_empty());
+        let one = vec!["lone sentence".to_string()];
+        let (a, toks) = analyze_batch(AnalysisOptions::retrieval(), &one, true);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(a.vocab().len(), 2);
+    }
+
+    #[test]
+    fn query_freezing_works_on_merged_vocab() {
+        let texts: Vec<String> = (0..600)
+            .map(|i| format!("document {} mentions summit korea item{}", i, i % 50))
+            .collect();
+        let (a, _) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        let q = a.analyze_frozen("summit korea");
+        assert_eq!(q.len(), 2);
+    }
+
+    /// The module-doc promise: parallel sharded analysis is token-for-token
+    /// and vocabulary-for-vocabulary identical to serial analysis, on
+    /// arbitrary (multi-byte, punctuation-laden) corpora.
+    #[test]
+    fn prop_parallel_equals_serial() {
+        use tl_support::quickprop::{check, gens};
+        check(
+            "parallel_analysis_equals_serial",
+            gens::vecs(gens::text(40), 0..40),
+            |texts: &Vec<String>| {
+                // Tile the generated texts past MIN_PARALLEL so the
+                // parallel path actually runs.
+                let tiled: Vec<String> = texts
+                    .iter()
+                    .cycle()
+                    .take(if texts.is_empty() { 0 } else { MIN_PARALLEL + 64 })
+                    .cloned()
+                    .collect();
+                let (sa, st) = serial(AnalysisOptions::retrieval(), &tiled);
+                let (pa, pt) = analyze_batch(AnalysisOptions::retrieval(), &tiled, true);
+                tl_support::qp_assert_eq!(st, pt);
+                tl_support::qp_assert_eq!(sa.vocab().len(), pa.vocab().len());
+                for (id, term) in sa.vocab().iter() {
+                    tl_support::qp_assert_eq!(pa.vocab().term(id), Some(term));
+                }
+                Ok(())
+            },
+        );
+    }
+}

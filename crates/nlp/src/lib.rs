@@ -16,10 +16,13 @@
 //! * [`tfidf`] — corpus-level document frequencies and TF-IDF weighting,
 //! * [`ngram`] — n-gram and skip-bigram extraction (used by ROUGE),
 //! * [`keyphrase`] — RAKE-style keyphrase extraction (query bootstrap),
-//! * [`analyze`] — the composed analysis pipeline used across the workspace.
+//! * [`analyze`] — the composed analysis pipeline used across the workspace,
+//! * [`batch`] — one-pass corpus analysis, optionally parallel with a
+//!   frozen-vocabulary merge that keeps results identical to serial.
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod batch;
 pub mod keyphrase;
 pub mod ngram;
 pub mod sentences;
@@ -30,7 +33,8 @@ pub mod tokenize;
 pub mod vector;
 pub mod vocab;
 
-pub use analyze::{AnalysisOptions, Analyzer};
+pub use analyze::{analyze_call_count, AnalysisOptions, Analyzer};
+pub use batch::analyze_batch;
 pub use keyphrase::{extract_keyphrases, keyphrase_query, Keyphrase};
 pub use sentences::split_sentences;
 pub use stem::porter_stem;

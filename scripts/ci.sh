@@ -41,4 +41,14 @@ cargo test -q --offline
 echo "== bench targets compile =="
 cargo build --offline --all-targets
 
+echo "== bench smoke: report format + regression gate =="
+# One small full-pipeline bench. The test re-parses the BENCH_pipeline.json
+# it writes (report-format check) and, with TL_BENCH_ENFORCE=1, fails if
+# its median regresses more than 2x over the committed baseline entry.
+# TL_BENCH_REPORT_DIR keeps the scratch report out of the working tree.
+# Absolute path: cargo runs test binaries from the package directory.
+TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
+    cargo test -q --offline --release -p tl-bench --test pipeline -- \
+    --ignored bench_smoke --nocapture
+
 echo "CI passed."
