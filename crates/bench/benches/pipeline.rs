@@ -120,7 +120,7 @@ fn bench_realtime() {
     use tl_wilson::RealTimeSystem;
 
     let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
-    let mut system = RealTimeSystem::new(WilsonConfig::default());
+    let system = RealTimeSystem::new(WilsonConfig::default());
     for topic in &dataset.topics {
         system.ingest_all(&topic.articles);
     }

@@ -1,0 +1,215 @@
+//! Multi-threaded closed-loop query benchmark for the sharded real-time
+//! engine (§5 under concurrent load).
+//!
+//! K client threads each issue a stream of cache-busting timeline queries
+//! back-to-back against one shared [`RealTimeSystem`]; every query's
+//! latency is recorded and the merged sample yields p50/p95 per thread
+//! count, persisted to `BENCH_realtime.json`:
+//!
+//! * `realtime/closed_loop_{k}_threads` — per-query latency percentiles
+//!   (median_s = p50, p95_s = p95) across all clients,
+//! * `realtime/closed_loop_{k}_threads_wall` — wall-clock seconds for the
+//!   whole fixed batch (same total query count at every k, so scaling past
+//!   one thread shows up directly as a smaller wall time),
+//! * `realtime/mixed_ingest_query_wall` — the same closed loop with a
+//!   writer thread ingesting concurrently (snapshot reads: queries must
+//!   not serialize behind inserts),
+//! * `realtime/meta_available_parallelism` — the host's core count, so a
+//!   committed baseline is interpretable: on a single-core container the
+//!   closed-loop ceiling is *flat* wall time (no speedup is physically
+//!   possible), while multi-core hosts should see the k-thread batch wall
+//!   drop below the 1-thread one.
+//!
+//! Run with `cargo test -q -p tl-bench --test realtime -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tl_bench::{record, BenchStats};
+use tl_corpus::{generate, SynthConfig};
+use tl_ir::ShardedSearchConfig;
+use tl_wilson::{RealTimeSystem, TimelineQuery, WilsonConfig};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+/// Total queries per round — constant across thread counts so wall times
+/// are directly comparable.
+const BATCH: usize = 48;
+
+fn rounds() -> usize {
+    std::env::var("TL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+struct Fixture {
+    system: RealTimeSystem,
+    query: TimelineQuery,
+}
+
+fn fixture() -> Fixture {
+    let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
+    // Client threads are the measured parallelism axis: keep WILSON's
+    // internal fan-out off so k clients vs 1 client is apples-to-apples.
+    let config = WilsonConfig::default()
+        .with_parallel(false)
+        .with_analysis_parallel(false)
+        .with_search(ShardedSearchConfig::default().with_shards(4));
+    let system = RealTimeSystem::new(config);
+    for topic in &dataset.topics {
+        system.ingest_all(&topic.articles);
+    }
+    let cfg = SynthConfig::timeline17();
+    let query = TimelineQuery {
+        keywords: dataset.topics[0].query.clone(),
+        window: (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        ),
+        num_dates: 10,
+        sents_per_date: 2,
+        fetch_limit: 600,
+    };
+    Fixture { system, query }
+}
+
+/// Run one closed-loop round: `clients` threads issue `BATCH / clients`
+/// queries each, every query with a globally unique `fetch_limit` bump so
+/// the epoch memo never serves it (identical work, distinct cache key).
+/// Returns (per-query latencies, round wall seconds).
+fn closed_loop_round(fx: &Fixture, clients: usize, bump: &AtomicUsize) -> (Vec<f64>, f64) {
+    let per_client = BATCH / clients;
+    let start = Instant::now();
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let unique = bump.fetch_add(1, Ordering::Relaxed);
+                        let q = TimelineQuery {
+                            fetch_limit: fx.query.fetch_limit + unique,
+                            ..fx.query.clone()
+                        };
+                        let t0 = Instant::now();
+                        black_box(fx.system.timeline(&q));
+                        mine.push(t0.elapsed().as_secs_f64());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    (latencies, start.elapsed().as_secs_f64())
+}
+
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    sorted[(sorted.len() * p).div_ceil(100).saturating_sub(1)]
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_closed_loop_clients() {
+    let fx = fixture();
+    let bump = AtomicUsize::new(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    record(
+        "BENCH_realtime.json",
+        "realtime/meta_available_parallelism",
+        &BenchStats {
+            median: cores as f64,
+            p95: cores as f64,
+            iters: 1,
+        },
+    );
+    for clients in CLIENT_COUNTS {
+        // Warmup round, then measured rounds.
+        closed_loop_round(&fx, clients, &bump);
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut walls: Vec<f64> = Vec::new();
+        for _ in 0..rounds() {
+            let (lat, wall) = closed_loop_round(&fx, clients, &bump);
+            latencies.extend(lat);
+            walls.push(wall);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let lat_stats = BenchStats {
+            median: percentile(&latencies, 50),
+            p95: percentile(&latencies, 95),
+            iters: latencies.len(),
+        };
+        let wall_stats = BenchStats {
+            median: percentile(&walls, 50),
+            p95: percentile(&walls, 95),
+            iters: walls.len(),
+        };
+        println!(
+            "bench realtime/closed_loop_{clients}_threads: p50 {:.3} ms, p95 {:.3} ms \
+             ({} queries); batch of {BATCH} in {:.3} ms",
+            lat_stats.median * 1e3,
+            lat_stats.p95 * 1e3,
+            lat_stats.iters,
+            wall_stats.median * 1e3,
+        );
+        record(
+            "BENCH_realtime.json",
+            &format!("realtime/closed_loop_{clients}_threads"),
+            &lat_stats,
+        );
+        record(
+            "BENCH_realtime.json",
+            &format!("realtime/closed_loop_{clients}_threads_wall"),
+            &wall_stats,
+        );
+    }
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_queries_during_ingestion() {
+    // Snapshot reads under write pressure: 4 clients query while a writer
+    // ingests fresh articles in micro-batches (one publish per batch — the
+    // realistic §5 cadence at this index size, since a publish clones the
+    // touched index state). With the old engine reads serialized behind
+    // the writer; with snapshot publishing the measured *query batch* wall
+    // should stay in the same regime as the read-only loop.
+    let fx = fixture();
+    let extra = generate(&SynthConfig::timeline17().with_scale(0.01));
+    let articles = &extra.topics[0].articles;
+    let bump = AtomicUsize::new(1_000_000);
+    closed_loop_round(&fx, 4, &bump); // warmup
+    let mut walls: Vec<f64> = Vec::new();
+    for round in 0..rounds() {
+        // A different chunk each round so every round really publishes.
+        let chunk_size = (articles.len() / rounds()).max(1);
+        let chunk = &articles[(round * chunk_size) % articles.len()..][..chunk_size];
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for batch in chunk.chunks(4) {
+                    fx.system.ingest_all(batch);
+                }
+            });
+            let (_, wall) = closed_loop_round(&fx, 4, &bump);
+            walls.push(wall);
+        });
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let stats = BenchStats {
+        median: percentile(&walls, 50),
+        p95: percentile(&walls, 95),
+        iters: walls.len(),
+    };
+    println!(
+        "bench realtime/mixed_ingest_query_wall: median {:.3} ms, p95 {:.3} ms",
+        stats.median * 1e3,
+        stats.p95 * 1e3
+    );
+    record("BENCH_realtime.json", "realtime/mixed_ingest_query_wall", &stats);
+}

@@ -55,6 +55,19 @@ impl AnalysisCache {
         Self { tokens, by_date }
     }
 
+    /// Wrap borrowed token rows paired with their dates — the real-time
+    /// path, where rows live inside `Arc`-shared snapshot sentences and
+    /// only the query-relevant subset is materialized.
+    pub fn from_rows<'a>(rows: impl IntoIterator<Item = (&'a [u32], Date)>) -> Self {
+        let mut tokens: Vec<Vec<u32>> = Vec::new();
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (row, date) in rows {
+            by_date.entry(date).or_default().push(tokens.len());
+            tokens.push(row.to_vec());
+        }
+        Self { tokens, by_date }
+    }
+
     /// The analyzed token ids, row `i` for sentence `i`.
     pub fn tokens(&self) -> &[Vec<u32>] {
         &self.tokens
@@ -122,6 +135,21 @@ mod tests {
             }
         }
         assert_eq!(seen, corpus.len());
+    }
+
+    #[test]
+    fn from_rows_matches_from_tokens() {
+        let corpus = corpus();
+        let (built, _) = AnalysisCache::build(&corpus, false);
+        let rows = AnalysisCache::from_rows(
+            built
+                .tokens()
+                .iter()
+                .zip(&corpus)
+                .map(|(row, s)| (row.as_slice(), s.date)),
+        );
+        assert_eq!(rows.tokens(), built.tokens());
+        assert_eq!(rows.by_date(), built.by_date());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Configuration of the WILSON pipeline.
 
+use tl_ir::ShardedSearchConfig;
+
 /// Edge-weight scheme for the date reference graph (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EdgeWeight {
@@ -87,6 +89,11 @@ pub struct WilsonConfig {
     /// Shard the one-pass corpus analysis across cores (frozen-vocabulary
     /// merge keeps the result identical to serial analysis).
     pub analysis_parallel: bool,
+    /// Real-time search-engine sharding: shard count, merge policy and
+    /// query timeout for [`crate::RealTimeSystem`]'s sharded engine
+    /// (§5). The default merge policy keeps answers bit-identical to the
+    /// single-shard reference engine.
+    pub search: ShardedSearchConfig,
 }
 
 impl Default for WilsonConfig {
@@ -99,6 +106,7 @@ impl Default for WilsonConfig {
             damping: 0.85,
             parallel: true,
             analysis_parallel: true,
+            search: ShardedSearchConfig::default(),
         }
     }
 }
@@ -147,6 +155,13 @@ impl WilsonConfig {
         self.analysis_parallel = analysis_parallel;
         self
     }
+
+    /// Builder-style real-time search-sharding override (benchmarks sweep
+    /// shard counts; the stress suite pins timeouts).
+    pub fn with_search(mut self, search: ShardedSearchConfig) -> Self {
+        self.search = search;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +193,14 @@ mod tests {
         for a in default_alpha_grid() {
             assert!(a > 0.0 && a <= 1.0);
         }
+    }
+
+    #[test]
+    fn search_config_is_builder_settable() {
+        let c = WilsonConfig::default()
+            .with_search(ShardedSearchConfig::default().with_shards(8));
+        assert_eq!(c.search.num_shards, 8);
+        assert_eq!(WilsonConfig::default().search, ShardedSearchConfig::default());
     }
 
     #[test]

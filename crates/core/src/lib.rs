@@ -50,5 +50,5 @@ pub use config::{DateStrategy, EdgeWeight, WilsonConfig};
 pub use dategraph::DateGraph;
 pub use dateselect::{select_dates, uniformity};
 pub use explain::{explain_date_selection, DateExplanation};
-pub use realtime::RealTimeSystem;
+pub use realtime::{RealTimeSystem, TimelineQuery};
 pub use summarize::Wilson;

@@ -3,17 +3,26 @@
 //! The paper's production framework at The Washington Post indexes four
 //! years of temporally tagged sentences in ElasticSearch and answers
 //! `(keywords, [t1, t2])` queries with a WILSON timeline in seconds. This
-//! module wires the same flow over `tl-ir`'s search engine: ingest articles
-//! (incrementally — §5 stresses that newly published news just gets
-//! inserted), fetch the query-relevant dated sentences, run WILSON.
+//! module wires the same flow over `tl-ir`'s **sharded snapshot engine**:
+//! ingest articles (incrementally — §5 stresses that newly published news
+//! just gets inserted), fetch the query-relevant dated sentences, run
+//! WILSON.
+//!
+//! Concurrency model: ingestion inserts into the engine's pending delta and
+//! atomically publishes a new epoch; every query pins one immutable
+//! [`tl_ir::EngineSnapshot`] for its whole lifetime, so concurrent inserts
+//! never block a query and a query never observes a half-ingested article.
+//! The timeline memo is keyed by the *pinned* snapshot's epoch — a cached
+//! answer is served only for the exact engine state it was computed from.
 
 use crate::cache::AnalysisCache;
 use crate::config::WilsonConfig;
 use crate::summarize::Wilson;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
-use tl_ir::{SearchEngine, SearchQuery};
+use tl_ir::{EngineSnapshot, SearchQuery, ShardedSearchEngine};
 use tl_temporal::Date;
 
 /// A query against the real-time system.
@@ -34,9 +43,10 @@ pub struct TimelineQuery {
 /// Cache key: every query knob that affects the answer.
 type QueryKey = (String, (Date, Date), usize, usize, usize);
 
-/// Answered-query cache, valid for one ingestion epoch (the number of
-/// indexed sentences at answer time). Any insert bumps the epoch and
-/// implicitly invalidates all cached timelines.
+/// Answered-query cache, valid for one published engine epoch. Publishing
+/// new sentences bumps the epoch and implicitly invalidates all cached
+/// timelines; queries pinned to an older snapshot never poison the cache
+/// for a newer one.
 #[derive(Debug, Default)]
 struct QueryCache {
     epoch: usize,
@@ -44,10 +54,14 @@ struct QueryCache {
 }
 
 /// The ingestion + query service.
+///
+/// All methods take `&self`: the service is safe to share across threads,
+/// with writers calling [`ingest`](Self::ingest) and readers calling
+/// [`timeline`](Self::timeline) concurrently.
 pub struct RealTimeSystem {
-    engine: SearchEngine,
+    engine: ShardedSearchEngine,
     wilson: Wilson,
-    num_articles: usize,
+    num_articles: AtomicUsize,
     cache: Mutex<QueryCache>,
 }
 
@@ -58,45 +72,64 @@ impl Default for RealTimeSystem {
 }
 
 impl RealTimeSystem {
-    /// Create an empty service with the given WILSON configuration.
+    /// Create an empty service with the given WILSON configuration (whose
+    /// `search` field selects shard count, merge policy and query timeout).
     pub fn new(config: WilsonConfig) -> Self {
         Self {
-            engine: SearchEngine::new(),
+            engine: ShardedSearchEngine::new(config.search.clone()),
             wilson: Wilson::new(config),
-            num_articles: 0,
+            num_articles: AtomicUsize::new(0),
             cache: Mutex::new(QueryCache::default()),
         }
     }
 
-    /// Ingest one article: split-tag-index all of its dated sentences.
-    pub fn ingest(&mut self, article: &Article) {
+    /// Ingest one article: split-tag-index all of its dated sentences, then
+    /// publish the new epoch (the article becomes visible atomically — no
+    /// query ever sees a prefix of it).
+    pub fn ingest(&self, article: &Article) {
         for ds in dated_sentences(std::slice::from_ref(article), None) {
             self.engine.insert(ds.date, ds.pub_date, &ds.text);
         }
-        self.num_articles += 1;
+        self.num_articles.fetch_add(1, Ordering::Relaxed);
+        self.engine.publish();
     }
 
-    /// Ingest a batch of articles.
-    pub fn ingest_all(&mut self, articles: &[Article]) {
-        for a in articles {
-            self.ingest(a);
+    /// Ingest a batch of articles, publishing once at the end (one epoch
+    /// bump, one snapshot build).
+    pub fn ingest_all(&self, articles: &[Article]) {
+        for article in articles {
+            for ds in dated_sentences(std::slice::from_ref(article), None) {
+                self.engine.insert(ds.date, ds.pub_date, &ds.text);
+            }
+            self.num_articles.fetch_add(1, Ordering::Relaxed);
         }
+        self.engine.publish();
     }
 
     /// Number of ingested articles.
     pub fn num_articles(&self) -> usize {
-        self.num_articles
+        self.num_articles.load(Ordering::Relaxed)
     }
 
-    /// Number of indexed dated sentences.
+    /// Number of published (query-visible) dated sentences.
     pub fn num_sentences(&self) -> usize {
         self.engine.len()
     }
 
-    /// Number of timelines cached for the current ingestion epoch.
+    /// The current published engine epoch.
+    pub fn epoch(&self) -> usize {
+        self.engine.epoch()
+    }
+
+    /// How many queries returned a degraded (deadline-clipped) answer.
+    pub fn degraded_queries(&self) -> u64 {
+        self.engine.degraded_queries()
+    }
+
+    /// Number of timelines cached for the current engine epoch.
     pub fn cached_queries(&self) -> usize {
         let cache = self.cache.lock().unwrap();
-        if cache.epoch == self.engine.len() {
+        if cache.epoch == self.engine.epoch() {
             cache.answers.len()
         } else {
             0
@@ -106,13 +139,17 @@ impl RealTimeSystem {
     /// Answer a timeline query: fetch relevant dated sentences in the
     /// window, then run WILSON on them.
     ///
-    /// No sentence is tokenized here — the engine analyzed each sentence
-    /// once at ingest and WILSON consumes those tokens via its analysis
-    /// cache. Answers are memoized per ingestion epoch (keyed by the full
-    /// query), so a repeated or overlapping dashboard query returns
-    /// instantly until new articles arrive.
+    /// The whole query runs against one pinned snapshot: hit retrieval,
+    /// sentence fetch and frozen query analysis all see the same epoch even
+    /// while ingestion publishes newer ones concurrently. No sentence is
+    /// tokenized here — the engine analyzed each sentence once at ingest
+    /// and WILSON consumes those tokens via its analysis cache. Answers are
+    /// memoized per pinned epoch (keyed by the full query), so a repeated
+    /// or overlapping dashboard query returns instantly until new articles
+    /// arrive.
     pub fn timeline(&self, query: &TimelineQuery) -> Timeline {
-        let epoch = self.engine.len();
+        let snapshot = self.engine.snapshot();
+        let epoch = snapshot.epoch();
         let key: QueryKey = (
             query.keywords.clone(),
             query.window,
@@ -122,14 +159,16 @@ impl RealTimeSystem {
         );
         {
             let mut cache = self.cache.lock().unwrap();
-            if cache.epoch != epoch {
+            if cache.epoch < epoch {
                 cache.epoch = epoch;
                 cache.answers.clear();
-            } else if let Some(tl) = cache.answers.get(&key) {
-                return tl.clone();
+            } else if cache.epoch == epoch {
+                if let Some(tl) = cache.answers.get(&key) {
+                    return tl.clone();
+                }
             }
         }
-        let timeline = self.answer(query);
+        let timeline = self.answer(&snapshot, query);
         let mut cache = self.cache.lock().unwrap();
         if cache.epoch == epoch {
             cache.answers.insert(key, timeline.clone());
@@ -137,16 +176,18 @@ impl RealTimeSystem {
         timeline
     }
 
-    fn answer(&self, query: &TimelineQuery) -> Timeline {
-        let hits = self.engine.search(&SearchQuery {
-            keywords: query.keywords.clone(),
-            range: Some(query.window),
-            limit: query.fetch_limit,
-        });
+    fn answer(&self, snapshot: &Arc<EngineSnapshot>, query: &TimelineQuery) -> Timeline {
+        let hits = ShardedSearchEngine::search_at(
+            snapshot,
+            &SearchQuery {
+                keywords: query.keywords.clone(),
+                range: Some(query.window),
+                limit: query.fetch_limit,
+            },
+        );
         let mut corpus: Vec<DatedSentence> = Vec::with_capacity(hits.len());
-        let mut tokens: Vec<Vec<u32>> = Vec::with_capacity(hits.len());
         for (i, h) in hits.iter().enumerate() {
-            let Some(s) = self.engine.get(h.id) else {
+            let Some(s) = snapshot.get(h.id) else {
                 continue;
             };
             corpus.push(DatedSentence {
@@ -157,12 +198,15 @@ impl RealTimeSystem {
                 text: s.text.clone(),
                 from_mention: s.date != s.pub_date,
             });
-            tokens.push(s.tokens.clone());
         }
         // Engine-vocabulary tokens: query terms never indexed carry no
         // postings in the fetched subset, so scores match a fresh analysis.
-        let cache = AnalysisCache::from_tokens(tokens, corpus.iter().map(|s| s.date));
-        let query_tokens = self.engine.analyzer().analyze_frozen(&query.keywords);
+        let cache = AnalysisCache::from_rows(hits.iter().filter_map(|h| {
+            snapshot
+                .analyzed(h.id)
+                .map(|row| (row, snapshot.get(h.id).expect("analyzed implies stored").date))
+        }));
+        let query_tokens = snapshot.analyzer().analyze_frozen(&query.keywords);
         self.wilson.generate_cached(
             &corpus,
             &cache,
@@ -177,6 +221,7 @@ impl RealTimeSystem {
 mod tests {
     use super::*;
     use tl_corpus::{generate, SynthConfig};
+    use tl_ir::ShardedSearchConfig;
 
     fn d(s: &str) -> Date {
         s.parse().unwrap()
@@ -185,7 +230,7 @@ mod tests {
     fn loaded_system() -> (RealTimeSystem, String, (Date, Date)) {
         let ds = generate(&SynthConfig::tiny());
         let topic = &ds.topics[0];
-        let mut sys = RealTimeSystem::default();
+        let sys = RealTimeSystem::default();
         sys.ingest_all(&topic.articles);
         let cfg = SynthConfig::tiny();
         let window = (
@@ -200,6 +245,7 @@ mod tests {
         let (sys, _, _) = loaded_system();
         assert!(sys.num_articles() > 0);
         assert!(sys.num_sentences() > sys.num_articles());
+        assert_eq!(sys.epoch(), sys.num_sentences());
     }
 
     #[test]
@@ -250,7 +296,7 @@ mod tests {
 
     #[test]
     fn incremental_ingestion_extends_results() {
-        let mut sys = RealTimeSystem::default();
+        let sys = RealTimeSystem::default();
         let article = Article {
             id: 0,
             pub_date: d("2018-06-12"),
@@ -300,7 +346,7 @@ mod tests {
 
     #[test]
     fn ingestion_invalidates_cached_answers() {
-        let mut sys = RealTimeSystem::default();
+        let sys = RealTimeSystem::default();
         let article = |day: &str, text: &str| Article {
             id: 0,
             pub_date: d(day),
@@ -328,5 +374,68 @@ mod tests {
         assert_eq!(sys.cached_queries(), 0);
         let after = sys.timeline(&q);
         assert_eq!(after.num_dates(), 2);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        let q = TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 300,
+        };
+        let answers: Vec<Timeline> = [1usize, 3, 8]
+            .into_iter()
+            .map(|n| {
+                let config = WilsonConfig::default()
+                    .with_search(ShardedSearchConfig::default().with_shards(n));
+                let sys = RealTimeSystem::new(config);
+                sys.ingest_all(&topic.articles);
+                sys.timeline(&q)
+            })
+            .collect();
+        assert!(answers[0].num_dates() > 0);
+        assert_eq!(answers[0].entries, answers[1].entries);
+        assert_eq!(answers[0].entries, answers[2].entries);
+    }
+
+    #[test]
+    fn shared_service_answers_queries_during_ingestion() {
+        // &self ingestion + &self queries from different threads: the point
+        // of the snapshot engine. (The heavy interleaving assertions live
+        // in tests/stress.rs; this pins the Sync API contract.)
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        let sys = RealTimeSystem::default();
+        let (first, rest) = topic.articles.split_first().unwrap();
+        sys.ingest(first);
+        std::thread::scope(|scope| {
+            scope.spawn(|| sys.ingest_all(rest));
+            let q = TimelineQuery {
+                keywords: topic.query.clone(),
+                window,
+                num_dates: 4,
+                sents_per_date: 1,
+                fetch_limit: 200,
+            };
+            for _ in 0..8 {
+                let _ = sys.timeline(&q);
+            }
+        });
+        assert_eq!(sys.num_articles(), topic.articles.len());
+        assert_eq!(sys.num_sentences(), sys.epoch());
     }
 }

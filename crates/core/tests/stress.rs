@@ -1,0 +1,256 @@
+//! Deterministic concurrency stress suite for the sharded real-time
+//! engine.
+//!
+//! Two layers:
+//!
+//! * **Engine level** — a writer thread inserts and publishes while reader
+//!   threads continuously pin snapshots: every snapshot must pass
+//!   `check_consistency` (no torn publish), epochs must be monotone per
+//!   reader, and every search hit must reference a stored sentence.
+//! * **System level** — a writer ingests articles through
+//!   [`RealTimeSystem::ingest`] while readers issue timeline queries. Each
+//!   reader records `(epoch_before, answer, epoch_after)`; afterwards a
+//!   serial reference replays every published prefix, and each observed
+//!   answer must equal the reference answer at *some* epoch inside its
+//!   window. This proves queries only ever observe fully published epochs
+//!   and the memo never serves a timeline from a different epoch than it
+//!   claims.
+//!
+//! The workload is seeded (env `TL_STRESS_SEED`, default fixed) and the
+//! round count is budgeted by `TL_STRESS_ITERS` (default 2), so CI runs a
+//! quick fixed-seed pass and soak runs can crank the iterations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use tl_corpus::{generate, Article, SynthConfig};
+use tl_ir::{SearchQuery, ShardedSearchConfig, ShardedSearchEngine};
+use tl_support::rng::Rng;
+use tl_temporal::Date;
+use tl_wilson::{RealTimeSystem, TimelineQuery, WilsonConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn stress_iters() -> usize {
+    env_usize("TL_STRESS_ITERS", 2).max(1)
+}
+
+fn stress_seed() -> u64 {
+    env_usize("TL_STRESS_SEED", 0x57AB1E) as u64
+}
+
+fn d(s: &str) -> Date {
+    s.parse().unwrap()
+}
+
+const READERS: usize = 4;
+
+#[test]
+fn snapshots_are_never_torn() {
+    let words = [
+        "summit", "talks", "nuclear", "border", "peace", "treaty", "missile",
+        "sanctions", "leaders", "historic",
+    ];
+    for round in 0..stress_iters() {
+        let seed = stress_seed() ^ (round as u64).wrapping_mul(0x9E37_79B9);
+        let engine =
+            ShardedSearchEngine::new(ShardedSearchConfig::default().with_shards(3));
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Writer: 120 sentences, publishing in randomly sized batches.
+            let engine_ref = &engine;
+            let done_ref = &done;
+            scope.spawn(move || {
+                let engine = engine_ref;
+                let done = done_ref;
+                let mut rng = Rng::seed_from_u64(seed);
+                let mut since_publish = 0usize;
+                for i in 0..120usize {
+                    let len = 3 + rng.bounded_u64(8) as usize;
+                    let text = (0..len)
+                        .map(|_| *rng.choose(&words).unwrap())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let date = d("2018-01-01").plus_days((i % 60) as i32);
+                    engine.insert(date, date, &text);
+                    since_publish += 1;
+                    if rng.bounded_u64(3) == 0 {
+                        engine.publish();
+                        since_publish = 0;
+                    }
+                    std::thread::yield_now();
+                }
+                if since_publish > 0 {
+                    engine.publish();
+                }
+                done.store(true, Ordering::Release);
+            });
+            for r in 0..READERS {
+                let engine = &engine;
+                let done = &done;
+                let reader_seed = seed ^ 0xD1FF ^ ((r as u64) << 17);
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(reader_seed);
+                    let mut last_epoch = 0usize;
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snap = engine.snapshot();
+                        // Publishing is atomic: every visible snapshot is
+                        // internally consistent and epochs never go back.
+                        snap.check_consistency()
+                            .unwrap_or_else(|e| panic!("torn snapshot: {e}"));
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "epoch went backwards: {} -> {}",
+                            last_epoch,
+                            snap.epoch()
+                        );
+                        last_epoch = snap.epoch();
+                        let kw = (0..1 + rng.bounded_u64(3))
+                            .map(|_| *rng.choose(&words).unwrap())
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        let hits = snap.search(&SearchQuery {
+                            keywords: kw,
+                            range: None,
+                            limit: 1 + rng.bounded_u64(20) as usize,
+                        });
+                        for h in &hits {
+                            assert!(
+                                snap.get(h.id).is_some(),
+                                "hit {} not stored in its own snapshot",
+                                h.id
+                            );
+                        }
+                        if finished {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.epoch(), 120, "round {round}: all inserts published");
+    }
+}
+
+/// One system-level stress round: concurrent ingest + queries, then a
+/// serial replay proving every observed answer belongs to an epoch inside
+/// its observation window.
+fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) {
+    let config = WilsonConfig::default()
+        .with_search(ShardedSearchConfig::default().with_shards(3));
+    let sys = RealTimeSystem::new(config.clone());
+
+    // (query index, epoch before, entries, epoch after) per observation.
+    type Observation = (usize, usize, Vec<(Date, Vec<String>)>, usize);
+    let observations: Vec<Vec<Observation>> = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut rng = Rng::seed_from_u64(seed);
+            for article in articles {
+                sys.ingest(article);
+                for _ in 0..rng.bounded_u64(4) {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let sys = &sys;
+                let reader_seed = seed ^ 0xBEEF ^ ((r as u64) << 23);
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(reader_seed);
+                    let mut recorded = Vec::new();
+                    for _ in 0..10 {
+                        let qi = rng.bounded_u64(queries.len() as u64) as usize;
+                        let before = sys.epoch();
+                        let timeline = sys.timeline(&queries[qi]);
+                        let after = sys.epoch();
+                        recorded.push((qi, before, timeline.entries, after));
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        writer.join().expect("writer panicked");
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .collect()
+    });
+
+    // Serial replay: the reference answer of every query at every published
+    // epoch (one publish per ingested article, plus the empty epoch 0).
+    let reference = RealTimeSystem::new(config);
+    let mut by_epoch: HashMap<usize, Vec<Vec<(Date, Vec<String>)>>> = HashMap::new();
+    let answers_at = |sys: &RealTimeSystem| {
+        queries
+            .iter()
+            .map(|q| sys.timeline(q).entries)
+            .collect::<Vec<_>>()
+    };
+    by_epoch.insert(0, answers_at(&reference));
+    for article in articles {
+        reference.ingest(article);
+        by_epoch.insert(reference.epoch(), answers_at(&reference));
+    }
+
+    for (r, observations) in observations.iter().enumerate() {
+        for (o, (qi, before, entries, after)) in observations.iter().enumerate() {
+            let explained = by_epoch.iter().any(|(epoch, answers)| {
+                epoch >= before && epoch <= after && answers[*qi] == *entries
+            });
+            assert!(
+                explained,
+                "reader {r} observation {o}: query {qi} answered with a timeline \
+                 matching no published epoch in [{before}, {after}] — either a \
+                 torn snapshot or a stale memo entry"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_observe_only_published_epochs() {
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let articles: Vec<Article> = topic.articles.iter().take(10).cloned().collect();
+    let cfg = SynthConfig::tiny();
+    let window = (
+        cfg.start_date,
+        cfg.start_date.plus_days(cfg.duration_days as i32),
+    );
+    let queries = vec![
+        TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 4,
+            sents_per_date: 1,
+            fetch_limit: 200,
+        },
+        TimelineQuery {
+            keywords: topic.query.clone(),
+            window: (window.0, window.0.plus_days(30)),
+            num_dates: 3,
+            sents_per_date: 2,
+            fetch_limit: 120,
+        },
+        TimelineQuery {
+            keywords: "xylophone zeppelin".into(),
+            window,
+            num_dates: 3,
+            sents_per_date: 1,
+            fetch_limit: 50,
+        },
+    ];
+    for round in 0..stress_iters() {
+        run_system_round(
+            &articles,
+            &queries,
+            stress_seed() ^ (round as u64).wrapping_mul(0xA5A5_5A5A),
+        );
+    }
+}

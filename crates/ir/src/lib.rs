@@ -17,15 +17,21 @@
 //! * [`index`] — an inverted index with in-postings term frequencies,
 //! * [`positional`] — positional postings and exact-phrase matching,
 //! * [`search`] — the dated-sentence search engine (ElasticSearch
-//!   substitute) with keyword + quoted-phrase + date-range queries.
+//!   substitute) with keyword + quoted-phrase + date-range queries,
+//! * [`shard`] — the sharded, snapshot-read concurrent engine (§5 at
+//!   scale), bit-identical to [`search`] under the default merge policy.
 #![warn(missing_docs)]
 
 pub mod bm25;
 pub mod index;
 pub mod positional;
 pub mod search;
+pub mod shard;
 
 pub use bm25::{Bm25Accumulator, Bm25Params, Bm25Scorer};
 pub use index::InvertedIndex;
 pub use positional::{split_query, PositionalIndex};
 pub use search::{SearchEngine, SearchHit, SearchQuery};
+pub use shard::{
+    shard_of, EngineSnapshot, MergePolicy, ShardedSearchConfig, ShardedSearchEngine,
+};

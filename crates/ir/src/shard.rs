@@ -1,0 +1,863 @@
+//! The sharded, concurrently-readable search engine — §5 at scale.
+//!
+//! [`crate::search::SearchEngine`] is single-threaded and its `&mut self`
+//! ingestion blocks every reader. This module scales the same query surface
+//! across cores without changing a single answer:
+//!
+//! * **Sharding** — documents are routed to one of N shards by a stable
+//!   hash of their global sentence id ([`shard_of`]); each shard keeps its
+//!   own inverted + positional index. Queries fan out over the shards (via
+//!   `tl_support::par`) and the per-shard hit lists are merged with a
+//!   deterministic `(score desc, doc id asc)` tie-break.
+//! * **Global statistics** — BM25 idf and length normalization always use
+//!   *corpus-wide* document frequencies and average length, never per-shard
+//!   ones, and every per-document float accumulates contributions in
+//!   ascending distinct-term order — the exact summation order of
+//!   [`crate::index::InvertedIndex::rank`]. Together with the merge rule
+//!   this makes sharded output **bit-identical** to the single-shard
+//!   reference for every query type (keyword, quoted phrase, date-range);
+//!   `tests/sharded_differential.rs` pins the equivalence.
+//! * **Snapshot reads** — ingestion builds into a pending delta inside the
+//!   writer and [`ShardedSearchEngine::publish`] atomically swaps an
+//!   immutable, `Arc`-shared [`EngineSnapshot`] carrying a monotone epoch.
+//!   Readers clone the `Arc` once and then query entirely without locks, so
+//!   concurrent inserts never block (or tear) a running query, and
+//!   epoch-keyed memoization layered on top stays correct.
+//! * **Graceful degradation** — an optional per-query wall-clock budget
+//!   ([`ShardedSearchConfig::query_timeout`]): shard 0 is always answered
+//!   on the calling thread; other shards that miss the deadline are dropped
+//!   from the merge (counted in [`ShardedSearchEngine::degraded_queries`]),
+//!   so an overloaded engine returns a partial answer instead of blocking.
+
+use crate::bm25::Bm25Params;
+use crate::index::{DocId, InvertedIndex};
+use crate::positional::{split_query, PositionalIndex};
+use crate::search::{SearchHit, SearchQuery, StoredSentence};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+use tl_nlp::vocab::TermId;
+use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_support::par::{par_map, par_map_deadline};
+use tl_support::rng::splitmix64;
+use tl_temporal::Date;
+
+/// How per-shard hit lists are combined into the final ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MergePolicy {
+    /// Descending BM25 score, ties broken by ascending global doc id — the
+    /// order of the single-shard reference engine (bit-identical output).
+    #[default]
+    ScoreThenId,
+    /// Ascending global doc id (insertion order). Each shard still
+    /// contributes its top-`limit` *scored* hits, but the merged page reads
+    /// chronologically — useful for feed-style consumers. Not comparable
+    /// to the reference ranking.
+    InsertionOrder,
+}
+
+/// Configuration for [`ShardedSearchEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedSearchConfig {
+    /// Number of index shards (clamped to at least 1).
+    pub num_shards: usize,
+    /// Result merge policy.
+    pub merge: MergePolicy,
+    /// Optional per-query wall-clock budget. `None` waits for every shard
+    /// (fully deterministic); `Some(d)` degrades gracefully: shard 0 always
+    /// answers, shards missing the deadline are dropped from the merge.
+    pub query_timeout: Option<Duration>,
+}
+
+impl Default for ShardedSearchConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            merge: MergePolicy::ScoreThenId,
+            query_timeout: None,
+        }
+    }
+}
+
+impl ShardedSearchConfig {
+    /// A single-shard configuration (the degenerate case; still goes
+    /// through the snapshot machinery).
+    pub fn single() -> Self {
+        Self {
+            num_shards: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style shard-count override.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.num_shards = n;
+        self
+    }
+
+    /// Builder-style query-timeout override.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.query_timeout = timeout;
+        self
+    }
+}
+
+/// Stable shard assignment: a SplitMix64 hash of the global sentence id,
+/// reduced mod `num_shards`. Stable across runs and platforms, independent
+/// of shard-local state, and uncorrelated with insertion order so shards
+/// stay balanced.
+pub fn shard_of(id: DocId, num_shards: usize) -> usize {
+    let mut state = id as u64;
+    (splitmix64(&mut state) % num_shards.max(1) as u64) as usize
+}
+
+/// One shard: its own postings over the documents hashed to it, plus the
+/// local→global id mapping (`global_ids[local] = global`; monotone, so
+/// local order and global order agree within a shard).
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    index: InvertedIndex,
+    positional: PositionalIndex,
+    global_ids: Vec<DocId>,
+}
+
+/// A query analyzed against a snapshot's vocabulary, ready to fan out.
+struct PreparedQuery {
+    /// Strictly-analyzed quoted phrases (hard containment filters).
+    phrases: Vec<Vec<TermId>>,
+    /// Distinct query terms with query frequency, ascending term order —
+    /// the reference engine's float-summation order.
+    qtf: Vec<(TermId, f64)>,
+    /// Inclusive date-range filter.
+    range: Option<(Date, Date)>,
+    /// Result cap. The reference engine returns one hit for `limit == 0`
+    /// (it breaks *after* pushing), so the effective cap is `max(limit, 1)`.
+    cap: usize,
+}
+
+/// An immutable, atomically-published view of the engine at one epoch.
+///
+/// Everything a query needs lives here — shards, stored sentences, global
+/// BM25 statistics, a frozen analyzer — so readers holding the `Arc` never
+/// touch a lock and never observe a half-ingested document.
+pub struct EngineSnapshot {
+    epoch: usize,
+    params: Bm25Params,
+    config: ShardedSearchConfig,
+    analyzer: Analyzer,
+    shards: Vec<ShardState>,
+    store: Vec<Arc<StoredSentence>>,
+    /// Corpus-wide document frequency per term.
+    df: HashMap<TermId, u32>,
+    /// Corpus-wide total token count (for the global average length).
+    total_len: u64,
+    /// Shared degraded-query counter (lives across publishes).
+    degraded: Arc<AtomicU64>,
+}
+
+impl EngineSnapshot {
+    fn empty(
+        params: Bm25Params,
+        config: ShardedSearchConfig,
+        degraded: Arc<AtomicU64>,
+    ) -> Self {
+        let num_shards = config.num_shards.max(1);
+        Self {
+            epoch: 0,
+            params,
+            config,
+            analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+            shards: vec![ShardState::default(); num_shards],
+            store: Vec::new(),
+            df: HashMap::new(),
+            total_len: 0,
+            degraded,
+        }
+    }
+
+    /// The ingestion epoch this snapshot was published at (= number of
+    /// indexed sentences; monotone across publishes).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Number of indexed sentences.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fetch a stored sentence by global id.
+    pub fn get(&self, id: DocId) -> Option<&StoredSentence> {
+        self.store.get(id).map(Arc::as_ref)
+    }
+
+    /// The insert-time analyzed token ids of a stored sentence.
+    pub fn analyzed(&self, id: DocId) -> Option<&[u32]> {
+        self.store.get(id).map(|s| s.tokens.as_slice())
+    }
+
+    /// The snapshot's analyzer (frozen-vocabulary query analysis).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Global average document length.
+    fn avg_doc_len(&self) -> f64 {
+        if self.store.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.store.len() as f64
+        }
+    }
+
+    /// Non-negative BM25 idf from *global* statistics — the same expression
+    /// as [`crate::index::IndexBm25::idf`] over an unsharded index.
+    fn idf(&self, term: TermId) -> f64 {
+        let n = self.store.len() as f64;
+        let df = self.df.get(&term).copied().unwrap_or(0) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Verify internal invariants; used by the concurrency stress suite to
+    /// prove no torn snapshot is ever observable. Returns a description of
+    /// the first violation, if any.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.epoch != self.store.len() {
+            return Err(format!(
+                "epoch {} != stored sentences {}",
+                self.epoch,
+                self.store.len()
+            ));
+        }
+        let sharded: usize = self.shards.iter().map(|s| s.global_ids.len()).sum();
+        if sharded != self.store.len() {
+            return Err(format!(
+                "shards hold {sharded} docs, store holds {}",
+                self.store.len()
+            ));
+        }
+        let mut seen = vec![false; self.store.len()];
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.index.num_docs() != shard.global_ids.len()
+                || shard.positional.num_docs() != shard.global_ids.len()
+            {
+                return Err(format!("shard {si}: index/positional/id-map sizes disagree"));
+            }
+            for (local, &gid) in shard.global_ids.iter().enumerate() {
+                if gid >= self.store.len() {
+                    return Err(format!("shard {si}: global id {gid} out of range"));
+                }
+                if shard_of(gid, self.shards.len()) != si {
+                    return Err(format!("doc {gid} stored in wrong shard {si}"));
+                }
+                if seen[gid] {
+                    return Err(format!("doc {gid} appears in two shards"));
+                }
+                seen[gid] = true;
+                if shard.index.doc_len(local) != self.store[gid].tokens.len() {
+                    return Err(format!("doc {gid}: shard doc_len != stored token count"));
+                }
+            }
+        }
+        let total: u64 = self.store.iter().map(|s| s.tokens.len() as u64).sum();
+        if total != self.total_len {
+            return Err(format!(
+                "total_len {} != summed token count {total}",
+                self.total_len
+            ));
+        }
+        Ok(())
+    }
+
+    /// Analyze a raw query against this snapshot's vocabulary. `None` means
+    /// the query can match nothing (empty after analysis, or a phrase
+    /// containing an unindexed word) — mirrors the reference engine's
+    /// early-exit rules exactly.
+    fn prepare(&self, query: &SearchQuery) -> Option<PreparedQuery> {
+        let (phrase_texts, keywords) = split_query(&query.keywords);
+        let mut phrases: Vec<Vec<TermId>> = Vec::new();
+        for p in &phrase_texts {
+            match self.analyzer.analyze_frozen_strict(p) {
+                Some(toks) if !toks.is_empty() => phrases.push(toks),
+                Some(_) => {} // all-stopword phrase: no constraint
+                None => return None,
+            }
+        }
+        let mut q = self.analyzer.analyze_frozen(&keywords);
+        for p in &phrases {
+            q.extend_from_slice(p);
+        }
+        if q.is_empty() {
+            return None;
+        }
+        let mut qtf: Vec<(TermId, f64)> = {
+            let mut m: HashMap<TermId, f64> = HashMap::new();
+            for &t in &q {
+                *m.entry(t).or_insert(0.0) += 1.0;
+            }
+            m.into_iter().collect()
+        };
+        qtf.sort_unstable_by_key(|&(t, _)| t);
+        Some(PreparedQuery {
+            phrases,
+            qtf,
+            range: query.range,
+            cap: query.limit.max(1),
+        })
+    }
+
+    /// Run a prepared query against one shard: BM25 with global statistics,
+    /// rank by `(score desc, id asc)`, then filter date range and phrases
+    /// in ranked order up to the cap. The global top-`cap` filtered hits
+    /// within this shard are always a prefix of this list, so merging
+    /// per-shard prefixes loses nothing.
+    fn search_shard(&self, s: usize, pq: &PreparedQuery) -> Vec<SearchHit> {
+        let shard = &self.shards[s];
+        if shard.global_ids.is_empty() {
+            return Vec::new();
+        }
+        let Bm25Params { k1, b } = self.params;
+        let avg = self.avg_doc_len();
+        // Per-document accumulation in ascending distinct-term order: the
+        // identical float-summation order (and identical arithmetic) of
+        // InvertedIndex::rank, so every score is bit-equal to the
+        // single-shard engine's.
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for &(t, qf) in &pq.qtf {
+            let postings = shard.index.postings(t);
+            if postings.is_empty() {
+                continue;
+            }
+            let idf = self.idf(t);
+            for p in postings {
+                let tf = p.tf as f64;
+                let doc_len = shard.index.doc_len(p.doc);
+                let len_norm = if avg > 0.0 {
+                    1.0 - b + b * (doc_len as f64) / avg
+                } else {
+                    1.0
+                };
+                *scores.entry(p.doc).or_insert(0.0) +=
+                    qf * (idf * tf * (k1 + 1.0) / (tf + k1 * len_norm));
+            }
+        }
+        let mut ranked: Vec<(usize, f64)> = scores.into_iter().collect();
+        // Local ids are monotone in global ids, so this tie-break agrees
+        // with the reference engine's global-id tie-break.
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = Vec::new();
+        for (local, score) in ranked {
+            let gid = shard.global_ids[local];
+            let stored = &self.store[gid];
+            if let Some((lo, hi)) = pq.range {
+                if stored.date < lo || stored.date > hi {
+                    continue;
+                }
+            }
+            if !pq
+                .phrases
+                .iter()
+                .all(|p| shard.positional.contains_phrase(p, local))
+            {
+                continue;
+            }
+            out.push(SearchHit {
+                id: gid,
+                score,
+                date: stored.date,
+            });
+            if out.len() >= pq.cap {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Merge per-shard hit lists under the configured policy and truncate
+    /// to the effective cap.
+    fn merge(&self, per_shard: Vec<Vec<SearchHit>>, cap: usize) -> Vec<SearchHit> {
+        let mut all: Vec<SearchHit> = per_shard.into_iter().flatten().collect();
+        match self.config.merge {
+            MergePolicy::ScoreThenId => all.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            }),
+            MergePolicy::InsertionOrder => all.sort_by_key(|h| h.id),
+        }
+        all.truncate(cap);
+        all
+    }
+
+    /// Run a query against this snapshot, fanning out over all shards with
+    /// scoped threads and waiting for every shard (no timeout — fully
+    /// deterministic). Use [`ShardedSearchEngine::search_at`] to honor a
+    /// configured query budget.
+    pub fn search(&self, query: &SearchQuery) -> Vec<SearchHit> {
+        let Some(pq) = self.prepare(query) else {
+            return Vec::new();
+        };
+        let cap = pq.cap;
+        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard = par_map(&shard_ids, |&s| self.search_shard(s, &pq));
+        self.merge(per_shard, cap)
+    }
+
+    /// All sentences within a date range (no keyword scoring), ascending
+    /// global id — identical to the reference engine's `range_scan`.
+    pub fn range_scan(&self, lo: Date, hi: Date) -> Vec<DocId> {
+        (0..self.store.len())
+            .filter(|&i| {
+                let d = self.store[i].date;
+                d >= lo && d <= hi
+            })
+            .collect()
+    }
+}
+
+/// Pending (unpublished) engine state, guarded by the writer lock.
+struct Writer {
+    analyzer: Analyzer,
+    shards: Vec<ShardState>,
+    store: Vec<Arc<StoredSentence>>,
+    df: HashMap<TermId, u32>,
+    total_len: u64,
+    dirty: bool,
+}
+
+/// The sharded engine: a locked writer accumulating a pending delta and an
+/// atomically-swapped immutable snapshot serving reads.
+///
+/// Inserts go to the writer and are invisible until [`publish`] swaps a new
+/// [`EngineSnapshot`] in; queries pin one snapshot and never block on (or
+/// observe a prefix of) an in-flight ingestion batch.
+///
+/// [`publish`]: ShardedSearchEngine::publish
+pub struct ShardedSearchEngine {
+    params: Bm25Params,
+    config: ShardedSearchConfig,
+    writer: Mutex<Writer>,
+    published: RwLock<Arc<EngineSnapshot>>,
+    degraded: Arc<AtomicU64>,
+}
+
+impl Default for ShardedSearchEngine {
+    fn default() -> Self {
+        Self::new(ShardedSearchConfig::default())
+    }
+}
+
+impl ShardedSearchEngine {
+    /// Create an empty engine with default BM25 parameters.
+    pub fn new(config: ShardedSearchConfig) -> Self {
+        Self::with_params(config, Bm25Params::default())
+    }
+
+    /// Create an empty engine with custom BM25 parameters.
+    pub fn with_params(mut config: ShardedSearchConfig, params: Bm25Params) -> Self {
+        config.num_shards = config.num_shards.max(1);
+        let degraded = Arc::new(AtomicU64::new(0));
+        let initial = EngineSnapshot::empty(params, config.clone(), Arc::clone(&degraded));
+        Self {
+            params,
+            writer: Mutex::new(Writer {
+                analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+                shards: vec![ShardState::default(); config.num_shards],
+                store: Vec::new(),
+                df: HashMap::new(),
+                total_len: 0,
+                dirty: false,
+            }),
+            published: RwLock::new(Arc::new(initial)),
+            config,
+            degraded,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ShardedSearchConfig {
+        &self.config
+    }
+
+    /// Insert a dated sentence into the pending delta; returns its stable
+    /// global id. Invisible to queries until [`ShardedSearchEngine::publish`].
+    pub fn insert(&self, date: Date, pub_date: Date, text: &str) -> DocId {
+        let mut w = self.writer.lock().unwrap();
+        let tokens = w.analyzer.analyze(text);
+        let id = w.store.len();
+        let s = shard_of(id, self.config.num_shards);
+        {
+            let shard = &mut w.shards[s];
+            let local = shard.index.add_document(&tokens);
+            let lp = shard.positional.add_document(&tokens);
+            debug_assert_eq!(local, lp);
+            shard.global_ids.push(id);
+        }
+        let mut distinct: Vec<TermId> = tokens.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for t in distinct {
+            *w.df.entry(t).or_insert(0) += 1;
+        }
+        w.total_len += tokens.len() as u64;
+        w.store.push(Arc::new(StoredSentence {
+            date,
+            pub_date,
+            text: text.to_string(),
+            tokens,
+        }));
+        w.dirty = true;
+        id
+    }
+
+    /// Atomically publish the pending delta as a new immutable snapshot;
+    /// returns the new epoch. A no-op (returning the current epoch) when
+    /// nothing was inserted since the last publish.
+    pub fn publish(&self) -> usize {
+        let mut w = self.writer.lock().unwrap();
+        if !w.dirty {
+            return self.epoch();
+        }
+        let snapshot = Arc::new(EngineSnapshot {
+            epoch: w.store.len(),
+            params: self.params,
+            config: self.config.clone(),
+            analyzer: w.analyzer.clone(),
+            shards: w.shards.clone(),
+            store: w.store.clone(),
+            df: w.df.clone(),
+            total_len: w.total_len,
+            degraded: Arc::clone(&self.degraded),
+        });
+        w.dirty = false;
+        let epoch = snapshot.epoch;
+        *self.published.write().unwrap() = snapshot;
+        epoch
+    }
+
+    /// Pin the current published snapshot (cheap: one `Arc` clone under a
+    /// briefly-held read lock).
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// The published epoch (= published sentence count).
+    pub fn epoch(&self) -> usize {
+        self.snapshot().epoch()
+    }
+
+    /// Number of *published* sentences (pending inserts not counted).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// True when no sentences are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many queries returned a degraded (partial, deadline-clipped)
+    /// answer since the engine was created.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Query the current snapshot, honoring the configured query timeout.
+    pub fn search(&self, query: &SearchQuery) -> Vec<SearchHit> {
+        Self::search_at(&self.snapshot(), query)
+    }
+
+    /// Query a *pinned* snapshot, honoring its configured timeout. With no
+    /// timeout this is `snapshot.search` (deterministic full fan-out); with
+    /// one, shards are dispatched to detached threads, shard 0 runs on the
+    /// caller, and shards missing the budget are dropped from the merge.
+    pub fn search_at(snapshot: &Arc<EngineSnapshot>, query: &SearchQuery) -> Vec<SearchHit> {
+        let Some(timeout) = snapshot.config.query_timeout else {
+            return snapshot.search(query);
+        };
+        let Some(pq) = snapshot.prepare(query) else {
+            return Vec::new();
+        };
+        let cap = pq.cap;
+        let pq = Arc::new(pq);
+        let snap = Arc::clone(snapshot);
+        let shard_ids: Vec<usize> = (0..snapshot.num_shards()).collect();
+        let results = par_map_deadline(shard_ids, Some(timeout), move |s| {
+            snap.search_shard(s, &pq)
+        });
+        if results.iter().any(Option::is_none) {
+            snapshot.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let per_shard: Vec<Vec<SearchHit>> = results.into_iter().flatten().collect();
+        snapshot.merge(per_shard, cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchEngine;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    const CORPUS: &[(&str, &str)] = &[
+        ("2018-03-08", "Trump agrees to meet Kim for talks after months of tension."),
+        ("2018-05-24", "President Trump abruptly canceled the June 12 summit."),
+        ("2018-06-12", "The historic summit with North Korean leader Kim Jong Un took place."),
+        ("2018-04-10", "Markets rallied on unrelated economic data."),
+        ("2018-06-13", "Pyongyang pledged denuclearization after the summit."),
+        ("2018-04-01", "Korea north of the river saw floods."),
+        ("2018-06-12", "The North Korea summit took place in Singapore."),
+        ("2018-05-01", "Talks about talks stalled between the two sides."),
+    ];
+
+    fn reference() -> SearchEngine {
+        let mut e = SearchEngine::new();
+        for (day, text) in CORPUS {
+            e.insert(d(day), d(day), text);
+        }
+        e
+    }
+
+    fn sharded(n: usize) -> ShardedSearchEngine {
+        let e = ShardedSearchEngine::new(ShardedSearchConfig::default().with_shards(n));
+        for (day, text) in CORPUS {
+            e.insert(d(day), d(day), text);
+        }
+        e.publish();
+        e
+    }
+
+    fn queries() -> Vec<SearchQuery> {
+        vec![
+            SearchQuery {
+                keywords: "summit kim".into(),
+                range: None,
+                limit: 10,
+            },
+            SearchQuery {
+                keywords: "\"north korea\" summit".into(),
+                range: None,
+                limit: 10,
+            },
+            SearchQuery {
+                keywords: "summit".into(),
+                range: Some((d("2018-06-01"), d("2018-06-30"))),
+                limit: 10,
+            },
+            SearchQuery {
+                keywords: "trump summit kim talks".into(),
+                range: None,
+                limit: 2,
+            },
+            SearchQuery {
+                keywords: "zebra unicorn".into(),
+                range: None,
+                limit: 10,
+            },
+            SearchQuery {
+                keywords: "\"south korea\"".into(),
+                range: None,
+                limit: 10,
+            },
+        ]
+    }
+
+    fn assert_hits_identical(a: &[SearchHit], b: &[SearchHit], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: hit counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "{ctx}: ids differ");
+            assert_eq!(x.date, y.date, "{ctx}: dates differ");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{ctx}: scores differ ({} vs {})",
+                x.score,
+                y.score
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_reference_on_fixture() {
+        let reference = reference();
+        for n in [1, 2, 3, 8] {
+            let engine = sharded(n);
+            for (qi, q) in queries().iter().enumerate() {
+                assert_hits_identical(
+                    &engine.search(q),
+                    &reference.search(q),
+                    &format!("shards={n} query={qi}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_scan_matches_reference() {
+        let reference = reference();
+        let engine = sharded(3);
+        let snap = engine.snapshot();
+        assert_eq!(
+            snap.range_scan(d("2018-03-01"), d("2018-05-01")),
+            reference.range_scan(d("2018-03-01"), d("2018-05-01")),
+        );
+    }
+
+    #[test]
+    fn unpublished_inserts_are_invisible() {
+        let engine = sharded(2);
+        let before = engine.snapshot();
+        let epoch = before.epoch();
+        engine.insert(d("2018-07-01"), d("2018-07-01"), "A brand new summit development.");
+        // Old snapshot and current published view both unchanged.
+        assert_eq!(engine.epoch(), epoch);
+        assert_eq!(before.len(), epoch);
+        let published = engine.publish();
+        assert_eq!(published, epoch + 1);
+        assert_eq!(engine.epoch(), epoch + 1);
+        // The pinned snapshot still serves the old epoch.
+        assert_eq!(before.epoch(), epoch);
+        before.check_consistency().unwrap();
+        engine.snapshot().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn publish_without_inserts_is_noop() {
+        let engine = sharded(2);
+        let epoch = engine.epoch();
+        assert_eq!(engine.publish(), epoch);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_total() {
+        for n in [1, 2, 3, 8] {
+            for id in 0..256 {
+                let s = shard_of(id, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(id, n), "must be deterministic");
+            }
+        }
+        // All shards get some documents at moderate sizes.
+        let mut counts = vec![0usize; 4];
+        for id in 0..256 {
+            counts[shard_of(id, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 32), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn zero_timeout_degrades_to_first_shard() {
+        let config = ShardedSearchConfig::default()
+            .with_shards(4)
+            .with_timeout(Some(Duration::ZERO));
+        let engine = ShardedSearchEngine::new(config);
+        for (day, text) in CORPUS {
+            engine.insert(d(day), d(day), text);
+        }
+        engine.publish();
+        assert_eq!(engine.degraded_queries(), 0);
+        let q = SearchQuery {
+            keywords: "summit trump kim korea".into(),
+            range: None,
+            limit: 10,
+        };
+        let degraded = engine.search(&q);
+        assert!(engine.degraded_queries() >= 1);
+        // The degraded answer is exactly shard 0's contribution: a subset
+        // of the full (deterministic) answer.
+        let full = engine.snapshot().search(&q);
+        for hit in &degraded {
+            assert_eq!(shard_of(hit.id, 4), 0, "degraded answer must come from shard 0");
+            assert!(full.iter().any(|h| h.id == hit.id));
+        }
+    }
+
+    #[test]
+    fn generous_timeout_stays_exact() {
+        let config = ShardedSearchConfig::default()
+            .with_shards(3)
+            .with_timeout(Some(Duration::from_secs(30)));
+        let engine = ShardedSearchEngine::new(config);
+        for (day, text) in CORPUS {
+            engine.insert(d(day), d(day), text);
+        }
+        engine.publish();
+        let reference = reference();
+        for (qi, q) in queries().iter().enumerate() {
+            assert_hits_identical(
+                &engine.search(q),
+                &reference.search(q),
+                &format!("timeout query={qi}"),
+            );
+        }
+        assert_eq!(engine.degraded_queries(), 0);
+    }
+
+    #[test]
+    fn insertion_order_merge_sorts_by_id() {
+        let config = ShardedSearchConfig {
+            num_shards: 3,
+            merge: MergePolicy::InsertionOrder,
+            query_timeout: None,
+        };
+        let engine = ShardedSearchEngine::new(config);
+        for (day, text) in CORPUS {
+            engine.insert(d(day), d(day), text);
+        }
+        engine.publish();
+        let hits = engine.search(&SearchQuery {
+            keywords: "summit kim trump".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn limit_zero_quirk_matches_reference() {
+        // The reference engine returns one hit for limit == 0 (it breaks
+        // after pushing); the sharded engine reproduces that.
+        let reference = reference();
+        let engine = sharded(3);
+        let q = SearchQuery {
+            keywords: "summit".into(),
+            range: None,
+            limit: 0,
+        };
+        assert_hits_identical(&engine.search(&q), &reference.search(&q), "limit=0");
+    }
+
+    #[test]
+    fn empty_engine_answers_empty() {
+        let engine = ShardedSearchEngine::default();
+        assert!(engine.is_empty());
+        assert_eq!(engine.epoch(), 0);
+        let hits = engine.search(&SearchQuery {
+            keywords: "anything".into(),
+            range: None,
+            limit: 5,
+        });
+        assert!(hits.is_empty());
+        engine.snapshot().check_consistency().unwrap();
+    }
+}

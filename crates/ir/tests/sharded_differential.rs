@@ -1,0 +1,250 @@
+//! Differential property test: the sharded snapshot engine is
+//! **bit-identical** to the retained single-shard [`SearchEngine`] on
+//! random corpora under random mixed query workloads, for every shard
+//! count in {1, 2, 3, 8} and every query type — keyword, quoted phrase,
+//! date-range, and their combinations, across a spread of limits.
+//!
+//! "Bit-identical" is literal: hit ids, dates, result order, *and the raw
+//! `f64::to_bits` of every BM25 score* must agree. Any deviation in
+//! floating-point summation order, global-vs-shard statistics, or merge
+//! tie-breaking fails the property with a replayable seed.
+
+use tl_support::quickprop::{check_with, gens, Config};
+use tl_support::rng::Rng;
+use tl_support::qp_assert;
+
+use tl_ir::search::SearchHit;
+use tl_ir::{SearchEngine, SearchQuery, ShardedSearchConfig, ShardedSearchEngine};
+use tl_temporal::Date;
+
+/// Small vocabulary so random docs and queries overlap heavily (queries
+/// that never match prove nothing).
+const WORDS: &[&str] = &[
+    "summit", "trump", "kim", "korea", "north", "south", "talks", "nuclear",
+    "sanctions", "peace", "treaty", "border", "missile", "launch", "historic",
+    "meeting", "leaders", "agreement", "singapore", "pyongyang",
+];
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// A random corpus plus a random mixed query workload, generated from one
+/// seed (fully replayable via `QUICKPROP_SEED`).
+#[derive(Debug, Clone)]
+struct Scenario {
+    docs: Vec<(Date, String)>,
+    queries: Vec<SearchQuerySpec>,
+}
+
+/// Owned mirror of [`SearchQuery`] with `Debug` for counterexamples.
+#[derive(Debug, Clone)]
+struct SearchQuerySpec {
+    keywords: String,
+    range: Option<(Date, Date)>,
+    limit: usize,
+}
+
+impl SearchQuerySpec {
+    fn to_query(&self) -> SearchQuery {
+        SearchQuery {
+            keywords: self.keywords.clone(),
+            range: self.range,
+            limit: self.limit,
+        }
+    }
+}
+
+fn random_date(rng: &mut Rng) -> Date {
+    Date::from_ymd(2018, 1, 1)
+        .unwrap()
+        .plus_days(rng.bounded_u64(120) as i32)
+}
+
+fn random_sentence(rng: &mut Rng) -> String {
+    let len = 3 + rng.bounded_u64(10) as usize;
+    (0..len)
+        .map(|_| *rng.choose(WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A query of a random type: bare keywords, quoted phrase, date-range, or
+/// phrase + keywords + range combined. Phrases are sampled as word pairs
+/// from the same pool, so some are present in the corpus and some are not
+/// — both paths (phrase filter pass and strict-analysis miss) get hit.
+fn random_query(rng: &mut Rng) -> SearchQuerySpec {
+    let num_keywords = 1 + rng.bounded_u64(4) as usize;
+    let keywords = (0..num_keywords)
+        .map(|_| *rng.choose(WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let keywords = match rng.bounded_u64(4) {
+        // Quoted phrase alone.
+        0 => format!("\"{} {}\"", rng.choose(WORDS).unwrap(), rng.choose(WORDS).unwrap()),
+        // Phrase + keywords.
+        1 => format!("\"{} {}\" {}", rng.choose(WORDS).unwrap(), rng.choose(WORDS).unwrap(), keywords),
+        // Keywords only (two weights).
+        _ => keywords,
+    };
+    let range = if rng.bounded_u64(2) == 0 {
+        let lo = random_date(rng);
+        let hi = lo.plus_days(rng.bounded_u64(60) as i32);
+        Some((lo, hi))
+    } else {
+        None
+    };
+    // Limits from degenerate (0, 1) through "larger than the corpus".
+    let limit = match rng.bounded_u64(4) {
+        0 => rng.bounded_u64(3) as usize,
+        1 => 1 + rng.bounded_u64(5) as usize,
+        _ => 10 + rng.bounded_u64(90) as usize,
+    };
+    SearchQuerySpec {
+        keywords,
+        range,
+        limit,
+    }
+}
+
+fn scenario_gen() -> impl tl_support::quickprop::Gen<Value = Scenario> {
+    gens::from_fn(|rng: &mut Rng| {
+        let num_docs = 1 + rng.bounded_u64(40) as usize;
+        let docs = (0..num_docs)
+            .map(|_| (random_date(rng), random_sentence(rng)))
+            .collect();
+        let num_queries = 1 + rng.bounded_u64(8) as usize;
+        let queries = (0..num_queries).map(|_| random_query(rng)).collect();
+        Scenario { docs, queries }
+    })
+}
+
+fn build_reference(docs: &[(Date, String)]) -> SearchEngine {
+    let mut engine = SearchEngine::new();
+    for (date, text) in docs {
+        engine.insert(*date, *date, text);
+    }
+    engine
+}
+
+fn build_sharded(docs: &[(Date, String)], num_shards: usize) -> ShardedSearchEngine {
+    let engine = ShardedSearchEngine::new(ShardedSearchConfig::default().with_shards(num_shards));
+    for (date, text) in docs {
+        engine.insert(*date, *date, text);
+    }
+    engine.publish();
+    engine
+}
+
+/// The bit-identity check: same ids, same dates, same order, same score
+/// *bits*.
+fn identical(a: &[SearchHit], b: &[SearchHit]) -> Result<(), String> {
+    qp_assert!(
+        a.len() == b.len(),
+        "hit counts differ: sharded {} vs reference {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        qp_assert!(x.id == y.id, "hit {i}: id {} vs {}", x.id, y.id);
+        qp_assert!(x.date == y.date, "hit {i}: date {} vs {}", x.date, y.date);
+        qp_assert!(
+            x.score.to_bits() == y.score.to_bits(),
+            "hit {i}: score bits differ ({:.17} vs {:.17})",
+            x.score,
+            y.score
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_to_reference() {
+    check_with(
+        &Config {
+            cases: 96,
+            ..Config::default()
+        },
+        "sharded_engine_is_bit_identical_to_reference",
+        scenario_gen(),
+        |scenario| {
+            let reference = build_reference(&scenario.docs);
+            for &n in &SHARD_COUNTS {
+                let sharded = build_sharded(&scenario.docs, n);
+                for (qi, spec) in scenario.queries.iter().enumerate() {
+                    let q = spec.to_query();
+                    identical(&sharded.search(&q), &reference.search(&q))
+                        .map_err(|e| format!("shards={n} query={qi} {spec:?}: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn incremental_publishes_match_batch_reference() {
+    // Publishing after every insert (the real-time `ingest` path) must
+    // converge to the same final state as one batch publish — and each
+    // intermediate snapshot must equal a reference built from the same
+    // prefix.
+    check_with(
+        &Config {
+            cases: 32,
+            ..Config::default()
+        },
+        "incremental_publishes_match_batch_reference",
+        scenario_gen(),
+        |scenario| {
+            let sharded = ShardedSearchEngine::new(ShardedSearchConfig::default().with_shards(3));
+            let mut reference = SearchEngine::new();
+            // Check at three prefixes: a third, two thirds, full.
+            let n = scenario.docs.len();
+            let checkpoints = [n / 3, 2 * n / 3, n];
+            for (i, (date, text)) in scenario.docs.iter().enumerate() {
+                sharded.insert(*date, *date, text);
+                sharded.publish();
+                reference.insert(*date, *date, text);
+                if checkpoints.contains(&(i + 1)) {
+                    for spec in &scenario.queries {
+                        let q = spec.to_query();
+                        identical(&sharded.search(&q), &reference.search(&q))
+                            .map_err(|e| format!("prefix={} {spec:?}: {e}", i + 1))?;
+                    }
+                }
+            }
+            qp_assert!(
+                sharded.epoch() == scenario.docs.len(),
+                "epoch {} != docs {}",
+                sharded.epoch(),
+                scenario.docs.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn range_scan_is_identical_to_reference() {
+    check_with(
+        &Config {
+            cases: 48,
+            ..Config::default()
+        },
+        "range_scan_is_identical_to_reference",
+        scenario_gen(),
+        |scenario| {
+            let reference = build_reference(&scenario.docs);
+            let lo = Date::from_ymd(2018, 1, 15).unwrap();
+            let hi = Date::from_ymd(2018, 3, 15).unwrap();
+            for &n in &SHARD_COUNTS {
+                let sharded = build_sharded(&scenario.docs, n);
+                let snap = sharded.snapshot();
+                qp_assert!(
+                    snap.range_scan(lo, hi) == reference.range_scan(lo, hi),
+                    "range_scan diverges at shards={n}"
+                );
+                snap.check_consistency().map_err(|e| format!("shards={n}: {e}"))?;
+            }
+            Ok(())
+        },
+    );
+}

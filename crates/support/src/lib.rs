@@ -25,5 +25,5 @@ pub mod quickprop;
 pub mod rng;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
-pub use par::par_map;
+pub use par::{par_map, par_map_deadline};
 pub use rng::Rng;

@@ -1,5 +1,10 @@
 //! Scoped data parallelism on `std::thread::scope` (the `crossbeam::scope`
-//! replacement — std has had scoped threads since 1.63).
+//! replacement — std has had scoped threads since 1.63), plus a
+//! deadline-bounded fan-out for latency-sensitive query paths.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Map `f` over `items` in parallel, preserving order.
 ///
@@ -45,6 +50,69 @@ where
     })
 }
 
+/// Map `f` over owned `items` with a wall-clock budget, returning
+/// `Some(result)` for every item that finished in time and `None` for the
+/// rest.
+///
+/// Item 0 always runs *on the calling thread*, before the deadline is
+/// consulted, so the first slot is guaranteed `Some` — this is the
+/// "graceful degradation" contract: a fan-out that blows its budget still
+/// returns at least its first partition's answer instead of nothing.
+/// Remaining items run on detached threads; stragglers past the deadline
+/// are abandoned (their results are discarded when they eventually finish,
+/// and the threads exit on their own — `f` must not hold resources that
+/// outlive the call in a harmful way).
+///
+/// With `timeout = None` this degenerates to a full fan-out that waits for
+/// every item (all slots `Some`), equivalent to [`par_map`] over owned
+/// items.
+pub fn par_map_deadline<T, R, F>(items: Vec<T>, timeout: Option<Duration>, f: F) -> Vec<Option<R>>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let start = Instant::now();
+    let f = Arc::new(f);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let mut iter = items.into_iter();
+    let first = iter.next().expect("non-empty");
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut pending = 0usize;
+    for (k, item) in iter.enumerate() {
+        let tx = tx.clone();
+        let f = Arc::clone(&f);
+        std::thread::spawn(move || {
+            // A closed receiver (deadline hit, caller gone) is fine: the
+            // straggler's result is simply dropped.
+            let _ = tx.send((k + 1, f(item)));
+        });
+        pending += 1;
+    }
+    drop(tx);
+    // The guaranteed partition: computed here, never subject to the budget.
+    out[0] = Some(f(first));
+    while pending > 0 {
+        let received = match timeout {
+            None => rx.recv().ok(),
+            Some(budget) => {
+                let Some(left) = budget.checked_sub(start.elapsed()) else {
+                    break;
+                };
+                rx.recv_timeout(left).ok()
+            }
+        };
+        let Some((idx, value)) = received else { break };
+        out[idx] = Some(value);
+        pending -= 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +154,40 @@ mod tests {
             1u8
         });
         assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn deadline_none_waits_for_everything() {
+        let xs: Vec<u64> = (0..37).collect();
+        let out = par_map_deadline(xs.clone(), None, |x| x * 2);
+        assert_eq!(
+            out,
+            xs.iter().map(|&x| Some(x * 2)).collect::<Vec<_>>()
+        );
+        assert!(par_map_deadline(Vec::<u8>::new(), None, |x| x).is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_still_returns_first_item() {
+        let out = par_map_deadline(vec![1u32, 2, 3, 4], Some(Duration::ZERO), |x| {
+            if x > 1 {
+                // Stragglers may sleep; they must be abandoned, not awaited.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            x * 10
+        });
+        assert_eq!(out[0], Some(10), "item 0 is always computed");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn generous_deadline_collects_all() {
+        let out = par_map_deadline(
+            (0..8u64).collect::<Vec<_>>(),
+            Some(Duration::from_secs(30)),
+            |x| x + 1,
+        );
+        assert_eq!(out, (0..8u64).map(|x| Some(x + 1)).collect::<Vec<_>>());
     }
 
     #[test]

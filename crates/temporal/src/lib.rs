@@ -16,4 +16,4 @@ pub mod date;
 pub mod tagger;
 
 pub use date::{Date, Month, Weekday};
-pub use tagger::{tag_dates, TaggedDate, TemporalTagger};
+pub use tagger::{tag_dates, Granularity, TaggedDate, TemporalTagger};

@@ -1,0 +1,146 @@
+//! Edge-case coverage for relative/partial date resolution: year
+//! boundaries, leap days, and month-end arithmetic — the paths a tagger
+//! gets subtly wrong first.
+
+use tl_temporal::{tag_dates, Date, Granularity, TaggedDate};
+
+fn d(s: &str) -> Date {
+    s.parse().unwrap()
+}
+
+/// Tag `text` against `dct` and return the single expected tag.
+fn tag_one(text: &str, dct: &str) -> TaggedDate {
+    let tags = tag_dates(text, d(dct));
+    assert_eq!(tags.len(), 1, "expected one tag in {text:?}, got {tags:?}");
+    tags.into_iter().next().unwrap()
+}
+
+// --- Year boundaries ---------------------------------------------------
+
+#[test]
+fn yearless_dates_resolve_across_the_year_boundary() {
+    // Early-January copy referring to late December means *last* year...
+    let tag = tag_one("Protests erupted on December 28 downtown.", "2019-01-02");
+    assert_eq!(tag.date, d("2018-12-28"));
+    assert_eq!(tag.granularity, Granularity::Day);
+    // ...and late-December copy referring to early January means *next*
+    // year (closest candidate wins, not the DCT's own year).
+    let tag = tag_one("The summit is planned for January 2.", "2018-12-30");
+    assert_eq!(tag.date, d("2019-01-02"));
+}
+
+#[test]
+fn equidistant_candidates_prefer_the_past() {
+    // 2019-12-01 is exactly 183 days after 2019-06-01 and 183 days before
+    // 2020-06-01 (the span contains leap day 2020-02-29). News copy looks
+    // backwards: the past candidate must win the tie.
+    assert_eq!(d("2019-12-01").diff_days(d("2019-06-01")), 183);
+    assert_eq!(d("2020-06-01").diff_days(d("2019-12-01")), 183);
+    let tag = tag_one("It happened on June 1 according to officials.", "2019-12-01");
+    assert_eq!(tag.date, d("2019-06-01"));
+}
+
+#[test]
+fn relative_words_cross_the_year_boundary() {
+    assert_eq!(tag_one("It was reported yesterday.", "2019-01-01").date, d("2018-12-31"));
+    assert_eq!(tag_one("A verdict is due tomorrow.", "2018-12-31").date, d("2019-01-01"));
+    assert_eq!(
+        tag_one("Negotiations began two weeks ago.", "2019-01-05").date,
+        d("2018-12-22")
+    );
+}
+
+#[test]
+fn last_and_next_year_at_the_boundary() {
+    let last = tag_one("Exports fell sharply last year.", "2019-01-01");
+    assert_eq!(last.date, d("2018-01-01"));
+    assert_eq!(last.granularity, Granularity::Year);
+    let next = tag_one("Elections are scheduled for next year.", "2018-12-31");
+    assert_eq!(next.date, d("2019-01-01"));
+    assert_eq!(next.granularity, Granularity::Year);
+}
+
+#[test]
+fn weekday_references_cross_the_year_boundary() {
+    // 2019-01-02 was a Wednesday; "last Friday" lands in the old year.
+    let tag = tag_one("Officials met last Friday to discuss.", "2019-01-02");
+    assert_eq!(tag.date, d("2018-12-28"));
+    // Bare weekday equal to the DCT's own weekday means a week earlier,
+    // never the DCT itself.
+    let tag = tag_one("The vote happened on Monday.", "2019-01-07"); // a Monday
+    assert_eq!(tag.date, d("2018-12-31"));
+}
+
+// --- Leap days ---------------------------------------------------------
+
+#[test]
+fn leap_day_calendar_rules() {
+    assert!(Date::from_ymd(2020, 2, 29).is_some(), "2020 is a leap year");
+    assert!(Date::from_ymd(2019, 2, 29).is_none());
+    assert!(Date::from_ymd(2000, 2, 29).is_some(), "400-rule leap year");
+    assert!(Date::from_ymd(1900, 2, 29).is_none(), "100-rule non-leap year");
+    assert_eq!(d("2020-02-28").plus_days(1), d("2020-02-29"));
+    assert_eq!(d("2020-02-28").plus_days(2), d("2020-03-01"));
+    assert_eq!(d("2019-02-28").plus_days(1), d("2019-03-01"));
+}
+
+#[test]
+fn explicit_leap_day_with_year_is_exact() {
+    let tag = tag_one("The deal closed on February 29, 2020.", "2021-05-01");
+    assert_eq!(tag.date, d("2020-02-29"));
+    assert_eq!(tag.granularity, Granularity::Day);
+}
+
+#[test]
+fn yearless_leap_day_resolves_to_the_nearest_leap_year() {
+    // Only one of {dct.year - 1, dct.year, dct.year + 1} can host Feb 29;
+    // invalid candidates must be skipped, not crash or mis-resolve.
+    let tag = tag_one("He was born on February 29 at dawn.", "2019-06-01");
+    assert_eq!(tag.date, d("2020-02-29"), "only 2020 hosts a Feb 29");
+    let tag = tag_one("He was born on February 29 at dawn.", "2021-01-01");
+    assert_eq!(tag.date, d("2020-02-29"), "past leap year preferred");
+}
+
+// --- Month ends --------------------------------------------------------
+
+#[test]
+fn last_month_from_a_31st_does_not_overflow_the_shorter_month() {
+    // DCT March 31: "last month" is February, which has no 31st — the tag
+    // must land on the first of the month (month granularity), not panic
+    // or skip into January.
+    let tag = tag_one("Prices spiked last month amid shortages.", "2018-03-31");
+    assert_eq!(tag.date, d("2018-02-01"));
+    assert_eq!(tag.granularity, Granularity::Month);
+    let tag = tag_one("Prices spiked last month amid shortages.", "2018-05-31");
+    assert_eq!(tag.date, d("2018-04-01"), "April has 30 days");
+}
+
+#[test]
+fn last_and_next_month_wrap_around_the_year() {
+    let last = tag_one("Output slumped last month.", "2019-01-15");
+    assert_eq!(last.date, d("2018-12-01"));
+    assert_eq!(last.granularity, Granularity::Month);
+    let next = tag_one("The rollout begins next month.", "2018-12-15");
+    assert_eq!(next.date, d("2019-01-01"));
+    assert_eq!(next.granularity, Granularity::Month);
+}
+
+#[test]
+fn day_ranges_at_month_end_stay_inside_the_month() {
+    let tags = tag_dates("Floods hit December 30-31, 2018 in the region.", d("2019-02-01"));
+    let dates: Vec<Date> = tags.iter().map(|t| t.date).collect();
+    assert_eq!(dates, vec![d("2018-12-30"), d("2018-12-31")]);
+    assert!(tags.iter().all(|t| t.granularity == Granularity::Day));
+}
+
+// --- Partial dates -----------------------------------------------------
+
+#[test]
+fn partial_dates_keep_their_granularity() {
+    let month = tag_one("The crisis began in June 2017.", "2018-06-12");
+    assert_eq!(month.date, d("2017-06-01"));
+    assert_eq!(month.granularity, Granularity::Month);
+    let year = tag_one("The treaty dates back to 2016.", "2018-06-12");
+    assert_eq!(year.date, d("2016-01-01"));
+    assert_eq!(year.granularity, Granularity::Year);
+}

@@ -38,6 +38,21 @@ cargo build --release --offline
 echo "== offline tests (all targets) =="
 cargo test -q --offline
 
+echo "== sharded engine: differential bit-identity gate =="
+# The sharded engine must stay bit-identical to the single-index reference
+# (ranked ids and f64 score bits) for keyword, quoted-phrase and
+# date-range queries across shard counts.
+cargo test -q --offline -p tl-ir --test sharded_differential
+
+echo "== sharded engine: concurrency stress (fixed seed, small budget) =="
+# Deterministic budget so CI is reproducible and fast; bump TL_STRESS_ITERS
+# locally to soak. Readers under concurrent ingestion must only ever
+# observe fully published epochs (post-hoc serial replay per epoch).
+# 5745438 == 0x57AB1E, the suite's default seed (decimal: the env var is
+# parsed as a plain integer).
+TL_STRESS_ITERS=1 TL_STRESS_SEED=5745438 \
+    cargo test -q --offline -p tl-wilson --test stress
+
 echo "== bench targets compile =="
 cargo build --offline --all-targets
 

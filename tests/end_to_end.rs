@@ -110,7 +110,7 @@ fn gt_dates_upper_bound_dominates_wilson() {
 fn realtime_system_round_trip() {
     let ds = tiny();
     let topic = &ds.topics[0];
-    let mut sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
+    let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
     sys.ingest_all(&topic.articles);
     let cfg = SynthConfig::tiny();
     let tl = sys.timeline(&tl_wilson::realtime::TimelineQuery {
@@ -134,6 +134,97 @@ fn realtime_system_round_trip() {
         for s in sents {
             assert!(pool.contains(s.as_str()));
         }
+    }
+}
+
+/// Render a timeline in the golden-fixture format: one date line per entry,
+/// each summary sentence indented below it.
+fn render_timeline(header: &str, tl: &tl_corpus::Timeline) -> String {
+    let mut out = String::new();
+    out.push_str(header);
+    for (date, sents) in &tl.entries {
+        out.push_str(&format!("{date}\n"));
+        for s in sents {
+            out.push_str(&format!("  {s}\n"));
+        }
+    }
+    out
+}
+
+/// Line-by-line diff with context, readable straight from the test log.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    for i in 0..e.len().max(a.len()) {
+        let el = e.get(i).copied();
+        let al = a.get(i).copied();
+        if el != al {
+            return format!(
+                "first divergence at line {}:\n  expected: {}\n  actual:   {}",
+                i + 1,
+                el.unwrap_or("<end of fixture>"),
+                al.unwrap_or("<end of output>"),
+            );
+        }
+    }
+    "contents equal".into()
+}
+
+#[test]
+fn golden_timelines_match_fixtures() {
+    // Deterministic end-to-end snapshots: two synthetic topics through the
+    // full real-time path (ingest → sharded search → WILSON). The fixtures
+    // pin the complete output — dates, sentence choice, ordering — so any
+    // behavioral drift anywhere in the pipeline shows up as a readable
+    // diff. Re-bless intentional changes with:
+    //   TL_UPDATE_GOLDEN=1 cargo test golden_timelines_match_fixtures
+    let ds = tiny();
+    let cfg = SynthConfig::tiny();
+    let window = (
+        cfg.start_date,
+        cfg.start_date.plus_days(cfg.duration_days as i32),
+    );
+    let update = std::env::var("TL_UPDATE_GOLDEN").is_ok();
+    for (i, topic) in ds.topics.iter().take(2).enumerate() {
+        let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
+        sys.ingest_all(&topic.articles);
+        let tl = sys.timeline(&tl_wilson::TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 1000,
+        });
+        assert!(tl.num_dates() > 0, "topic {i}: empty timeline");
+        let header = format!(
+            "# golden timeline · synthetic tiny topic {i}\n# query: {}\n",
+            topic.query
+        );
+        let rendered = render_timeline(&header, &tl);
+        // The test is registered from crates/eval; fixtures live at the
+        // repo root next to this source file.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/golden")
+            .join(format!("tiny_topic{i}.txt"));
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); generate it with \
+                 TL_UPDATE_GOLDEN=1 cargo test golden_timelines_match_fixtures"
+            , path.display())
+        });
+        assert!(
+            expected == rendered,
+            "topic {i}: timeline diverges from golden fixture {}\n{}\n\n\
+             If this change is intentional, re-bless with:\n  \
+             TL_UPDATE_GOLDEN=1 cargo test golden_timelines_match_fixtures",
+            path.display(),
+            first_divergence(&expected, &rendered),
+        );
     }
 }
 
