@@ -6,9 +6,10 @@
 //! sentences date by date. Duplicate days are collapsed; the `t` most
 //! interesting dates survive with their `n` most interesting sentences.
 
+use crate::mead::pub_dated_indices;
 use std::collections::HashMap;
-use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_corpus::{CorpusAnalysis, DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{analyze_batch, AnalysisOptions, SparseVector, TfIdfModel};
 use tl_temporal::Date;
 
 /// The Chieu & Lee baseline.
@@ -24,31 +25,17 @@ impl Default for ChieuBaseline {
     }
 }
 
-impl TimelineGenerator for ChieuBaseline {
-    fn name(&self) -> &'static str {
-        "Chieu et al."
-    }
-
-    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
-        if sentences.is_empty() || t == 0 || n == 0 {
-            return Timeline::default();
-        }
-        // Pre-HeidelTime system: operates on publication-date pairings only
-        // (no temporal tagging existed for it), like the original.
-        let sentences: Vec<DatedSentence> = sentences
-            .iter()
-            .filter(|s| !s.from_mention)
-            .cloned()
-            .collect();
-        let sentences = &sentences[..];
-        if sentences.is_empty() {
-            return Timeline::default();
-        }
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
+impl ChieuBaseline {
+    // The windowed interest sweep stays on direct `cosine` calls: its
+    // accumulation interleaves pairs in date order, which the row-ordered
+    // kernel merge could not replay bit-for-bit.
+    fn generate_with_tokens(
+        &self,
+        sentences: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
         let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
         let vectors: Vec<SparseVector> = tokens.iter().map(|tk| tfidf.unit_vector(tk)).collect();
 
@@ -116,6 +103,48 @@ impl TimelineGenerator for ChieuBaseline {
             })
             .collect();
         Timeline::new(entries)
+    }
+}
+
+impl TimelineGenerator for ChieuBaseline {
+    fn name(&self) -> &'static str {
+        "Chieu et al."
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        // Pre-HeidelTime system: operates on publication-date pairings only
+        // (no temporal tagging existed for it), like the original.
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let texts: Vec<&str> = kept.iter().map(|s| s.text.as_str()).collect();
+        let (_, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        self.generate_with_tokens(&kept, &tokens, t, n)
+    }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &CorpusAnalysis,
+        sentences: &[DatedSentence],
+        _query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let sub = analysis.subset(&keep);
+        self.generate_with_tokens(&kept, &sub.tokens, t, n)
     }
 }
 
@@ -188,5 +217,19 @@ mod tests {
                 .num_dates(),
             0
         );
+    }
+
+    #[test]
+    fn generate_analyzed_matches_generate() {
+        let mut corpus: Vec<DatedSentence> = (0..25)
+            .map(|i| sent(i % 5, &format!("event update number {i} from the field")))
+            .collect();
+        for s in corpus.iter_mut().skip(1).step_by(3) {
+            s.from_mention = true;
+        }
+        let analysis = CorpusAnalysis::build(&corpus, true);
+        let direct = ChieuBaseline::default().generate(&corpus, "q", 3, 2);
+        let shared = ChieuBaseline::default().generate_analyzed(&analysis, &corpus, "q", 3, 2);
+        assert_eq!(direct.entries, shared.entries);
     }
 }

@@ -8,9 +8,10 @@
 //! selected sentence with a candidate that improves the combined objective,
 //! stop at a local optimum.
 
+use crate::mead::pub_dated_indices;
 use std::collections::HashMap;
-use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_corpus::{CorpusAnalysis, DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{allpairs_cosine, analyze_batch, AnalysisOptions, SimilarityMatrix, SparseVector, TfIdfModel};
 use tl_temporal::Date;
 
 /// Objective weights.
@@ -68,10 +69,27 @@ impl EtsBaseline {
 
 struct Ctx<'a> {
     sentences: &'a [DatedSentence],
-    vectors: Vec<SparseVector>,
-    query_vec: SparseVector,
-    corpus_centroid: SparseVector,
+    /// Per-sentence similarity to the query vector, hoisted out of `gain`.
+    relevance: Vec<f64>,
+    /// Per-sentence similarity to the corpus centroid, hoisted likewise.
+    coverage: Vec<f64>,
+    /// Kernel similarity matrix over the pool-union sentences (threshold
+    /// 0.0: every positive cosine stored; TF-IDF weights are positive, so
+    /// an absent pair has cosine exactly 0.0 — same bits as computing it).
+    sim: SimilarityMatrix,
+    /// Sentence index → row in `sim` (u32::MAX for non-pool sentences,
+    /// which `gain` never touches).
+    pool_row: Vec<u32>,
     by_date: HashMap<Date, Vec<usize>>,
+}
+
+impl Ctx<'_> {
+    /// Cosine between two pool sentences, carrying `SparseVector::cosine`'s
+    /// exact bits (proven by the kernel's differential suite).
+    fn pair_sim(&self, a: usize, b: usize) -> f64 {
+        self.sim
+            .sim(self.pool_row[a] as usize, self.pool_row[b] as usize)
+    }
 }
 
 impl EtsBaseline {
@@ -79,16 +97,15 @@ impl EtsBaseline {
     /// given the other current selections.
     fn gain(&self, ctx: &Ctx<'_>, selection: &[Vec<usize>], slot: usize, cand: usize) -> f64 {
         let w = &self.weights;
-        let v = &ctx.vectors[cand];
-        let relevance = v.cosine(&ctx.query_vec);
-        let coverage = v.cosine(&ctx.corpus_centroid);
+        let relevance = ctx.relevance[cand];
+        let coverage = ctx.coverage[cand];
         // Coherence with neighbor-day selections.
         let mut coherence = 0.0;
         let mut neighbors = 0usize;
         for adj in [slot.wrapping_sub(1), slot + 1] {
             if let Some(sel) = selection.get(adj) {
                 for &j in sel {
-                    coherence += v.cosine(&ctx.vectors[j]);
+                    coherence += ctx.pair_sim(cand, j);
                     neighbors += 1;
                 }
             }
@@ -103,7 +120,7 @@ impl EtsBaseline {
                 if s == slot && j == cand {
                     continue;
                 }
-                max_sim = max_sim.max(v.cosine(&ctx.vectors[j]));
+                max_sim = max_sim.max(ctx.pair_sim(cand, j));
             }
         }
         w.relevance * relevance + w.coverage * coverage + w.coherence * coherence
@@ -111,34 +128,18 @@ impl EtsBaseline {
     }
 }
 
-impl TimelineGenerator for EtsBaseline {
-    fn name(&self) -> &'static str {
-        "ETS"
-    }
-
-    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline {
-        if sentences.is_empty() || t == 0 || n == 0 {
-            return Timeline::default();
-        }
-        // Pre-HeidelTime system: operates on publication-date pairings only
-        // (no temporal tagging existed for it), like the original.
-        let sentences: Vec<DatedSentence> = sentences
-            .iter()
-            .filter(|s| !s.from_mention)
-            .cloned()
-            .collect();
-        let sentences = &sentences[..];
-        if sentences.is_empty() {
-            return Timeline::default();
-        }
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
+impl EtsBaseline {
+    fn generate_with_tokens(
+        &self,
+        sentences: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        query_ids: &[u32],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
         let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
         let vectors: Vec<SparseVector> = tokens.iter().map(|tk| tfidf.unit_vector(tk)).collect();
-        let query_vec = tfidf.unit_vector(&analyzer.analyze_frozen(query));
+        let query_vec = tfidf.unit_vector(query_ids);
 
         let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
         for (i, s) in sentences.iter().enumerate() {
@@ -161,11 +162,32 @@ impl TimelineGenerator for EtsBaseline {
             c
         };
 
+        // Hoist the per-candidate query/centroid cosines out of the
+        // substitution loop (same calls, computed once each).
+        let relevance: Vec<f64> = vectors.iter().map(|v| v.cosine(&query_vec)).collect();
+        let coverage: Vec<f64> = vectors.iter().map(|v| v.cosine(&corpus_centroid)).collect();
+
+        // Sentence-to-sentence cosines only ever involve pool sentences
+        // (candidates and selections both come from the chosen dates), so
+        // run the kernel over the pool union instead of the full corpus.
+        let pool: Vec<usize> = {
+            let mut p: Vec<usize> = dates.iter().flat_map(|d| by_date[d].iter().copied()).collect();
+            p.sort_unstable();
+            p
+        };
+        let mut pool_row = vec![u32::MAX; sentences.len()];
+        for (row, &i) in pool.iter().enumerate() {
+            pool_row[i] = row as u32;
+        }
+        let pool_vectors: Vec<SparseVector> = pool.iter().map(|&i| vectors[i].clone()).collect();
+        let sim = allpairs_cosine(&pool_vectors, 0.0, true);
+
         let ctx = Ctx {
             sentences,
-            vectors,
-            query_vec,
-            corpus_centroid,
+            relevance,
+            coverage,
+            sim,
+            pool_row,
             by_date,
         };
 
@@ -218,6 +240,50 @@ impl TimelineGenerator for EtsBaseline {
             })
             .collect();
         Timeline::new(entries)
+    }
+}
+
+impl TimelineGenerator for EtsBaseline {
+    fn name(&self) -> &'static str {
+        "ETS"
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        // Pre-HeidelTime system: operates on publication-date pairings only
+        // (no temporal tagging existed for it), like the original.
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let texts: Vec<&str> = kept.iter().map(|s| s.text.as_str()).collect();
+        let (analyzer, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        let query_ids = analyzer.analyze_frozen(query);
+        self.generate_with_tokens(&kept, &tokens, &query_ids, t, n)
+    }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &CorpusAnalysis,
+        sentences: &[DatedSentence],
+        query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let sub = analysis.subset(&keep);
+        let query_ids = sub.analyzer.analyze_frozen(query);
+        self.generate_with_tokens(&kept, &sub.tokens, &query_ids, t, n)
     }
 }
 
@@ -301,5 +367,26 @@ mod tests {
             EtsBaseline::default().generate(&[], "q", 3, 2).num_dates(),
             0
         );
+    }
+
+    #[test]
+    fn generate_analyzed_matches_generate() {
+        let mut corpus: Vec<DatedSentence> = (0..30)
+            .map(|i| {
+                sent(
+                    i % 5,
+                    i as usize,
+                    &format!("field report {i} about the operation in the region"),
+                )
+            })
+            .collect();
+        for s in corpus.iter_mut().skip(2).step_by(4) {
+            s.from_mention = true;
+        }
+        let analysis = CorpusAnalysis::build(&corpus, true);
+        let direct = EtsBaseline::default().generate(&corpus, "operation region", 3, 2);
+        let shared =
+            EtsBaseline::default().generate_analyzed(&analysis, &corpus, "operation region", 3, 2);
+        assert_eq!(direct.entries, shared.entries);
     }
 }

@@ -9,8 +9,8 @@
 //! top-`n` sentences per selected date.
 
 use std::collections::HashMap;
-use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_corpus::{CorpusAnalysis, DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{analyze_batch, AnalysisOptions, SparseVector, TfIdfModel};
 use tl_temporal::Date;
 
 /// MEAD configuration weights (the classic linear combination).
@@ -47,31 +47,25 @@ impl MeadBaseline {
     }
 }
 
-impl TimelineGenerator for MeadBaseline {
-    fn name(&self) -> &'static str {
-        "MEAD"
-    }
+/// Indices of the publication-dated sentences the pre-HeidelTime baselines
+/// operate on (no temporal tagging existed for them, like the originals).
+pub(crate) fn pub_dated_indices(sentences: &[DatedSentence]) -> Vec<usize> {
+    sentences
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.from_mention)
+        .map(|(i, _)| i)
+        .collect()
+}
 
-    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
-        if sentences.is_empty() || t == 0 || n == 0 {
-            return Timeline::default();
-        }
-        // Pre-HeidelTime system: operates on publication-date pairings only
-        // (no temporal tagging existed for it), like the original.
-        let sentences: Vec<DatedSentence> = sentences
-            .iter()
-            .filter(|s| !s.from_mention)
-            .cloned()
-            .collect();
-        let sentences = &sentences[..];
-        if sentences.is_empty() {
-            return Timeline::default();
-        }
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
+impl MeadBaseline {
+    fn generate_with_tokens(
+        &self,
+        sentences: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
         let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
         let vectors: Vec<SparseVector> = tokens.iter().map(|tk| tfidf.unit_vector(tk)).collect();
 
@@ -86,7 +80,7 @@ impl TimelineGenerator for MeadBaseline {
         let scores: Vec<f64> = sentences
             .iter()
             .zip(&vectors)
-            .zip(&tokens)
+            .zip(tokens)
             .map(|((s, v), tk)| {
                 if tk.len() < self.weights.min_words {
                     return 0.0;
@@ -132,6 +126,46 @@ impl TimelineGenerator for MeadBaseline {
             })
             .collect();
         Timeline::new(entries)
+    }
+}
+
+impl TimelineGenerator for MeadBaseline {
+    fn name(&self) -> &'static str {
+        "MEAD"
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let texts: Vec<&str> = kept.iter().map(|s| s.text.as_str()).collect();
+        let (_, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        self.generate_with_tokens(&kept, &tokens, t, n)
+    }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &CorpusAnalysis,
+        sentences: &[DatedSentence],
+        _query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let keep = pub_dated_indices(sentences);
+        if keep.is_empty() {
+            return Timeline::default();
+        }
+        let kept: Vec<DatedSentence> = keep.iter().map(|&i| sentences[i].clone()).collect();
+        let sub = analysis.subset(&keep);
+        self.generate_with_tokens(&kept, &sub.tokens, t, n)
     }
 }
 
@@ -218,5 +252,27 @@ mod tests {
             MeadBaseline::default().generate(&[], "q", 3, 2).num_dates(),
             0
         );
+    }
+
+    #[test]
+    fn generate_analyzed_matches_generate() {
+        // Mixed corpus including mention-dated sentences, so the shared
+        // analysis must be re-interned over the filtered subset.
+        let mut corpus: Vec<DatedSentence> = (0..24)
+            .map(|i| {
+                sent(
+                    i % 5,
+                    i as usize,
+                    &format!("daily report {i} covering the unfolding summit events"),
+                )
+            })
+            .collect();
+        for s in corpus.iter_mut().skip(1).step_by(3) {
+            s.from_mention = true;
+        }
+        let analysis = CorpusAnalysis::build(&corpus, true);
+        let direct = MeadBaseline::default().generate(&corpus, "q", 3, 2);
+        let shared = MeadBaseline::default().generate_analyzed(&analysis, &corpus, "q", 3, 2);
+        assert_eq!(direct.entries, shared.entries);
     }
 }

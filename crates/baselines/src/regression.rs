@@ -15,8 +15,8 @@
 //! corpora.
 
 use std::collections::HashMap;
-use tl_corpus::{dated_sentences, Dataset, DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_corpus::{dated_sentences, CorpusAnalysis, Dataset, DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{analyze_batch, AnalysisOptions, SparseVector, TfIdfModel};
 use tl_rouge::scores::rouge_n_tokens;
 use tl_rouge::RougeScorer;
 use tl_temporal::Date;
@@ -60,11 +60,15 @@ struct FeatureContext {
 
 impl FeatureContext {
     fn build(sentences: &[DatedSentence], query: &str) -> Self {
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
+        let texts: Vec<&str> = sentences.iter().map(|s| s.text.as_str()).collect();
+        let (analyzer, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        let query_ids = analyzer.analyze_frozen(query);
+        Self::from_tokens(sentences, &tokens, &query_ids)
+    }
+
+    /// Build from an already-tokenized corpus (same rows `build` would
+    /// produce itself).
+    fn from_tokens(sentences: &[DatedSentence], tokens: &[Vec<u32>], query_ids: &[u32]) -> Self {
         let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
         let vectors: Vec<SparseVector> = tokens.iter().map(|t| tfidf.unit_vector(t)).collect();
         let mut centroid = SparseVector::default();
@@ -72,7 +76,7 @@ impl FeatureContext {
             centroid.add_assign(v);
         }
         centroid.normalize();
-        let query_vec = tfidf.unit_vector(&analyzer.analyze_frozen(query));
+        let query_vec = tfidf.unit_vector(query_ids);
         let mut counts: HashMap<Date, usize> = HashMap::new();
         for s in sentences {
             *counts.entry(s.date).or_insert(0) += 1;
@@ -206,16 +210,14 @@ impl RegressionBaseline {
     }
 }
 
-impl TimelineGenerator for RegressionBaseline {
-    fn name(&self) -> &'static str {
-        "Regression"
-    }
-
-    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline {
-        if sentences.is_empty() || t == 0 || n == 0 {
-            return Timeline::default();
-        }
-        let ctx = FeatureContext::build(sentences, query);
+impl RegressionBaseline {
+    fn generate_with_ctx(
+        &self,
+        ctx: &FeatureContext,
+        sentences: &[DatedSentence],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
         let scores: Vec<f64> = sentences
             .iter()
             .enumerate()
@@ -260,6 +262,36 @@ impl TimelineGenerator for RegressionBaseline {
             })
             .collect();
         Timeline::new(entries)
+    }
+}
+
+impl TimelineGenerator for RegressionBaseline {
+    fn name(&self) -> &'static str {
+        "Regression"
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let ctx = FeatureContext::build(sentences, query);
+        self.generate_with_ctx(&ctx, sentences, t, n)
+    }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &CorpusAnalysis,
+        sentences: &[DatedSentence],
+        query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let query_ids = analysis.analyzer.analyze_frozen(query);
+        let ctx = FeatureContext::from_tokens(sentences, &analysis.tokens, &query_ids);
+        self.generate_with_ctx(&ctx, sentences, t, n)
     }
 }
 

@@ -23,12 +23,22 @@
 //! wall Figure 2 demonstrates and WILSON's divide-and-conquer avoids.
 //! Similarities below [`SubmodularConfig::sparsity_threshold`] are not
 //! *stored* (news sentences are mostly dissimilar, so the matrix is
-//! effectively sparse), but every pair is still *computed*, preserving the
-//! quadratic cost profile faithfully.
+//! effectively sparse), but in the faithful reference every pair is still
+//! *computed*, preserving the quadratic cost profile.
+//!
+//! By default the matrix now comes from `tl_nlp::allpairs_cosine`, the
+//! shared term-at-a-time kernel that visits only term-sharing pairs and is
+//! **bit-identical** to the quadratic loop — same timelines, far less time.
+//! Setting [`SubmodularConfig::faithful_quadratic`] selects the retained
+//! `tl_nlp::pairwise_reference` double loop instead, for the Figure 2
+//! scaling runs whose *cost profile* (not just output) must stay quadratic.
 
 use std::collections::HashMap;
-use tl_corpus::{DatedSentence, Timeline, TimelineGenerator};
-use tl_nlp::{AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
+use tl_corpus::{CorpusAnalysis, DatedSentence, Timeline, TimelineGenerator};
+use tl_nlp::{
+    allpairs_cosine, analyze_batch, pairwise_reference, AnalysisOptions, SimilarityMatrix,
+    SparseVector, TfIdfModel,
+};
 use tl_temporal::Date;
 
 /// Which TILSE variant to run.
@@ -54,6 +64,11 @@ pub struct SubmodularConfig {
     pub sparsity_threshold: f64,
     /// Temporal cluster width in days for the ASMDS diversity term.
     pub cluster_days: u32,
+    /// Compute the similarity matrix with the serial quadratic reference
+    /// loop instead of the term-at-a-time kernel. The output is bit-for-bit
+    /// the same either way; this flag exists for the Figure 2 scaling runs,
+    /// which demonstrate TILSE's quadratic *cost*.
+    pub faithful_quadratic: bool,
 }
 
 impl SubmodularConfig {
@@ -65,6 +80,7 @@ impl SubmodularConfig {
             lambda: 4.0,
             sparsity_threshold: 0.05,
             cluster_days: 7,
+            faithful_quadratic: false,
         }
     }
 
@@ -76,7 +92,14 @@ impl SubmodularConfig {
             lambda: 0.0,
             sparsity_threshold: 0.05,
             cluster_days: 7,
+            faithful_quadratic: false,
         }
+    }
+
+    /// Toggle the serial quadratic reference path (Figure 2 fidelity).
+    pub fn with_faithful_quadratic(mut self, faithful: bool) -> Self {
+        self.faithful_quadratic = faithful;
+        self
     }
 }
 
@@ -113,52 +136,48 @@ struct SimMatrix {
     row_total: Vec<f64>,
 }
 
-/// Compute all pairwise TF-IDF cosines. Quadratic in the number of
-/// sentences — TILSE's defining cost.
-fn pairwise_similarities(vectors: &[SparseVector], threshold: f64) -> SimMatrix {
-    let n = vectors.len();
-    let mut rows: Vec<SimRow> = vec![Vec::new(); n];
-    let mut row_total = vec![0.0f64; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let sim = vectors[i].cosine(&vectors[j]);
-            if sim <= 0.0 {
-                continue;
-            }
-            row_total[i] += sim;
-            row_total[j] += sim;
-            if sim >= threshold {
-                rows[i].push((j as u32, sim as f32));
-                rows[j].push((i as u32, sim as f32));
-            }
+impl SimMatrix {
+    /// Quantize a kernel matrix into the legacy storage layout: stored
+    /// similarities narrow to `f32` exactly as the original loop's
+    /// `sim as f32` did, so greedy decisions see the same bits.
+    fn from_kernel(m: SimilarityMatrix) -> Self {
+        let rows = m
+            .rows
+            .into_iter()
+            .map(|row| row.into_iter().map(|(j, s)| (j, s as f32)).collect())
+            .collect();
+        SimMatrix {
+            rows,
+            row_total: m.row_total,
         }
     }
-    SimMatrix { rows, row_total }
 }
 
-impl TimelineGenerator for TilseBaseline {
-    fn name(&self) -> &'static str {
-        match self.config.variant {
-            SubmodularVariant::Asmds => "ASMDS",
-            SubmodularVariant::TlsConstraints => "TLSCONSTRAINTS",
-        }
-    }
+/// Compute all pairwise TF-IDF cosines. Routed through the shared kernel by
+/// default; `faithful_quadratic` selects the retained `O(n²)` reference
+/// loop (bit-identical output, quadratic cost).
+fn pairwise_similarities(vectors: &[SparseVector], threshold: f64, faithful: bool) -> SimMatrix {
+    SimMatrix::from_kernel(if faithful {
+        pairwise_reference(vectors, threshold)
+    } else {
+        allpairs_cosine(vectors, threshold, true)
+    })
+}
 
-    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
-        if sentences.is_empty() || t == 0 || n == 0 {
-            return Timeline::default();
-        }
+impl TilseBaseline {
+    fn generate_with_tokens(
+        &self,
+        sentences: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
         let cfg = &self.config;
-        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
-        let tokens: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| analyzer.analyze(&s.text))
-            .collect();
         let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
         let vectors: Vec<SparseVector> = tokens.iter().map(|tk| tfidf.unit_vector(tk)).collect();
 
-        // The quadratic step.
-        let sim = pairwise_similarities(&vectors, cfg.sparsity_threshold);
+        // The all-pairs step (quadratic in the faithful reference).
+        let sim = pairwise_similarities(&vectors, cfg.sparsity_threshold, cfg.faithful_quadratic);
         let num = sentences.len();
 
         // Saturation caps and singleton relevance.
@@ -221,10 +240,11 @@ impl TimelineGenerator for TilseBaseline {
         }
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.0
-                    .partial_cmp(&other.0)
-                    .unwrap_or(Ordering::Equal)
-                    .then(other.1.cmp(&self.1))
+                // total_cmp gives a real total order on the gains; the old
+                // partial_cmp-or-Equal fallback silently collapsed any NaN
+                // against *everything*, corrupting the heap invariant. Ties
+                // still break toward the lower sentence index.
+                self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
             }
         }
 
@@ -288,9 +308,42 @@ impl TimelineGenerator for TilseBaseline {
     }
 }
 
+impl TimelineGenerator for TilseBaseline {
+    fn name(&self) -> &'static str {
+        match self.config.variant {
+            SubmodularVariant::Asmds => "ASMDS",
+            SubmodularVariant::TlsConstraints => "TLSCONSTRAINTS",
+        }
+    }
+
+    fn generate(&self, sentences: &[DatedSentence], _query: &str, t: usize, n: usize) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        let texts: Vec<&str> = sentences.iter().map(|s| s.text.as_str()).collect();
+        let (_, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+        self.generate_with_tokens(sentences, &tokens, t, n)
+    }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &CorpusAnalysis,
+        sentences: &[DatedSentence],
+        _query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        self.generate_with_tokens(sentences, &analysis.tokens, t, n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tl_nlp::Analyzer;
 
     fn sent(day: i32, idx: usize, text: &str) -> DatedSentence {
         let date = Date::from_days(17000 + day);
@@ -409,7 +462,7 @@ mod tests {
         let toks: Vec<Vec<u32>> = texts.iter().map(|t| analyzer.analyze(t)).collect();
         let tfidf = TfIdfModel::fit(toks.iter().map(Vec::as_slice));
         let vecs: Vec<SparseVector> = toks.iter().map(|t| tfidf.unit_vector(t)).collect();
-        let m = pairwise_similarities(&vecs, 0.0);
+        let m = pairwise_similarities(&vecs, 0.0, false);
         // Row totals symmetric contributions: total(0) includes sim(0,1).
         assert!(m.row_total[0] > 0.0);
         assert!((m.row_total[0] - m.row_total[1]).abs() < 1e-9);
@@ -418,6 +471,42 @@ mod tests {
         // Stored rows are mirrored.
         let has = |i: usize, j: u32| m.rows[i].iter().any(|&(c, _)| c == j);
         assert_eq!(has(0, 1), has(1, 0));
+    }
+
+    #[test]
+    fn kernel_and_faithful_paths_agree_to_the_bit() {
+        // The kernel path and the retained quadratic reference must store
+        // identical f32 weights and f64 totals, so both configs produce the
+        // same timeline.
+        let c = burst_corpus();
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let toks: Vec<Vec<u32>> = c.iter().map(|s| analyzer.analyze(&s.text)).collect();
+        let tfidf = TfIdfModel::fit(toks.iter().map(Vec::as_slice));
+        let vecs: Vec<SparseVector> = toks.iter().map(|t| tfidf.unit_vector(t)).collect();
+        let kernel = pairwise_similarities(&vecs, 0.05, false);
+        let faithful = pairwise_similarities(&vecs, 0.05, true);
+        assert_eq!(kernel.rows, faithful.rows);
+        for (a, b) in kernel.row_total.iter().zip(&faithful.row_total) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        for variant in [SubmodularConfig::asmds(), SubmodularConfig::tls_constraints()] {
+            let fast = TilseBaseline::new(variant).generate(&c, "q", 2, 2);
+            let slow = TilseBaseline::new(variant.with_faithful_quadratic(true))
+                .generate(&c, "q", 2, 2);
+            assert_eq!(fast.entries, slow.entries);
+        }
+    }
+
+    #[test]
+    fn generate_analyzed_matches_generate() {
+        let c = burst_corpus();
+        let analysis = CorpusAnalysis::build(&c, true);
+        for baseline in [TilseBaseline::asmds(), TilseBaseline::tls_constraints()] {
+            let direct = baseline.generate(&c, "q", 2, 2);
+            let shared = baseline.generate_analyzed(&analysis, &c, "q", 2, 2);
+            assert_eq!(direct.entries, shared.entries, "{}", baseline.name());
+        }
     }
 
     #[test]

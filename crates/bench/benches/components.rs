@@ -8,7 +8,7 @@ use tl_bench::{bench_reported, timeline17_corpus};
 use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
 use tl_graph::{pagerank, DiGraph, PageRankConfig};
 use tl_ir::{Bm25Params, Bm25Scorer};
-use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_nlp::{allpairs_cosine, pairwise_reference, AnalysisOptions, Analyzer, SparseVector, TfIdfModel};
 use tl_rouge::RougeScorer;
 use tl_temporal::{Date, TemporalTagger};
 
@@ -107,26 +107,68 @@ fn bench_rouge() {
 #[test]
 #[ignore = "benchmark"]
 fn bench_affinity() {
-    let corpus = timeline17_corpus(0.02);
+    let corpus = timeline17_corpus(0.1);
     let mut embedder = SentenceEmbedder::new(256);
-    let vectors: Vec<Vec<f64>> = corpus
-        .sentences
-        .iter()
-        .take(120)
-        .map(|s| embedder.embed(&s.text))
-        .collect();
-    let n = vectors.len();
-    let sim: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|k| tl_embed::embedding::cosine(&vectors[i], &vectors[k]))
-                .collect()
-        })
-        .collect();
-    bench_reported("BENCH_components.json", "affinity_propagation_120", || {
-        black_box(affinity_propagation(
-            &sim,
-            &AffinityPropagationConfig::default(),
-        ));
-    });
+    for &n in &[120usize, 500, 1000] {
+        let vectors: Vec<Vec<f64>> = corpus
+            .sentences
+            .iter()
+            .take(n)
+            .map(|s| embedder.embed(&s.text))
+            .collect();
+        assert_eq!(vectors.len(), n, "corpus too small for {n}-point bench");
+        let sim = tl_embed::cosine_matrix(&vectors, true);
+        bench_reported(
+            "BENCH_components.json",
+            &format!("affinity_propagation_{n}"),
+            || {
+                black_box(affinity_propagation(
+                    &sim,
+                    &AffinityPropagationConfig::default(),
+                ));
+            },
+        );
+    }
+}
+
+/// The all-pairs cosine kernel against its quadratic reference, on the
+/// TF-IDF unit vectors the TILSE baselines actually feed it (threshold 0.0
+/// stores every positive pair — the worst case for the sparse sweep).
+#[test]
+#[ignore = "benchmark"]
+fn bench_allpairs_kernel() {
+    let corpus = timeline17_corpus(0.1);
+    for &n in &[1000usize, 4000] {
+        let mut analyzer = Analyzer::new(AnalysisOptions::retrieval());
+        let tokens: Vec<Vec<u32>> = corpus
+            .sentences
+            .iter()
+            .take(n)
+            .map(|s| analyzer.analyze(&s.text))
+            .collect();
+        assert_eq!(tokens.len(), n, "corpus too small for {n}-sentence bench");
+        let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
+        let vectors: Vec<SparseVector> = tokens.iter().map(|t| tfidf.unit_vector(t)).collect();
+        bench_reported(
+            "BENCH_components.json",
+            &format!("allpairs/pairwise_{n}"),
+            || {
+                black_box(pairwise_reference(&vectors, 0.0));
+            },
+        );
+        bench_reported(
+            "BENCH_components.json",
+            &format!("allpairs/kernel_serial_{n}"),
+            || {
+                black_box(allpairs_cosine(&vectors, 0.0, false));
+            },
+        );
+        bench_reported(
+            "BENCH_components.json",
+            &format!("allpairs/kernel_parallel_{n}"),
+            || {
+                black_box(allpairs_cosine(&vectors, 0.0, true));
+            },
+        );
+    }
 }

@@ -1,0 +1,34 @@
+//! Wall-clock of the evaluation harness itself: one `evaluate_methods`
+//! pass over a Timeline17-profile dataset with the Table 7 roster — the
+//! workload `run_all` repeats per table, so its wall time tracks how long
+//! regenerating the paper takes end to end.
+//!
+//! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use tl_baselines::TilseBaseline;
+use tl_bench::bench_reported;
+use tl_corpus::{generate, SynthConfig, TimelineGenerator};
+use tl_eval::evaluate_methods;
+use tl_wilson::{Wilson, WilsonConfig};
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_run_all_wall() {
+    // A reduced scale of the Table 7 setting (9 topics, all six systems):
+    // large enough that the shared-tokenization and kernel savings dominate,
+    // small enough to iterate.
+    let ds = generate(&SynthConfig::timeline17().with_scale(0.02));
+    let methods: Vec<Box<dyn TimelineGenerator>> = vec![
+        Box::new(TilseBaseline::asmds()),
+        Box::new(TilseBaseline::tls_constraints()),
+        Box::new(Wilson::new(WilsonConfig::uniform())),
+        Box::new(Wilson::new(WilsonConfig::tran())),
+        Box::new(Wilson::new(WilsonConfig::without_post())),
+        Box::new(Wilson::new(WilsonConfig::default())),
+    ];
+    let refs: Vec<&dyn TimelineGenerator> = methods.iter().map(Box::as_ref).collect();
+    bench_reported("BENCH_eval.json", "harness/run_all_wall", || {
+        black_box(evaluate_methods(&ds, &refs));
+    });
+}

@@ -59,6 +59,11 @@ fn bench_smoke() {
     }
 }
 
+/// Table 7's runtime column. With `TL_BENCH_ENFORCE=1` this is also a
+/// regression gate: every fresh `table7_runtime/*` median must stay within
+/// 2× of its committed `BENCH_pipeline.json` baseline (same-machine CI),
+/// so a slowdown in any baseline — e.g. losing the all-pairs kernel — fails
+/// the suite, not just the WILSON smoke entry.
 #[test]
 #[ignore = "benchmark"]
 fn bench_methods() {
@@ -75,12 +80,30 @@ fn bench_methods() {
         Box::new(Wilson::new(WilsonConfig::without_post())),
         Box::new(Wilson::new(WilsonConfig::default())),
     ];
+    let enforce = std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1");
+    let mut regressions = Vec::new();
     for m in &methods {
         let name = format!("table7_runtime/{}", m.name().replace([' ', '/'], "_"));
-        bench_reported("BENCH_pipeline.json", &name, || {
+        let stats = bench_reported("BENCH_pipeline.json", &name, || {
             black_box(m.generate(&corpus.sentences, &corpus.query, corpus.t, corpus.n));
         });
+        if enforce {
+            let baseline = tl_bench::baseline_median("BENCH_pipeline.json", &name)
+                .unwrap_or_else(|| panic!("committed BENCH_pipeline.json must contain {name}"));
+            if stats.median > 2.0 * baseline {
+                regressions.push(format!(
+                    "{name}: median {:.1} ms > 2x baseline {:.1} ms",
+                    stats.median * 1e3,
+                    baseline * 1e3
+                ));
+            }
+        }
     }
+    assert!(
+        regressions.is_empty(),
+        "table7 runtime regressions:\n{}",
+        regressions.join("\n")
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! Run with `cargo test -q -p tl-bench -- --ignored --nocapture`.
 
 use std::hint::black_box;
-use tl_baselines::TilseBaseline;
+use tl_baselines::{SubmodularConfig, TilseBaseline};
 use tl_bench::{bench_reported, tiny_corpus};
 use tl_corpus::TimelineGenerator;
 use tl_wilson::{Wilson, WilsonConfig};
@@ -15,6 +15,9 @@ use tl_wilson::{Wilson, WilsonConfig};
 fn bench_scaling() {
     // Tiny-profile ladder: sizes that double (the Timeline17 profile's
     // minimum-articles floor would flatten small scales to one size).
+    // The TILSE variants run the faithful quadratic path — this bench is
+    // about the cost *profile*, which the all-pairs kernel would flatten
+    // (see EXPERIMENTS.md, Figure 2 fidelity note).
     for &scale in &[2.0f64, 4.0, 8.0] {
         let cx = tiny_corpus(scale);
         let size = cx.sentences.len();
@@ -22,11 +25,12 @@ fn bench_scaling() {
         bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/wilson/{size}"), || {
             black_box(wilson.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
-        let asmds = TilseBaseline::asmds();
+        let asmds = TilseBaseline::new(SubmodularConfig::asmds().with_faithful_quadratic(true));
         bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/asmds/{size}"), || {
             black_box(asmds.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });
-        let tlsc = TilseBaseline::tls_constraints();
+        let tlsc =
+            TilseBaseline::new(SubmodularConfig::tls_constraints().with_faithful_quadratic(true));
         bench_reported("BENCH_pipeline.json", &format!("fig2_scaling/tls_constraints/{size}"), || {
             black_box(tlsc.generate(&cx.sentences, &cx.query, cx.t, cx.n));
         });

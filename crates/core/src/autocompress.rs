@@ -56,14 +56,8 @@ pub fn predict_num_dates(sentences: &[DatedSentence], config: &AutoCompressConfi
         .iter()
         .map(|(_, text)| embedder.embed(text))
         .collect();
-    let n = vectors.len();
-    let sim: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|k| tl_embed::embedding::cosine(&vectors[i], &vectors[k]))
-                .collect()
-        })
-        .collect();
+    // Shared all-pairs kernel; bit-identical to the dense cosine loops.
+    let sim = tl_embed::cosine_matrix(&vectors, true);
     let result = affinity_propagation(&sim, &config.ap);
     result.num_clusters().max(1)
 }

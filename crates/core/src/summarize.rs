@@ -181,6 +181,27 @@ impl TimelineGenerator for Wilson {
         let query_tokens = analyzer.analyze_frozen(query);
         self.generate_cached(sentences, &cache, &query_tokens, t, n)
     }
+
+    fn generate_analyzed(
+        &self,
+        analysis: &tl_corpus::CorpusAnalysis,
+        sentences: &[DatedSentence],
+        query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        if sentences.is_empty() || t == 0 || n == 0 {
+            return Timeline::default();
+        }
+        // Same tokens `AnalysisCache::build` would compute (the harness
+        // built them once per topic); only the date grouping is rebuilt.
+        let cache = AnalysisCache::from_tokens(
+            analysis.tokens.clone(),
+            sentences.iter().map(|s| s.date),
+        );
+        let query_tokens = analysis.analyzer.analyze_frozen(query);
+        self.generate_cached(sentences, &cache, &query_tokens, t, n)
+    }
 }
 
 #[cfg(test)]

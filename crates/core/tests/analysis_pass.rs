@@ -36,7 +36,7 @@ fn pipeline_tokenizes_each_sentence_exactly_once() {
     assert_eq!(analyze_call_count() - before, corpus.len() as u64);
 
     // Real-time system: ingestion analyzes each sentence once...
-    let mut sys = RealTimeSystem::default();
+    let sys = RealTimeSystem::default();
     let before = analyze_call_count();
     sys.ingest_all(&topic.articles);
     assert_eq!(analyze_call_count() - before, sys.num_sentences() as u64);

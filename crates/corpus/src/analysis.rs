@@ -1,0 +1,169 @@
+//! Shared per-corpus analysis: tokenize a topic's dated sentences **once**
+//! and hand the result to every system being evaluated.
+//!
+//! The evaluation harness runs many systems over the same topic corpus, and
+//! before this module each of them re-ran the full tokenize → stem → intern
+//! pipeline from scratch. [`CorpusAnalysis`] performs that pass once per
+//! topic (in parallel via `tl_nlp::analyze_batch`, which is token-identical
+//! to serial) and feeds it to `TimelineGenerator::generate_analyzed`.
+//!
+//! Systems that operate on a *filtered* view of the corpus (the
+//! pre-HeidelTime baselines drop mention-dated sentences) can't reuse the
+//! full-corpus term ids directly: a fresh analyzer over the subset assigns
+//! ids in subset-first-appearance order, and downstream float accumulation
+//! follows id order, so ids must match exactly for outputs to stay
+//! bit-identical. [`CorpusAnalysis::subset`] re-interns the cached tokens
+//! in subset order — a pure integer remap, no re-tokenization — producing
+//! precisely what a fresh analyzer over the subset texts would have
+//! produced (pinned by a test below).
+
+use crate::model::DatedSentence;
+use tl_nlp::{analyze_batch, AnalysisOptions, Analyzer, Vocabulary};
+
+/// A corpus tokenized once under retrieval analysis: the analyzer owning
+/// the shared vocabulary (for frozen query analysis) plus one token row per
+/// sentence.
+#[derive(Debug, Clone)]
+pub struct CorpusAnalysis {
+    /// Analyzer owning the corpus vocabulary; query text is analyzed
+    /// against it with `analyze_frozen`.
+    pub analyzer: Analyzer,
+    /// Retrieval token ids, row `i` for sentence `i`.
+    pub tokens: Vec<Vec<u32>>,
+}
+
+impl CorpusAnalysis {
+    /// Tokenize `sentences` in one pass (retrieval options — what every
+    /// generator uses). With `parallel = true` the pass shards across
+    /// cores; results are identical to serial.
+    pub fn build(sentences: &[DatedSentence], parallel: bool) -> Self {
+        let texts: Vec<&str> = sentences.iter().map(|s| s.text.as_str()).collect();
+        let (analyzer, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, parallel);
+        Self { analyzer, tokens }
+    }
+
+    /// The analysis a fresh analyzer would produce over the subset of
+    /// sentences at `keep` (indices into this analysis, in order): term ids
+    /// re-interned in subset-first-appearance order, vocabulary rebuilt to
+    /// match. A pure remap — nothing is re-tokenized.
+    pub fn subset(&self, keep: &[usize]) -> CorpusAnalysis {
+        let mut vocab = Vocabulary::new();
+        let mut remap: Vec<u32> = vec![u32::MAX; self.analyzer.vocab().len()];
+        let tokens: Vec<Vec<u32>> = keep
+            .iter()
+            .map(|&i| {
+                self.tokens[i]
+                    .iter()
+                    .map(|&old| {
+                        let slot = &mut remap[old as usize];
+                        if *slot == u32::MAX {
+                            let term = self
+                                .analyzer
+                                .vocab()
+                                .term(old)
+                                .expect("cached token id resolves");
+                            *slot = vocab.intern(term);
+                        }
+                        *slot
+                    })
+                    .collect()
+            })
+            .collect();
+        CorpusAnalysis {
+            analyzer: Analyzer::with_vocab(vocab, self.analyzer.options()),
+            tokens,
+        }
+    }
+
+    /// Number of analyzed sentences.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no sentences were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DatedSentence;
+    use tl_temporal::Date;
+
+    fn sent(day: i32, text: &str, from_mention: bool) -> DatedSentence {
+        let date = Date::from_days(17000 + day);
+        DatedSentence {
+            date,
+            pub_date: date,
+            article: 0,
+            sentence_index: 0,
+            text: text.to_string(),
+            from_mention,
+        }
+    }
+
+    fn corpus() -> Vec<DatedSentence> {
+        (0..40)
+            .map(|i| {
+                sent(
+                    i % 7,
+                    &format!("leaders met for summit talks item {} round {}", i % 11, i),
+                    i % 3 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_matches_fresh_analyzer() {
+        let c = corpus();
+        let analysis = CorpusAnalysis::build(&c, true);
+        let mut fresh = Analyzer::new(AnalysisOptions::retrieval());
+        for (i, s) in c.iter().enumerate() {
+            assert_eq!(analysis.tokens[i], fresh.analyze(&s.text), "sentence {i}");
+        }
+        assert_eq!(analysis.analyzer.vocab().len(), fresh.vocab().len());
+        assert_eq!(analysis.len(), c.len());
+    }
+
+    #[test]
+    fn subset_is_as_if_freshly_analyzed() {
+        let c = corpus();
+        let analysis = CorpusAnalysis::build(&c, false);
+        let keep: Vec<usize> = c
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.from_mention)
+            .map(|(i, _)| i)
+            .collect();
+        let sub = analysis.subset(&keep);
+
+        // Oracle: a brand-new analyzer over only the kept texts.
+        let mut fresh = Analyzer::new(AnalysisOptions::retrieval());
+        for (row, &i) in keep.iter().enumerate() {
+            assert_eq!(sub.tokens[row], fresh.analyze(&c[i].text), "kept row {row}");
+        }
+        assert_eq!(sub.analyzer.vocab().len(), fresh.vocab().len());
+        for (id, term) in fresh.vocab().iter() {
+            assert_eq!(sub.analyzer.vocab().term(id), Some(term), "vocab id {id}");
+        }
+        // Frozen query analysis agrees too.
+        assert_eq!(
+            sub.analyzer.analyze_frozen("summit talks unknownword"),
+            fresh.analyze_frozen("summit talks unknownword")
+        );
+    }
+
+    #[test]
+    fn empty_subset_and_empty_corpus() {
+        let analysis = CorpusAnalysis::build(&[], true);
+        assert!(analysis.is_empty());
+        let c = corpus();
+        let analysis = CorpusAnalysis::build(&c, false);
+        let sub = analysis.subset(&[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.analyzer.vocab().len(), 0);
+    }
+}

@@ -18,6 +18,7 @@
 //! * [`wordbank`] — the English word inventory backing the generator.
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod filter;
 pub mod io;
 pub mod loader;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod synth;
 pub mod wordbank;
 
+pub use analysis::CorpusAnalysis;
 pub use filter::KeywordFilter;
 pub use model::{
     Article, Dataset, DatedSentence, EvalUnit, Timeline, TimelineGenerator, TopicCorpus,

@@ -261,12 +261,36 @@ pub struct DatedSentence {
 /// Inputs follow §3.1.3 of the paper: the dated-sentence corpus, the topic
 /// query `q`, the number of dates `T` and sentences per date `N` (both
 /// derived from the ground-truth timeline in the standard protocol).
-pub trait TimelineGenerator {
+///
+/// Generators are `Send + Sync` so the evaluation harness can fan units
+/// out across threads; every implementation in this workspace is plain
+/// configuration data (methods that need randomness seed a local RNG
+/// inside `generate`).
+pub trait TimelineGenerator: Send + Sync {
     /// Human-readable method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
     /// Generate a timeline with `t` dates and up to `n` sentences per date.
     fn generate(&self, sentences: &[DatedSentence], query: &str, t: usize, n: usize) -> Timeline;
+
+    /// Like [`TimelineGenerator::generate`], but with the corpus already
+    /// tokenized: `analysis` holds one retrieval-token row per sentence of
+    /// `sentences` (same order) plus the analyzer owning the shared
+    /// vocabulary. Implementations that override this skip their own
+    /// tokenization pass and **must return exactly what `generate` would**
+    /// — the harness relies on the two paths being interchangeable. The
+    /// default ignores `analysis` and re-analyzes.
+    fn generate_analyzed(
+        &self,
+        analysis: &crate::analysis::CorpusAnalysis,
+        sentences: &[DatedSentence],
+        query: &str,
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        let _ = analysis;
+        self.generate(sentences, query, t, n)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! similarity, which is all Affinity Propagation needs to find event
 //! clusters among daily summaries.
 
-use tl_nlp::{AnalysisOptions, Analyzer};
+use tl_nlp::{allpairs_dot, AnalysisOptions, Analyzer, SparseVector};
 
 /// Dense sentence embedder with a fixed output dimension.
 #[derive(Debug)]
@@ -93,6 +93,57 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
+/// The full `n × n` cosine matrix of `vectors`, **bit-identical** to
+/// calling [`cosine`] on every `(i, k)` pair but routed through the shared
+/// sparse all-pairs kernel so only dimension-sharing pairs are touched.
+///
+/// Why the bits match: a dense dot/norm accumulator starts at `+0.0` and,
+/// in IEEE round-to-nearest, can never become `-0.0` (a cancelling sum
+/// `x + (−x)` yields `+0.0`, and `+0.0 + ±0.0 = +0.0`), so every `±0.0`
+/// product contributed by a zero component is a bitwise no-op. Dropping
+/// the zero components (the sparse conversion) therefore removes only
+/// no-op additions, and the kernel accumulates the surviving products in
+/// the same ascending-dimension order as the dense loop.
+pub fn cosine_matrix(vectors: &[Vec<f64>], parallel: bool) -> Vec<Vec<f64>> {
+    let n = vectors.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = vectors[0].len();
+    for v in vectors {
+        assert_eq!(v.len(), dim, "dimension mismatch");
+    }
+    let sparse: Vec<SparseVector> = vectors
+        .iter()
+        .map(|v| {
+            SparseVector::from_pairs(
+                v.iter()
+                    .enumerate()
+                    .map(|(d, &x)| (d as u32, x))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Pre-sqrt sums of squares: same bits as the dense `Σ x·x`, and
+    // `dot(v, v)` replays exactly that accumulation for the diagonal.
+    let sq: Vec<f64> = sparse.iter().map(|v| v.dot(v)).collect();
+    let norms: Vec<f64> = sq.iter().map(|s| s.sqrt()).collect();
+    let rows = allpairs_dot(&sparse, parallel);
+    let mut out = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        if norms[i] != 0.0 {
+            out[i][i] = sq[i] / (norms[i] * norms[i]);
+        }
+        for &(k, dot) in &rows[i] {
+            let k = k as usize;
+            if norms[i] != 0.0 && norms[k] != 0.0 {
+                out[i][k] = dot / (norms[i] * norms[k]);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +210,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dim_rejected() {
         SentenceEmbedder::new(0);
+    }
+
+    #[test]
+    fn cosine_matrix_bit_identical_to_dense_loops() {
+        let mut e = SentenceEmbedder::new(64);
+        let mut texts: Vec<String> = (0..40)
+            .map(|i| format!("event {} unfolded near the {} border crossing {}", i % 7, i % 5, i))
+            .collect();
+        texts.push(String::new()); // zero vector
+        texts.push("the of and was".into()); // stopwords-only → zero vector
+        let vectors = e.embed_all(&texts);
+        for parallel in [false, true] {
+            let m = cosine_matrix(&vectors, parallel);
+            for (i, vi) in vectors.iter().enumerate() {
+                for (k, vk) in vectors.iter().enumerate() {
+                    let want = cosine(vi, vk);
+                    assert_eq!(
+                        m[i][k].to_bits(),
+                        want.to_bits(),
+                        "({i},{k}) parallel={parallel}: {} vs {want}",
+                        m[i][k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_matrix_empty() {
+        assert!(cosine_matrix(&[], true).is_empty());
     }
 
     #[test]

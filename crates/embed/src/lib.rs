@@ -14,4 +14,4 @@ pub mod affinity;
 pub mod embedding;
 
 pub use affinity::{affinity_propagation, AffinityPropagationConfig, ClusterResult};
-pub use embedding::SentenceEmbedder;
+pub use embedding::{cosine_matrix, SentenceEmbedder};

@@ -131,7 +131,7 @@ fn main() {
 
     // --- Table 11 analog: query-driven real-time timeline ---
     println!("\n== Table 11 analog: real-time query-driven timeline ==");
-    let mut system = RealTimeSystem::new(WilsonConfig::default());
+    let system = RealTimeSystem::new(WilsonConfig::default());
     system.ingest_all(&topic.articles);
     let cfg = tl_corpus::SynthConfig::timeline17();
     let tl = system.timeline(&TimelineQuery {

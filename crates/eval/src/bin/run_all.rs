@@ -1,5 +1,7 @@
-//! Runs every table/figure experiment binary in sequence, teeing each
-//! output to `results/<id>.txt`.
+//! Runs every table/figure experiment binary, teeing each output to
+//! `results/<id>.txt`. Child processes launch concurrently (bounded by the
+//! core count via `tl_support::par`), but results are reported in the fixed
+//! `ALL` order so the console transcript is deterministic.
 //!
 //! ```text
 //! cargo run --release -p tl-eval --bin run_all          # everything
@@ -40,40 +42,63 @@ fn main() {
     let results = PathBuf::from("results");
     fs::create_dir_all(&results).expect("create results dir");
 
-    let mut failures = Vec::new();
-    for &name in ALL {
-        if fast && SLOW.contains(&name) {
-            println!("skipping {name} (fast mode)");
-            continue;
-        }
+    let to_run: Vec<&str> = ALL
+        .iter()
+        .copied()
+        .filter(|name| {
+            if fast && SLOW.contains(name) {
+                println!("skipping {name} (fast mode)");
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+
+    enum Outcome {
+        Ok { secs: f64, stdout: Vec<u8> },
+        Failed(String),
+    }
+
+    // Launch the experiment binaries concurrently; `par_map` preserves input
+    // order, so reporting below replays the serial transcript exactly.
+    let outcomes: Vec<Outcome> = tl_support::par::par_map(&to_run, |&name| {
         let bin = exe_dir.join(name);
         if !bin.exists() {
-            eprintln!("binary {} missing — build with --bins first", bin.display());
-            failures.push(name);
-            continue;
+            return Outcome::Failed(format!(
+                "binary {} missing — build with --bins first",
+                bin.display()
+            ));
         }
-        println!("=== running {name} ===");
         let started = std::time::Instant::now();
         match Command::new(&bin).output() {
-            Ok(out) if out.status.success() => {
-                fs::write(results.join(format!("{name}.txt")), &out.stdout)
+            Ok(out) if out.status.success() => Outcome::Ok {
+                secs: started.elapsed().as_secs_f64(),
+                stdout: out.stdout,
+            },
+            Ok(out) => Outcome::Failed(format!(
+                "FAILED (status {:?}):\n{}",
+                out.status.code(),
+                String::from_utf8_lossy(&out.stderr)
+            )),
+            Err(e) => Outcome::Failed(format!("FAILED to launch: {e}")),
+        }
+    });
+
+    let mut failures = Vec::new();
+    for (&name, outcome) in to_run.iter().zip(&outcomes) {
+        println!("=== {name} ===");
+        match outcome {
+            Outcome::Ok { secs, stdout } => {
+                fs::write(results.join(format!("{name}.txt")), stdout)
                     .expect("write result file");
                 println!(
-                    "    ok in {:.1?} -> results/{name}.txt ({} bytes)",
-                    started.elapsed(),
-                    out.stdout.len()
+                    "    ok in {secs:.1}s -> results/{name}.txt ({} bytes)",
+                    stdout.len()
                 );
             }
-            Ok(out) => {
-                eprintln!(
-                    "    FAILED (status {:?}):\n{}",
-                    out.status.code(),
-                    String::from_utf8_lossy(&out.stderr)
-                );
-                failures.push(name);
-            }
-            Err(e) => {
-                eprintln!("    FAILED to launch: {e}");
+            Outcome::Failed(msg) => {
+                eprintln!("    {msg}");
                 failures.push(name);
             }
         }

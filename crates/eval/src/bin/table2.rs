@@ -3,17 +3,26 @@
 //! edge weight with plain PageRank (the table isolates the weight choice;
 //! recency adjustment enters later in Table 3).
 
+use tl_corpus::TimelineGenerator;
 use tl_eval::paper::{Table2Row, TABLE2_CRISIS, TABLE2_TIMELINE17};
-use tl_eval::protocol::{evaluate_method, DatasetChoice};
+use tl_eval::protocol::{evaluate_methods, DatasetChoice};
 use tl_eval::table::{f4, render};
 use tl_wilson::{EdgeWeight, Wilson, WilsonConfig};
 
 fn run(choice: DatasetChoice, paper: &[Table2Row]) {
     let ds = choice.dataset();
+    let weights = EdgeWeight::all();
+    let methods: Vec<Wilson> = weights
+        .iter()
+        .map(|&w| Wilson::new(WilsonConfig::tran().with_edge_weight(w)))
+        .collect();
+    let refs: Vec<&dyn TimelineGenerator> = methods
+        .iter()
+        .map(|m| m as &dyn TimelineGenerator)
+        .collect();
+    let results = evaluate_methods(&ds, &refs);
     let mut rows = Vec::new();
-    for (w, p) in EdgeWeight::all().into_iter().zip(paper) {
-        let method = Wilson::new(WilsonConfig::tran().with_edge_weight(w));
-        let m = evaluate_method(&ds, &method);
+    for ((w, p), m) in weights.into_iter().zip(paper).zip(&results) {
         rows.push(vec![
             w.label().to_string(),
             f4(m.date_f1()),

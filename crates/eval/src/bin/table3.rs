@@ -1,8 +1,9 @@
 //! Regenerates **Table 3** (date coverage): Uniform vs W3 vs W3+Recency on
 //! coverage ±3 days, date F1, and concat ROUGE-1/2/S\*.
 
+use tl_corpus::TimelineGenerator;
 use tl_eval::paper::{Table3Row, TABLE3_CRISIS, TABLE3_TIMELINE17};
-use tl_eval::protocol::{evaluate_method, DatasetChoice};
+use tl_eval::protocol::{evaluate_methods, DatasetChoice};
 use tl_eval::table::{f4, render};
 use tl_wilson::{Wilson, WilsonConfig};
 
@@ -13,9 +14,13 @@ fn run(choice: DatasetChoice, paper: &[Table3Row]) {
         (Wilson::new(WilsonConfig::tran()), &paper[1]),
         (Wilson::new(WilsonConfig::default()), &paper[2]),
     ];
+    let refs: Vec<&dyn TimelineGenerator> = methods
+        .iter()
+        .map(|(m, _)| m as &dyn TimelineGenerator)
+        .collect();
+    let results = evaluate_methods(&ds, &refs);
     let mut rows = Vec::new();
-    for (method, p) in methods {
-        let m = evaluate_method(&ds, &method);
+    for ((_, p), m) in methods.iter().zip(&results) {
         rows.push(vec![
             p.strategy.to_string(),
             f4(m.date_coverage3()),

@@ -9,7 +9,7 @@ use tl_baselines::{ChieuBaseline, EtsBaseline, MeadBaseline, RandomBaseline, Reg
 use tl_corpus::generate;
 use tl_corpus::TimelineGenerator;
 use tl_eval::paper::TABLE5_TIMELINE17;
-use tl_eval::protocol::{evaluate_method, DatasetChoice};
+use tl_eval::protocol::{evaluate_methods, DatasetChoice};
 use tl_eval::table::{f3, render};
 use tl_wilson::{Wilson, WilsonConfig};
 
@@ -31,9 +31,11 @@ fn main() {
         Box::new(Wilson::new(WilsonConfig::default())),
     ];
 
+    let refs: Vec<&dyn TimelineGenerator> = methods.iter().map(Box::as_ref).collect();
+    let results = evaluate_methods(&ds, &refs);
+
     let mut rows = Vec::new();
-    for method in &methods {
-        let m = evaluate_method(&ds, method.as_ref());
+    for m in &results {
         let paper = TABLE5_TIMELINE17
             .iter()
             .find(|r| r.method.starts_with(m.name.split(' ').next().unwrap_or("")));

@@ -6,7 +6,7 @@
 use tl_baselines::TilseBaseline;
 use tl_corpus::TimelineGenerator;
 use tl_eval::paper::{Table7Row, TABLE7_CRISIS, TABLE7_TIMELINE17};
-use tl_eval::protocol::{evaluate_method, DatasetChoice, MethodMetrics, UnitMetrics};
+use tl_eval::protocol::{evaluate_methods, DatasetChoice, MethodMetrics, UnitMetrics};
 use tl_eval::table::{f4, render, secs};
 use tl_rouge::approximate_randomization;
 use tl_wilson::{Wilson, WilsonConfig};
@@ -37,13 +37,13 @@ fn run(choice: DatasetChoice, paper: &[Table7Row]) {
         Box::new(Wilson::new(WilsonConfig::without_post())),
         Box::new(Wilson::new(WilsonConfig::default())),
     ];
-    let results: Vec<MethodMetrics> = methods
-        .iter()
-        .map(|m| {
-            eprintln!("  running {} on {} ...", m.name(), choice.name());
-            evaluate_method(&ds, m.as_ref())
-        })
-        .collect();
+    eprintln!(
+        "  running {} systems on {} (shared per-topic tokenization, parallel units) ...",
+        methods.len(),
+        choice.name()
+    );
+    let refs: Vec<&dyn TimelineGenerator> = methods.iter().map(Box::as_ref).collect();
+    let results: Vec<MethodMetrics> = evaluate_methods(&ds, &refs);
 
     let mut rows = Vec::new();
     for (m, p) in results.iter().zip(paper) {

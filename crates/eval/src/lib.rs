@@ -31,4 +31,4 @@ pub mod protocol;
 pub mod report;
 pub mod table;
 
-pub use protocol::{evaluate_method, DatasetChoice, MethodMetrics, UnitMetrics};
+pub use protocol::{evaluate_method, evaluate_methods, DatasetChoice, MethodMetrics, UnitMetrics};

@@ -1,0 +1,348 @@
+//! Shared all-pairs cosine-similarity kernel: a term-at-a-time
+//! inverted-index sweep that is **bit-identical** to the quadratic pairwise
+//! loop it replaces.
+//!
+//! TILSE's submodular framework (and every other baseline that consumes the
+//! full pairwise similarity structure) computes `w_ij = cos(v_i, v_j)` for
+//! all sentence pairs — the `O((TN)²)` wall of Figure 2. But news sentences
+//! are mostly lexically disjoint, so almost all of those cosines are zero:
+//! the only pairs with a non-zero dot product are pairs that *share a term*.
+//! [`allpairs_cosine`] visits exactly those pairs by sweeping an inverted
+//! index (term → postings), the same playbook as the BM25 accumulator in
+//! `tl-ir`.
+//!
+//! # Bit-identity
+//!
+//! The kernel's output is proven equal to [`pairwise_reference`] under
+//! `f64::to_bits`, not merely approximately. The argument:
+//!
+//! * **Dot products.** [`SparseVector::dot`] merges the two sorted id
+//!   arrays, accumulating `w_i(t) · w_j(t)` in ascending term order. The
+//!   sweep for row `i` iterates `i`'s terms in ascending order and adds
+//!   `w_i(t) · w_j(t)` into a per-`j` accumulator — for any fixed `j` the
+//!   additions happen at exactly the shared terms, in exactly the same
+//!   ascending order, from the same `0.0` start. Same operands, same order
+//!   ⇒ same IEEE-754 result.
+//! * **Norm / guard / division.** Each pair's similarity is finished as
+//!   `dot / (norm_i · norm_j)` behind the same `denom == 0.0` guard as
+//!   [`SparseVector::cosine`], with norms precomputed by the very same
+//!   [`SparseVector::norm`]. (For a pair finished from the other row the
+//!   operands of `·` swap, which IEEE multiplication doesn't observe.)
+//! * **Row totals and stored rows.** The reference accumulates
+//!   `row_total[x]` over partners in ascending index order (for `x` fixed,
+//!   the `i < j` double loop touches `(0,x), …, (x−1,x), (x,x+1), …`), and
+//!   pushes stored entries in that same order. The kernel's merge phase
+//!   replays literally that loop order over the precomputed
+//!   upper-triangle rows, so every `+=` happens on the same bits in the
+//!   same sequence.
+//!
+//! The block-row **parallel** variant shards only the embarrassingly
+//! independent upper-triangle sweep across `tl_support::par_map` (order
+//! preserving); the merge phase stays serial and deterministic. Serial and
+//! parallel outputs are therefore the same bytes — the differential suite
+//! in `tests/allpairs_differential.rs` pins all of this on random corpora.
+
+use crate::vector::SparseVector;
+
+/// Sparse symmetric cosine matrix: stored rows above a threshold plus exact
+/// full row totals, exactly as the TILSE pairwise loop produces them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimilarityMatrix {
+    /// Row `i`: `(j, sim)` for every partner `j ≠ i` with
+    /// `sim > 0 ∧ sim ≥ threshold`, ascending in `j`.
+    pub rows: Vec<Vec<(u32, f64)>>,
+    /// Exact per-row sums of **all** positive similarities (computed before
+    /// thresholding) — the saturation denominator of the submodular
+    /// objective.
+    pub row_total: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// The stored similarity of `(i, j)`, or `0.0` when the pair fell under
+    /// the storage threshold (rows are sorted by partner, so this is a
+    /// binary search).
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        match self.rows[i].binary_search_by_key(&(j as u32), |&(c, _)| c) {
+            Ok(k) => self.rows[i][k].1,
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// The retained quadratic reference: every pair computed with
+/// [`SparseVector::cosine`], positive similarities summed into row totals,
+/// pairs at or above `threshold` stored symmetrically.
+///
+/// This is TILSE's defining `O(n²)` step, kept verbatim for the Figure 2
+/// cost-profile runs (`faithful_quadratic`) and as the oracle of the
+/// kernel's differential suite.
+pub fn pairwise_reference(vectors: &[SparseVector], threshold: f64) -> SimilarityMatrix {
+    let n = vectors.len();
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut row_total = vec![0.0f64; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sim = vectors[i].cosine(&vectors[j]);
+            if sim <= 0.0 {
+                continue;
+            }
+            row_total[i] += sim;
+            row_total[j] += sim;
+            if sim >= threshold {
+                rows[i].push((j as u32, sim));
+                rows[j].push((i as u32, sim));
+            }
+        }
+    }
+    SimilarityMatrix { rows, row_total }
+}
+
+/// Inverted index over the vectors: `postings[t]` lists `(row, weight)` for
+/// every row whose vector has a non-zero weight on term `t`, ascending in
+/// row (term ids are dense vocabulary ids, so a `Vec` indexes directly).
+fn build_postings(vectors: &[SparseVector]) -> Vec<Vec<(u32, f64)>> {
+    let mut postings: Vec<Vec<(u32, f64)>> = Vec::new();
+    for (i, v) in vectors.iter().enumerate() {
+        for (t, w) in v.iter() {
+            let t = t as usize;
+            if t >= postings.len() {
+                postings.resize_with(t + 1, Vec::new);
+            }
+            postings[t].push((i as u32, w));
+        }
+    }
+    postings
+}
+
+/// Rows per parallel work item: small enough to balance the triangular
+/// workload, large enough to amortize the per-block accumulator buffers.
+const BLOCK_ROWS: usize = 256;
+
+/// Upper-triangle sweep: for every row `i`, the similarities to all
+/// partners `j > i` that share at least one term, ascending in `j`, with
+/// non-positive values dropped (mirroring the reference's `continue`).
+fn sweep_upper(
+    vectors: &[SparseVector],
+    postings: &[Vec<(u32, f64)>],
+    norms: &[f64],
+    parallel: bool,
+) -> Vec<Vec<(u32, f64)>> {
+    let n = vectors.len();
+    let sweep_block = |lo: usize, hi: usize| -> Vec<Vec<(u32, f64)>> {
+        let mut acc = vec![0.0f64; n];
+        let mut seen = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            // Terms ascending (ids are sorted), so each acc[j] receives its
+            // products in exactly SparseVector::dot's merge order.
+            for (t, wi) in vectors[i].iter() {
+                let plist = &postings[t as usize];
+                let start = plist.partition_point(|&(j, _)| (j as usize) <= i);
+                for &(j, wj) in &plist[start..] {
+                    let ju = j as usize;
+                    if !seen[ju] {
+                        seen[ju] = true;
+                        touched.push(j);
+                    }
+                    acc[ju] += wi * wj;
+                }
+            }
+            touched.sort_unstable();
+            let mut row: Vec<(u32, f64)> = Vec::with_capacity(touched.len());
+            for &j in &touched {
+                let ju = j as usize;
+                let denom = norms[i] * norms[ju];
+                let sim = if denom == 0.0 { 0.0 } else { acc[ju] / denom };
+                if sim > 0.0 {
+                    row.push((j, sim));
+                }
+                acc[ju] = 0.0;
+                seen[ju] = false;
+            }
+            touched.clear();
+            out.push(row);
+        }
+        out
+    };
+
+    if !parallel || n <= BLOCK_ROWS {
+        return sweep_block(0, n);
+    }
+    let blocks: Vec<(usize, usize)> = (0..n)
+        .step_by(BLOCK_ROWS)
+        .map(|lo| (lo, (lo + BLOCK_ROWS).min(n)))
+        .collect();
+    tl_support::par::par_map(&blocks, |&(lo, hi)| sweep_block(lo, hi))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Term-at-a-time all-pairs cosine: same output as [`pairwise_reference`]
+/// (bit-for-bit, see the module docs), visiting only term-sharing pairs.
+///
+/// With `parallel = true` the sweep fans out over row blocks on
+/// `tl_support::par_map`; the deterministic merge keeps the result
+/// byte-identical to the serial sweep.
+pub fn allpairs_cosine(vectors: &[SparseVector], threshold: f64, parallel: bool) -> SimilarityMatrix {
+    let n = vectors.len();
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut row_total = vec![0.0f64; n];
+    if n == 0 {
+        return SimilarityMatrix { rows, row_total };
+    }
+    let postings = build_postings(vectors);
+    let norms: Vec<f64> = vectors.iter().map(SparseVector::norm).collect();
+    let upper = sweep_upper(vectors, &postings, &norms, parallel);
+
+    // Deterministic merge: replay the reference's (i ascending, j ascending)
+    // loop order so every row_total/rows update sees the same bits in the
+    // same sequence.
+    for (i, row) in upper.iter().enumerate() {
+        for &(j, sim) in row {
+            let ju = j as usize;
+            row_total[i] += sim;
+            row_total[ju] += sim;
+            if sim >= threshold {
+                rows[i].push((j, sim));
+                rows[ju].push((i as u32, sim));
+            }
+        }
+    }
+    SimilarityMatrix { rows, row_total }
+}
+
+/// Raw all-pairs dot products: for every row `i`, `(j, v_i · v_j)` over
+/// every partner `j ≠ i` sharing at least one term, ascending in `j`
+/// (full symmetric rows — both `(i,j)` and `(j,i)` are emitted).
+///
+/// Each dot accumulates in ascending term order, so the values carry the
+/// same bits as [`SparseVector::dot`]. Used by the dense-embedding cosine
+/// matrix in `tl-embed`, where the caller owns normalization.
+pub fn allpairs_dot(vectors: &[SparseVector], parallel: bool) -> Vec<Vec<(u32, f64)>> {
+    let n = vectors.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let postings = build_postings(vectors);
+    let sweep_block = |lo: usize, hi: usize| -> Vec<Vec<(u32, f64)>> {
+        let mut acc = vec![0.0f64; n];
+        let mut seen = vec![false; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            for (t, wi) in vectors[i].iter() {
+                for &(j, wj) in &postings[t as usize] {
+                    let ju = j as usize;
+                    if ju == i {
+                        continue;
+                    }
+                    if !seen[ju] {
+                        seen[ju] = true;
+                        touched.push(j);
+                    }
+                    acc[ju] += wi * wj;
+                }
+            }
+            touched.sort_unstable();
+            let mut row: Vec<(u32, f64)> = Vec::with_capacity(touched.len());
+            for &j in &touched {
+                let ju = j as usize;
+                row.push((j, acc[ju]));
+                acc[ju] = 0.0;
+                seen[ju] = false;
+            }
+            touched.clear();
+            out.push(row);
+        }
+        out
+    };
+    if !parallel || n <= BLOCK_ROWS {
+        return sweep_block(0, n);
+    }
+    let blocks: Vec<(usize, usize)> = (0..n)
+        .step_by(BLOCK_ROWS)
+        .map(|lo| (lo, (lo + BLOCK_ROWS).min(n)))
+        .collect();
+    tl_support::par::par_map(&blocks, |&(lo, hi)| sweep_block(lo, hi))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    fn assert_bits_equal(a: &SimilarityMatrix, b: &SimilarityMatrix) {
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+            assert_eq!(ra.len(), rb.len(), "row {i} lengths differ");
+            for (&(ja, wa), &(jb, wb)) in ra.iter().zip(rb) {
+                assert_eq!(ja, jb, "row {i} partner order differs");
+                assert_eq!(wa.to_bits(), wb.to_bits(), "row {i} sim({ja}) bits");
+            }
+        }
+        for (i, (&ta, &tb)) in a.row_total.iter().zip(&b.row_total).enumerate() {
+            assert_eq!(ta.to_bits(), tb.to_bits(), "row_total[{i}] bits");
+        }
+    }
+
+    #[test]
+    fn tiny_hand_checked() {
+        let vecs = vec![
+            v(&[(0, 0.6), (1, 0.8)]),
+            v(&[(1, 1.0)]),
+            v(&[(5, 1.0)]), // disjoint
+        ];
+        let m = allpairs_cosine(&vecs, 0.0, false);
+        assert_eq!(m.sim(0, 1), 0.8);
+        assert_eq!(m.sim(1, 0), 0.8);
+        assert_eq!(m.sim(0, 2), 0.0);
+        assert_eq!(m.row_total[2], 0.0);
+        assert_bits_equal(&m, &pairwise_reference(&vecs, 0.0));
+    }
+
+    #[test]
+    fn threshold_drops_storage_not_totals() {
+        let vecs = vec![
+            v(&[(0, 1.0), (1, 0.1)]),
+            v(&[(1, 1.0)]),
+            v(&[(0, 1.0)]),
+        ];
+        let r = pairwise_reference(&vecs, 0.5);
+        let k = allpairs_cosine(&vecs, 0.5, false);
+        assert_bits_equal(&k, &r);
+        // Weak pair present in totals but not stored.
+        assert!(k.row_total[1] > 0.0);
+        assert_eq!(k.sim(0, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = allpairs_cosine(&[], 0.0, true);
+        assert!(m.rows.is_empty() && m.row_total.is_empty());
+        let vecs = vec![SparseVector::default(), v(&[(3, 1.0)])];
+        let m = allpairs_cosine(&vecs, 0.0, false);
+        assert_bits_equal(&m, &pairwise_reference(&vecs, 0.0));
+        assert!(allpairs_dot(&[], true).is_empty());
+    }
+
+    #[test]
+    fn dot_rows_match_sparse_dot() {
+        let vecs = vec![
+            v(&[(0, 1.0), (2, -2.0)]),
+            v(&[(0, 0.5), (2, 3.0)]),
+            v(&[(7, 1.0)]),
+        ];
+        let rows = allpairs_dot(&vecs, false);
+        assert_eq!(rows[0], vec![(1, vecs[0].dot(&vecs[1]))]);
+        assert_eq!(rows[1], vec![(0, vecs[1].dot(&vecs[0]))]);
+        assert!(rows[2].is_empty());
+    }
+}

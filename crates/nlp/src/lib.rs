@@ -16,11 +16,14 @@
 //! * [`tfidf`] — corpus-level document frequencies and TF-IDF weighting,
 //! * [`ngram`] — n-gram and skip-bigram extraction (used by ROUGE),
 //! * [`keyphrase`] — RAKE-style keyphrase extraction (query bootstrap),
+//! * [`allpairs`] — term-at-a-time all-pairs cosine kernel, bit-identical
+//!   to the quadratic pairwise loop it replaces,
 //! * [`analyze`] — the composed analysis pipeline used across the workspace,
 //! * [`batch`] — one-pass corpus analysis, optionally parallel with a
 //!   frozen-vocabulary merge that keeps results identical to serial.
 #![warn(missing_docs)]
 
+pub mod allpairs;
 pub mod analyze;
 pub mod batch;
 pub mod keyphrase;
@@ -33,6 +36,7 @@ pub mod tokenize;
 pub mod vector;
 pub mod vocab;
 
+pub use allpairs::{allpairs_cosine, allpairs_dot, pairwise_reference, SimilarityMatrix};
 pub use analyze::{analyze_call_count, AnalysisOptions, Analyzer};
 pub use batch::analyze_batch;
 pub use keyphrase::{extract_keyphrases, keyphrase_query, Keyphrase};

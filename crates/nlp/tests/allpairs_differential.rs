@@ -1,0 +1,200 @@
+//! Differential suite for the all-pairs similarity kernel: on random
+//! corpora, [`tl_nlp::allpairs_cosine`] (serial and parallel) must be
+//! **bit-identical** (`f64::to_bits`) to the retained quadratic reference
+//! [`tl_nlp::pairwise_reference`] — both the stored rows and the exact row
+//! totals — and the raw-dot sweep must carry [`SparseVector::dot`]'s bits.
+
+use tl_nlp::{allpairs_cosine, allpairs_dot, pairwise_reference, SimilarityMatrix, SparseVector};
+use tl_support::qp_assert;
+use tl_support::quickprop::{check, gens, Gen};
+
+fn assert_matrices_bit_identical(label: &str, got: &SimilarityMatrix, want: &SimilarityMatrix) {
+    assert_eq!(got.rows.len(), want.rows.len(), "{label}: row count");
+    for (i, (g, w)) in got.rows.iter().zip(&want.rows).enumerate() {
+        assert_eq!(
+            g.len(),
+            w.len(),
+            "{label}: row {i} stored-entry count ({g:?} vs {w:?})"
+        );
+        for (&(jg, sg), &(jw, sw)) in g.iter().zip(w) {
+            assert_eq!(jg, jw, "{label}: row {i} partner order");
+            assert_eq!(
+                sg.to_bits(),
+                sw.to_bits(),
+                "{label}: row {i} sim to {jg}: {sg} vs {sw}"
+            );
+        }
+    }
+    for (i, (&g, &w)) in got.row_total.iter().zip(&want.row_total).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{label}: row_total[{i}]: {g} vs {w}");
+    }
+}
+
+/// Random sparse corpora over a small term space (to force postings
+/// collisions), weights of both signs, including empty vectors.
+fn corpus_gen() -> impl Gen<Value = Vec<Vec<(u32, f64)>>> {
+    gens::vecs(
+        gens::vecs((gens::u32s(0..60), gens::f64s(-5.0..5.0)), 0..12),
+        0..40,
+    )
+}
+
+fn to_vectors(raw: &[Vec<(u32, f64)>]) -> Vec<SparseVector> {
+    raw.iter()
+        .map(|pairs| SparseVector::from_pairs(pairs.clone()))
+        .collect()
+}
+
+#[test]
+fn prop_kernel_bit_identical_to_reference() {
+    check(
+        "allpairs_kernel_vs_pairwise_reference",
+        (corpus_gen(), gens::f64s(0.0..0.4), gens::bools()),
+        |(raw, threshold, parallel)| {
+            let vectors = to_vectors(raw);
+            let want = pairwise_reference(&vectors, *threshold);
+            let got = allpairs_cosine(&vectors, *threshold, *parallel);
+            assert_matrices_bit_identical("random corpus", &got, &want);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_serial_and_parallel_agree() {
+    check(
+        "allpairs_serial_equals_parallel",
+        (corpus_gen(), gens::f64s(0.0..0.4)),
+        |(raw, threshold)| {
+            let vectors = to_vectors(raw);
+            let serial = allpairs_cosine(&vectors, *threshold, false);
+            let parallel = allpairs_cosine(&vectors, *threshold, true);
+            qp_assert!(serial == parallel, "serial/parallel mismatch");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_dot_rows_match_sparse_dot() {
+    check(
+        "allpairs_dot_vs_sparse_dot",
+        (corpus_gen(), gens::bools()),
+        |(raw, parallel)| {
+            let vectors = to_vectors(raw);
+            let rows = allpairs_dot(&vectors, *parallel);
+            for (i, row) in rows.iter().enumerate() {
+                let mut prev: Option<u32> = None;
+                for &(j, d) in row {
+                    qp_assert!(prev.map_or(true, |p| p < j), "row {i} not ascending");
+                    prev = Some(j);
+                    let want = vectors[i].dot(&vectors[j as usize]);
+                    qp_assert!(
+                        d.to_bits() == want.to_bits(),
+                        "dot({i},{j}) = {d} want {want}"
+                    );
+                }
+                // Partners absent from the row share no term: dot must be 0.
+                let present: Vec<u32> = row.iter().map(|&(j, _)| j).collect();
+                for j in 0..vectors.len() {
+                    if j != i && !present.contains(&(j as u32)) {
+                        qp_assert!(vectors[i].dot(&vectors[j]) == 0.0);
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_pair_sims_match_cosine_both_directions() {
+    // Stored entries carry SparseVector::cosine's exact bits regardless of
+    // which side of the pair is queried (multiplication commutes in IEEE).
+    check(
+        "allpairs_sim_lookup_vs_cosine",
+        corpus_gen(),
+        |raw: &Vec<Vec<(u32, f64)>>| {
+            let vectors = to_vectors(raw);
+            let m = allpairs_cosine(&vectors, 0.0, false);
+            for i in 0..vectors.len() {
+                for j in 0..vectors.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let want = vectors[i].cosine(&vectors[j]);
+                    let got = m.sim(i, j);
+                    if want > 0.0 {
+                        qp_assert!(
+                            got.to_bits() == want.to_bits(),
+                            "sim({i},{j}) = {got} want {want}"
+                        );
+                    } else {
+                        qp_assert!(got == 0.0, "non-positive pair stored: {got}");
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn threshold_zero_and_disjoint_edge_cases() {
+    // Explicit corners the generator may hit rarely: threshold exactly 0.0,
+    // all-empty corpus, fully disjoint term spaces.
+    let empty = vec![SparseVector::default(); 4];
+    assert_matrices_bit_identical(
+        "all-empty",
+        &allpairs_cosine(&empty, 0.0, true),
+        &pairwise_reference(&empty, 0.0),
+    );
+
+    let disjoint: Vec<SparseVector> = (0..8)
+        .map(|i| SparseVector::from_pairs(vec![(i as u32 * 3, 1.0), (i as u32 * 3 + 1, 0.5)]))
+        .collect();
+    let m = allpairs_cosine(&disjoint, 0.0, false);
+    assert_matrices_bit_identical("disjoint", &m, &pairwise_reference(&disjoint, 0.0));
+    assert!(m.rows.iter().all(Vec::is_empty));
+    assert!(m.row_total.iter().all(|&t| t == 0.0));
+
+    // Identical vectors at threshold 0.0: every pair stored, totals = n-1.
+    let same: Vec<SparseVector> =
+        vec![SparseVector::from_pairs(vec![(0, 3.0), (2, 4.0)]); 5];
+    let m = allpairs_cosine(&same, 0.0, false);
+    assert_matrices_bit_identical("identical", &m, &pairwise_reference(&same, 0.0));
+    assert_eq!(m.rows[0].len(), 4);
+}
+
+#[test]
+fn realistic_tfidf_corpus_matches() {
+    // End-to-end shape: analyzed text → TF-IDF unit vectors → kernel, the
+    // exact pipeline the baselines run.
+    use tl_nlp::{analyze_batch, AnalysisOptions, TfIdfModel};
+    let texts: Vec<String> = (0..300)
+        .map(|i| {
+            format!(
+                "event {} unfolded as leaders met on day {} amid talks {}",
+                i % 23,
+                i,
+                (i * 7) % 13
+            )
+        })
+        .collect();
+    let (_, tokens) = analyze_batch(AnalysisOptions::retrieval(), &texts, true);
+    let tfidf = TfIdfModel::fit(tokens.iter().map(Vec::as_slice));
+    let vectors: Vec<SparseVector> = tokens.iter().map(|t| tfidf.unit_vector(t)).collect();
+    for threshold in [0.0, 0.05, 0.5] {
+        let want = pairwise_reference(&vectors, threshold);
+        assert_matrices_bit_identical(
+            "tfidf serial",
+            &allpairs_cosine(&vectors, threshold, false),
+            &want,
+        );
+        assert_matrices_bit_identical(
+            "tfidf parallel",
+            &allpairs_cosine(&vectors, threshold, true),
+            &want,
+        );
+    }
+}

@@ -15,7 +15,7 @@ fn main() {
     // Ingest every topic of a dataset — the service holds one big index, as
     // the paper's production system holds 4 years of Washington Post news.
     let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
-    let mut system = RealTimeSystem::new(WilsonConfig::default());
+    let system = RealTimeSystem::new(WilsonConfig::default());
     let started = Instant::now();
     for topic in &dataset.topics {
         system.ingest_all(&topic.articles);

@@ -53,17 +53,25 @@ echo "== sharded engine: concurrency stress (fixed seed, small budget) =="
 TL_STRESS_ITERS=1 TL_STRESS_SEED=5745438 \
     cargo test -q --offline -p tl-wilson --test stress
 
+echo "== all-pairs kernel: differential bit-identity gate =="
+# The term-at-a-time similarity kernel must stay bit-identical to the
+# quadratic pairwise reference (stored rows and row totals, f64 bits,
+# serial and parallel variants) across random corpora and thresholds.
+cargo test -q --offline -p tl-nlp --test allpairs_differential
+
 echo "== bench targets compile =="
 cargo build --offline --all-targets
 
 echo "== bench smoke: report format + regression gate =="
-# One small full-pipeline bench. The test re-parses the BENCH_pipeline.json
-# it writes (report-format check) and, with TL_BENCH_ENFORCE=1, fails if
-# its median regresses more than 2x over the committed baseline entry.
+# Small full-pipeline benches. bench_smoke re-parses the BENCH_pipeline.json
+# it writes (report-format check); with TL_BENCH_ENFORCE=1 both tests fail
+# if any fresh median (pipeline/smoke, every table7_runtime/* entry)
+# regresses more than 2x over its committed baseline — so losing the
+# all-pairs kernel in a baseline fails CI, not just a WILSON slowdown.
 # TL_BENCH_REPORT_DIR keeps the scratch report out of the working tree.
 # Absolute path: cargo runs test binaries from the package directory.
 TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
     cargo test -q --offline --release -p tl-bench --test pipeline -- \
-    --ignored bench_smoke --nocapture
+    --ignored bench_smoke bench_methods --nocapture
 
 echo "CI passed."
