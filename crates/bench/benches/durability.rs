@@ -1,0 +1,166 @@
+//! Durability cost of the crash-safe real-time engine: what does the WAL
+//! buy and what does it charge?
+//!
+//! * `durability/ingest_volatile_1k` — 1k dated sentences into the purely
+//!   in-memory sharded engine (publish every 100),
+//! * `durability/ingest_wal_1k` — the same 1k sentences through
+//!   [`DurableEngine`] on [`FileStorage`] (WAL append per insert, fsync
+//!   barrier per publish). The acceptance gate: the WAL path must stay
+//!   within **2×** of the volatile path in the same run,
+//! * `durability/recovery_1k` / `durability/recovery_10k` — wall time of
+//!   [`DurableEngine::open`] on a directory holding that many durable
+//!   records (the 10k log crosses the default snapshot cadence's publish
+//!   batching, so recovery replays a realistic snapshot + WAL mix).
+//!
+//! Results go to `BENCH_durability.json`; with `TL_BENCH_ENFORCE=1` each
+//! fresh median must also stay within 2× of its committed baseline.
+//!
+//! Run with `cargo test -q -p tl-bench --test durability -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tl_bench::{baseline_median, bench, record, timeline17_corpus};
+use tl_corpus::DatedSentence;
+use tl_ir::{DurabilityConfig, DurableEngine, ShardedSearchConfig, ShardedSearchEngine};
+use tl_support::storage::FileStorage;
+
+const PUBLISH_EVERY: usize = 100;
+
+fn corpus(n: usize) -> Vec<DatedSentence> {
+    let base = timeline17_corpus(0.05).sentences;
+    assert!(!base.is_empty());
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
+}
+
+fn scratch_root() -> PathBuf {
+    std::env::temp_dir().join(format!("tl-bench-durability-{}", std::process::id()))
+}
+
+fn enforce() -> bool {
+    std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1")
+}
+
+fn gate_baseline(name: &str, fresh_median: f64, regressions: &mut Vec<String>) {
+    if !enforce() {
+        return;
+    }
+    let baseline = baseline_median("BENCH_durability.json", name)
+        .unwrap_or_else(|| panic!("committed BENCH_durability.json must contain {name}"));
+    if fresh_median > 2.0 * baseline {
+        regressions.push(format!(
+            "{name}: median {:.1} ms > 2x baseline {:.1} ms",
+            fresh_median * 1e3,
+            baseline * 1e3
+        ));
+    }
+}
+
+fn ingest_volatile(docs: &[DatedSentence]) -> ShardedSearchEngine {
+    let engine = ShardedSearchEngine::new(ShardedSearchConfig::default());
+    for (i, ds) in docs.iter().enumerate() {
+        engine.insert(ds.date, ds.pub_date, &ds.text);
+        if (i + 1) % PUBLISH_EVERY == 0 {
+            engine.publish();
+        }
+    }
+    engine.publish();
+    engine
+}
+
+fn ingest_durable(dir: &PathBuf, docs: &[DatedSentence], config: DurabilityConfig) -> usize {
+    let storage = Arc::new(FileStorage::open(dir).expect("open bench scratch dir"));
+    let engine = DurableEngine::open(storage, ShardedSearchConfig::default(), config)
+        .expect("open durable engine");
+    for (i, ds) in docs.iter().enumerate() {
+        engine.insert(ds.date, ds.pub_date, &ds.text).expect("durable insert");
+        if (i + 1) % PUBLISH_EVERY == 0 {
+            engine.publish().expect("durable publish");
+        }
+    }
+    engine.publish().expect("durable publish");
+    engine.len()
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_wal_ingest_overhead() {
+    let docs = corpus(1_000);
+    let root = scratch_root();
+    let mut regressions = Vec::new();
+
+    let volatile = bench("durability/ingest_volatile_1k", || {
+        black_box(ingest_volatile(&docs).len());
+    });
+    record("BENCH_durability.json", "durability/ingest_volatile_1k", &volatile);
+    gate_baseline("durability/ingest_volatile_1k", volatile.median, &mut regressions);
+
+    // A fresh directory per run so every measured iteration pays the whole
+    // WAL from byte zero (snapshots off: this entry isolates append+fsync
+    // cost; compaction is measured by the recovery entries below).
+    let mut run = 0usize;
+    let wal = bench("durability/ingest_wal_1k", || {
+        run += 1;
+        let dir = root.join(format!("ingest-{run}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        black_box(ingest_durable(
+            &dir,
+            &docs,
+            DurabilityConfig::default().with_snapshot_every(0),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    record("BENCH_durability.json", "durability/ingest_wal_1k", &wal);
+    gate_baseline("durability/ingest_wal_1k", wal.median, &mut regressions);
+
+    println!(
+        "bench durability: WAL ingest overhead {:.2}x over in-memory",
+        wal.median / volatile.median
+    );
+    // The headline acceptance gate is an intra-run comparison (same
+    // machine, same moment), so it holds unconditionally — not only under
+    // TL_BENCH_ENFORCE.
+    assert!(
+        wal.median <= 2.0 * volatile.median,
+        "WAL ingest overhead too high: {:.3} ms durable vs {:.3} ms volatile (> 2x)",
+        wal.median * 1e3,
+        volatile.median * 1e3
+    );
+    assert!(regressions.is_empty(), "durability ingest regressions:\n{}", regressions.join("\n"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_recovery_wall_time() {
+    let root = scratch_root();
+    let mut regressions = Vec::new();
+    for &n in &[1_000usize, 10_000] {
+        let docs = corpus(n);
+        let dir = root.join(format!("recovery-{n}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Default durability config: the 10k log crosses the snapshot
+        // cadence, so recovery loads a snapshot + replays the WAL tail;
+        // the 1k log is pure WAL replay.
+        let expected = ingest_durable(&dir, &docs, DurabilityConfig::default());
+        assert_eq!(expected, n);
+
+        let name = format!("durability/recovery_{}k", n / 1_000);
+        let stats = bench(&name, || {
+            let storage = Arc::new(FileStorage::open(&dir).expect("reopen bench dir"));
+            let engine = DurableEngine::open(
+                storage,
+                ShardedSearchConfig::default(),
+                DurabilityConfig::default(),
+            )
+            .expect("recovery");
+            assert_eq!(engine.len(), n);
+            black_box(engine.epoch());
+        });
+        record("BENCH_durability.json", &name, &stats);
+        gate_baseline(&name, stats.median, &mut regressions);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(regressions.is_empty(), "recovery regressions:\n{}", regressions.join("\n"));
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -145,7 +145,7 @@ fn bench_realtime() {
     let dataset = generate(&SynthConfig::timeline17().with_scale(0.05));
     let system = RealTimeSystem::new(WilsonConfig::default());
     for topic in &dataset.topics {
-        system.ingest_all(&topic.articles);
+        system.ingest_all(&topic.articles).unwrap();
     }
     let cfg = SynthConfig::timeline17();
     let query = TimelineQuery {
@@ -171,13 +171,13 @@ fn bench_realtime() {
                 fetch_limit: query.fetch_limit + bump,
                 ..query.clone()
             };
-            black_box(system.timeline(&cold));
+            black_box(system.timeline(&cold).unwrap());
         },
     );
     // Warm path: the §5 dashboard scenario — the same query repeated with
     // no intervening ingestion is served from the epoch-keyed memo.
-    system.timeline(&query);
+    system.timeline(&query).unwrap();
     bench_reported("BENCH_pipeline.json", "realtime/repeated_query_cached", || {
-        black_box(system.timeline(&query));
+        black_box(system.timeline(&query).unwrap());
     });
 }

@@ -57,7 +57,7 @@ fn fixture() -> Fixture {
         .with_search(ShardedSearchConfig::default().with_shards(4));
     let system = RealTimeSystem::new(config);
     for topic in &dataset.topics {
-        system.ingest_all(&topic.articles);
+        system.ingest_all(&topic.articles).unwrap();
     }
     let cfg = SynthConfig::timeline17();
     let query = TimelineQuery {
@@ -92,7 +92,7 @@ fn closed_loop_round(fx: &Fixture, clients: usize, bump: &AtomicUsize) -> (Vec<f
                             ..fx.query.clone()
                         };
                         let t0 = Instant::now();
-                        black_box(fx.system.timeline(&q));
+                        black_box(fx.system.timeline(&q).unwrap());
                         mine.push(t0.elapsed().as_secs_f64());
                     }
                     mine
@@ -193,7 +193,7 @@ fn bench_queries_during_ingestion() {
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for batch in chunk.chunks(4) {
-                    fx.system.ingest_all(batch);
+                    fx.system.ingest_all(batch).unwrap();
                 }
             });
             let (_, wall) = closed_loop_round(&fx, 4, &bump);

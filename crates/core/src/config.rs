@@ -1,6 +1,6 @@
 //! Configuration of the WILSON pipeline.
 
-use tl_ir::ShardedSearchConfig;
+use tl_ir::{DurabilityConfig, ShardedSearchConfig};
 
 /// Edge-weight scheme for the date reference graph (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -94,6 +94,11 @@ pub struct WilsonConfig {
     /// (§5). The default merge policy keeps answers bit-identical to the
     /// single-shard reference engine.
     pub search: ShardedSearchConfig,
+    /// Durability of the real-time engine when opened on persistent
+    /// storage ([`crate::RealTimeSystem::open`]): snapshot cadence,
+    /// publish-sync barrier, and the storage retry policy. Ignored by the
+    /// purely in-memory [`crate::RealTimeSystem::new`].
+    pub durability: DurabilityConfig,
 }
 
 impl Default for WilsonConfig {
@@ -107,6 +112,7 @@ impl Default for WilsonConfig {
             parallel: true,
             analysis_parallel: true,
             search: ShardedSearchConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -160,6 +166,13 @@ impl WilsonConfig {
     /// shard counts; the stress suite pins timeouts).
     pub fn with_search(mut self, search: ShardedSearchConfig) -> Self {
         self.search = search;
+        self
+    }
+
+    /// Builder-style durability override (chaos tests disable snapshots;
+    /// benchmarks tune the publish-sync barrier).
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
         self
     }
 }

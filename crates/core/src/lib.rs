@@ -52,3 +52,5 @@ pub use dateselect::{select_dates, uniformity};
 pub use explain::{explain_date_selection, DateExplanation};
 pub use realtime::{RealTimeSystem, TimelineQuery};
 pub use summarize::Wilson;
+pub use tl_ir::{DurabilityConfig, HealthReport};
+pub use tl_support::storage::{EngineError, RetryPolicy, StorageError};

@@ -19,10 +19,14 @@ use crate::cache::AnalysisCache;
 use crate::config::WilsonConfig;
 use crate::summarize::Wilson;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
-use tl_ir::{EngineSnapshot, SearchQuery, ShardedSearchEngine};
+use tl_ir::{
+    DurableEngine, EngineSnapshot, HealthReport, SearchQuery, ShardedSearchEngine,
+};
+use tl_support::storage::{EngineError, FileStorage, Storage};
 use tl_temporal::Date;
 
 /// A query against the real-time system.
@@ -53,13 +57,56 @@ struct QueryCache {
     answers: HashMap<QueryKey, Timeline>,
 }
 
+/// The engine behind the service: purely in-memory, or wrapped in the
+/// WAL + snapshot durability layer.
+enum EngineKind {
+    Volatile(ShardedSearchEngine),
+    Durable(DurableEngine),
+}
+
+impl EngineKind {
+    fn shared(&self) -> &ShardedSearchEngine {
+        match self {
+            Self::Volatile(e) => e,
+            Self::Durable(d) => d.engine(),
+        }
+    }
+
+    fn insert(&self, date: Date, pub_date: Date, text: &str) -> Result<(), EngineError> {
+        match self {
+            Self::Volatile(e) => {
+                e.insert(date, pub_date, text);
+                Ok(())
+            }
+            Self::Durable(d) => d.insert(date, pub_date, text).map(|_| ()),
+        }
+    }
+
+    fn publish(&self) -> Result<usize, EngineError> {
+        match self {
+            Self::Volatile(e) => Ok(e.publish()),
+            Self::Durable(d) => d.publish(),
+        }
+    }
+
+    fn health(&self) -> HealthReport {
+        match self {
+            Self::Volatile(e) => e.health(),
+            Self::Durable(d) => d.health(),
+        }
+    }
+}
+
 /// The ingestion + query service.
 ///
 /// All methods take `&self`: the service is safe to share across threads,
 /// with writers calling [`ingest`](Self::ingest) and readers calling
-/// [`timeline`](Self::timeline) concurrently.
+/// [`timeline`](Self::timeline) concurrently. Opened via
+/// [`open`](Self::open) (or [`with_storage`](Self::with_storage)), every
+/// acknowledged ingest is WAL-durable and a restart recovers the exact
+/// pre-crash engine state.
 pub struct RealTimeSystem {
-    engine: ShardedSearchEngine,
+    engine: EngineKind,
     wilson: Wilson,
     num_articles: AtomicUsize,
     cache: Mutex<QueryCache>,
@@ -72,38 +119,81 @@ impl Default for RealTimeSystem {
 }
 
 impl RealTimeSystem {
-    /// Create an empty service with the given WILSON configuration (whose
-    /// `search` field selects shard count, merge policy and query timeout).
+    /// Create an empty, purely in-memory service with the given WILSON
+    /// configuration (whose `search` field selects shard count, merge
+    /// policy and query timeout). A crash loses all ingested documents —
+    /// use [`open`](Self::open) for a durable service.
     pub fn new(config: WilsonConfig) -> Self {
+        let engine = EngineKind::Volatile(ShardedSearchEngine::new(config.search.clone()));
+        Self::with_engine(engine, config)
+    }
+
+    /// Open a durable service rooted at `path` (created if missing),
+    /// recovering any state a previous process persisted there: latest
+    /// valid snapshot + WAL tail replay, with a torn final record
+    /// truncated. The recovered engine answers queries bit-identically to
+    /// one that never crashed.
+    pub fn open(path: impl AsRef<Path>, config: WilsonConfig) -> Result<Self, EngineError> {
+        let storage = Arc::new(FileStorage::open(path)?);
+        Self::with_storage(storage, config)
+    }
+
+    /// [`open`](Self::open) over an explicit [`Storage`] backend (the chaos
+    /// suite passes fault-injecting in-memory storage here).
+    pub fn with_storage(
+        storage: Arc<dyn Storage>,
+        config: WilsonConfig,
+    ) -> Result<Self, EngineError> {
+        let durable = DurableEngine::open(
+            storage,
+            config.search.clone(),
+            config.durability.clone(),
+        )?;
+        Ok(Self::with_engine(EngineKind::Durable(durable), config))
+    }
+
+    fn with_engine(engine: EngineKind, config: WilsonConfig) -> Self {
         Self {
-            engine: ShardedSearchEngine::new(config.search.clone()),
+            engine,
             wilson: Wilson::new(config),
             num_articles: AtomicUsize::new(0),
             cache: Mutex::new(QueryCache::default()),
         }
     }
 
+    /// Lock the query cache, recovering from poisoning: the cache is a
+    /// pure performance memo (epoch-keyed, re-derivable), so a thread that
+    /// panicked while holding it can at worst leave extra valid entries.
+    fn lock_cache(&self) -> MutexGuard<'_, QueryCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Ingest one article: split-tag-index all of its dated sentences, then
     /// publish the new epoch (the article becomes visible atomically — no
-    /// query ever sees a prefix of it).
-    pub fn ingest(&self, article: &Article) {
+    /// query ever sees a prefix of it). On a durable system an `Ok` means
+    /// the article survives a crash; an `Err` means it may not be visible
+    /// after recovery (the in-memory state is unchanged for the failed
+    /// suffix and ingestion can be retried).
+    pub fn ingest(&self, article: &Article) -> Result<(), EngineError> {
         for ds in dated_sentences(std::slice::from_ref(article), None) {
-            self.engine.insert(ds.date, ds.pub_date, &ds.text);
+            self.engine.insert(ds.date, ds.pub_date, &ds.text)?;
         }
         self.num_articles.fetch_add(1, Ordering::Relaxed);
-        self.engine.publish();
+        self.engine.publish()?;
+        Ok(())
     }
 
     /// Ingest a batch of articles, publishing once at the end (one epoch
     /// bump, one snapshot build).
-    pub fn ingest_all(&self, articles: &[Article]) {
+    pub fn ingest_all(&self, articles: &[Article]) -> Result<(), EngineError> {
         for article in articles {
             for ds in dated_sentences(std::slice::from_ref(article), None) {
-                self.engine.insert(ds.date, ds.pub_date, &ds.text);
+                self.engine.insert(ds.date, ds.pub_date, &ds.text)?;
             }
             self.num_articles.fetch_add(1, Ordering::Relaxed);
         }
-        self.engine.publish();
+        self.engine.publish()?;
+        Ok(())
     }
 
     /// Number of ingested articles.
@@ -113,23 +203,30 @@ impl RealTimeSystem {
 
     /// Number of published (query-visible) dated sentences.
     pub fn num_sentences(&self) -> usize {
-        self.engine.len()
+        self.engine.shared().len()
     }
 
     /// The current published engine epoch.
     pub fn epoch(&self) -> usize {
-        self.engine.epoch()
+        self.engine.shared().epoch()
     }
 
     /// How many queries returned a degraded (deadline-clipped) answer.
     pub fn degraded_queries(&self) -> u64 {
-        self.engine.degraded_queries()
+        self.engine.shared().degraded_queries()
+    }
+
+    /// Engine + durability telemetry (degraded queries, per-shard timeout
+    /// counters; WAL replay / recovery / retry / snapshot totals when the
+    /// service is durable).
+    pub fn health(&self) -> HealthReport {
+        self.engine.health()
     }
 
     /// Number of timelines cached for the current engine epoch.
     pub fn cached_queries(&self) -> usize {
-        let cache = self.cache.lock().unwrap();
-        if cache.epoch == self.engine.epoch() {
+        let cache = self.lock_cache();
+        if cache.epoch == self.engine.shared().epoch() {
             cache.answers.len()
         } else {
             0
@@ -146,9 +243,11 @@ impl RealTimeSystem {
     /// and WILSON consumes those tokens via its analysis cache. Answers are
     /// memoized per pinned epoch (keyed by the full query), so a repeated
     /// or overlapping dashboard query returns instantly until new articles
-    /// arrive.
-    pub fn timeline(&self, query: &TimelineQuery) -> Timeline {
-        let snapshot = self.engine.snapshot();
+    /// arrive. A *degraded* answer (some shard missed the query deadline)
+    /// is returned but never memoized: the cache only ever holds
+    /// authoritative, complete answers.
+    pub fn timeline(&self, query: &TimelineQuery) -> Result<Timeline, EngineError> {
+        let snapshot = self.engine.shared().snapshot();
         let epoch = snapshot.epoch();
         let key: QueryKey = (
             query.keywords.clone(),
@@ -158,26 +257,28 @@ impl RealTimeSystem {
             query.fetch_limit,
         );
         {
-            let mut cache = self.cache.lock().unwrap();
+            let mut cache = self.lock_cache();
             if cache.epoch < epoch {
                 cache.epoch = epoch;
                 cache.answers.clear();
             } else if cache.epoch == epoch {
                 if let Some(tl) = cache.answers.get(&key) {
-                    return tl.clone();
+                    return Ok(tl.clone());
                 }
             }
         }
-        let timeline = self.answer(&snapshot, query);
-        let mut cache = self.cache.lock().unwrap();
-        if cache.epoch == epoch {
-            cache.answers.insert(key, timeline.clone());
+        let (timeline, partial) = self.answer(&snapshot, query);
+        if !partial {
+            let mut cache = self.lock_cache();
+            if cache.epoch == epoch {
+                cache.answers.insert(key, timeline.clone());
+            }
         }
-        timeline
+        Ok(timeline)
     }
 
-    fn answer(&self, snapshot: &Arc<EngineSnapshot>, query: &TimelineQuery) -> Timeline {
-        let hits = ShardedSearchEngine::search_at(
+    fn answer(&self, snapshot: &Arc<EngineSnapshot>, query: &TimelineQuery) -> (Timeline, bool) {
+        let outcome = ShardedSearchEngine::search_at_outcome(
             snapshot,
             &SearchQuery {
                 keywords: query.keywords.clone(),
@@ -185,6 +286,7 @@ impl RealTimeSystem {
                 limit: query.fetch_limit,
             },
         );
+        let hits = outcome.hits;
         let mut corpus: Vec<DatedSentence> = Vec::with_capacity(hits.len());
         for (i, h) in hits.iter().enumerate() {
             let Some(s) = snapshot.get(h.id) else {
@@ -207,13 +309,14 @@ impl RealTimeSystem {
                 .map(|row| (row, snapshot.get(h.id).expect("analyzed implies stored").date))
         }));
         let query_tokens = snapshot.analyzer().analyze_frozen(&query.keywords);
-        self.wilson.generate_cached(
+        let timeline = self.wilson.generate_cached(
             &corpus,
             &cache,
             &query_tokens,
             query.num_dates,
             query.sents_per_date,
-        )
+        );
+        (timeline, outcome.partial)
     }
 }
 
@@ -231,7 +334,7 @@ mod tests {
         let ds = generate(&SynthConfig::tiny());
         let topic = &ds.topics[0];
         let sys = RealTimeSystem::default();
-        sys.ingest_all(&topic.articles);
+        sys.ingest_all(&topic.articles).unwrap();
         let cfg = SynthConfig::tiny();
         let window = (
             cfg.start_date,
@@ -251,13 +354,14 @@ mod tests {
     #[test]
     fn query_returns_timeline_in_window() {
         let (sys, query, window) = loaded_system();
-        let tl = sys.timeline(&TimelineQuery {
+        let tl_res = sys.timeline(&TimelineQuery {
             keywords: query,
             window,
             num_dates: 6,
             sents_per_date: 2,
             fetch_limit: 500,
         });
+        let tl = tl_res.unwrap();
         assert!(tl.num_dates() > 0);
         assert!(tl.num_dates() <= 6);
         for date in tl.dates() {
@@ -269,13 +373,14 @@ mod tests {
     fn narrow_window_filters_dates() {
         let (sys, query, window) = loaded_system();
         let narrow = (window.0, window.0.plus_days(20));
-        let tl = sys.timeline(&TimelineQuery {
+        let tl_res = sys.timeline(&TimelineQuery {
             keywords: query,
             window: narrow,
             num_dates: 6,
             sents_per_date: 1,
             fetch_limit: 500,
         });
+        let tl = tl_res.unwrap();
         for date in tl.dates() {
             assert!(date <= narrow.1);
         }
@@ -284,14 +389,14 @@ mod tests {
     #[test]
     fn irrelevant_keywords_give_empty_timeline() {
         let (sys, _, window) = loaded_system();
-        let tl = sys.timeline(&TimelineQuery {
+        let tl_res = sys.timeline(&TimelineQuery {
             keywords: "xylophone zeppelin quixotic".into(),
             window,
             num_dates: 5,
             sents_per_date: 2,
             fetch_limit: 100,
         });
-        assert_eq!(tl.num_dates(), 0);
+        assert_eq!(tl_res.unwrap().num_dates(), 0);
     }
 
     #[test]
@@ -306,7 +411,7 @@ mod tests {
                 "The summit concluded with a joint declaration.".into(),
             ],
         };
-        sys.ingest(&article);
+        sys.ingest(&article).unwrap();
         let q = TimelineQuery {
             keywords: "summit trump kim".into(),
             window: (d("2018-01-01"), d("2018-12-31")),
@@ -314,7 +419,7 @@ mod tests {
             sents_per_date: 1,
             fetch_limit: 50,
         };
-        let tl = sys.timeline(&q);
+        let tl = sys.timeline(&q).unwrap();
         assert_eq!(tl.num_dates(), 1);
         assert_eq!(tl.dates()[0], d("2018-06-12"));
     }
@@ -330,9 +435,9 @@ mod tests {
             fetch_limit: 200,
         };
         assert_eq!(sys.cached_queries(), 0);
-        let first = sys.timeline(&q);
+        let first = sys.timeline(&q).unwrap();
         assert_eq!(sys.cached_queries(), 1);
-        let second = sys.timeline(&q);
+        let second = sys.timeline(&q).unwrap();
         assert_eq!(first.entries, second.entries);
         assert_eq!(sys.cached_queries(), 1);
         // A different query is a separate entry.
@@ -340,7 +445,7 @@ mod tests {
             num_dates: 3,
             ..q.clone()
         };
-        sys.timeline(&narrow);
+        sys.timeline(&narrow).unwrap();
         assert_eq!(sys.cached_queries(), 2);
     }
 
@@ -355,7 +460,8 @@ mod tests {
         sys.ingest(&article(
             "2018-06-12",
             "The historic summit between Trump and Kim took place.",
-        ));
+        ))
+        .unwrap();
         let q = TimelineQuery {
             keywords: "summit trump kim".into(),
             window: (d("2018-01-01"), d("2018-12-31")),
@@ -363,16 +469,17 @@ mod tests {
             sents_per_date: 1,
             fetch_limit: 50,
         };
-        let before = sys.timeline(&q);
+        let before = sys.timeline(&q).unwrap();
         assert_eq!(before.num_dates(), 1);
         assert_eq!(sys.cached_queries(), 1);
         sys.ingest(&article(
             "2018-05-24",
             "Trump abruptly canceled the planned summit with Kim.",
-        ));
+        ))
+        .unwrap();
         // The stale answer must not be served after new articles arrive.
         assert_eq!(sys.cached_queries(), 0);
-        let after = sys.timeline(&q);
+        let after = sys.timeline(&q).unwrap();
         assert_eq!(after.num_dates(), 2);
     }
 
@@ -398,8 +505,8 @@ mod tests {
                 let config = WilsonConfig::default()
                     .with_search(ShardedSearchConfig::default().with_shards(n));
                 let sys = RealTimeSystem::new(config);
-                sys.ingest_all(&topic.articles);
-                sys.timeline(&q)
+                sys.ingest_all(&topic.articles).unwrap();
+                sys.timeline(&q).unwrap()
             })
             .collect();
         assert!(answers[0].num_dates() > 0);
@@ -421,9 +528,9 @@ mod tests {
         );
         let sys = RealTimeSystem::default();
         let (first, rest) = topic.articles.split_first().unwrap();
-        sys.ingest(first);
+        sys.ingest(first).unwrap();
         std::thread::scope(|scope| {
-            scope.spawn(|| sys.ingest_all(rest));
+            scope.spawn(|| sys.ingest_all(rest).unwrap());
             let q = TimelineQuery {
                 keywords: topic.query.clone(),
                 window,
@@ -437,5 +544,136 @@ mod tests {
         });
         assert_eq!(sys.num_articles(), topic.articles.len());
         assert_eq!(sys.num_sentences(), sys.epoch());
+    }
+
+    #[test]
+    fn durable_system_recovers_after_restart() {
+        use tl_support::storage::MemStorage;
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        let q = TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 300,
+        };
+        let storage = Arc::new(MemStorage::new());
+        let sys = RealTimeSystem::with_storage(storage.clone(), WilsonConfig::default()).unwrap();
+        sys.ingest_all(&topic.articles).unwrap();
+        let before = sys.timeline(&q).unwrap();
+        let sentences = sys.num_sentences();
+        assert!(before.num_dates() > 0);
+        // "Restart": drop the service and recover from the same storage.
+        drop(sys);
+        let recovered =
+            RealTimeSystem::with_storage(storage, WilsonConfig::default()).unwrap();
+        assert_eq!(recovered.num_sentences(), sentences);
+        let after = recovered.timeline(&q).unwrap();
+        assert_eq!(before.entries, after.entries);
+        let health = recovered.health();
+        assert_eq!(health.recoveries, 1);
+        assert_eq!(health.last_recovery_epoch, sentences as u64);
+        assert!(health.wal_replayed >= sentences as u64);
+    }
+
+    #[test]
+    fn open_creates_and_recovers_a_directory() {
+        let root = std::env::temp_dir().join(format!(
+            "tl-realtime-open-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let article = Article {
+            id: 0,
+            pub_date: d("2018-06-12"),
+            sentences: vec!["The historic summit between Trump and Kim took place.".into()],
+        };
+        let q = TimelineQuery {
+            keywords: "summit trump kim".into(),
+            window: (d("2018-01-01"), d("2018-12-31")),
+            num_dates: 3,
+            sents_per_date: 1,
+            fetch_limit: 50,
+        };
+        {
+            let sys = RealTimeSystem::open(&root, WilsonConfig::default()).unwrap();
+            sys.ingest(&article).unwrap();
+            assert_eq!(sys.timeline(&q).unwrap().num_dates(), 1);
+        }
+        let sys = RealTimeSystem::open(&root, WilsonConfig::default()).unwrap();
+        assert_eq!(sys.num_sentences(), 1);
+        assert_eq!(sys.timeline(&q).unwrap().num_dates(), 1);
+        assert_eq!(sys.health().recoveries, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn partial_answers_are_never_cached() {
+        use std::time::Duration;
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        // A zero query budget guarantees every non-trivial query is
+        // degraded (only shard 0 answers).
+        let config = WilsonConfig::default().with_search(
+            ShardedSearchConfig::default()
+                .with_shards(4)
+                .with_timeout(Some(Duration::ZERO)),
+        );
+        let sys = RealTimeSystem::new(config);
+        sys.ingest_all(&topic.articles).unwrap();
+        let q = TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 300,
+        };
+        let _ = sys.timeline(&q).unwrap();
+        assert!(sys.degraded_queries() >= 1);
+        assert_eq!(
+            sys.cached_queries(),
+            0,
+            "a deadline-degraded answer must not be memoized as authoritative"
+        );
+        // Re-asking recomputes instead of serving a stale partial answer.
+        let _ = sys.timeline(&q).unwrap();
+        assert!(sys.degraded_queries() >= 2);
+    }
+
+    #[test]
+    fn poisoned_query_cache_recovers() {
+        let (sys, query, window) = loaded_system();
+        let sys = Arc::new(sys);
+        let poisoner = Arc::clone(&sys);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.cache.lock().unwrap();
+            panic!("simulated query crash");
+        })
+        .join();
+        assert!(joined.is_err());
+        // Queries keep working (and keep memoizing) after the poison.
+        let q = TimelineQuery {
+            keywords: query,
+            window,
+            num_dates: 4,
+            sents_per_date: 1,
+            fetch_limit: 200,
+        };
+        let first = sys.timeline(&q).unwrap();
+        assert_eq!(sys.cached_queries(), 1);
+        let second = sys.timeline(&q).unwrap();
+        assert_eq!(first.entries, second.entries);
     }
 }

@@ -38,7 +38,7 @@ fn pipeline_tokenizes_each_sentence_exactly_once() {
     // Real-time system: ingestion analyzes each sentence once...
     let sys = RealTimeSystem::default();
     let before = analyze_call_count();
-    sys.ingest_all(&topic.articles);
+    sys.ingest_all(&topic.articles).unwrap();
     assert_eq!(analyze_call_count() - before, sys.num_sentences() as u64);
 
     // ...and queries re-analyze nothing at all, cached or not.
@@ -54,8 +54,8 @@ fn pipeline_tokenizes_each_sentence_exactly_once() {
         fetch_limit: 500,
     };
     let before = analyze_call_count();
-    let first = sys.timeline(&query);
-    let second = sys.timeline(&query);
+    let first = sys.timeline(&query).unwrap();
+    let second = sys.timeline(&query).unwrap();
     assert_eq!(
         analyze_call_count() - before,
         0,

@@ -1,0 +1,357 @@
+//! Chaos harness for the crash-safe real-time engine.
+//!
+//! Three adversaries, all deterministic from one seed:
+//!
+//! 1. **Kill at every WAL offset** — a corpus is ingested durably, then the
+//!    engine is "killed" at *every byte prefix* of the resulting log:
+//!    recovery from each prefix must yield exactly the longest valid record
+//!    prefix, answer queries bit-identically to an uncrashed reference over
+//!    the recovered published epoch, and (after re-publishing) over every
+//!    replayed insert.
+//! 2. **Injected fault schedules** — ingestion runs over a seeded
+//!    [`FaultyStorage`] (outright errors, torn appends, lost fsyncs) with
+//!    bounded retries, then the process crashes (`simulate_crash` drops all
+//!    unsynced bytes). Recovery must come back as a clean *prefix* of the
+//!    acknowledged inserts; with fsync loss disabled, every acknowledged
+//!    publish must survive.
+//! 3. **Timeline-level restart** — the full [`RealTimeSystem`] is restarted
+//!    from forked storage mid-stream and must answer timeline queries
+//!    identically to a never-crashed system over the same articles.
+//!
+//! Seeded via `TL_CHAOS_SEED`, round count via `TL_CHAOS_ITERS` (CI pins
+//! both for reproducibility; defaults keep local runs fast).
+
+use std::sync::Arc;
+use tl_corpus::{generate, SynthConfig};
+use tl_ir::wal::{scan_records, WalRecord, WAL_FILE};
+use tl_ir::{
+    DurabilityConfig, DurableEngine, SearchEngine, SearchHit, SearchQuery, ShardedSearchConfig,
+};
+use tl_support::rng::Rng;
+use tl_support::storage::{FaultConfig, FaultyStorage, MemStorage, RetryPolicy, Storage};
+use tl_temporal::Date;
+use tl_wilson::{RealTimeSystem, TimelineQuery, WilsonConfig};
+
+const WORDS: &[&str] = &[
+    "summit", "trump", "kim", "korea", "north", "south", "talks", "nuclear",
+    "sanctions", "peace", "treaty", "border", "missile", "launch", "historic",
+    "meeting", "leaders", "agreement", "singapore", "pyongyang",
+];
+
+fn chaos_seed() -> u64 {
+    std::env::var("TL_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x57AB1E)
+}
+
+fn chaos_iters() -> usize {
+    std::env::var("TL_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+fn random_date(rng: &mut Rng) -> Date {
+    Date::from_ymd(2018, 1, 1)
+        .unwrap()
+        .plus_days(rng.bounded_u64(120) as i32)
+}
+
+fn random_sentence(rng: &mut Rng) -> String {
+    let len = 3 + rng.bounded_u64(9) as usize;
+    (0..len)
+        .map(|_| *rng.choose(WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn random_queries(rng: &mut Rng, n: usize) -> Vec<SearchQuery> {
+    (0..n)
+        .map(|_| {
+            let k = 1 + rng.bounded_u64(3) as usize;
+            let keywords = (0..k)
+                .map(|_| *rng.choose(WORDS).unwrap())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let range = if rng.bounded_u64(2) == 0 {
+                let lo = random_date(rng);
+                Some((lo, lo.plus_days(45)))
+            } else {
+                None
+            };
+            SearchQuery {
+                keywords,
+                range,
+                limit: 1 + rng.bounded_u64(30) as usize,
+            }
+        })
+        .collect()
+}
+
+fn assert_identical(a: &[SearchHit], b: &[SearchHit], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: hit counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.id, y.id, "{ctx}: hit {i} id");
+        assert_eq!(x.date, y.date, "{ctx}: hit {i} date");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: hit {i} score bits ({:.17} vs {:.17})",
+            x.score,
+            y.score
+        );
+    }
+}
+
+/// Reference over the first `n` dated sentences.
+fn reference_prefix(docs: &[(Date, String)], n: usize) -> SearchEngine {
+    let mut e = SearchEngine::new();
+    for (date, text) in &docs[..n] {
+        e.insert(*date, *date, text);
+    }
+    e
+}
+
+fn open_clean(mem: Arc<MemStorage>, shards: usize) -> DurableEngine {
+    DurableEngine::open(
+        mem,
+        ShardedSearchConfig::default().with_shards(shards),
+        DurabilityConfig::default().with_snapshot_every(0),
+    )
+    .expect("recovery from a crash prefix must never fail")
+}
+
+#[test]
+fn kill_at_every_wal_offset() {
+    let mut rng = Rng::seed_from_u64(chaos_seed());
+    let num_docs = 14 + rng.bounded_u64(8) as usize;
+    let docs: Vec<(Date, String)> = (0..num_docs)
+        .map(|_| (random_date(&mut rng), random_sentence(&mut rng)))
+        .collect();
+    let queries = random_queries(&mut rng, 4);
+
+    // Ingest durably with publishes at random boundaries.
+    let mem = Arc::new(MemStorage::new());
+    let engine = open_clean(mem.clone(), 3);
+    for (date, text) in &docs {
+        engine.insert(*date, *date, text).unwrap();
+        if rng.bounded_u64(3) == 0 {
+            engine.publish().unwrap();
+        }
+    }
+    engine.publish().unwrap();
+    let wal = mem.read(WAL_FILE).unwrap();
+    assert!(!wal.is_empty());
+
+    // Kill the engine at every byte offset of the log and recover.
+    for k in 0..=wal.len() {
+        let storage = Arc::new(MemStorage::new());
+        storage.put_raw(WAL_FILE, wal[..k].to_vec());
+        let recovered = open_clean(storage, 3);
+
+        // Expected state: the longest valid record prefix of the first k
+        // bytes, with the last epoch marker in that prefix published.
+        let scan = scan_records(&wal[..k]);
+        let mut inserts = 0u64;
+        let mut published = 0u64;
+        for r in &scan.records {
+            match r {
+                WalRecord::Insert { .. } => inserts += 1,
+                WalRecord::Epoch { epoch } => published = *epoch,
+            }
+        }
+        assert_eq!(
+            recovered.durable_inserts(),
+            inserts,
+            "offset {k}: replayed insert count"
+        );
+        assert_eq!(recovered.epoch() as u64, published, "offset {k}: epoch");
+
+        // Bit-identity over the recovered published prefix...
+        let reference = reference_prefix(&docs, published as usize);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &recovered.search(q),
+                &reference.search(q),
+                &format!("offset {k} query {qi} (published prefix)"),
+            );
+        }
+        // ...and, after publishing the replayed pending tail, over every
+        // insert that survived the kill.
+        recovered.publish().unwrap();
+        let reference = reference_prefix(&docs, inserts as usize);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &recovered.search(q),
+                &reference.search(q),
+                &format!("offset {k} query {qi} (full prefix)"),
+            );
+        }
+    }
+}
+
+/// One fault-schedule round. Returns (acked inserts, injected faults).
+fn fault_round(seed: u64, sync_loss: bool) -> (usize, u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let num_docs = 20 + rng.bounded_u64(20) as usize;
+    let docs: Vec<(Date, String)> = (0..num_docs)
+        .map(|_| (random_date(&mut rng), random_sentence(&mut rng)))
+        .collect();
+    let queries = random_queries(&mut rng, 3);
+
+    let mem = Arc::new(MemStorage::new());
+    let faulty = Arc::new(FaultyStorage::new(
+        Arc::clone(&mem),
+        FaultConfig {
+            seed: seed ^ 0xFA17,
+            fail_prob: 0.05,
+            torn_prob: 0.08,
+            sync_loss_prob: if sync_loss { 0.2 } else { 0.0 },
+        },
+    ));
+    let engine = DurableEngine::open(
+        faulty.clone(),
+        ShardedSearchConfig::default().with_shards(2),
+        DurabilityConfig::default()
+            .with_snapshot_every(0)
+            // Generous retries so *most* operations eventually land, while
+            // exhaustion still happens (fail^4 ≈ 6e-6 per op, torn^4 more).
+            .with_retry(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: std::time::Duration::ZERO,
+            }),
+    )
+    .expect("open on empty storage");
+
+    // Acked = inserts whose Ok the caller saw; synced_epoch = the last
+    // publish whose Ok the caller saw.
+    let mut acked: Vec<(Date, String)> = Vec::new();
+    let mut acked_epoch = 0usize;
+    for (date, text) in &docs {
+        if engine.insert(*date, *date, text).is_ok() {
+            acked.push((*date, text.clone()));
+        }
+        if rng.bounded_u64(4) == 0 {
+            if let Ok(epoch) = engine.publish() {
+                acked_epoch = epoch;
+            }
+        }
+    }
+    if let Ok(epoch) = engine.publish() {
+        acked_epoch = epoch;
+    }
+    let injected = faulty.injected_faults();
+    drop(engine);
+
+    // Power failure: every byte not covered by a *real* sync is gone.
+    mem.simulate_crash();
+    let recovered = open_clean(mem, 2);
+
+    // The recovered inserts are a strict prefix of the acknowledged
+    // sequence, and the recovered epoch points inside it.
+    let n = recovered.durable_inserts() as usize;
+    assert!(
+        n <= acked.len(),
+        "recovered {n} inserts but only {} were acknowledged",
+        acked.len()
+    );
+    assert!(recovered.epoch() <= n);
+    if !sync_loss {
+        // Honest fsync: an acknowledged publish MUST survive the crash.
+        assert!(
+            recovered.epoch() >= acked_epoch,
+            "acked epoch {acked_epoch} lost (recovered only {})",
+            recovered.epoch()
+        );
+    }
+    // Bit-identity of the recovered prefix against an uncrashed reference.
+    let reference = reference_prefix(&acked, recovered.epoch());
+    for (qi, q) in queries.iter().enumerate() {
+        assert_identical(
+            &recovered.search(q),
+            &reference.search(q),
+            &format!("seed {seed} query {qi} (published)"),
+        );
+    }
+    recovered.publish().unwrap();
+    let reference = reference_prefix(&acked, n);
+    for (qi, q) in queries.iter().enumerate() {
+        assert_identical(
+            &recovered.search(q),
+            &reference.search(q),
+            &format!("seed {seed} query {qi} (full)"),
+        );
+    }
+    (acked.len(), injected)
+}
+
+#[test]
+fn injected_fault_schedules_recover_to_acked_prefix() {
+    let seed = chaos_seed();
+    let mut total_faults = 0;
+    for round in 0..chaos_iters() as u64 {
+        let (_, faults) = fault_round(seed.wrapping_add(round * 7919), false);
+        total_faults += faults;
+    }
+    assert!(
+        total_faults > 0,
+        "the fault schedule never fired; the adversary is toothless"
+    );
+}
+
+#[test]
+fn lost_fsyncs_still_recover_to_a_consistent_prefix() {
+    let seed = chaos_seed() ^ 0x5Fc;
+    for round in 0..chaos_iters() as u64 {
+        fault_round(seed.wrapping_add(round * 104_729), true);
+    }
+}
+
+#[test]
+fn realtime_system_restart_matches_uncrashed_system() {
+    let seed = chaos_seed();
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let cfg = SynthConfig::tiny();
+    let window = (
+        cfg.start_date,
+        cfg.start_date.plus_days(cfg.duration_days as i32),
+    );
+    let q = TimelineQuery {
+        keywords: topic.query.clone(),
+        window,
+        num_dates: 5,
+        sents_per_date: 2,
+        fetch_limit: 300,
+    };
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7135);
+    // Snapshot compaction on (small random cadence) so restarts also
+    // exercise the snapshot-load path, not just WAL replay.
+    let config = |rng: &mut Rng| {
+        WilsonConfig::default().with_durability(
+            DurabilityConfig::default().with_snapshot_every(1 + rng.bounded_u64(40) as usize),
+        )
+    };
+    let mem = Arc::new(MemStorage::new());
+    let mut sys = RealTimeSystem::with_storage(mem.clone(), config(&mut rng)).unwrap();
+    let reference = RealTimeSystem::new(WilsonConfig::default());
+    let total = topic.articles.len();
+    for (i, article) in topic.articles.iter().enumerate() {
+        sys.ingest(article).unwrap();
+        reference.ingest(article).unwrap();
+        // Restart the durable system at random article boundaries.
+        if i + 1 == total || rng.bounded_u64(3) == 0 {
+            drop(sys);
+            sys = RealTimeSystem::with_storage(mem.clone(), config(&mut rng)).unwrap();
+            assert_eq!(sys.num_sentences(), reference.num_sentences(), "article {i}");
+            let ours = sys.timeline(&q).unwrap();
+            let theirs = reference.timeline(&q).unwrap();
+            assert_eq!(
+                ours.entries, theirs.entries,
+                "article {i}: restarted system diverged from uncrashed reference"
+            );
+        }
+    }
+    assert!(sys.health().recoveries >= 1);
+}

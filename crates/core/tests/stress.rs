@@ -151,7 +151,7 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
         let writer = scope.spawn(|| {
             let mut rng = Rng::seed_from_u64(seed);
             for article in articles {
-                sys.ingest(article);
+                sys.ingest(article).expect("ingest");
                 for _ in 0..rng.bounded_u64(4) {
                     std::thread::yield_now();
                 }
@@ -167,7 +167,7 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
                     for _ in 0..10 {
                         let qi = rng.bounded_u64(queries.len() as u64) as usize;
                         let before = sys.epoch();
-                        let timeline = sys.timeline(&queries[qi]);
+                        let timeline = sys.timeline(&queries[qi]).expect("query");
                         let after = sys.epoch();
                         recorded.push((qi, before, timeline.entries, after));
                     }
@@ -189,12 +189,12 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
     let answers_at = |sys: &RealTimeSystem| {
         queries
             .iter()
-            .map(|q| sys.timeline(q).entries)
+            .map(|q| sys.timeline(q).expect("query").entries)
             .collect::<Vec<_>>()
     };
     by_epoch.insert(0, answers_at(&reference));
     for article in articles {
-        reference.ingest(article);
+        reference.ingest(article).expect("ingest");
         by_epoch.insert(reference.epoch(), answers_at(&reference));
     }
 

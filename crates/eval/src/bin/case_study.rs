@@ -132,7 +132,7 @@ fn main() {
     // --- Table 11 analog: query-driven real-time timeline ---
     println!("\n== Table 11 analog: real-time query-driven timeline ==");
     let system = RealTimeSystem::new(WilsonConfig::default());
-    system.ingest_all(&topic.articles);
+    system.ingest_all(&topic.articles).expect("ingest");
     let cfg = tl_corpus::SynthConfig::timeline17();
     let tl = system.timeline(&TimelineQuery {
         keywords: topic.query.clone(),
@@ -143,7 +143,8 @@ fn main() {
         num_dates: 10,
         sents_per_date: 1,
         fetch_limit: 3000,
-    });
+    })
+    .expect("query");
     println!(
         "query {:?} over {} indexed sentences -> {} dates:\n",
         topic.query,

@@ -19,7 +19,9 @@
 //! * [`search`] — the dated-sentence search engine (ElasticSearch
 //!   substitute) with keyword + quoted-phrase + date-range queries,
 //! * [`shard`] — the sharded, snapshot-read concurrent engine (§5 at
-//!   scale), bit-identical to [`search`] under the default merge policy.
+//!   scale), bit-identical to [`search`] under the default merge policy,
+//! * [`wal`] — crash-safe persistence for the sharded engine: checksummed
+//!   write-ahead log, compacted snapshots, deterministic recovery.
 #![warn(missing_docs)]
 
 pub mod bm25;
@@ -27,11 +29,14 @@ pub mod index;
 pub mod positional;
 pub mod search;
 pub mod shard;
+pub mod wal;
 
 pub use bm25::{Bm25Accumulator, Bm25Params, Bm25Scorer};
 pub use index::InvertedIndex;
 pub use positional::{split_query, PositionalIndex};
 pub use search::{SearchEngine, SearchHit, SearchQuery};
 pub use shard::{
-    shard_of, EngineSnapshot, MergePolicy, ShardedSearchConfig, ShardedSearchEngine,
+    shard_of, EngineSnapshot, HealthReport, MergePolicy, SearchOutcome, ShardedSearchConfig,
+    ShardedSearchEngine,
 };
+pub use wal::{DurabilityConfig, DurableEngine};

@@ -35,7 +35,7 @@ use crate::positional::{split_query, PositionalIndex};
 use crate::search::{SearchHit, SearchQuery, StoredSentence};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 use tl_nlp::vocab::TermId;
 use tl_nlp::{AnalysisOptions, Analyzer};
@@ -112,6 +112,47 @@ pub fn shard_of(id: DocId, num_shards: usize) -> usize {
     (splitmix64(&mut state) % num_shards.max(1) as u64) as usize
 }
 
+/// A query answer plus the flag saying whether it is complete.
+///
+/// `partial == true` means at least one shard missed the query deadline and
+/// was dropped from the merge: the hits are a correct *subset* of the full
+/// answer but must not be treated (or cached) as authoritative.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The merged hits (complete, or a shard-0-anchored subset).
+    pub hits: Vec<SearchHit>,
+    /// True when any shard was dropped for missing the deadline.
+    pub partial: bool,
+}
+
+/// Operational telemetry for the engine and (when wrapped by
+/// `wal::DurableEngine`) its durability layer. Plain data — cheap to build,
+/// compare and print.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Published epoch (= published sentence count).
+    pub epoch: usize,
+    /// Number of shards.
+    pub num_shards: usize,
+    /// Queries answered partially because some shard missed its deadline.
+    pub degraded_queries: u64,
+    /// Deadline misses per shard (index = shard id; shard 0 never times
+    /// out — it answers on the calling thread).
+    pub shard_timeouts: Vec<u64>,
+    /// WAL/snapshot records replayed at the last recovery (0 = volatile).
+    pub wal_replayed: u64,
+    /// Number of non-empty recoveries performed.
+    pub recoveries: u64,
+    /// Published epoch reached by the most recent recovery.
+    pub last_recovery_epoch: u64,
+    /// Torn/corrupt WAL tails truncated during recovery.
+    pub truncated_tails: u64,
+    /// Storage operations retried after an error.
+    pub retries: u64,
+    /// Compacted snapshots written.
+    pub snapshots_written: u64,
+}
+
 /// One shard: its own postings over the documents hashed to it, plus the
 /// local→global id mapping (`global_ids[local] = global`; monotone, so
 /// local order and global order agree within a shard).
@@ -154,6 +195,8 @@ pub struct EngineSnapshot {
     total_len: u64,
     /// Shared degraded-query counter (lives across publishes).
     degraded: Arc<AtomicU64>,
+    /// Shared per-shard deadline-miss counters (index = shard id).
+    shard_timeouts: Arc<Vec<AtomicU64>>,
 }
 
 impl EngineSnapshot {
@@ -161,6 +204,7 @@ impl EngineSnapshot {
         params: Bm25Params,
         config: ShardedSearchConfig,
         degraded: Arc<AtomicU64>,
+        shard_timeouts: Arc<Vec<AtomicU64>>,
     ) -> Self {
         let num_shards = config.num_shards.max(1);
         Self {
@@ -173,6 +217,7 @@ impl EngineSnapshot {
             df: HashMap::new(),
             total_len: 0,
             degraded,
+            shard_timeouts,
         }
     }
 
@@ -455,6 +500,7 @@ pub struct ShardedSearchEngine {
     writer: Mutex<Writer>,
     published: RwLock<Arc<EngineSnapshot>>,
     degraded: Arc<AtomicU64>,
+    shard_timeouts: Arc<Vec<AtomicU64>>,
 }
 
 impl Default for ShardedSearchEngine {
@@ -473,7 +519,14 @@ impl ShardedSearchEngine {
     pub fn with_params(mut config: ShardedSearchConfig, params: Bm25Params) -> Self {
         config.num_shards = config.num_shards.max(1);
         let degraded = Arc::new(AtomicU64::new(0));
-        let initial = EngineSnapshot::empty(params, config.clone(), Arc::clone(&degraded));
+        let shard_timeouts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..config.num_shards).map(|_| AtomicU64::new(0)).collect());
+        let initial = EngineSnapshot::empty(
+            params,
+            config.clone(),
+            Arc::clone(&degraded),
+            Arc::clone(&shard_timeouts),
+        );
         Self {
             params,
             writer: Mutex::new(Writer {
@@ -487,6 +540,7 @@ impl ShardedSearchEngine {
             published: RwLock::new(Arc::new(initial)),
             config,
             degraded,
+            shard_timeouts,
         }
     }
 
@@ -495,10 +549,31 @@ impl ShardedSearchEngine {
         &self.config
     }
 
+    /// Lock the writer, recovering from poisoning. The writer's mutation
+    /// sequence (analyze, index, then append to the store and flip `dirty`)
+    /// keeps the pending delta consistent at every await-free step that can
+    /// panic, and `publish` re-derives the snapshot from the writer state
+    /// wholesale — so a thread that panicked while holding the lock leaves
+    /// at worst an extra *unpublished* partial document, never a torn
+    /// published snapshot. Recovering with `into_inner` therefore cannot
+    /// surface corruption to readers, and one crashed ingest thread must
+    /// not brick every subsequent ingest.
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read_published(&self) -> RwLockReadGuard<'_, Arc<EngineSnapshot>> {
+        self.published.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_published(&self) -> RwLockWriteGuard<'_, Arc<EngineSnapshot>> {
+        self.published.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Insert a dated sentence into the pending delta; returns its stable
     /// global id. Invisible to queries until [`ShardedSearchEngine::publish`].
     pub fn insert(&self, date: Date, pub_date: Date, text: &str) -> DocId {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.lock_writer();
         let tokens = w.analyzer.analyze(text);
         let id = w.store.len();
         let s = shard_of(id, self.config.num_shards);
@@ -530,7 +605,7 @@ impl ShardedSearchEngine {
     /// returns the new epoch. A no-op (returning the current epoch) when
     /// nothing was inserted since the last publish.
     pub fn publish(&self) -> usize {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.lock_writer();
         if !w.dirty {
             return self.epoch();
         }
@@ -544,17 +619,18 @@ impl ShardedSearchEngine {
             df: w.df.clone(),
             total_len: w.total_len,
             degraded: Arc::clone(&self.degraded),
+            shard_timeouts: Arc::clone(&self.shard_timeouts),
         });
         w.dirty = false;
         let epoch = snapshot.epoch;
-        *self.published.write().unwrap() = snapshot;
+        *self.write_published() = snapshot;
         epoch
     }
 
     /// Pin the current published snapshot (cheap: one `Arc` clone under a
     /// briefly-held read lock).
     pub fn snapshot(&self) -> Arc<EngineSnapshot> {
-        self.published.read().unwrap().clone()
+        self.read_published().clone()
     }
 
     /// The published epoch (= published sentence count).
@@ -583,16 +659,36 @@ impl ShardedSearchEngine {
         Self::search_at(&self.snapshot(), query)
     }
 
+    /// Query the current snapshot and report whether the answer is partial
+    /// (some shard missed the deadline). Callers that memoize answers must
+    /// use this and skip caching when `partial` — see the bugfix note on
+    /// [`SearchOutcome`].
+    pub fn search_outcome(&self, query: &SearchQuery) -> SearchOutcome {
+        Self::search_at_outcome(&self.snapshot(), query)
+    }
+
     /// Query a *pinned* snapshot, honoring its configured timeout. With no
     /// timeout this is `snapshot.search` (deterministic full fan-out); with
     /// one, shards are dispatched to detached threads, shard 0 runs on the
     /// caller, and shards missing the budget are dropped from the merge.
     pub fn search_at(snapshot: &Arc<EngineSnapshot>, query: &SearchQuery) -> Vec<SearchHit> {
+        Self::search_at_outcome(snapshot, query).hits
+    }
+
+    /// [`Self::search_at`] with the partial flag. Every dropped shard also
+    /// bumps its per-shard timeout counter (see [`HealthReport`]).
+    pub fn search_at_outcome(snapshot: &Arc<EngineSnapshot>, query: &SearchQuery) -> SearchOutcome {
         let Some(timeout) = snapshot.config.query_timeout else {
-            return snapshot.search(query);
+            return SearchOutcome {
+                hits: snapshot.search(query),
+                partial: false,
+            };
         };
         let Some(pq) = snapshot.prepare(query) else {
-            return Vec::new();
+            return SearchOutcome {
+                hits: Vec::new(),
+                partial: false,
+            };
         };
         let cap = pq.cap;
         let pq = Arc::new(pq);
@@ -601,11 +697,37 @@ impl ShardedSearchEngine {
         let results = par_map_deadline(shard_ids, Some(timeout), move |s| {
             snap.search_shard(s, &pq)
         });
-        if results.iter().any(Option::is_none) {
+        let mut partial = false;
+        for (s, r) in results.iter().enumerate() {
+            if r.is_none() {
+                partial = true;
+                snapshot.shard_timeouts[s].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if partial {
             snapshot.degraded.fetch_add(1, Ordering::Relaxed);
         }
         let per_shard: Vec<Vec<SearchHit>> = results.into_iter().flatten().collect();
-        snapshot.merge(per_shard, cap)
+        SearchOutcome {
+            hits: snapshot.merge(per_shard, cap),
+            partial,
+        }
+    }
+
+    /// Engine-side health counters (the durability fields stay zero; the
+    /// durable wrapper fills them in).
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            epoch: self.epoch(),
+            num_shards: self.config.num_shards,
+            degraded_queries: self.degraded.load(Ordering::Relaxed),
+            shard_timeouts: self
+                .shard_timeouts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            ..HealthReport::default()
+        }
     }
 }
 
@@ -782,6 +904,14 @@ mod tests {
         };
         let degraded = engine.search(&q);
         assert!(engine.degraded_queries() >= 1);
+        let health = engine.health();
+        assert_eq!(health.num_shards, 4);
+        assert_eq!(health.degraded_queries, engine.degraded_queries());
+        assert_eq!(health.shard_timeouts[0], 0, "shard 0 never times out");
+        assert!(
+            health.shard_timeouts[1..].iter().any(|&c| c > 0),
+            "some non-zero shard must have missed the zero deadline: {health:?}"
+        );
         // The degraded answer is exactly shard 0's contribution: a subset
         // of the full (deterministic) answer.
         let full = engine.snapshot().search(&q);
@@ -845,6 +975,72 @@ mod tests {
             limit: 0,
         };
         assert_hits_identical(&engine.search(&q), &reference.search(&q), "limit=0");
+    }
+
+    #[test]
+    fn degraded_outcome_is_tagged_partial() {
+        let config = ShardedSearchConfig::default()
+            .with_shards(4)
+            .with_timeout(Some(Duration::ZERO));
+        let engine = ShardedSearchEngine::new(config);
+        for (day, text) in CORPUS {
+            engine.insert(d(day), d(day), text);
+        }
+        engine.publish();
+        let q = SearchQuery {
+            keywords: "summit trump kim korea".into(),
+            range: None,
+            limit: 10,
+        };
+        let outcome = engine.search_outcome(&q);
+        assert!(outcome.partial, "zero deadline must yield a partial answer");
+        // Without a timeout the outcome is complete and never partial.
+        let exact = sharded(4);
+        assert!(!exact.search_outcome(&q).partial);
+    }
+
+    #[test]
+    fn poisoned_writer_does_not_brick_ingestion() {
+        let engine = Arc::new(sharded(3));
+        let before = engine.len();
+        // A thread panics while holding the writer lock (before mutating
+        // anything), poisoning the mutex.
+        let poisoner = Arc::clone(&engine);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.writer.lock().unwrap();
+            panic!("simulated ingest crash");
+        })
+        .join();
+        assert!(joined.is_err(), "the poisoning thread must have panicked");
+        // Subsequent ingests and publishes recover via into_inner instead
+        // of propagating the poison panic.
+        engine.insert(d("2018-07-01"), d("2018-07-01"), "A post-crash summit development.");
+        let epoch = engine.publish();
+        assert_eq!(epoch, before + 1);
+        engine.snapshot().check_consistency().unwrap();
+        let hits = engine.search(&SearchQuery {
+            keywords: "post-crash summit".into(),
+            range: None,
+            limit: 10,
+        });
+        assert!(hits.iter().any(|h| h.id == before));
+    }
+
+    #[test]
+    fn poisoned_published_lock_recovers() {
+        let engine = Arc::new(sharded(2));
+        let poisoner = Arc::clone(&engine);
+        let joined = std::thread::spawn(move || {
+            // Only a write-guard panic poisons an RwLock.
+            let _guard = poisoner.published.write().unwrap();
+            panic!("simulated publisher crash");
+        })
+        .join();
+        assert!(joined.is_err());
+        // Reads and publishes still work.
+        assert_eq!(engine.snapshot().epoch(), CORPUS.len());
+        engine.insert(d("2018-07-02"), d("2018-07-02"), "Another development.");
+        assert_eq!(engine.publish(), CORPUS.len() + 1);
     }
 
     #[test]

@@ -1,0 +1,837 @@
+//! Crash-safe persistence for the sharded real-time engine: a checksummed
+//! write-ahead log, compacted snapshots, and deterministic recovery.
+//!
+//! # Record format
+//!
+//! Both the WAL and the snapshot body are sequences of *framed records*:
+//!
+//! ```text
+//! record  := [len: u32 le] [crc: u32 le = crc32(payload)] [payload: len bytes]
+//! payload := tag u8 ...
+//!   tag 1 (Insert): seq u64 | date i32 | pub_date i32 | text_len u32 | utf8
+//!   tag 2 (Epoch):  epoch u64
+//! ```
+//!
+//! Every ingested sentence appends one `Insert` record carrying its global
+//! doc id (`seq`); every [`DurableEngine::publish`] appends an `Epoch`
+//! marker and (configurably) fsyncs. A snapshot file is a header
+//! (`magic | count | published`) followed by the first `count` insert
+//! records, written atomically; after a snapshot the WAL is compacted.
+//!
+//! # Recovery
+//!
+//! [`DurableEngine::open`] loads the newest snapshot that validates
+//! (checksums, count, exact length), replays the WAL on top — skipping
+//! insert records the snapshot already covers (by `seq`), publishing at
+//! each epoch marker — and **truncates** any torn or checksum-corrupt tail
+//! left by a crash mid-append. Because the engine's entire state is a
+//! deterministic function of the insert sequence (analyzer vocabulary ids,
+//! shard routing, BM25 statistics and float summation order all derive from
+//! insertion order alone), a recovered engine is *bit-identical* to one
+//! that never crashed: same hit ids, same order, same `f64::to_bits` of
+//! every score. `tests/wal_recovery.rs` and the chaos harness in
+//! `crates/core/tests/chaos.rs` pin exactly that.
+
+use crate::index::DocId;
+use crate::search::{SearchHit, SearchQuery};
+use crate::shard::{EngineSnapshot, HealthReport, SearchOutcome, ShardedSearchConfig, ShardedSearchEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use tl_support::storage::{crc32, EngineError, RetryPolicy, Storage};
+use tl_temporal::Date;
+
+/// Name of the write-ahead log file inside the storage root.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name prefix (`snap-<count, zero-padded>.bin`).
+pub const SNAPSHOT_PREFIX: &str = "snap-";
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TLSNAP1\0";
+
+/// Hard cap on a single record payload (defense against interpreting
+/// garbage as a gigantic length and allocating unboundedly).
+const MAX_PAYLOAD: u32 = 1 << 24;
+
+const TAG_INSERT: u8 = 1;
+const TAG_EPOCH: u8 = 2;
+
+/// One durable log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An ingested dated sentence. `seq` is its global doc id.
+    Insert {
+        /// Global doc id (== position in the insert sequence).
+        seq: u64,
+        /// Day-level sentence date.
+        date: Date,
+        /// Publication date of the source article.
+        pub_date: Date,
+        /// Raw sentence text.
+        text: String,
+    },
+    /// A publish boundary: everything with `seq < epoch` is published.
+    Epoch {
+        /// The published epoch (= insert count at publish time).
+        epoch: u64,
+    },
+}
+
+/// Encode one record with its length + checksum frame.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match record {
+        WalRecord::Insert { seq, date, pub_date, text } => {
+            payload.push(TAG_INSERT);
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.extend_from_slice(&date.days().to_le_bytes());
+            payload.extend_from_slice(&pub_date.days().to_le_bytes());
+            payload.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            payload.extend_from_slice(text.as_bytes());
+        }
+        WalRecord::Epoch { epoch } => {
+            payload.push(TAG_EPOCH);
+            payload.extend_from_slice(&epoch.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes.get(at..at + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes.get(at..at + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn read_i32(bytes: &[u8], at: usize) -> Option<i32> {
+    bytes.get(at..at + 4).map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    match *payload.first()? {
+        TAG_INSERT => {
+            let seq = read_u64(payload, 1)?;
+            let date = Date::from_days(read_i32(payload, 9)?);
+            let pub_date = Date::from_days(read_i32(payload, 13)?);
+            let text_len = read_u32(payload, 17)? as usize;
+            let text_bytes = payload.get(21..21 + text_len)?;
+            if payload.len() != 21 + text_len {
+                return None; // trailing garbage inside a framed payload
+            }
+            let text = std::str::from_utf8(text_bytes).ok()?.to_string();
+            Some(WalRecord::Insert { seq, date, pub_date, text })
+        }
+        TAG_EPOCH => {
+            if payload.len() != 9 {
+                return None;
+            }
+            Some(WalRecord::Epoch { epoch: read_u64(payload, 1)? })
+        }
+        _ => None,
+    }
+}
+
+/// Result of scanning a byte stream of framed records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// The records of the longest valid prefix.
+    pub records: Vec<WalRecord>,
+    /// Byte length of that prefix (truncation point after a crash).
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did (torn frame, checksum
+    /// mismatch, malformed payload). `None` means the stream was clean.
+    pub tail_issue: Option<String>,
+}
+
+/// Scan framed records until the end of the stream or the first invalid
+/// frame. Never fails: a torn or corrupt suffix simply ends the valid
+/// prefix (standard WAL semantics — everything after the first bad frame
+/// is unreachable and treated as lost).
+pub fn scan_records(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut tail_issue = None;
+    while at < bytes.len() {
+        let header = match (read_u32(bytes, at), read_u32(bytes, at + 4)) {
+            (Some(len), Some(crc)) => Some((len, crc)),
+            _ => None,
+        };
+        let Some((len, crc)) = header else {
+            tail_issue = Some(format!("torn frame header at byte {at}"));
+            break;
+        };
+        if len > MAX_PAYLOAD {
+            tail_issue = Some(format!("implausible payload length {len} at byte {at}"));
+            break;
+        }
+        let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
+            tail_issue = Some(format!("torn payload at byte {at}"));
+            break;
+        };
+        if crc32(payload) != crc {
+            tail_issue = Some(format!("checksum mismatch at byte {at}"));
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            tail_issue = Some(format!("malformed payload at byte {at}"));
+            break;
+        };
+        records.push(record);
+        at += 8 + len as usize;
+    }
+    WalScan {
+        records,
+        valid_len: at as u64,
+        tail_issue,
+    }
+}
+
+/// A parsed, validated snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFile {
+    /// Number of insert records the snapshot covers (`seq 0..count`).
+    pub count: u64,
+    /// Published epoch at snapshot time (`<= count`; the remainder was
+    /// pending).
+    pub published: u64,
+    /// The covered insert records, in sequence order.
+    pub records: Vec<WalRecord>,
+}
+
+/// Serialize a snapshot: header + framed insert records.
+pub fn encode_snapshot(published: u64, records: &[WalRecord]) -> Vec<u8> {
+    debug_assert!(published <= records.len() as u64);
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+    out.extend_from_slice(&published.to_le_bytes());
+    for r in records {
+        debug_assert!(matches!(r, WalRecord::Insert { .. }));
+        out.extend_from_slice(&encode_record(r));
+    }
+    out
+}
+
+/// Parse and fully validate a snapshot file. Unlike the WAL, a snapshot is
+/// written atomically, so *any* defect (bad magic, bad checksum, wrong
+/// count, trailing bytes) rejects the whole file — recovery then falls
+/// back to an older snapshot or to pure WAL replay.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotFile, String> {
+    if bytes.len() < 24 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err("bad magic or truncated header".into());
+    }
+    let count = read_u64(bytes, 8).expect("length checked");
+    let published = read_u64(bytes, 16).expect("length checked");
+    if published > count {
+        return Err(format!("published {published} > count {count}"));
+    }
+    let scan = scan_records(&bytes[24..]);
+    if let Some(issue) = scan.tail_issue {
+        return Err(issue);
+    }
+    if 24 + scan.valid_len != bytes.len() as u64 {
+        return Err("trailing bytes after records".into());
+    }
+    if scan.records.len() as u64 != count {
+        return Err(format!(
+            "header count {count} != {} records",
+            scan.records.len()
+        ));
+    }
+    for (i, r) in scan.records.iter().enumerate() {
+        match r {
+            WalRecord::Insert { seq, .. } if *seq == i as u64 => {}
+            other => return Err(format!("record {i} is not Insert seq {i}: {other:?}")),
+        }
+    }
+    Ok(SnapshotFile {
+        count,
+        published,
+        records: scan.records,
+    })
+}
+
+/// Snapshot file name for a given covered-insert count.
+pub fn snapshot_name(count: u64) -> String {
+    format!("{SNAPSHOT_PREFIX}{count:012}.bin")
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityConfig
+// ---------------------------------------------------------------------------
+
+/// Durability knobs for [`DurableEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Write a compacted snapshot (and truncate the WAL) once at least this
+    /// many inserts accumulated since the last one, checked at publish
+    /// time. `0` disables automatic snapshots ([`DurableEngine::checkpoint`]
+    /// still works).
+    pub snapshot_every: usize,
+    /// Issue a storage `sync` barrier on every publish, so an acknowledged
+    /// publish survives a crash. Disabling trades durability of the latest
+    /// epochs for throughput (recovery still works, it just may land on an
+    /// earlier epoch).
+    pub sync_on_publish: bool,
+    /// Retry policy for WAL appends, syncs and snapshot writes.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 8192,
+            sync_on_publish: true,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Builder-style snapshot cadence override.
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Builder-style publish-sync override.
+    pub fn with_sync_on_publish(mut self, sync: bool) -> Self {
+        self.sync_on_publish = sync;
+        self
+    }
+
+    /// Builder-style retry-policy override.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DurableEngine
+// ---------------------------------------------------------------------------
+
+/// Durable bookkeeping guarded by one lock: serializes WAL appends with
+/// engine inserts so `seq` always equals the engine's next doc id.
+#[derive(Debug)]
+struct DurState {
+    /// Total insert records durable (snapshot base + WAL), == next seq.
+    appended: u64,
+    /// Insert count at the last epoch marker written.
+    marked: u64,
+    /// Known-good WAL byte length (append target; retries truncate back
+    /// to this before re-appending, healing torn writes).
+    wal_len: u64,
+    /// Inserts covered by the newest snapshot on disk.
+    base: u64,
+    /// Inserts since that snapshot (drives auto-compaction).
+    since_snapshot: usize,
+}
+
+/// Counters describing the durability layer's life so far; surfaced in
+/// [`HealthReport`].
+#[derive(Debug, Default)]
+struct DurStats {
+    replayed_records: AtomicU64,
+    recoveries: AtomicU64,
+    last_recovery_epoch: AtomicU64,
+    truncated_tails: AtomicU64,
+    retries: AtomicU64,
+    snapshots_written: AtomicU64,
+}
+
+/// A [`ShardedSearchEngine`] whose ingestion survives process death: every
+/// insert is WAL-logged before it touches memory, publishes write epoch
+/// markers (with a configurable fsync barrier), snapshots compact the log,
+/// and [`DurableEngine::open`] recovers the exact pre-crash state —
+/// bit-identical query answers included.
+///
+/// The read path is untouched: queries run against the in-memory snapshot
+/// engine and never wait on storage.
+pub struct DurableEngine {
+    engine: ShardedSearchEngine,
+    storage: Arc<dyn Storage>,
+    config: DurabilityConfig,
+    state: Mutex<DurState>,
+    stats: DurStats,
+}
+
+impl DurableEngine {
+    /// Open (recovering if the storage holds prior state) a durable engine.
+    ///
+    /// Recovery: load the newest snapshot that validates, replay the WAL
+    /// tail on top (skipping records the snapshot covers, publishing at
+    /// epoch markers), and truncate any torn/corrupt WAL suffix.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        search: ShardedSearchConfig,
+        config: DurabilityConfig,
+    ) -> Result<Self, EngineError> {
+        let engine = ShardedSearchEngine::new(search);
+        let stats = DurStats::default();
+
+        // Newest snapshot that validates wins; corrupt ones are skipped.
+        let mut snap: Option<SnapshotFile> = None;
+        let mut names: Vec<String> = storage
+            .list()?
+            .into_iter()
+            .filter(|n| n.starts_with(SNAPSHOT_PREFIX))
+            .collect();
+        names.sort();
+        for name in names.iter().rev() {
+            let bytes = match storage.read(name) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            if let Ok(parsed) = decode_snapshot(&bytes) {
+                snap = Some(parsed);
+                break;
+            }
+        }
+
+        let (mut appended, mut published) = (0u64, 0u64);
+        let base = snap.as_ref().map_or(0, |s| s.count);
+        if let Some(s) = snap {
+            // Re-insert the snapshot's records; the engine rebuilds the
+            // identical vocabulary, shard routing and statistics because
+            // all of them are functions of the insert sequence alone.
+            for r in &s.records {
+                let WalRecord::Insert { date, pub_date, text, .. } = r else {
+                    unreachable!("decode_snapshot admits only Insert records");
+                };
+                if appended == s.published {
+                    engine.publish();
+                }
+                engine.insert(*date, *pub_date, text);
+                appended += 1;
+            }
+            if s.published > 0 {
+                // Publish the covered prefix (no-op if pending remains —
+                // the guard below keeps pending records unpublished).
+                if appended == s.published {
+                    engine.publish();
+                }
+                published = s.published;
+            }
+            stats.replayed_records.fetch_add(s.count, Ordering::Relaxed);
+        }
+
+        // WAL replay.
+        let mut wal_len = 0u64;
+        if storage.exists(WAL_FILE)? {
+            let bytes = storage.read(WAL_FILE)?;
+            let scan = scan_records(&bytes);
+            wal_len = scan.valid_len;
+            if scan.tail_issue.is_some() {
+                // A crash mid-append (or tail corruption) left garbage:
+                // drop it so future appends extend a clean log.
+                storage.truncate(WAL_FILE, scan.valid_len)?;
+                stats.truncated_tails.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut replayed = 0u64;
+            for record in scan.records {
+                match record {
+                    WalRecord::Insert { seq, date, pub_date, text } => {
+                        if seq < appended {
+                            continue; // covered by the snapshot
+                        }
+                        if seq > appended {
+                            return Err(EngineError::Replay {
+                                detail: format!(
+                                    "insert sequence gap: have {appended}, log holds {seq}"
+                                ),
+                            });
+                        }
+                        engine.insert(date, pub_date, &text);
+                        appended += 1;
+                        replayed += 1;
+                    }
+                    WalRecord::Epoch { epoch } => {
+                        if epoch <= published {
+                            continue; // older than (or equal to) current state
+                        }
+                        if epoch != appended {
+                            return Err(EngineError::Replay {
+                                detail: format!(
+                                    "epoch marker {epoch} with {appended} inserts replayed"
+                                ),
+                            });
+                        }
+                        engine.publish();
+                        published = epoch;
+                    }
+                }
+            }
+            stats.replayed_records.fetch_add(replayed, Ordering::Relaxed);
+        } else {
+            // Create the log so appends-with-truncate have a target.
+            storage.truncate(WAL_FILE, 0)?;
+        }
+
+        if appended > 0 {
+            stats.recoveries.fetch_add(1, Ordering::Relaxed);
+            stats.last_recovery_epoch.store(published, Ordering::Relaxed);
+        }
+        debug_assert_eq!(engine.epoch(), published as usize);
+
+        Ok(Self {
+            engine,
+            storage,
+            config,
+            state: Mutex::new(DurState {
+                appended,
+                marked: published,
+                wal_len,
+                base,
+                since_snapshot: (appended - base) as usize,
+            }),
+            stats,
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, DurState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Retry-append `bytes` at the known-good log offset. Re-attempts first
+    /// truncate back to `wal_len`, so a torn write from the previous
+    /// attempt never leaves garbage under the new record.
+    fn append_durable(&self, state: &mut DurState, bytes: &[u8]) -> Result<(), EngineError> {
+        let wal_len = state.wal_len;
+        let storage = &self.storage;
+        self.config.retry.run("wal-append", &self.stats.retries, || {
+            storage.truncate(WAL_FILE, wal_len)?;
+            storage.append(WAL_FILE, bytes)
+        })?;
+        state.wal_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Durably log and index one dated sentence (invisible to queries until
+    /// [`publish`](Self::publish)). The record is in the WAL before the
+    /// in-memory engine sees it, so an acknowledged insert can always be
+    /// replayed.
+    pub fn insert(&self, date: Date, pub_date: Date, text: &str) -> Result<DocId, EngineError> {
+        let mut state = self.lock_state();
+        let record = WalRecord::Insert {
+            seq: state.appended,
+            date,
+            pub_date,
+            text: text.to_string(),
+        };
+        self.append_durable(&mut state, &encode_record(&record))?;
+        let id = self.engine.insert(date, pub_date, text);
+        debug_assert_eq!(id as u64, state.appended);
+        state.appended += 1;
+        state.since_snapshot += 1;
+        Ok(id)
+    }
+
+    /// Publish the pending delta: append an epoch marker, sync (when
+    /// configured — after an `Ok` the epoch survives any crash), then swap
+    /// the in-memory snapshot. Returns the published epoch.
+    ///
+    /// On error the in-memory engine is *not* published and the marker is
+    /// not acknowledged; the caller may retry `publish` later.
+    pub fn publish(&self) -> Result<usize, EngineError> {
+        let mut state = self.lock_state();
+        if state.appended == state.marked {
+            return Ok(self.engine.epoch()); // nothing new
+        }
+        let marker = WalRecord::Epoch { epoch: state.appended };
+        self.append_durable(&mut state, &encode_record(&marker))?;
+        if self.config.sync_on_publish {
+            let storage = &self.storage;
+            self.config
+                .retry
+                .run("wal-sync", &self.stats.retries, || storage.sync(WAL_FILE))?;
+        }
+        state.marked = state.appended;
+        let epoch = self.engine.publish();
+        debug_assert_eq!(epoch as u64, state.marked);
+        if self.config.snapshot_every > 0 && state.since_snapshot >= self.config.snapshot_every {
+            self.compact(&mut state);
+        }
+        Ok(epoch)
+    }
+
+    /// Write a compacted snapshot of the published state and truncate the
+    /// WAL. Publishes pending inserts first (a snapshot boundary is a
+    /// publish boundary). Fails only if the publish itself cannot be made
+    /// durable; snapshot-write problems leave the (fully sufficient) WAL
+    /// in place.
+    pub fn checkpoint(&self) -> Result<usize, EngineError> {
+        let epoch = self.publish()?;
+        let mut state = self.lock_state();
+        self.compact(&mut state);
+        Ok(epoch)
+    }
+
+    /// Best-effort compaction: snapshot everything published, then truncate
+    /// the WAL. Requires `marked == appended` (publish ran just before).
+    /// Any failure leaves the previous snapshot + full WAL authoritative —
+    /// recovery handles both orderings, so no step here can lose data.
+    fn compact(&self, state: &mut DurState) {
+        if state.marked != state.appended || state.appended == state.base {
+            return;
+        }
+        let snapshot = self.engine.snapshot();
+        let records: Vec<WalRecord> = (0..snapshot.len())
+            .map(|id| {
+                let s = snapshot.get(id).expect("ids are dense");
+                WalRecord::Insert {
+                    seq: id as u64,
+                    date: s.date,
+                    pub_date: s.pub_date,
+                    text: s.text.clone(),
+                }
+            })
+            .collect();
+        let bytes = encode_snapshot(snapshot.epoch() as u64, &records);
+        let name = snapshot_name(records.len() as u64);
+        let storage = &self.storage;
+        if self
+            .config
+            .retry
+            .run("snapshot-write", &self.stats.retries, || {
+                storage.write_atomic(&name, &bytes)
+            })
+            .is_err()
+        {
+            return; // keep the WAL; try again at the next boundary
+        }
+        let old_base = state.base;
+        state.base = state.appended;
+        state.since_snapshot = 0;
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        // Old snapshots and the WAL are now redundant; removal failures are
+        // harmless (recovery skips stale records by sequence number).
+        if self.storage.truncate(WAL_FILE, 0).is_ok() {
+            state.wal_len = 0;
+        }
+        if old_base > 0 {
+            let _ = self.storage.remove(&snapshot_name(old_base));
+        }
+    }
+
+    /// The wrapped in-memory engine (snapshot reads, degraded queries...).
+    pub fn engine(&self) -> &ShardedSearchEngine {
+        &self.engine
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ShardedSearchConfig {
+        self.engine.config()
+    }
+
+    /// Pin the current published snapshot.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.engine.snapshot()
+    }
+
+    /// The published epoch.
+    pub fn epoch(&self) -> usize {
+        self.engine.epoch()
+    }
+
+    /// Number of published sentences.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// Query the current snapshot (timeout-honoring).
+    pub fn search(&self, query: &SearchQuery) -> Vec<SearchHit> {
+        self.engine.search(query)
+    }
+
+    /// Query with the partial-answer tag (see
+    /// [`ShardedSearchEngine::search_outcome`]).
+    pub fn search_outcome(&self, query: &SearchQuery) -> SearchOutcome {
+        self.engine.search_outcome(query)
+    }
+
+    /// Health counters: the engine's query-side telemetry plus this
+    /// durability layer's recovery/retry/snapshot history.
+    pub fn health(&self) -> HealthReport {
+        let mut report = self.engine.health();
+        report.wal_replayed = self.stats.replayed_records.load(Ordering::Relaxed);
+        report.recoveries = self.stats.recoveries.load(Ordering::Relaxed);
+        report.last_recovery_epoch = self.stats.last_recovery_epoch.load(Ordering::Relaxed);
+        report.truncated_tails = self.stats.truncated_tails.load(Ordering::Relaxed);
+        report.retries = self.stats.retries.load(Ordering::Relaxed);
+        report.snapshots_written = self.stats.snapshots_written.load(Ordering::Relaxed);
+        report
+    }
+
+    /// Total inserts durably logged (published or pending).
+    pub fn durable_inserts(&self) -> u64 {
+        self.lock_state().appended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_support::storage::MemStorage;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn rec(seq: u64, day: &str, text: &str) -> WalRecord {
+        WalRecord::Insert {
+            seq,
+            date: d(day),
+            pub_date: d(day),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let records = vec![
+            rec(0, "2018-03-08", "Trump agrees to meet Kim."),
+            WalRecord::Epoch { epoch: 1 },
+            rec(1, "2018-06-12", "The summit took place. Ünïcödé ✓"),
+            rec(2, "2018-06-13", ""),
+            WalRecord::Epoch { epoch: 3 },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(scan.tail_issue.is_none());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let mut bytes = encode_record(&rec(0, "2018-01-01", "first"));
+        let whole = encode_record(&rec(1, "2018-01-02", "second"));
+        let keep = bytes.len();
+        bytes.extend_from_slice(&whole[..whole.len() - 3]); // torn mid-payload
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep as u64);
+        assert!(scan.tail_issue.is_some());
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_checksum() {
+        let mut bytes = encode_record(&rec(0, "2018-01-01", "first"));
+        let second_at = bytes.len();
+        bytes.extend_from_slice(&encode_record(&rec(1, "2018-01-02", "second")));
+        bytes.extend_from_slice(&encode_record(&rec(2, "2018-01-03", "third")));
+        bytes[second_at + 10] ^= 0xFF; // flip a payload byte of record 1
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 1, "records after the corruption are lost");
+        assert_eq!(scan.valid_len, second_at as u64);
+        assert!(scan.tail_issue.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn empty_scan_is_clean() {
+        let scan = scan_records(&[]);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.tail_issue.is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_validation() {
+        let records = vec![rec(0, "2018-01-01", "a"), rec(1, "2018-01-02", "b")];
+        let bytes = encode_snapshot(1, &records);
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.published, 1);
+        assert_eq!(snap.records, records);
+
+        // Any defect rejects the whole file.
+        assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut flipped = bytes.clone();
+        flipped[30] ^= 0x01;
+        assert!(decode_snapshot(&flipped).is_err(), "corrupted");
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_snapshot(&wrong_magic).is_err(), "magic");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_snapshot(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn durable_engine_smoke() {
+        let mem = Arc::new(MemStorage::new());
+        let engine = DurableEngine::open(
+            mem.clone(),
+            ShardedSearchConfig::default().with_shards(2),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert!(engine.is_empty());
+        engine.insert(d("2018-06-12"), d("2018-06-12"), "The summit took place.").unwrap();
+        engine.insert(d("2018-06-13"), d("2018-06-13"), "Denuclearization was pledged.").unwrap();
+        assert_eq!(engine.epoch(), 0, "inserts are pending until publish");
+        assert_eq!(engine.publish().unwrap(), 2);
+        assert_eq!(engine.durable_inserts(), 2);
+        let hits = engine.search(&SearchQuery {
+            keywords: "summit".into(),
+            range: None,
+            limit: 10,
+        });
+        assert_eq!(hits.len(), 1);
+        // Reopen from the same storage: identical state.
+        drop(engine);
+        let reopened = DurableEngine::open(
+            mem,
+            ShardedSearchConfig::default().with_shards(2),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reopened.epoch(), 2);
+        let health = reopened.health();
+        assert_eq!(health.wal_replayed, 2);
+        assert_eq!(health.recoveries, 1);
+        assert_eq!(health.last_recovery_epoch, 2);
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal() {
+        let mem = Arc::new(MemStorage::new());
+        let engine = DurableEngine::open(
+            mem.clone(),
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default().with_snapshot_every(0),
+        )
+        .unwrap();
+        for i in 0..5 {
+            engine
+                .insert(d("2018-01-01"), d("2018-01-01"), &format!("sentence number {i}"))
+                .unwrap();
+        }
+        engine.checkpoint().unwrap();
+        assert_eq!(mem.len(WAL_FILE).unwrap(), 0, "WAL truncated after snapshot");
+        assert!(mem.exists(&snapshot_name(5)).unwrap());
+        assert_eq!(engine.health().snapshots_written, 1);
+        // Recovery from the snapshot alone.
+        drop(engine);
+        let reopened = DurableEngine::open(
+            mem,
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reopened.epoch(), 5);
+    }
+}

@@ -1,0 +1,396 @@
+//! WAL + snapshot recovery: edge cases and the crash-recovery
+//! bit-identity property.
+//!
+//! The headline property mirrors `sharded_differential.rs`: a
+//! [`DurableEngine`] recovered from storage — after clean shutdown, after a
+//! torn tail, after any prefix of publishes, with or without a snapshot —
+//! answers every query **bit-identically** (`f64::to_bits` of every BM25
+//! score) to the never-persisted reference engine over the same prefix.
+//! Edge cases from the issue checklist get dedicated tests: empty log,
+//! truncated tail record, corrupted checksum mid-log, and a snapshot newer
+//! than the WAL.
+
+use std::sync::Arc;
+use tl_ir::search::SearchHit;
+use tl_ir::wal::{
+    encode_record, snapshot_name, DurabilityConfig, DurableEngine, WalRecord, WAL_FILE,
+};
+use tl_ir::{SearchEngine, SearchQuery, ShardedSearchConfig};
+use tl_support::qp_assert;
+use tl_support::quickprop::{check_with, gens, Config};
+use tl_support::rng::Rng;
+use tl_support::storage::{MemStorage, Storage};
+use tl_temporal::Date;
+
+const WORDS: &[&str] = &[
+    "summit", "trump", "kim", "korea", "north", "south", "talks", "nuclear",
+    "sanctions", "peace", "treaty", "border", "missile", "launch", "historic",
+    "meeting", "leaders", "agreement", "singapore", "pyongyang",
+];
+
+fn d(s: &str) -> Date {
+    s.parse().unwrap()
+}
+
+fn random_date(rng: &mut Rng) -> Date {
+    Date::from_ymd(2018, 1, 1)
+        .unwrap()
+        .plus_days(rng.bounded_u64(120) as i32)
+}
+
+fn random_sentence(rng: &mut Rng) -> String {
+    let len = 3 + rng.bounded_u64(10) as usize;
+    (0..len)
+        .map(|_| *rng.choose(WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    keywords: String,
+    range: Option<(Date, Date)>,
+    limit: usize,
+}
+
+impl QuerySpec {
+    fn to_query(&self) -> SearchQuery {
+        SearchQuery {
+            keywords: self.keywords.clone(),
+            range: self.range,
+            limit: self.limit,
+        }
+    }
+}
+
+fn random_query(rng: &mut Rng) -> QuerySpec {
+    let num_keywords = 1 + rng.bounded_u64(4) as usize;
+    let keywords = (0..num_keywords)
+        .map(|_| *rng.choose(WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let keywords = match rng.bounded_u64(4) {
+        0 => format!("\"{} {}\"", rng.choose(WORDS).unwrap(), rng.choose(WORDS).unwrap()),
+        1 => format!(
+            "\"{} {}\" {}",
+            rng.choose(WORDS).unwrap(),
+            rng.choose(WORDS).unwrap(),
+            keywords
+        ),
+        _ => keywords,
+    };
+    let range = if rng.bounded_u64(2) == 0 {
+        let lo = random_date(rng);
+        Some((lo, lo.plus_days(rng.bounded_u64(60) as i32)))
+    } else {
+        None
+    };
+    let limit = 1 + rng.bounded_u64(40) as usize;
+    QuerySpec { keywords, range, limit }
+}
+
+/// A random corpus with random publish boundaries, plus a query workload.
+#[derive(Debug, Clone)]
+struct Scenario {
+    docs: Vec<(Date, String)>,
+    /// After inserting doc `i`, publish iff `publish_after[i]`.
+    publish_after: Vec<bool>,
+    queries: Vec<QuerySpec>,
+    num_shards: usize,
+    snapshot_every: usize,
+}
+
+fn scenario_gen() -> impl tl_support::quickprop::Gen<Value = Scenario> {
+    gens::from_fn(|rng: &mut Rng| {
+        let num_docs = 1 + rng.bounded_u64(30) as usize;
+        let docs: Vec<(Date, String)> = (0..num_docs)
+            .map(|_| (random_date(rng), random_sentence(rng)))
+            .collect();
+        let publish_after = (0..num_docs).map(|_| rng.bounded_u64(3) == 0).collect();
+        let queries = (0..1 + rng.bounded_u64(6)).map(|_| random_query(rng)).collect();
+        let num_shards = [1, 2, 3, 8][rng.bounded_u64(4) as usize];
+        // 0 = never snapshot; small values exercise frequent compaction.
+        let snapshot_every = [0, 0, 3, 7][rng.bounded_u64(4) as usize];
+        Scenario {
+            docs,
+            publish_after,
+            queries,
+            num_shards,
+            snapshot_every,
+        }
+    })
+}
+
+fn identical(a: &[SearchHit], b: &[SearchHit]) -> Result<(), String> {
+    qp_assert!(
+        a.len() == b.len(),
+        "hit counts differ: recovered {} vs reference {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        qp_assert!(x.id == y.id, "hit {i}: id {} vs {}", x.id, y.id);
+        qp_assert!(x.date == y.date, "hit {i}: date {} vs {}", x.date, y.date);
+        qp_assert!(
+            x.score.to_bits() == y.score.to_bits(),
+            "hit {i}: score bits differ ({:.17} vs {:.17})",
+            x.score,
+            y.score
+        );
+    }
+    Ok(())
+}
+
+/// Reference engine over a doc prefix.
+fn reference_prefix(docs: &[(Date, String)], n: usize) -> SearchEngine {
+    let mut e = SearchEngine::new();
+    for (date, text) in &docs[..n] {
+        e.insert(*date, *date, text);
+    }
+    e
+}
+
+fn open(
+    storage: Arc<MemStorage>,
+    num_shards: usize,
+    snapshot_every: usize,
+) -> DurableEngine {
+    DurableEngine::open(
+        storage,
+        ShardedSearchConfig::default().with_shards(num_shards),
+        DurabilityConfig::default().with_snapshot_every(snapshot_every),
+    )
+    .expect("open must succeed on well-formed storage")
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_log_opens_empty() {
+    let mem = Arc::new(MemStorage::new());
+    // Pre-create an empty WAL: still a clean open.
+    mem.truncate(WAL_FILE, 0).unwrap();
+    let engine = open(mem, 2, 0);
+    assert!(engine.is_empty());
+    assert_eq!(engine.epoch(), 0);
+    let h = engine.health();
+    assert_eq!(h.recoveries, 0);
+    assert_eq!(h.wal_replayed, 0);
+    assert_eq!(h.truncated_tails, 0);
+}
+
+#[test]
+fn missing_storage_opens_empty() {
+    let engine = open(Arc::new(MemStorage::new()), 3, 0);
+    assert!(engine.is_empty());
+    assert_eq!(engine.health().recoveries, 0);
+}
+
+#[test]
+fn truncated_tail_record_is_dropped_and_log_healed() {
+    let mem = Arc::new(MemStorage::new());
+    {
+        let engine = open(mem.clone(), 2, 0);
+        engine.insert(d("2018-01-01"), d("2018-01-01"), "summit talks begin").unwrap();
+        engine.insert(d("2018-01-02"), d("2018-01-02"), "leaders meet in singapore").unwrap();
+        engine.publish().unwrap();
+    }
+    // Simulate a crash mid-append: chop bytes off the final record.
+    let wal = mem.read(WAL_FILE).unwrap();
+    mem.truncate(WAL_FILE, wal.len() as u64 - 3).unwrap();
+    let engine = open(mem.clone(), 2, 0);
+    // The torn record was the epoch marker: both inserts replay as pending.
+    assert_eq!(engine.epoch(), 0);
+    assert_eq!(engine.durable_inserts(), 2);
+    let h = engine.health();
+    assert_eq!(h.truncated_tails, 1);
+    assert_eq!(h.wal_replayed, 2);
+    // The log was healed in place: a fresh open sees a clean log.
+    assert_eq!(open(mem, 2, 0).health().truncated_tails, 0);
+}
+
+#[test]
+fn corrupted_checksum_mid_log_truncates_from_corruption() {
+    let mem = Arc::new(MemStorage::new());
+    let mut wal = Vec::new();
+    let texts = ["summit talks begin", "leaders meet", "treaty signed"];
+    for (i, t) in texts.iter().enumerate() {
+        wal.extend_from_slice(&encode_record(&WalRecord::Insert {
+            seq: i as u64,
+            date: d("2018-01-01"),
+            pub_date: d("2018-01-01"),
+            text: (*t).into(),
+        }));
+    }
+    // The exact start of record 1 = record 0's encoded length.
+    let r0 = encode_record(&WalRecord::Insert {
+        seq: 0,
+        date: d("2018-01-01"),
+        pub_date: d("2018-01-01"),
+        text: texts[0].into(),
+    });
+    let mut corrupted = wal.clone();
+    corrupted[r0.len() + 10] ^= 0xFF; // flip a byte inside record 1's payload
+    mem.put_raw(WAL_FILE, corrupted);
+    let engine = open(mem, 2, 0);
+    // Only record 0 survives; records 1 and 2 are unreachable past the
+    // corruption and are truncated away.
+    assert_eq!(engine.durable_inserts(), 1);
+    assert_eq!(engine.epoch(), 0, "no epoch marker survived");
+    assert_eq!(engine.health().truncated_tails, 1);
+}
+
+#[test]
+fn snapshot_newer_than_wal_wins() {
+    // A crash can land between "snapshot written" and "WAL truncated"
+    // (write_atomic then truncate are two steps). Recovery must notice the
+    // snapshot covers everything the stale WAL holds and skip those
+    // records rather than double-inserting.
+    let mem = Arc::new(MemStorage::new());
+    {
+        let engine = open(mem.clone(), 2, 0);
+        for (i, day) in ["2018-01-01", "2018-01-02", "2018-01-03"].iter().enumerate() {
+            engine.insert(d(day), d(day), &format!("summit development {i}")).unwrap();
+        }
+        engine.publish().unwrap();
+    }
+    let stale_wal = mem.read(WAL_FILE).unwrap();
+    {
+        // checkpoint() writes snap-…3.bin and truncates the WAL.
+        let engine = open(mem.clone(), 2, 0);
+        engine.checkpoint().unwrap();
+        assert_eq!(mem.len(WAL_FILE).unwrap(), 0);
+    }
+    // Resurrect the pre-compaction WAL: now the snapshot is strictly newer
+    // than (and fully covers) the WAL's records.
+    mem.put_raw(WAL_FILE, stale_wal);
+    let engine = open(mem.clone(), 2, 0);
+    assert_eq!(engine.durable_inserts(), 3, "stale records must be skipped, not re-inserted");
+    assert_eq!(engine.epoch(), 3);
+    let q = SearchQuery {
+        keywords: "summit".into(),
+        range: None,
+        limit: 10,
+    };
+    let reference = reference_prefix(
+        &[
+            (d("2018-01-01"), "summit development 0".to_string()),
+            (d("2018-01-02"), "summit development 1".to_string()),
+            (d("2018-01-03"), "summit development 2".to_string()),
+        ],
+        3,
+    );
+    identical(&engine.search(&q), &reference.search(&q)).unwrap();
+    assert!(mem.exists(&snapshot_name(3)).unwrap());
+}
+
+#[test]
+fn recovery_after_every_publish_boundary() {
+    // Deterministic fixture: publish after every insert, snapshot the
+    // storage at each boundary, and verify each recovered engine matches
+    // the reference prefix exactly.
+    let docs: Vec<(Date, String)> = (0..12)
+        .map(|i| {
+            (
+                Date::from_ymd(2018, 1, 1).unwrap().plus_days(i),
+                format!(
+                    "{} {} summit",
+                    WORDS[i as usize % WORDS.len()],
+                    WORDS[(i as usize * 7 + 3) % WORDS.len()]
+                ),
+            )
+        })
+        .collect();
+    let queries = [
+        SearchQuery { keywords: "summit kim".into(), range: None, limit: 10 },
+        SearchQuery {
+            keywords: "talks".into(),
+            range: Some((d("2018-01-03"), d("2018-01-09"))),
+            limit: 5,
+        },
+    ];
+    let mem = Arc::new(MemStorage::new());
+    let engine = open(mem.clone(), 3, 0);
+    for (i, (date, text)) in docs.iter().enumerate() {
+        engine.insert(*date, *date, text).unwrap();
+        engine.publish().unwrap();
+        // Fork the storage as it stands at this publish boundary and
+        // recover from the fork (the original keeps running).
+        let recovered = open(Arc::new(mem.fork()), 3, 0);
+        assert_eq!(recovered.epoch(), i + 1, "boundary {i}");
+        let reference = reference_prefix(&docs, i + 1);
+        for q in &queries {
+            identical(&recovered.search(q), &reference.search(q))
+                .unwrap_or_else(|e| panic!("boundary {i}: {e}"));
+        }
+        recovered.snapshot().check_consistency().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The recovery bit-identity property
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recovered_engine_is_bit_identical_to_reference() {
+    check_with(
+        &Config {
+            cases: 48,
+            ..Config::default()
+        },
+        "recovered_engine_is_bit_identical_to_reference",
+        scenario_gen(),
+        |scenario| {
+            let mem = Arc::new(MemStorage::new());
+            let engine = open(mem.clone(), scenario.num_shards, scenario.snapshot_every);
+            let mut published = 0usize;
+            for (i, (date, text)) in scenario.docs.iter().enumerate() {
+                engine
+                    .insert(*date, *date, text)
+                    .map_err(|e| format!("insert {i}: {e}"))?;
+                if scenario.publish_after[i] {
+                    engine.publish().map_err(|e| format!("publish {i}: {e}"))?;
+                    published = i + 1;
+                }
+            }
+            // Clean-crash the process (drop without final publish) and
+            // recover. Pending (unpublished) inserts are durable but must
+            // come back *unpublished*.
+            drop(engine);
+            let recovered = open(mem.clone(), scenario.num_shards, scenario.snapshot_every);
+            qp_assert!(
+                recovered.epoch() == published,
+                "recovered epoch {} != last published {published}",
+                recovered.epoch()
+            );
+            qp_assert!(
+                recovered.durable_inserts() == scenario.docs.len() as u64,
+                "durable inserts {} != ingested {}",
+                recovered.durable_inserts(),
+                scenario.docs.len()
+            );
+            let reference = reference_prefix(&scenario.docs, published);
+            for (qi, spec) in scenario.queries.iter().enumerate() {
+                let q = spec.to_query();
+                identical(&recovered.search(&q), &reference.search(&q))
+                    .map_err(|e| format!("published prefix, query {qi} {spec:?}: {e}"))?;
+            }
+            // Publishing the replayed pending tail reaches the full corpus,
+            // still bit-identical.
+            recovered.publish().map_err(|e| format!("final publish: {e}"))?;
+            let full = reference_prefix(&scenario.docs, scenario.docs.len());
+            for (qi, spec) in scenario.queries.iter().enumerate() {
+                let q = spec.to_query();
+                identical(&recovered.search(&q), &full.search(&q))
+                    .map_err(|e| format!("full corpus, query {qi} {spec:?}: {e}"))?;
+            }
+            recovered
+                .snapshot()
+                .check_consistency()
+                .map_err(|e| format!("consistency: {e}"))?;
+            Ok(())
+        },
+    );
+}

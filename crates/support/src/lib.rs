@@ -12,7 +12,11 @@
 //!   `crossbeam::scope` replacement),
 //! * [`quickprop`] — a mini property-testing harness with seeded
 //!   generators, greedy input shrinking and failing-seed reporting (the
-//!   `proptest` replacement).
+//!   `proptest` replacement),
+//! * [`storage`] — a pluggable byte-storage trait with file and in-memory
+//!   backends, a seeded fault-injecting wrapper, CRC-32, bounded retries,
+//!   and the typed [`storage::StorageError`]/[`storage::EngineError`]
+//!   hierarchy used by the durable real-time engine.
 //!
 //! Everything is deterministic given explicit seeds: `cargo build --release
 //! --offline && cargo test -q --offline` passes from a cold checkout, and a
@@ -23,7 +27,12 @@ pub mod json;
 pub mod par;
 pub mod quickprop;
 pub mod rng;
+pub mod storage;
 
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use par::{par_map, par_map_deadline};
 pub use rng::Rng;
+pub use storage::{
+    crc32, EngineError, FaultConfig, FaultyStorage, FileStorage, MemStorage, RetryPolicy,
+    Storage, StorageError,
+};

@@ -1,0 +1,913 @@
+//! Pluggable byte-level storage with deterministic fault injection.
+//!
+//! The durability layer of the real-time engine (`tl-ir`'s write-ahead log
+//! and snapshots) talks to storage exclusively through the [`Storage`]
+//! trait, so the same recovery code runs against:
+//!
+//! * [`FileStorage`] — real files under a root directory (production),
+//! * [`MemStorage`] — an in-memory filesystem with an explicit fsync model
+//!   ([`MemStorage::simulate_crash`] drops every byte that was appended but
+//!   never synced — the kill-minus-fsync semantics of a power loss),
+//! * [`FaultyStorage`] — a wrapper injecting *seeded, deterministic* I/O
+//!   failures: outright op errors, torn (short) appends that leave a
+//!   partial record behind, and silently lost fsyncs. Driven by the
+//!   in-tree xoshiro PRNG, so a failing fault schedule replays from its
+//!   seed exactly.
+//!
+//! [`RetryPolicy`] gives callers bounded, deterministic retry loops over
+//! any storage operation, and [`StorageError`] / [`EngineError`] form the
+//! typed error hierarchy the ingestion and recovery paths return instead of
+//! panicking.
+
+use crate::rng::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant) — the
+/// record checksum of the write-ahead log and snapshot codecs.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed storage failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The named file does not exist.
+    NotFound {
+        /// Storage-relative file name.
+        path: String,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// The operation (`"read"`, `"append"`, ...).
+        op: &'static str,
+        /// Storage-relative file name.
+        path: String,
+        /// OS / backend error description.
+        detail: String,
+    },
+    /// A deliberately injected fault (only produced by [`FaultyStorage`]).
+    Injected {
+        /// The operation the fault hit.
+        op: &'static str,
+        /// Storage-relative file name.
+        path: String,
+        /// Fault kind (`"error"`, `"torn-write"`, ...).
+        fault: &'static str,
+    },
+    /// A [`RetryPolicy`] ran out of attempts; carries the last error.
+    Exhausted {
+        /// The operation that kept failing.
+        op: &'static str,
+        /// Total attempts made.
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<StorageError>,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotFound { path } => write!(f, "{path}: not found"),
+            Self::Io { op, path, detail } => write!(f, "{op} {path}: {detail}"),
+            Self::Injected { op, path, fault } => {
+                write!(f, "{op} {path}: injected fault ({fault})")
+            }
+            Self::Exhausted { op, attempts, last } => {
+                write!(f, "{op}: {attempts} attempts exhausted, last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// A typed engine-level failure: everything the durable ingestion, publish
+/// and recovery paths can return instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The storage backend failed (after retries, where a policy applies).
+    Storage(StorageError),
+    /// Persisted bytes failed validation (bad magic, checksum mismatch,
+    /// malformed record) at a point recovery cannot skip past.
+    Corrupt {
+        /// Storage-relative file name.
+        path: String,
+        /// Byte offset of the failure.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Recovery replay hit an inconsistency (e.g. a sequence gap between
+    /// the snapshot and the write-ahead log).
+    Replay {
+        /// What was inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "storage: {e}"),
+            Self::Corrupt { path, offset, detail } => {
+                write!(f, "corrupt {path} at byte {offset}: {detail}")
+            }
+            Self::Replay { detail } => write!(f, "replay: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Storage trait
+// ---------------------------------------------------------------------------
+
+/// A flat namespace of named byte files with append / atomic-replace
+/// writes and an explicit durability (`sync`) barrier.
+///
+/// Contract notes the durability layer relies on:
+///
+/// * `append` to a missing file creates it;
+/// * `write_atomic` is all-or-nothing: after a crash the file holds either
+///   the old or the new content, never a mix (file backends implement it
+///   as write-temp + fsync + rename);
+/// * bytes appended but not yet covered by a `sync` may vanish on a crash
+///   ([`MemStorage::simulate_crash`] models exactly this);
+/// * `list` returns names in sorted order (deterministic recovery).
+pub trait Storage: Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError>;
+    /// Current length of a file in bytes.
+    fn len(&self, path: &str) -> Result<u64, StorageError>;
+    /// Does the file exist?
+    fn exists(&self, path: &str) -> Result<bool, StorageError>;
+    /// Append bytes to a file, creating it if missing.
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError>;
+    /// Atomically replace a file's entire content (created synced).
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError>;
+    /// Truncate a file to `len` bytes (creating it empty when missing and
+    /// `len == 0`).
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError>;
+    /// Durability barrier: all bytes written to the file so far survive a
+    /// crash once this returns `Ok`.
+    fn sync(&self, path: &str) -> Result<(), StorageError>;
+    /// Delete a file (ok if missing).
+    fn remove(&self, path: &str) -> Result<(), StorageError>;
+    /// All file names, sorted.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// MemStorage
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Prefix of `data` that survives [`MemStorage::simulate_crash`].
+    synced: usize,
+}
+
+/// An in-memory [`Storage`] with explicit fsync semantics — the substrate
+/// of the deterministic crash tests.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    files: Mutex<BTreeMap<String, MemFile>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deep-copy the current state into an independent store — used by the
+    /// chaos harness to capture a kill point and keep running.
+    pub fn fork(&self) -> MemStorage {
+        MemStorage {
+            files: Mutex::new(lock_unpoisoned(&self.files).clone()),
+        }
+    }
+
+    /// Simulate a process / power crash: every byte appended since the last
+    /// `sync` of its file is lost. Files themselves survive (truncated to
+    /// their synced prefix).
+    pub fn simulate_crash(&self) {
+        let mut files = lock_unpoisoned(&self.files);
+        for file in files.values_mut() {
+            file.data.truncate(file.synced);
+        }
+    }
+
+    /// Overwrite a file wholesale without the atomicity/sync bookkeeping —
+    /// a test hook for planting arbitrary (e.g. corrupted) bytes.
+    pub fn put_raw(&self, path: &str, data: Vec<u8>) {
+        let mut files = lock_unpoisoned(&self.files);
+        let synced = data.len();
+        files.insert(path.to_string(), MemFile { data, synced });
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        lock_unpoisoned(&self.files)
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| StorageError::NotFound { path: path.into() })
+    }
+
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        lock_unpoisoned(&self.files)
+            .get(path)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| StorageError::NotFound { path: path.into() })
+    }
+
+    fn exists(&self, path: &str) -> Result<bool, StorageError> {
+        Ok(lock_unpoisoned(&self.files).contains_key(path))
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        let mut files = lock_unpoisoned(&self.files);
+        files
+            .entry(path.to_string())
+            .or_default()
+            .data
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        let mut files = lock_unpoisoned(&self.files);
+        let synced = data.len();
+        files.insert(path.to_string(), MemFile { data: data.to_vec(), synced });
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError> {
+        let mut files = lock_unpoisoned(&self.files);
+        match files.get_mut(path) {
+            Some(f) => {
+                f.data.truncate(len as usize);
+                f.synced = f.synced.min(f.data.len());
+                Ok(())
+            }
+            None if len == 0 => {
+                files.insert(path.to_string(), MemFile::default());
+                Ok(())
+            }
+            None => Err(StorageError::NotFound { path: path.into() }),
+        }
+    }
+
+    fn sync(&self, path: &str) -> Result<(), StorageError> {
+        let mut files = lock_unpoisoned(&self.files);
+        match files.get_mut(path) {
+            Some(f) => {
+                f.synced = f.data.len();
+                Ok(())
+            }
+            None => Err(StorageError::NotFound { path: path.into() }),
+        }
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StorageError> {
+        lock_unpoisoned(&self.files).remove(path);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(lock_unpoisoned(&self.files).keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStorage
+// ---------------------------------------------------------------------------
+
+/// Real files under a root directory. `write_atomic` goes through a synced
+/// temp file plus rename; temp files (suffix `.tmp`) are invisible to
+/// `list` and cleaned up lazily.
+#[derive(Debug)]
+pub struct FileStorage {
+    root: PathBuf,
+}
+
+impl FileStorage {
+    /// Open (creating if needed) a storage root directory.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::Io {
+            op: "create-root",
+            path: root.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(Self { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn full(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    fn io_err(op: &'static str, path: &str, e: std::io::Error) -> StorageError {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StorageError::NotFound { path: path.into() }
+        } else {
+            StorageError::Io {
+                op,
+                path: path.into(),
+                detail: e.to_string(),
+            }
+        }
+    }
+}
+
+impl Storage for FileStorage {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        std::fs::read(self.full(path)).map_err(|e| Self::io_err("read", path, e))
+    }
+
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        std::fs::metadata(self.full(path))
+            .map(|m| m.len())
+            .map_err(|e| Self::io_err("len", path, e))
+    }
+
+    fn exists(&self, path: &str) -> Result<bool, StorageError> {
+        Ok(self.full(path).exists())
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.full(path))
+            .map_err(|e| Self::io_err("append", path, e))?;
+        f.write_all(data).map_err(|e| Self::io_err("append", path, e))
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write;
+        let tmp = self.full(&format!("{path}.tmp"));
+        let op = "write-atomic";
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| Self::io_err(op, path, e))?;
+            f.write_all(data).map_err(|e| Self::io_err(op, path, e))?;
+            f.sync_all().map_err(|e| Self::io_err(op, path, e))?;
+        }
+        std::fs::rename(&tmp, self.full(path)).map_err(|e| Self::io_err(op, path, e))?;
+        // Persist the rename itself (directory entry).
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError> {
+        let f = std::fs::OpenOptions::new()
+            .create(len == 0)
+            .write(true)
+            .open(self.full(path))
+            .map_err(|e| Self::io_err("truncate", path, e))?;
+        f.set_len(len).map_err(|e| Self::io_err("truncate", path, e))
+    }
+
+    fn sync(&self, path: &str) -> Result<(), StorageError> {
+        std::fs::File::open(self.full(path))
+            .and_then(|f| f.sync_all())
+            .map_err(|e| Self::io_err("sync", path, e))
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.full(path)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io_err("remove", path, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let entries = std::fs::read_dir(&self.root).map_err(|e| StorageError::Io {
+            op: "list",
+            path: self.root.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let mut names: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| !n.ends_with(".tmp"))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStorage
+// ---------------------------------------------------------------------------
+
+/// Deterministic fault schedule for [`FaultyStorage`], driven by one seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// PRNG seed: identical seeds replay identical fault schedules (for a
+    /// fixed sequence of operations).
+    pub seed: u64,
+    /// Probability that any operation fails outright with an injected
+    /// error (no effect on the underlying storage).
+    pub fail_prob: f64,
+    /// Probability that an `append` tears: a strict prefix of the bytes
+    /// reaches the underlying file and the call reports failure.
+    pub torn_prob: f64,
+    /// Probability that a `sync` is *silently lost*: it reports success
+    /// but provides no durability (a crash still drops the unsynced tail).
+    pub sync_loss_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all (pass-through).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            fail_prob: 0.0,
+            torn_prob: 0.0,
+            sync_loss_prob: 0.0,
+        }
+    }
+}
+
+/// A [`Storage`] wrapper that injects seeded, reproducible I/O faults —
+/// the adversary of the crash-recovery test suites.
+///
+/// The schedule is a pure function of the seed and the *sequence* of
+/// operations performed, so single-threaded test drivers replay exactly.
+pub struct FaultyStorage<S> {
+    inner: S,
+    config: FaultConfig,
+    rng: Mutex<Rng>,
+    injected: AtomicU64,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        Self {
+            inner,
+            config,
+            rng: Mutex::new(Rng::seed_from_u64(config.seed)),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        lock_unpoisoned(&self.rng).gen_bool(p)
+    }
+
+    fn inject(
+        &self,
+        op: &'static str,
+        path: &str,
+        fault: &'static str,
+    ) -> StorageError {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        StorageError::Injected {
+            op,
+            path: path.into(),
+            fault,
+        }
+    }
+
+    fn gate(&self, op: &'static str, path: &str) -> Result<(), StorageError> {
+        if self.roll(self.config.fail_prob) {
+            Err(self.inject(op, path, "error"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        self.gate("read", path)?;
+        self.inner.read(path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        self.gate("len", path)?;
+        self.inner.len(path)
+    }
+
+    fn exists(&self, path: &str) -> Result<bool, StorageError> {
+        self.gate("exists", path)?;
+        self.inner.exists(path)
+    }
+
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        if !data.is_empty() && self.roll(self.config.torn_prob) {
+            // Torn write: a strict prefix lands, the call fails.
+            let cut = {
+                let mut rng = lock_unpoisoned(&self.rng);
+                rng.bounded_u64(data.len() as u64) as usize
+            };
+            let _ = self.inner.append(path, &data[..cut]);
+            return Err(self.inject("append", path, "torn-write"));
+        }
+        self.gate("append", path)?;
+        self.inner.append(path, data)
+    }
+
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        // Atomicity is preserved under faults: either the whole write
+        // happens or nothing does.
+        self.gate("write-atomic", path)?;
+        self.inner.write_atomic(path, data)
+    }
+
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError> {
+        self.gate("truncate", path)?;
+        self.inner.truncate(path, len)
+    }
+
+    fn sync(&self, path: &str) -> Result<(), StorageError> {
+        if self.roll(self.config.sync_loss_prob) {
+            // The nastiest fault: claims success, syncs nothing.
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.gate("sync", path)?;
+        self.inner.sync(path)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StorageError> {
+        self.gate("remove", path)?;
+        self.inner.remove(path)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        self.gate("list", "<root>")?;
+        self.inner.list()
+    }
+}
+
+// Blanket pass-throughs so `Arc<MemStorage>` / boxed storages are storages.
+impl<S: Storage + ?Sized> Storage for Arc<S> {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        (**self).read(path)
+    }
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        (**self).len(path)
+    }
+    fn exists(&self, path: &str) -> Result<bool, StorageError> {
+        (**self).exists(path)
+    }
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        (**self).append(path, data)
+    }
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        (**self).write_atomic(path, data)
+    }
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError> {
+        (**self).truncate(path, len)
+    }
+    fn sync(&self, path: &str) -> Result<(), StorageError> {
+        (**self).sync(path)
+    }
+    fn remove(&self, path: &str) -> Result<(), StorageError> {
+        (**self).remove(path)
+    }
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        (**self).list()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+/// Bounded retries with deterministic exponential backoff.
+///
+/// `run` retries the whole closure, so compound operations (e.g. "truncate
+/// the log back to its known-good length, then append the record") are
+/// re-attempted as a unit — the shape the WAL append path needs after a
+/// torn write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff * 2^(k-1)`, capped at
+    /// [`RetryPolicy::MAX_BACKOFF`]. `Duration::ZERO` disables sleeping
+    /// (deterministic tests).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Cap on a single backoff sleep.
+    pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
+
+    /// A single attempt, no retries.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Run `f` with up to `max_attempts` attempts. Each retry (attempt
+    /// after the first) increments `retries`. Returns the first success,
+    /// or [`StorageError::Exhausted`] wrapping the final error.
+    pub fn run<T>(
+        &self,
+        op: &'static str,
+        retries: &AtomicU64,
+        mut f: impl FnMut() -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                retries.fetch_add(1, Ordering::Relaxed);
+                if !self.base_backoff.is_zero() {
+                    let backoff = self
+                        .base_backoff
+                        .saturating_mul(1u32 << (attempt - 1).min(16))
+                        .min(Self::MAX_BACKOFF);
+                    std::thread::sleep(backoff);
+                }
+            }
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(StorageError::Exhausted {
+            op,
+            attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn mem_storage_roundtrip_and_crash() {
+        let s = MemStorage::new();
+        s.append("wal", b"hello ").unwrap();
+        s.sync("wal").unwrap();
+        s.append("wal", b"world").unwrap();
+        assert_eq!(s.read("wal").unwrap(), b"hello world");
+        // Crash drops the unsynced tail only.
+        s.simulate_crash();
+        assert_eq!(s.read("wal").unwrap(), b"hello ");
+        // write_atomic is born durable.
+        s.write_atomic("snap", b"snapshot").unwrap();
+        s.simulate_crash();
+        assert_eq!(s.read("snap").unwrap(), b"snapshot");
+        assert_eq!(s.list().unwrap(), vec!["snap".to_string(), "wal".to_string()]);
+    }
+
+    #[test]
+    fn mem_storage_truncate_and_fork() {
+        let s = MemStorage::new();
+        s.append("f", b"0123456789").unwrap();
+        s.truncate("f", 4).unwrap();
+        assert_eq!(s.read("f").unwrap(), b"0123");
+        let fork = s.fork();
+        s.append("f", b"XX").unwrap();
+        assert_eq!(fork.read("f").unwrap(), b"0123", "fork is independent");
+        // truncate(0) creates missing files; nonzero does not.
+        s.truncate("new", 0).unwrap();
+        assert!(s.exists("new").unwrap());
+        assert!(matches!(
+            s.truncate("missing", 3),
+            Err(StorageError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn file_storage_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tl-storage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = FileStorage::open(&dir).unwrap();
+        s.append("wal.log", b"abc").unwrap();
+        s.append("wal.log", b"def").unwrap();
+        s.sync("wal.log").unwrap();
+        assert_eq!(s.read("wal.log").unwrap(), b"abcdef");
+        assert_eq!(s.len("wal.log").unwrap(), 6);
+        s.truncate("wal.log", 2).unwrap();
+        assert_eq!(s.read("wal.log").unwrap(), b"ab");
+        s.write_atomic("snap-1", b"state").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["snap-1".to_string(), "wal.log".to_string()]);
+        s.remove("snap-1").unwrap();
+        s.remove("snap-1").unwrap(); // idempotent
+        assert!(matches!(
+            s.read("missing"),
+            Err(StorageError::NotFound { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_storage_is_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let s = FaultyStorage::new(
+                MemStorage::new(),
+                FaultConfig {
+                    seed,
+                    fail_prob: 0.5,
+                    torn_prob: 0.0,
+                    sync_loss_prob: 0.0,
+                },
+            );
+            (0..64).map(|_| s.append("f", b"x").is_ok()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn torn_append_leaves_strict_prefix() {
+        let s = FaultyStorage::new(
+            MemStorage::new(),
+            FaultConfig {
+                seed: 3,
+                fail_prob: 0.0,
+                torn_prob: 1.0,
+                sync_loss_prob: 0.0,
+            },
+        );
+        let data = b"0123456789";
+        let err = s.append("f", data).unwrap_err();
+        assert!(matches!(err, StorageError::Injected { fault: "torn-write", .. }));
+        let on_disk = s.inner().read("f").unwrap_or_default();
+        assert!(on_disk.len() < data.len(), "must be a strict prefix");
+        assert_eq!(&data[..on_disk.len()], &on_disk[..]);
+        assert!(s.injected_faults() >= 1);
+    }
+
+    #[test]
+    fn lost_sync_reports_success_but_does_not_sync() {
+        let mem = Arc::new(MemStorage::new());
+        let s = FaultyStorage::new(
+            Arc::clone(&mem),
+            FaultConfig {
+                seed: 11,
+                fail_prob: 0.0,
+                torn_prob: 0.0,
+                sync_loss_prob: 1.0,
+            },
+        );
+        s.append("f", b"data").unwrap();
+        s.sync("f").unwrap(); // lies
+        mem.simulate_crash();
+        assert_eq!(mem.read("f").unwrap(), b"", "lost fsync gave no durability");
+    }
+
+    #[test]
+    fn retry_policy_retries_then_succeeds() {
+        let retries = AtomicU64::new(0);
+        let mut failures_left = 2;
+        let out = RetryPolicy { max_attempts: 4, base_backoff: Duration::ZERO }.run(
+            "op",
+            &retries,
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(StorageError::Io {
+                        op: "op",
+                        path: "f".into(),
+                        detail: "flaky".into(),
+                    })
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn retry_policy_exhausts() {
+        let retries = AtomicU64::new(0);
+        let out: Result<(), _> = RetryPolicy { max_attempts: 3, base_backoff: Duration::ZERO }
+            .run("op", &retries, || {
+                Err(StorageError::Io {
+                    op: "op",
+                    path: "f".into(),
+                    detail: "dead".into(),
+                })
+            });
+        match out.unwrap_err() {
+            StorageError::Exhausted { attempts, last, .. } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, StorageError::Io { .. }));
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = StorageError::NotFound { path: "x".into() };
+        assert_eq!(e.to_string(), "x: not found");
+        let e = EngineError::Corrupt {
+            path: "wal.log".into(),
+            offset: 12,
+            detail: "bad checksum".into(),
+        };
+        assert!(e.to_string().contains("wal.log at byte 12"));
+        let e: EngineError = StorageError::NotFound { path: "y".into() }.into();
+        assert!(matches!(e, EngineError::Storage(_)));
+    }
+}

@@ -53,6 +53,20 @@ echo "== sharded engine: concurrency stress (fixed seed, small budget) =="
 TL_STRESS_ITERS=1 TL_STRESS_SEED=5745438 \
     cargo test -q --offline -p tl-wilson --test stress
 
+echo "== durable engine: WAL recovery gate =="
+# Crash recovery (snapshot + WAL tail replay, torn-record truncation) must
+# reproduce the pre-crash engine bit-identically, including from empty,
+# truncated, corrupted and snapshot-newer-than-WAL logs.
+cargo test -q --offline -p tl-ir --test wal_recovery
+
+echo "== durable engine: chaos suite (fixed seed, small budget) =="
+# Kills the engine at every WAL byte offset and runs seeded fault schedules
+# (injected errors, torn appends, lost fsyncs); recovery must always come
+# back as a bit-identical prefix of the acknowledged inserts. Same default
+# seed convention as the stress suite (5745438 == 0x57AB1E).
+TL_CHAOS_ITERS=1 TL_CHAOS_SEED=5745438 \
+    cargo test -q --offline -p tl-wilson --test chaos
+
 echo "== all-pairs kernel: differential bit-identity gate =="
 # The term-at-a-time similarity kernel must stay bit-identical to the
 # quadratic pairwise reference (stored rows and row totals, f64 bits,
@@ -73,5 +87,14 @@ echo "== bench smoke: report format + regression gate =="
 TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
     cargo test -q --offline --release -p tl-bench --test pipeline -- \
     --ignored bench_smoke bench_methods --nocapture
+
+echo "== bench smoke: durability overhead gate =="
+# WAL ingest must stay within 2x of the in-memory engine in the same run
+# (the headline durability budget), and with TL_BENCH_ENFORCE=1 every
+# durability/* median must stay within 2x of its committed
+# BENCH_durability.json baseline.
+TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
+    cargo test -q --offline --release -p tl-bench --test durability -- \
+    --ignored --nocapture
 
 echo "CI passed."

@@ -111,7 +111,7 @@ fn realtime_system_round_trip() {
     let ds = tiny();
     let topic = &ds.topics[0];
     let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
-    sys.ingest_all(&topic.articles);
+    sys.ingest_all(&topic.articles).unwrap();
     let cfg = SynthConfig::tiny();
     let tl = sys.timeline(&tl_wilson::realtime::TimelineQuery {
         keywords: topic.query.clone(),
@@ -122,7 +122,8 @@ fn realtime_system_round_trip() {
         num_dates: 5,
         sents_per_date: 2,
         fetch_limit: 1000,
-    });
+    })
+    .unwrap();
     assert!(tl.num_dates() > 0);
     // Every emitted sentence must exist in the ingested articles.
     let pool: std::collections::HashSet<&str> = topic
@@ -187,14 +188,15 @@ fn golden_timelines_match_fixtures() {
     let update = std::env::var("TL_UPDATE_GOLDEN").is_ok();
     for (i, topic) in ds.topics.iter().take(2).enumerate() {
         let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
-        sys.ingest_all(&topic.articles);
+        sys.ingest_all(&topic.articles).unwrap();
         let tl = sys.timeline(&tl_wilson::TimelineQuery {
             keywords: topic.query.clone(),
             window,
             num_dates: 5,
             sents_per_date: 2,
             fetch_limit: 1000,
-        });
+        })
+        .unwrap();
         assert!(tl.num_dates() > 0, "topic {i}: empty timeline");
         let header = format!(
             "# golden timeline · synthetic tiny topic {i}\n# query: {}\n",
