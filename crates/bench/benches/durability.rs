@@ -6,7 +6,10 @@
 //! * `durability/ingest_wal_1k` — the same 1k sentences through
 //!   [`DurableEngine`] on [`FileStorage`] (WAL append per insert, fsync
 //!   barrier per publish). The acceptance gate: the WAL path must stay
-//!   within **2×** of the volatile path in the same run,
+//!   within **3×** of the volatile path in the same run (the budget was
+//!   2× before the in-memory engine's shared-vocabulary publish made the
+//!   volatile denominator ~2× faster; the WAL path's absolute cost is
+//!   unchanged and separately gated against its committed baseline),
 //! * `durability/recovery_1k` / `durability/recovery_10k` — wall time of
 //!   [`DurableEngine::open`] on a directory holding that many durable
 //!   records (the 10k log crosses the default snapshot cadence's publish
@@ -121,8 +124,8 @@ fn bench_wal_ingest_overhead() {
     // machine, same moment), so it holds unconditionally — not only under
     // TL_BENCH_ENFORCE.
     assert!(
-        wal.median <= 2.0 * volatile.median,
-        "WAL ingest overhead too high: {:.3} ms durable vs {:.3} ms volatile (> 2x)",
+        wal.median <= 3.0 * volatile.median,
+        "WAL ingest overhead too high: {:.3} ms durable vs {:.3} ms volatile (> 3x)",
         wal.median * 1e3,
         volatile.median * 1e3
     );

@@ -1,0 +1,220 @@
+//! Steady-state incremental maintenance benchmark (the headline number for
+//! the incremental tentpole): one fresh article is ingested into an
+//! already-warm system and the updated timeline is requested, so the
+//! memoized [`tl_wilson`] session advances by exactly that delta — versus
+//! the identical tick against a system with incremental maintenance
+//! disabled, which rebuilds the whole timeline from the fetched rows.
+//!
+//! Entries persisted to `BENCH_incremental.json`:
+//!
+//! * `incremental/steady_state_1_article_tick` — ingest one article +
+//!   fresh timeline with the default (incremental, bit-exact) config,
+//! * `incremental/full_rebuild_1_article_tick` — the same tick with
+//!   [`IncrementalConfig::disabled`] (the pre-tentpole behavior: every
+//!   epoch bump recomputes the timeline from scratch),
+//! * `incremental/meta_corpus_sentences` — warm-corpus size, pinning that
+//!   the run really is at the 10k-sentence tier,
+//! * `incremental/meta_speedup_x` — full-rebuild median over steady-state
+//!   median.
+//!
+//! With `TL_BENCH_ENFORCE=1` the run fails unless the speedup stays above
+//! a noise-tolerant 4x floor (the committed headline is >= 5x) and both
+//! latency entries stay within 2x of their committed
+//! `BENCH_incremental.json` baselines.
+//!
+//! Run with `cargo test -q -p tl-bench --test incremental -- --ignored
+//! --nocapture`.
+
+use std::hint::black_box;
+use tl_bench::{baseline_median, bench_with, record, BenchStats};
+use tl_corpus::{generate, Article, SynthConfig};
+use tl_wilson::{IncrementalConfig, RealTimeSystem, TimelineQuery, WilsonConfig};
+
+fn iters() -> usize {
+    std::env::var("TL_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn enforce() -> bool {
+    std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1")
+}
+
+fn gate_baseline(name: &str, fresh_median: f64, regressions: &mut Vec<String>) {
+    if !enforce() {
+        return;
+    }
+    let baseline = baseline_median("BENCH_incremental.json", name)
+        .unwrap_or_else(|| panic!("committed BENCH_incremental.json must contain {name}"));
+    if fresh_median > 2.0 * baseline {
+        regressions.push(format!(
+            "{name}: median {:.1} ms > 2x baseline {:.1} ms",
+            fresh_median * 1e3,
+            baseline * 1e3
+        ));
+    }
+}
+
+struct Fixture {
+    /// Warm corpus, ingested before the measured loop starts.
+    base: Vec<Article>,
+    /// Tick article pool, cycled by the measured loop (warmup included).
+    ticks: Vec<Article>,
+    query: TimelineQuery,
+    corpus_sentences: usize,
+}
+
+fn fixture() -> Fixture {
+    let ds = generate(&SynthConfig::timeline17().with_scale(0.3));
+    let topic = &ds.topics[0];
+    // Hold back a fixed pool of same-topic articles for the ticks (fixed so
+    // the warm-corpus size does not depend on the iteration count); the
+    // measured loop cycles through the pool. A re-ingested article is
+    // assigned fresh sentence ids, so even a cycled tick grows the corpus
+    // and advances the session by a genuine delta inside the query window.
+    let need = 12;
+    assert!(
+        topic.articles.len() > need + 10,
+        "topic too small: {} articles for {need} ticks",
+        topic.articles.len()
+    );
+    let (base, ticks) = topic.articles.split_at(topic.articles.len() - need);
+    let corpus_sentences: usize = base.iter().map(|a| a.sentences.len()).sum();
+    assert!(
+        corpus_sentences >= 10_000,
+        "warm corpus below the 10k-sentence tier: {corpus_sentences}"
+    );
+    let cfg = SynthConfig::timeline17();
+    Fixture {
+        base: base.to_vec(),
+        ticks: ticks.to_vec(),
+        query: TimelineQuery {
+            keywords: topic.query.clone(),
+            window: (
+                cfg.start_date,
+                cfg.start_date.plus_days(cfg.duration_days as i32),
+            ),
+            num_dates: 10,
+            sents_per_date: 2,
+            // Above the corpus' true match count (~4.5k of the 13k indexed
+            // rows), so the fetch is *complete* and the session can advance
+            // by delta scans instead of re-searching — and the full-rebuild
+            // baseline honestly recomputes over every matching sentence.
+            fetch_limit: 6_000,
+        },
+        corpus_sentences,
+    }
+}
+
+/// Warm a system on the base corpus, establish its session with one query,
+/// then measure repeated (ingest one article, query the timeline) ticks.
+/// Both variants run the identical tick sequence.
+fn steady_state(config: WilsonConfig, fx: &Fixture, name: &str) -> (BenchStats, RealTimeSystem) {
+    let sys = RealTimeSystem::new(config);
+    sys.ingest_all(&fx.base).expect("warm ingest");
+    black_box(sys.timeline(&fx.query).expect("warm query"));
+    let mut next = 0usize;
+    // 2 unmeasured warmup ticks, then the measured ones; the default
+    // iteration count is higher than `bench`'s so the median sits on the
+    // plateau of cheap ticks rather than on a day-recompute spike.
+    let stats = bench_with(name, 2, iters(), || {
+        let article = &fx.ticks[next % fx.ticks.len()];
+        next += 1;
+        sys.ingest(article).expect("tick ingest");
+        black_box(sys.timeline(&fx.query).expect("tick query"));
+    });
+    (stats, sys)
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_incremental_steady_state() {
+    let fx = fixture();
+    let mut regressions = Vec::new();
+    record(
+        "BENCH_incremental.json",
+        "incremental/meta_corpus_sentences",
+        &BenchStats {
+            median: fx.corpus_sentences as f64,
+            p95: fx.corpus_sentences as f64,
+            iters: 1,
+        },
+    );
+
+    let (full, full_sys) = steady_state(
+        WilsonConfig::default().with_incremental(IncrementalConfig::disabled()),
+        &fx,
+        "incremental/full_rebuild_1_article_tick",
+    );
+    record(
+        "BENCH_incremental.json",
+        "incremental/full_rebuild_1_article_tick",
+        &full,
+    );
+    gate_baseline(
+        "incremental/full_rebuild_1_article_tick",
+        full.median,
+        &mut regressions,
+    );
+    // The disabled variant must really have rebuilt from scratch each tick.
+    let full_stats = full_sys.session_stats(&fx.query).expect("session stats");
+    assert_eq!(
+        full_stats.refreshes, 0,
+        "disabled config ran incremental refreshes"
+    );
+
+    let (inc, inc_sys) = steady_state(
+        WilsonConfig::default(),
+        &fx,
+        "incremental/steady_state_1_article_tick",
+    );
+    record(
+        "BENCH_incremental.json",
+        "incremental/steady_state_1_article_tick",
+        &inc,
+    );
+    gate_baseline(
+        "incremental/steady_state_1_article_tick",
+        inc.median,
+        &mut regressions,
+    );
+    // The incremental variant must really have advanced by deltas: one
+    // refresh for the warm query plus one per tick.
+    let inc_stats = inc_sys.session_stats(&fx.query).expect("session stats");
+    assert!(
+        inc_stats.refreshes >= iters() as u64,
+        "expected per-tick incremental refreshes, saw {}",
+        inc_stats.refreshes
+    );
+
+    let speedup = full.median / inc.median;
+    record(
+        "BENCH_incremental.json",
+        "incremental/meta_speedup_x",
+        &BenchStats {
+            median: speedup,
+            p95: speedup,
+            iters: inc.iters,
+        },
+    );
+    println!(
+        "incremental steady-state tick: {:.2} ms vs full rebuild {:.2} ms ({speedup:.1}x, \
+         {} warm sentences)",
+        inc.median * 1e3,
+        full.median * 1e3,
+        fx.corpus_sentences
+    );
+    if enforce() {
+        // Noise-tolerant floor below the >= 5x committed headline: the tick
+        // distribution is bimodal (cheap cache-reuse ticks vs day-recompute
+        // spikes), so the median moves run to run on a loaded box, while a
+        // real regression — the incremental path degrading to rebuilds —
+        // reads as ~1x. The 2x-of-baseline gates bound absolute latency.
+        assert!(
+            speedup >= 4.0,
+            "steady-state tick only {speedup:.2}x faster than full rebuild (need >= 4x)"
+        );
+        assert!(regressions.is_empty(), "regressions:\n{}", regressions.join("\n"));
+    }
+}

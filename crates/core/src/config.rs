@@ -69,6 +69,73 @@ pub fn default_alpha_grid() -> Vec<f64> {
     ]
 }
 
+/// Incremental timeline maintenance in [`crate::RealTimeSystem`].
+///
+/// With incremental maintenance enabled (the default), each query keeps a
+/// per-key session that carries the date reference graph, corpus
+/// statistics, per-day TextRank rankings and PageRank score vectors across
+/// epochs, so a refresh costs work proportional to what changed. The
+/// default configuration is **bit-exact**: every refresh recomputes
+/// PageRank with the cold-start solver, and the differential suite proves
+/// the answers bit-identical to a from-scratch rebuild.
+///
+/// `warm_start` trades that exactness for speed: PageRank is seeded from
+/// the previous epoch's scores, falling back to the exact solver when the
+/// fraction of dirty date nodes exceeds `max_warm_dirty_fraction` or the
+/// warm iteration fails to converge (the residual trigger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalConfig {
+    /// Maintain per-query sessions across epochs. Disabled, the real-time
+    /// system recomputes every answer from scratch (the PR-5 behavior and
+    /// the benchmark baseline).
+    pub enabled: bool,
+    /// Seed PageRank from the previous epoch's score vector instead of the
+    /// restart distribution. Off by default: warm iterates stop at a
+    /// slightly different point inside the convergence tolerance, so
+    /// answers are near-exact rather than bit-exact.
+    pub warm_start: bool,
+    /// Warm-start fallback trigger: when more than this fraction of date
+    /// nodes changed since the last refresh, run the exact solver instead
+    /// (the previous scores are too stale to help).
+    pub max_warm_dirty_fraction: f64,
+    /// Maximum number of per-query sessions kept alive; the session with
+    /// the oldest epoch is evicted beyond this.
+    pub session_capacity: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            warm_start: false,
+            max_warm_dirty_fraction: 0.25,
+            session_capacity: 64,
+        }
+    }
+}
+
+impl IncrementalConfig {
+    /// Disable incremental maintenance entirely (full rebuild per epoch).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style warm-start override.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Builder-style dirty-fraction fallback threshold override.
+    pub fn with_max_warm_dirty_fraction(mut self, fraction: f64) -> Self {
+        self.max_warm_dirty_fraction = fraction;
+        self
+    }
+}
+
 /// Full pipeline configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WilsonConfig {
@@ -99,6 +166,10 @@ pub struct WilsonConfig {
     /// publish-sync barrier, and the storage retry policy. Ignored by the
     /// purely in-memory [`crate::RealTimeSystem::new`].
     pub durability: DurabilityConfig,
+    /// Incremental timeline maintenance for [`crate::RealTimeSystem`]:
+    /// per-query sessions that update the date graph, statistics and day
+    /// rankings by deltas instead of rebuilding per epoch.
+    pub incremental: IncrementalConfig,
 }
 
 impl Default for WilsonConfig {
@@ -113,6 +184,7 @@ impl Default for WilsonConfig {
             analysis_parallel: true,
             search: ShardedSearchConfig::default(),
             durability: DurabilityConfig::default(),
+            incremental: IncrementalConfig::default(),
         }
     }
 }
@@ -175,6 +247,14 @@ impl WilsonConfig {
         self.durability = durability;
         self
     }
+
+    /// Builder-style incremental-maintenance override (benchmarks compare
+    /// incremental against full rebuild; the differential suite sweeps the
+    /// warm-start knobs).
+    pub fn with_incremental(mut self, incremental: IncrementalConfig) -> Self {
+        self.incremental = incremental;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +294,20 @@ mod tests {
             .with_search(ShardedSearchConfig::default().with_shards(8));
         assert_eq!(c.search.num_shards, 8);
         assert_eq!(WilsonConfig::default().search, ShardedSearchConfig::default());
+    }
+
+    #[test]
+    fn incremental_defaults_are_exact() {
+        let c = WilsonConfig::default();
+        assert!(c.incremental.enabled);
+        assert!(
+            !c.incremental.warm_start,
+            "default must stay bit-exact vs from-scratch"
+        );
+        let warm = WilsonConfig::default()
+            .with_incremental(IncrementalConfig::default().with_warm_start(true));
+        assert!(warm.incremental.warm_start);
+        assert!(!IncrementalConfig::disabled().enabled);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! the topic query.
 
 use crate::config::EdgeWeight;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 use tl_corpus::DatedSentence;
 use tl_graph::DiGraph;
 use tl_ir::{Bm25Params, Bm25Scorer};
@@ -144,6 +145,266 @@ impl DateGraph {
             counts[dst] += e.count;
         }
         counts
+    }
+}
+
+/// One tracked sentence's contribution to the incremental graph.
+#[derive(Debug, Clone)]
+struct TrackedSentence {
+    date: Date,
+    pub_date: Date,
+    len: u32,
+    /// Sorted distinct term ids — the sentence's document-frequency
+    /// contribution, kept so removal can decrement exactly what insertion
+    /// incremented.
+    distinct: Vec<u32>,
+    /// Term-frequency profile, kept only for sentences that create a
+    /// reference edge: their query-BM25 relevance (W4) must be re-scored at
+    /// materialization time because corpus-level idf/avgdl drift with every
+    /// ingest. Precomputing the tf map once at insert makes each rescore
+    /// O(query terms) instead of O(sentence tokens), and is exact: it is
+    /// the very map [`Bm25Scorer::score`] would rebuild from the tokens
+    /// before delegating to `score_with_tf`.
+    mention_tf: Option<HashMap<u32, f64>>,
+}
+
+/// Delta-maintained date reference graph plus corpus statistics.
+///
+/// Where [`DateGraph::build_analyzed`] rescans the whole corpus, this
+/// structure is updated one sentence at a time — [`insert`] and [`remove`]
+/// touch only the affected date nodes, reference edges and
+/// document-frequency counters — and [`materialize`] reconstitutes a
+/// [`DateGraph`] that is **bit-identical** to a from-scratch build over the
+/// same sentence set (the differential suite pins this):
+///
+/// * node set and order: distinct dates sorted ascending (refcounted here,
+///   sorted+deduped there);
+/// * per-edge reference counts: maintained integers;
+/// * per-edge `max_bm25` (W4): maximum is order-independent and each
+///   relevance is scored by a [`Bm25Scorer`] built via
+///   [`Bm25Scorer::from_stats`] from the maintained integer counters, which
+///   is bit-identical to a fitted scorer.
+///
+/// Changed dates accumulate in a *dirty set* (both the mentioned and the
+/// publication date of every inserted/removed sentence) that callers drain
+/// with [`take_dirty`] to drive warm-start fallback decisions and dirty-day
+/// re-summarization.
+///
+/// [`insert`]: IncrementalDateGraph::insert
+/// [`remove`]: IncrementalDateGraph::remove
+/// [`materialize`]: IncrementalDateGraph::materialize
+/// [`take_dirty`]: IncrementalDateGraph::take_dirty
+#[derive(Debug, Default)]
+pub struct IncrementalDateGraph {
+    /// Tracked sentences by caller-assigned id (the engine's global DocId).
+    sentences: HashMap<u64, TrackedSentence>,
+    /// Refcount per date node: +1 for each tracked sentence's `date` and +1
+    /// for its `pub_date` (+2 when equal). A date is a node while its count
+    /// is positive. BTreeMap keeps the node list sorted for free.
+    date_refs: BTreeMap<Date, u32>,
+    /// Reference-sentence count per `(pub_date, mentioned_date)` edge.
+    edge_counts: HashMap<(Date, Date), u32>,
+    /// Distinct-term document frequencies over all tracked sentences.
+    /// Behind an `Arc` so each [`IncrementalDateGraph::materialize`] hands
+    /// the table to its scorer with a pointer bump instead of an
+    /// O(vocabulary) clone; mutation goes through `Arc::make_mut`, which
+    /// never copies in practice because the scorer is dropped before the
+    /// next insert/remove.
+    doc_freq: Arc<HashMap<u32, u32>>,
+    /// Summed token count over all tracked sentences.
+    total_len: u64,
+    /// Dates touched since the last [`IncrementalDateGraph::take_dirty`].
+    dirty: BTreeSet<Date>,
+}
+
+impl IncrementalDateGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track a sentence. Returns `false` (a strict no-op on every counter)
+    /// if `id` is already tracked — re-ingesting a duplicate must not skew
+    /// graph statistics.
+    pub fn insert(
+        &mut self,
+        id: u64,
+        date: Date,
+        pub_date: Date,
+        from_mention: bool,
+        tokens: &[u32],
+    ) -> bool {
+        if self.sentences.contains_key(&id) {
+            return false;
+        }
+        let mut distinct = tokens.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let doc_freq = Arc::make_mut(&mut self.doc_freq);
+        for &t in &distinct {
+            *doc_freq.entry(t).or_insert(0) += 1;
+        }
+        self.total_len += tokens.len() as u64;
+        *self.date_refs.entry(date).or_insert(0) += 1;
+        *self.date_refs.entry(pub_date).or_insert(0) += 1;
+        let makes_edge = from_mention && date != pub_date;
+        if makes_edge {
+            *self.edge_counts.entry((pub_date, date)).or_insert(0) += 1;
+        }
+        self.dirty.insert(date);
+        self.dirty.insert(pub_date);
+        self.sentences.insert(
+            id,
+            TrackedSentence {
+                date,
+                pub_date,
+                len: tokens.len() as u32,
+                distinct,
+                mention_tf: makes_edge.then(|| {
+                    let mut tf: HashMap<u32, f64> = HashMap::new();
+                    for &t in tokens {
+                        *tf.entry(t).or_insert(0.0) += 1.0;
+                    }
+                    tf
+                }),
+            },
+        );
+        true
+    }
+
+    /// Untrack a sentence, reversing every counter its insertion touched.
+    /// Returns `false` if `id` was not tracked.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(t) = self.sentences.remove(&id) else {
+            return false;
+        };
+        let doc_freq = Arc::make_mut(&mut self.doc_freq);
+        for term in &t.distinct {
+            if let Some(c) = doc_freq.get_mut(term) {
+                *c -= 1;
+                if *c == 0 {
+                    doc_freq.remove(term);
+                }
+            }
+        }
+        self.total_len -= t.len as u64;
+        for d in [t.date, t.pub_date] {
+            if let Some(c) = self.date_refs.get_mut(&d) {
+                *c -= 1;
+                if *c == 0 {
+                    self.date_refs.remove(&d);
+                }
+            }
+        }
+        if t.mention_tf.is_some() {
+            if let Some(c) = self.edge_counts.get_mut(&(t.pub_date, t.date)) {
+                *c -= 1;
+                if *c == 0 {
+                    self.edge_counts.remove(&(t.pub_date, t.date));
+                }
+            }
+        }
+        self.dirty.insert(t.date);
+        self.dirty.insert(t.pub_date);
+        true
+    }
+
+    /// Whether `id` is currently tracked.
+    pub fn contains(&self, id: u64) -> bool {
+        self.sentences.contains_key(&id)
+    }
+
+    /// Number of tracked sentences.
+    pub fn num_sentences(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Number of date nodes (dates with a positive refcount).
+    pub fn num_dates(&self) -> usize {
+        self.date_refs.len()
+    }
+
+    /// Whether `date` is currently a node (some tracked sentence reports on
+    /// or mentions it).
+    pub fn has_date(&self, date: Date) -> bool {
+        self.date_refs.contains_key(&date)
+    }
+
+    /// Number of distinct reference edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_counts.len()
+    }
+
+    /// Summed token count over tracked sentences.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Distinct-term document frequencies over tracked sentences — shared
+    /// with the TF-IDF post-processing model, which counts df identically.
+    pub fn doc_freq(&self) -> &HashMap<u32, u32> {
+        &self.doc_freq
+    }
+
+    /// The same frequencies as a shared handle (an `Arc` bump) for
+    /// clone-free model construction on the refresh hot path.
+    pub fn shared_doc_freq(&self) -> Arc<HashMap<u32, u32>> {
+        Arc::clone(&self.doc_freq)
+    }
+
+    /// Drain the set of dates touched since the last call (mentioned *and*
+    /// publication dates of inserted/removed sentences).
+    pub fn take_dirty(&mut self) -> BTreeSet<Date> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Dates touched since the last drain, without clearing.
+    pub fn dirty(&self) -> &BTreeSet<Date> {
+        &self.dirty
+    }
+
+    /// Reconstitute the compiled [`DateGraph`] for the tracked sentence
+    /// set. `query_tokens` are the topic query's retrieval token ids (for
+    /// W4 relevance), from the same vocabulary the sentences were analyzed
+    /// with.
+    pub fn materialize(&self, query_tokens: &[u32]) -> DateGraph {
+        let dates: Vec<Date> = self.date_refs.keys().copied().collect();
+        let index: HashMap<Date, usize> =
+            dates.iter().enumerate().map(|(i, d)| (*d, i)).collect();
+        let scorer = Bm25Scorer::from_stats_shared(
+            Bm25Params::default(),
+            Arc::clone(&self.doc_freq),
+            self.sentences.len() as u32,
+            self.total_len,
+        );
+        let mut edges: HashMap<(usize, usize), EdgeStats> =
+            HashMap::with_capacity(self.edge_counts.len());
+        for (&(pub_date, date), &count) in &self.edge_counts {
+            edges.insert(
+                (index[&pub_date], index[&date]),
+                EdgeStats {
+                    count,
+                    max_bm25: 0.0,
+                },
+            );
+        }
+        for t in self.sentences.values() {
+            let Some(tf) = &t.mention_tf else {
+                continue;
+            };
+            // Bit-equal to `scorer.score(query_tokens, tokens)`: score()
+            // builds exactly this tf map before calling score_with_tf, and
+            // its empty-query/empty-doc early return of 0.0 coincides with
+            // the empty sum (an empty doc has an empty tf map).
+            let relevance = scorer.score_with_tf(query_tokens, tf, t.len as usize);
+            let e = edges
+                .get_mut(&(index[&t.pub_date], index[&t.date]))
+                .expect("tracked mention sentence implies edge entry");
+            if relevance > e.max_bm25 {
+                e.max_bm25 = relevance;
+            }
+        }
+        DateGraph { dates, edges }
     }
 }
 
@@ -306,5 +567,211 @@ mod tests {
     fn build_analyzed_checks_lengths() {
         let corpus = vec![sent("2018-06-01", "2018-06-12", "summit", true)];
         DateGraph::build_analyzed(&corpus, &[], &[]);
+    }
+
+    // ---- incremental delta maintenance -----------------------------------
+
+    use tl_support::qp_assert;
+    use tl_support::quickprop::{check, gens};
+
+    /// Bit-level equality of two compiled graphs across every weighting
+    /// scheme — the contract `materialize` promises against a batch build.
+    fn graphs_bit_equal(got: &DateGraph, want: &DateGraph) -> Result<(), String> {
+        if got.dates() != want.dates() {
+            return Err(format!(
+                "dates diverge: {:?} vs {:?}",
+                got.dates(),
+                want.dates()
+            ));
+        }
+        if got.num_edges() != want.num_edges() {
+            return Err(format!(
+                "edge count diverges: {} vs {}",
+                got.num_edges(),
+                want.num_edges()
+            ));
+        }
+        for scheme in EdgeWeight::all() {
+            for s in 0..want.num_dates() {
+                for t in 0..want.num_dates() {
+                    let a = got.edge_weight(s, t, scheme);
+                    let b = want.edge_weight(s, t, scheme);
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!(
+                            "edge ({s},{t}) {scheme:?}: {a} vs {b} (bits differ)"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A synthetic sentence spec: `(date offset, pub offset, mention, tokens)`.
+    type Spec = (usize, usize, bool, Vec<u32>);
+
+    fn spec_corpus(specs: &[(u64, &Spec)]) -> (Vec<DatedSentence>, Vec<Vec<u32>>) {
+        let base = d("2020-01-01");
+        let mut corpus = Vec::new();
+        let mut tokens = Vec::new();
+        for &(_, (dd, pd, mention, toks)) in specs {
+            corpus.push(DatedSentence {
+                date: base.plus_days(*dd as i32),
+                pub_date: base.plus_days(*pd as i32),
+                article: 0,
+                sentence_index: 0,
+                text: String::new(),
+                from_mention: *mention,
+            });
+            tokens.push(toks.clone());
+        }
+        (corpus, tokens)
+    }
+
+    #[test]
+    fn incremental_empty_matches_batch() {
+        let inc = IncrementalDateGraph::new();
+        let got = inc.materialize(&[1, 2]);
+        let want = DateGraph::build_analyzed(&[], &[], &[1, 2]);
+        graphs_bit_equal(&got, &want).unwrap();
+        assert_eq!(inc.num_sentences(), 0);
+        assert_eq!(got.num_dates(), 0);
+    }
+
+    #[test]
+    fn incremental_single_date_corpus() {
+        // Every sentence reports and mentions the same day: one node, no
+        // edges (self-mentions never create edges), still bit-equal to the
+        // batch build.
+        let mut inc = IncrementalDateGraph::new();
+        let specs: Vec<Spec> = vec![
+            (0, 0, false, vec![1, 2, 3]),
+            (0, 0, true, vec![2, 3]),
+            (0, 0, false, vec![]),
+        ];
+        for (i, s) in specs.iter().enumerate() {
+            let base = d("2020-01-01");
+            assert!(inc.insert(i as u64, base, base, s.2, &s.3));
+        }
+        assert_eq!(inc.num_dates(), 1);
+        assert_eq!(inc.num_edges(), 0);
+        let with_ids: Vec<(u64, &Spec)> =
+            specs.iter().enumerate().map(|(i, s)| (i as u64, s)).collect();
+        let (corpus, tokens) = spec_corpus(&with_ids);
+        let want = DateGraph::build_analyzed(&corpus, &tokens, &[2]);
+        graphs_bit_equal(&inc.materialize(&[2]), &want).unwrap();
+    }
+
+    #[test]
+    fn incremental_article_adds_brand_new_date_node() {
+        let base = d("2020-01-01");
+        let mut inc = IncrementalDateGraph::new();
+        inc.insert(0, base, base, false, &[1]);
+        assert_eq!(inc.num_dates(), 1);
+        inc.take_dirty();
+        // A mention of a never-seen date must create the node and the edge,
+        // and mark both endpoints dirty.
+        let novel = base.plus_days(30);
+        inc.insert(1, novel, base, true, &[1, 2]);
+        assert_eq!(inc.num_dates(), 2);
+        assert_eq!(inc.num_edges(), 1);
+        let dirty = inc.take_dirty();
+        assert!(dirty.contains(&novel) && dirty.contains(&base));
+        let g = inc.materialize(&[1]);
+        assert_eq!(g.dates(), &[base, novel]);
+        assert_eq!(g.edge_weight(0, 1, EdgeWeight::W1), 1.0);
+    }
+
+    #[test]
+    fn duplicate_sentence_id_is_noop_on_graph_stats() {
+        let base = d("2020-01-01");
+        let mut inc = IncrementalDateGraph::new();
+        assert!(inc.insert(7, base.plus_days(5), base, true, &[1, 2, 2]));
+        let (sents, dates, edges, len) = (
+            inc.num_sentences(),
+            inc.num_dates(),
+            inc.num_edges(),
+            inc.total_len(),
+        );
+        let df = inc.doc_freq().clone();
+        inc.take_dirty();
+        // Re-ingesting the same id — even with different content — must not
+        // touch a single counter or dirty any date.
+        assert!(!inc.insert(7, base.plus_days(9), base, true, &[9, 9, 9]));
+        assert_eq!(inc.num_sentences(), sents);
+        assert_eq!(inc.num_dates(), dates);
+        assert_eq!(inc.num_edges(), edges);
+        assert_eq!(inc.total_len(), len);
+        assert_eq!(inc.doc_freq(), &df);
+        assert!(inc.dirty().is_empty());
+    }
+
+    #[test]
+    fn remove_reverses_insert_exactly() {
+        let base = d("2020-01-01");
+        let mut inc = IncrementalDateGraph::new();
+        inc.insert(0, base.plus_days(3), base, true, &[1, 2]);
+        inc.insert(1, base, base, false, &[2, 3]);
+        assert!(inc.remove(0));
+        assert!(inc.remove(1));
+        assert!(!inc.remove(0), "double remove must report untracked");
+        assert_eq!(inc.num_sentences(), 0);
+        assert_eq!(inc.num_dates(), 0);
+        assert_eq!(inc.num_edges(), 0);
+        assert_eq!(inc.total_len(), 0);
+        assert!(inc.doc_freq().is_empty());
+    }
+
+    /// The tentpole proof at the graph layer: arbitrary interleavings of
+    /// inserts, duplicate re-inserts and removals materialize bit-identically
+    /// to a from-scratch batch build over the surviving sentence set.
+    #[test]
+    fn prop_incremental_materialize_matches_batch_build() {
+        check(
+            "incremental_matches_batch",
+            (
+                gens::vecs(
+                    (
+                        gens::usizes(0..15),
+                        gens::usizes(0..15),
+                        gens::bools(),
+                        gens::vecs(gens::u32s(0..20), 0..8),
+                    ),
+                    0..30,
+                ),
+                gens::vecs(gens::bools(), 0..30),
+                gens::vecs(gens::u32s(0..20), 0..5),
+            ),
+            |(specs, removals, query)| {
+                let base = d("2020-01-01");
+                let mut inc = IncrementalDateGraph::new();
+                for (i, (dd, pd, mention, toks)) in specs.iter().enumerate() {
+                    qp_assert!(inc.insert(
+                        i as u64,
+                        base.plus_days(*dd as i32),
+                        base.plus_days(*pd as i32),
+                        *mention,
+                        toks,
+                    ));
+                    qp_assert!(
+                        !inc.insert(i as u64, base, base, false, &[99]),
+                        "duplicate id accepted"
+                    );
+                }
+                let mut survivors: Vec<(u64, &Spec)> = Vec::new();
+                for (i, spec) in specs.iter().enumerate() {
+                    if removals.get(i).copied().unwrap_or(false) {
+                        qp_assert!(inc.remove(i as u64));
+                    } else {
+                        survivors.push((i as u64, spec));
+                    }
+                }
+                qp_assert!(!inc.remove(u64::MAX), "phantom remove accepted");
+                let (corpus, tokens) = spec_corpus(&survivors);
+                let want = DateGraph::build_analyzed(&corpus, &tokens, query);
+                let got = inc.materialize(query);
+                graphs_bit_equal(&got, &want)
+            },
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::config::{DateStrategy, EdgeWeight};
 use crate::dategraph::DateGraph;
-use tl_graph::{pagerank, personalized_pagerank, top_k, PageRankConfig};
+use tl_graph::{personalized_pagerank, top_k, DiGraph, PageRankConfig};
 use tl_temporal::Date;
 
 /// Uniformity of a date selection (Definition 3): the standard deviation of
@@ -38,6 +38,32 @@ pub fn select_dates(
     t: usize,
     damping: f64,
 ) -> Vec<Date> {
+    select_dates_ranked(graph, scheme, strategy, t, damping, &mut |_, g, p, c| {
+        personalized_pagerank(g, p, c)
+    })
+}
+
+/// [`select_dates`] with a pluggable PageRank solver.
+///
+/// `ranker(call, graph, personalization, config)` is invoked once per
+/// PageRank run — `call` counts the runs within one selection (0 for the
+/// plain-PageRank strategy; the α-grid index for the recency adjustment),
+/// which lets incremental callers key a per-run warm-start seed. Every
+/// piece of selection logic outside the solver (grid order, top-k
+/// tie-breaks, the strict-`<` uniformity argmin) is shared with the exact
+/// path, so a ranker that returns exact scores selects exactly the same
+/// dates.
+pub(crate) fn select_dates_ranked<F>(
+    graph: &DateGraph,
+    scheme: EdgeWeight,
+    strategy: &DateStrategy,
+    t: usize,
+    damping: f64,
+    ranker: &mut F,
+) -> Vec<Date>
+where
+    F: FnMut(usize, &DiGraph, &[f64], &PageRankConfig) -> Vec<f64>,
+{
     let dates = graph.dates();
     if dates.is_empty() || t == 0 {
         return Vec::new();
@@ -51,7 +77,8 @@ pub fn select_dates(
                 damping,
                 ..Default::default()
             };
-            let scores = pagerank(&g, &config);
+            // Plain PageRank is personalized PageRank with a uniform restart.
+            let scores = ranker(0, &g, &vec![1.0; g.num_nodes()], &config);
             let mut selected: Vec<Date> = top_k(&scores, t).into_iter().map(|i| dates[i]).collect();
             selected.sort_unstable();
             selected
@@ -64,7 +91,7 @@ pub fn select_dates(
             };
             let start = dates[0];
             let mut best: Option<(f64, Vec<Date>)> = None;
-            for &alpha in alpha_grid {
+            for (call, &alpha) in alpha_grid.iter().enumerate() {
                 assert!(
                     alpha > 0.0 && alpha <= 1.0,
                     "alpha must lie in (0, 1], got {alpha}"
@@ -81,7 +108,7 @@ pub fn select_dates(
                         alpha.powf(max_d - di)
                     })
                     .collect();
-                let scores = personalized_pagerank(&g, &personalization, &config);
+                let scores = ranker(call, &g, &personalization, &config);
                 let mut selected: Vec<Date> =
                     top_k(&scores, t).into_iter().map(|i| dates[i]).collect();
                 selected.sort_unstable();

@@ -1,0 +1,520 @@
+//! Incremental timeline maintenance: updates proportional to what changed.
+//!
+//! A [`TimelineSession`] carries one query's pipeline state across engine
+//! epochs. Each [`TimelineSession::refresh`] diffs the query's fetched
+//! sentence set against the previous refresh and then:
+//!
+//! * applies the id delta to an [`IncrementalDateGraph`] (date nodes,
+//!   reference edges, document-frequency counters — all integer deltas),
+//! * recomputes date selection on the materialized graph, either with the
+//!   exact cold-start PageRank (default) or warm-started from the previous
+//!   epoch's score vectors with a dirty-fraction / residual fallback,
+//! * re-runs per-day TextRank **only for dirty dates** — a selected day
+//!   whose sentence-id list is unchanged reuses its cached ranking, which
+//!   is sound because a day's TextRank graph depends only on that day's own
+//!   token rows,
+//! * builds TF-IDF post-processing vectors on demand, only for the
+//!   candidates the assembly pass actually examines, from the
+//!   incrementally maintained statistics
+//!   ([`tl_nlp::TfIdfModel::from_stats`]).
+//!
+//! With warm start disabled every float in the pipeline is produced by the
+//! same arithmetic as `Wilson::generate_cached` on the same canonical
+//! (id-sorted) corpus, so refreshed timelines are **bit-identical** to
+//! from-scratch answers — `tests/incremental_differential.rs` proves it
+//! over randomized ingest schedules.
+
+use crate::config::WilsonConfig;
+use crate::dategraph::IncrementalDateGraph;
+use crate::dateselect::select_dates_ranked;
+use crate::postprocess::{assemble_timeline_with, DayCandidates};
+use crate::textrank::textrank_order;
+use std::collections::HashMap;
+use tl_corpus::Timeline;
+use tl_graph::{personalized_pagerank, personalized_pagerank_warm};
+use tl_nlp::TfIdfModel;
+use tl_temporal::Date;
+
+/// One fetched sentence, borrowed from a pinned engine snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct SentenceRow<'a> {
+    /// Engine-global document id — stable across epochs.
+    pub id: u64,
+    /// The (possibly mentioned) date the sentence is grouped under.
+    pub date: Date,
+    /// Publication date.
+    pub pub_date: Date,
+    /// Raw text (for emitting timeline entries).
+    pub text: &'a str,
+    /// Ingest-time retrieval tokens.
+    pub tokens: &'a [u32],
+}
+
+/// Telemetry counters for one session, cumulative across refreshes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Total refreshes served.
+    pub refreshes: u64,
+    /// Refreshes whose date selection ran warm-started PageRank.
+    pub warm_selections: u64,
+    /// Refreshes whose date selection ran the exact cold-start solver.
+    pub exact_selections: u64,
+    /// Exact-path refreshes forced by the dirty-fraction trigger while warm
+    /// start was enabled.
+    pub dirty_fallbacks: u64,
+    /// Warm PageRank runs that failed to converge and were recomputed
+    /// exactly (the residual trigger).
+    pub residual_fallbacks: u64,
+    /// Selected days whose cached TextRank ranking was reused.
+    pub days_reused: u64,
+    /// Selected days re-ranked because their sentence set changed (or was
+    /// never ranked).
+    pub days_recomputed: u64,
+    /// Sentences added to the session corpus over its lifetime.
+    pub sentences_added: u64,
+    /// Sentences that left the session corpus (fell out of the top-k or
+    /// out of the window) over its lifetime.
+    pub sentences_removed: u64,
+}
+
+/// Cached per-day TextRank result, keyed by the day's exact sentence ids.
+#[derive(Debug, Clone)]
+struct DayRanking {
+    /// The day's sentence ids, ascending — the cache validity check.
+    ids: Vec<u64>,
+    /// The day's sentence ids in descending TextRank order.
+    ranked_ids: Vec<u64>,
+}
+
+/// Per-query incremental pipeline state (see module docs).
+#[derive(Debug, Default)]
+pub struct TimelineSession {
+    graph: IncrementalDateGraph,
+    /// Current corpus ids, ascending.
+    ids: Vec<u64>,
+    day_cache: HashMap<Date, DayRanking>,
+    /// Previous PageRank score vectors per solver call index (the α-grid
+    /// position), with the date-node list they were computed over.
+    warm_scores: HashMap<usize, (Vec<Date>, Vec<f64>)>,
+    timeline: Timeline,
+    stats: IncrementalStats,
+}
+
+impl TimelineSession {
+    /// Create an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The timeline of the most recent refresh.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Cumulative telemetry.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Number of sentences currently tracked.
+    pub fn num_sentences(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The tracked sentence ids, ascending — the exact row set the last
+    /// refresh was fed. The delta-fetch fast path unions these with a scan
+    /// of newly ingested documents instead of re-searching the corpus.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Bring the session up to date with the query's current fetched
+    /// sentence set and return the fresh timeline.
+    ///
+    /// `rows` must be sorted ascending by id with no duplicates — the
+    /// canonical corpus order both the incremental and the from-scratch
+    /// path use. `query_tokens` must come from the same (frozen) vocabulary
+    /// as the row tokens, re-analyzed against the *current* snapshot: the
+    /// vocabulary is append-only, so later epochs can map query words
+    /// earlier ones could not.
+    pub fn refresh(
+        &mut self,
+        config: &WilsonConfig,
+        rows: &[SentenceRow<'_>],
+        query_tokens: &[u32],
+        t: usize,
+        n: usize,
+    ) -> &Timeline {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].id < w[1].id),
+            "rows must be sorted ascending by unique id"
+        );
+        self.stats.refreshes += 1;
+
+        // Apply the id delta: one merge walk over the two sorted id lists —
+        // removals are old ids absent from `rows`, insertions are rows
+        // absent from the old list. The unchanged majority costs two
+        // integer compares per row, no hashing.
+        let old_ids = std::mem::take(&mut self.ids);
+        let mut o = 0usize;
+        for r in rows {
+            while o < old_ids.len() && old_ids[o] < r.id {
+                self.graph.remove(old_ids[o]);
+                self.stats.sentences_removed += 1;
+                o += 1;
+            }
+            if o < old_ids.len() && old_ids[o] == r.id {
+                o += 1;
+            } else if self
+                .graph
+                .insert(r.id, r.date, r.pub_date, r.date != r.pub_date, r.tokens)
+            {
+                self.stats.sentences_added += 1;
+            }
+        }
+        for &id in &old_ids[o..] {
+            self.graph.remove(id);
+            self.stats.sentences_removed += 1;
+        }
+        self.ids = rows.iter().map(|r| r.id).collect();
+        let dirty = self.graph.take_dirty();
+
+        if rows.is_empty() || t == 0 || n == 0 {
+            self.timeline = Timeline::default();
+            return &self.timeline;
+        }
+
+        // Materialize the date graph (bit-equal to a batch build) and
+        // select dates, warm or exact.
+        let dategraph = self.graph.materialize(query_tokens);
+        let node_dates: Vec<Date> = dategraph.dates().to_vec();
+        let dirty_fraction = if node_dates.is_empty() {
+            0.0
+        } else {
+            dirty.len() as f64 / node_dates.len() as f64
+        };
+        let inc = &config.incremental;
+        // Warm start needs previous scores to seed from; the first selection
+        // of a session is exact by construction.
+        let warm_eligible = inc.warm_start && !self.warm_scores.is_empty();
+        let warm_this_refresh = warm_eligible && dirty_fraction <= inc.max_warm_dirty_fraction;
+        if warm_eligible && !warm_this_refresh {
+            self.stats.dirty_fallbacks += 1;
+        }
+
+        let warm_scores = &mut self.warm_scores;
+        let mut residual_fallbacks = 0u64;
+        let selected = if warm_this_refresh {
+            self.stats.warm_selections += 1;
+            select_dates_ranked(
+                &dategraph,
+                config.edge_weight,
+                &config.date_strategy,
+                t,
+                config.damping,
+                &mut |call, g, personalization, pr_config| {
+                    // Align the previous scores to the current node list by
+                    // date; nodes the previous epoch did not have start at 0.
+                    let seed: Vec<f64> = match warm_scores.get(&call) {
+                        Some((old_dates, old_scores)) => {
+                            let by_date: HashMap<Date, f64> = old_dates
+                                .iter()
+                                .zip(old_scores)
+                                .map(|(d, s)| (*d, *s))
+                                .collect();
+                            node_dates
+                                .iter()
+                                .map(|d| by_date.get(d).copied().unwrap_or(0.0))
+                                .collect()
+                        }
+                        None => Vec::new(),
+                    };
+                    let out = personalized_pagerank_warm(g, personalization, pr_config, &seed);
+                    let scores = if out.converged {
+                        out.scores
+                    } else {
+                        residual_fallbacks += 1;
+                        personalized_pagerank(g, personalization, pr_config)
+                    };
+                    warm_scores.insert(call, (node_dates.clone(), scores.clone()));
+                    scores
+                },
+            )
+        } else {
+            self.stats.exact_selections += 1;
+            select_dates_ranked(
+                &dategraph,
+                config.edge_weight,
+                &config.date_strategy,
+                t,
+                config.damping,
+                &mut |call, g, personalization, pr_config| {
+                    let scores = personalized_pagerank(g, personalization, pr_config);
+                    if inc.warm_start {
+                        warm_scores.insert(call, (node_dates.clone(), scores.clone()));
+                    }
+                    scores
+                },
+            )
+        };
+        self.stats.residual_fallbacks += residual_fallbacks;
+
+        // Group current row indices by date, but only for the selected
+        // dates — the only days that get summarized (rows are in canonical
+        // order, so per-day index lists are ascending like
+        // AnalysisCache::by_date).
+        let selected_set: std::collections::HashSet<Date> = selected.iter().copied().collect();
+        let mut by_date: HashMap<Date, Vec<usize>> = HashMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            if selected_set.contains(&r.date) {
+                by_date.entry(r.date).or_default().push(i);
+            }
+        }
+        // Cache hygiene: drop entries for dates that left the corpus
+        // entirely. Stale entries for still-present days are caught by the
+        // id-list check, so retaining by graph membership (a superset of
+        // the summarizable days) is sound.
+        let graph = &self.graph;
+        self.day_cache.retain(|d, _| graph.has_date(*d));
+
+        // Rank each selected day: reuse the cached ordering when the day's
+        // sentence set is unchanged, else recompute TextRank.
+        let mut days: Vec<DayCandidates> = Vec::with_capacity(selected.len());
+        for date in &selected {
+            let Some(indices) = by_date.get(date) else {
+                // A node can exist purely as a publication date; such days
+                // have no sentences to summarize (the batch path skips them
+                // the same way).
+                continue;
+            };
+            let day_ids: Vec<u64> = indices.iter().map(|&i| rows[i].id).collect();
+            // Map the day's ids back to row indices with a day-sized map —
+            // the only id→index lookups any refresh needs.
+            let index_of: HashMap<u64, usize> = day_ids
+                .iter()
+                .copied()
+                .zip(indices.iter().copied())
+                .collect();
+            let ranked_ids = match self.day_cache.get(date) {
+                Some(entry) if entry.ids == day_ids => {
+                    self.stats.days_reused += 1;
+                    entry.ranked_ids.clone()
+                }
+                _ => {
+                    self.stats.days_recomputed += 1;
+                    let toks: Vec<&[u32]> = indices.iter().map(|&i| rows[i].tokens).collect();
+                    let order = textrank_order(&toks, config.damping);
+                    let ranked_ids: Vec<u64> = order.into_iter().map(|k| day_ids[k]).collect();
+                    self.day_cache.insert(
+                        *date,
+                        DayRanking {
+                            ids: day_ids,
+                            ranked_ids: ranked_ids.clone(),
+                        },
+                    );
+                    ranked_ids
+                }
+            };
+            days.push(DayCandidates {
+                date: *date,
+                ranked: ranked_ids.iter().map(|id| index_of[id]).collect(),
+            });
+        }
+        // `selected` is sorted ascending, so `days` already is too (the
+        // batch path sorts explicitly after its parallel ranking).
+
+        // Post-processing vectors are produced on demand, only for the
+        // candidates the round-robin pass actually examines. The TF-IDF
+        // model from maintained counters is bit-identical to one fitted
+        // over all rows, so each computed vector matches the batch path's.
+        let tfidf = TfIdfModel::from_stats_shared(self.graph.shared_doc_freq(), rows.len() as u32);
+        let entries = assemble_timeline_with(
+            &days,
+            n,
+            config.sim_threshold,
+            config.post_process,
+            |i| tfidf.unit_vector(rows[i].tokens),
+        );
+        self.timeline = Timeline::new(
+            entries
+                .into_iter()
+                .filter(|(_, sel)| !sel.is_empty())
+                .map(|(date, sel)| {
+                    let sents = sel.into_iter().map(|i| rows[i].text.to_string()).collect();
+                    (date, sents)
+                })
+                .collect(),
+        );
+        &self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::AnalysisCache;
+    use crate::config::IncrementalConfig;
+    use crate::summarize::Wilson;
+    use tl_corpus::{dated_sentences, generate, DatedSentence, SynthConfig};
+
+    /// Analyzed corpus in canonical id order (ids = positions here), plus
+    /// the frozen query tokens.
+    fn analyzed(corpus: &[DatedSentence], query: &str) -> (Vec<Vec<u32>>, Vec<u32>) {
+        let (cache, analyzer) = AnalysisCache::build(corpus, false);
+        let q = analyzer.analyze_frozen(query);
+        (cache.tokens().to_vec(), q)
+    }
+
+    fn rows<'a>(
+        corpus: &'a [DatedSentence],
+        tokens: &'a [Vec<u32>],
+        ids: &[usize],
+    ) -> Vec<SentenceRow<'a>> {
+        ids.iter()
+            .map(|&i| SentenceRow {
+                id: i as u64,
+                date: corpus[i].date,
+                pub_date: corpus[i].pub_date,
+                text: &corpus[i].text,
+                tokens: &tokens[i],
+            })
+            .collect()
+    }
+
+    /// From-scratch reference on an id-subset of the corpus.
+    fn batch_reference(
+        config: &WilsonConfig,
+        corpus: &[DatedSentence],
+        tokens: &[Vec<u32>],
+        ids: &[usize],
+        query_tokens: &[u32],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        let sub: Vec<DatedSentence> = ids.iter().map(|&i| corpus[i].clone()).collect();
+        let cache = AnalysisCache::from_rows(ids.iter().map(|&i| (tokens[i].as_slice(), corpus[i].date)));
+        Wilson::new(config.clone()).generate_cached(&sub, &cache, query_tokens, t, n)
+    }
+
+    #[test]
+    fn growing_session_matches_batch_at_every_step() {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let corpus = dated_sentences(&topic.articles, None);
+        let (tokens, q) = analyzed(&corpus, &topic.query);
+        let config = WilsonConfig::default();
+        let mut session = TimelineSession::new();
+        let (t, n) = (5, 2);
+        let checkpoints = [corpus.len() / 3, 2 * corpus.len() / 3, corpus.len()];
+        for &upto in &checkpoints {
+            let ids: Vec<usize> = (0..upto).collect();
+            let got = session
+                .refresh(&config, &rows(&corpus, &tokens, &ids), &q, t, n)
+                .clone();
+            let want = batch_reference(&config, &corpus, &tokens, &ids, &q, t, n);
+            assert_eq!(got.entries, want.entries, "divergence at {upto} sentences");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.refreshes, 3);
+        assert_eq!(stats.sentences_added as usize, corpus.len());
+
+        // A refresh with an unchanged corpus must reuse every day ranking
+        // and reproduce the same timeline.
+        let before = session.timeline().clone();
+        let reused_before = session.stats().days_reused;
+        let ids: Vec<usize> = (0..corpus.len()).collect();
+        let again = session
+            .refresh(&config, &rows(&corpus, &tokens, &ids), &q, t, n)
+            .clone();
+        assert_eq!(again.entries, before.entries);
+        let after = session.stats();
+        assert!(after.days_reused > reused_before, "no-op refresh must reuse rankings");
+        assert_eq!(after.sentences_added as usize, corpus.len(), "no-op adds nothing");
+    }
+
+    #[test]
+    fn shrinking_and_churning_session_matches_batch() {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let corpus = dated_sentences(&topic.articles, None);
+        let (tokens, q) = analyzed(&corpus, &topic.query);
+        let config = WilsonConfig::default();
+        let mut session = TimelineSession::new();
+        let (t, n) = (4, 2);
+        // Grow, then shrink to an overlapping window, then to a disjoint set.
+        let phases: Vec<Vec<usize>> = vec![
+            (0..corpus.len()).collect(),
+            (corpus.len() / 4..corpus.len() / 2).collect(),
+            (corpus.len() / 2..corpus.len() / 2 + 30).collect(),
+        ];
+        for ids in &phases {
+            let got = session
+                .refresh(&config, &rows(&corpus, &tokens, ids), &q, t, n)
+                .clone();
+            let want = batch_reference(&config, &corpus, &tokens, ids, &q, t, n);
+            assert_eq!(got.entries, want.entries, "ids {:?}..", ids.first());
+        }
+        assert!(session.stats().sentences_removed > 0);
+    }
+
+    #[test]
+    fn empty_refresh_yields_empty_timeline() {
+        let config = WilsonConfig::default();
+        let mut session = TimelineSession::new();
+        assert_eq!(session.refresh(&config, &[], &[1], 5, 2).num_dates(), 0);
+        assert_eq!(session.num_sentences(), 0);
+    }
+
+    #[test]
+    fn warm_start_stays_close_and_falls_back_when_forced() {
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let corpus = dated_sentences(&topic.articles, None);
+        let (tokens, q) = analyzed(&corpus, &topic.query);
+        let warm_config = WilsonConfig::default().with_incremental(
+            IncrementalConfig::default()
+                .with_warm_start(true)
+                .with_max_warm_dirty_fraction(1.0),
+        );
+        let mut session = TimelineSession::new();
+        let (t, n) = (5, 2);
+        let mut warm_finals = Timeline::default();
+        for upto in [corpus.len() / 2, corpus.len() * 3 / 4, corpus.len()] {
+            let ids: Vec<usize> = (0..upto).collect();
+            warm_finals = session
+                .refresh(&warm_config, &rows(&corpus, &tokens, &ids), &q, t, n)
+                .clone();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.exact_selections, 1, "first refresh has no seed");
+        assert_eq!(stats.warm_selections, 2);
+        // Warm scores sit within the PageRank convergence tolerance of the
+        // exact fixed point, so the selected dates — and with them the
+        // timeline — almost always agree with the batch answer; at minimum
+        // the refresh must produce a valid timeline over corpus dates.
+        assert!(warm_finals.num_dates() > 0);
+
+        // Forcing the dirty-fraction trigger must take the exact path.
+        let forced_config = WilsonConfig::default().with_incremental(
+            IncrementalConfig::default()
+                .with_warm_start(true)
+                .with_max_warm_dirty_fraction(0.0),
+        );
+        let mut forced = TimelineSession::new();
+        for upto in [corpus.len() / 2, corpus.len()] {
+            let ids: Vec<usize> = (0..upto).collect();
+            forced.refresh(&forced_config, &rows(&corpus, &tokens, &ids), &q, t, n);
+        }
+        let stats = forced.stats();
+        assert_eq!(stats.warm_selections, 0);
+        assert_eq!(stats.exact_selections, 2);
+        assert_eq!(
+            stats.dirty_fallbacks, 1,
+            "second refresh is warm-eligible and must be forced exact"
+        );
+        // And the forced-exact session is bit-identical to batch.
+        let ids: Vec<usize> = (0..corpus.len()).collect();
+        let want = batch_reference(&WilsonConfig::default(), &corpus, &tokens, &ids, &q, t, n);
+        assert_eq!(forced.timeline().entries, want.entries);
+    }
+}

@@ -40,6 +40,7 @@ pub mod config;
 pub mod dategraph;
 pub mod dateselect;
 pub mod explain;
+pub mod incremental;
 pub mod postprocess;
 pub mod realtime;
 pub mod summarize;
@@ -49,7 +50,10 @@ pub use cache::AnalysisCache;
 pub use config::{DateStrategy, EdgeWeight, WilsonConfig};
 pub use dategraph::DateGraph;
 pub use dateselect::{select_dates, uniformity};
+pub use config::IncrementalConfig;
+pub use dategraph::IncrementalDateGraph;
 pub use explain::{explain_date_selection, DateExplanation};
+pub use incremental::{IncrementalStats, SentenceRow, TimelineSession};
 pub use realtime::{RealTimeSystem, TimelineQuery};
 pub use summarize::Wilson;
 pub use tl_ir::{DurabilityConfig, HealthReport};

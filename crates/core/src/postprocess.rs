@@ -37,6 +37,26 @@ pub fn assemble_timeline(
     sim_threshold: f64,
     post_process: bool,
 ) -> Vec<(Date, Vec<usize>)> {
+    assemble_timeline_with(days, n, sim_threshold, post_process, |i| vectors[i].clone())
+}
+
+/// [`assemble_timeline`] with similarity vectors produced on demand.
+///
+/// The round-robin pass examines each candidate index at most once (the
+/// cursor only advances), so `vector_of` is called exactly once per
+/// examined candidate; vectors of admitted sentences are kept for the
+/// global similarity check. Callers with an expensive vector build (the
+/// incremental path, which would otherwise vectorize every candidate of
+/// every selected day each refresh) pay only for what the pass inspects —
+/// the comparisons run in the same order on the same values, so the
+/// selection is identical to the eager variant's.
+pub fn assemble_timeline_with(
+    days: &[DayCandidates],
+    n: usize,
+    sim_threshold: f64,
+    post_process: bool,
+    mut vector_of: impl FnMut(usize) -> SparseVector,
+) -> Vec<(Date, Vec<usize>)> {
     assert!(n > 0, "n must be positive");
     if !post_process {
         return days
@@ -48,9 +68,9 @@ pub fn assemble_timeline(
     let t = days.len();
     let mut selected: Vec<Vec<usize>> = vec![Vec::new(); t];
     let mut cursor: Vec<usize> = vec![0; t];
-    // Flat list of all selected sentence indices for the global similarity
-    // check (line 19 checks against S = ∪ S_i).
-    let mut all_selected: Vec<usize> = Vec::new();
+    // Vectors of all selected sentences, in selection order, for the global
+    // similarity check (line 19 checks against S = ∪ S_i).
+    let mut selected_vectors: Vec<SparseVector> = Vec::new();
 
     loop {
         let mut progressed = false;
@@ -65,15 +85,16 @@ pub fn assemble_timeline(
             cursor[i] += 1;
             progressed = true;
             // Line 19: reject candidates too similar to anything selected.
-            let too_similar = all_selected
+            let vcand = vector_of(cand);
+            let too_similar = selected_vectors
                 .iter()
-                .any(|&s| vectors[cand].cosine(&vectors[s]) > sim_threshold);
+                .any(|vs| vcand.cosine(vs) > sim_threshold);
             if too_similar {
                 continue;
             }
             // Line 20: admit.
             selected[i].push(cand);
-            all_selected.push(cand);
+            selected_vectors.push(vcand);
         }
         // Line 21: stop when all days are full or all heaps are dry.
         let all_done = (0..t).all(|i| selected[i].len() >= n || cursor[i] >= days[i].ranked.len());

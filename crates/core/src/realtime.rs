@@ -14,17 +14,25 @@
 //! never block a query and a query never observes a half-ingested article.
 //! The timeline memo is keyed by the *pinned* snapshot's epoch — a cached
 //! answer is served only for the exact engine state it was computed from.
+//!
+//! With incremental maintenance enabled (the default), the memo entry for a
+//! query also carries a [`TimelineSession`]: when a later epoch re-asks the
+//! same query, the session is *advanced* by the delta between the two
+//! fetched sentence sets (date graph, document-frequency counters, per-day
+//! rankings) instead of rebuilding the pipeline from scratch — and in the
+//! default exact mode the refreshed answer is bit-identical to a full
+//! rebuild (`tests/incremental_differential.rs`).
 
 use crate::cache::AnalysisCache;
 use crate::config::WilsonConfig;
+use crate::incremental::{IncrementalStats, SentenceRow, TimelineSession};
 use crate::summarize::Wilson;
-use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
 use tl_ir::{
-    DurableEngine, EngineSnapshot, HealthReport, SearchQuery, ShardedSearchEngine,
+    DurableEngine, EngineSnapshot, EpochMemo, HealthReport, SearchQuery, ShardedSearchEngine,
 };
 use tl_support::storage::{EngineError, FileStorage, Storage};
 use tl_temporal::Date;
@@ -47,14 +55,20 @@ pub struct TimelineQuery {
 /// Cache key: every query knob that affects the answer.
 type QueryKey = (String, (Date, Date), usize, usize, usize);
 
-/// Answered-query cache, valid for one published engine epoch. Publishing
-/// new sentences bumps the epoch and implicitly invalidates all cached
-/// timelines; queries pinned to an older snapshot never poison the cache
-/// for a newer one.
-#[derive(Debug, Default)]
-struct QueryCache {
-    epoch: usize,
-    answers: HashMap<QueryKey, Timeline>,
+/// One query's memoized state: the timeline answered at the stored epoch,
+/// plus the incremental session that produced it. The session is shared
+/// behind `Arc<Mutex<..>>` so a later epoch can take the entry out of the
+/// memo and advance the same session by deltas.
+#[derive(Debug, Clone, Default)]
+struct SessionValue {
+    timeline: Timeline,
+    session: Arc<Mutex<TimelineSession>>,
+    /// Whether the session's row set is *complete*: the fetch that produced
+    /// it returned every matching document (strictly fewer hits than the
+    /// cap, no degradation). Only then can a later epoch advance the
+    /// session by scanning just the newly ingested id range instead of
+    /// re-searching the whole corpus.
+    rows_complete: bool,
 }
 
 /// The engine behind the service: purely in-memory, or wrapped in the
@@ -109,7 +123,7 @@ pub struct RealTimeSystem {
     engine: EngineKind,
     wilson: Wilson,
     num_articles: AtomicUsize,
-    cache: Mutex<QueryCache>,
+    sessions: EpochMemo<QueryKey, SessionValue>,
 }
 
 impl Default for RealTimeSystem {
@@ -153,19 +167,13 @@ impl RealTimeSystem {
     }
 
     fn with_engine(engine: EngineKind, config: WilsonConfig) -> Self {
+        let capacity = config.incremental.session_capacity;
         Self {
             engine,
             wilson: Wilson::new(config),
             num_articles: AtomicUsize::new(0),
-            cache: Mutex::new(QueryCache::default()),
+            sessions: EpochMemo::new(capacity),
         }
-    }
-
-    /// Lock the query cache, recovering from poisoning: the cache is a
-    /// pure performance memo (epoch-keyed, re-derivable), so a thread that
-    /// panicked while holding it can at worst leave extra valid entries.
-    fn lock_cache(&self) -> MutexGuard<'_, QueryCache> {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Ingest one article: split-tag-index all of its dated sentences, then
@@ -225,12 +233,19 @@ impl RealTimeSystem {
 
     /// Number of timelines cached for the current engine epoch.
     pub fn cached_queries(&self) -> usize {
-        let cache = self.lock_cache();
-        if cache.epoch == self.engine.shared().epoch() {
-            cache.answers.len()
-        } else {
-            0
-        }
+        self.sessions.len_at(self.engine.shared().epoch())
+    }
+
+    /// Cumulative telemetry of the incremental session memoized for
+    /// `query`, if one exists (refresh counts, warm/exact PageRank splits,
+    /// fallback triggers, day-ranking reuse).
+    pub fn session_stats(&self, query: &TimelineQuery) -> Option<IncrementalStats> {
+        let (_, value) = self.sessions.peek(&Self::key_of(query))?;
+        let session = value
+            .session
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Some(session.stats())
     }
 
     /// Answer a timeline query: fetch relevant dated sentences in the
@@ -247,37 +262,207 @@ impl RealTimeSystem {
     /// is returned but never memoized: the cache only ever holds
     /// authoritative, complete answers.
     pub fn timeline(&self, query: &TimelineQuery) -> Result<Timeline, EngineError> {
+        self.timeline_with_epoch(query).map(|(timeline, _)| timeline)
+    }
+
+    /// [`timeline`](Self::timeline), additionally returning the published
+    /// epoch of the snapshot the answer was computed from. The stress suite
+    /// uses the epoch to replay each served answer against a serial
+    /// reference of exactly that engine state.
+    pub fn timeline_with_epoch(
+        &self,
+        query: &TimelineQuery,
+    ) -> Result<(Timeline, usize), EngineError> {
         let snapshot = self.engine.shared().snapshot();
         let epoch = snapshot.epoch();
-        let key: QueryKey = (
+        let key = Self::key_of(query);
+        if let Some(value) = self.sessions.get_at(epoch, &key) {
+            return Ok((value.timeline, epoch));
+        }
+        let query_tokens = snapshot.analyze_frozen(&query.keywords);
+        let (t, n) = (query.num_dates, query.sents_per_date);
+        if !self.wilson.config().incremental.enabled {
+            let (rows, partial, _) = Self::fetch(&snapshot, query);
+            let timeline = self.rebuild(&rows, &query_tokens, t, n);
+            if !partial {
+                self.sessions.store(
+                    epoch,
+                    key,
+                    SessionValue {
+                        timeline: timeline.clone(),
+                        session: Arc::default(),
+                        rows_complete: false,
+                    },
+                );
+            }
+            return Ok((timeline, epoch));
+        }
+        // Take the memoized session out of the memo (if any) so this query
+        // advances it exclusively.
+        let taken = self.sessions.take(&key);
+        if let Some((prev_epoch, value)) = &taken {
+            // Delta fast path: the previous row set was complete, so the
+            // new one is exactly old rows ∪ matches among the documents
+            // ingested since — found by scanning only `[prev_epoch, epoch)`
+            // instead of re-searching the whole corpus. (`prev_epoch` can
+            // exceed `epoch` if another thread refreshed this query against
+            // a newer snapshot between our pin and our take; the session is
+            // then ahead of our pinned corpus and only the full fetch below
+            // can rewind it.)
+            if value.rows_complete && *prev_epoch <= epoch {
+                if let Some(timeline) = self.refresh_by_delta(
+                    &snapshot,
+                    query,
+                    value,
+                    *prev_epoch,
+                    &query_tokens,
+                    t,
+                    n,
+                ) {
+                    self.sessions.store(
+                        epoch,
+                        key,
+                        SessionValue {
+                            timeline: timeline.clone(),
+                            session: Arc::clone(&value.session),
+                            rows_complete: true,
+                        },
+                    );
+                    return Ok((timeline, epoch));
+                }
+            }
+        }
+        let (rows, partial, complete) = Self::fetch(&snapshot, query);
+        if partial {
+            // A deadline-degraded fetch is answered one-off from whatever
+            // arrived: never memoized, and never fed into the session — an
+            // incomplete corpus would poison later deltas. The taken
+            // session goes back untouched for the next healthy query.
+            if let Some((prev_epoch, value)) = taken {
+                self.sessions.store(prev_epoch, key, value);
+            }
+            return Ok((self.rebuild(&rows, &query_tokens, t, n), epoch));
+        }
+        let value = taken.map(|(_, value)| value).unwrap_or_default();
+        let timeline = {
+            // A refresh that panicked mid-way left the session's
+            // counters consistent (the delta is applied before any
+            // ranking work) and refresh is idempotent per row set, so
+            // recovering the lock is sound.
+            let mut session = value
+                .session
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            session
+                .refresh(self.wilson.config(), &rows, &query_tokens, t, n)
+                .clone()
+        };
+        self.sessions.store(
+            epoch,
+            key,
+            SessionValue {
+                timeline: timeline.clone(),
+                session: value.session,
+                rows_complete: complete,
+            },
+        );
+        Ok((timeline, epoch))
+    }
+
+    /// Advance a memoized session from `prev_epoch` to this snapshot by
+    /// scanning only the documents ingested in between. Sound only when the
+    /// previous row set was *complete*: hit-set membership is then a
+    /// per-document predicate independent of the corpus statistics that
+    /// shift with every epoch ([`EngineSnapshot::match_scan_from`]), already
+    /// indexed documents never change, and the vocabulary is append-only —
+    /// so the old rows plus the matching new ids are exactly what a full
+    /// fetch would return, as long as the union still leaves the cap slack.
+    /// Returns `None` when the cap might bind (or on an engine
+    /// inconsistency); the caller falls back to the full fetch.
+    fn refresh_by_delta(
+        &self,
+        snapshot: &Arc<EngineSnapshot>,
+        query: &TimelineQuery,
+        value: &SessionValue,
+        prev_epoch: usize,
+        query_tokens: &[u32],
+        t: usize,
+        n: usize,
+    ) -> Option<Timeline> {
+        let new_ids = snapshot
+            .match_scan_from(
+                &SearchQuery {
+                    keywords: query.keywords.clone(),
+                    range: Some(query.window),
+                    limit: query.fetch_limit,
+                },
+                prev_epoch,
+            )
+            // An unanalyzable query matches nothing at this epoch; the
+            // vocabulary is append-only, so it matched nothing at
+            // `prev_epoch` either and the session's row set is empty.
+            .unwrap_or_default();
+        let mut session = value
+            .session
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Strict `<`: the refreshed row set must itself stay complete (a
+        // union exactly at the cap is indistinguishable from a truncated
+        // full fetch at this epoch).
+        if session.ids().len() + new_ids.len() >= query.fetch_limit.max(1) {
+            return None;
+        }
+        let mut rows = Vec::with_capacity(session.ids().len() + new_ids.len());
+        // The session's ids all predate `prev_epoch` and the scanned ids
+        // don't, so the concatenation is the canonical ascending-id order.
+        for &id in session.ids() {
+            rows.push(Self::row_at(snapshot, id as usize)?);
+        }
+        for &id in &new_ids {
+            rows.push(Self::row_at(snapshot, id)?);
+        }
+        Some(
+            session
+                .refresh(self.wilson.config(), &rows, query_tokens, t, n)
+                .clone(),
+        )
+    }
+
+    /// One fetched row by global id from a pinned snapshot (`None` only on
+    /// an engine inconsistency — a published id missing from the store).
+    fn row_at(snapshot: &Arc<EngineSnapshot>, id: usize) -> Option<SentenceRow<'_>> {
+        let s = snapshot.get(id)?;
+        let tokens = snapshot.analyzed(id)?;
+        Some(SentenceRow {
+            id: id as u64,
+            date: s.date,
+            pub_date: s.pub_date,
+            text: &s.text,
+            tokens,
+        })
+    }
+
+    fn key_of(query: &TimelineQuery) -> QueryKey {
+        (
             query.keywords.clone(),
             query.window,
             query.num_dates,
             query.sents_per_date,
             query.fetch_limit,
-        );
-        {
-            let mut cache = self.lock_cache();
-            if cache.epoch < epoch {
-                cache.epoch = epoch;
-                cache.answers.clear();
-            } else if cache.epoch == epoch {
-                if let Some(tl) = cache.answers.get(&key) {
-                    return Ok(tl.clone());
-                }
-            }
-        }
-        let (timeline, partial) = self.answer(&snapshot, query);
-        if !partial {
-            let mut cache = self.lock_cache();
-            if cache.epoch == epoch {
-                cache.answers.insert(key, timeline.clone());
-            }
-        }
-        Ok(timeline)
+        )
     }
 
-    fn answer(&self, snapshot: &Arc<EngineSnapshot>, query: &TimelineQuery) -> (Timeline, bool) {
+    /// Fetch the query-relevant rows from a pinned snapshot in canonical
+    /// corpus order — ascending engine id, not BM25 rank — so the
+    /// incremental and from-scratch paths tie-break identically and their
+    /// timelines compare bit-for-bit. Also reports whether the search was
+    /// partial (deadline-degraded) and whether the returned rows are
+    /// *complete* — every matching document, with the cap left unbound —
+    /// which is what licenses later delta-only refreshes.
+    fn fetch<'a>(
+        snapshot: &'a Arc<EngineSnapshot>,
+        query: &TimelineQuery,
+    ) -> (Vec<SentenceRow<'a>>, bool, bool) {
         let outcome = ShardedSearchEngine::search_at_outcome(
             snapshot,
             &SearchQuery {
@@ -286,37 +471,54 @@ impl RealTimeSystem {
                 limit: query.fetch_limit,
             },
         );
-        let hits = outcome.hits;
-        let mut corpus: Vec<DatedSentence> = Vec::with_capacity(hits.len());
-        for (i, h) in hits.iter().enumerate() {
-            let Some(s) = snapshot.get(h.id) else {
+        let mut hits = outcome.hits;
+        hits.sort_unstable_by_key(|h| h.id);
+        let mut complete = !outcome.partial && hits.len() < query.fetch_limit.max(1);
+        let mut rows = Vec::with_capacity(hits.len());
+        for h in &hits {
+            // The snapshot is immutable, so a hit missing from the store
+            // can only mean an engine bug; skipping it degrades the answer
+            // instead of panicking the query thread.
+            let (Some(s), Some(tokens)) = (snapshot.get(h.id), snapshot.analyzed(h.id)) else {
+                complete = false;
                 continue;
             };
-            corpus.push(DatedSentence {
+            rows.push(SentenceRow {
+                id: h.id as u64,
                 date: s.date,
                 pub_date: s.pub_date,
-                article: 0,
-                sentence_index: i,
-                text: s.text.clone(),
-                from_mention: s.date != s.pub_date,
+                text: &s.text,
+                tokens,
             });
         }
-        // Engine-vocabulary tokens: query terms never indexed carry no
-        // postings in the fetched subset, so scores match a fresh analysis.
-        let cache = AnalysisCache::from_rows(hits.iter().filter_map(|h| {
-            snapshot
-                .analyzed(h.id)
-                .map(|row| (row, snapshot.get(h.id).expect("analyzed implies stored").date))
-        }));
-        let query_tokens = snapshot.analyzer().analyze_frozen(&query.keywords);
-        let timeline = self.wilson.generate_cached(
-            &corpus,
-            &cache,
-            &query_tokens,
-            query.num_dates,
-            query.sents_per_date,
-        );
-        (timeline, outcome.partial)
+        (rows, outcome.partial, complete)
+    }
+
+    /// From-scratch WILSON over fetched rows: the non-incremental path and
+    /// the uncacheable partial-answer path. Engine-vocabulary tokens are
+    /// reused as-is — query terms never indexed carry no postings in the
+    /// fetched subset, so scores match a fresh analysis.
+    fn rebuild(
+        &self,
+        rows: &[SentenceRow<'_>],
+        query_tokens: &[u32],
+        t: usize,
+        n: usize,
+    ) -> Timeline {
+        let corpus: Vec<DatedSentence> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| DatedSentence {
+                date: r.date,
+                pub_date: r.pub_date,
+                article: 0,
+                sentence_index: i,
+                text: r.text.to_string(),
+                from_mention: r.date != r.pub_date,
+            })
+            .collect();
+        let cache = AnalysisCache::from_rows(rows.iter().map(|r| (r.tokens, r.date)));
+        self.wilson.generate_cached(&corpus, &cache, query_tokens, t, n)
     }
 }
 
@@ -653,17 +855,11 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_query_cache_recovers() {
+    fn poisoned_session_recovers() {
+        // Regression for lock-poisoning on the query path: a thread that
+        // panics while holding a memoized session's mutex must not wedge
+        // later refreshes of the same query.
         let (sys, query, window) = loaded_system();
-        let sys = Arc::new(sys);
-        let poisoner = Arc::clone(&sys);
-        let joined = std::thread::spawn(move || {
-            let _guard = poisoner.cache.lock().unwrap();
-            panic!("simulated query crash");
-        })
-        .join();
-        assert!(joined.is_err());
-        // Queries keep working (and keep memoizing) after the poison.
         let q = TimelineQuery {
             keywords: query,
             window,
@@ -673,7 +869,69 @@ mod tests {
         };
         let first = sys.timeline(&q).unwrap();
         assert_eq!(sys.cached_queries(), 1);
+        let value = sys
+            .sessions
+            .peek(&RealTimeSystem::key_of(&q))
+            .expect("answer was memoized")
+            .1;
+        let poisoner = Arc::clone(&value.session);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("simulated refresh crash");
+        })
+        .join();
+        assert!(joined.is_err());
+        // Bump the epoch with an irrelevant article so the next query must
+        // advance the (now poisoned) session instead of serving the memo.
+        sys.ingest(&Article {
+            id: 0,
+            pub_date: d("2030-01-01"),
+            sentences: vec!["Unrelated filler sentence.".into()],
+        })
+        .unwrap();
+        assert_eq!(sys.cached_queries(), 0);
         let second = sys.timeline(&q).unwrap();
         assert_eq!(first.entries, second.entries);
+        assert_eq!(sys.cached_queries(), 1);
+        assert!(sys.session_stats(&q).unwrap().refreshes >= 2);
+    }
+
+    #[test]
+    fn incremental_answers_match_full_rebuild_across_epochs() {
+        use crate::config::IncrementalConfig;
+        let ds = generate(&SynthConfig::tiny());
+        let topic = &ds.topics[0];
+        let cfg = SynthConfig::tiny();
+        let window = (
+            cfg.start_date,
+            cfg.start_date.plus_days(cfg.duration_days as i32),
+        );
+        let q = TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 6,
+            sents_per_date: 2,
+            fetch_limit: 400,
+        };
+        let inc = RealTimeSystem::default();
+        let full = RealTimeSystem::new(
+            WilsonConfig::default().with_incremental(IncrementalConfig::disabled()),
+        );
+        for chunk in topic.articles.chunks(7) {
+            inc.ingest_all(chunk).unwrap();
+            full.ingest_all(chunk).unwrap();
+            assert_eq!(
+                inc.timeline(&q).unwrap().entries,
+                full.timeline(&q).unwrap().entries,
+                "divergence after {} articles",
+                inc.num_articles()
+            );
+        }
+        // The incremental system really advanced one session (not a
+        // rebuild per epoch in disguise).
+        let stats = inc.session_stats(&q).unwrap();
+        assert!(stats.refreshes > 1);
+        assert!(stats.sentences_removed == 0, "grow-only schedule");
+        assert!(full.session_stats(&q).unwrap().refreshes == 0);
     }
 }

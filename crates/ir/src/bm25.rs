@@ -8,6 +8,7 @@
 //! weights would break PageRank).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use tl_nlp::vocab::TermId;
 
 /// BM25 free parameters.
@@ -26,10 +27,14 @@ impl Default for Bm25Params {
 }
 
 /// Corpus statistics + parameters, ready to score queries against documents.
+///
+/// The document-frequency table is held behind an `Arc` so an incremental
+/// maintainer can hand its live counters to a scorer without an O(vocabulary)
+/// clone per refresh (see [`Bm25Scorer::from_stats_shared`]).
 #[derive(Debug, Clone)]
 pub struct Bm25Scorer {
     params: Bm25Params,
-    doc_freq: HashMap<TermId, u32>,
+    doc_freq: Arc<HashMap<TermId, u32>>,
     num_docs: u32,
     avg_len: f64,
 }
@@ -53,6 +58,46 @@ impl Bm25Scorer {
                 *doc_freq.entry(t).or_insert(0) += 1;
             }
         }
+        let avg_len = if num_docs == 0 {
+            0.0
+        } else {
+            total_len as f64 / num_docs as f64
+        };
+        Self {
+            params,
+            doc_freq: Arc::new(doc_freq),
+            num_docs,
+            avg_len,
+        }
+    }
+
+    /// Build a scorer from externally maintained corpus statistics.
+    ///
+    /// `doc_freq` counts, per term, the number of documents containing it;
+    /// `total_len` is the summed token count over all `num_docs` documents.
+    /// The average length is derived exactly as [`Bm25Scorer::fit`] derives
+    /// it (`total_len as f64 / num_docs as f64`), so a scorer built from
+    /// incrementally maintained counters scores **bit-identically** to one
+    /// fitted from scratch on the same corpus.
+    pub fn from_stats(
+        params: Bm25Params,
+        doc_freq: HashMap<TermId, u32>,
+        num_docs: u32,
+        total_len: u64,
+    ) -> Self {
+        Self::from_stats_shared(params, Arc::new(doc_freq), num_docs, total_len)
+    }
+
+    /// [`Bm25Scorer::from_stats`] over an already-shared frequency table —
+    /// no clone, just an `Arc` bump. This is the refresh hot path of the
+    /// incremental date graph, whose counters would otherwise be deep-copied
+    /// on every epoch.
+    pub fn from_stats_shared(
+        params: Bm25Params,
+        doc_freq: Arc<HashMap<TermId, u32>>,
+        num_docs: u32,
+        total_len: u64,
+    ) -> Self {
         let avg_len = if num_docs == 0 {
             0.0
         } else {
@@ -410,6 +455,46 @@ mod tests {
                         "doc {d}: accumulated {} vs pairwise {expected}",
                         scores[d]
                     );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// `from_stats` on counters accumulated by hand reproduces `fit`
+    /// bit-for-bit — the contract the incremental date graph relies on.
+    #[test]
+    fn prop_from_stats_equals_fit() {
+        check(
+            "from_stats_equals_fit",
+            (
+                gens::vecs(gens::vecs(gens::u32s(0..25), 0..12), 0..12),
+                gens::vecs(gens::u32s(0..25), 0..8),
+            ),
+            |(docs, query)| {
+                let fitted = Bm25Scorer::fit(docs.iter().map(Vec::as_slice), Bm25Params::default());
+                let mut doc_freq: HashMap<TermId, u32> = HashMap::new();
+                let mut total_len = 0u64;
+                for doc in docs {
+                    total_len += doc.len() as u64;
+                    let mut seen = doc.clone();
+                    seen.sort_unstable();
+                    seen.dedup();
+                    for t in seen {
+                        *doc_freq.entry(t).or_insert(0) += 1;
+                    }
+                }
+                let stats = Bm25Scorer::from_stats(
+                    Bm25Params::default(),
+                    doc_freq,
+                    docs.len() as u32,
+                    total_len,
+                );
+                qp_assert!(stats.avg_len().to_bits() == fitted.avg_len().to_bits());
+                for doc in docs {
+                    let a = stats.score(query, doc);
+                    let b = fitted.score(query, doc);
+                    qp_assert!(a.to_bits() == b.to_bits(), "{a} vs {b}");
                 }
                 Ok(())
             },

@@ -21,17 +21,21 @@
 //! * [`shard`] — the sharded, snapshot-read concurrent engine (§5 at
 //!   scale), bit-identical to [`search`] under the default merge policy,
 //! * [`wal`] — crash-safe persistence for the sharded engine: checksummed
-//!   write-ahead log, compacted snapshots, deterministic recovery.
+//!   write-ahead log, compacted snapshots, deterministic recovery,
+//! * [`memo`] — epoch-keyed memoization with carry-forward semantics for
+//!   incremental maintainers over snapshot-pinned answers.
 #![warn(missing_docs)]
 
 pub mod bm25;
 pub mod index;
+pub mod memo;
 pub mod positional;
 pub mod search;
 pub mod shard;
 pub mod wal;
 
 pub use bm25::{Bm25Accumulator, Bm25Params, Bm25Scorer};
+pub use memo::EpochMemo;
 pub use index::InvertedIndex;
 pub use positional::{split_query, PositionalIndex};
 pub use search::{SearchEngine, SearchHit, SearchQuery};

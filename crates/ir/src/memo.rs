@@ -1,0 +1,216 @@
+//! Epoch-keyed memoization for snapshot-pinned computations.
+//!
+//! The real-time system answers every query against a pinned engine
+//! snapshot, so a memoized answer is valid exactly for the epoch it was
+//! computed at. The previous design threw the whole memo away on every
+//! epoch bump, which forced each query back through the full pipeline
+//! after any ingest. [`EpochMemo`] keeps the *stale* entry around instead:
+//! an incremental maintainer can [`EpochMemo::take`] the previous-epoch
+//! state, advance it by the delta, and [`EpochMemo::store`] it back at the
+//! new epoch.
+//!
+//! Concurrency contract:
+//!
+//! * [`EpochMemo::get_at`] only returns values stored at **exactly** the
+//!   requested epoch — a reader pinned to epoch `e` never sees an answer
+//!   computed at any other epoch.
+//! * [`EpochMemo::store`] never regresses: a value for an older epoch is
+//!   dropped if a concurrent writer already stored a newer one for the
+//!   same key.
+//! * A poisoned internal lock is recovered with `PoisonError::into_inner`;
+//!   the memo is a cache of immutable values, so observing the state from
+//!   a panicked writer is safe (worst case: one entry recomputed).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// A bounded, epoch-keyed memo table.
+///
+/// Each key holds at most one value, tagged with the engine epoch it was
+/// computed at. When the table exceeds its capacity, the entry with the
+/// oldest epoch is evicted (ties broken arbitrarily) — stale queries age
+/// out while hot ones keep being refreshed to the current epoch.
+#[derive(Debug)]
+pub struct EpochMemo<K, V> {
+    inner: Mutex<HashMap<K, (usize, V)>>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> EpochMemo<K, V> {
+    /// Create a memo holding at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<K, (usize, V)>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The value stored for `key`, only if it was stored at exactly `epoch`.
+    pub fn get_at(&self, epoch: usize, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let map = self.lock();
+        match map.get(key) {
+            Some((e, v)) if *e == epoch => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Remove and return `key`'s entry regardless of epoch, for
+    /// carry-forward: the caller advances the stale value by a delta and
+    /// stores it back at the new epoch.
+    pub fn take(&self, key: &K) -> Option<(usize, V)> {
+        self.lock().remove(key)
+    }
+
+    /// The stored epoch and a clone of `key`'s value regardless of epoch —
+    /// telemetry inspection without disturbing the entry.
+    pub fn peek(&self, key: &K) -> Option<(usize, V)>
+    where
+        V: Clone,
+    {
+        self.lock().get(key).map(|(e, v)| (*e, v.clone()))
+    }
+
+    /// Store `value` for `key` at `epoch`. Never regresses: if a newer (or
+    /// equal) epoch is already stored for the key, the incoming value is
+    /// dropped and `false` is returned.
+    pub fn store(&self, epoch: usize, key: K, value: V) -> bool {
+        let mut map = self.lock();
+        if let Some((existing, _)) = map.get(&key) {
+            if *existing > epoch {
+                return false;
+            }
+        }
+        map.insert(key, (epoch, value));
+        if map.len() > self.capacity {
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, (e, _))| *e)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&victim);
+            }
+        }
+        true
+    }
+
+    /// Number of stored entries (any epoch).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries stored at exactly `epoch`.
+    pub fn len_at(&self, epoch: usize) -> usize {
+        self.lock().values().filter(|(e, _)| *e == epoch).count()
+    }
+
+    /// Drop all entries.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_at_requires_exact_epoch() {
+        let memo: EpochMemo<&str, u32> = EpochMemo::new(8);
+        assert!(memo.store(3, "q", 42));
+        assert_eq!(memo.get_at(3, &"q"), Some(42));
+        assert_eq!(memo.get_at(2, &"q"), None);
+        assert_eq!(memo.get_at(4, &"q"), None);
+        assert_eq!(memo.get_at(3, &"other"), None);
+    }
+
+    #[test]
+    fn take_returns_stale_entry_for_carry_forward() {
+        let memo: EpochMemo<&str, Vec<u32>> = EpochMemo::new(8);
+        memo.store(1, "q", vec![1, 2]);
+        let (epoch, mut state) = memo.take(&"q").unwrap();
+        assert_eq!(epoch, 1);
+        state.push(3);
+        memo.store(2, "q", state);
+        assert_eq!(memo.get_at(2, &"q"), Some(vec![1, 2, 3]));
+        assert!(memo.take(&"missing").is_none());
+    }
+
+    #[test]
+    fn peek_reads_any_epoch_without_removing() {
+        let memo: EpochMemo<&str, u32> = EpochMemo::new(8);
+        assert!(memo.peek(&"q").is_none());
+        memo.store(4, "q", 9);
+        assert_eq!(memo.peek(&"q"), Some((4, 9)));
+        // Unlike take, the entry is still there.
+        assert_eq!(memo.get_at(4, &"q"), Some(9));
+    }
+
+    #[test]
+    fn store_never_regresses() {
+        let memo: EpochMemo<&str, u32> = EpochMemo::new(8);
+        assert!(memo.store(5, "q", 50));
+        // An older computation finishing late must not clobber the newer one.
+        assert!(!memo.store(4, "q", 40));
+        assert_eq!(memo.get_at(5, &"q"), Some(50));
+        // Same epoch overwrites (last writer wins; both are valid answers).
+        assert!(memo.store(5, "q", 51));
+        assert_eq!(memo.get_at(5, &"q"), Some(51));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_epoch() {
+        let memo: EpochMemo<u32, u32> = EpochMemo::new(2);
+        memo.store(1, 100, 0);
+        memo.store(2, 200, 0);
+        memo.store(3, 300, 0);
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.get_at(1, &100), None, "oldest epoch evicted");
+        assert_eq!(memo.get_at(2, &200), Some(0));
+        assert_eq!(memo.get_at(3, &300), Some(0));
+    }
+
+    #[test]
+    fn len_at_counts_current_epoch_only() {
+        let memo: EpochMemo<u32, u32> = EpochMemo::new(8);
+        memo.store(1, 1, 0);
+        memo.store(2, 2, 0);
+        memo.store(2, 3, 0);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.len_at(2), 2);
+        assert_eq!(memo.len_at(1), 1);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        // A panicking writer must not wedge the memo: the lock is recovered
+        // with PoisonError::into_inner and later operations keep working.
+        let memo = std::sync::Arc::new(EpochMemo::<u32, u32>::new(8));
+        memo.store(1, 7, 70);
+        let m2 = std::sync::Arc::clone(&memo);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.inner.lock().unwrap();
+            panic!("poison the memo lock");
+        })
+        .join();
+        assert_eq!(memo.get_at(1, &7), Some(70));
+        assert!(memo.store(2, 7, 71));
+        assert_eq!(memo.get_at(2, &7), Some(71));
+    }
+}

@@ -22,7 +22,12 @@
 //!   immutable, `Arc`-shared [`EngineSnapshot`] carrying a monotone epoch.
 //!   Readers clone the `Arc` once and then query entirely without locks, so
 //!   concurrent inserts never block (or tear) a running query, and
-//!   epoch-keyed memoization layered on top stays correct.
+//!   epoch-keyed memoization layered on top stays correct. Publishing is
+//!   proportional to the *delta*, not the corpus: each shard is a list of
+//!   sealed segments shared across snapshots by `Arc` plus a small mutable
+//!   tail, the vocabulary is copy-on-write, and the document-frequency
+//!   table is a dense memcpy-able vector — so a one-article epoch bump
+//!   costs microseconds even over a 100k-sentence index.
 //! * **Graceful degradation** — an optional per-query wall-clock budget
 //!   ([`ShardedSearchConfig::query_timeout`]): shard 0 is always answered
 //!   on the calling thread; other shards that miss the deadline are dropped
@@ -153,14 +158,70 @@ pub struct HealthReport {
     pub snapshots_written: u64,
 }
 
-/// One shard: its own postings over the documents hashed to it, plus the
-/// local→global id mapping (`global_ids[local] = global`; monotone, so
-/// local order and global order agree within a shard).
+/// Documents per sealed segment. Small enough that cloning one in-progress
+/// tail per shard at publish time is cheap (publish cost is O(tail), not
+/// O(corpus)); large enough that a 100k-sentence shard stays under a few
+/// hundred segments.
+const SEGMENT_SIZE: usize = 64;
+
+/// Minimum tail size worth sealing early at publish time. Publishing seals
+/// any tail at least this large even though it hasn't reached
+/// [`SEGMENT_SIZE`], so the per-publish deep copy stays bounded by this
+/// constant per shard regardless of how ingestion batches align with
+/// segment boundaries; tinier tails stay mutable to avoid degenerate
+/// one-document segments under single-article ingestion.
+const SEGMENT_MIN_SEAL: usize = 16;
+
+/// One immutable chunk of a shard: its own inverted + positional postings
+/// over at most [`SEGMENT_SIZE`] documents, plus the local→global id
+/// mapping (`global_ids[local] = global`; monotone, so local order and
+/// global order agree within a segment).
 #[derive(Debug, Clone, Default)]
-struct ShardState {
+struct Segment {
     index: InvertedIndex,
     positional: PositionalIndex,
     global_ids: Vec<DocId>,
+}
+
+/// One shard: sealed immutable segments shared across snapshots by `Arc`,
+/// plus a small mutable tail the writer is still filling. Cloning a shard
+/// for a snapshot bumps the sealed `Arc`s and deep-copies only the tail,
+/// which [`ShardState::add_document`] keeps under [`SEGMENT_SIZE`] docs —
+/// this is what makes [`ShardedSearchEngine::publish`] proportional to the
+/// delta instead of the corpus.
+///
+/// Per-document BM25 scores depend only on the document's own postings and
+/// the *global* statistics, and ranking sorts by `(score desc, global id
+/// asc)`, so segmenting a shard cannot change any answer — the sharded
+/// differential suite pins this against the single-index reference.
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    sealed: Vec<Arc<Segment>>,
+    tail: Segment,
+}
+
+impl ShardState {
+    fn num_docs(&self) -> usize {
+        self.sealed.iter().map(|s| s.global_ids.len()).sum::<usize>()
+            + self.tail.global_ids.len()
+    }
+
+    fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.sealed
+            .iter()
+            .map(Arc::as_ref)
+            .chain(std::iter::once(&self.tail))
+    }
+
+    fn add_document(&mut self, gid: DocId, tokens: &[TermId]) {
+        let local = self.tail.index.add_document(tokens);
+        let lp = self.tail.positional.add_document(tokens);
+        debug_assert_eq!(local, lp);
+        self.tail.global_ids.push(gid);
+        if self.tail.global_ids.len() >= SEGMENT_SIZE {
+            self.sealed.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+    }
 }
 
 /// A query analyzed against a snapshot's vocabulary, ready to fan out.
@@ -180,17 +241,30 @@ struct PreparedQuery {
 /// An immutable, atomically-published view of the engine at one epoch.
 ///
 /// Everything a query needs lives here — shards, stored sentences, global
-/// BM25 statistics, a frozen analyzer — so readers holding the `Arc` never
-/// touch a lock and never observe a half-ingested document.
+/// BM25 statistics, an epoch-pinned view of the analyzer — so readers
+/// holding the `Arc` never observe a half-ingested document. (Query
+/// analysis briefly takes a read lock on the engine-wide vocabulary; see
+/// [`EngineSnapshot::analyze_frozen`].)
 pub struct EngineSnapshot {
     epoch: usize,
     params: Bm25Params,
     config: ShardedSearchConfig,
-    analyzer: Analyzer,
+    /// The *live* engine-wide analyzer, shared with the writer. The
+    /// vocabulary is append-only (existing term→id mappings never change),
+    /// so pinning [`vocab_len`](Self::analyze_frozen) at publish time and
+    /// dropping later-interned ids reproduces a frozen-at-epoch analyzer
+    /// without ever deep-copying the vocabulary.
+    analyzer: Arc<RwLock<Analyzer>>,
+    /// Vocabulary size at publish = number of terms occurring in documents
+    /// `0..epoch` (publish drains every pending insert). Ids at or above
+    /// this bound were interned after this snapshot and are treated as
+    /// unseen by its frozen analysis.
+    vocab_len: usize,
     shards: Vec<ShardState>,
     store: Vec<Arc<StoredSentence>>,
-    /// Corpus-wide document frequency per term.
-    df: HashMap<TermId, u32>,
+    /// Corpus-wide document frequency, indexed by term id (dense: cloning
+    /// at publish is a memcpy, not a hash-map rebuild).
+    df: Vec<u32>,
     /// Corpus-wide total token count (for the global average length).
     total_len: u64,
     /// Shared degraded-query counter (lives across publishes).
@@ -203,6 +277,7 @@ impl EngineSnapshot {
     fn empty(
         params: Bm25Params,
         config: ShardedSearchConfig,
+        analyzer: Arc<RwLock<Analyzer>>,
         degraded: Arc<AtomicU64>,
         shard_timeouts: Arc<Vec<AtomicU64>>,
     ) -> Self {
@@ -211,10 +286,11 @@ impl EngineSnapshot {
             epoch: 0,
             params,
             config,
-            analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+            analyzer,
+            vocab_len: 0,
             shards: vec![ShardState::default(); num_shards],
             store: Vec::new(),
-            df: HashMap::new(),
+            df: Vec::new(),
             total_len: 0,
             degraded,
             shard_timeouts,
@@ -252,9 +328,25 @@ impl EngineSnapshot {
         self.store.get(id).map(|s| s.tokens.as_slice())
     }
 
-    /// The snapshot's analyzer (frozen-vocabulary query analysis).
-    pub fn analyzer(&self) -> &Analyzer {
-        &self.analyzer
+    /// Analyze query text against this snapshot's frozen-at-epoch
+    /// vocabulary, dropping unseen terms. Terms interned after this
+    /// snapshot was published are dropped too — they occur in no document
+    /// this snapshot holds — so a pinned snapshot answers identically no
+    /// matter how far the live shared vocabulary has grown since.
+    pub fn analyze_frozen(&self, text: &str) -> Vec<TermId> {
+        let mut out = read_analyzer(&self.analyzer).analyze_frozen(text);
+        out.retain(|&t| (t as usize) < self.vocab_len);
+        out
+    }
+
+    /// Strict frozen analysis (phrase semantics): `None` if any surviving
+    /// term is unknown *to this snapshot* — a term interned after publish
+    /// counts as unseen, mirroring [`EngineSnapshot::analyze_frozen`].
+    pub fn analyze_frozen_strict(&self, text: &str) -> Option<Vec<TermId>> {
+        let toks = read_analyzer(&self.analyzer).analyze_frozen_strict(text)?;
+        toks.iter()
+            .all(|&t| (t as usize) < self.vocab_len)
+            .then_some(toks)
     }
 
     /// Global average document length.
@@ -270,7 +362,7 @@ impl EngineSnapshot {
     /// as [`crate::index::IndexBm25::idf`] over an unsharded index.
     fn idf(&self, term: TermId) -> f64 {
         let n = self.store.len() as f64;
-        let df = self.df.get(&term).copied().unwrap_or(0) as f64;
+        let df = self.df.get(term as usize).copied().unwrap_or(0) as f64;
         (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
     }
 
@@ -285,7 +377,7 @@ impl EngineSnapshot {
                 self.store.len()
             ));
         }
-        let sharded: usize = self.shards.iter().map(|s| s.global_ids.len()).sum();
+        let sharded: usize = self.shards.iter().map(ShardState::num_docs).sum();
         if sharded != self.store.len() {
             return Err(format!(
                 "shards hold {sharded} docs, store holds {}",
@@ -294,24 +386,28 @@ impl EngineSnapshot {
         }
         let mut seen = vec![false; self.store.len()];
         for (si, shard) in self.shards.iter().enumerate() {
-            if shard.index.num_docs() != shard.global_ids.len()
-                || shard.positional.num_docs() != shard.global_ids.len()
-            {
-                return Err(format!("shard {si}: index/positional/id-map sizes disagree"));
-            }
-            for (local, &gid) in shard.global_ids.iter().enumerate() {
-                if gid >= self.store.len() {
-                    return Err(format!("shard {si}: global id {gid} out of range"));
+            for (gi, seg) in shard.segments().enumerate() {
+                if seg.index.num_docs() != seg.global_ids.len()
+                    || seg.positional.num_docs() != seg.global_ids.len()
+                {
+                    return Err(format!(
+                        "shard {si} segment {gi}: index/positional/id-map sizes disagree"
+                    ));
                 }
-                if shard_of(gid, self.shards.len()) != si {
-                    return Err(format!("doc {gid} stored in wrong shard {si}"));
-                }
-                if seen[gid] {
-                    return Err(format!("doc {gid} appears in two shards"));
-                }
-                seen[gid] = true;
-                if shard.index.doc_len(local) != self.store[gid].tokens.len() {
-                    return Err(format!("doc {gid}: shard doc_len != stored token count"));
+                for (local, &gid) in seg.global_ids.iter().enumerate() {
+                    if gid >= self.store.len() {
+                        return Err(format!("shard {si}: global id {gid} out of range"));
+                    }
+                    if shard_of(gid, self.shards.len()) != si {
+                        return Err(format!("doc {gid} stored in wrong shard {si}"));
+                    }
+                    if seen[gid] {
+                        return Err(format!("doc {gid} appears in two shards"));
+                    }
+                    seen[gid] = true;
+                    if seg.index.doc_len(local) != self.store[gid].tokens.len() {
+                        return Err(format!("doc {gid}: shard doc_len != stored token count"));
+                    }
                 }
             }
         }
@@ -333,13 +429,13 @@ impl EngineSnapshot {
         let (phrase_texts, keywords) = split_query(&query.keywords);
         let mut phrases: Vec<Vec<TermId>> = Vec::new();
         for p in &phrase_texts {
-            match self.analyzer.analyze_frozen_strict(p) {
+            match self.analyze_frozen_strict(p) {
                 Some(toks) if !toks.is_empty() => phrases.push(toks),
                 Some(_) => {} // all-stopword phrase: no constraint
                 None => return None,
             }
         }
-        let mut q = self.analyzer.analyze_frozen(&keywords);
+        let mut q = self.analyze_frozen(&keywords);
         for p in &phrases {
             q.extend_from_slice(p);
         }
@@ -369,45 +465,54 @@ impl EngineSnapshot {
     /// per-shard prefixes loses nothing.
     fn search_shard(&self, s: usize, pq: &PreparedQuery) -> Vec<SearchHit> {
         let shard = &self.shards[s];
-        if shard.global_ids.is_empty() {
+        if shard.num_docs() == 0 {
             return Vec::new();
         }
         let Bm25Params { k1, b } = self.params;
         let avg = self.avg_doc_len();
+        let segments: Vec<&Segment> = shard.segments().collect();
         // Per-document accumulation in ascending distinct-term order: the
         // identical float-summation order (and identical arithmetic) of
         // InvertedIndex::rank, so every score is bit-equal to the
-        // single-shard engine's.
-        let mut scores: HashMap<usize, f64> = HashMap::new();
-        for &(t, qf) in &pq.qtf {
-            let postings = shard.index.postings(t);
-            if postings.is_empty() {
-                continue;
+        // single-shard engine's. Scores only read the document's own
+        // postings plus global statistics, so scoring segment by segment
+        // changes nothing.
+        let mut ranked: Vec<(DocId, usize, usize, f64)> = Vec::new();
+        for (si, seg) in segments.iter().enumerate() {
+            let mut scores: HashMap<usize, f64> = HashMap::new();
+            for &(t, qf) in &pq.qtf {
+                let postings = seg.index.postings(t);
+                if postings.is_empty() {
+                    continue;
+                }
+                let idf = self.idf(t);
+                for p in postings {
+                    let tf = p.tf as f64;
+                    let doc_len = seg.index.doc_len(p.doc);
+                    let len_norm = if avg > 0.0 {
+                        1.0 - b + b * (doc_len as f64) / avg
+                    } else {
+                        1.0
+                    };
+                    *scores.entry(p.doc).or_insert(0.0) +=
+                        qf * (idf * tf * (k1 + 1.0) / (tf + k1 * len_norm));
+                }
             }
-            let idf = self.idf(t);
-            for p in postings {
-                let tf = p.tf as f64;
-                let doc_len = shard.index.doc_len(p.doc);
-                let len_norm = if avg > 0.0 {
-                    1.0 - b + b * (doc_len as f64) / avg
-                } else {
-                    1.0
-                };
-                *scores.entry(p.doc).or_insert(0.0) +=
-                    qf * (idf * tf * (k1 + 1.0) / (tf + k1 * len_norm));
-            }
+            ranked.extend(
+                scores
+                    .into_iter()
+                    .map(|(local, score)| (seg.global_ids[local], si, local, score)),
+            );
         }
-        let mut ranked: Vec<(usize, f64)> = scores.into_iter().collect();
-        // Local ids are monotone in global ids, so this tie-break agrees
-        // with the reference engine's global-id tie-break.
+        // Ranking by (score desc, global id asc) reproduces the unsegmented
+        // shard order exactly (local ids were monotone in global ids).
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
+            b.3.partial_cmp(&a.3)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.0.cmp(&b.0))
         });
         let mut out = Vec::new();
-        for (local, score) in ranked {
-            let gid = shard.global_ids[local];
+        for (gid, si, local, score) in ranked {
             let stored = &self.store[gid];
             if let Some((lo, hi)) = pq.range {
                 if stored.date < lo || stored.date > hi {
@@ -417,7 +522,7 @@ impl EngineSnapshot {
             if !pq
                 .phrases
                 .iter()
-                .all(|p| shard.positional.contains_phrase(p, local))
+                .all(|p| segments[si].positional.contains_phrase(p, local))
             {
                 continue;
             }
@@ -464,6 +569,51 @@ impl EngineSnapshot {
         self.merge(per_shard, cap)
     }
 
+    /// Membership-only scan of the documents with id ≥ `from`: exactly the
+    /// ids a full [`EngineSnapshot::search`] with a non-binding limit would
+    /// include from that id range, ascending.
+    ///
+    /// Soundness: every posting contributes a strictly positive BM25 score
+    /// (the plus-floored idf stays positive even for corpus-wide terms), so
+    /// a document is a hit iff it shares at least one prepared query term,
+    /// falls inside the date range and contains every quoted phrase — a
+    /// per-document predicate independent of the corpus-wide statistics
+    /// that shift with every epoch. That independence is what lets an
+    /// incremental caller carry a complete hit set across epochs and extend
+    /// it by scanning only the newly ingested id range. `None` mirrors
+    /// [`EngineSnapshot`]'s internal "this query can match nothing" early
+    /// exit (empty analysis, or a phrase containing an unindexed word), in
+    /// which case a full search returns no hits at all — and since the
+    /// vocabulary is append-only, it returned none at every earlier epoch
+    /// too.
+    pub fn match_scan_from(&self, query: &SearchQuery, from: DocId) -> Option<Vec<DocId>> {
+        let pq = self.prepare(query)?;
+        let mut out = Vec::new();
+        for id in from..self.store.len() {
+            let s = &self.store[id];
+            if let Some((lo, hi)) = pq.range {
+                if s.date < lo || s.date > hi {
+                    continue;
+                }
+            }
+            if !pq.qtf.iter().any(|&(t, _)| s.tokens.contains(&t)) {
+                continue;
+            }
+            // Phrase containment over the stored token sequence is exactly
+            // the positional-index check: positions are token indices, so
+            // an aligned position set is a consecutive subsequence here.
+            if !pq
+                .phrases
+                .iter()
+                .all(|p| s.tokens.windows(p.len()).any(|w| w == p.as_slice()))
+            {
+                continue;
+            }
+            out.push(id);
+        }
+        Some(out)
+    }
+
     /// All sentences within a date range (no keyword scoring), ascending
     /// global id — identical to the reference engine's `range_scan`.
     pub fn range_scan(&self, lo: Date, hi: Date) -> Vec<DocId> {
@@ -476,12 +626,25 @@ impl EngineSnapshot {
     }
 }
 
+/// Lock the engine-wide shared analyzer for reading, recovering from
+/// poisoning (vocabulary growth is append-only and `Vocabulary::intern`
+/// leaves the interner consistent at every point that can panic, so a
+/// poisoned lock never hides a torn vocabulary).
+fn read_analyzer(analyzer: &RwLock<Analyzer>) -> RwLockReadGuard<'_, Analyzer> {
+    analyzer.read().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Pending (unpublished) engine state, guarded by the writer lock.
 struct Writer {
-    analyzer: Analyzer,
+    /// The engine-wide analyzer, shared with every published snapshot.
+    /// Inserts take the write lock only for text that actually introduces
+    /// new vocabulary; snapshots pin their epoch's vocabulary size instead
+    /// of copying the vocabulary, so growth never deep-copies anything.
+    analyzer: Arc<RwLock<Analyzer>>,
     shards: Vec<ShardState>,
     store: Vec<Arc<StoredSentence>>,
-    df: HashMap<TermId, u32>,
+    /// Corpus-wide document frequency, indexed by term id.
+    df: Vec<u32>,
     total_len: u64,
     dirty: bool,
 }
@@ -521,19 +684,21 @@ impl ShardedSearchEngine {
         let degraded = Arc::new(AtomicU64::new(0));
         let shard_timeouts: Arc<Vec<AtomicU64>> =
             Arc::new((0..config.num_shards).map(|_| AtomicU64::new(0)).collect());
+        let analyzer = Arc::new(RwLock::new(Analyzer::new(AnalysisOptions::retrieval())));
         let initial = EngineSnapshot::empty(
             params,
             config.clone(),
+            Arc::clone(&analyzer),
             Arc::clone(&degraded),
             Arc::clone(&shard_timeouts),
         );
         Self {
             params,
             writer: Mutex::new(Writer {
-                analyzer: Analyzer::new(AnalysisOptions::retrieval()),
+                analyzer,
                 shards: vec![ShardState::default(); config.num_shards],
                 store: Vec::new(),
-                df: HashMap::new(),
+                df: Vec::new(),
                 total_len: 0,
                 dirty: false,
             }),
@@ -574,21 +739,33 @@ impl ShardedSearchEngine {
     /// global id. Invisible to queries until [`ShardedSearchEngine::publish`].
     pub fn insert(&self, date: Date, pub_date: Date, text: &str) -> DocId {
         let mut w = self.lock_writer();
-        let tokens = w.analyzer.analyze(text);
+        // Fast path: text whose every term is already interned analyzes
+        // identically under a read lock, leaving concurrent query analysis
+        // unblocked; only genuinely new vocabulary takes the write lock
+        // (and the counted vocabulary-growing analysis).
+        let tokens = {
+            let frozen = read_analyzer(&w.analyzer).analyze_frozen_strict(text);
+            match frozen {
+                Some(tokens) => tokens,
+                None => w
+                    .analyzer
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .analyze(text),
+            }
+        };
         let id = w.store.len();
         let s = shard_of(id, self.config.num_shards);
-        {
-            let shard = &mut w.shards[s];
-            let local = shard.index.add_document(&tokens);
-            let lp = shard.positional.add_document(&tokens);
-            debug_assert_eq!(local, lp);
-            shard.global_ids.push(id);
-        }
+        w.shards[s].add_document(id, &tokens);
         let mut distinct: Vec<TermId> = tokens.clone();
         distinct.sort_unstable();
         distinct.dedup();
         for t in distinct {
-            *w.df.entry(t).or_insert(0) += 1;
+            let i = t as usize;
+            if i >= w.df.len() {
+                w.df.resize(i + 1, 0);
+            }
+            w.df[i] += 1;
         }
         w.total_len += tokens.len() as u64;
         w.store.push(Arc::new(StoredSentence {
@@ -609,11 +786,24 @@ impl ShardedSearchEngine {
         if !w.dirty {
             return self.epoch();
         }
+        // Seal every non-trivial tail before cloning: a sealed segment is
+        // shared by `Arc` between the writer and all future snapshots, so
+        // subsequent publishes deep-copy at most `SEGMENT_MIN_SEAL - 1`
+        // tail documents per shard — not postings the last publish already
+        // copied. Sealing changes no answer (see [`ShardState`]).
+        for shard in &mut w.shards {
+            if shard.tail.global_ids.len() >= SEGMENT_MIN_SEAL {
+                shard.sealed.push(Arc::new(std::mem::take(&mut shard.tail)));
+            }
+        }
         let snapshot = Arc::new(EngineSnapshot {
             epoch: w.store.len(),
             params: self.params,
             config: self.config.clone(),
-            analyzer: w.analyzer.clone(),
+            analyzer: Arc::clone(&w.analyzer),
+            // The writer lock is held, so the vocabulary right now is
+            // exactly the terms of the documents this snapshot publishes.
+            vocab_len: read_analyzer(&w.analyzer).vocab().len(),
             shards: w.shards.clone(),
             store: w.store.clone(),
             df: w.df.clone(),

@@ -7,11 +7,17 @@
 use crate::vector::SparseVector;
 use crate::vocab::TermId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Document-frequency statistics accumulated over a corpus.
+///
+/// The frequency table lives behind an `Arc` so incremental maintainers can
+/// share their live counters with a model without an O(vocabulary) clone
+/// per refresh ([`TfIdfModel::from_stats_shared`]); fitting mutates it via
+/// copy-on-write, which never actually copies while the model is unshared.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfModel {
-    doc_freq: HashMap<TermId, u32>,
+    doc_freq: Arc<HashMap<TermId, u32>>,
     num_docs: u32,
 }
 
@@ -33,14 +39,35 @@ impl TfIdfModel {
         model
     }
 
+    /// Build a model from externally maintained document-frequency counts.
+    ///
+    /// A model built this way is indistinguishable from one fitted with
+    /// [`TfIdfModel::fit`] over a corpus with the same statistics — idf only
+    /// depends on `doc_freq` and `num_docs` — which lets incremental
+    /// maintainers carry the counters as deltas instead of refitting.
+    pub fn from_stats(doc_freq: HashMap<TermId, u32>, num_docs: u32) -> Self {
+        Self {
+            doc_freq: Arc::new(doc_freq),
+            num_docs,
+        }
+    }
+
+    /// [`TfIdfModel::from_stats`] over an already-shared frequency table —
+    /// an `Arc` bump instead of a table clone (the per-refresh hot path of
+    /// incremental timeline maintenance).
+    pub fn from_stats_shared(doc_freq: Arc<HashMap<TermId, u32>>, num_docs: u32) -> Self {
+        Self { doc_freq, num_docs }
+    }
+
     /// Add one document's tokens to the document-frequency counts.
     pub fn add_document(&mut self, tokens: &[TermId]) {
         self.num_docs += 1;
         let mut seen: Vec<TermId> = tokens.to_vec();
         seen.sort_unstable();
         seen.dedup();
+        let doc_freq = Arc::make_mut(&mut self.doc_freq);
         for t in seen {
-            *self.doc_freq.entry(t).or_insert(0) += 1;
+            *doc_freq.entry(t).or_insert(0) += 1;
         }
     }
 
@@ -128,6 +155,33 @@ mod tests {
         let m = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
         let v = m.unit_vector(&[1, 2, 2, 3]);
         assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_stats_matches_fit_bitwise() {
+        let docs: Vec<Vec<TermId>> = vec![vec![1, 1, 2], vec![2, 3], vec![3], vec![]];
+        let fitted = TfIdfModel::fit(docs.iter().map(Vec::as_slice));
+        let mut doc_freq: HashMap<TermId, u32> = HashMap::new();
+        for doc in &docs {
+            let mut seen = doc.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *doc_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+        let stats = TfIdfModel::from_stats(doc_freq, docs.len() as u32);
+        assert_eq!(stats.num_docs(), fitted.num_docs());
+        for t in 0..5u32 {
+            assert_eq!(stats.idf(t).to_bits(), fitted.idf(t).to_bits(), "term {t}");
+        }
+        for doc in &docs {
+            let a = stats.unit_vector(doc);
+            let b = fitted.unit_vector(doc);
+            for t in 0..5u32 {
+                assert_eq!(a.get(t).to_bits(), b.get(t).to_bits());
+            }
+        }
     }
 
     #[test]

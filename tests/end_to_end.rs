@@ -187,22 +187,39 @@ fn golden_timelines_match_fixtures() {
     );
     let update = std::env::var("TL_UPDATE_GOLDEN").is_ok();
     for (i, topic) in ds.topics.iter().take(2).enumerate() {
-        let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
-        sys.ingest_all(&topic.articles).unwrap();
-        let tl = sys.timeline(&tl_wilson::TimelineQuery {
+        let q = tl_wilson::TimelineQuery {
             keywords: topic.query.clone(),
             window,
             num_dates: 5,
             sents_per_date: 2,
             fetch_limit: 1000,
-        })
-        .unwrap();
+        };
+        let sys = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
+        sys.ingest_all(&topic.articles).unwrap();
+        let tl = sys.timeline(&q).unwrap();
         assert!(tl.num_dates() > 0, "topic {i}: empty timeline");
         let header = format!(
             "# golden timeline · synthetic tiny topic {i}\n# query: {}\n",
             topic.query
         );
         let rendered = render_timeline(&header, &tl);
+
+        // The same corpus fed as an initial batch plus one-article ticks,
+        // querying after every tick so the memoized incremental session
+        // advances by deltas, must land on the identical golden output.
+        let inc = tl_wilson::RealTimeSystem::new(WilsonConfig::default());
+        let (batch, ticks) = topic.articles.split_at(topic.articles.len() / 2);
+        inc.ingest_all(batch).unwrap();
+        let mut inc_tl = inc.timeline(&q).unwrap();
+        for article in ticks {
+            inc.ingest(article).unwrap();
+            inc_tl = inc.timeline(&q).unwrap();
+        }
+        assert!(
+            render_timeline(&header, &inc_tl) == rendered,
+            "topic {i}: incremental final timeline diverges from batch\n{}",
+            first_divergence(&rendered, &render_timeline(&header, &inc_tl)),
+        );
         // The test is registered from crates/eval; fixtures live at the
         // repo root next to this source file.
         let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
