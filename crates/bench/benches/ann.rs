@@ -1,0 +1,271 @@
+//! ANN scaling bench: index build time, p50/p95 query latency, resident
+//! bytes, and recall@10 vs brute force across corpus size tiers — the
+//! million-sentence-scale evidence for ROADMAP item 3.
+//!
+//! Writes **BENCH_scaling.json** with per-tier entries (`{n}` = exact
+//! sentence count of the tier, deterministic given the seeded generator):
+//!
+//! * `ann/build_s/{n}` — embed + index build wall-clock (1 iteration),
+//! * `ann/query/{n}` / `brute/query/{n}` — per-query latency over
+//!   [`QUERIES`] corpus-sentence queries (median = p50),
+//! * `ann/filtered_query/{n}` — date-range-restricted ANN queries,
+//! * `ann/recall_at_10/{n}` — mean recall@10 vs `search_exact`, stored in
+//!   the `median_s` field (it is a ratio, not seconds; `p95_s` holds the
+//!   minimum per-query recall),
+//! * `ann/memory_bytes/{n}` — `AnnIndex::memory_bytes()` in `median_s`.
+//!
+//! `bench_ann_scaling` runs the full ladder (tiers from
+//! `TL_BENCH_ANN_TIERS`, default `4,32,280` scaled topics ≈ 14k / 115k /
+//! 1M sentences). `bench_ann_smoke` runs the smallest tier only and is the
+//! CI gate: recall@10 ≥ 0.9 always, and with `TL_BENCH_ENFORCE=1` fresh
+//! latencies must stay within 2× the committed baselines.
+
+use std::time::Instant;
+use tl_bench::{baseline_median, record, BenchStats};
+use tl_corpus::{dated_sentences, generate, SynthConfig};
+use tl_embed::{AnnConfig, AnnIndex, SentenceEmbedder};
+use tl_support::rng::Rng;
+
+const REPORT: &str = "BENCH_scaling.json";
+const DIM: usize = 256;
+const QUERIES: usize = 64;
+const K: usize = 10;
+
+fn enforce() -> bool {
+    std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1")
+}
+
+struct Tier {
+    n: usize,
+    index: AnnIndex,
+    build_s: f64,
+    queries: Vec<Vec<f64>>,
+    /// Inclusive `(min, max)` day keys present in the corpus.
+    days: (i32, i32),
+}
+
+/// Generate `topics` scaled topics, embed every sentence through the frozen
+/// path, and stream it into a bulk index build — topic by topic, so the raw
+/// text of a million-sentence corpus is never resident all at once.
+fn build_tier(topics: usize) -> Tier {
+    let embedder = SentenceEmbedder::new(DIM);
+    // Stream generation → embedding → bulk build lazily: a million dense
+    // f64 embeddings (~2.6 GB) must never be resident at once — the index
+    // sparsifies each vector as it arrives.
+    let query_texts = std::cell::RefCell::new(Vec::<String>::new());
+    let min_day = std::cell::Cell::new(i32::MAX);
+    let max_day = std::cell::Cell::new(i32::MIN);
+    let start = Instant::now();
+    let items = (0..topics)
+        .flat_map(|t| {
+            let ds = generate(&SynthConfig::scaled(1, 0x5CA1E ^ t as u64));
+            dated_sentences(&ds.topics[0].articles, None)
+        })
+        .enumerate()
+        .map(|(i, s)| {
+            let day = s.date.days();
+            min_day.set(min_day.get().min(day));
+            max_day.set(max_day.get().max(day));
+            let mut q = query_texts.borrow_mut();
+            if i % 9973 == 0 && q.len() < QUERIES {
+                q.push(s.text.clone());
+            }
+            (i as u64, day, embedder.embed_frozen(&s.text))
+        });
+    let index = AnnIndex::build(DIM, AnnConfig::default(), items);
+    let build_s = start.elapsed().as_secs_f64();
+    let n = index.len();
+    let query_texts = query_texts.into_inner();
+    let days = (min_day.get(), max_day.get());
+    let queries: Vec<Vec<f64>> = query_texts
+        .iter()
+        .map(|t| embedder.embed_frozen(t))
+        .collect();
+    assert_eq!(index.len(), n);
+    assert!(index.is_trained(), "every tier exceeds min_train");
+    Tier {
+        n,
+        index,
+        build_s,
+        queries,
+        days,
+    }
+}
+
+/// Per-query wall-clock stats (median = p50) for `f` over every query.
+fn per_query_stats(queries: &[Vec<f64>], mut f: impl FnMut(&[f64])) -> BenchStats {
+    let mut times: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let start = Instant::now();
+            f(q);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    BenchStats {
+        median: times[times.len() / 2],
+        p95: times[(times.len() * 95).div_ceil(100).saturating_sub(1)],
+        iters: times.len(),
+    }
+}
+
+/// Run one tier: record build, latency, recall and memory rows. Returns
+/// (mean recall@10, ann p50, brute p50).
+fn run_tier(tier: &Tier) -> (f64, f64, f64) {
+    let Tier {
+        n,
+        index,
+        build_s,
+        queries,
+        days,
+    } = tier;
+    record(
+        REPORT,
+        &format!("ann/build_s/{n}"),
+        &BenchStats {
+            median: *build_s,
+            p95: *build_s,
+            iters: 1,
+        },
+    );
+    let ann = per_query_stats(queries, |q| {
+        std::hint::black_box(index.search(q, K, None));
+    });
+    record(REPORT, &format!("ann/query/{n}"), &ann);
+    let brute = per_query_stats(queries, |q| {
+        std::hint::black_box(index.search_exact(q, K, None));
+    });
+    record(REPORT, &format!("brute/query/{n}"), &brute);
+
+    let mut rng = Rng::seed_from_u64(0xF17E ^ *n as u64);
+    let (dmin, dmax) = *days;
+    let span = (dmax - dmin).max(1);
+    let filtered = per_query_stats(queries, |q| {
+        let lo = dmin + rng.bounded_u64(span as u64) as i32;
+        let hi = (lo + span / 12).min(dmax);
+        std::hint::black_box(index.search(q, K, Some((lo, hi))));
+    });
+    record(REPORT, &format!("ann/filtered_query/{n}"), &filtered);
+
+    let (mut total, mut min_recall) = (0.0f64, 1.0f64);
+    for q in queries {
+        let exact = index.search_exact(q, K, None);
+        let approx = index.search(q, K, None);
+        let hits = exact
+            .iter()
+            .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+            .count();
+        let r = if exact.is_empty() {
+            1.0
+        } else {
+            hits as f64 / exact.len() as f64
+        };
+        total += r;
+        min_recall = min_recall.min(r);
+    }
+    let recall = total / queries.len() as f64;
+    record(
+        REPORT,
+        &format!("ann/recall_at_10/{n}"),
+        &BenchStats {
+            median: recall,
+            p95: min_recall,
+            iters: queries.len(),
+        },
+    );
+    record(
+        REPORT,
+        &format!("ann/memory_bytes/{n}"),
+        &BenchStats {
+            median: index.memory_bytes() as f64,
+            p95: index.memory_bytes() as f64,
+            iters: 1,
+        },
+    );
+    println!(
+        "tier n={n}: build {build_s:.1}s, ann p50 {:.3}ms, brute p50 {:.3}ms, recall@10 {recall:.3}, {} MB",
+        ann.median * 1e3,
+        brute.median * 1e3,
+        index.memory_bytes() / (1 << 20)
+    );
+    (recall, ann.median, brute.median)
+}
+
+/// Full ladder. Prints a sublinearity summary: ANN latency must grow much
+/// slower than brute force across the tiers.
+#[test]
+#[ignore = "benchmark (the large tier embeds ~1M sentences; minutes)"]
+fn bench_ann_scaling() {
+    let tiers: Vec<usize> = std::env::var("TL_BENCH_ANN_TIERS")
+        .unwrap_or_else(|_| "4,32,280".into())
+        .split(',')
+        .map(|t| t.trim().parse().expect("TL_BENCH_ANN_TIERS: topic counts"))
+        .collect();
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for topics in tiers {
+        let tier = build_tier(topics);
+        let (recall, ann_p50, brute_p50) = run_tier(&tier);
+        rows.push((tier.n, recall, ann_p50, brute_p50));
+    }
+    for (n, recall, ann_p50, brute_p50) in &rows {
+        println!(
+            "summary n={n}: recall@10 {recall:.3}, ann {:.3}ms, brute {:.3}ms",
+            ann_p50 * 1e3,
+            brute_p50 * 1e3
+        );
+    }
+    if rows.len() >= 2 {
+        let (n0, _, a0, b0) = rows[0];
+        let (n1, _, a1, b1) = rows[rows.len() - 1];
+        let size_ratio = n1 as f64 / n0 as f64;
+        println!(
+            "scaling {size_ratio:.0}x: ann {:.1}x, brute {:.1}x",
+            a1 / a0,
+            b1 / b0
+        );
+        assert!(
+            a1 / a0 < b1 / b0,
+            "ANN latency must scale better than brute force"
+        );
+    }
+}
+
+/// Smallest tier only — fast enough for CI. Always asserts the recall
+/// floor; with `TL_BENCH_ENFORCE=1` also gates fresh latency medians at
+/// ≤2× the committed BENCH_scaling.json baselines.
+#[test]
+#[ignore = "benchmark"]
+fn bench_ann_smoke() {
+    let tier = build_tier(4);
+    let (recall, ann_p50, brute_p50) = run_tier(&tier);
+    assert!(
+        recall >= 0.9,
+        "recall@10 = {recall:.3} below the 0.9 floor at default config"
+    );
+    if enforce() {
+        let n = tier.n;
+        let mut regressions = Vec::new();
+        for (name, fresh) in [
+            (format!("ann/query/{n}"), ann_p50),
+            (format!("brute/query/{n}"), brute_p50),
+        ] {
+            let baseline = baseline_median(REPORT, &name)
+                .unwrap_or_else(|| panic!("committed {REPORT} must contain {name}"));
+            if fresh > 2.0 * baseline {
+                regressions.push(format!(
+                    "{name}: median {:.3} ms > 2x baseline {:.3} ms",
+                    fresh * 1e3,
+                    baseline * 1e3
+                ));
+            }
+        }
+        let recall_floor = baseline_median(REPORT, &format!("ann/recall_at_10/{n}"))
+            .unwrap_or_else(|| panic!("committed {REPORT} must contain the recall row"));
+        assert!(
+            recall >= recall_floor.min(0.9),
+            "recall@10 {recall:.3} under committed floor {recall_floor:.3}"
+        );
+        assert!(regressions.is_empty(), "{}", regressions.join("\n"));
+    }
+}

@@ -12,7 +12,7 @@ use tl_wilson::{Wilson, WilsonConfig};
 
 #[test]
 #[ignore = "benchmark"]
-fn bench_scaling() {
+fn bench_fig2_scaling() {
     // Tiny-profile ladder: sizes that double (the Timeline17 profile's
     // minimum-articles floor would flatten small scales to one size).
     // The TILSE variants run the faithful quadratic path — this bench is

@@ -11,7 +11,10 @@
 use crate::textrank::textrank_order;
 use std::collections::BTreeMap;
 use tl_corpus::DatedSentence;
-use tl_embed::{affinity_propagation, AffinityPropagationConfig, SentenceEmbedder};
+use tl_embed::{
+    affinity_propagation, cluster_by_sparse, AffinityPropagationConfig, AnnConfig, AnnIndex,
+    SentenceEmbedder,
+};
 use tl_nlp::{AnalysisOptions, Analyzer};
 use tl_temporal::Date;
 
@@ -27,6 +30,16 @@ pub struct AutoCompressConfig {
     pub min_sentences_per_date: usize,
     /// PageRank damping for the per-day TextRank.
     pub damping: f64,
+    /// Near-duplicate candidates retrieved per daily summary (the sparse
+    /// clustering's neighborhood size).
+    pub knn: usize,
+    /// ANN index settings for candidate retrieval.
+    pub ann: AnnConfig,
+    /// Force the original O(n²) dense path (`cosine_matrix` + dense AP).
+    /// Only for diagnostics/regression comparison — the sparse path is
+    /// bit-identical to it whenever `n <= knn + 1` (the candidate set is
+    /// then the complete pair set).
+    pub dense_fallback: bool,
 }
 
 impl Default for AutoCompressConfig {
@@ -36,6 +49,9 @@ impl Default for AutoCompressConfig {
             ap: AffinityPropagationConfig::default(),
             min_sentences_per_date: 2,
             damping: 0.85,
+            knn: 16,
+            ann: AnnConfig::default(),
+            dense_fallback: false,
         }
     }
 }
@@ -43,6 +59,13 @@ impl Default for AutoCompressConfig {
 /// Predict the number of timeline dates for a corpus.
 ///
 /// Returns at least 1 for a non-empty corpus.
+///
+/// Daily summaries are embedded through the frozen (lock-free) path and
+/// near-duplicates are retrieved through the date-aware ANN index, so the
+/// clustering never materializes an O(n²) similarity matrix — candidate
+/// pair similarities are recomputed in full `f64` precision, which keeps
+/// small corpora (where the k-NN candidate set is complete) bit-identical
+/// to the dense path.
 pub fn predict_num_dates(sentences: &[DatedSentence], config: &AutoCompressConfig) -> usize {
     let summaries = daily_top_sentences(sentences, config);
     if summaries.is_empty() {
@@ -51,14 +74,37 @@ pub fn predict_num_dates(sentences: &[DatedSentence], config: &AutoCompressConfi
     if summaries.len() == 1 {
         return 1;
     }
-    let mut embedder = SentenceEmbedder::new(config.embed_dim);
+    let embedder = SentenceEmbedder::new(config.embed_dim);
     let vectors: Vec<Vec<f64>> = summaries
         .iter()
-        .map(|(_, text)| embedder.embed(text))
+        .map(|(_, text)| embedder.embed_frozen(text))
         .collect();
-    // Shared all-pairs kernel; bit-identical to the dense cosine loops.
-    let sim = tl_embed::cosine_matrix(&vectors, true);
-    let result = affinity_propagation(&sim, &config.ap);
+    if config.dense_fallback {
+        // Shared all-pairs kernel; bit-identical to the dense cosine loops.
+        let sim = tl_embed::cosine_matrix(&vectors, true);
+        let result = affinity_propagation(&sim, &config.ap);
+        return result.num_clusters().max(1);
+    }
+    let index = AnnIndex::build(
+        config.embed_dim,
+        config.ann.clone(),
+        summaries
+            .iter()
+            .zip(&vectors)
+            .enumerate()
+            .map(|(i, ((date, _), v))| (i as u64, date.days(), v.clone())),
+    );
+    let pairs: Vec<(usize, usize)> = index
+        .knn_pairs(config.knn.max(1))
+        .into_iter()
+        .map(|(i, k, _)| (i, k))
+        .collect();
+    let result = cluster_by_sparse(
+        &vectors,
+        |a: &Vec<f64>, b: &Vec<f64>| tl_embed::embedding::cosine(a, b),
+        &pairs,
+        &config.ap,
+    );
     result.num_clusters().max(1)
 }
 
@@ -172,5 +218,76 @@ mod tests {
         let corpus = vec![sent("2018-01-01", "single item")];
         let k = predict_num_dates(&corpus, &AutoCompressConfig::default());
         assert_eq!(k, 1);
+    }
+
+    /// The distinct-events fixture, reused by the equivalence tests.
+    fn distinct_events_corpus() -> Vec<DatedSentence> {
+        let mut corpus = Vec::new();
+        let themes: [(&str, &str); 3] = [
+            (
+                "2018-01-10",
+                "earthquake rubble rescue survivors collapsed buildings",
+            ),
+            (
+                "2018-03-15",
+                "election ballot candidate campaign votes parliament",
+            ),
+            (
+                "2018-06-20",
+                "hurricane flood evacuation coastal storm damage",
+            ),
+        ];
+        for (start, words) in themes {
+            let d0: Date = start.parse().unwrap();
+            for off in 0..3 {
+                let day = d0.plus_days(off);
+                let date = day.to_string();
+                corpus.push(sent(&date, &format!("{words} reported widely")));
+                corpus.push(sent(&date, &format!("more on {words}")));
+            }
+        }
+        corpus
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_fallback_on_small_corpus() {
+        // 9 daily summaries < knn + 1 = 17 → the candidate set is complete
+        // and the sparse path must agree with the dense one exactly.
+        let corpus = distinct_events_corpus();
+        let sparse_cfg = AutoCompressConfig::default();
+        let dense_cfg = AutoCompressConfig {
+            dense_fallback: true,
+            ..AutoCompressConfig::default()
+        };
+        assert_eq!(
+            predict_num_dates(&corpus, &sparse_cfg),
+            predict_num_dates(&corpus, &dense_cfg)
+        );
+    }
+
+    #[test]
+    fn sparse_path_materializes_no_dense_matrix() {
+        let corpus = distinct_events_corpus();
+        let before = tl_embed::dense_cells_allocated();
+        let k = predict_num_dates(&corpus, &AutoCompressConfig::default());
+        assert!((2..=9).contains(&k), "predicted {k}");
+        assert_eq!(
+            tl_embed::dense_cells_allocated(),
+            before,
+            "default path must not touch cosine_matrix or dense AP"
+        );
+    }
+
+    #[test]
+    fn all_identical_sentences_predict_one_cluster() {
+        let mut corpus = Vec::new();
+        for off in 0..6 {
+            let d: Date = "2018-02-01".parse().unwrap();
+            let date = d.plus_days(off).to_string();
+            corpus.push(sent(&date, "the exact same report text"));
+            corpus.push(sent(&date, "the exact same report text"));
+        }
+        let k = predict_num_dates(&corpus, &AutoCompressConfig::default());
+        assert!(k >= 1, "identical summaries still form >= 1 cluster: {k}");
     }
 }

@@ -1,0 +1,100 @@
+//! Scale proof for the ANN-backed clustering path: the O(n²) consumers
+//! (`autocompress`, affinity propagation) must handle a ≥100k-sentence
+//! corpus *without ever materializing a dense n × n similarity matrix*.
+//!
+//! "Never materializing" is asserted through
+//! [`tl_embed::dense_cells_allocated`] — a process-wide counter that every
+//! dense-matrix producer (`cosine_matrix`, dense `affinity_propagation`)
+//! bumps by n² cells. A zero delta across the run is an allocation-count
+//! proof that only the sparse ANN path executed.
+//!
+//! These tests run in release mode from `scripts/ci.sh` (`--ignored`);
+//! they are too slow for the debug-mode tier-1 loop.
+
+use tl_embed::{
+    affinity_propagation_sparse, AffinityPropagationConfig, AnnConfig, AnnIndex,
+};
+use tl_support::rng::Rng;
+use tl_wilson::autocompress::{predict_num_dates, AutoCompressConfig};
+
+#[test]
+#[ignore = "scale proof (~100k sentences); run in release via scripts/ci.sh"]
+fn autocompress_handles_100k_sentences_without_dense_matrix() {
+    // 30 scaled topics ≈ 30 × 3.6k ≈ 108k dated sentences, merged into one
+    // stream the way a production crawl would interleave topics.
+    let ds = tl_corpus::generate(&tl_corpus::SynthConfig::scaled(30, 9));
+    let mut sentences = Vec::new();
+    for topic in &ds.topics {
+        sentences.extend(tl_corpus::dated_sentences(&topic.articles, None));
+    }
+    assert!(
+        sentences.len() >= 100_000,
+        "corpus too small for the scale claim: {}",
+        sentences.len()
+    );
+    let before = tl_embed::dense_cells_allocated();
+    let k = predict_num_dates(&sentences, &AutoCompressConfig::default());
+    assert!(k >= 1, "non-empty corpus must predict >= 1 date");
+    assert_eq!(
+        tl_embed::dense_cells_allocated() - before,
+        0,
+        "autocompress allocated dense n² similarity cells"
+    );
+}
+
+#[test]
+#[ignore = "scale proof (100k points); run in release via scripts/ci.sh"]
+fn sparse_affinity_propagation_clusters_100k_points_without_dense_matrix() {
+    // 100k sparse 256-dim vectors from 100 latent topics — the shape of
+    // hashed TF-IDF sentence embeddings (~16 nonzeros each).
+    const N: usize = 100_000;
+    const DIM: usize = 256;
+    const TOPICS: usize = 100;
+    let topic_dims: Vec<Vec<usize>> = (0..TOPICS)
+        .map(|t| {
+            let mut r = Rng::seed_from_u64(0xBEEF ^ t as u64);
+            (0..12).map(|_| r.bounded_u64(DIM as u64) as usize).collect()
+        })
+        .collect();
+    let vector = |i: usize| -> Vec<f64> {
+        let mut r = Rng::seed_from_u64(0xFACE ^ i as u64);
+        let t = i % TOPICS;
+        let mut v = vec![0.0f64; DIM];
+        for &d in &topic_dims[t] {
+            v[d] = 0.5 + r.f64();
+        }
+        for _ in 0..4 {
+            v[r.bounded_u64(DIM as u64) as usize] += r.f64() * 0.3;
+        }
+        v
+    };
+
+    let before = tl_embed::dense_cells_allocated();
+    let cfg = AnnConfig {
+        nprobe: 8, // latency-lean: the clustering only needs candidate pairs
+        ..AnnConfig::default()
+    };
+    let index = AnnIndex::build(
+        DIM,
+        cfg,
+        (0..N).map(|i| (i as u64, (i % 400) as i32, vector(i))),
+    );
+    assert!(index.is_trained());
+    let pairs = index.knn_pairs(8);
+    assert!(pairs.len() >= N, "every point needs candidates");
+
+    let ap = AffinityPropagationConfig {
+        max_iter: 50,
+        convergence_iter: 10,
+        ..AffinityPropagationConfig::default()
+    };
+    let result = affinity_propagation_sparse(N, &pairs, &ap);
+    let k = result.num_clusters();
+    assert!(k >= 1 && k < N, "degenerate clustering: {k} clusters");
+    assert_eq!(result.assignments.len(), N);
+    assert_eq!(
+        tl_embed::dense_cells_allocated() - before,
+        0,
+        "sparse AP path allocated dense n² cells"
+    );
+}

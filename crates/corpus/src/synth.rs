@@ -109,6 +109,29 @@ impl SynthConfig {
         }
     }
 
+    /// A many-topics profile for scale experiments: `num_topics` topics of
+    /// one timeline each, ~200 articles × ~18 sentences over a year —
+    /// roughly 3,600 dated sentences per topic, so hundreds of topics reach
+    /// the ≈10⁶-sentence regime the ANN benches exercise. Shape knobs stay
+    /// Table-4-plausible (article length, duration, ground-truth density);
+    /// only the topic count is inflated.
+    pub fn scaled(num_topics: usize, seed: u64) -> Self {
+        assert!(num_topics > 0, "at least one topic");
+        Self {
+            name: format!("scaled-{num_topics}x"),
+            seed,
+            num_topics,
+            timelines_per_topic: vec![1; num_topics],
+            docs_per_topic: 200,
+            sents_per_doc: 18.0,
+            duration_days: 365,
+            gt_dates: (18, 30),
+            gt_sents_per_date: (1, 2),
+            scale: 1.0,
+            start_date: Date::from_ymd(2015, 3, 1).expect("valid"),
+        }
+    }
+
     /// Builder-style scale override.
     pub fn with_scale(mut self, scale: f64) -> Self {
         self.scale = scale;
@@ -550,6 +573,27 @@ mod tests {
                 assert_eq!(x.entries, y.entries);
             }
         }
+    }
+
+    #[test]
+    fn scaled_profile_shape() {
+        let ds = generate(&SynthConfig::scaled(3, 42));
+        assert_eq!(ds.topics.len(), 3);
+        assert_eq!(ds.num_timelines(), 3);
+        let sents: usize = ds
+            .topics
+            .iter()
+            .flat_map(|t| &t.articles)
+            .map(|a| a.sentences.len())
+            .sum();
+        // 3 topics × 200 docs × ~18 sentences ≈ 10.8k, with loose bounds so
+        // salience-driven volume noise can't flake the test.
+        assert!((3 * 200 * 9..3 * 200 * 36).contains(&sents), "{sents}");
+        let again = generate(&SynthConfig::scaled(3, 42));
+        assert_eq!(
+            ds.topics[0].articles[0].sentences,
+            again.topics[0].articles[0].sentences
+        );
     }
 
     #[test]

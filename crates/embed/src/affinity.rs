@@ -64,6 +64,10 @@ pub fn affinity_propagation(
     config: &AffinityPropagationConfig,
 ) -> ClusterResult {
     let n = similarity.len();
+    crate::embedding::DENSE_CELLS.fetch_add(
+        (n as u64).saturating_mul(n as u64),
+        std::sync::atomic::Ordering::Relaxed,
+    );
     if n == 0 {
         return ClusterResult {
             assignments: Vec::new(),
@@ -244,6 +248,244 @@ where
     affinity_propagation(&matrix, config)
 }
 
+/// Sparse Affinity Propagation over candidate pairs (e.g. ANN k-NN output)
+/// instead of a dense `n × n` matrix.
+///
+/// `pairs` holds `(i, k, similarity)` candidates with `0 <= i, k < n`;
+/// direction and duplicates don't matter — the input is symmetrized (each
+/// pair stored in both directions, duplicates deduped keeping the maximum
+/// similarity) and self-pairs are ignored. Unlisted pairs are treated as
+/// `-inf` (never similar), the standard sparse-AP semantics: messages flow
+/// only along stored edges, so time and memory are O(|pairs|), not O(n²).
+///
+/// **Equivalence contract** (tested): given the *full* pair set of a
+/// symmetric similarity, this computes bit-identical messages to
+/// [`affinity_propagation`] — same median preference, same deterministic
+/// jitter, same update order — and therefore identical exemplars and
+/// assignments. A point whose stored neighbors include no exemplar is
+/// assigned to the first (lowest-index) exemplar.
+pub fn affinity_propagation_sparse(
+    n: usize,
+    pairs: &[(usize, usize, f64)],
+    config: &AffinityPropagationConfig,
+) -> ClusterResult {
+    if n == 0 {
+        return ClusterResult {
+            assignments: Vec::new(),
+            exemplars: Vec::new(),
+            converged: true,
+        };
+    }
+    assert!(
+        (0.5..1.0).contains(&config.damping),
+        "damping must be in [0.5, 1)"
+    );
+    if n == 1 {
+        return ClusterResult {
+            assignments: vec![0],
+            exemplars: vec![0],
+            converged: true,
+        };
+    }
+
+    // --- symmetrize + dedupe into CSR (rows ascending, columns ascending) ---
+    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(pairs.len() * 2);
+    for &(i, k, v) in pairs {
+        assert!(i < n && k < n, "pair index out of range: ({i}, {k}), n = {n}");
+        assert!(v.is_finite(), "similarities must be finite");
+        if i != k {
+            edges.push((i, k, v));
+            edges.push((k, i, v));
+        }
+    }
+    edges.sort_unstable_by(|a, b| {
+        (a.0, a.1)
+            .cmp(&(b.0, b.1))
+            .then_with(|| b.2.total_cmp(&a.2)) // duplicate edges: max value first
+    });
+    edges.dedup_by_key(|e| (e.0, e.1));
+    let m = edges.len();
+
+    let pref = config.preference.unwrap_or_else(|| {
+        // Median of the stored off-diagonal similarities — on full input
+        // this is the same multiset (hence the same median) as the dense
+        // path's `median_off_diagonal`.
+        let mut vals: Vec<f64> = edges.iter().map(|e| e.2).collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
+        let m = vals.len();
+        if m % 2 == 1 {
+            vals[m / 2]
+        } else {
+            (vals[m / 2 - 1] + vals[m / 2]) / 2.0
+        }
+    });
+
+    let jitter = |i: usize, k: usize| ((i * 2654435761 + k * 40503) % 1000) as f64 * 1e-12;
+
+    let mut row_off = vec![0usize; n + 1];
+    let mut col = vec![0u32; m];
+    let mut sv = vec![0.0f64; m];
+    for (p, &(i, k, v)) in edges.iter().enumerate() {
+        row_off[i + 1] = p + 1;
+        col[p] = k as u32;
+        sv[p] = v + jitter(i, k);
+    }
+    // Rows with no edges inherit the previous offset.
+    for i in 1..=n {
+        row_off[i] = row_off[i].max(row_off[i - 1]);
+    }
+    drop(edges);
+    // Column index: entry positions per column, ascending row (the dense
+    // availability pass accumulates over rows in ascending order).
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (p, &k) in col.iter().enumerate() {
+        cols[k as usize].push(p as u32);
+    }
+    let s_diag: Vec<f64> = (0..n).map(|i| pref + jitter(i, i)).collect();
+
+    let damping = config.damping;
+    let mut r = vec![0.0f64; m];
+    let mut a = vec![0.0f64; m];
+    let mut r_diag = vec![0.0f64; n];
+    let mut a_diag = vec![0.0f64; n];
+    let mut last_exemplars: Vec<usize> = Vec::new();
+    let mut stable = 0usize;
+    let mut converged = false;
+
+    for _ in 0..config.max_iter {
+        // --- responsibilities (per row, ascending k with diagonal merged) ---
+        for i in 0..n {
+            let (mut best, mut second) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            let mut best_is_diag = false;
+            let mut best_p = usize::MAX;
+            let mut diag_seen = false;
+            let mut consider = |v: f64, is_diag: bool, p: usize| {
+                if v > best {
+                    second = best;
+                    best = v;
+                    best_is_diag = is_diag;
+                    best_p = p;
+                } else if v > second {
+                    second = v;
+                }
+            };
+            for p in row_off[i]..row_off[i + 1] {
+                if !diag_seen && col[p] as usize > i {
+                    consider(a_diag[i] + s_diag[i], true, usize::MAX);
+                    diag_seen = true;
+                }
+                consider(a[p] + sv[p], false, p);
+            }
+            if !diag_seen {
+                consider(a_diag[i] + s_diag[i], true, usize::MAX);
+            }
+            drop(consider);
+            for p in row_off[i]..row_off[i + 1] {
+                let cutoff = if !best_is_diag && p == best_p {
+                    second
+                } else {
+                    best
+                };
+                r[p] = damping * r[p] + (1.0 - damping) * (sv[p] - cutoff);
+            }
+            let cutoff = if best_is_diag { second } else { best };
+            r_diag[i] = damping * r_diag[i] + (1.0 - damping) * (s_diag[i] - cutoff);
+        }
+        // --- availabilities (per column, ascending row) ---
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for &p in &cols[k] {
+                pos_sum += r[p as usize].max(0.0);
+            }
+            let rkk = r_diag[k];
+            for &p in &cols[k] {
+                let p = p as usize;
+                let new_a = (rkk + pos_sum - r[p].max(0.0)).min(0.0);
+                a[p] = damping * a[p] + (1.0 - damping) * new_a;
+            }
+            a_diag[k] = damping * a_diag[k] + (1.0 - damping) * pos_sum;
+        }
+        // --- exemplar check ---
+        let exemplars: Vec<usize> = (0..n).filter(|&k| r_diag[k] + a_diag[k] > 0.0).collect();
+        if exemplars == last_exemplars && !exemplars.is_empty() {
+            stable += 1;
+            if stable >= config.convergence_iter {
+                converged = true;
+                break;
+            }
+        } else {
+            stable = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    let mut exemplars = last_exemplars;
+    if exemplars.is_empty() {
+        let best = (0..n)
+            .max_by(|&x, &y| {
+                (r_diag[x] + a_diag[x])
+                    .partial_cmp(&(r_diag[y] + a_diag[y]))
+                    .expect("finite messages")
+            })
+            .expect("n > 0");
+        exemplars = vec![best];
+    }
+
+    // Stored similarity s(i, k) (with jitter), or None if the edge is absent.
+    let stored = |i: usize, k: usize| -> Option<f64> {
+        let row = &col[row_off[i]..row_off[i + 1]];
+        let off = row.partition_point(|&c| (c as usize) < k);
+        (off < row.len() && row[off] as usize == k).then(|| sv[row_off[i] + off])
+    };
+    let assignments: Vec<usize> = (0..n)
+        .map(|i| {
+            if exemplars.contains(&i) {
+                return i;
+            }
+            // Last maximum wins on ties, matching the dense path's
+            // `Iterator::max_by`.
+            let mut best: Option<(usize, f64)> = None;
+            for &x in &exemplars {
+                if let Some(v) = stored(i, x) {
+                    match best {
+                        Some((_, bv)) if v < bv => {}
+                        _ => best = Some((x, v)),
+                    }
+                }
+            }
+            best.map(|(x, _)| x).unwrap_or(exemplars[0])
+        })
+        .collect();
+
+    ClusterResult {
+        assignments,
+        exemplars,
+        converged,
+    }
+}
+
+/// Convenience: sparse clustering given candidate index pairs and a
+/// similarity function (the sparse analogue of [`cluster_by`] — similarity
+/// is evaluated only on the candidate pairs, never all n²).
+pub fn cluster_by_sparse<T, F>(
+    items: &[T],
+    sim: F,
+    pairs: &[(usize, usize)],
+    config: &AffinityPropagationConfig,
+) -> ClusterResult
+where
+    F: Fn(&T, &T) -> f64,
+{
+    let weighted: Vec<(usize, usize, f64)> = pairs
+        .iter()
+        .map(|&(i, k)| (i, k, sim(&items[i], &items[k])))
+        .collect();
+    affinity_propagation_sparse(items.len(), &weighted, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +620,162 @@ mod tests {
             &AffinityPropagationConfig::default(),
         );
         assert_eq!(r.num_clusters(), 2);
+    }
+
+    /// All ordered off-diagonal pairs of a dense matrix, as sparse input.
+    fn full_pairs(s: &[Vec<f64>]) -> Vec<(usize, usize, f64)> {
+        let n = s.len();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for k in 0..n {
+                if i != k {
+                    pairs.push((i, k, s[i][k]));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn sparse_full_input_matches_dense_two_blobs() {
+        let points = [
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (10.0, 10.0),
+            (10.1, 10.0),
+            (10.0, 10.1),
+        ];
+        let s = neg_sq_dist(&points);
+        let cfg = AffinityPropagationConfig::default();
+        let dense = affinity_propagation(&s, &cfg);
+        let sparse = affinity_propagation_sparse(s.len(), &full_pairs(&s), &cfg);
+        assert_eq!(dense.exemplars, sparse.exemplars);
+        assert_eq!(dense.assignments, sparse.assignments);
+        assert_eq!(dense.converged, sparse.converged);
+    }
+
+    #[test]
+    fn sparse_full_input_matches_dense_three_blobs() {
+        let mut points = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (8.0, 0.0), (4.0, 7.0)] {
+            for d in 0..4 {
+                points.push((cx + 0.1 * d as f64, cy + 0.07 * d as f64));
+            }
+        }
+        let s = neg_sq_dist(&points);
+        let cfg = AffinityPropagationConfig::default();
+        let dense = affinity_propagation(&s, &cfg);
+        let sparse = affinity_propagation_sparse(s.len(), &full_pairs(&s), &cfg);
+        assert_eq!(dense.exemplars, sparse.exemplars);
+        assert_eq!(dense.assignments, sparse.assignments);
+    }
+
+    #[test]
+    fn sparse_matches_dense_with_explicit_preference() {
+        let points: Vec<(f64, f64)> = (0..8).map(|i| (i as f64, 0.0)).collect();
+        let s = neg_sq_dist(&points);
+        let cfg = AffinityPropagationConfig {
+            preference: Some(-5.0),
+            ..Default::default()
+        };
+        let dense = affinity_propagation(&s, &cfg);
+        let sparse = affinity_propagation_sparse(s.len(), &full_pairs(&s), &cfg);
+        assert_eq!(dense.exemplars, sparse.exemplars);
+        assert_eq!(dense.assignments, sparse.assignments);
+    }
+
+    #[test]
+    fn sparse_knn_subset_recovers_blob_structure() {
+        // Only within-blob and a handful of cross-blob pairs — far from the
+        // full matrix — must still split the two blobs.
+        let points = [
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.0, 0.1),
+            (10.0, 10.0),
+            (10.1, 10.0),
+            (10.0, 10.1),
+        ];
+        let d = |i: usize, k: usize| {
+            let (x1, y1): (f64, f64) = points[i];
+            let (x2, y2) = points[k];
+            -((x1 - x2).powi(2) + (y1 - y2).powi(2))
+        };
+        let mut pairs = Vec::new();
+        for blob in [[0, 1, 2], [3, 4, 5]] {
+            for &i in &blob {
+                for &k in &blob {
+                    if i < k {
+                        pairs.push((i, k, d(i, k)));
+                    }
+                }
+            }
+        }
+        pairs.push((0, 3, d(0, 3))); // one bridge edge
+        // With a k-NN-truncated pair set the stored-value median skews
+        // toward within-blob similarities, so pin the preference to the
+        // scale of the cross-blob distance (as the dense median would be).
+        let cfg = AffinityPropagationConfig {
+            preference: Some(-100.0),
+            ..Default::default()
+        };
+        let r = affinity_propagation_sparse(6, &pairs, &cfg);
+        assert_eq!(r.num_clusters(), 2, "{r:?}");
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[1], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_eq!(r.assignments[4], r.assignments[5]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+    }
+
+    #[test]
+    fn sparse_empty_and_singleton_and_isolated() {
+        let cfg = AffinityPropagationConfig::default();
+        let r = affinity_propagation_sparse(0, &[], &cfg);
+        assert_eq!(r.num_clusters(), 0);
+        let r = affinity_propagation_sparse(1, &[], &cfg);
+        assert_eq!(r.assignments, vec![0]);
+        // Point 2 has no edges at all: it must become its own exemplar.
+        let pairs = vec![(0usize, 1usize, -0.01)];
+        let r = affinity_propagation_sparse(3, &pairs, &cfg);
+        assert!(r.exemplars.contains(&2), "{r:?}");
+        assert_eq!(r.assignments[2], 2);
+        assert_eq!(r.assignments.len(), 3);
+    }
+
+    #[test]
+    fn sparse_symmetrizes_and_dedupes() {
+        // Same pair given twice in both directions with different values:
+        // the max wins, and the result is the same as providing it once.
+        let cfg = AffinityPropagationConfig {
+            preference: Some(-1.0),
+            ..Default::default()
+        };
+        let messy = vec![(0usize, 1usize, -0.5), (1usize, 0usize, -0.2), (0, 1, -0.9)];
+        let clean = vec![(0usize, 1usize, -0.2)];
+        let a = affinity_propagation_sparse(2, &messy, &cfg);
+        let b = affinity_propagation_sparse(2, &clean, &cfg);
+        assert_eq!(a.exemplars, b.exemplars);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn cluster_by_sparse_matches_cluster_by_on_full_pairs() {
+        let items = vec![1.0f64, 1.1, 0.9, 9.0, 9.1, 8.9];
+        let sim = |a: &f64, b: &f64| -(a - b).powi(2);
+        let cfg = AffinityPropagationConfig::default();
+        let dense = cluster_by(&items, sim, &cfg);
+        let mut pairs = Vec::new();
+        for i in 0..items.len() {
+            for k in 0..items.len() {
+                if i != k {
+                    pairs.push((i, k));
+                }
+            }
+        }
+        let sparse = cluster_by_sparse(&items, sim, &pairs, &cfg);
+        assert_eq!(dense.exemplars, sparse.exemplars);
+        assert_eq!(dense.assignments, sparse.assignments);
     }
 }

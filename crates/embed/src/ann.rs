@@ -1,0 +1,774 @@
+//! Date-filtered approximate-nearest-neighbor search over the feature-hashed
+//! TF-IDF embeddings — the hermetic (std-only) stand-in for a vector
+//! database.
+//!
+//! The structure is an **IVF index** (inverted file with a coarse
+//! quantizer): a spherical k-means over a training sample partitions the
+//! unit sphere into `nlist` cells, every vector is assigned to its nearest
+//! centroid, and a query probes only the `nprobe` cells whose centroids
+//! score highest against it. Candidates from the probed cells are then
+//! **re-ranked exactly** — the cosine returned for every hit is computed
+//! against the stored vector, so the only approximation is *which*
+//! candidates were considered, never their scores.
+//!
+//! Two properties production timeline systems need are pushed *into* the
+//! index rather than bolted on:
+//!
+//! * **date-range filtering** — each cell's posting list is kept sorted by
+//!   `(date, id)`, so a date-scoped query binary-searches the in-range
+//!   sub-span of every probed list and scans nothing outside it (no
+//!   post-filtering over out-of-range candidates),
+//! * **incremental inserts** — new vectors are assigned to their nearest
+//!   existing cell in O(`nlist` · nnz) and spliced into the posting order;
+//!   when the index outgrows its training set (`retrain_growth`×) the
+//!   quantizer deterministically retrains and reassigns, so long-running
+//!   ingestion (`RealTimeSystem`-style publish epochs) keeps cells
+//!   balanced without a rebuild-the-world step.
+//!
+//! Vectors are stored sparse (nonzero dimension + `f32` value, L2-normalized
+//! at insert): a hashed TF-IDF sentence has ~10–25 nonzeros out of 256
+//! dimensions, so a million sentences fit in ~10⁸ bytes instead of the 2 GB
+//! a dense `f64` matrix would take. Everything — sampling, k-means init,
+//! empty-cell reseeding — is seeded through the in-tree xoshiro PRNG, so
+//! the index is a pure function of (config, insertion sequence).
+
+use tl_support::rng::{splitmix64, Rng};
+
+/// Configuration for [`AnnIndex`].
+#[derive(Debug, Clone)]
+pub struct AnnConfig {
+    /// Number of coarse cells; `None` = `ceil(sqrt(n))` at (re)train time,
+    /// clamped to `[1, 4096]`.
+    pub nlist: Option<usize>,
+    /// Cells probed per query. Recall rises with `nprobe/nlist`; latency is
+    /// proportional to the candidates scanned.
+    pub nprobe: usize,
+    /// Lloyd iterations for the spherical k-means.
+    pub kmeans_iters: usize,
+    /// Cap on the k-means training sample.
+    pub train_sample: usize,
+    /// Below this many vectors the index stays *flat* (exhaustive scan —
+    /// exact by construction); the quantizer trains once the count reaches
+    /// it.
+    pub min_train: usize,
+    /// Retrain when `len() >= retrain_growth * trained_n`.
+    pub retrain_growth: f64,
+    /// Seed for sampling, k-means init and empty-cell reseeding.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        Self {
+            nlist: None,
+            nprobe: 40,
+            kmeans_iters: 6,
+            train_sample: 4096,
+            min_train: 512,
+            retrain_growth: 2.0,
+            seed: 0x0A5E_17AB,
+        }
+    }
+}
+
+/// A search hit: external id and the exact cosine against the stored vector.
+pub type Hit = (u64, f64);
+
+/// IVF approximate-nearest-neighbor index with date-filtered postings.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    dim: usize,
+    cfg: AnnConfig,
+    // Sparse vector store (unit-normalized): entry i occupies
+    // dims/vals[offs[i]..offs[i+1]].
+    dims: Vec<u32>,
+    vals: Vec<f32>,
+    offs: Vec<usize>,
+    ids: Vec<u64>,
+    dates: Vec<i32>,
+    // Coarse quantizer, transposed for cache-friendly sparse assignment:
+    // ct[d * nlist + l] = component d of centroid l. Empty = untrained.
+    ct: Vec<f32>,
+    nlist: usize,
+    /// Per-cell posting lists of internal indices, sorted by `(date, id)`.
+    lists: Vec<Vec<u32>>,
+    trained_n: usize,
+    retrains: u32,
+}
+
+impl AnnIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, cfg: AnnConfig) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(cfg.nprobe > 0, "nprobe must be positive");
+        assert!(cfg.retrain_growth > 1.0, "retrain_growth must exceed 1");
+        Self {
+            dim,
+            cfg,
+            dims: Vec::new(),
+            vals: Vec::new(),
+            offs: vec![0],
+            ids: Vec::new(),
+            dates: Vec::new(),
+            ct: Vec::new(),
+            nlist: 0,
+            lists: Vec::new(),
+            trained_n: 0,
+            retrains: 0,
+        }
+    }
+
+    /// Bulk construction: ingest everything, then train the quantizer once
+    /// (avoids the `log(n)` intermediate retrains of repeated
+    /// [`AnnIndex::insert`]).
+    pub fn build<I>(dim: usize, cfg: AnnConfig, items: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, i32, Vec<f64>)>,
+    {
+        let mut idx = Self::new(dim, cfg);
+        for (id, date, v) in items {
+            idx.push_raw(id, date, &v);
+        }
+        if idx.len() >= idx.cfg.min_train {
+            idx.train();
+        }
+        idx
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True once the coarse quantizer has been trained (before that the
+    /// index is flat and searches are exhaustive, i.e. exact).
+    pub fn is_trained(&self) -> bool {
+        self.nlist > 0
+    }
+
+    /// How many times the quantizer has (re)trained.
+    pub fn retrains(&self) -> u32 {
+        self.retrains
+    }
+
+    /// Approximate resident bytes of the index (vector store + quantizer +
+    /// postings).
+    pub fn memory_bytes(&self) -> usize {
+        self.dims.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<f32>()
+            + self.offs.capacity() * std::mem::size_of::<usize>()
+            + self.ids.capacity() * std::mem::size_of::<u64>()
+            + self.dates.capacity() * std::mem::size_of::<i32>()
+            + self.ct.capacity() * std::mem::size_of::<f32>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
+    /// Insert one vector (any norm; normalized internally — an all-zero
+    /// vector is stored as-is and scores 0 against everything). `date` is
+    /// the vector's day key (e.g. `Date::days()`); `id` is the caller's
+    /// identifier, echoed back by search.
+    ///
+    /// Amortized cost: O(nnz · nlist) for the cell assignment plus an
+    /// ordered splice into one posting list; a deterministic retrain fires
+    /// when the index has doubled (`retrain_growth`) since training.
+    pub fn insert(&mut self, id: u64, date: i32, vector: &[f64]) {
+        let idx = self.push_raw(id, date, vector);
+        if self.is_trained() {
+            let list = self.assign(idx as usize);
+            let pos = self.posting_position(list, idx);
+            self.lists[list].insert(pos, idx);
+        }
+        self.maybe_retrain();
+    }
+
+    /// Top-`k` cosine search with exact re-ranking of every candidate.
+    ///
+    /// `range = Some((lo, hi))` restricts hits to `lo <= date <= hi`
+    /// (inclusive), enforced *inside* the index via the date-sorted
+    /// postings. Results are sorted by `(score desc, id asc)`. A zero
+    /// query returns no hits.
+    pub fn search(&self, query: &[f64], k: usize, range: Option<(i32, i32)>) -> Vec<Hit> {
+        let Some(qdense) = self.normalize_query(query) else {
+            return Vec::new();
+        };
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k);
+        if !self.is_trained() {
+            for idx in 0..self.len() {
+                if in_range(self.dates[idx], range) {
+                    top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+                }
+            }
+            return top.into_sorted();
+        }
+        let probes = self.probe_order(&qdense);
+        for &list in probes.iter().take(self.cfg.nprobe) {
+            let posting = &self.lists[list];
+            let (lo, hi) = self.posting_range(posting, range);
+            for &idx in &posting[lo..hi] {
+                let idx = idx as usize;
+                debug_assert!(in_range(self.dates[idx], range));
+                top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// Exhaustive exact top-`k` search over the same stored vectors, with
+    /// the same scoring, ordering and date-filter semantics as
+    /// [`AnnIndex::search`] — the brute-force reference the recall suites
+    /// and benches compare against.
+    pub fn search_exact(&self, query: &[f64], k: usize, range: Option<(i32, i32)>) -> Vec<Hit> {
+        let Some(qdense) = self.normalize_query(query) else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k);
+        for idx in 0..self.len() {
+            if in_range(self.dates[idx], range) {
+                top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+            }
+        }
+        top.into_sorted()
+    }
+
+    /// For every indexed vector, its `k` nearest neighbors (excluding
+    /// itself), as `(i, j, cosine)` candidate pairs ready for
+    /// [`crate::affinity_propagation_sparse`]. `i`/`j` are *insertion
+    /// positions* (0-based), not external ids — the natural keying for
+    /// clustering a corpus that was indexed in order.
+    pub fn knn_pairs(&self, k: usize) -> Vec<(usize, usize, f64)> {
+        let mut pairs = Vec::with_capacity(self.len().saturating_mul(k));
+        for idx in 0..self.len() {
+            let (s, e) = (self.offs[idx], self.offs[idx + 1]);
+            let mut qdense = vec![0.0f64; self.dim];
+            for p in s..e {
+                qdense[self.dims[p] as usize] = self.vals[p] as f64;
+            }
+            // Over-fetch by one so dropping the self-hit still leaves k.
+            for (id, sim) in self.search(&qdense, k + 1, None) {
+                let j = id as usize;
+                if j != idx {
+                    pairs.push((idx, j, sim));
+                }
+            }
+        }
+        pairs
+    }
+
+    // ----- internals -------------------------------------------------
+
+    /// Append to the vector store without touching postings; returns the
+    /// internal index.
+    fn push_raw(&mut self, id: u64, date: i32, vector: &[f64]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let norm: f64 = vector.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for (d, &x) in vector.iter().enumerate() {
+            if x != 0.0 && norm > 0.0 {
+                self.dims.push(d as u32);
+                self.vals.push((x / norm) as f32);
+            }
+        }
+        self.offs.push(self.dims.len());
+        self.ids.push(id);
+        self.dates.push(date);
+        (self.ids.len() - 1) as u32
+    }
+
+    fn maybe_retrain(&mut self) {
+        let n = self.len();
+        if !self.is_trained() {
+            if n >= self.cfg.min_train {
+                self.train();
+            }
+        } else if n as f64 >= self.trained_n as f64 * self.cfg.retrain_growth {
+            self.train();
+        }
+    }
+
+    /// Exact cosine of stored vector `idx` against the dense unit query
+    /// (f64 accumulation over the stored f32 components; shared by the ANN
+    /// and brute-force paths so their scores are bit-identical).
+    #[inline]
+    fn score_idx(&self, idx: usize, qdense: &[f64]) -> f64 {
+        let (s, e) = (self.offs[idx], self.offs[idx + 1]);
+        let mut acc = 0.0f64;
+        for p in s..e {
+            acc += self.vals[p] as f64 * qdense[self.dims[p] as usize];
+        }
+        acc
+    }
+
+    /// Copy + L2-normalize the query; `None` for a zero query.
+    fn normalize_query(&self, query: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let norm: f64 = query.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return None;
+        }
+        Some(query.iter().map(|x| x / norm).collect())
+    }
+
+    /// Scores of every centroid against a sparse row of the store.
+    fn cell_scores_sparse(&self, s: usize, e: usize) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.nlist];
+        for p in s..e {
+            let row = &self.ct[self.dims[p] as usize * self.nlist..][..self.nlist];
+            let v = self.vals[p];
+            for (l, c) in row.iter().enumerate() {
+                scores[l] += v * c;
+            }
+        }
+        scores
+    }
+
+    /// Nearest cell for stored vector `idx` (max dot, ties to the lowest
+    /// cell index — this is where all-zero vectors land in cell 0).
+    fn assign(&self, idx: usize) -> usize {
+        let scores = self.cell_scores_sparse(self.offs[idx], self.offs[idx + 1]);
+        argmax_f32(&scores)
+    }
+
+    /// Cells ordered by query affinity (score desc, index asc).
+    fn probe_order(&self, qdense: &[f64]) -> Vec<usize> {
+        let mut scores = vec![0.0f32; self.nlist];
+        for (d, &x) in qdense.iter().enumerate() {
+            if x != 0.0 {
+                let row = &self.ct[d * self.nlist..][..self.nlist];
+                let x = x as f32;
+                for (l, c) in row.iter().enumerate() {
+                    scores[l] += x * c;
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..self.nlist).collect();
+        order.sort_unstable_by(|&a, &b| {
+            scores[b]
+                .total_cmp(&scores[a])
+                .then_with(|| a.cmp(&b))
+        });
+        order
+    }
+
+    /// Where `idx` belongs in `list` under the `(date, id)` posting order.
+    fn posting_position(&self, list: usize, idx: u32) -> usize {
+        let key = (self.dates[idx as usize], self.ids[idx as usize]);
+        self.lists[list]
+            .partition_point(|&j| (self.dates[j as usize], self.ids[j as usize]) < key)
+    }
+
+    /// The `[lo, hi)` sub-span of a posting list that intersects the date
+    /// range (the whole list when unfiltered).
+    fn posting_range(&self, posting: &[u32], range: Option<(i32, i32)>) -> (usize, usize) {
+        match range {
+            None => (0, posting.len()),
+            Some((lo, hi)) => {
+                let start = posting.partition_point(|&j| self.dates[j as usize] < lo);
+                let end = posting.partition_point(|&j| self.dates[j as usize] <= hi);
+                (start, end)
+            }
+        }
+    }
+
+    /// (Re)train the coarse quantizer and rebuild every posting list.
+    /// Deterministic: a pure function of (config seed, retrain count,
+    /// current store contents).
+    fn train(&mut self) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        self.retrains += 1;
+        let mut seed_state = self
+            .cfg
+            .seed
+            ^ (self.retrains as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (n as u64).rotate_left(32);
+        let mut rng = Rng::seed_from_u64(splitmix64(&mut seed_state));
+
+        let nlist = self
+            .cfg
+            .nlist
+            .unwrap_or_else(|| (n as f64).sqrt().ceil() as usize)
+            .clamp(1, 4096)
+            .min(n);
+
+        // --- training sample (sorted for deterministic iteration) ---
+        let sample: Vec<usize> = if n <= self.cfg.train_sample {
+            (0..n).collect()
+        } else {
+            let mut s = rng.sample_indices(n, self.cfg.train_sample);
+            s.sort_unstable();
+            s
+        };
+
+        // --- k-means++ init (distance analog: 1 - best cosine) ---
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
+        let mut best_sim = vec![f32::NEG_INFINITY; sample.len()];
+        let first = sample[rng.bounded_u64(sample.len() as u64) as usize];
+        centroids.push(self.densify(first));
+        for si in 0..sample.len() {
+            best_sim[si] = self.dot_dense(sample[si], &centroids[0]);
+        }
+        while centroids.len() < nlist {
+            let weights: Vec<f64> = best_sim
+                .iter()
+                .map(|&s| ((1.0 - s as f64).max(0.0)).powi(2))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let pick = if total > 0.0 {
+                let mut x = rng.f64() * total;
+                let mut chosen = sample.len() - 1;
+                for (si, w) in weights.iter().enumerate() {
+                    x -= w;
+                    if x <= 0.0 {
+                        chosen = si;
+                        break;
+                    }
+                }
+                chosen
+            } else {
+                rng.bounded_u64(sample.len() as u64) as usize
+            };
+            let c = self.densify(sample[pick]);
+            for (si, &v) in sample.iter().enumerate() {
+                let s = self.dot_dense(v, &c);
+                if s > best_sim[si] {
+                    best_sim[si] = s;
+                }
+            }
+            centroids.push(c);
+        }
+
+        // --- Lloyd iterations (spherical: renormalize means) ---
+        let mut membership = vec![0usize; sample.len()];
+        for _ in 0..self.cfg.kmeans_iters {
+            let ct = transpose(&centroids, self.dim);
+            for (si, &v) in sample.iter().enumerate() {
+                membership[si] = argmax_f32(&self.cell_scores_with(&ct, nlist, v));
+            }
+            let mut sums = vec![vec![0.0f64; self.dim]; nlist];
+            let mut counts = vec![0usize; nlist];
+            for (si, &v) in sample.iter().enumerate() {
+                let c = membership[si];
+                counts[c] += 1;
+                let (s, e) = (self.offs[v], self.offs[v + 1]);
+                for p in s..e {
+                    sums[c][self.dims[p] as usize] += self.vals[p] as f64;
+                }
+            }
+            for (c, sum) in sums.iter().enumerate() {
+                if counts[c] == 0 {
+                    // Deterministic reseed: an empty cell jumps to a random
+                    // sample vector.
+                    let v = sample[rng.bounded_u64(sample.len() as u64) as usize];
+                    centroids[c] = self.densify(v);
+                    continue;
+                }
+                let norm: f64 = sum.iter().map(|x| x * x).sum::<f64>().sqrt();
+                for (d, x) in sum.iter().enumerate() {
+                    centroids[c][d] = if norm > 0.0 { (x / norm) as f32 } else { 0.0 };
+                }
+            }
+        }
+
+        // --- commit quantizer + reassign the full store ---
+        self.nlist = nlist;
+        self.ct = transpose(&centroids, self.dim);
+        self.trained_n = n;
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        for idx in 0..n {
+            lists[self.assign(idx)].push(idx as u32);
+        }
+        for list in &mut lists {
+            list.sort_unstable_by_key(|&j| (self.dates[j as usize], self.ids[j as usize]));
+        }
+        self.lists = lists;
+    }
+
+    /// Dense `f32` copy of stored vector `idx`.
+    fn densify(&self, idx: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        let (s, e) = (self.offs[idx], self.offs[idx + 1]);
+        for p in s..e {
+            out[self.dims[p] as usize] = self.vals[p];
+        }
+        out
+    }
+
+    /// Dot of stored sparse vector `idx` with a dense `f32` vector.
+    fn dot_dense(&self, idx: usize, dense: &[f32]) -> f32 {
+        let (s, e) = (self.offs[idx], self.offs[idx + 1]);
+        let mut acc = 0.0f32;
+        for p in s..e {
+            acc += self.vals[p] * dense[self.dims[p] as usize];
+        }
+        acc
+    }
+
+    /// [`AnnIndex::cell_scores_sparse`] against an explicit transposed
+    /// quantizer (used mid-training, before the quantizer is committed).
+    fn cell_scores_with(&self, ct: &[f32], nlist: usize, idx: usize) -> Vec<f32> {
+        let mut scores = vec![0.0f32; nlist];
+        let (s, e) = (self.offs[idx], self.offs[idx + 1]);
+        for p in s..e {
+            let row = &ct[self.dims[p] as usize * nlist..][..nlist];
+            let v = self.vals[p];
+            for (l, c) in row.iter().enumerate() {
+                scores[l] += v * c;
+            }
+        }
+        scores
+    }
+}
+
+/// `centroids[l][d]` → transposed flat `ct[d * nlist + l]`.
+fn transpose(centroids: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    let nlist = centroids.len();
+    let mut ct = vec![0.0f32; dim * nlist];
+    for (l, c) in centroids.iter().enumerate() {
+        for (d, &x) in c.iter().enumerate() {
+            ct[d * nlist + l] = x;
+        }
+    }
+    ct
+}
+
+/// Index of the maximum (first on ties → lowest index wins).
+fn argmax_f32(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[inline]
+fn in_range(date: i32, range: Option<(i32, i32)>) -> bool {
+    match range {
+        None => true,
+        Some((lo, hi)) => date >= lo && date <= hi,
+    }
+}
+
+/// Bounded top-k accumulator ordered by `(score desc, id asc)`.
+struct TopK {
+    k: usize,
+    // Sorted best-first; `entries.last()` is the current worst.
+    entries: Vec<Hit>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            entries: Vec::with_capacity(k + 1),
+        }
+    }
+
+    #[inline]
+    fn offer(&mut self, score: f64, id: u64) {
+        if self.entries.len() == self.k {
+            let &(wid, ws) = self.entries.last().expect("k > 0");
+            if !(score > ws || (score == ws && id < wid)) {
+                return;
+            }
+        }
+        let pos = self
+            .entries
+            .partition_point(|&(i, s)| s > score || (s == score && i < id));
+        self.entries.insert(pos, (id, score));
+        if self.entries.len() > self.k {
+            self.entries.pop();
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Hit> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SentenceEmbedder;
+
+    /// A tiny config that trains early so unit tests exercise the IVF path.
+    fn small_cfg() -> AnnConfig {
+        AnnConfig {
+            min_train: 16,
+            nlist: Some(4),
+            nprobe: 4, // probe everything: candidates == whole store
+            ..AnnConfig::default()
+        }
+    }
+
+    fn topic_vectors(n: usize) -> Vec<(u64, i32, Vec<f64>)> {
+        let e = SentenceEmbedder::new(64);
+        let topics = [
+            "earthquake rubble rescue survivors collapsed buildings",
+            "election ballot candidate campaign votes parliament",
+            "hurricane flood evacuation coastal storm damage",
+        ];
+        (0..n)
+            .map(|i| {
+                let text = format!("{} update {}", topics[i % 3], i / 3);
+                (i as u64, (i % 30) as i32, e.embed_frozen(&text))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flat_mode_is_exact() {
+        let items = topic_vectors(12); // below min_train → flat
+        let index = AnnIndex::build(64, small_cfg(), items.clone());
+        assert!(!index.is_trained());
+        for (_, _, v) in items.iter().take(4) {
+            let ann = index.search(v, 5, None);
+            let exact = index.search_exact(v, 5, None);
+            assert_eq!(ann, exact);
+        }
+    }
+
+    #[test]
+    fn trained_full_probe_matches_exact() {
+        let items = topic_vectors(60);
+        let index = AnnIndex::build(64, small_cfg(), items.clone());
+        assert!(index.is_trained());
+        for (_, _, v) in items.iter().step_by(7) {
+            let ann = index.search(v, 10, None);
+            let exact = index.search_exact(v, 10, None);
+            assert_eq!(ann, exact, "nprobe == nlist must be exhaustive");
+        }
+    }
+
+    #[test]
+    fn date_filter_returns_only_in_range() {
+        let items = topic_vectors(60);
+        let index = AnnIndex::build(64, small_cfg(), items.clone());
+        let (_, _, q) = &items[0];
+        for range in [(0, 9), (10, 19), (5, 5), (100, 200)] {
+            let hits = index.search(q, 20, Some(range));
+            for &(id, _) in &hits {
+                let date = (id % 30) as i32;
+                assert!(
+                    date >= range.0 && date <= range.1,
+                    "id {id} date {date} outside {range:?}"
+                );
+            }
+            let exact = index.search_exact(q, 20, Some(range));
+            assert_eq!(hits, exact, "full probe filtered search stays exact");
+        }
+        assert!(index.search(q, 20, Some((100, 200))).is_empty());
+    }
+
+    #[test]
+    fn incremental_insert_is_searchable_across_epochs() {
+        let items = topic_vectors(90);
+        let mut index = AnnIndex::new(64, small_cfg());
+        for epoch in 0..3 {
+            for (id, date, v) in items.iter().skip(epoch * 30).take(30) {
+                index.insert(*id, *date, v);
+            }
+            // Every item inserted so far is its own best match.
+            for (id, _, v) in items.iter().take((epoch + 1) * 30).step_by(11) {
+                let hits = index.search(v, 3, None);
+                assert!(
+                    hits.iter().any(|&(h, s)| h == *id && s > 0.999),
+                    "epoch {epoch}: item {id} not found: {hits:?}"
+                );
+            }
+        }
+        assert!(index.retrains() >= 2, "growth must have retrained");
+        assert_eq!(index.len(), 90);
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let items = topic_vectors(60);
+        let a = AnnIndex::build(64, small_cfg(), items.clone());
+        let b = AnnIndex::build(64, small_cfg(), items.clone());
+        let (_, _, q) = &items[5];
+        assert_eq!(a.search(q, 10, None), b.search(q, 10, None));
+        assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+
+    #[test]
+    fn zero_vectors_and_zero_queries() {
+        let mut items = topic_vectors(20);
+        items.push((99, 0, vec![0.0; 64])); // zero vector indexed
+        let index = AnnIndex::build(64, small_cfg(), items.clone());
+        assert_eq!(index.len(), 21);
+        // Zero query: no hits, by definition.
+        assert!(index.search(&vec![0.0; 64], 5, None).is_empty());
+        assert!(index.search_exact(&vec![0.0; 64], 5, None).is_empty());
+        // Normal query: the zero vector scores 0 and never outranks a
+        // positive match.
+        let (_, _, q) = &items[0];
+        let hits = index.search(q, 3, None);
+        assert!(hits.iter().all(|&(id, s)| id != 99 || s == 0.0));
+    }
+
+    #[test]
+    fn single_element_corpus() {
+        let e = SentenceEmbedder::new(32);
+        let v = e.embed_frozen("lone sentence about a summit");
+        let index = AnnIndex::build(32, AnnConfig::default(), vec![(7, 3, v.clone())]);
+        let hits = index.search(&v, 5, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 7);
+        assert!(hits[0].1 > 0.999);
+        assert!(index.search(&v, 5, Some((4, 9))).is_empty());
+    }
+
+    #[test]
+    fn all_identical_vectors_tie_break_by_id() {
+        let e = SentenceEmbedder::new(32);
+        let v = e.embed_frozen("identical text");
+        let items: Vec<_> = (0..20).map(|i| (i as u64, 0, v.clone())).collect();
+        let index = AnnIndex::build(32, small_cfg(), items);
+        let hits = index.search(&v, 5, None);
+        let ids: Vec<u64> = hits.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4], "ties resolve to ascending ids");
+    }
+
+    #[test]
+    fn knn_pairs_exclude_self_and_respect_k() {
+        let items = topic_vectors(30);
+        let index = AnnIndex::build(64, small_cfg(), items);
+        let pairs = index.knn_pairs(4);
+        assert!(!pairs.is_empty());
+        assert!(pairs.iter().all(|&(i, j, _)| i != j));
+        for i in 0..30 {
+            let deg = pairs.iter().filter(|&&(a, _, _)| a == i).count();
+            assert!(deg <= 4, "row {i} has {deg} neighbors");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked() {
+        let mut index = AnnIndex::new(8, AnnConfig::default());
+        index.insert(0, 0, &[1.0; 9]);
+    }
+}

@@ -7,7 +7,21 @@
 //! similarity, which is all Affinity Propagation needs to find event
 //! clusters among daily summaries.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use tl_nlp::{allpairs_dot, AnalysisOptions, Analyzer, SparseVector};
+
+/// Process-wide count of dense `n × n` similarity-matrix cells allocated by
+/// this crate ([`cosine_matrix`] and the dense working arrays of
+/// [`crate::affinity_propagation`]). The ANN / sparse clustering paths never
+/// touch it, which is how the scale tests *prove* no quadratic matrix was
+/// materialized: they assert a zero delta across a 100k-sentence run.
+/// Monotonic and shared by the whole process — only deltas are meaningful.
+pub(crate) static DENSE_CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-wide dense-cell allocation counter.
+pub fn dense_cells_allocated() -> u64 {
+    DENSE_CELLS.load(Ordering::Relaxed)
+}
 
 /// Dense sentence embedder with a fixed output dimension.
 #[derive(Debug)]
@@ -50,17 +64,28 @@ impl SentenceEmbedder {
 
     /// Embed one sentence into a unit vector (zero vector if no content
     /// terms survive analysis).
+    ///
+    /// Kept `&mut self` for source compatibility; delegates to
+    /// [`SentenceEmbedder::embed_frozen`], which is the real implementation.
     pub fn embed(&mut self, text: &str) -> Vec<f64> {
-        let ids = self.analyzer.analyze(text);
+        self.embed_frozen(text)
+    }
+
+    /// Read-only embedding: identical output to [`SentenceEmbedder::embed`]
+    /// for every input, through a `&self` receiver.
+    ///
+    /// The hashing trick keys on term *text*, not on interned vocabulary
+    /// ids, so the embedding never needs a growable vocabulary at all — the
+    /// analyzer's options (stem, stopword, punctuation) are the only state
+    /// consulted. Any number of query threads can therefore embed
+    /// concurrently against a shared embedder with no lock, mirroring the
+    /// vocab-pinned snapshot trick the sharded engine uses for frozen
+    /// query analysis.
+    pub fn embed_frozen(&self, text: &str) -> Vec<f64> {
+        let terms = self.analyzer.analyze_terms(text);
         let mut v = vec![0.0f64; self.dim];
-        for id in ids {
-            let term = self
-                .analyzer
-                .vocab()
-                .term(id)
-                .expect("just-interned id resolves")
-                .to_string();
-            let h = hash_str(&term);
+        for term in &terms {
+            let h = hash_str(term);
             let bucket = (h % self.dim as u64) as usize;
             let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
             v[bucket] += sign;
@@ -76,7 +101,18 @@ impl SentenceEmbedder {
 
     /// Embed a batch of sentences.
     pub fn embed_all<S: AsRef<str>>(&mut self, texts: &[S]) -> Vec<Vec<f64>> {
-        texts.iter().map(|t| self.embed(t.as_ref())).collect()
+        texts.iter().map(|t| self.embed_frozen(t.as_ref())).collect()
+    }
+
+    /// Embed a batch through the read-only path, optionally fanning out
+    /// over all cores (order-preserving). This is what the ANN benches use
+    /// to embed 10⁵–10⁶ sentences.
+    pub fn embed_batch<S: AsRef<str> + Sync>(&self, texts: &[S], parallel: bool) -> Vec<Vec<f64>> {
+        if parallel {
+            tl_support::par::par_map(texts, |t| self.embed_frozen(t.as_ref()))
+        } else {
+            texts.iter().map(|t| self.embed_frozen(t.as_ref())).collect()
+        }
     }
 }
 
@@ -113,6 +149,7 @@ pub fn cosine_matrix(vectors: &[Vec<f64>], parallel: bool) -> Vec<Vec<f64>> {
     for v in vectors {
         assert_eq!(v.len(), dim, "dimension mismatch");
     }
+    DENSE_CELLS.fetch_add((n * n) as u64, Ordering::Relaxed);
     let sparse: Vec<SparseVector> = vectors
         .iter()
         .map(|v| {
@@ -249,5 +286,70 @@ mod tests {
         let mut e2 = SentenceEmbedder::new(64);
         assert_eq!(batch[0], e2.embed("alpha beta"));
         assert_eq!(batch[1], e2.embed("gamma delta"));
+    }
+
+    #[test]
+    fn embed_frozen_bitwise_matches_embed() {
+        let mut e = SentenceEmbedder::new(128);
+        let texts = [
+            "nuclear summit negotiations between leaders",
+            "",
+            "the of and was",
+            "ceasefire-envoy talks resumed near the border",
+        ];
+        for t in texts {
+            let frozen = e.embed_frozen(t);
+            let grown = e.embed(t);
+            assert_eq!(
+                frozen.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                grown.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_batch_matches_serial() {
+        let e = SentenceEmbedder::new(64);
+        let texts = ["alpha beta", "gamma delta", "", "epsilon"];
+        let serial = e.embed_batch(&texts, false);
+        let parallel = e.embed_batch(&texts, true);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0], e.embed_frozen("alpha beta"));
+    }
+
+    #[test]
+    fn cosine_matrix_single_element() {
+        let m = cosine_matrix(&[vec![0.6, 0.8]], false);
+        assert_eq!(m.len(), 1);
+        assert!((m[0][0] - 1.0).abs() < 1e-12);
+        // A lone zero vector: similarity to itself is defined as 0.
+        let z = cosine_matrix(&[vec![0.0, 0.0]], false);
+        assert_eq!(z[0][0], 0.0);
+    }
+
+    #[test]
+    fn cosine_matrix_all_identical_and_zero_rows() {
+        let mut e = SentenceEmbedder::new(64);
+        let mut vectors: Vec<Vec<f64>> = (0..5)
+            .map(|_| e.embed("identical report about the summit"))
+            .collect();
+        vectors.push(vec![0.0; 64]); // zero vector rides along
+        let m = cosine_matrix(&vectors, false);
+        for i in 0..5 {
+            for k in 0..5 {
+                assert!((m[i][k] - 1.0).abs() < 1e-9, "({i},{k}) = {}", m[i][k]);
+            }
+            assert_eq!(m[i][5], 0.0);
+            assert_eq!(m[5][i], 0.0);
+        }
+        assert_eq!(m[5][5], 0.0);
+    }
+
+    #[test]
+    fn dense_cell_counter_tracks_cosine_matrix() {
+        let before = dense_cells_allocated();
+        let _ = cosine_matrix(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]], false);
+        assert!(dense_cells_allocated() >= before + 9);
     }
 }

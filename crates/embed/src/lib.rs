@@ -11,7 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod affinity;
+pub mod ann;
 pub mod embedding;
 
-pub use affinity::{affinity_propagation, AffinityPropagationConfig, ClusterResult};
-pub use embedding::{cosine_matrix, SentenceEmbedder};
+pub use affinity::{
+    affinity_propagation, affinity_propagation_sparse, cluster_by, cluster_by_sparse,
+    AffinityPropagationConfig, ClusterResult,
+};
+pub use ann::{AnnConfig, AnnIndex};
+pub use embedding::{cosine_matrix, dense_cells_allocated, SentenceEmbedder};

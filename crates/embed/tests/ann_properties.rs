@@ -1,0 +1,262 @@
+//! Property suite for the ANN index: recall vs the brute-force reference,
+//! date-filter correctness, exact re-ranking, and incremental-insert
+//! equivalence — all over randomized corpora via `quickprop`.
+//!
+//! The corpora are *clustered* (random unit topic directions plus noise),
+//! matching what hashed TF-IDF embeddings of news sentences look like: the
+//! true neighbors of a query concentrate in a few coarse cells, which is
+//! the regime IVF recall guarantees are about. Queries are corpus points
+//! (near-duplicate retrieval, the workload `autocompress` runs).
+
+use tl_embed::{AnnConfig, AnnIndex};
+use tl_support::quickprop::{check_with, gens, Config};
+use tl_support::rng::Rng;
+use tl_support::{qp_assert, qp_assert_eq};
+
+const DIM: usize = 64;
+
+/// Unit-norm random direction.
+fn unit(rng: &mut Rng, dim: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    v.iter_mut().for_each(|x| *x /= norm);
+    v
+}
+
+/// `n` dated vectors drawn from `topics` noisy clusters over `days` days.
+fn clustered_corpus(seed: u64, n: usize, topics: usize, days: i32) -> Vec<(u64, i32, Vec<f64>)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let dirs: Vec<Vec<f64>> = (0..topics).map(|_| unit(&mut rng, DIM)).collect();
+    (0..n)
+        .map(|i| {
+            let t = rng.bounded_u64(topics as u64) as usize;
+            let v: Vec<f64> = dirs[t]
+                .iter()
+                .map(|x| x + 0.25 * (rng.f64() - 0.5))
+                .collect();
+            let date = rng.bounded_u64(days as u64) as i32;
+            (i as u64, date, v)
+        })
+        .collect()
+}
+
+fn recall_at_k(index: &AnnIndex, query: &[f64], k: usize, range: Option<(i32, i32)>) -> f64 {
+    let exact = index.search_exact(query, k, range);
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let ann = index.search(query, k, range);
+    let hits = exact
+        .iter()
+        .filter(|(id, _)| ann.iter().any(|(a, _)| a == id))
+        .count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Case descriptor kept tiny so counterexample output stays readable; the
+/// corpus is rebuilt deterministically from it.
+fn corpus_gen() -> impl tl_support::quickprop::Gen<Value = (u64, usize, usize)> {
+    gens::from_fn(|rng: &mut Rng| {
+        let seed = rng.next_u64();
+        let n = 520 + rng.bounded_u64(500) as usize; // past default min_train
+        let topics = 8 + rng.bounded_u64(16) as usize;
+        (seed, n, topics)
+    })
+}
+
+fn heavy() -> Config {
+    // Each case builds a >512-vector index (trains the quantizer); keep the
+    // debug-mode runtime bounded. QUICKPROP_CASES still overrides.
+    Config {
+        cases: 6,
+        ..Config::default()
+    }
+}
+
+#[test]
+fn recall_at_10_meets_floor_at_default_config() {
+    check_with(
+        &heavy(),
+        "ann_recall_at_10",
+        corpus_gen(),
+        |&(seed, n, topics)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            let index = AnnIndex::build(DIM, AnnConfig::default(), items.clone());
+            qp_assert!(index.is_trained(), "n = {n} must train the quantizer");
+            let mut total = 0.0;
+            let queries: Vec<_> = items.iter().step_by(n / 25).collect();
+            for (_, _, q) in &queries {
+                total += recall_at_k(&index, q, 10, None);
+            }
+            let avg = total / queries.len() as f64;
+            qp_assert!(
+                avg >= 0.9,
+                "recall@10 = {avg:.3} < 0.9 (n = {n}, topics = {topics})"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn date_filtered_queries_return_only_in_range_ids() {
+    check_with(
+        &heavy(),
+        "ann_date_filter",
+        corpus_gen(),
+        |&(seed, n, topics)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            let index = AnnIndex::build(DIM, AnnConfig::default(), items.clone());
+            let mut rng = Rng::seed_from_u64(seed ^ 0xDA7E);
+            for probe in 0..8 {
+                let lo = rng.bounded_u64(60) as i32 - 2; // occasionally empty/overhanging
+                let hi = lo + rng.bounded_u64(30) as i32;
+                let (_, _, q) = &items[(probe * 97) % n];
+                for source in ["ann", "exact"] {
+                    let hits = if source == "ann" {
+                        index.search(q, 10, Some((lo, hi)))
+                    } else {
+                        index.search_exact(q, 10, Some((lo, hi)))
+                    };
+                    for (id, _) in hits {
+                        let date = items[id as usize].1;
+                        qp_assert!(
+                            date >= lo && date <= hi,
+                            "{source}: id {id} date {date} outside [{lo}, {hi}]"
+                        );
+                    }
+                }
+                let avg = recall_at_k(&index, q, 10, Some((lo, hi)));
+                qp_assert!(avg >= 0.9, "filtered recall@10 = {avg:.3} in [{lo}, {hi}]");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ann_scores_are_bitwise_exact() {
+    // The IVF path may miss candidates, but every candidate it returns must
+    // carry the same cosine the brute-force scan computes — exact re-rank.
+    check_with(
+        &heavy(),
+        "ann_exact_rerank",
+        corpus_gen(),
+        |&(seed, n, topics)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            let index = AnnIndex::build(DIM, AnnConfig::default(), items.clone());
+            let exact_all = |q: &[f64]| index.search_exact(q, n, None);
+            for (_, _, q) in items.iter().step_by(n / 10) {
+                let truth: std::collections::HashMap<u64, u64> = exact_all(q)
+                    .into_iter()
+                    .map(|(id, s)| (id, s.to_bits()))
+                    .collect();
+                for (id, s) in index.search(q, 10, None) {
+                    qp_assert_eq!(
+                        s.to_bits(),
+                        truth[&id],
+                        "score for id {id} differs from brute force"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn results_are_sorted_score_desc_id_asc() {
+    check_with(
+        &heavy(),
+        "ann_result_order",
+        corpus_gen(),
+        |&(seed, n, topics)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            let index = AnnIndex::build(DIM, AnnConfig::default(), items.clone());
+            for (_, _, q) in items.iter().step_by(n / 10) {
+                let hits = index.search(q, 25, None);
+                for w in hits.windows(2) {
+                    let ((id_a, s_a), (id_b, s_b)) = (w[0], w[1]);
+                    qp_assert!(
+                        s_a > s_b || (s_a == s_b && id_a < id_b),
+                        "unordered: ({id_a}, {s_a}) before ({id_b}, {s_b})"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn incremental_inserts_match_bulk_build_recall() {
+    check_with(
+        &heavy(),
+        "ann_incremental",
+        corpus_gen(),
+        |&(seed, n, topics)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            // Feed the index in four publish epochs instead of one build.
+            let mut index = AnnIndex::new(DIM, AnnConfig::default());
+            for chunk in items.chunks(n.div_ceil(4)) {
+                for (id, date, v) in chunk {
+                    index.insert(*id, *date, v);
+                }
+            }
+            qp_assert_eq!(index.len(), n);
+            qp_assert!(index.is_trained(), "incremental path must train too");
+            let mut total = 0.0;
+            let queries: Vec<_> = items.iter().step_by(n / 25).collect();
+            for (id, _, q) in &queries {
+                let hits = index.search(q, 10, None);
+                qp_assert!(
+                    hits.iter().any(|(h, s)| h == id && *s > 0.999),
+                    "inserted item {id} is not its own near-exact match"
+                );
+                total += recall_at_k(&index, q, 10, None);
+            }
+            let avg = total / queries.len() as f64;
+            qp_assert!(avg >= 0.9, "incremental recall@10 = {avg:.3} < 0.9");
+            Ok(())
+        },
+    );
+}
+
+/// Fixed-seed differential gate for CI: one pinned corpus, three invariants
+/// that must hold on every machine and every run —
+/// 1. bulk build and epoch-wise inserts are both searchable with high
+///    recall on the same pinned corpus,
+/// 2. probing every cell (`nprobe = nlist`) reproduces `search_exact`
+///    bit-for-bit, filtered and unfiltered,
+/// 3. two identical builds answer identically (full determinism).
+#[test]
+fn fixed_seed_differential() {
+    let items = clustered_corpus(0x57AB1E_5EED, 700, 12, 45);
+    let cfg = AnnConfig::default();
+    let bulk = AnnIndex::build(DIM, cfg.clone(), items.clone());
+    let again = AnnIndex::build(DIM, cfg.clone(), items.clone());
+    let full_probe = AnnIndex::build(
+        DIM,
+        AnnConfig {
+            nlist: Some(16),
+            nprobe: 16,
+            ..cfg.clone()
+        },
+        items.clone(),
+    );
+    for (i, (_, _, q)) in items.iter().step_by(37).enumerate() {
+        let hits = bulk.search(q, 10, None);
+        assert_eq!(hits, again.search(q, 10, None), "query {i}: nondeterminism");
+        assert_eq!(
+            full_probe.search(q, 10, None),
+            full_probe.search_exact(q, 10, None),
+            "query {i}: full probe must be exhaustive"
+        );
+        let range = Some((10, 30));
+        assert_eq!(
+            full_probe.search(q, 10, range),
+            full_probe.search_exact(q, 10, range),
+            "query {i}: full probe with date filter must be exhaustive"
+        );
+    }
+}

@@ -152,6 +152,32 @@ impl Analyzer {
         Some(out)
     }
 
+    /// Run the full analysis chain (tokenize → lowercase → stopword filter
+    /// → stem) but return the surviving term *strings* instead of interned
+    /// ids, touching neither the vocabulary nor the process-wide call
+    /// counter. This is the read-only path for consumers that key on term
+    /// text (e.g. feature-hashed embeddings): any number of threads can
+    /// call it on a shared `&Analyzer` with no lock.
+    pub fn analyze_terms(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for tok in spans(text) {
+            if self.options.drop_punctuation && !tok.text.chars().any(char::is_alphanumeric) {
+                continue;
+            }
+            let lower = tok.text.to_lowercase();
+            if self.options.remove_stopwords && is_stopword(&lower) {
+                continue;
+            }
+            let term = if self.options.stem {
+                porter_stem(&lower)
+            } else {
+                lower
+            };
+            out.push(term);
+        }
+        out
+    }
+
     /// Analyze without growing the vocabulary; unseen terms are dropped.
     /// Used when scoring queries against a frozen index.
     pub fn analyze_frozen(&self, text: &str) -> Vec<TermId> {
@@ -221,6 +247,22 @@ mod tests {
         let ids = a.analyze_frozen("nuclear missile");
         assert_eq!(ids.len(), 1); // "missile" unseen, dropped
         assert_eq!(a.vocab().len(), before);
+    }
+
+    #[test]
+    fn analyze_terms_matches_analyze() {
+        let mut a = Analyzer::new(AnalysisOptions::default());
+        let text = "The investigations are continuing near the border-crossing.";
+        let ids = a.analyze(text);
+        let terms = a.analyze_terms(text);
+        let resolved: Vec<&str> = ids.iter().map(|&id| a.vocab().term(id).unwrap()).collect();
+        assert_eq!(terms, resolved);
+        // Read-only: no vocabulary growth, no counter bump.
+        let before_len = a.vocab().len();
+        let before_calls = analyze_call_count();
+        let _ = a.analyze_terms("entirely novel wording zebra quark");
+        assert_eq!(a.vocab().len(), before_len);
+        assert_eq!(analyze_call_count(), before_calls);
     }
 
     #[test]

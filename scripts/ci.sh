@@ -98,6 +98,29 @@ TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=
     cargo test -q --offline --release -p tl-bench --test durability -- \
     --ignored --nocapture
 
+echo "== ANN index: recall + date-filter property gate =="
+# quickprop suite over randomized clustered corpora: recall@10 >= 0.9 at
+# the default AnnConfig, date-filtered queries return only in-range ids,
+# candidate scores bitwise-equal brute force (exact re-rank), and the
+# fixed-seed differential test (bulk == rebuilt, full probe == exact).
+cargo test -q --offline -p tl-embed --test ann_properties
+
+echo "== ANN consumers: 100k-sentence scale proof (release) =="
+# autocompress and sparse affinity propagation over a >=100k-sentence
+# synthetic corpus; a process-wide allocation counter proves no dense n^2
+# similarity matrix is ever materialized.
+cargo test -q --offline --release -p tl-wilson --test autocompress_scale -- \
+    --ignored --nocapture
+
+echo "== bench smoke: ANN scaling gate =="
+# Smallest ANN tier (~18k sentences): always asserts recall@10 >= 0.9; with
+# TL_BENCH_ENFORCE=1 fresh ann/brute query medians must stay within 2x of
+# the committed BENCH_scaling.json baselines and recall must not drop below
+# the committed floor.
+TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 \
+    cargo test -q --offline --release -p tl-bench --test ann -- \
+    --ignored bench_ann_smoke --nocapture
+
 echo "== incremental maintenance: differential proof gate =="
 # Incrementally refreshed timelines must stay bit-identical to from-scratch
 # rebuilds (exact mode) and within bounded divergence with forced fallbacks
