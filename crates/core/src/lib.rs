@@ -43,6 +43,7 @@ pub mod explain;
 pub mod incremental;
 pub mod postprocess;
 pub mod realtime;
+pub mod service;
 pub mod summarize;
 pub mod textrank;
 
@@ -54,7 +55,11 @@ pub use config::IncrementalConfig;
 pub use dategraph::IncrementalDateGraph;
 pub use explain::{explain_date_selection, DateExplanation};
 pub use incremental::{IncrementalStats, SentenceRow, TimelineSession};
-pub use realtime::{RealTimeSystem, TimelineQuery};
+pub use realtime::{RealTimeSystem, SearchAnswer, TimelineAnswer, TimelineQuery};
+pub use service::{
+    ErrorBody, IngestRequest, IngestResponse, SearchResponse, SearchResponseHit, ServiceConfig,
+    TimelineResponse, TimelineService,
+};
 pub use summarize::Wilson;
 pub use tl_ir::{DurabilityConfig, HealthReport};
 pub use tl_support::storage::{EngineError, RetryPolicy, StorageError};

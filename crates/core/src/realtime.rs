@@ -32,7 +32,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
 use tl_ir::{
-    DurableEngine, EngineSnapshot, EpochMemo, HealthReport, SearchQuery, ShardedSearchEngine,
+    DurableEngine, EngineSnapshot, EpochMemo, HealthReport, SearchHit, SearchQuery,
+    ShardedSearchEngine,
 };
 use tl_support::storage::{EngineError, FileStorage, Storage};
 use tl_temporal::Date;
@@ -54,6 +55,33 @@ pub struct TimelineQuery {
 
 /// Cache key: every query knob that affects the answer.
 type QueryKey = (String, (Date, Date), usize, usize, usize);
+
+/// A timeline answer plus its provenance: the epoch of the pinned snapshot
+/// it was computed from and whether any shard missed the query deadline
+/// (the service layer reports `partial` to clients and counts it as a
+/// degraded response).
+#[derive(Debug, Clone)]
+pub struct TimelineAnswer {
+    /// The generated timeline.
+    pub timeline: Timeline,
+    /// Published epoch of the snapshot the answer was computed from.
+    pub epoch: usize,
+    /// True when the fetch was deadline-degraded: the answer is built from
+    /// the shards that met the deadline and was not memoized.
+    pub partial: bool,
+}
+
+/// A raw search answer: ranked hits hydrated with sentence text, plus the
+/// same provenance as [`TimelineAnswer`].
+#[derive(Debug, Clone)]
+pub struct SearchAnswer {
+    /// Ranked hits with the stored sentence text for each.
+    pub hits: Vec<(SearchHit, String)>,
+    /// Published epoch of the snapshot the answer was computed from.
+    pub epoch: usize,
+    /// True when some shard missed the deadline and its hits are absent.
+    pub partial: bool,
+}
 
 /// One query's memoized state: the timeline answered at the stored epoch,
 /// plus the incremental session that produced it. The session is shared
@@ -273,11 +301,49 @@ impl RealTimeSystem {
         &self,
         query: &TimelineQuery,
     ) -> Result<(Timeline, usize), EngineError> {
+        self.timeline_outcome(query).map(|a| (a.timeline, a.epoch))
+    }
+
+    /// Answer a raw search query against the current snapshot: ranked hits
+    /// hydrated with sentence text, the snapshot's epoch, and whether the
+    /// answer is deadline-degraded. The `/search` endpoint is a thin JSON
+    /// wrapper over this.
+    pub fn search(&self, query: &SearchQuery) -> SearchAnswer {
+        let snapshot = self.engine.shared().snapshot();
+        let outcome = ShardedSearchEngine::search_at_outcome(&snapshot, query);
+        let hits = outcome
+            .hits
+            .into_iter()
+            // A hit missing from the immutable store would be an engine
+            // bug; degrade by omission rather than panic the worker.
+            .filter_map(|h| {
+                let text = snapshot.get(h.id)?.text.clone();
+                Some((h, text))
+            })
+            .collect();
+        SearchAnswer {
+            hits,
+            epoch: snapshot.epoch(),
+            partial: outcome.partial,
+        }
+    }
+
+    /// [`timeline`](Self::timeline), additionally reporting the answering
+    /// epoch and whether the answer is deadline-degraded (partial). The
+    /// service layer surfaces both to clients.
+    pub fn timeline_outcome(
+        &self,
+        query: &TimelineQuery,
+    ) -> Result<TimelineAnswer, EngineError> {
         let snapshot = self.engine.shared().snapshot();
         let epoch = snapshot.epoch();
         let key = Self::key_of(query);
         if let Some(value) = self.sessions.get_at(epoch, &key) {
-            return Ok((value.timeline, epoch));
+            return Ok(TimelineAnswer {
+                timeline: value.timeline,
+                epoch,
+                partial: false,
+            });
         }
         let query_tokens = snapshot.analyze_frozen(&query.keywords);
         let (t, n) = (query.num_dates, query.sents_per_date);
@@ -295,7 +361,11 @@ impl RealTimeSystem {
                     },
                 );
             }
-            return Ok((timeline, epoch));
+            return Ok(TimelineAnswer {
+                timeline,
+                epoch,
+                partial,
+            });
         }
         // Take the memoized session out of the memo (if any) so this query
         // advances it exclusively.
@@ -328,7 +398,11 @@ impl RealTimeSystem {
                             rows_complete: true,
                         },
                     );
-                    return Ok((timeline, epoch));
+                    return Ok(TimelineAnswer {
+                        timeline,
+                        epoch,
+                        partial: false,
+                    });
                 }
             }
         }
@@ -341,7 +415,11 @@ impl RealTimeSystem {
             if let Some((prev_epoch, value)) = taken {
                 self.sessions.store(prev_epoch, key, value);
             }
-            return Ok((self.rebuild(&rows, &query_tokens, t, n), epoch));
+            return Ok(TimelineAnswer {
+                timeline: self.rebuild(&rows, &query_tokens, t, n),
+                epoch,
+                partial: true,
+            });
         }
         let value = taken.map(|(_, value)| value).unwrap_or_default();
         let timeline = {
@@ -366,7 +444,11 @@ impl RealTimeSystem {
                 rows_complete: complete,
             },
         );
-        Ok((timeline, epoch))
+        Ok(TimelineAnswer {
+            timeline,
+            epoch,
+            partial: false,
+        })
     }
 
     /// Advance a memoized session from `prev_epoch` to this snapshot by

@@ -1,0 +1,813 @@
+//! The `tl-serve` service layer: WILSON over a socket.
+//!
+//! Exposes the [`RealTimeSystem`] through four endpoints on the hermetic
+//! [`tl_support::http`] server:
+//!
+//! * `POST /ingest` — a JSON [`IngestRequest`] batch of articles; publishes
+//!   one epoch for the whole batch.
+//! * `GET /search` — `?q=...&from=YYYY-MM-DD&to=YYYY-MM-DD&limit=N`; raw
+//!   ranked hits with sentence text ([`SearchResponse`]).
+//! * `GET /timeline` — `?q=...&from=...&to=...&num_dates=N&sents_per_date=K`
+//!   `&fetch_limit=M`; a WILSON timeline ([`TimelineResponse`]).
+//! * `GET /health` — engine [`HealthReport`] + per-endpoint counters and
+//!   latency quantiles + server admission-queue state.
+//!
+//! Degradation is threaded end to end: `/search` and `/timeline` run under
+//! the engine's existing shard deadline machinery, so a slow shard degrades
+//! the answer (`"partial": true`, counted per endpoint) instead of hanging
+//! a worker; overload sheds at admission with `429` + `Retry-After` before
+//! a request ever reaches this module. Engine errors map to stable HTTP
+//! statuses with typed JSON bodies ([`ErrorBody`]); there is deliberately
+//! no `unwrap`/panic on any handler path — a handler panic would burn a
+//! worker slot for that request (the server answers `500` and survives,
+//! but the error body is less precise).
+
+use crate::realtime::{RealTimeSystem, TimelineQuery};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+use tl_corpus::{Article, Timeline};
+use tl_ir::SearchQuery;
+use tl_support::histogram::LatencyHistogram;
+use tl_support::http::{Handler, MetricsHandle, Request, Response, Server, ServerConfig};
+use tl_support::json::{obj, FromJson, Json, JsonError, ToJson};
+use tl_support::storage::EngineError;
+use tl_temporal::Date;
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+/// Body of `POST /ingest`: a batch of articles, published as one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct IngestRequest {
+    /// Articles to ingest, in order.
+    pub articles: Vec<Article>,
+}
+
+impl ToJson for IngestRequest {
+    fn to_json(&self) -> Json {
+        obj(vec![("articles", self.articles.to_json())])
+    }
+}
+
+impl FromJson for IngestRequest {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            articles: Vec::<Article>::from_json(v.field("articles")?)?,
+        })
+    }
+}
+
+/// Body of a successful `POST /ingest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestResponse {
+    /// Articles ingested by this request.
+    pub ingested: usize,
+    /// Engine epoch after the batch published (= total visible sentences).
+    pub epoch: usize,
+}
+
+impl ToJson for IngestResponse {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("ingested", self.ingested.to_json()),
+            ("epoch", self.epoch.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IngestResponse {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            ingested: usize::from_json(v.field("ingested")?)?,
+            epoch: usize::from_json(v.field("epoch")?)?,
+        })
+    }
+}
+
+/// One hit in a [`SearchResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponseHit {
+    /// Stable engine sentence id.
+    pub id: u64,
+    /// BM25 relevance score.
+    pub score: f64,
+    /// The sentence's (mention or publication) date.
+    pub date: Date,
+    /// The stored sentence text.
+    pub text: String,
+}
+
+impl ToJson for SearchResponseHit {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", self.id.to_json()),
+            ("score", self.score.to_json()),
+            ("date", self.date.to_json()),
+            ("text", self.text.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SearchResponseHit {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            id: u64::from_json(v.field("id")?)?,
+            score: f64::from_json(v.field("score")?)?,
+            date: Date::from_json(v.field("date")?)?,
+            text: String::from_json(v.field("text")?)?,
+        })
+    }
+}
+
+/// Body of a successful `GET /search`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchResponse {
+    /// Ranked hits (BM25 descending).
+    pub hits: Vec<SearchResponseHit>,
+    /// Epoch of the snapshot answered from.
+    pub epoch: usize,
+    /// True when a shard missed the deadline and its hits are absent.
+    pub partial: bool,
+}
+
+impl ToJson for SearchResponse {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("hits", self.hits.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("partial", self.partial.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SearchResponse {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            hits: Vec::<SearchResponseHit>::from_json(v.field("hits")?)?,
+            epoch: usize::from_json(v.field("epoch")?)?,
+            partial: bool::from_json(v.field("partial")?)?,
+        })
+    }
+}
+
+/// Body of a successful `GET /timeline`.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineResponse {
+    /// The generated timeline.
+    pub timeline: Timeline,
+    /// Epoch of the snapshot answered from.
+    pub epoch: usize,
+    /// True when the answer is deadline-degraded (and was not memoized).
+    pub partial: bool,
+}
+
+impl PartialEq for TimelineResponse {
+    fn eq(&self, other: &Self) -> bool {
+        self.timeline.entries == other.timeline.entries
+            && self.epoch == other.epoch
+            && self.partial == other.partial
+    }
+}
+
+impl ToJson for TimelineResponse {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("timeline", self.timeline.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("partial", self.partial.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TimelineResponse {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            timeline: Timeline::from_json(v.field("timeline")?)?,
+            epoch: usize::from_json(v.field("epoch")?)?,
+            partial: bool::from_json(v.field("partial")?)?,
+        })
+    }
+}
+
+/// The typed error envelope every non-2xx response carries: a stable
+/// machine-readable `error` code plus human-readable `detail`. The same
+/// shape is produced by the HTTP layer itself for `400`/`429`/`500`
+/// ([`tl_support::http::error_body`]), so clients parse one envelope
+/// everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable error code: `bad_request`, `missing_param`, `bad_param`,
+    /// `not_found`, `method_not_allowed`, `overloaded`,
+    /// `storage_unavailable`, `corrupt_state`, `replay_failed`, `internal`.
+    pub error: String,
+    /// Human-readable detail (not stable; do not switch on it).
+    pub detail: String,
+}
+
+impl ToJson for ErrorBody {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("error", self.error.to_json()),
+            ("detail", self.detail.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ErrorBody {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            error: String::from_json(v.field("error")?)?,
+            detail: String::from_json(v.field("detail")?)?,
+        })
+    }
+}
+
+/// The stable HTTP status + error code for an [`EngineError`]: storage
+/// trouble is retryable (`503`), corrupt state and failed replay are not
+/// (`500`). Pinned by the error-path suite so clients can rely on it.
+pub fn engine_error_status(e: &EngineError) -> (u16, &'static str) {
+    match e {
+        EngineError::Storage(_) => (503, "storage_unavailable"),
+        EngineError::Corrupt { .. } => (500, "corrupt_state"),
+        EngineError::Replay { .. } => (500, "replay_failed"),
+    }
+}
+
+fn engine_error_response(e: &EngineError) -> Response {
+    let (status, code) = engine_error_status(e);
+    let body = ErrorBody {
+        error: code.to_string(),
+        detail: e.to_string(),
+    };
+    Response::json(status, &body.to_json())
+}
+
+fn error_response(status: u16, code: &str, detail: impl Into<String>) -> Response {
+    let body = ErrorBody {
+        error: code.to_string(),
+        detail: detail.into(),
+    };
+    Response::json(status, &body.to_json())
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Service-level knobs: the HTTP server config plus query-parameter
+/// defaults and caps (a socket client must not be able to ask the engine
+/// for an unbounded amount of work).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// HTTP server configuration (worker pool, admission queue depth,
+    /// shed `Retry-After`, read timeouts, parser limits).
+    pub server: ServerConfig,
+    /// `limit` for `/search` when the client omits it.
+    pub default_limit: usize,
+    /// Hard cap on `/search` `limit` and `/timeline` `fetch_limit`.
+    pub max_limit: usize,
+    /// `num_dates` for `/timeline` when omitted.
+    pub default_num_dates: usize,
+    /// `sents_per_date` for `/timeline` when omitted.
+    pub default_sents_per_date: usize,
+    /// `fetch_limit` for `/timeline` when omitted.
+    pub default_fetch_limit: usize,
+    /// Maximum articles per `POST /ingest` request.
+    pub max_ingest_articles: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            server: ServerConfig::default(),
+            default_limit: 20,
+            max_limit: 5_000,
+            default_num_dates: 10,
+            default_sents_per_date: 2,
+            default_fetch_limit: 1_000,
+            max_ingest_articles: 10_000,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder-style server-config override.
+    pub fn with_server(mut self, server: ServerConfig) -> Self {
+        self.server = server;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-endpoint metrics
+// ---------------------------------------------------------------------------
+
+/// Counters + latency histogram for one endpoint. Incremented at request
+/// *completion* (after the response is built), so a `/health` request
+/// reports every request that finished strictly before it and never counts
+/// itself — which keeps scripted request sequences byte-deterministic for
+/// the golden wire fixtures.
+#[derive(Debug, Default)]
+struct EndpointStats {
+    completed: AtomicU64,
+    errors: AtomicU64,
+    degraded: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl EndpointStats {
+    fn to_json(&self) -> Json {
+        let quantile = |q: f64| Json::Num(self.latency.quantile_secs(q));
+        obj(vec![
+            ("completed", self.completed.load(Ordering::Relaxed).to_json()),
+            ("errors", self.errors.load(Ordering::Relaxed).to_json()),
+            ("degraded", self.degraded.load(Ordering::Relaxed).to_json()),
+            ("p50_s", quantile(0.50)),
+            ("p99_s", quantile(0.99)),
+            ("p999_s", quantile(0.999)),
+            ("mean_s", Json::Num(self.latency.mean_secs())),
+        ])
+    }
+}
+
+/// A per-endpoint snapshot of completed/error/degraded counts, read by the
+/// overload suite without parsing `/health` JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointCounts {
+    /// Requests answered 2xx.
+    pub completed: u64,
+    /// Requests answered 4xx/5xx by this endpoint's handler.
+    pub errors: u64,
+    /// 2xx answers that were deadline-degraded (`"partial": true`).
+    pub degraded: u64,
+}
+
+impl EndpointStats {
+    fn counts(&self) -> EndpointCounts {
+        EndpointCounts {
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A handler's verdict on one request, before metrics bookkeeping.
+struct Handled {
+    response: Response,
+    degraded: bool,
+}
+
+impl Handled {
+    fn ok(response: Response) -> Self {
+        Self {
+            response,
+            degraded: false,
+        }
+    }
+}
+
+/// The WILSON timeline service: owns the [`RealTimeSystem`] and implements
+/// the [`Handler`] contract for the hermetic HTTP server. Share it via
+/// `Arc` and call [`serve`](Self::serve) to bind a socket; everything is
+/// `&self` and thread-safe, so tests may also drive [`Handler::handle`]
+/// directly without a socket.
+pub struct TimelineService {
+    system: RealTimeSystem,
+    config: ServiceConfig,
+    ingest: EndpointStats,
+    search: EndpointStats,
+    timeline: EndpointStats,
+    health: EndpointStats,
+    server: Mutex<Option<MetricsHandle>>,
+}
+
+impl TimelineService {
+    /// Wrap an existing system (possibly pre-loaded or durable).
+    pub fn new(system: RealTimeSystem, config: ServiceConfig) -> Self {
+        Self {
+            system,
+            config,
+            ingest: EndpointStats::default(),
+            search: EndpointStats::default(),
+            timeline: EndpointStats::default(),
+            health: EndpointStats::default(),
+            server: Mutex::new(None),
+        }
+    }
+
+    /// The wrapped system (tests pre-ingest fixtures through this).
+    pub fn system(&self) -> &RealTimeSystem {
+        &self.system
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Per-endpoint completed/error/degraded counts, keyed
+    /// `(ingest, search, timeline, health)`.
+    pub fn endpoint_counts(&self) -> [EndpointCounts; 4] {
+        [
+            self.ingest.counts(),
+            self.search.counts(),
+            self.timeline.counts(),
+            self.health.counts(),
+        ]
+    }
+
+    /// Bind `addr` and serve this service on the configured worker pool.
+    /// The returned [`Server`] owns the sockets and threads; the service
+    /// keeps a metrics handle so `/health` reports admission-queue state.
+    pub fn serve(
+        self: &Arc<Self>,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        let server = Server::bind(
+            addr,
+            self.config.server.clone(),
+            Arc::clone(self) as Arc<dyn Handler>,
+        )?;
+        *self
+            .server
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(server.metrics_handle());
+        Ok(server)
+    }
+
+    fn handle_ingest(&self, req: &Request) -> Handled {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => {
+                return Handled::ok(error_response(
+                    400,
+                    "bad_request",
+                    "request body is not UTF-8",
+                ))
+            }
+        };
+        let parsed = Json::parse(text).and_then(|v| IngestRequest::from_json(&v));
+        let request = match parsed {
+            Ok(r) => r,
+            Err(e) => return Handled::ok(error_response(400, "bad_request", e.to_string())),
+        };
+        if request.articles.len() > self.config.max_ingest_articles {
+            return Handled::ok(error_response(
+                400,
+                "bad_param",
+                format!(
+                    "batch of {} exceeds max_ingest_articles {}",
+                    request.articles.len(),
+                    self.config.max_ingest_articles
+                ),
+            ));
+        }
+        match self.system.ingest_all(&request.articles) {
+            Ok(()) => Handled::ok(Response::json(
+                200,
+                &IngestResponse {
+                    ingested: request.articles.len(),
+                    epoch: self.system.epoch(),
+                }
+                .to_json(),
+            )),
+            Err(e) => Handled::ok(engine_error_response(&e)),
+        }
+    }
+
+    fn handle_search(&self, req: &Request) -> Handled {
+        let keywords = match require_param(req, "q") {
+            Ok(q) => q.to_string(),
+            Err(r) => return Handled::ok(r),
+        };
+        let range = match optional_window(req) {
+            Ok(w) => w,
+            Err(r) => return Handled::ok(r),
+        };
+        let limit = match bounded_usize_param(req, "limit", self.config.default_limit, self.config.max_limit)
+        {
+            Ok(l) => l,
+            Err(r) => return Handled::ok(r),
+        };
+        let answer = self.system.search(&SearchQuery {
+            keywords,
+            range,
+            limit,
+        });
+        let body = SearchResponse {
+            hits: answer
+                .hits
+                .into_iter()
+                .map(|(h, text)| SearchResponseHit {
+                    id: h.id as u64,
+                    score: h.score,
+                    date: h.date,
+                    text,
+                })
+                .collect(),
+            epoch: answer.epoch,
+            partial: answer.partial,
+        };
+        Handled {
+            response: Response::json(200, &body.to_json()),
+            degraded: body.partial,
+        }
+    }
+
+    fn handle_timeline(&self, req: &Request) -> Handled {
+        let keywords = match require_param(req, "q") {
+            Ok(q) => q.to_string(),
+            Err(r) => return Handled::ok(r),
+        };
+        let window = match optional_window(req) {
+            Ok(Some(w)) => w,
+            Ok(None) => {
+                return Handled::ok(error_response(
+                    400,
+                    "missing_param",
+                    "timeline requires 'from' and 'to' dates",
+                ))
+            }
+            Err(r) => return Handled::ok(r),
+        };
+        let cfg = &self.config;
+        let query = TimelineQuery {
+            keywords,
+            window,
+            num_dates: match bounded_usize_param(req, "num_dates", cfg.default_num_dates, cfg.max_limit) {
+                Ok(v) => v,
+                Err(r) => return Handled::ok(r),
+            },
+            sents_per_date: match bounded_usize_param(
+                req,
+                "sents_per_date",
+                cfg.default_sents_per_date,
+                cfg.max_limit,
+            ) {
+                Ok(v) => v,
+                Err(r) => return Handled::ok(r),
+            },
+            fetch_limit: match bounded_usize_param(
+                req,
+                "fetch_limit",
+                cfg.default_fetch_limit,
+                cfg.max_limit,
+            ) {
+                Ok(v) => v,
+                Err(r) => return Handled::ok(r),
+            },
+        };
+        match self.system.timeline_outcome(&query) {
+            Ok(answer) => {
+                let body = TimelineResponse {
+                    timeline: answer.timeline,
+                    epoch: answer.epoch,
+                    partial: answer.partial,
+                };
+                Handled {
+                    response: Response::json(200, &body.to_json()),
+                    degraded: body.partial,
+                }
+            }
+            Err(e) => Handled::ok(engine_error_response(&e)),
+        }
+    }
+
+    fn handle_health(&self) -> Handled {
+        let server = self
+            .server
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|h| {
+                let m = h.snapshot();
+                obj(vec![
+                    ("accepted", m.accepted.to_json()),
+                    ("shed", m.shed.to_json()),
+                    ("completed", m.completed.to_json()),
+                    ("requests", m.requests.to_json()),
+                    ("parse_errors", m.parse_errors.to_json()),
+                    ("queued", m.queued.to_json()),
+                    ("in_flight", m.in_flight.to_json()),
+                ])
+            })
+            .unwrap_or(Json::Null);
+        let body = obj(vec![
+            ("engine", self.system.health().to_json()),
+            (
+                "endpoints",
+                obj(vec![
+                    ("ingest", self.ingest.to_json()),
+                    ("search", self.search.to_json()),
+                    ("timeline", self.timeline.to_json()),
+                    ("health", self.health.to_json()),
+                ]),
+            ),
+            ("server", server),
+        ]);
+        Handled::ok(Response::json(200, &body))
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        let (stats, handled) = match (req.path.as_str(), req.method.as_str()) {
+            ("/ingest", "POST") => (&self.ingest, self.handle_ingest(req)),
+            ("/search", "GET") => (&self.search, self.handle_search(req)),
+            ("/timeline", "GET") => (&self.timeline, self.handle_timeline(req)),
+            ("/health", "GET") => (&self.health, self.handle_health()),
+            ("/ingest", m) => return method_not_allowed(m, "POST"),
+            ("/search" | "/timeline" | "/health", m) => return method_not_allowed(m, "GET"),
+            (path, _) => {
+                return error_response(404, "not_found", format!("no such endpoint '{path}'"))
+            }
+        };
+        if handled.response.status < 400 {
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if handled.degraded {
+            stats.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.latency.record(start.elapsed());
+        handled.response
+    }
+}
+
+impl Handler for TimelineService {
+    fn handle(&self, req: &Request) -> Response {
+        self.route(req)
+    }
+}
+
+fn method_not_allowed(method: &str, allow: &str) -> Response {
+    error_response(
+        405,
+        "method_not_allowed",
+        format!("method {method} not allowed here"),
+    )
+    .with_header("allow", allow)
+}
+
+fn require_param<'r>(req: &'r Request, name: &str) -> Result<&'r str, Response> {
+    match req.param(name) {
+        Some(v) if !v.is_empty() => Ok(v),
+        _ => Err(error_response(
+            400,
+            "missing_param",
+            format!("required query parameter '{name}' is missing"),
+        )),
+    }
+}
+
+/// Parse `from`/`to` as a date window: both present → `Some`, both absent
+/// → `None`, one present or unparseable or inverted → `400`.
+fn optional_window(req: &Request) -> Result<Option<(Date, Date)>, Response> {
+    let parse = |name: &str| -> Result<Option<Date>, Response> {
+        match req.param(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<Date>().map(Some).map_err(|_| {
+                error_response(
+                    400,
+                    "bad_param",
+                    format!("'{name}' is not a YYYY-MM-DD date: '{raw}'"),
+                )
+            }),
+        }
+    };
+    match (parse("from")?, parse("to")?) {
+        (Some(from), Some(to)) if from <= to => Ok(Some((from, to))),
+        (Some(_), Some(_)) => Err(error_response(
+            400,
+            "bad_param",
+            "'from' must not be after 'to'",
+        )),
+        (None, None) => Ok(None),
+        _ => Err(error_response(
+            400,
+            "missing_param",
+            "'from' and 'to' must be given together",
+        )),
+    }
+}
+
+fn bounded_usize_param(
+    req: &Request,
+    name: &str,
+    default: usize,
+    max: usize,
+) -> Result<usize, Response> {
+    match req.param(name) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) if v >= 1 && v <= max => Ok(v),
+            Ok(v) => Err(error_response(
+                400,
+                "bad_param",
+                format!("'{name}'={v} outside [1, {max}]"),
+            )),
+            Err(_) => Err(error_response(
+                400,
+                "bad_param",
+                format!("'{name}' is not a positive integer: '{raw}'"),
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WilsonConfig;
+
+    fn service() -> Arc<TimelineService> {
+        Arc::new(TimelineService::new(
+            RealTimeSystem::new(WilsonConfig::default()),
+            ServiceConfig::default(),
+        ))
+    }
+
+    fn get(path_query: &str) -> Request {
+        let (path, q) = path_query.split_once('?').unwrap_or((path_query, ""));
+        let query = q
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                let (k, v) = p.split_once('=').unwrap_or((p, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query,
+            headers: Vec::new(),
+            http11: true,
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unknown_path_is_404_wrong_method_is_405() {
+        let svc = service();
+        assert_eq!(svc.route(&get("/nope")).status, 404);
+        let mut post = get("/search?q=x");
+        post.method = "POST".into();
+        let resp = svc.route(&post);
+        assert_eq!(resp.status, 405);
+        assert!(resp.headers.iter().any(|(k, v)| k == "allow" && v == "GET"));
+    }
+
+    #[test]
+    fn search_requires_q_and_validates_params() {
+        let svc = service();
+        assert_eq!(svc.route(&get("/search")).status, 400);
+        assert_eq!(svc.route(&get("/search?q=")).status, 400);
+        assert_eq!(svc.route(&get("/search?q=x&from=2020-01-01")).status, 400);
+        assert_eq!(svc.route(&get("/search?q=x&limit=0")).status, 400);
+        assert_eq!(svc.route(&get("/search?q=x&limit=abc")).status, 400);
+        assert_eq!(
+            svc.route(&get("/search?q=x&from=2020-02-01&to=2020-01-01"))
+                .status,
+            400
+        );
+        assert_eq!(svc.route(&get("/search?q=x")).status, 200);
+    }
+
+    #[test]
+    fn error_counters_and_success_counters_split() {
+        let svc = service();
+        let _ = svc.route(&get("/search?q=x"));
+        let _ = svc.route(&get("/search"));
+        let [_, search, ..] = svc.endpoint_counts();
+        assert_eq!(search.completed, 1);
+        assert_eq!(search.errors, 1);
+        assert_eq!(search.degraded, 0);
+    }
+
+    #[test]
+    fn health_reports_endpoints_and_engine() {
+        let svc = service();
+        let resp = svc.route(&get("/health"));
+        assert_eq!(resp.status, 200);
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(body.get("engine").is_some());
+        assert!(body.get("endpoints").and_then(|e| e.get("search")).is_some());
+        // Never served over a socket: server block is null.
+        assert_eq!(body.get("server"), Some(&Json::Null));
+        // The health request did not count itself.
+        let health_completed = body
+            .get("endpoints")
+            .and_then(|e| e.get("health"))
+            .and_then(|h| h.get("completed"))
+            .and_then(Json::as_f64);
+        assert_eq!(health_completed, Some(0.0));
+    }
+}

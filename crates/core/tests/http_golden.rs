@@ -1,0 +1,248 @@
+//! Golden wire fixtures for the service layer (ISSUE 8 satellite).
+//!
+//! Each fixture in `tests/golden/http/` pins one complete HTTP exchange —
+//! the exact request bytes a client sends and the exact response bytes the
+//! server returns, status line, headers, and JSON body byte-for-byte. Any
+//! drift in header emission, status mapping, JSON field order, or engine
+//! output shows up as a readable diff. Re-bless intentional changes with:
+//!
+//! ```text
+//! TL_UPDATE_GOLDEN=1 cargo test --test http_golden
+//! ```
+//!
+//! Determinism notes: every exchange runs against a *fresh* service (same
+//! pre-ingested tiny corpus), because `/health` embeds endpoint latency
+//! histograms and server gauges that are only byte-stable when no prior
+//! socket traffic exists. Responses carry no `Date`/`Server` headers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tl_corpus::{generate, SynthConfig};
+use tl_support::http::{percent_encode, Request, Response, Server, ServerConfig};
+use tl_wilson::{RealTimeSystem, ServiceConfig, TimelineService, WilsonConfig};
+
+const SEPARATOR: &str = "\n--- response ---\n";
+
+fn golden_dir() -> std::path::PathBuf {
+    // This test lives in crates/core; fixtures sit at the repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/http")
+}
+
+/// Compare (or re-bless) one `request → response` transcript.
+fn check_exchange(name: &str, request: &[u8], response: &[u8]) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    let mut transcript = Vec::new();
+    transcript.extend_from_slice(request);
+    transcript.extend_from_slice(SEPARATOR.as_bytes());
+    transcript.extend_from_slice(response);
+    if std::env::var("TL_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &transcript).unwrap();
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             TL_UPDATE_GOLDEN=1 cargo test --test http_golden",
+            path.display()
+        )
+    });
+    assert!(
+        expected == transcript,
+        "{name}: wire exchange diverges from {}\n--- expected ---\n{}\n--- actual ---\n{}\n\
+         If this change is intentional, re-bless with:\n  \
+         TL_UPDATE_GOLDEN=1 cargo test --test http_golden",
+        path.display(),
+        String::from_utf8_lossy(&expected),
+        String::from_utf8_lossy(&transcript),
+    );
+}
+
+/// A fresh service over the tiny synthetic corpus (topic 0), served on an
+/// ephemeral port. Fresh per exchange so counters and histograms are
+/// byte-stable.
+fn fresh_service() -> (Arc<TimelineService>, Server, String) {
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let service = Arc::new(TimelineService::new(
+        RealTimeSystem::new(WilsonConfig::default()),
+        ServiceConfig::default(),
+    ));
+    service.system().ingest_all(&topic.articles).unwrap();
+    let server = service.serve("127.0.0.1:0").unwrap();
+    (service, server, topic.query.clone())
+}
+
+/// Send exactly `request` on a new connection and read the response to EOF
+/// (all golden requests carry `connection: close`).
+fn exchange(server: &Server, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    response
+}
+
+fn get_request(target: &str) -> Vec<u8> {
+    format!("GET {target} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n").into_bytes()
+}
+
+fn post_request(target: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {target} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[test]
+fn golden_wire_exchanges_match_fixtures() {
+    // One (request, response) transcript per endpoint and error class.
+    // Built fresh per exchange; executed in one test so fixture coverage
+    // can't silently drift apart.
+    let cfg = SynthConfig::tiny();
+    let from = cfg.start_date;
+    let to = cfg.start_date.plus_days(cfg.duration_days as i32);
+
+    // -- /health on an untouched service: engine report + zeroed stats.
+    let (_svc, server, query) = fresh_service();
+    let req = get_request("/health");
+    let resp = exchange(&server, &req);
+    check_exchange("health", &req, &resp);
+    server.shutdown();
+
+    // -- /search: ranked hits with hydrated text.
+    let q = percent_encode(&query);
+    let (_svc, server, _) = fresh_service();
+    let req = get_request(&format!("/search?q={q}&limit=5"));
+    let resp = exchange(&server, &req);
+    check_exchange("search", &req, &resp);
+    server.shutdown();
+
+    // -- /timeline: windowed summary.
+    let (_svc, server, _) = fresh_service();
+    let req = get_request(&format!(
+        "/timeline?q={q}&from={from}&to={to}&num_dates=5&sents_per_date=2"
+    ));
+    let resp = exchange(&server, &req);
+    check_exchange("timeline", &req, &resp);
+    server.shutdown();
+
+    // -- /ingest: one article, epoch bumps past the pre-ingested corpus.
+    let (_svc, server, _) = fresh_service();
+    // Build the body via the typed API so the fixture tracks the real
+    // serialization (wire dates are epoch-day numbers).
+    let article = tl_corpus::Article {
+        id: 9999,
+        pub_date: "2018-01-10".parse().unwrap(),
+        sentences: vec!["A fresh report on the developing story.".into()],
+    };
+    let wire_body = tl_support::ToJson::to_json(&tl_wilson::IngestRequest {
+        articles: vec![article],
+    })
+    .to_string_compact();
+    let req = post_request("/ingest", &wire_body);
+    let resp = exchange(&server, &req);
+    check_exchange("ingest", &req, &resp);
+    server.shutdown();
+
+    // -- 400: malformed JSON body.
+    let (_svc, server, _) = fresh_service();
+    let req = post_request("/ingest", "{not json");
+    let resp = exchange(&server, &req);
+    check_exchange("error_400_bad_json", &req, &resp);
+    server.shutdown();
+
+    // -- 400: missing required parameter.
+    let (_svc, server, _) = fresh_service();
+    let req = get_request("/search");
+    let resp = exchange(&server, &req);
+    check_exchange("error_400_missing_param", &req, &resp);
+    server.shutdown();
+
+    // -- 404: unknown route.
+    let (_svc, server, _) = fresh_service();
+    let req = get_request("/nope");
+    let resp = exchange(&server, &req);
+    check_exchange("error_404", &req, &resp);
+    server.shutdown();
+
+    // -- 405: wrong method, advertises `allow`.
+    let (_svc, server, _) = fresh_service();
+    let req =
+        b"PUT /ingest HTTP/1.1\r\nhost: localhost\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+            .to_vec();
+    let resp = exchange(&server, &req);
+    check_exchange("error_405", &req, &resp);
+    server.shutdown();
+}
+
+#[test]
+fn golden_shed_429_matches_fixture() {
+    // The admission-shed response comes from the accept thread, not a
+    // handler; reproduce it with a gated plain server (worker and queue
+    // both full), exactly like the overload suite.
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let handler = {
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_: &Request| {
+            let (lock, cv) = &*gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            Response::empty(204)
+        })
+    };
+    let config = ServerConfig::default().with_workers(1).with_queue_depth(1);
+    let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+
+    // Occupy the only worker; release the gate even on panic so
+    // `Server::drop` can join its workers.
+    struct ReleaseOnDrop(Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>);
+    impl Drop for ReleaseOnDrop {
+        fn drop(&mut self) {
+            let (lock, cv) = &*self.0;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+    }
+    let _guard = ReleaseOnDrop(Arc::clone(&gate));
+
+    let wait_for = |what: &str, cond: &dyn Fn() -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    let mut parked = TcpStream::connect(server.addr()).unwrap();
+    parked
+        .write_all(b"GET /work HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    wait_for("worker to become busy", &|| server.metrics().in_flight == 1);
+    let mut queued = TcpStream::connect(server.addr()).unwrap();
+    queued
+        .write_all(b"GET /work HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    wait_for("admission queue to fill", &|| server.metrics().queued == 1);
+
+    let req = get_request("/health");
+    let resp = exchange(&server, &req);
+    check_exchange("error_429_shed", &req, &resp);
+
+    // Unpark the worker before shutdown (joining it would hang otherwise),
+    // and drain the two admitted connections.
+    drop(_guard);
+    for stream in [&mut parked, &mut queued] {
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).unwrap();
+    }
+    server.shutdown();
+}

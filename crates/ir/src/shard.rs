@@ -158,6 +158,40 @@ pub struct HealthReport {
     pub snapshots_written: u64,
 }
 
+impl tl_support::ToJson for HealthReport {
+    fn to_json(&self) -> tl_support::Json {
+        tl_support::json::obj(vec![
+            ("epoch", self.epoch.to_json()),
+            ("num_shards", self.num_shards.to_json()),
+            ("degraded_queries", self.degraded_queries.to_json()),
+            ("shard_timeouts", self.shard_timeouts.to_json()),
+            ("wal_replayed", self.wal_replayed.to_json()),
+            ("recoveries", self.recoveries.to_json()),
+            ("last_recovery_epoch", self.last_recovery_epoch.to_json()),
+            ("truncated_tails", self.truncated_tails.to_json()),
+            ("retries", self.retries.to_json()),
+            ("snapshots_written", self.snapshots_written.to_json()),
+        ])
+    }
+}
+
+impl tl_support::FromJson for HealthReport {
+    fn from_json(v: &tl_support::Json) -> Result<Self, tl_support::JsonError> {
+        Ok(Self {
+            epoch: usize::from_json(v.field("epoch")?)?,
+            num_shards: usize::from_json(v.field("num_shards")?)?,
+            degraded_queries: u64::from_json(v.field("degraded_queries")?)?,
+            shard_timeouts: Vec::<u64>::from_json(v.field("shard_timeouts")?)?,
+            wal_replayed: u64::from_json(v.field("wal_replayed")?)?,
+            recoveries: u64::from_json(v.field("recoveries")?)?,
+            last_recovery_epoch: u64::from_json(v.field("last_recovery_epoch")?)?,
+            truncated_tails: u64::from_json(v.field("truncated_tails")?)?,
+            retries: u64::from_json(v.field("retries")?)?,
+            snapshots_written: u64::from_json(v.field("snapshots_written")?)?,
+        })
+    }
+}
+
 /// Documents per sealed segment. Small enough that cloning one in-progress
 /// tail per shard at publish time is cheap (publish cost is O(tail), not
 /// O(corpus)); large enough that a 100k-sentence shard stays under a few

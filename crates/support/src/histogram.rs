@@ -1,0 +1,233 @@
+//! A fixed-bucket latency histogram with lock-free recording.
+//!
+//! The service layer records one sample per request from many worker
+//! threads; `/health` reads quantiles concurrently. Buckets are powers of
+//! two in microseconds, so recording is a leading-zeros instruction plus a
+//! relaxed atomic increment — no locks, no allocation, no floating point on
+//! the hot path. Quantiles are read as the *upper bound* of the bucket
+//! containing the requested rank, so a reported quantile is always an upper
+//! bound on the true sample quantile and never more than 2x above it (the
+//! bucket-width guarantee the property test pins).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i < BUCKETS - 1` covers
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also absorbs sub-microsecond
+/// samples); the last bucket absorbs everything from `2^(BUCKETS-2)` µs
+/// (~9.3 hours) upward.
+const BUCKETS: usize = 46;
+
+/// A concurrent fixed-bucket histogram of durations.
+///
+/// All methods take `&self`; recording uses relaxed atomics (counters, not
+/// synchronization), so totals observed while writers are active may lag by
+/// in-flight increments but never tear.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    /// Sum of recorded microseconds (saturating), for mean latency.
+    total_micros: AtomicU64,
+}
+
+/// Bucket index for a sample of `micros` microseconds.
+fn bucket_of(micros: u64) -> usize {
+    // ilog2(0|1) -> 0; anything past the last finite bucket saturates.
+    let i = (64 - micros.max(1).leading_zeros()) as usize - 1;
+    i.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, in seconds.
+fn upper_bound_secs(i: usize) -> f64 {
+    // Bucket i covers [2^i, 2^(i+1)) µs; report the exclusive top as the
+    // bound. The overflow bucket has no finite top; report its floor.
+    if i + 1 >= BUCKETS {
+        2f64.powi(i as i32) * 1e-6
+    } else {
+        2f64.powi(i as i32 + 1) * 1e-6
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            counts: [ZERO; BUCKETS],
+            total_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one sample given directly in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.counts[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean recorded latency in seconds (0.0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_micros.load(Ordering::Relaxed) as f64 * 1e-6 / n as f64
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as an upper bound in seconds:
+    /// the top of the bucket holding the sample of rank `ceil(q * count)`.
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        // Rank of the requested quantile, 1-based, clamped to [1, n].
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_bound_secs(i);
+            }
+        }
+        upper_bound_secs(BUCKETS - 1)
+    }
+
+    /// Snapshot of the non-empty buckets as `(upper_bound_secs, count)`
+    /// pairs, in ascending bound order.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (upper_bound_secs(i), n))
+            })
+            .collect()
+    }
+
+    /// Reset every bucket to zero (tests and drain-to-steady-state checks).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total_micros.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_secs(0.5), 0.0);
+        assert_eq!(h.mean_secs(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_sample() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 30, 40, 1000, 2000, 100_000] {
+            h.record_micros(micros);
+        }
+        assert_eq!(h.count(), 7);
+        // p50 sample is 40µs -> bucket [32,64) -> bound 64µs.
+        assert_eq!(h.quantile_secs(0.5), 64e-6);
+        // p100 sample is 100_000µs -> bucket [65536,131072) -> 131072µs.
+        assert_eq!(h.quantile_secs(1.0), 131072e-6);
+        assert!(h.mean_secs() > 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(5));
+        assert_eq!(h.count(), 1);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_secs(0.99), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    /// The doc-comment guarantee: for any sample set, the reported quantile
+    /// is >= the true sample quantile and < 2x it (for samples >= 1µs below
+    /// the overflow bucket).
+    #[test]
+    fn prop_quantile_within_bucket_factor() {
+        use crate::quickprop::{check, gens};
+        check(
+            "prop_quantile_within_bucket_factor",
+            gens::vecs(gens::u64s(1..1_000_000_000), 1..200),
+            |samples| {
+                let h = LatencyHistogram::new();
+                for &s in samples {
+                    h.record_micros(s);
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                    let truth = sorted[rank - 1] as f64 * 1e-6;
+                    let got = h.quantile_secs(q);
+                    crate::qp_assert!(
+                        got >= truth,
+                        "q={q}: reported {got} below true quantile {truth}"
+                    );
+                    crate::qp_assert!(
+                        got <= truth * 2.0,
+                        "q={q}: reported {got} more than 2x true quantile {truth}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,1223 @@
+//! A hermetic HTTP/1.1 server: `TcpListener` + fixed worker thread pool,
+//! keep-alive, `Content-Length` bodies, and a bounded admission queue —
+//! no external crates, per the workspace's hermetic policy.
+//!
+//! Scope (deliberately narrow — this is a service front end, not a general
+//! web server):
+//!
+//! * **HTTP/1.0 and 1.1 only**, `Content-Length`-delimited bodies.
+//!   `Transfer-Encoding` is rejected with `400` rather than implemented —
+//!   every in-tree client sends sized bodies.
+//! * **Parse-or-reject** — any malformed request yields a `400` response
+//!   and a closed connection; the parser never panics on arbitrary bytes
+//!   and never reads past its configured limits, so a hostile peer cannot
+//!   hang a worker or balloon memory (`tests/http_properties.rs` fuzzes
+//!   this with a seeded 10k-case corpus).
+//! * **Bounded admission** — the accept loop sheds connections beyond a
+//!   configurable queue depth with `429 Too Many Requests` +
+//!   `Retry-After` instead of letting latency collapse; shed/accepted
+//!   counters are exposed for `/health` and the overload suite.
+//! * **Deterministic bytes** — responses carry no `Date` or `Server`
+//!   header, so a scripted request sequence produces byte-identical
+//!   transcripts (the golden wire fixtures pin this).
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+
+// ---------------------------------------------------------------------------
+// Request / response model
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path component of the request target (`/search`).
+    pub path: String,
+    /// Decoded `key=value` query parameters in wire order.
+    pub query: Vec<(String, String)>,
+    /// Headers in wire order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+    /// `Connection:` header wins either way.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+            Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `429`, ...).
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are written by the
+    /// server; don't set them here).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    pub fn empty(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: vec![("content-type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response with a compact body.
+    pub fn json(status: u16, value: &Json) -> Self {
+        Self {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: value.to_string_compact().into_bytes(),
+        }
+    }
+
+    /// Builder-style extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status (a stable, small subset).
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize status line + headers + body to wire bytes. The server
+    /// appends `content-length` always and `connection: close` when it is
+    /// about to close; header names are written as stored (lowercase).
+    fn write_wire(&self, out: &mut Vec<u8>, close: bool) {
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, Self::reason(self.status)).as_bytes(),
+        );
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        if close {
+            out.extend_from_slice(b"connection: close\r\n");
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+    }
+}
+
+/// A typed JSON error body: `{"error": <stable code>, "detail": <human>}`.
+/// Every non-2xx response the server itself produces uses this shape, so
+/// clients can switch on `error` without parsing prose.
+pub fn error_body(code: &str, detail: &str) -> Json {
+    obj(vec![
+        ("error", Json::Str(code.to_string())),
+        ("detail", Json::Str(detail.to_string())),
+    ])
+}
+
+/// The `429` + `Retry-After` response the admission queue sheds with.
+pub fn shed_response(retry_after_secs: u64) -> Response {
+    Response::json(
+        429,
+        &error_body("overloaded", "admission queue full; retry after the indicated delay"),
+    )
+    .with_header("retry-after", retry_after_secs.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Why a request could not be parsed. All variants are answered with `400`
+/// (the protocol suite pins this): the distinction is for diagnostics, not
+/// for status mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The byte stream violated HTTP/1.1 framing (bad request line, header,
+    /// version, or `Content-Length`).
+    Malformed(String),
+    /// Headers or body exceeded the configured limits.
+    TooLarge(String),
+    /// The peer closed / stalled mid-request (after at least one byte).
+    Incomplete,
+    /// Socket error while reading.
+    Io(String),
+}
+
+impl ParseError {
+    /// The wire response for this error: `400` with a typed JSON body.
+    /// `Incomplete`/`Io` get a body too, though the peer has usually gone.
+    pub fn response(&self) -> Response {
+        let (code, detail) = match self {
+            Self::Malformed(d) => ("bad_request", d.as_str()),
+            Self::TooLarge(d) => ("bad_request", d.as_str()),
+            Self::Incomplete => ("bad_request", "connection closed mid-request"),
+            Self::Io(d) => ("bad_request", d.as_str()),
+        };
+        Response::json(400, &error_body(code, detail))
+    }
+}
+
+/// Parser limits (also the server's per-connection limits).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// An incremental request parser over any byte stream.
+///
+/// Owns a buffer that survives across requests, so pipelined requests
+/// (bytes of request N+1 arriving in the same `read()` as request N) are
+/// handled naturally: leftover bytes seed the next [`next_request`] call.
+///
+/// [`next_request`]: RequestParser::next_request
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl RequestParser {
+    /// A parser with the given limits.
+    pub fn new(limits: Limits) -> Self {
+        Self {
+            buf: Vec::new(),
+            limits,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed (start of the next request).
+    pub fn buffered(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Read one request from `reader`. Returns `Ok(None)` on a clean EOF
+    /// at a request boundary (no buffered bytes), `Err` on malformed or
+    /// truncated input. Never reads more than the next request needs past
+    /// the head (whatever the transport hands over in one `read`).
+    pub fn next_request(&mut self, reader: &mut impl Read) -> Result<Option<Request>, ParseError> {
+        // Phase 1: accumulate until the blank line ending the head.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(ParseError::TooLarge(format!(
+                    "request head exceeds {} bytes",
+                    self.limits.max_head_bytes
+                )));
+            }
+            let mut chunk = [0u8; 4096];
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(ParseError::Incomplete)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // A read timeout mid-request is a stalled peer: reject
+                    // instead of hanging the worker (or treat as EOF at a
+                    // boundary — an idle keep-alive connection timing out).
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(ParseError::Incomplete)
+                    };
+                }
+                Err(e) => return Err(ParseError::Io(e.to_string())),
+            }
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(ParseError::TooLarge(format!(
+                "request head exceeds {} bytes",
+                self.limits.max_head_bytes
+            )));
+        }
+        let head = self.buf[..head_end].to_vec();
+        let body_start = head_end + 4; // past "\r\n\r\n"
+        let (method, path, query, http11, headers) = parse_head(&head)?;
+
+        // Phase 2: body. Content-Length only; Transfer-Encoding rejected.
+        if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+            return Err(ParseError::Malformed(
+                "transfer-encoding is not supported (use content-length)".into(),
+            ));
+        }
+        let mut content_length = 0usize;
+        let mut seen_cl: Option<&str> = None;
+        for (k, v) in &headers {
+            if k == "content-length" {
+                if let Some(prev) = seen_cl {
+                    if prev != v {
+                        return Err(ParseError::Malformed(
+                            "conflicting content-length headers".into(),
+                        ));
+                    }
+                    continue;
+                }
+                seen_cl = Some(v);
+                content_length = v
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::Malformed(format!("bad content-length '{v}'")))?;
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(ParseError::TooLarge(format!(
+                "content-length {content_length} exceeds {} bytes",
+                self.limits.max_body_bytes
+            )));
+        }
+        let body_end = body_start + content_length;
+        while self.buf.len() < body_end {
+            let mut chunk = [0u8; 4096];
+            match reader.read(&mut chunk) {
+                Ok(0) => return Err(ParseError::Incomplete),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(ParseError::Incomplete);
+                }
+                Err(e) => return Err(ParseError::Io(e.to_string())),
+            }
+        }
+        let body = self.buf[body_start..body_end].to_vec();
+        // Keep any pipelined tail for the next request.
+        self.buf.drain(..body_end);
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            http11,
+            body,
+        }))
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+type Head = (String, String, Vec<(String, String)>, bool, Vec<(String, String)>);
+
+/// Parse the request line and header block (no trailing blank line).
+fn parse_head(head: &[u8]) -> Result<Head, ParseError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 bytes in request head".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "bad request line '{request_line}'"
+        )));
+    };
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed(format!(
+            "bad request line '{request_line}'"
+        )));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase() || b == b'-') {
+        return Err(ParseError::Malformed(format!("bad method '{method}'")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => return Err(ParseError::Malformed(format!("unsupported version '{v}'"))),
+    };
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed(format!("bad request target '{target}'")));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in '{raw_path}'")))?;
+    let query = match raw_query {
+        None => Vec::new(),
+        Some(q) => parse_query(q)
+            .ok_or_else(|| ParseError::Malformed(format!("bad percent-encoding in query '{q}'")))?,
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header line '{line}'")));
+        };
+        if name.is_empty()
+            || name
+                .bytes()
+                .any(|b| b <= b' ' || b == b':' || !b.is_ascii_graphic())
+        {
+            return Err(ParseError::Malformed(format!("bad header name '{name}'")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path, query, http11, headers))
+}
+
+/// Decode `%XX` escapes (and `+` as space). `None` on a truncated or
+/// non-hex escape or non-UTF-8 result.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Split `a=b&c=d` into decoded pairs (a bare `a` becomes `("a", "")`).
+fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            Some((percent_decode(k)?, percent_decode(v)?))
+        })
+        .collect()
+}
+
+/// Percent-encode a query value (the load generator's client side).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fixed worker pool size (each worker serves one connection at a
+    /// time, draining its keep-alive requests).
+    pub workers: usize,
+    /// Admission queue depth: connections accepted but not yet assigned a
+    /// worker. Beyond this the server sheds with `429` + `Retry-After`.
+    pub queue_depth: usize,
+    /// The `Retry-After` value (seconds) sent on shed.
+    pub retry_after_secs: u64,
+    /// Per-read socket timeout; a connection idle at a request boundary is
+    /// closed quietly, one stalled mid-request is answered `400`.
+    pub read_timeout: Duration,
+    /// Maximum requests served per connection before it is closed (bounds
+    /// how long one keep-alive peer can monopolize a worker).
+    pub max_requests_per_connection: usize,
+    /// Parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            retry_after_secs: 1,
+            read_timeout: Duration::from_secs(10),
+            max_requests_per_connection: 10_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Builder-style worker-count override.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style queue-depth override.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Builder-style read-timeout override.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
+/// Monotonic server counters (all relaxed atomics; see the overload suite
+/// for the invariant they satisfy).
+#[derive(Debug, Default)]
+struct Counters {
+    /// Connections taken from the listener.
+    accepted: AtomicU64,
+    /// Connections answered `429` at admission (queue full).
+    shed: AtomicU64,
+    /// Connections fully served and closed by a worker.
+    completed: AtomicU64,
+    /// Requests parsed and handled across all connections.
+    requests: AtomicU64,
+    /// Requests answered `400` for a parse failure.
+    parse_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server counters plus queue gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Connections taken from the listener (includes shed ones).
+    pub accepted: u64,
+    /// Connections answered `429` + `Retry-After` at admission.
+    pub shed: u64,
+    /// Connections fully served and closed.
+    pub completed: u64,
+    /// Requests parsed and handled.
+    pub requests: u64,
+    /// Requests answered `400` for malformed bytes.
+    pub parse_errors: u64,
+    /// Connections waiting in the admission queue right now.
+    pub queued: usize,
+    /// Connections being served by a worker right now.
+    pub in_flight: usize,
+}
+
+/// A cloneable handle onto a running server's counters, detachable from the
+/// [`Server`] itself — the service layer stores one so its `/health`
+/// handler can report admission-queue state without owning the server
+/// (which owns the handler; holding it would be a cycle).
+#[derive(Clone)]
+pub struct MetricsHandle(Arc<Shared>);
+
+impl std::fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHandle").finish_non_exhaustive()
+    }
+}
+
+impl MetricsHandle {
+    /// Snapshot the server counters and queue gauges.
+    pub fn snapshot(&self) -> ServerMetrics {
+        let queued = self
+            .0
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        let c = &self.0.counters;
+        ServerMetrics {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            parse_errors: c.parse_errors.load(Ordering::Relaxed),
+            queued,
+            in_flight: self.0.in_flight.load(Ordering::Relaxed) as usize,
+        }
+    }
+}
+
+/// The request handler: one call per parsed request, shared across workers.
+pub trait Handler: Send + Sync + 'static {
+    /// Produce the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Admission queue state shared by the accept loop and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    counters: Counters,
+    in_flight: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running HTTP server. Dropping it (or calling [`shutdown`]) stops the
+/// accept loop, drains nothing further, and joins every thread.
+///
+/// [`shutdown`]: Server::shutdown
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept loop plus
+    /// `config.workers` worker threads serving `handler`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            counters: Counters::default(),
+            in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&shared, &*handler, &config)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared, &config)));
+        }
+        Ok(Self {
+            addr: local,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (port is resolved when binding `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the server counters and queue gauges.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics_handle().snapshot()
+    }
+
+    /// A cloneable handle onto this server's counters (outlives nothing:
+    /// once the server is dropped the counters merely stop moving).
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle(Arc::clone(&self.shared))
+    }
+
+    /// Stop accepting, finish in-flight connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared, config: &ServerConfig) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shared.available.notify_all();
+            return;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if queue.len() >= config.queue_depth {
+            drop(queue);
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            shed_connection(stream, config.retry_after_secs);
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+}
+
+/// Answer a shed connection with `429` + `Retry-After` and close it. Done
+/// on the accept thread: the whole point is not to consume a worker. The
+/// write is best-effort — a peer that already vanished gets nothing.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut wire = Vec::with_capacity(256);
+    shed_response(retry_after_secs).write_wire(&mut wire, true);
+    let _ = stream.write_all(&wire);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(shared: &Shared, handler: &dyn Handler, config: &ServerConfig) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        serve_connection(stream, shared, handler, config);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Serve one connection: parse → handle → respond, looping while
+/// keep-alive holds. Any parse failure answers `400` and closes; the
+/// handler is isolated from panics (a panicking handler yields `500`, not
+/// a dead worker).
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    handler: &dyn Handler,
+    config: &ServerConfig,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(config.limits);
+    for served in 0.. {
+        let request = match parser.next_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean close at a request boundary
+            Err(e) => {
+                shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let mut wire = Vec::with_capacity(256);
+                e.response().write_wire(&mut wire, true);
+                let _ = stream.write_all(&wire);
+                break;
+            }
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler.handle(&request)
+        })) {
+            Ok(r) => r,
+            Err(_) => Response::json(
+                500,
+                &error_body("internal", "handler panicked; see server logs"),
+            ),
+        };
+        let close = !request.keep_alive()
+            || served + 1 >= config.max_requests_per_connection
+            || shared.shutdown.load(Ordering::SeqCst);
+        let mut wire = Vec::with_capacity(256 + response.body.len());
+        response.write_wire(&mut wire, close);
+        if stream.write_all(&wire).is_err() || close {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------------
+// A minimal blocking client (tests + the open-loop load generator)
+// ---------------------------------------------------------------------------
+
+/// A keep-alive HTTP/1.1 client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+/// A client-side view of a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body parsed as JSON.
+    pub fn json(&self) -> Result<Json, crate::json::JsonError> {
+        Json::parse(std::str::from_utf8(&self.body).map_err(|_| {
+            crate::json::JsonError("non-UTF-8 response body".into())
+        })?)
+    }
+}
+
+impl Client {
+    /// Connect to `addr` with a per-operation timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            addr,
+            timeout,
+        })
+    }
+
+    /// Issue one request and read the full response. On a connection-level
+    /// failure (server closed a kept-alive socket, shed at admission after
+    /// accept), reconnects once and retries — the retry is transparent for
+    /// idempotent traffic; POSTs in this workspace are retry-safe inserts.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        match self.request_once(method, target, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                *self = Self::connect(self.addr, self.timeout)?;
+                self.request_once(method, target, body)
+            }
+        }
+    }
+
+    /// Issue one request on the current connection, no retry.
+    pub fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut wire = Vec::with_capacity(256 + body.map_or(0, <[u8]>::len));
+        wire.extend_from_slice(format!("{method} {target} HTTP/1.1\r\n").as_bytes());
+        wire.extend_from_slice(b"host: localhost\r\n");
+        if let Some(body) = body {
+            wire.extend_from_slice(b"content-type: application/json\r\n");
+            wire.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        if let Some(body) = body {
+            wire.extend_from_slice(body);
+        }
+        self.stream.write_all(&wire)?;
+        read_response(&mut self.stream)
+    }
+}
+
+/// Read one full HTTP response (status line, headers, `Content-Length`
+/// body) from `reader`.
+pub fn read_response(reader: &mut impl Read) -> std::io::Result<ClientResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("eof before response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(&format!("bad status line '{status_line}'")))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let (k, v) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let (k, v) = (k.to_ascii_lowercase(), v.trim().to_string());
+        if k == "content-length" {
+            content_length = v.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        headers.push((k, v));
+    }
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("eof mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: buf[body_start..body_start + content_length].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        let mut reader = std::io::Cursor::new(bytes.to_vec());
+        RequestParser::new(Limits::default()).next_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let req = parse_bytes(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/health");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.http11);
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_and_percent_encoding() {
+        let req = parse_bytes(b"GET /search?q=trump+kim%20summit&limit=5&flag HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.param("q"), Some("trump kim summit"));
+        assert_eq!(req.param("limit"), Some("5"));
+        assert_eq!(req.param("flag"), Some(""));
+    }
+
+    #[test]
+    fn parses_body_by_content_length() {
+        let req = parse_bytes(b"POST /ingest HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+        // Zero-length body is fine.
+        let req = parse_bytes(b"POST /ingest HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_case_folded() {
+        let req = parse_bytes(b"GET / HTTP/1.1\r\nCoNtEnT-TyPe:  text/x \r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.header("content-type"), Some("text/x"));
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive());
+        let old = parse_bytes(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive());
+        let old_ka = parse_bytes(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 5\r\n\r\nabcde",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n",
+            b"\xff\xfe GET / HTTP/1.1\r\n\r\n",
+        ] {
+            let res = parse_bytes(bad);
+            assert!(res.is_err(), "accepted: {:?}", String::from_utf8_lossy(bad));
+            assert_eq!(res.unwrap_err().response().status, 400);
+        }
+    }
+
+    #[test]
+    fn duplicate_identical_content_length_is_tolerated() {
+        let req = parse_bytes(b"POST / HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn truncated_input_is_incomplete() {
+        assert_eq!(
+            parse_bytes(b"GET / HTTP/1.1\r\ncontent-"),
+            Err(ParseError::Incomplete)
+        );
+        assert_eq!(
+            parse_bytes(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Err(ParseError::Incomplete)
+        );
+        assert_eq!(parse_bytes(b""), Ok(None));
+    }
+
+    #[test]
+    fn oversized_head_and_body_rejected() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let mut parser = RequestParser::new(limits);
+        let big_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "y".repeat(200));
+        let mut reader = std::io::Cursor::new(big_header.into_bytes());
+        assert!(matches!(
+            parser.next_request(&mut reader),
+            Err(ParseError::TooLarge(_))
+        ));
+        let mut parser = RequestParser::new(limits);
+        let mut reader =
+            std::io::Cursor::new(b"POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789".to_vec());
+        assert!(matches!(
+            parser.next_request(&mut reader),
+            Err(ParseError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let wire = b"POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nxyGET /b?n=1 HTTP/1.1\r\n\r\n";
+        let mut reader = std::io::Cursor::new(wire.to_vec());
+        let mut parser = RequestParser::new(Limits::default());
+        let first = parser.next_request(&mut reader).unwrap().unwrap();
+        assert_eq!((first.method.as_str(), first.path.as_str()), ("POST", "/a"));
+        assert_eq!(first.body, b"xy");
+        let second = parser.next_request(&mut reader).unwrap().unwrap();
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("GET", "/b"));
+        assert_eq!(second.param("n"), Some("1"));
+        assert_eq!(parser.next_request(&mut reader), Ok(None));
+    }
+
+    #[test]
+    fn response_wire_format_is_stable() {
+        let mut wire = Vec::new();
+        Response::json(200, &Json::Bool(true)).write_wire(&mut wire, false);
+        assert_eq!(
+            std::str::from_utf8(&wire).unwrap(),
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 4\r\n\r\ntrue"
+        );
+        let mut wire = Vec::new();
+        shed_response(2).write_wire(&mut wire, true);
+        let text = std::str::from_utf8(&wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+    }
+
+    #[test]
+    fn percent_encode_roundtrips() {
+        for s in ["trump kim summit", "a&b=c", "100%", "héllo", ""] {
+            assert_eq!(percent_decode(&percent_encode(s)).as_deref(), Some(s));
+        }
+    }
+
+    #[test]
+    fn server_end_to_end_keep_alive_and_shutdown() {
+        let handler = Arc::new(|req: &Request| {
+            Response::text(200, format!("{} {}", req.method, req.path))
+        });
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let mut client = Client::connect(server.addr(), Duration::from_secs(5)).unwrap();
+        let a = client.request("GET", "/one", None).unwrap();
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b"GET /one");
+        // Same connection serves a second request (keep-alive).
+        let b = client.request_once("GET", "/two", None).unwrap();
+        assert_eq!(b.body, b"GET /two");
+        let m = server.metrics();
+        assert_eq!(m.accepted, 1);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.shed, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_answers_400_on_garbage() {
+        let handler = Arc::new(|_: &Request| Response::empty(200));
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 400);
+        let body = resp.json().unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("bad_request"));
+        // Connection is closed after the 400.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_yields_500_not_a_dead_worker() {
+        let handler = Arc::new(|req: &Request| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::empty(204)
+        });
+        let config = ServerConfig::default().with_workers(1);
+        let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+        let mut client = Client::connect(server.addr(), Duration::from_secs(5)).unwrap();
+        assert_eq!(client.request("GET", "/boom", None).unwrap().status, 500);
+        // The single worker must still be alive to serve this.
+        assert_eq!(client.request("GET", "/fine", None).unwrap().status, 204);
+        server.shutdown();
+    }
+}

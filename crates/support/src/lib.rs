@@ -16,19 +16,27 @@
 //! * [`storage`] — a pluggable byte-storage trait with file and in-memory
 //!   backends, a seeded fault-injecting wrapper, CRC-32, bounded retries,
 //!   and the typed [`storage::StorageError`]/[`storage::EngineError`]
-//!   hierarchy used by the durable real-time engine.
+//!   hierarchy used by the durable real-time engine,
+//! * [`http`] — a std-only HTTP/1.1 server (fixed worker pool, keep-alive,
+//!   bounded admission queue with `429` shedding) and blocking client (the
+//!   `hyper`/`tiny_http` replacement backing the service layer),
+//! * [`histogram`] — a lock-free fixed-bucket latency histogram feeding
+//!   per-endpoint quantiles into `/health`.
 //!
 //! Everything is deterministic given explicit seeds: `cargo build --release
 //! --offline && cargo test -q --offline` passes from a cold checkout, and a
 //! failing property case is reproducible from the seed it prints.
 #![warn(missing_docs)]
 
+pub mod histogram;
+pub mod http;
 pub mod json;
 pub mod par;
 pub mod quickprop;
 pub mod rng;
 pub mod storage;
 
+pub use histogram::LatencyHistogram;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use par::{par_map, par_map_deadline};
 pub use rng::Rng;

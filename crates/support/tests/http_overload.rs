@@ -1,0 +1,209 @@
+//! Overload/admission suite for `tl_support::http` (ISSUE 8 satellite).
+//!
+//! Drives the server deterministically past its admission-queue depth with
+//! a gated handler (workers park inside the handler until the test releases
+//! them), so queue occupancy is exact — not a race on timing:
+//!
+//! * every connection gets exactly one of {`200`, `429`},
+//! * shed connections carry `Retry-After` and a typed JSON body,
+//! * after the burst drains, `shed == accepted − completed` exactly,
+//! * steady state returns: post-burst requests are served with zero new
+//!   sheds.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tl_support::http::{read_response, Request, Response, Server, ServerConfig};
+use tl_support::Json;
+
+/// A gate the handler blocks on until the test opens it.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Opens the gate when dropped. Declared *after* the server so a panicking
+/// assertion unwinds through this first — otherwise `Server::drop` would
+/// join workers still parked inside the gated handler and hang the whole
+/// test run instead of reporting the failure.
+struct ReleaseOnDrop(Arc<Gate>);
+
+impl Drop for ReleaseOnDrop {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// Poll `cond` until true or panic after 30s (generous for a loaded
+/// 1-core CI box; the condition is deterministic, only its timing isn't).
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn send_request(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"GET /work HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    stream
+}
+
+#[test]
+fn burst_past_queue_depth_sheds_429_then_returns_to_steady_state() {
+    const WORKERS: usize = 1;
+    const QUEUE_DEPTH: usize = 2;
+    const EXTRA: usize = 4; // connections beyond worker + queue capacity
+
+    let gate = Arc::new(Gate::default());
+    let handler = {
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_: &Request| {
+            gate.wait();
+            Response::text(200, "done")
+        })
+    };
+    let config = ServerConfig::default()
+        .with_workers(WORKERS)
+        .with_queue_depth(QUEUE_DEPTH);
+    let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+    let _gate_guard = ReleaseOnDrop(Arc::clone(&gate));
+    let addr = server.addr();
+
+    // Phase 1 — saturate: one connection occupies the worker (blocked in
+    // the handler), QUEUE_DEPTH more fill the admission queue.
+    let in_flight_conn = send_request(addr);
+    wait_for("worker to pick up the first connection", || {
+        server.metrics().in_flight == 1
+    });
+    let queued_conns: Vec<TcpStream> = (0..QUEUE_DEPTH).map(|_| send_request(addr)).collect();
+    wait_for("admission queue to fill", || {
+        server.metrics().queued == QUEUE_DEPTH
+    });
+
+    // Phase 2 — overload: every further connection is deterministically
+    // shed with 429 + Retry-After + typed JSON body, without touching the
+    // (fully occupied) worker pool.
+    for i in 0..EXTRA {
+        let mut shed = send_request(addr);
+        let resp = read_response(&mut shed).unwrap();
+        assert_eq!(resp.status, 429, "overload connection {i}");
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.get("error").and_then(Json::as_str), Some("overloaded"));
+        // Shed connections are closed outright.
+        let mut rest = Vec::new();
+        assert_eq!(shed.read_to_end(&mut rest).unwrap(), 0);
+    }
+    let mid = server.metrics();
+    assert_eq!(mid.shed, EXTRA as u64);
+    assert_eq!(mid.accepted, (1 + QUEUE_DEPTH + EXTRA) as u64);
+
+    // Phase 3 — drain: open the gate; every admitted connection completes
+    // with 200. Exactly one of {200, 429} per connection, no third fate.
+    gate.release();
+    for mut conn in std::iter::once(in_flight_conn).chain(queued_conns) {
+        let resp = read_response(&mut conn).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"done");
+    }
+    wait_for("all admitted connections to complete", || {
+        server.metrics().completed == (1 + QUEUE_DEPTH) as u64
+    });
+
+    // The shed ledger balances: every accepted connection either completed
+    // or was shed, nothing lost, nothing double-counted.
+    let drained = server.metrics();
+    assert_eq!(drained.shed, drained.accepted - drained.completed);
+    assert_eq!(drained.queued, 0);
+    assert_eq!(drained.in_flight, 0);
+
+    // Phase 4 — steady state: the burst is gone, new traffic is served
+    // with zero additional sheds.
+    for _ in 0..3 {
+        let mut conn = send_request(addr);
+        assert_eq!(read_response(&mut conn).unwrap().status, 200);
+    }
+    // `completed` is bumped after the response is already readable by the
+    // client, so wait for the counter rather than asserting it directly.
+    wait_for("steady-state connections to be accounted", || {
+        server.metrics().completed == drained.completed + 3
+    });
+    assert_eq!(
+        server.metrics().shed,
+        drained.shed,
+        "sheds after the burst drained"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shed_does_not_starve_admitted_work() {
+    // A shed storm while the queue is full must not prevent the admitted
+    // connections from completing once capacity frees up — the accept
+    // thread sheds without taking the worker lock.
+    let gate = Arc::new(Gate::default());
+    let handler = {
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_: &Request| {
+            gate.wait();
+            Response::empty(204)
+        })
+    };
+    let config = ServerConfig::default().with_workers(2).with_queue_depth(1);
+    let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+    let _gate_guard = ReleaseOnDrop(Arc::clone(&gate));
+    let addr = server.addr();
+
+    // Pace the saturating connections: with queue_depth=1, firing them
+    // back-to-back races the accept loop against worker wakeup on a 1-core
+    // box (a connection still queued when the next arrives would be shed).
+    let mut admitted: Vec<TcpStream> = Vec::new();
+    for occupied in 1..=2usize {
+        admitted.push(send_request(addr));
+        wait_for("worker to pick up connection", || {
+            server.metrics().in_flight == occupied
+        });
+    }
+    admitted.push(send_request(addr));
+    wait_for("pool + queue saturation", || {
+        let m = server.metrics();
+        m.in_flight == 2 && m.queued == 1
+    });
+    let shed_count = 8;
+    for _ in 0..shed_count {
+        let mut shed = send_request(addr);
+        assert_eq!(read_response(&mut shed).unwrap().status, 429);
+    }
+    gate.release();
+    for mut conn in admitted {
+        assert_eq!(read_response(&mut conn).unwrap().status, 204);
+    }
+    wait_for("drain", || server.metrics().completed == 3);
+    let m = server.metrics();
+    assert_eq!(m.shed, shed_count);
+    assert_eq!(m.accepted, 3 + shed_count);
+    server.shutdown();
+}

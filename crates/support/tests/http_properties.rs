@@ -1,0 +1,469 @@
+//! Protocol property suite for `tl_support::http` (ISSUE 8 satellite).
+//!
+//! The parser's contract is *parse-or-reject without panic*: any byte
+//! stream either yields a well-formed [`Request`] or a [`ParseError`]
+//! answered with `400` — never a panic, never a hang, regardless of how
+//! the transport splits the bytes across `read()` calls. The suite pins
+//! that with quickprop-generated well-formed requests (random methods,
+//! header casing/order, pipelined keep-alive pairs, bodies) fed through
+//! arbitrary read-boundary splits, plus a seeded fuzz corpus of ≥10k
+//! mutated/garbage cases (`TL_FUZZ_CASES` scales it), plus socket-level
+//! checks that a live server answers malformed input with exactly one
+//! `400` and a close.
+
+use std::io::Read;
+use tl_support::http::{Limits, ParseError, Request, RequestParser};
+use tl_support::qp_assert;
+use tl_support::quickprop::{check, gens};
+use tl_support::rng::Rng;
+
+/// A reader that hands out the byte stream in pre-chosen chunk sizes,
+/// simulating arbitrary TCP segmentation.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    /// Chunk sizes to serve, cycled; 0 entries are skipped (a `read`
+    /// returning 0 means EOF, which must only happen at the true end).
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> Self {
+        Self {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let size = if self.chunks.is_empty() {
+            buf.len()
+        } else {
+            let s = self.chunks[self.next_chunk % self.chunks.len()].max(1);
+            self.next_chunk += 1;
+            s
+        };
+        let n = size.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A structured request we can both serialize to wire bytes and predict
+/// the parse of.
+#[derive(Debug, Clone)]
+struct Spec {
+    method: String,
+    path_segments: Vec<String>,
+    query: Vec<(String, String)>,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"];
+const HEADER_NAMES: &[&str] = &[
+    "host",
+    "accept",
+    "user-agent",
+    "x-request-id",
+    "x-forwarded-for",
+    "content-type",
+    "cache-control",
+];
+
+fn rand_token(rng: &mut Rng, max_len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    let len = rng.gen_range(1..=max_len.max(1));
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
+}
+
+/// A query value over a charset that exercises percent-encoding: spaces,
+/// separators, percent signs, non-ASCII.
+fn rand_query_value(rng: &mut Rng) -> String {
+    const CHARS: &[&str] = &[
+        "a", "b", "z", "7", " ", "&", "=", "%", "+", "?", "/", "é", "日", "-", "_", ".", "~",
+    ];
+    let len = rng.gen_range(0..8usize);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())]).collect()
+}
+
+fn rand_spec(rng: &mut Rng) -> Spec {
+    let method = METHODS[rng.gen_range(0..METHODS.len())].to_string();
+    let path_segments = (0..rng.gen_range(0..4usize))
+        .map(|_| rand_token(rng, 8))
+        .collect();
+    let query = (0..rng.gen_range(0..4usize))
+        .map(|_| (rand_token(rng, 6), rand_query_value(rng)))
+        .collect();
+    let mut headers: Vec<(String, String)> = (0..rng.gen_range(0..5usize))
+        .map(|_| {
+            let name = HEADER_NAMES[rng.gen_range(0..HEADER_NAMES.len())].to_string();
+            (name, rand_token(rng, 12))
+        })
+        .collect();
+    rng.shuffle(&mut headers);
+    let body = if rng.gen_bool(0.5) {
+        (0..rng.gen_range(0..200usize))
+            .map(|_| rng.gen_range(0..=255u32) as u8)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Spec {
+        method,
+        path_segments,
+        query,
+        headers,
+        body,
+    }
+}
+
+/// Randomize ASCII casing — header names are case-insensitive on the wire
+/// but lowercased by the parser.
+fn rand_case(rng: &mut Rng, s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if rng.gen_bool(0.5) {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+impl Spec {
+    fn wire(&self, rng: &mut Rng) -> Vec<u8> {
+        let path: String = self
+            .path_segments
+            .iter()
+            .map(|s| format!("/{s}"))
+            .collect::<String>();
+        let path = if path.is_empty() { "/".to_string() } else { path };
+        let query = if self.query.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = self
+                .query
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "{}={}",
+                        tl_support::http::percent_encode(k),
+                        tl_support::http::percent_encode(v)
+                    )
+                })
+                .collect();
+            format!("?{}", parts.join("&"))
+        };
+        let mut wire = format!("{} {path}{query} HTTP/1.1\r\n", self.method).into_bytes();
+        for (name, value) in &self.headers {
+            // Random casing and random optional-whitespace around the value.
+            let pad_l = if rng.gen_bool(0.5) { " " } else { "" };
+            let pad_r = if rng.gen_bool(0.3) { "  " } else { "" };
+            wire.extend_from_slice(
+                format!("{}:{pad_l}{value}{pad_r}\r\n", rand_case(rng, name)).as_bytes(),
+            );
+        }
+        if !self.body.is_empty() || rng.gen_bool(0.3) {
+            wire.extend_from_slice(
+                format!("{}: {}\r\n", rand_case(rng, "content-length"), self.body.len())
+                    .as_bytes(),
+            );
+        }
+        wire.extend_from_slice(b"\r\n");
+        wire.extend_from_slice(&self.body);
+        wire
+    }
+
+    fn expected_path(&self) -> String {
+        let path: String = self
+            .path_segments
+            .iter()
+            .map(|s| format!("/{s}"))
+            .collect::<String>();
+        if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        }
+    }
+
+    fn assert_matches(&self, req: &Request) -> Result<(), String> {
+        qp_assert!(req.method == self.method, "method {:?}", req.method);
+        qp_assert!(
+            req.path == self.expected_path(),
+            "path {:?} != {:?}",
+            req.path,
+            self.expected_path()
+        );
+        qp_assert!(
+            req.query == self.query,
+            "query {:?} != {:?}",
+            req.query,
+            self.query
+        );
+        qp_assert!(req.body == self.body, "body mismatch");
+        // Parser lowercases names and trims values; spec already stores
+        // lowercase names and unpadded values, in wire order.
+        qp_assert!(
+            req.headers.len() >= self.headers.len(),
+            "lost headers: {:?}",
+            req.headers
+        );
+        for (i, (name, value)) in self.headers.iter().enumerate() {
+            qp_assert!(
+                &req.headers[i] == &(name.clone(), value.clone()),
+                "header {i}: {:?} != {:?}",
+                req.headers[i],
+                (name, value)
+            );
+        }
+        Ok(())
+    }
+}
+
+fn rand_chunks(rng: &mut Rng, total: usize) -> Vec<usize> {
+    (0..rng.gen_range(1..6usize))
+        .map(|_| rng.gen_range(1..=total.max(1)))
+        .collect()
+}
+
+#[test]
+fn prop_wellformed_requests_roundtrip_across_arbitrary_splits() {
+    check(
+        "http_roundtrip_splits",
+        gens::from_fn(|rng| {
+            let spec = rand_spec(rng);
+            let wire = spec.wire(rng);
+            let chunks = rand_chunks(rng, wire.len());
+            (spec, wire, chunks)
+        }),
+        |(spec, wire, chunks)| {
+            let mut reader = ChunkedReader::new(wire.clone(), chunks.clone());
+            let mut parser = RequestParser::new(Limits::default());
+            let req = parser
+                .next_request(&mut reader)
+                .map_err(|e| format!("rejected valid request: {e:?}"))?
+                .ok_or("EOF on valid request")?;
+            spec.assert_matches(&req)?;
+            qp_assert!(
+                parser.next_request(&mut reader) == Ok(None),
+                "trailing bytes after a single request"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_pipelined_pairs_parse_in_order() {
+    check(
+        "http_pipelined_pairs",
+        gens::from_fn(|rng| {
+            let a = rand_spec(rng);
+            let b = rand_spec(rng);
+            let mut wire = a.wire(rng);
+            // Force a content-length on the first request if it had a body
+            // (spec.wire always emits CL for non-empty bodies) so the
+            // boundary between the two requests is unambiguous.
+            wire.extend_from_slice(&b.wire(rng));
+            let chunks = rand_chunks(rng, wire.len());
+            (a, b, wire, chunks)
+        }),
+        |(a, b, wire, chunks)| {
+            let mut reader = ChunkedReader::new(wire.clone(), chunks.clone());
+            let mut parser = RequestParser::new(Limits::default());
+            let first = parser
+                .next_request(&mut reader)
+                .map_err(|e| format!("first rejected: {e:?}"))?
+                .ok_or("EOF on first")?;
+            a.assert_matches(&first)?;
+            let second = parser
+                .next_request(&mut reader)
+                .map_err(|e| format!("second rejected: {e:?}"))?
+                .ok_or("EOF on second")?;
+            b.assert_matches(&second)?;
+            qp_assert!(parser.next_request(&mut reader) == Ok(None), "third request?");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_content_length_edges() {
+    // Zero, exact, oversized and over-limit Content-Length values: accept
+    // or reject per contract, never panic or mis-frame.
+    check(
+        "http_content_length_edges",
+        gens::from_fn(|rng| {
+            let body_len = rng.gen_range(0..64usize);
+            let declared: usize = match rng.gen_range(0..4u32) {
+                0 => body_len,                        // exact
+                1 => 0,                               // zero (body becomes pipelined tail)
+                2 => body_len + rng.gen_range(1..50usize), // longer than provided
+                _ => 10_000_000,                      // over the configured limit
+            };
+            let body: Vec<u8> = (0..body_len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+            (declared, body)
+        }),
+        |(declared, body)| {
+            let mut wire =
+                format!("POST /ingest HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n").into_bytes();
+            wire.extend_from_slice(body);
+            let limits = Limits {
+                max_head_bytes: 16 * 1024,
+                max_body_bytes: 1024,
+            };
+            let mut reader = ChunkedReader::new(wire, vec![7, 3, 64]);
+            let mut parser = RequestParser::new(limits);
+            match parser.next_request(&mut reader) {
+                Ok(Some(req)) => {
+                    qp_assert!(*declared <= body.len(), "framed past available bytes");
+                    qp_assert!(req.body.len() == *declared, "body length != declared");
+                }
+                Ok(None) => return Err("EOF with bytes present".into()),
+                Err(ParseError::TooLarge(_)) => {
+                    qp_assert!(*declared > 1024, "TooLarge for in-limit length {declared}");
+                }
+                Err(ParseError::Incomplete) => {
+                    qp_assert!(*declared > body.len(), "Incomplete with full body present");
+                }
+                Err(e) => return Err(format!("unexpected error: {e:?}")),
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The ≥10k-case seeded fuzz corpus: valid requests mutated by byte
+/// flips/insertions/deletions/truncations, plus pure garbage. Every case
+/// must parse or reject — a panic fails the test, and every rejection maps
+/// to a `400` response.
+#[test]
+fn fuzz_corpus_parse_or_reject_without_panic() {
+    let cases: usize = std::env::var("TL_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let mut rng = Rng::seed_from_u64(0x8ED_F00D);
+    for case in 0..cases {
+        let mut wire = if rng.gen_bool(0.2) {
+            // Pure garbage, occasionally with HTTP-ish fragments.
+            let len = rng.gen_range(0..300usize);
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+            if rng.gen_bool(0.3) {
+                let insert_at = rng.gen_range(0..=bytes.len());
+                bytes.splice(insert_at..insert_at, b"HTTP/1.1\r\n\r\n".iter().copied());
+            }
+            bytes
+        } else {
+            let spec = rand_spec(&mut rng);
+            spec.wire(&mut rng)
+        };
+        // Mutate: flips, inserts, deletes, truncations.
+        for _ in 0..rng.gen_range(0..6usize) {
+            if wire.is_empty() {
+                break;
+            }
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let i = rng.gen_range(0..wire.len());
+                    wire[i] = rng.gen_range(0..=255u32) as u8;
+                }
+                1 => {
+                    let i = rng.gen_range(0..=wire.len());
+                    wire.insert(i, rng.gen_range(0..=255u32) as u8);
+                }
+                2 => {
+                    let i = rng.gen_range(0..wire.len());
+                    wire.remove(i);
+                }
+                _ => {
+                    wire.truncate(rng.gen_range(0..=wire.len()));
+                }
+            }
+        }
+        let chunks = rand_chunks(&mut rng, wire.len().max(1));
+        let mut reader = ChunkedReader::new(wire, chunks);
+        let mut parser = RequestParser::new(Limits {
+            max_head_bytes: 4096,
+            max_body_bytes: 4096,
+        });
+        // Drain the stream: a mutated pipeline can hold several requests.
+        for _ in 0..64 {
+            match parser.next_request(&mut reader) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    // Every rejection is answered 400 with a JSON body.
+                    let resp = e.response();
+                    assert_eq!(resp.status, 400, "case {case}: non-400 rejection {e:?}");
+                    assert!(!resp.body.is_empty(), "case {case}: empty 400 body");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Socket-level: a live server answers malformed bytes with exactly one
+/// `400` and closes — no hang, no worker death.
+#[test]
+fn malformed_socket_input_yields_400_and_close() {
+    use std::io::Write;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tl_support::http::{read_response, Response, Server, ServerConfig};
+
+    let handler = Arc::new(|_: &Request| Response::empty(200));
+    let config = ServerConfig::default()
+        .with_workers(1)
+        .with_read_timeout(Duration::from_millis(500));
+    let server = Server::bind("127.0.0.1:0", config, handler).unwrap();
+    let malformed: &[&[u8]] = &[
+        b"NONSENSE\r\n\r\n",
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: zebra\r\n\r\n",
+        b"\x00\x01\x02\x03\r\n\r\n",
+        // Stalled mid-request: head never completes; the read timeout
+        // converts the stall into a 400 instead of a hung worker.
+        b"GET / HTT",
+    ];
+    for bytes in malformed {
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(bytes).unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 400, "input {:?}", String::from_utf8_lossy(bytes));
+        // And the connection is closed — a second read hits EOF promptly.
+        let mut rest = Vec::new();
+        assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    }
+    // The single worker survived all of it.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /ok HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    assert_eq!(read_response(&mut stream).unwrap().status, 200);
+    let metrics = server.metrics();
+    assert_eq!(metrics.parse_errors, malformed.len() as u64);
+    server.shutdown();
+}

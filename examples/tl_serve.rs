@@ -1,0 +1,107 @@
+//! Serve WILSON over a socket: ingest a synthetic corpus, start the
+//! hermetic HTTP/1.1 front end, and exercise every endpoint through a real
+//! TCP client — `/ingest`, `/search`, `/timeline`, `/health`.
+//!
+//! ```text
+//! cargo run --release -p tl-eval --example tl_serve
+//! ```
+//!
+//! Pass an address (e.g. `127.0.0.1:7878`) to keep the server in the
+//! foreground for manual `curl` exploration instead of the scripted tour.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tl_corpus::{generate, Article, SynthConfig};
+use tl_support::http::{percent_encode, Client};
+use tl_support::{FromJson, ToJson};
+use tl_wilson::{
+    IngestRequest, IngestResponse, RealTimeSystem, SearchResponse, ServiceConfig,
+    TimelineResponse, TimelineService, WilsonConfig,
+};
+
+fn main() {
+    let ds = generate(&SynthConfig::tiny());
+    let topic = &ds.topics[0];
+    let cfg = SynthConfig::tiny();
+    let (from, to) = (
+        cfg.start_date,
+        cfg.start_date.plus_days(cfg.duration_days as i32),
+    );
+
+    let service = Arc::new(TimelineService::new(
+        RealTimeSystem::new(WilsonConfig::default()),
+        ServiceConfig::default(),
+    ));
+    service
+        .system()
+        .ingest_all(&topic.articles)
+        .expect("volatile ingest");
+
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:0".into());
+    let server = service.serve(&addr).expect("bind");
+    println!("serving {} articles on http://{}", topic.articles.len(), server.addr());
+
+    if std::env::args().nth(1).is_some() {
+        // Foreground mode: stay up for manual exploration.
+        println!("try:  curl 'http://{}/health'", server.addr());
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+    let q = percent_encode(&topic.query);
+
+    // POST /ingest — extend the corpus over the wire.
+    let body = IngestRequest {
+        articles: vec![Article {
+            id: 10_000,
+            pub_date: cfg.start_date,
+            sentences: vec!["A wire-ingested update on the story.".into()],
+        }],
+    }
+    .to_json()
+    .to_string_compact();
+    let resp = client
+        .request("POST", "/ingest", Some(body.as_bytes()))
+        .expect("ingest");
+    let ingest = IngestResponse::from_json(&resp.json().expect("json")).expect("typed");
+    println!("\nPOST /ingest          -> {} (epoch {})", resp.status, ingest.epoch);
+
+    // GET /search — ranked sentences with hydrated text.
+    let resp = client
+        .request("GET", &format!("/search?q={q}&limit=5"), None)
+        .expect("search");
+    let search = SearchResponse::from_json(&resp.json().expect("json")).expect("typed");
+    println!("GET  /search          -> {} ({} hits)", resp.status, search.hits.len());
+    for hit in search.hits.iter().take(3) {
+        println!("   {:>8.3}  {}  {}", hit.score, hit.date, hit.text);
+    }
+
+    // GET /timeline — the full divide-and-conquer summarizer.
+    let resp = client
+        .request(
+            "GET",
+            &format!("/timeline?q={q}&from={from}&to={to}&num_dates=5&sents_per_date=2"),
+            None,
+        )
+        .expect("timeline");
+    let timeline = TimelineResponse::from_json(&resp.json().expect("json")).expect("typed");
+    println!(
+        "GET  /timeline        -> {} ({} dates, partial: {})",
+        resp.status,
+        timeline.timeline.num_dates(),
+        timeline.partial
+    );
+    for (d, sents) in timeline.timeline.entries.iter().take(3) {
+        println!("   {d}  {}", sents.first().map(String::as_str).unwrap_or(""));
+    }
+
+    // GET /health — engine report + per-endpoint stats + server gauges.
+    let resp = client.request("GET", "/health", None).expect("health");
+    let health = resp.json().expect("json");
+    println!("GET  /health          -> {}", resp.status);
+    println!("   {}", health.to_string_compact());
+
+    server.shutdown();
+}

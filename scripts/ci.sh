@@ -121,6 +121,36 @@ TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 \
     cargo test -q --offline --release -p tl-bench --test ann -- \
     --ignored bench_ann_smoke --nocapture
 
+echo "== http server: protocol property + fuzz gate =="
+# quickprop suite over generated requests (random methods, header casing,
+# chunked reads, pipelining, content-length edges) plus a 10k-case seeded
+# fuzz corpus: every input parses or is rejected with 400 — never a panic,
+# never a hang.
+TL_FUZZ_CASES=10000 cargo test -q --offline -p tl-support --test http_properties
+
+echo "== http server: overload/admission gate =="
+# Deterministic burst past the admission queue: every connection resolves
+# to exactly one of {200, 429}, shed == accepted - completed after the
+# drain, and the server returns to zero-shed steady state.
+cargo test -q --offline -p tl-support --test http_overload
+
+echo "== service layer: typed API + golden wire gate =="
+# JSON roundtrips for every wire type, EngineError -> stable HTTP status
+# mapping (incl. a mid-flight storage kill -> 503 over a real socket), a
+# no-unwrap audit of the handler path, and byte-for-byte golden
+# request/response transcripts per endpoint (re-bless with
+# TL_UPDATE_GOLDEN=1).
+cargo test -q --offline -p tl-wilson --test service_api --test http_golden
+
+echo "== bench smoke: open-loop service gate =="
+# Short low-rate open-loop window over real sockets: zero sheds, zero
+# dropped connections, sane worst-endpoint p99; with TL_BENCH_ENFORCE=1
+# the fresh p99 must stay within 2x of the committed BENCH_service.json
+# baseline (0.1 s absolute floor against scheduler noise).
+TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 \
+    cargo test -q --offline --release -p tl-bench --test serve -- \
+    --ignored bench_serve_smoke --nocapture
+
 echo "== incremental maintenance: differential proof gate =="
 # Incrementally refreshed timelines must stay bit-identical to from-scratch
 # rebuilds (exact mode) and within bounded divergence with forced fallbacks
