@@ -231,6 +231,91 @@ fn bench_ann_scaling() {
     }
 }
 
+/// Thread-scaling ladder: index build wall-clock and query p50/p95 at
+/// parallelism degrees 1 / 2 / 4 (`AnnConfig.threads`) over one pre-embedded
+/// tier (default 32 topics ≈ 146k sentences; override the topic count with
+/// `TL_BENCH_ANN_THREAD_TOPICS`). Embedding is hoisted out so the rows time
+/// the index alone:
+///
+/// * `ann/build_s_t{T}/{n}` — bulk build (train + assign) at degree `T`,
+/// * `ann/query_t{T}/{n}` — per-query latency at degree `T`.
+///
+/// Besides timing, the ladder re-asserts the differential: hits at every
+/// degree must be bitwise identical to degree 1.
+#[test]
+#[ignore = "benchmark (embeds ~146k sentences; minutes)"]
+fn bench_ann_threads() {
+    let topics: usize = std::env::var("TL_BENCH_ANN_THREAD_TOPICS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    tl_support::pool::warm_pool();
+    let embedder = SentenceEmbedder::new(DIM);
+    let mut queries: Vec<Vec<f64>> = Vec::new();
+    let items: Vec<(u64, i32, Vec<f64>)> = (0..topics)
+        .flat_map(|t| {
+            let ds = generate(&SynthConfig::scaled(1, 0x5CA1E ^ t as u64));
+            dated_sentences(&ds.topics[0].articles, None)
+        })
+        .enumerate()
+        .map(|(i, s)| {
+            let v = embedder.embed_frozen(&s.text);
+            if i % 9973 == 0 && queries.len() < QUERIES {
+                queries.push(v.clone());
+            }
+            (i as u64, s.date.days(), v)
+        })
+        .collect();
+    let n = items.len();
+    println!("thread ladder: {n} sentences, {topics} topics");
+
+    let mut reference: Option<Vec<Vec<(u64, u64)>>> = None;
+    for threads in [1usize, 2, 4] {
+        let cfg = AnnConfig {
+            threads,
+            ..AnnConfig::default()
+        };
+        let start = Instant::now();
+        let index = AnnIndex::build(DIM, cfg, items.iter().cloned());
+        let build_s = start.elapsed().as_secs_f64();
+        record(
+            REPORT,
+            &format!("ann/build_s_t{threads}/{n}"),
+            &BenchStats {
+                median: build_s,
+                p95: build_s,
+                iters: 1,
+            },
+        );
+        let stats = per_query_stats(&queries, |q| {
+            std::hint::black_box(index.search(q, K, None));
+        });
+        record(REPORT, &format!("ann/query_t{threads}/{n}"), &stats);
+        println!(
+            "threads={threads}: build {build_s:.2}s, query p50 {:.3}ms p95 {:.3}ms",
+            stats.median * 1e3,
+            stats.p95 * 1e3
+        );
+        let bits: Vec<Vec<(u64, u64)>> = queries
+            .iter()
+            .map(|q| {
+                index
+                    .search(q, K, None)
+                    .into_iter()
+                    .map(|(id, s)| (id, s.to_bits()))
+                    .collect()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(reference) => assert_eq!(
+                &bits, reference,
+                "threads={threads}: hits diverged from the serial build"
+            ),
+        }
+    }
+}
+
 /// Smallest tier only — fast enough for CI. Always asserts the recall
 /// floor; with `TL_BENCH_ENFORCE=1` also gates fresh latency medians at
 /// ≤2× the committed BENCH_scaling.json baselines.

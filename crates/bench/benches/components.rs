@@ -12,6 +12,44 @@ use tl_nlp::{allpairs_cosine, pairwise_reference, AnalysisOptions, Analyzer, Spa
 use tl_rouge::RougeScorer;
 use tl_temporal::{Date, TemporalTagger};
 
+/// Dispatch-overhead microbench for the work-stealing pool: `par_map` on
+/// the spawn-once pool vs the pre-pool `scoped_map` (one OS thread spawn
+/// per chunk, per call), at a fixed chunk count of 4 so both sides schedule
+/// identical work. Small batches isolate pure dispatch cost; the large
+/// batch shows it amortized.
+#[test]
+#[ignore = "benchmark"]
+fn bench_pool() {
+    use tl_support::par::{par_map_threads, scoped_map};
+    use tl_support::rng::splitmix64;
+    let churn = |&seed: &u64| {
+        let mut state = seed;
+        let mut acc = 0u64;
+        for _ in 0..32 {
+            acc ^= splitmix64(&mut state);
+        }
+        acc
+    };
+    tl_support::pool::warm_pool();
+    for n in [64usize, 4096] {
+        let xs: Vec<u64> = (0..n as u64).collect();
+        bench_reported(
+            "BENCH_components.json",
+            &format!("pool/par_map_c4_n{n}"),
+            || {
+                black_box(par_map_threads(&xs, 4, churn));
+            },
+        );
+        bench_reported(
+            "BENCH_components.json",
+            &format!("pool/scoped_spawn_c4_n{n}"),
+            || {
+                black_box(scoped_map(&xs, 4, churn));
+            },
+        );
+    }
+}
+
 #[test]
 #[ignore = "benchmark"]
 fn bench_pagerank() {

@@ -105,9 +105,11 @@ pub fn report_dir() -> PathBuf {
 /// Merge `stats` into the report `dir/file` under the entry `name`.
 ///
 /// The report is `{"schema": "tl-bench/v1", "benches": [{name, median_s,
-/// p95_s, iters}, ...]}`. An existing entry with the same name is replaced,
-/// others are preserved — each bench target updates only its own rows.
-/// A missing, unparseable, or wrong-schema file is started fresh.
+/// p95_s, iters, threads}, ...]}` — `threads` is the global pool's worker
+/// count when the entry was measured, so single-core and multicore numbers
+/// are never compared blind. An existing entry with the same name is
+/// replaced, others are preserved — each bench target updates only its own
+/// rows. A missing, unparseable, or wrong-schema file is started fresh.
 pub fn record_at(dir: &Path, file: &str, name: &str, stats: &BenchStats) -> PathBuf {
     let _guard = REPORT_LOCK.lock().unwrap();
     std::fs::create_dir_all(dir).expect("create report dir");
@@ -128,6 +130,7 @@ pub fn record_at(dir: &Path, file: &str, name: &str, stats: &BenchStats) -> Path
         ("median_s", Json::Num(stats.median)),
         ("p95_s", Json::Num(stats.p95)),
         ("iters", Json::Num(stats.iters as f64)),
+        ("threads", Json::Num(tl_support::par::threads() as f64)),
     ]);
     let slot = benches
         .iter_mut()
@@ -276,6 +279,8 @@ mod tests {
             .map(|x| x as usize)
             .unwrap();
         assert_eq!(iters, 5);
+        let threads = benches[0].get("threads").and_then(Json::as_f64).unwrap();
+        assert_eq!(threads as usize, tl_support::par::threads());
         std::fs::remove_dir_all(&dir).ok();
     }
 

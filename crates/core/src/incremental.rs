@@ -278,8 +278,20 @@ impl TimelineSession {
         self.day_cache.retain(|d, _| graph.has_date(*d));
 
         // Rank each selected day: reuse the cached ordering when the day's
-        // sentence set is unchanged, else recompute TextRank.
-        let mut days: Vec<DayCandidates> = Vec::with_capacity(selected.len());
+        // sentence set is unchanged, else recompute TextRank. The dirty
+        // days — and only those — fan out over the thread pool (gated on
+        // `config.parallel`): each day's TextRank is a pure function of
+        // that day's own token rows, and the results are merged back in
+        // selected-date order, so the timeline is bit-identical to the
+        // serial loop for any thread count.
+        struct DayWork<'w> {
+            date: Date,
+            indices: &'w [usize],
+            day_ids: Vec<u64>,
+            /// `Some` = cache hit (the day's id list is unchanged).
+            cached: Option<Vec<u64>>,
+        }
+        let mut work: Vec<DayWork<'_>> = Vec::with_capacity(selected.len());
         for date in &selected {
             let Some(indices) = by_date.get(date) else {
                 // A node can exist purely as a publication date; such days
@@ -288,35 +300,70 @@ impl TimelineSession {
                 continue;
             };
             let day_ids: Vec<u64> = indices.iter().map(|&i| rows[i].id).collect();
-            // Map the day's ids back to row indices with a day-sized map —
-            // the only id→index lookups any refresh needs.
-            let index_of: HashMap<u64, usize> = day_ids
-                .iter()
-                .copied()
-                .zip(indices.iter().copied())
-                .collect();
-            let ranked_ids = match self.day_cache.get(date) {
-                Some(entry) if entry.ids == day_ids => {
+            let cached = match self.day_cache.get(date) {
+                Some(entry) if entry.ids == day_ids => Some(entry.ranked_ids.clone()),
+                _ => None,
+            };
+            work.push(DayWork {
+                date: *date,
+                indices,
+                day_ids,
+                cached,
+            });
+        }
+        let dirty_days: Vec<usize> = work
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.cached.is_none())
+            .map(|(k, _)| k)
+            .collect();
+        let damping = config.damping;
+        let rank_day = |&k: &usize| -> Vec<u64> {
+            let w = &work[k];
+            let toks: Vec<&[u32]> = w.indices.iter().map(|&i| rows[i].tokens).collect();
+            textrank_order(&toks, damping)
+                .into_iter()
+                .map(|j| w.day_ids[j])
+                .collect()
+        };
+        let fresh_ranked: Vec<Vec<u64>> = if config.parallel {
+            tl_support::par::par_map(&dirty_days, rank_day)
+        } else {
+            dirty_days.iter().map(rank_day).collect()
+        };
+
+        let mut days: Vec<DayCandidates> = Vec::with_capacity(work.len());
+        let mut fresh = dirty_days.into_iter().zip(fresh_ranked);
+        for (k, w) in work.iter().enumerate() {
+            let ranked_ids = match &w.cached {
+                Some(ranked_ids) => {
                     self.stats.days_reused += 1;
-                    entry.ranked_ids.clone()
+                    ranked_ids.clone()
                 }
-                _ => {
+                None => {
                     self.stats.days_recomputed += 1;
-                    let toks: Vec<&[u32]> = indices.iter().map(|&i| rows[i].tokens).collect();
-                    let order = textrank_order(&toks, config.damping);
-                    let ranked_ids: Vec<u64> = order.into_iter().map(|k| day_ids[k]).collect();
+                    let (fk, ranked_ids) = fresh.next().expect("one ranking per dirty day");
+                    debug_assert_eq!(fk, k);
                     self.day_cache.insert(
-                        *date,
+                        w.date,
                         DayRanking {
-                            ids: day_ids,
+                            ids: w.day_ids.clone(),
                             ranked_ids: ranked_ids.clone(),
                         },
                     );
                     ranked_ids
                 }
             };
+            // Map the day's ids back to row indices with a day-sized map —
+            // the only id→index lookups any refresh needs.
+            let index_of: HashMap<u64, usize> = w
+                .day_ids
+                .iter()
+                .copied()
+                .zip(w.indices.iter().copied())
+                .collect();
             days.push(DayCandidates {
-                date: *date,
+                date: w.date,
                 ranked: ranked_ids.iter().map(|id| index_of[id]).collect(),
             });
         }

@@ -391,6 +391,9 @@ pub struct TimelineService {
 impl TimelineService {
     /// Wrap an existing system (possibly pre-loaded or durable).
     pub fn new(system: RealTimeSystem, config: ServiceConfig) -> Self {
+        // Spawn the compute pool's workers now, at startup, so the first
+        // request doesn't pay thread creation inside its latency budget.
+        tl_support::pool::warm_pool();
         Self {
             system,
             config,

@@ -32,6 +32,7 @@
 //! empty-cell reseeding — is seeded through the in-tree xoshiro PRNG, so
 //! the index is a pure function of (config, insertion sequence).
 
+use tl_support::par::par_map_threads;
 use tl_support::rng::{splitmix64, Rng};
 
 /// Configuration for [`AnnIndex`].
@@ -55,6 +56,13 @@ pub struct AnnConfig {
     pub retrain_growth: f64,
     /// Seed for sampling, k-means init and empty-cell reseeding.
     pub seed: u64,
+    /// Parallelism degree for the bulk stages (k-means assignment,
+    /// full-store reassignment, per-cell query fan-out, `knn_pairs`);
+    /// `0` = the global pool's worker count, `1` = fully serial on the
+    /// calling thread. Every parallel stage is a pure per-slot map reduced
+    /// in fixed order, so results are **bitwise identical** for every
+    /// value of this field — it shapes scheduling only.
+    pub threads: usize,
 }
 
 impl Default for AnnConfig {
@@ -67,6 +75,7 @@ impl Default for AnnConfig {
             min_train: 512,
             retrain_growth: 2.0,
             seed: 0x0A5E_17AB,
+            threads: 0,
         }
     }
 }
@@ -218,13 +227,41 @@ impl AnnIndex {
             return top.into_sorted();
         }
         let probes = self.probe_order(&qdense);
-        for &list in probes.iter().take(self.cfg.nprobe) {
-            let posting = &self.lists[list];
-            let (lo, hi) = self.posting_range(posting, range);
-            for &idx in &posting[lo..hi] {
-                let idx = idx as usize;
-                debug_assert!(in_range(self.dates[idx], range));
-                top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+        let cells: Vec<usize> = probes.into_iter().take(self.cfg.nprobe).collect();
+        let degree = self.par_degree().min(cells.len().max(1));
+        if degree <= 1 {
+            for &list in &cells {
+                let posting = &self.lists[list];
+                let (lo, hi) = self.posting_range(posting, range);
+                for &idx in &posting[lo..hi] {
+                    let idx = idx as usize;
+                    debug_assert!(in_range(self.dates[idx], range));
+                    top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+                }
+            }
+        } else {
+            // Fan the probed cells out across the pool: each task keeps a
+            // per-cell top-k, merged serially in probe order. Bitwise equal
+            // to the serial scan: every candidate's score comes from the
+            // same `score_idx` call, ids are unique across cells (each
+            // vector lives in exactly one posting list), and top-k under
+            // the strict `(score desc, id asc)` total order is a function
+            // of the candidate *set*, not of visit order.
+            let partials = par_map_threads(&cells, degree, |&list| {
+                let posting = &self.lists[list];
+                let (lo, hi) = self.posting_range(posting, range);
+                let mut cell_top = TopK::new(k);
+                for &idx in &posting[lo..hi] {
+                    let idx = idx as usize;
+                    debug_assert!(in_range(self.dates[idx], range));
+                    cell_top.offer(self.score_idx(idx, &qdense), self.ids[idx]);
+                }
+                cell_top.into_sorted()
+            });
+            for part in partials {
+                for (id, score) in part {
+                    top.offer(score, id);
+                }
             }
         }
         top.into_sorted()
@@ -256,25 +293,39 @@ impl AnnIndex {
     /// positions* (0-based), not external ids — the natural keying for
     /// clustering a corpus that was indexed in order.
     pub fn knn_pairs(&self, k: usize) -> Vec<(usize, usize, f64)> {
-        let mut pairs = Vec::with_capacity(self.len().saturating_mul(k));
-        for idx in 0..self.len() {
+        // One row per vector, rows computed in parallel and concatenated in
+        // index order — the exact sequence the serial loop produced.
+        let rows: Vec<usize> = (0..self.len()).collect();
+        let per_row = par_map_threads(&rows, self.par_degree(), |&idx| {
             let (s, e) = (self.offs[idx], self.offs[idx + 1]);
             let mut qdense = vec![0.0f64; self.dim];
             for p in s..e {
                 qdense[self.dims[p] as usize] = self.vals[p] as f64;
             }
             // Over-fetch by one so dropping the self-hit still leaves k.
-            for (id, sim) in self.search(&qdense, k + 1, None) {
-                let j = id as usize;
-                if j != idx {
-                    pairs.push((idx, j, sim));
-                }
-            }
-        }
-        pairs
+            self.search(&qdense, k + 1, None)
+                .into_iter()
+                .filter_map(|(id, sim)| {
+                    let j = id as usize;
+                    (j != idx).then_some((idx, j, sim))
+                })
+                .collect::<Vec<_>>()
+        });
+        per_row.into_iter().flatten().collect()
     }
 
     // ----- internals -------------------------------------------------
+
+    /// Effective parallelism degree: `cfg.threads`, with `0` meaning the
+    /// global pool's worker count. Degree 1 keeps every bulk stage inline
+    /// on the calling thread.
+    fn par_degree(&self) -> usize {
+        if self.cfg.threads == 0 {
+            tl_support::par::threads()
+        } else {
+            self.cfg.threads
+        }
+    }
 
     /// Append to the vector store without touching postings; returns the
     /// internal index.
@@ -420,14 +471,19 @@ impl AnnIndex {
             s
         };
 
+        let degree = self.par_degree();
+
         // --- k-means++ init (distance analog: 1 - best cosine) ---
+        // The per-sample similarity maps below run sharded over the pool;
+        // each slot is an independent dot product, so the results (and the
+        // serial RNG-driven picks they feed) are bitwise independent of
+        // `degree`.
         let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(nlist);
-        let mut best_sim = vec![f32::NEG_INFINITY; sample.len()];
         let first = sample[rng.bounded_u64(sample.len() as u64) as usize];
         centroids.push(self.densify(first));
-        for si in 0..sample.len() {
-            best_sim[si] = self.dot_dense(sample[si], &centroids[0]);
-        }
+        let c0 = &centroids[0];
+        let mut best_sim: Vec<f32> =
+            par_map_threads(&sample, degree, |&v| self.dot_dense(v, c0));
         while centroids.len() < nlist {
             let weights: Vec<f64> = best_sim
                 .iter()
@@ -449,8 +505,8 @@ impl AnnIndex {
                 rng.bounded_u64(sample.len() as u64) as usize
             };
             let c = self.densify(sample[pick]);
-            for (si, &v) in sample.iter().enumerate() {
-                let s = self.dot_dense(v, &c);
+            let sims = par_map_threads(&sample, degree, |&v| self.dot_dense(v, &c));
+            for (si, s) in sims.into_iter().enumerate() {
                 if s > best_sim[si] {
                     best_sim[si] = s;
                 }
@@ -459,12 +515,14 @@ impl AnnIndex {
         }
 
         // --- Lloyd iterations (spherical: renormalize means) ---
-        let mut membership = vec![0usize; sample.len()];
         for _ in 0..self.cfg.kmeans_iters {
             let ct = transpose(&centroids, self.dim);
-            for (si, &v) in sample.iter().enumerate() {
-                membership[si] = argmax_f32(&self.cell_scores_with(&ct, nlist, v));
-            }
+            // Membership is a per-sample argmax — sharded over the pool;
+            // the centroid sums below stay serial, accumulated in sample
+            // order exactly as before.
+            let membership: Vec<usize> = par_map_threads(&sample, degree, |&v| {
+                argmax_f32(&self.cell_scores_with(&ct, nlist, v))
+            });
             let mut sums = vec![vec![0.0f64; self.dim]; nlist];
             let mut counts = vec![0usize; nlist];
             for (si, &v) in sample.iter().enumerate() {
@@ -494,14 +552,23 @@ impl AnnIndex {
         self.nlist = nlist;
         self.ct = transpose(&centroids, self.dim);
         self.trained_n = n;
+        // Assignment (the dominant build cost: n · nnz · nlist) is a pure
+        // per-vector argmax, sharded over the pool; the grouping pass runs
+        // serially in index order, so each posting list receives its
+        // members in the same ascending order as the serial loop.
+        let rows: Vec<usize> = (0..n).collect();
+        let cells: Vec<usize> = par_map_threads(&rows, degree, |&idx| self.assign(idx));
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
-        for idx in 0..n {
-            lists[self.assign(idx)].push(idx as u32);
+        for (idx, &cell) in cells.iter().enumerate() {
+            lists[cell].push(idx as u32);
         }
-        for list in &mut lists {
-            list.sort_unstable_by_key(|&j| (self.dates[j as usize], self.ids[j as usize]));
-        }
-        self.lists = lists;
+        // Per-cell `(date, id)` sorts are independent of each other.
+        let (dates, ids) = (&self.dates, &self.ids);
+        self.lists = par_map_threads(&lists, degree, |list| {
+            let mut list = list.clone();
+            list.sort_unstable_by_key(|&j| (dates[j as usize], ids[j as usize]));
+            list
+        });
     }
 
     /// Dense `f32` copy of stored vector `idx`.

@@ -222,6 +222,141 @@ fn incremental_inserts_match_bulk_build_recall() {
     );
 }
 
+/// `(id, exact bit pattern of the score)` — the comparison key for the
+/// thread-count differentials: equality means bitwise-identical output.
+fn hits_bits(hits: &[(u64, f64)]) -> Vec<(u64, u64)> {
+    hits.iter().map(|&(id, s)| (id, s.to_bits())).collect()
+}
+
+/// `AnnConfig.threads` pins the parallelism degree of every bulk stage
+/// (k-means assignment, full-store reassignment, query fan-out,
+/// `knn_pairs`); `1` is fully serial on the calling thread. This is the
+/// in-process axis of the thread-count differential — `scripts/ci.sh`
+/// additionally runs the whole suite under `TL_POOL_THREADS=1` and `=8`
+/// for the process-level axis (global pool size).
+fn cfg_threads(threads: usize) -> AnnConfig {
+    AnnConfig {
+        threads,
+        nlist: Some(16),
+        nprobe: 6,
+        min_train: 256,
+        ..AnnConfig::default()
+    }
+}
+
+/// Build + query at parallelism degrees {1, 2, 8} must be **bitwise
+/// identical**: same posting structure, same hit ids, same score bits —
+/// for bulk builds, epoch-wise incremental inserts, unfiltered and
+/// date-filtered queries, and `knn_pairs` rows.
+#[test]
+fn thread_count_differential_bulk_and_query() {
+    let items = clustered_corpus(0xD1FF_5EED, 800, 10, 45);
+    let serial = AnnIndex::build(DIM, cfg_threads(1), items.clone());
+    assert!(serial.is_trained());
+    let serial_pairs = serial.knn_pairs(4);
+    for threads in [2usize, 8] {
+        let par = AnnIndex::build(DIM, cfg_threads(threads), items.clone());
+        assert_eq!(par.len(), serial.len());
+        assert_eq!(
+            par.memory_bytes(),
+            serial.memory_bytes(),
+            "threads={threads}: posting structure diverged"
+        );
+        for (qi, (_, _, q)) in items.iter().step_by(31).enumerate() {
+            assert_eq!(
+                hits_bits(&par.search(q, 10, None)),
+                hits_bits(&serial.search(q, 10, None)),
+                "threads={threads}, query {qi}: unfiltered hits diverged"
+            );
+            for range in [(10, 30), (0, 4), (44, 44), (60, 90)] {
+                assert_eq!(
+                    hits_bits(&par.search(q, 10, Some(range))),
+                    hits_bits(&serial.search(q, 10, Some(range))),
+                    "threads={threads}, query {qi}, range {range:?}: filtered hits diverged"
+                );
+            }
+        }
+        let par_pairs = par.knn_pairs(4);
+        assert_eq!(par_pairs.len(), serial_pairs.len());
+        assert!(
+            par_pairs
+                .iter()
+                .zip(&serial_pairs)
+                .all(|(&(a, b, s), &(c, d, t))| a == c && b == d && s.to_bits() == t.to_bits()),
+            "threads={threads}: knn_pairs diverged"
+        );
+    }
+}
+
+/// Same differential over the *incremental* path: epoch-wise inserts (with
+/// the mid-stream retrains they trigger) must also be degree-independent.
+#[test]
+fn thread_count_differential_incremental_inserts() {
+    let items = clustered_corpus(0x1AC4_E5EE_D01u64, 700, 8, 30);
+    let feed = |threads: usize| {
+        let mut index = AnnIndex::new(DIM, cfg_threads(threads));
+        for chunk in items.chunks(items.len().div_ceil(4)) {
+            for (id, date, v) in chunk {
+                index.insert(*id, *date, v);
+            }
+        }
+        index
+    };
+    let serial = feed(1);
+    assert!(serial.is_trained() && serial.retrains() >= 1);
+    for threads in [2usize, 8] {
+        let par = feed(threads);
+        assert_eq!(par.retrains(), serial.retrains());
+        for (qi, (_, _, q)) in items.iter().step_by(43).enumerate() {
+            assert_eq!(
+                hits_bits(&par.search(q, 8, None)),
+                hits_bits(&serial.search(q, 8, None)),
+                "threads={threads}, query {qi}: incremental hits diverged"
+            );
+            assert_eq!(
+                hits_bits(&par.search(q, 8, Some((5, 20)))),
+                hits_bits(&serial.search(q, 8, Some((5, 20)))),
+                "threads={threads}, query {qi}: filtered incremental hits diverged"
+            );
+        }
+    }
+}
+
+/// Randomized flavor of the differential: quickprop corpora, serial vs a
+/// generated degree.
+#[test]
+fn thread_count_differential_randomized() {
+    check_with(
+        &heavy(),
+        "ann_thread_differential",
+        gens::from_fn(|rng: &mut Rng| {
+            let seed = rng.next_u64();
+            let n = 520 + rng.bounded_u64(300) as usize;
+            let topics = 6 + rng.bounded_u64(10) as usize;
+            let threads = 2 + rng.bounded_u64(7) as usize; // 2..=8
+            (seed, n, topics, threads)
+        }),
+        |&(seed, n, topics, threads)| {
+            let items = clustered_corpus(seed, n, topics, 60);
+            let serial = AnnIndex::build(DIM, cfg_threads(1), items.clone());
+            let par = AnnIndex::build(DIM, cfg_threads(threads), items.clone());
+            for (_, _, q) in items.iter().step_by(n / 12) {
+                qp_assert_eq!(
+                    hits_bits(&par.search(q, 10, None)),
+                    hits_bits(&serial.search(q, 10, None)),
+                    "threads = {threads}"
+                );
+                qp_assert_eq!(
+                    hits_bits(&par.search(q, 10, Some((15, 40)))),
+                    hits_bits(&serial.search(q, 10, Some((15, 40)))),
+                    "threads = {threads}, filtered"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Fixed-seed differential gate for CI: one pinned corpus, three invariants
 /// that must hold on every machine and every run —
 /// 1. bulk build and epoch-wise inserts are both searchable with high

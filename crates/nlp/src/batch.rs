@@ -33,19 +33,18 @@ const MIN_PARALLEL: usize = 256;
 /// Analyze every text in one pass, returning the shared-vocabulary analyzer
 /// and one token-id vector per input text.
 ///
-/// With `parallel = true` the corpus is sharded across
-/// `available_parallelism` workers; the result is identical to the serial
-/// path in both token ids and vocabulary contents (see the module docs for
-/// why). The returned [`Analyzer`] owns the merged vocabulary, ready for
-/// frozen query analysis.
+/// With `parallel = true` the corpus is sharded across the global thread
+/// pool's workers (`TL_POOL_THREADS` override, else
+/// `available_parallelism`); the result is identical to the serial path in
+/// both token ids and vocabulary contents (see the module docs for why).
+/// The returned [`Analyzer`] owns the merged vocabulary, ready for frozen
+/// query analysis.
 pub fn analyze_batch<S: AsRef<str> + Sync>(
     options: AnalysisOptions,
     texts: &[S],
     parallel: bool,
 ) -> (Analyzer, Vec<Vec<TermId>>) {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let workers = tl_support::par::threads();
     if !parallel || workers < 2 || texts.len() < MIN_PARALLEL {
         let mut analyzer = Analyzer::new(options);
         let tokens = texts.iter().map(|t| analyzer.analyze(t.as_ref())).collect();

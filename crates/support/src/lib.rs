@@ -8,8 +8,13 @@
 //! * [`json`] — a minimal JSON value type with a recursive-descent parser
 //!   and serializer plus [`json::ToJson`]/[`json::FromJson`] traits (the
 //!   `serde`/`serde_json` replacement),
-//! * [`par`] — `std::thread::scope`-based data parallelism (the
-//!   `crossbeam::scope` replacement),
+//! * [`pool`] — a spawn-once work-stealing thread pool (per-worker chunked
+//!   deques, LIFO local / FIFO steal, panic containment, cooperative
+//!   deadlines; the `rayon` replacement), sized by `TL_POOL_THREADS` /
+//!   `available_parallelism`,
+//! * [`par`] — order-preserving data-parallel maps dispatched onto the
+//!   pool (the `crossbeam::scope` replacement — no hot path spawns OS
+//!   threads per call),
 //! * [`quickprop`] — a mini property-testing harness with seeded
 //!   generators, greedy input shrinking and failing-seed reporting (the
 //!   `proptest` replacement),
@@ -32,13 +37,15 @@ pub mod histogram;
 pub mod http;
 pub mod json;
 pub mod par;
+pub mod pool;
 pub mod quickprop;
 pub mod rng;
 pub mod storage;
 
 pub use histogram::LatencyHistogram;
 pub use json::{FromJson, Json, JsonError, ToJson};
-pub use par::{par_map, par_map_deadline};
+pub use par::{par_map, par_map_deadline, try_par_map};
+pub use pool::{warm_pool, Pool, TaskPanic};
 pub use rng::Rng;
 pub use storage::{
     crc32, EngineError, FaultConfig, FaultyStorage, FileStorage, MemStorage, RetryPolicy,

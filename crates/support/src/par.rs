@@ -1,32 +1,110 @@
-//! Scoped data parallelism on `std::thread::scope` (the `crossbeam::scope`
-//! replacement — std has had scoped threads since 1.63), plus a
-//! deadline-bounded fan-out for latency-sensitive query paths.
+//! Data-parallel maps, dispatched onto the process-wide work-stealing
+//! [`crate::pool`] — no hot path spawns OS threads per call.
+//!
+//! [`par_map`] / [`par_map_threads`] preserve their original contracts
+//! (order-preserving, panics propagate to the caller) but now run as chunk
+//! tasks on the spawn-once pool; [`try_par_map`] exposes the pool's
+//! per-item panic containment instead of propagating. [`par_map_deadline`]
+//! keeps its graceful-degradation contract (slot 0 always computed, on the
+//! calling thread) with a cooperative budget: abandoned work is bounded by
+//! the pool and counted ([`crate::pool::Pool::abandoned_tasks`]) instead of
+//! leaking detached threads.
+//!
+//! Determinism: output order is slot order, and `f` runs once per item with
+//! the same arguments regardless of chunking — results are bitwise
+//! independent of `TL_POOL_THREADS`, worker count, and steal interleaving.
+//! Any cross-item *reduction* is the caller's responsibility and every
+//! caller in this workspace reduces in fixed input order.
 
-use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use crate::pool::{Pool, TaskPanic};
+use std::time::Duration;
 
-/// Map `f` over `items` in parallel, preserving order.
+/// Map `f` over `items` in parallel on the global pool, preserving order.
 ///
-/// Splits the slice into one contiguous chunk per worker (at most
-/// `available_parallelism`, at most one per item) and runs `f` on scoped
-/// threads. Falls back to a plain serial map for zero or one item. Panics in
-/// `f` propagate to the caller.
+/// Splits the slice into one contiguous chunk per pool worker (at most one
+/// per item); the calling thread computes the first chunk and then helps
+/// execute queued work, so a pool of N workers gives N+1 executors. Panics
+/// in `f` propagate to the caller (after the other items complete).
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    par_map_threads(items, threads, f)
+    par_map_threads(items, threads(), f)
 }
 
-/// [`par_map`] with an explicit worker count (clamped to `[1, items.len()]`).
+/// [`par_map`] with an explicit parallelism degree: the slice is split into
+/// at most `threads` chunk tasks (clamped to `[1, items.len()]`). The chunk
+/// count only shapes scheduling — results are identical for every value.
 pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let out = Pool::global().map_chunks(items, threads, &f);
+    let mut first_panic: Option<TaskPanic> = None;
+    let values: Vec<R> = out
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(v) => Some(v),
+            Err(p) => {
+                first_panic.get_or_insert(p);
+                None
+            }
+        })
+        .collect();
+    if let Some(p) = first_panic {
+        panic!("par_map worker panicked: {p}");
+    }
+    values
+}
+
+/// [`par_map`] with per-item panic containment: a panic in `f` yields an
+/// `Err(TaskPanic)` for that item only; every other item still completes.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::global().map_chunks(items, threads(), &f)
+}
+
+/// Map `f` over owned `items` with a wall-clock budget, returning
+/// `Some(result)` for every item that finished in time and `None` for the
+/// rest.
+///
+/// Item 0 always runs *on the calling thread*, before the deadline is
+/// consulted, so the first slot is guaranteed `Some` — a fan-out that blows
+/// its budget still returns its first partition's answer instead of
+/// nothing. Remaining items run as pool tasks with a cooperative deadline:
+/// when the budget expires the batch is abandoned — queued items are
+/// skipped, in-flight items finish on pool workers and are discarded, and
+/// both are counted in [`crate::pool::Pool::abandoned_tasks`]. With
+/// `timeout = None` this waits for every item (all slots `Some`).
+pub fn par_map_deadline<T, R, F>(items: Vec<T>, timeout: Option<Duration>, f: F) -> Vec<Option<R>>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    Pool::global().deadline_map(items, timeout, f)
+}
+
+/// The global pool's worker count (`TL_POOL_THREADS` override, else
+/// `available_parallelism`) — the default parallelism degree for
+/// [`par_map`] and the shard count for batch analysis.
+pub fn threads() -> usize {
+    Pool::global().threads()
+}
+
+/// The pre-pool implementation: one `std::thread::scope` spawn per chunk,
+/// per call. Retained as the baseline `bench_pool` measures dispatch
+/// overhead against, and as an independent reference the pool's
+/// differential tests compare results with. Not for hot paths.
+pub fn scoped_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -45,72 +123,9 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .flat_map(|h| h.join().expect("scoped_map worker panicked"))
             .collect()
     })
-}
-
-/// Map `f` over owned `items` with a wall-clock budget, returning
-/// `Some(result)` for every item that finished in time and `None` for the
-/// rest.
-///
-/// Item 0 always runs *on the calling thread*, before the deadline is
-/// consulted, so the first slot is guaranteed `Some` — this is the
-/// "graceful degradation" contract: a fan-out that blows its budget still
-/// returns at least its first partition's answer instead of nothing.
-/// Remaining items run on detached threads; stragglers past the deadline
-/// are abandoned (their results are discarded when they eventually finish,
-/// and the threads exit on their own — `f` must not hold resources that
-/// outlive the call in a harmful way).
-///
-/// With `timeout = None` this degenerates to a full fan-out that waits for
-/// every item (all slots `Some`), equivalent to [`par_map`] over owned
-/// items.
-pub fn par_map_deadline<T, R, F>(items: Vec<T>, timeout: Option<Duration>, f: F) -> Vec<Option<R>>
-where
-    T: Send + 'static,
-    R: Send + 'static,
-    F: Fn(T) -> R + Send + Sync + 'static,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let start = Instant::now();
-    let f = Arc::new(f);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let mut iter = items.into_iter();
-    let first = iter.next().expect("non-empty");
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut pending = 0usize;
-    for (k, item) in iter.enumerate() {
-        let tx = tx.clone();
-        let f = Arc::clone(&f);
-        std::thread::spawn(move || {
-            // A closed receiver (deadline hit, caller gone) is fine: the
-            // straggler's result is simply dropped.
-            let _ = tx.send((k + 1, f(item)));
-        });
-        pending += 1;
-    }
-    drop(tx);
-    // The guaranteed partition: computed here, never subject to the budget.
-    out[0] = Some(f(first));
-    while pending > 0 {
-        let received = match timeout {
-            None => rx.recv().ok(),
-            Some(budget) => {
-                let Some(left) = budget.checked_sub(start.elapsed()) else {
-                    break;
-                };
-                rx.recv_timeout(left).ok()
-            }
-        };
-        let Some((idx, value)) = received else { break };
-        out[idx] = Some(value);
-        pending -= 1;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -137,33 +152,15 @@ mod tests {
         let serial = par_map_threads(&xs, 1, |&x| x * 3 - 1);
         for threads in [2, 3, 8, 64, 1000] {
             assert_eq!(par_map_threads(&xs, threads, |&x| x * 3 - 1), serial);
+            assert_eq!(scoped_map(&xs, threads, |&x| x * 3 - 1), serial);
         }
-    }
-
-    #[test]
-    fn actually_runs_concurrently() {
-        // With 4 workers and 4 items that each wait on a shared barrier, the
-        // map can only finish if the items run on distinct threads.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 4 {
-            return; // not enough cores to prove anything
-        }
-        let barrier = std::sync::Barrier::new(4);
-        let xs = [0u8; 4];
-        let out = par_map_threads(&xs, 4, |_| {
-            barrier.wait();
-            1u8
-        });
-        assert_eq!(out, vec![1, 1, 1, 1]);
     }
 
     #[test]
     fn deadline_none_waits_for_everything() {
         let xs: Vec<u64> = (0..37).collect();
         let out = par_map_deadline(xs.clone(), None, |x| x * 2);
-        assert_eq!(
-            out,
-            xs.iter().map(|&x| Some(x * 2)).collect::<Vec<_>>()
-        );
+        assert_eq!(out, xs.iter().map(|&x| Some(x * 2)).collect::<Vec<_>>());
         assert!(par_map_deadline(Vec::<u8>::new(), None, |x| x).is_empty());
     }
 
@@ -200,5 +197,24 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_per_item() {
+        let xs: Vec<u32> = (0..32).collect();
+        let out = try_par_map(&xs, |&x| {
+            if x % 13 == 7 {
+                panic!("unlucky {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 7 {
+                assert!(r.as_ref().unwrap_err().message.contains("unlucky"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), 2 * i as u32);
+            }
+        }
     }
 }

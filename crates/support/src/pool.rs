@@ -1,0 +1,602 @@
+//! A spawn-once, work-stealing thread pool — the substrate every `par_map`
+//! in the workspace dispatches onto, so hot paths that fan out thousands of
+//! times per run (sharded search, per-day TextRank, batch analysis, ANN
+//! build) never pay per-call OS thread creation.
+//!
+//! # Architecture
+//!
+//! * **Workers** are spawned once, lazily, on first use of the global pool
+//!   ([`Pool::global`]). The worker count is `TL_POOL_THREADS` when set
+//!   (any value ≥ 1), otherwise `available_parallelism`.
+//! * **Per-worker chunked deques**: every worker owns a deque of tasks
+//!   (a task is one contiguous chunk of a mapped slice, not one item).
+//!   A worker pops its own deque **LIFO** (back) — the chunk it pushed
+//!   most recently is the cache-hottest — and steals from other workers'
+//!   deques **FIFO** (front), taking the oldest, coldest chunk. External
+//!   (non-worker) submitters distribute chunks round-robin across the
+//!   worker deques.
+//! * **Cooperative joins**: a thread waiting for its batch *helps*: it runs
+//!   its own chunk first, then pulls queued tasks (its own batch's or any
+//!   other's) instead of blocking. A nested `par_map` issued from inside a
+//!   worker therefore always makes progress on the calling worker itself —
+//!   nesting can never deadlock, no matter how the pool is sized.
+//! * **Panic containment**: every mapped item runs under `catch_unwind`; a
+//!   panic poisons only that item's slot ([`TaskPanic`]). Workers never
+//!   unwind and the pool never loses a thread to a user panic.
+//! * **Determinism**: results are written into per-index slots and every
+//!   cross-chunk reduction in the workspace is performed by the *caller*
+//!   in fixed chunk order, so mapped output is a pure function of the
+//!   input — independent of worker count, steal interleaving, and
+//!   `TL_POOL_THREADS`.
+//!
+//! Deadline-bounded fan-outs ([`Pool::deadline_map`]) are cooperative:
+//! tasks that have not started when the budget expires are skipped, and
+//! both skipped and wasted (finished-after-abandon) tasks are counted in
+//! [`Pool::abandoned_tasks`] — unlike the old detached-thread design,
+//! abandoned work is bounded by the pool and observable.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A contained panic from one mapped item: the payload message, with the
+/// item's slot index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// Stringified panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: one deque per worker plus the sleep/wake machinery.
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for external submissions.
+    next_push: AtomicUsize,
+    /// Tasks queued and not yet claimed (advisory, drives worker sleep).
+    pending: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Deadline-map tasks skipped before start or finished after abandon.
+    abandoned: AtomicU64,
+    /// Tasks executed to completion (chunk granularity).
+    executed: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self, i: usize) -> std::sync::MutexGuard<'_, VecDeque<Task>> {
+        self.queues[i].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queue a task: a worker of this pool pushes to its own deque (LIFO
+    /// pop side), anyone else round-robins across the deques.
+    fn push(self: &Arc<Self>, task: Task) {
+        let q = match worker_index_in(self) {
+            Some(me) => me,
+            None => self.next_push.fetch_add(1, Ordering::Relaxed) % self.queues.len(),
+        };
+        self.lock_queue(q).push_back(task);
+        self.pending.fetch_add(1, Ordering::Release);
+        // Take the sleep lock before notifying so a worker between its
+        // "nothing queued" check and its wait cannot miss the wakeup.
+        drop(self.sleep.lock().unwrap_or_else(PoisonError::into_inner));
+        self.wake.notify_all();
+    }
+
+    /// Claim a task: own deque back (LIFO) when `me` is a worker index,
+    /// then the other deques front-first (FIFO steal).
+    fn grab(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(me) = me {
+            if let Some(task) = self.lock_queue(me).pop_back() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(task);
+            }
+        }
+        let n = self.queues.len();
+        let start = match me {
+            Some(me) => me + 1,
+            None => self.next_push.load(Ordering::Relaxed),
+        };
+        for k in 0..n {
+            let q = (start + k) % n;
+            if Some(q) == me {
+                continue;
+            }
+            if let Some(task) = self.lock_queue(q).pop_front() {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn run(&self, task: Task) {
+        task();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+std::thread_local! {
+    /// `(Arc::as_ptr of the pool's Shared, worker index)` for pool workers.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
+}
+
+/// The calling thread's worker index **in this pool**, if it is one.
+fn worker_index_in(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER.with(|w| match w.get() {
+        Some((id, me)) if id == Arc::as_ptr(shared) as usize => Some(me),
+        _ => None,
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, me))));
+    loop {
+        if let Some(task) = shared.grab(Some(me)) {
+            shared.run(task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.sleep.lock().unwrap_or_else(PoisonError::into_inner);
+        if shared.pending.load(Ordering::Acquire) > 0 || shared.shutdown.load(Ordering::Acquire) {
+            continue; // something arrived between the grab and the lock
+        }
+        // Timeout is a backstop only; pushes notify under the sleep lock.
+        let _ = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Completion rendezvous for one scoped batch.
+struct BatchSync {
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl BatchSync {
+    fn new(tasks: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(tasks),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark one task finished; wake the joiner on the last.
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+            *g = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Write-once result slots shared by the chunks of one scoped map.
+///
+/// Safety contract: chunk `c` writes only indices in its own `[lo, hi)`
+/// range, each exactly once, before its `BatchSync::finish_one`; the joiner
+/// reads only after observing `remaining == 0` (Acquire), which the final
+/// Release decrement orders after every write.
+struct Slots<R> {
+    cells: Vec<std::cell::UnsafeCell<Option<R>>>,
+}
+
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Self {
+            cells: (0..n).map(|_| std::cell::UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Store into slot `i`. See the struct-level safety contract.
+    unsafe fn put(&self, i: usize, value: R) {
+        *self.cells[i].get() = Some(value);
+    }
+
+    fn into_values(self) -> impl Iterator<Item = Option<R>> {
+        self.cells.into_iter().map(|c| c.into_inner())
+    }
+}
+
+/// The work-stealing pool. See the module docs for the architecture.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// Build a private pool with exactly `threads` workers (clamped to
+    /// ≥ 1). Intended for tests; production code uses [`Pool::global`].
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_push: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            abandoned: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tl-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The process-wide pool, created on first use with
+    /// [`default_threads`] workers. Touch it at service startup
+    /// ([`warm_pool`]) so the first request never pays the spawn.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Deadline-map tasks that were skipped (budget expired before start)
+    /// or wasted (finished after their batch was abandoned) — cumulative.
+    pub fn abandoned_tasks(&self) -> u64 {
+        self.shared.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Chunk tasks executed to completion — cumulative.
+    pub fn executed_tasks(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Stop the workers and join them. Pending tasks are drained first
+    /// (workers exit only when they find nothing to run). Test-pool
+    /// hygiene; never called on the global pool.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.sleep.lock().unwrap_or_else(PoisonError::into_inner));
+        self.shared.wake.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Map `f` over `items` split into at most `chunks` contiguous chunk
+    /// tasks, preserving order. The calling thread runs the first chunk
+    /// itself, then helps the pool until the batch completes. A panic in
+    /// `f` poisons only that item's slot.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], chunks: usize, f: &F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = chunks.clamp(1, n);
+        let run_item = |i: usize| -> Result<R, TaskPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(&items[i]))).map_err(|p| TaskPanic {
+                index: i,
+                message: payload_message(p),
+            })
+        };
+        if chunks == 1 {
+            return (0..n).map(run_item).collect();
+        }
+
+        let chunk_len = n.div_ceil(chunks);
+        let slots = Slots::new(n);
+        let sync = BatchSync::new(chunks);
+        let run_chunk = |c: usize| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(n);
+            for i in lo..hi {
+                // Safety: this chunk exclusively owns slots [lo, hi).
+                unsafe { slots.put(i, run_item(i)) };
+            }
+            sync.finish_one();
+        };
+        for c in 1..chunks {
+            // Safety: `run_chunk` borrows stack state (`items`, `f`,
+            // `slots`, `sync`) that outlives the task because this function
+            // does not return until `sync` reports every chunk finished,
+            // and every queued chunk is guaranteed to run (by a worker or
+            // by the help loop below).
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || run_chunk(c));
+            let task: Task = unsafe { std::mem::transmute(task) };
+            self.shared.push(task);
+        }
+        run_chunk(0);
+        self.help_until(&sync);
+        slots
+            .into_values()
+            .map(|s| s.expect("every chunk fills its slots"))
+            .collect()
+    }
+
+    /// Run queued tasks (any batch's) until `sync` completes; park briefly
+    /// only when nothing is runnable.
+    fn help_until(&self, sync: &BatchSync) {
+        let me = worker_index_in(&self.shared);
+        loop {
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(task) = self.shared.grab(me) {
+                self.shared.run(task);
+                continue;
+            }
+            let g = sync.done.lock().unwrap_or_else(PoisonError::into_inner);
+            if sync.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // In-flight chunks are running on other threads; the last one
+            // notifies under this lock. The timeout is a backstop so a
+            // missed edge (task pushed elsewhere) cannot strand us.
+            let _ = sync
+                .cv
+                .wait_timeout(g, Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Map `f` over owned `items` with an optional wall-clock budget;
+    /// `None` in a slot means that item was abandoned.
+    ///
+    /// Contract (inherited from the pre-pool scoped implementation): item 0
+    /// always runs on the calling thread before the deadline is consulted,
+    /// so slot 0 is always `Some` — the graceful-degradation floor. With
+    /// `timeout = None` every slot is `Some` and the caller helps execute;
+    /// with a budget the caller waits (so the cutoff is precise) and on
+    /// expiry sets the abandon flag: queued-but-unstarted items are skipped
+    /// by the workers, and both skipped and too-late completions are
+    /// counted in [`Pool::abandoned_tasks`].
+    pub fn deadline_map<T, R, F>(
+        &self,
+        items: Vec<T>,
+        timeout: Option<Duration>,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let f = Arc::new(f);
+        struct DeadlineState<R> {
+            slots: Vec<Mutex<Option<R>>>,
+            sync: BatchSync,
+            abandoned: AtomicBool,
+        }
+        let state = Arc::new(DeadlineState::<R> {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            sync: BatchSync::new(n),
+            abandoned: AtomicBool::new(false),
+        });
+        let mut iter = items.into_iter();
+        let first = iter.next().expect("n > 0");
+        // An already-spent budget (`Some(ZERO)` is the "first partition
+        // only" idiom) degrades *deterministically*: nothing is queued, so
+        // no worker can race the expiry check and sneak extra slots in.
+        if let Some(budget) = timeout {
+            if budget
+                .checked_sub(start.elapsed())
+                .is_none_or(|left| left.is_zero())
+            {
+                self.shared
+                    .abandoned
+                    .fetch_add((n - 1) as u64, Ordering::Relaxed);
+                let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+                out.push(catch_unwind(AssertUnwindSafe(|| f(first))).ok());
+                out.extend((1..n).map(|_| None));
+                return out;
+            }
+        }
+        for (k, item) in iter.enumerate() {
+            let f = Arc::clone(&f);
+            let st = Arc::clone(&state);
+            let shared = Arc::clone(&self.shared);
+            self.shared.push(Box::new(move || {
+                if st.abandoned.load(Ordering::Acquire) {
+                    shared.abandoned.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let r = catch_unwind(AssertUnwindSafe(|| f(item)));
+                    if st.abandoned.load(Ordering::Acquire) {
+                        // Finished after the budget expired: the result is
+                        // discarded, not admitted late.
+                        shared.abandoned.fetch_add(1, Ordering::Relaxed);
+                    } else if let Ok(v) = r {
+                        *st.slots[k + 1].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    }
+                }
+                st.sync.finish_one();
+            }));
+        }
+        // The guaranteed partition: computed here, never under the budget.
+        if let Ok(v) = catch_unwind(AssertUnwindSafe(|| f(first))) {
+            *state.slots[0].lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        }
+        state.sync.finish_one();
+
+        match timeout {
+            None => self.help_until(&state.sync),
+            Some(budget) => {
+                let mut g = state.sync.done.lock().unwrap_or_else(PoisonError::into_inner);
+                while state.sync.remaining.load(Ordering::Acquire) > 0 {
+                    let Some(left) = budget.checked_sub(start.elapsed()) else {
+                        break;
+                    };
+                    let (g2, _) = state
+                        .sync
+                        .cv
+                        .wait_timeout(g, left)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    g = g2;
+                }
+                if state.sync.remaining.load(Ordering::Acquire) > 0 {
+                    state.abandoned.store(true, Ordering::Release);
+                }
+            }
+        }
+        state
+            .slots
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).take())
+            .collect()
+    }
+}
+
+/// Worker count the global pool is created with: `TL_POOL_THREADS` when set
+/// (parsed as an integer ≥ 1), else `available_parallelism`.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TL_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Force-create the global pool (service startup calls this so the first
+/// request never pays worker spawning); returns its worker count.
+pub fn warm_pool() -> usize {
+    Pool::global().threads()
+}
+
+/// The number of OS threads this process currently runs (Linux: counted
+/// from `/proc/self/task`); `None` where unsupported. Test probe for the
+/// "no hot path spawns threads per call" invariant.
+pub fn process_threads() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task")
+        .ok()
+        .map(|entries| entries.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let pool = Pool::new(3);
+        let xs: Vec<u64> = (0..500).collect();
+        let out = pool.map_chunks(&xs, 8, &|&x| x * 2 + 1);
+        let got: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, xs.iter().map(|&x| x * 2 + 1).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panic_poisons_only_its_item() {
+        let pool = Pool::new(2);
+        let xs: Vec<u32> = (0..64).collect();
+        let out = pool.map_chunks(&xs, 4, &|&x| {
+            if x == 17 {
+                panic!("boom {x}");
+            }
+            x + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 17);
+                assert!(e.message.contains("boom 17"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 + 1);
+            }
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn deadline_none_completes_everything() {
+        let pool = Pool::new(2);
+        let out = pool.deadline_map((0..40u64).collect(), None, |x| x * 3);
+        assert_eq!(out, (0..40u64).map(|x| Some(x * 3)).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn abandoned_counter_moves_on_expired_budget() {
+        let pool = Pool::new(1);
+        let before = pool.abandoned_tasks();
+        let out = pool.deadline_map(
+            (0..6u64).collect(),
+            Some(Duration::ZERO),
+            |x| {
+                if x > 0 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                x
+            },
+        );
+        assert_eq!(out[0], Some(0), "slot 0 is the guaranteed partition");
+        // Give stragglers time to be observed as abandoned.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.abandoned_tasks() == before && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(pool.abandoned_tasks() > before, "abandoned work must be counted");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_joins() {
+        let pool = Pool::new(4);
+        let xs: Vec<u64> = (0..100).collect();
+        let _ = pool.map_chunks(&xs, 16, &|&x| x);
+        pool.shutdown();
+    }
+}

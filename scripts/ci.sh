@@ -38,6 +38,28 @@ cargo build --release --offline
 echo "== offline tests (all targets) =="
 cargo test -q --offline
 
+echo "== thread pool: property + no-spawn-per-call gate =="
+# Work-stealing pool invariants: nested par_map never deadlocks (even on a
+# 1-worker pool), a panicking task poisons only its own item, seeded
+# 8-thread stress runs are replay-deterministic, expired deadline work is
+# observable in the abandoned counter, and — the reason the pool exists —
+# hammering every hot-path map entry point never spawns OS threads per
+# invocation (live /proc/self/task probe, in its own test binary).
+cargo test -q --offline -p tl-support --test pool_properties --test pool_thread_probe
+
+echo "== thread pool: single-worker full-suite pass =="
+# The entire workspace must pass with the global pool clamped to one
+# worker: results are thread-count-independent by construction, and the
+# caller-helps scheduler must make any nesting depth deadlock-free.
+TL_POOL_THREADS=1 cargo test -q --offline
+
+echo "== ANN index: multi-thread differential gate =="
+# Fixed seeds, 8 pool workers: builds and queries at parallelism degrees
+# {1, 2, 8} must stay bitwise identical (ids and f64 score bits), including
+# incremental inserts, date-filtered queries and knn_pairs rows.
+TL_POOL_THREADS=8 cargo test -q --offline -p tl-embed --test ann_properties \
+    thread_count_differential
+
 echo "== sharded engine: differential bit-identity gate =="
 # The sharded engine must stay bit-identical to the single-index reference
 # (ranked ids and f64 score bits) for keyword, quoted-phrase and
