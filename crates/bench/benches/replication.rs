@@ -1,0 +1,168 @@
+//! Replication cost: what does WAL shipping charge and how fast does the
+//! cluster move?
+//!
+//! * `replication/ship_latency_1` — publish-to-visible latency for a single
+//!   record: the primary inserts + publishes, one follower `pull` makes the
+//!   new epoch servable,
+//! * `replication/catch_up_1k` / `replication/catch_up_10k` — wall time for
+//!   a *fresh* follower to join a primary holding that many durable records
+//!   and reach its epoch (the 10k corpus crosses the default snapshot
+//!   cadence, so the join is a snapshot bulk-apply + WAL tail; the 1k-record
+//!   join uses a plain WAL-only primary and measures pure tailing),
+//! * `replication/failover_to_first_serve` — primary death to first served
+//!   read on the elected survivor: elect over the ballots, promote, search.
+//!
+//! Results go to `BENCH_replication.json`; with `TL_BENCH_ENFORCE=1` each
+//! fresh median must stay within 2× of its committed baseline.
+//!
+//! Run with `cargo test -q -p tl-bench --test replication -- --ignored --nocapture`.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use tl_bench::{baseline_median, bench, record, timeline17_corpus};
+use tl_corpus::DatedSentence;
+use tl_ir::{
+    elect, DurabilityConfig, DurableEngine, Follower, SearchQuery, ShardedSearchConfig,
+};
+use tl_support::storage::MemStorage;
+
+fn corpus(n: usize) -> Vec<DatedSentence> {
+    let base = timeline17_corpus(0.05).sentences;
+    assert!(!base.is_empty());
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
+}
+
+fn enforce() -> bool {
+    std::env::var("TL_BENCH_ENFORCE").as_deref() == Ok("1")
+}
+
+fn gate_baseline(name: &str, fresh_median: f64, regressions: &mut Vec<String>) {
+    if !enforce() {
+        return;
+    }
+    let baseline = baseline_median("BENCH_replication.json", name)
+        .unwrap_or_else(|| panic!("committed BENCH_replication.json must contain {name}"));
+    if fresh_median > 2.0 * baseline {
+        regressions.push(format!(
+            "{name}: median {:.1} ms > 2x baseline {:.1} ms",
+            fresh_median * 1e3,
+            baseline * 1e3
+        ));
+    }
+}
+
+fn primary_with(docs: &[DatedSentence], config: DurabilityConfig) -> (Arc<MemStorage>, DurableEngine) {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = DurableEngine::open(pmem.clone(), ShardedSearchConfig::default(), config)
+        .expect("open primary");
+    for ds in docs {
+        primary.insert(ds.date, ds.pub_date, &ds.text).expect("primary insert");
+    }
+    primary.publish().expect("primary publish");
+    (pmem, primary)
+}
+
+fn join_follower(id: &str, pmem: Arc<MemStorage>) -> Follower {
+    Follower::open(
+        id,
+        "p0",
+        Arc::new(MemStorage::new()),
+        pmem,
+        ShardedSearchConfig::default(),
+        DurabilityConfig::default(),
+    )
+    .expect("open follower")
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_ship_latency() {
+    let docs = corpus(200);
+    let mut regressions = Vec::new();
+    let (pmem, primary) = primary_with(&docs[..100], DurabilityConfig::default().with_snapshot_every(0));
+    let follower = join_follower("f1", pmem);
+    follower.pull().expect("initial catch-up");
+    assert_eq!(follower.epoch(), primary.epoch());
+
+    // Publish-to-visible for one fresh record per iteration: the cost a
+    // bounded-staleness read pays to see the newest acked epoch.
+    let mut next = 100usize;
+    let stats = bench("replication/ship_latency_1", || {
+        let ds = &docs[next % docs.len()];
+        next += 1;
+        primary.insert(ds.date, ds.pub_date, &ds.text).expect("insert");
+        primary.publish().expect("publish");
+        follower.pull().expect("ship");
+        assert_eq!(follower.epoch(), primary.epoch());
+        black_box(follower.epoch());
+    });
+    record("BENCH_replication.json", "replication/ship_latency_1", &stats);
+    gate_baseline("replication/ship_latency_1", stats.median, &mut regressions);
+    assert!(regressions.is_empty(), "ship latency regressions:\n{}", regressions.join("\n"));
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_catch_up() {
+    let mut regressions = Vec::new();
+    for &n in &[1_000usize, 10_000] {
+        let docs = corpus(n);
+        // Default cadence: the 10k primary has compacted into a snapshot,
+        // so the fresh join is a bulk apply; the 1k primary is WAL-only.
+        let config = if n >= 10_000 {
+            DurabilityConfig::default()
+        } else {
+            DurabilityConfig::default().with_snapshot_every(0)
+        };
+        let (pmem, primary) = primary_with(&docs, config);
+        let name = format!("replication/catch_up_{}k", n / 1_000);
+        let stats = bench(&name, || {
+            let follower = join_follower("f1", pmem.clone());
+            follower.pull().expect("catch-up");
+            assert_eq!(follower.epoch(), primary.epoch());
+            black_box(follower.len());
+        });
+        record("BENCH_replication.json", &name, &stats);
+        gate_baseline(&name, stats.median, &mut regressions);
+    }
+    assert!(regressions.is_empty(), "catch-up regressions:\n{}", regressions.join("\n"));
+}
+
+#[test]
+#[ignore = "benchmark"]
+fn bench_failover_to_first_serve() {
+    let docs = corpus(1_000);
+    let mut regressions = Vec::new();
+    let (pmem, primary) = primary_with(&docs, DurabilityConfig::default().with_snapshot_every(0));
+    let probe = SearchQuery {
+        keywords: docs[0].text.split_whitespace().take(2).collect::<Vec<_>>().join(" "),
+        range: None,
+        limit: 10,
+    };
+    let epoch = primary.epoch();
+    drop(primary);
+
+    // Two caught-up replicas; per iteration the cluster runs a full
+    // failover: ballots, election, promotion, first served read. Promotion
+    // is idempotent, so repeated iterations measure the same path.
+    let f1 = join_follower("f1", pmem.clone());
+    let f2 = join_follower("f2", pmem);
+    f1.pull().expect("f1 catch-up");
+    f2.pull().expect("f2 catch-up");
+    assert_eq!(f1.epoch(), epoch);
+    let stats = bench("replication/failover_to_first_serve", || {
+        let ballots = [f1.state(), f2.state()];
+        let winner_id = elect(&ballots).expect("candidates").id.clone();
+        let winner = if winner_id == "f1" { &f1 } else { &f2 };
+        winner.promote().expect("promote");
+        let hits = winner.search(&probe);
+        black_box(hits.len());
+    });
+    record(
+        "BENCH_replication.json",
+        "replication/failover_to_first_serve",
+        &stats,
+    );
+    gate_baseline("replication/failover_to_first_serve", stats.median, &mut regressions);
+    assert!(regressions.is_empty(), "failover regressions:\n{}", regressions.join("\n"));
+}

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use tl_corpus::{dated_sentences, Article, DatedSentence, Timeline};
 use tl_ir::{
-    DurableEngine, EngineSnapshot, EpochMemo, HealthReport, SearchHit, SearchQuery,
+    DurableEngine, EngineSnapshot, EpochMemo, Follower, HealthReport, SearchHit, SearchQuery,
     ShardedSearchEngine,
 };
 use tl_support::storage::{EngineError, FileStorage, Storage};
@@ -99,11 +99,13 @@ struct SessionValue {
     rows_complete: bool,
 }
 
-/// The engine behind the service: purely in-memory, or wrapped in the
-/// WAL + snapshot durability layer.
+/// The engine behind the service: purely in-memory, wrapped in the
+/// WAL + snapshot durability layer, or a replication follower serving
+/// bounded-staleness reads (and rejecting writes until promoted).
 enum EngineKind {
     Volatile(ShardedSearchEngine),
     Durable(DurableEngine),
+    Follower(Arc<Follower>),
 }
 
 impl EngineKind {
@@ -111,6 +113,7 @@ impl EngineKind {
         match self {
             Self::Volatile(e) => e,
             Self::Durable(d) => d.engine(),
+            Self::Follower(f) => f.engine(),
         }
     }
 
@@ -121,6 +124,7 @@ impl EngineKind {
                 Ok(())
             }
             Self::Durable(d) => d.insert(date, pub_date, text).map(|_| ()),
+            Self::Follower(f) => f.insert(date, pub_date, text).map(|_| ()),
         }
     }
 
@@ -128,6 +132,7 @@ impl EngineKind {
         match self {
             Self::Volatile(e) => Ok(e.publish()),
             Self::Durable(d) => d.publish(),
+            Self::Follower(f) => f.publish(),
         }
     }
 
@@ -135,6 +140,7 @@ impl EngineKind {
         match self {
             Self::Volatile(e) => e.health(),
             Self::Durable(d) => d.health(),
+            Self::Follower(f) => f.health(),
         }
     }
 }
@@ -192,6 +198,34 @@ impl RealTimeSystem {
             config.durability.clone(),
         )?;
         Ok(Self::with_engine(EngineKind::Durable(durable), config))
+    }
+
+    /// Serve queries from a replication [`Follower`]: `/search`, `/timeline`
+    /// and `/health` answer from the follower's epoch-stamped snapshots
+    /// (bounded staleness reported in [`HealthReport::epochs_behind`]),
+    /// while ingestion fails with [`EngineError::NotPrimary`] naming the
+    /// leader — until the follower is promoted, after which this same
+    /// system accepts writes. The caller keeps its own `Arc` to drive
+    /// [`Follower::pull`] and failover.
+    pub fn follower(follower: Arc<Follower>, config: WilsonConfig) -> Self {
+        Self::with_engine(EngineKind::Follower(follower), config)
+    }
+
+    /// The replication follower behind this system, when there is one.
+    pub fn replica(&self) -> Option<&Arc<Follower>> {
+        match &self.engine {
+            EngineKind::Follower(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Replication role of this node: `"primary"` for volatile and durable
+    /// systems (they accept writes), the follower's current role otherwise.
+    pub fn role(&self) -> &'static str {
+        match &self.engine {
+            EngineKind::Volatile(_) | EngineKind::Durable(_) => "primary",
+            EngineKind::Follower(f) => f.role(),
+        }
     }
 
     fn with_engine(engine: EngineKind, config: WilsonConfig) -> Self {

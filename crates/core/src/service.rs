@@ -200,18 +200,38 @@ impl FromJson for TimelineResponse {
 pub struct ErrorBody {
     /// Stable error code: `bad_request`, `missing_param`, `bad_param`,
     /// `not_found`, `method_not_allowed`, `overloaded`,
-    /// `storage_unavailable`, `corrupt_state`, `replay_failed`, `internal`.
+    /// `storage_unavailable`, `corrupt_state`, `replay_failed`,
+    /// `not_primary`, `internal`.
     pub error: String,
     /// Human-readable detail (not stable; do not switch on it).
     pub detail: String,
+    /// For `not_primary` only: the node currently accepting writes, so a
+    /// client can re-route its ingest without a discovery round-trip.
+    /// Omitted from the JSON envelope on every other error.
+    pub leader: Option<String>,
+}
+
+impl ErrorBody {
+    /// The common leaderless envelope.
+    pub fn new(error: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            error: error.into(),
+            detail: detail.into(),
+            leader: None,
+        }
+    }
 }
 
 impl ToJson for ErrorBody {
     fn to_json(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("error", self.error.to_json()),
             ("detail", self.detail.to_json()),
-        ])
+        ];
+        if let Some(leader) = &self.leader {
+            fields.push(("leader", leader.to_json()));
+        }
+        obj(fields)
     }
 }
 
@@ -220,35 +240,36 @@ impl FromJson for ErrorBody {
         Ok(Self {
             error: String::from_json(v.field("error")?)?,
             detail: String::from_json(v.field("detail")?)?,
+            leader: v.get("leader").map(String::from_json).transpose()?,
         })
     }
 }
 
 /// The stable HTTP status + error code for an [`EngineError`]: storage
 /// trouble is retryable (`503`), corrupt state and failed replay are not
-/// (`500`). Pinned by the error-path suite so clients can rely on it.
+/// (`500`), and a write sent to a read-only follower is a client-side
+/// routing mistake (`409`, with the leader named in the body). Pinned by
+/// the error-path suite so clients can rely on it.
 pub fn engine_error_status(e: &EngineError) -> (u16, &'static str) {
     match e {
         EngineError::Storage(_) => (503, "storage_unavailable"),
         EngineError::Corrupt { .. } => (500, "corrupt_state"),
         EngineError::Replay { .. } => (500, "replay_failed"),
+        EngineError::NotPrimary { .. } => (409, "not_primary"),
     }
 }
 
 fn engine_error_response(e: &EngineError) -> Response {
     let (status, code) = engine_error_status(e);
-    let body = ErrorBody {
-        error: code.to_string(),
-        detail: e.to_string(),
-    };
+    let mut body = ErrorBody::new(code, e.to_string());
+    if let EngineError::NotPrimary { leader } = e {
+        body.leader = Some(leader.clone());
+    }
     Response::json(status, &body.to_json())
 }
 
 fn error_response(status: u16, code: &str, detail: impl Into<String>) -> Response {
-    let body = ErrorBody {
-        error: code.to_string(),
-        detail: detail.into(),
-    };
+    let body = ErrorBody::new(code, detail);
     Response::json(status, &body.to_json())
 }
 

@@ -25,7 +25,8 @@ use std::sync::Arc;
 use tl_corpus::{generate, SynthConfig};
 use tl_ir::wal::{scan_records, WalRecord, WAL_FILE};
 use tl_ir::{
-    DurabilityConfig, DurableEngine, SearchEngine, SearchHit, SearchQuery, ShardedSearchConfig,
+    elect, DurabilityConfig, DurableEngine, Follower, SearchEngine, SearchHit, SearchQuery,
+    ShardedSearchConfig,
 };
 use tl_support::rng::Rng;
 use tl_support::storage::{FaultConfig, FaultyStorage, MemStorage, RetryPolicy, Storage};
@@ -208,6 +209,7 @@ fn fault_round(seed: u64, sync_loss: bool) -> (usize, u64) {
             fail_prob: 0.05,
             torn_prob: 0.08,
             sync_loss_prob: if sync_loss { 0.2 } else { 0.0 },
+            ..FaultConfig::none()
         },
     ));
     let engine = DurableEngine::open(
@@ -306,6 +308,333 @@ fn lost_fsyncs_still_recover_to_a_consistent_prefix() {
     for round in 0..chaos_iters() as u64 {
         fault_round(seed.wrapping_add(round * 104_729), true);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Replication chaos (ISSUE 10): kill the primary or any follower at every
+// replication offset; followers must always be a bit-identical prefix of
+// the primary's acked epochs, and failover must lose no fsynced publish.
+// ---------------------------------------------------------------------------
+
+fn open_follower(
+    id: &str,
+    own: Arc<dyn Storage>,
+    primary: Arc<dyn Storage>,
+    retry: RetryPolicy,
+) -> Follower {
+    Follower::open(
+        id,
+        "p0",
+        own,
+        primary,
+        ShardedSearchConfig::default().with_shards(2),
+        DurabilityConfig::default().with_retry(retry),
+    )
+    .expect("follower open must never fail")
+}
+
+/// Kill the *primary* at every byte offset of its WAL: a follower shipping
+/// from each prefix must converge to exactly the longest valid record
+/// prefix, promote, and serve it bit-identically — no fsynced publish lost
+/// at any crash point.
+#[test]
+fn replication_kill_primary_at_every_wal_offset() {
+    let mut rng = Rng::seed_from_u64(chaos_seed() ^ 0x9E9);
+    let num_docs = 12 + rng.bounded_u64(6) as usize;
+    let docs: Vec<(Date, String)> = (0..num_docs)
+        .map(|_| (random_date(&mut rng), random_sentence(&mut rng)))
+        .collect();
+    let queries = random_queries(&mut rng, 3);
+
+    let pmem = Arc::new(MemStorage::new());
+    let primary = open_clean(pmem.clone(), 2);
+    for (date, text) in &docs {
+        primary.insert(*date, *date, text).unwrap();
+        if rng.bounded_u64(3) == 0 {
+            primary.publish().unwrap();
+        }
+    }
+    primary.publish().unwrap();
+    let wal = pmem.read(WAL_FILE).unwrap();
+
+    for k in 0..=wal.len() {
+        // The primary dies leaving the first k WAL bytes; a follower ships
+        // whatever is durable.
+        let dead_primary = Arc::new(MemStorage::new());
+        dead_primary.put_raw(WAL_FILE, wal[..k].to_vec());
+        let follower = open_follower(
+            "f1",
+            Arc::new(MemStorage::new()),
+            dead_primary,
+            RetryPolicy::default(),
+        );
+        follower.pull().unwrap();
+
+        let scan = scan_records(&wal[..k]);
+        let mut inserts = 0u64;
+        let mut published = 0u64;
+        for r in &scan.records {
+            match r {
+                WalRecord::Insert { .. } => inserts += 1,
+                WalRecord::Epoch { epoch } => published = *epoch,
+            }
+        }
+        assert_eq!(follower.epoch() as u64, published, "offset {k}: epoch");
+        let state = follower.state();
+        assert_eq!(state.applied, inserts, "offset {k}: shipped inserts");
+        assert_eq!(state.epochs_behind(), 0, "offset {k}: fully drained");
+
+        // The follower serves the published prefix bit-identically...
+        let reference = reference_prefix(&docs, published as usize);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &follower.search(q),
+                &reference.search(q),
+                &format!("offset {k} query {qi} (follower, published)"),
+            );
+        }
+        // ...and after failover (promote publishes shipped pending
+        // records) every insert that was durable at the crash point.
+        follower.promote().unwrap();
+        assert_eq!(follower.epoch() as u64, inserts, "offset {k}: post-failover epoch");
+        let reference = reference_prefix(&docs, inserts as usize);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &follower.search(q),
+                &reference.search(q),
+                &format!("offset {k} query {qi} (post-failover)"),
+            );
+        }
+    }
+}
+
+/// Kill a *follower* at every replication offset: ship `j` records, crash
+/// the follower's own storage (unsynced bytes gone), restart it, and
+/// verify the recovered state is a valid published prefix that still
+/// converges bit-identically to the primary.
+#[test]
+fn replication_kill_follower_at_every_offset() {
+    let mut rng = Rng::seed_from_u64(chaos_seed() ^ 0xF0110);
+    let num_docs = 10 + rng.bounded_u64(6) as usize;
+    let docs: Vec<(Date, String)> = (0..num_docs)
+        .map(|_| (random_date(&mut rng), random_sentence(&mut rng)))
+        .collect();
+    let queries = random_queries(&mut rng, 3);
+
+    let pmem = Arc::new(MemStorage::new());
+    let primary = open_clean(pmem.clone(), 2);
+    for (date, text) in &docs {
+        primary.insert(*date, *date, text).unwrap();
+        if rng.bounded_u64(3) == 0 {
+            primary.publish().unwrap();
+        }
+    }
+    primary.publish().unwrap();
+    let total_records = scan_records(&pmem.read(WAL_FILE).unwrap()).records.len();
+
+    for j in 0..=total_records {
+        let own: Arc<MemStorage> = Arc::new(MemStorage::new());
+        let follower = open_follower(
+            "f1",
+            own.clone(),
+            pmem.clone(),
+            RetryPolicy::default(),
+        );
+        follower.pull_limit(j).unwrap();
+        drop(follower);
+        own.simulate_crash();
+
+        // Restart: the recovered epoch is an honestly-fsynced publish
+        // boundary, served bit-identically over the acked prefix.
+        let follower = open_follower("f1", own, pmem.clone(), RetryPolicy::default());
+        let recovered = follower.epoch();
+        assert!(recovered <= primary.epoch(), "offset {j}: epoch bound");
+        let reference = reference_prefix(&docs, recovered);
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &follower.search(q),
+                &reference.search(q),
+                &format!("offset {j} query {qi} (recovered prefix)"),
+            );
+        }
+        // Re-shipping from scratch converges: sequence dedup absorbs every
+        // record the crash kept, replay fills in every record it dropped.
+        follower.pull().unwrap();
+        assert_eq!(follower.epoch(), primary.epoch(), "offset {j}: converged epoch");
+        for (qi, q) in queries.iter().enumerate() {
+            assert_identical(
+                &follower.search(q),
+                &primary.search(q),
+                &format!("offset {j} query {qi} (converged)"),
+            );
+        }
+    }
+}
+
+/// One seeded replication round under injected faults on *both* sides:
+/// the primary ingests through a write-faulty storage (honest fsync), two
+/// followers ship through read-faulty views (errors + short reads), pulls
+/// and follower crashes interleave with ingestion, and finally the
+/// primary dies and the cluster elects. Invariants:
+///
+/// * at every checkpoint each follower is a bit-identical prefix of the
+///   acknowledged insert sequence,
+/// * the elected winner's epoch covers every acknowledged publish,
+/// * the promoted winner serves bit-identically and accepts writes.
+fn replication_fault_round(seed: u64) -> u64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let num_docs = 18 + rng.bounded_u64(14) as usize;
+    let docs: Vec<(Date, String)> = (0..num_docs)
+        .map(|_| (random_date(&mut rng), random_sentence(&mut rng)))
+        .collect();
+    let queries = random_queries(&mut rng, 3);
+    let retry = RetryPolicy {
+        max_attempts: 6,
+        base_backoff: std::time::Duration::ZERO,
+    };
+
+    let pmem = Arc::new(MemStorage::new());
+    let pfaulty = Arc::new(FaultyStorage::new(
+        Arc::clone(&pmem),
+        FaultConfig {
+            seed: seed ^ 0xFA17,
+            fail_prob: 0.04,
+            torn_prob: 0.06,
+            ..FaultConfig::none()
+        },
+    ));
+    let primary = DurableEngine::open(
+        pfaulty.clone(),
+        ShardedSearchConfig::default().with_shards(2),
+        DurabilityConfig::default()
+            .with_snapshot_every(10)
+            .with_retry(retry),
+    )
+    .expect("open on empty storage");
+
+    // Followers ship through independently seeded read-faulty views over
+    // the primary's storage.
+    let ship_view = |i: u64| -> Arc<dyn Storage> {
+        Arc::new(FaultyStorage::new(
+            Arc::clone(&pmem) as Arc<dyn Storage>,
+            FaultConfig {
+                seed: seed ^ (0xBEEF + i),
+                read_fail_prob: 0.08,
+                short_read_prob: 0.08,
+                ..FaultConfig::none()
+            },
+        ))
+    };
+    let owns: Vec<Arc<MemStorage>> = (0..2).map(|_| Arc::new(MemStorage::new())).collect();
+    let mut followers: Vec<Follower> = (0..2)
+        .map(|i| {
+            open_follower(
+                &format!("f{i}"),
+                owns[i as usize].clone(),
+                ship_view(i),
+                retry,
+            )
+        })
+        .collect();
+
+    let mut acked: Vec<(Date, String)> = Vec::new();
+    let mut acked_epoch = 0usize;
+    let mut faults = 0u64;
+    for (date, text) in &docs {
+        if primary.insert(*date, *date, text).is_ok() {
+            acked.push((*date, text.clone()));
+        }
+        if rng.bounded_u64(3) == 0 {
+            if let Ok(epoch) = primary.publish() {
+                acked_epoch = epoch;
+            }
+        }
+        for (i, follower) in followers.iter().enumerate() {
+            if rng.bounded_u64(2) == 0 {
+                // Budgeted pulls interleave catch-up with ingestion; a
+                // pull that exhausts its retries just tries again later.
+                let _ = follower.pull_limit(1 + rng.bounded_u64(6) as usize);
+                // Prefix invariant: whatever the follower has published
+                // is bit-identical to the acked prefix at its epoch.
+                let reference = reference_prefix(&acked, follower.epoch());
+                for (qi, q) in queries.iter().enumerate() {
+                    assert_identical(
+                        &follower.search(q),
+                        &reference.search(q),
+                        &format!("seed {seed} follower {i} query {qi} (mid-stream)"),
+                    );
+                }
+            }
+        }
+        // Occasionally crash-restart a follower: its unsynced bytes are
+        // dropped and it must resume from its own durable prefix.
+        if rng.bounded_u64(8) == 0 {
+            let i = rng.bounded_u64(2) as usize;
+            let id = followers[i].id().to_string();
+            followers.remove(i);
+            owns[i].simulate_crash();
+            followers.insert(
+                i,
+                open_follower(&id, owns[i].clone(), ship_view(i as u64), retry),
+            );
+        }
+    }
+    if let Ok(epoch) = primary.publish() {
+        acked_epoch = epoch;
+    }
+    faults += pfaulty.injected_faults();
+
+    // The primary dies: unsynced bytes on its storage are gone. Followers
+    // drain what is durable (read faults still firing), bounded.
+    drop(primary);
+    pmem.simulate_crash();
+    for follower in &followers {
+        for _ in 0..100 {
+            if follower.pull().is_ok() && follower.epoch() >= acked_epoch {
+                break;
+            }
+        }
+    }
+
+    // Election: the most caught-up follower wins and must cover every
+    // honestly-fsynced (acknowledged) publish.
+    let ballots: Vec<_> = followers.iter().map(|f| f.state()).collect();
+    let winner_id = elect(&ballots).expect("two candidates").id.clone();
+    let winner = followers.iter().find(|f| f.id() == winner_id).unwrap();
+    assert!(
+        winner.epoch() >= acked_epoch,
+        "seed {seed}: acked epoch {acked_epoch} lost in failover (winner at {})",
+        winner.epoch()
+    );
+    winner.promote().unwrap();
+    let reference = reference_prefix(&acked, winner.epoch());
+    for (qi, q) in queries.iter().enumerate() {
+        assert_identical(
+            &winner.search(q),
+            &reference.search(q),
+            &format!("seed {seed} winner query {qi} (post-failover)"),
+        );
+    }
+    // The new primary accepts and serves writes in place.
+    let before = winner.epoch();
+    let date: Date = "2018-05-01".parse().unwrap();
+    winner.insert(date, date, "post failover news").unwrap();
+    winner.publish().unwrap();
+    assert_eq!(winner.epoch(), before + 1);
+    faults
+}
+
+#[test]
+fn replication_fault_schedules_never_lose_acked_epochs() {
+    let seed = chaos_seed() ^ 0x2E97;
+    let mut total_faults = 0;
+    for round in 0..chaos_iters() as u64 {
+        total_faults += replication_fault_round(seed.wrapping_add(round * 6_271));
+    }
+    assert!(
+        total_faults > 0,
+        "the fault schedule never fired; the adversary is toothless"
+    );
 }
 
 #[test]

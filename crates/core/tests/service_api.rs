@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 use tl_corpus::{generate, Article, SynthConfig, Timeline};
-use tl_ir::ShardedSearchConfig;
+use tl_ir::{DurabilityConfig, Follower, ShardedSearchConfig};
 use tl_support::http::{Client, ServerConfig};
 use tl_support::json::{FromJson, Json, ToJson};
 use tl_support::qp_assert;
@@ -96,9 +96,15 @@ fn prop_responses_roundtrip() {
                 partial: rng.gen_bool(0.5),
             };
             let error = ErrorBody {
-                error: ["bad_request", "overloaded", "internal"][rng.gen_range(0..3usize)]
-                    .to_string(),
+                error: ["bad_request", "overloaded", "internal", "not_primary"]
+                    [rng.gen_range(0..4usize)]
+                .to_string(),
                 detail: format!("detail {}", rng.gen_range(0..100u32)),
+                leader: if rng.gen_bool(0.5) {
+                    Some(format!("node-{}", rng.gen_range(0..4u32)))
+                } else {
+                    None
+                },
             };
             (ingest, search, timeline, error)
         },),
@@ -264,6 +270,94 @@ fn storage_failure_surfaces_as_503_with_typed_body() {
     // The server survives: reads still work after the write path died.
     let health = client.request("GET", "/health", None).unwrap();
     assert_eq!(health.status, 200);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Follower-backed service: reads serve, writes 409 to the leader
+// ---------------------------------------------------------------------------
+
+#[test]
+fn follower_service_serves_reads_and_redirects_writes() {
+    // A primary system on shared storage, with one published article.
+    let pmem = Arc::new(MemStorage::new());
+    let primary = RealTimeSystem::with_storage(
+        Arc::clone(&pmem) as Arc<dyn Storage>,
+        WilsonConfig::default(),
+    )
+    .expect("clean primary open");
+    primary
+        .ingest_all(&[Article {
+            id: 1,
+            pub_date: "2018-06-12".parse().unwrap(),
+            sentences: vec!["The summit took place in the capital.".into()],
+        }])
+        .unwrap();
+
+    // A follower replicating from it, served over a real socket.
+    let follower = Arc::new(
+        Follower::open(
+            "replica-1",
+            "primary-node",
+            Arc::new(MemStorage::new()),
+            pmem,
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default(),
+        )
+        .unwrap(),
+    );
+    follower.pull().unwrap();
+    let system = RealTimeSystem::follower(Arc::clone(&follower), WilsonConfig::default());
+    assert_eq!(system.role(), "follower");
+    let service = Arc::new(TimelineService::new(system, ServiceConfig::default()));
+    let server = service.serve("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr(), Duration::from_secs(30)).unwrap();
+
+    // Reads serve the replicated, epoch-stamped snapshot.
+    let resp = client
+        .request("GET", "/search?q=summit&limit=10", None)
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let search = SearchResponse::from_json(&resp.json().unwrap()).unwrap();
+    assert_eq!(search.hits.len(), 1);
+    assert_eq!(search.epoch, 1);
+
+    // Health names the role and the staleness bound.
+    let resp = client.request("GET", "/health", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let health = resp.json().unwrap();
+    let engine = health.get("engine").expect("engine block");
+    assert_eq!(engine.get("role").and_then(Json::as_str), Some("follower"));
+    assert_eq!(engine.get("epochs_behind").and_then(Json::as_f64), Some(0.0));
+
+    // Writes are rejected with a stable code naming the leader.
+    let body = IngestRequest {
+        articles: vec![Article {
+            id: 2,
+            pub_date: "2018-06-13".parse().unwrap(),
+            sentences: vec!["A second-day development.".into()],
+        }],
+    }
+    .to_json()
+    .to_string_compact();
+    let resp = client
+        .request("POST", "/ingest", Some(body.as_bytes()))
+        .unwrap();
+    assert_eq!(resp.status, 409);
+    let envelope = ErrorBody::from_json(&resp.json().unwrap()).unwrap();
+    assert_eq!(envelope.error, "not_primary");
+    assert_eq!(envelope.leader.as_deref(), Some("primary-node"));
+
+    // After promotion the same wire request succeeds in place.
+    follower.promote().unwrap();
+    let resp = client
+        .request("POST", "/ingest", Some(body.as_bytes()))
+        .unwrap();
+    assert_eq!(resp.status, 200, "promoted follower accepts writes");
+    let resp = client.request("GET", "/health", None).unwrap();
+    let health = resp.json().unwrap();
+    let engine = health.get("engine").expect("engine block");
+    assert_eq!(engine.get("role").and_then(Json::as_str), Some("primary"));
     server.shutdown();
 }
 

@@ -22,6 +22,8 @@
 //!   scale), bit-identical to [`search`] under the default merge policy,
 //! * [`wal`] — crash-safe persistence for the sharded engine: checksummed
 //!   write-ahead log, compacted snapshots, deterministic recovery,
+//! * [`replicate`] — primary → follower replication over the WAL:
+//!   shipping, snapshot catch-up, bounded-staleness reads, election,
 //! * [`memo`] — epoch-keyed memoization with carry-forward semantics for
 //!   incremental maintainers over snapshot-pinned answers.
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod bm25;
 pub mod index;
 pub mod memo;
 pub mod positional;
+pub mod replicate;
 pub mod search;
 pub mod shard;
 pub mod wal;
@@ -43,4 +46,5 @@ pub use shard::{
     shard_of, EngineSnapshot, HealthReport, MergePolicy, SearchOutcome, ShardedSearchConfig,
     ShardedSearchEngine,
 };
+pub use replicate::{elect, Follower, FollowerState, Replicator};
 pub use wal::{DurabilityConfig, DurableEngine};

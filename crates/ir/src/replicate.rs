@@ -1,0 +1,647 @@
+//! Primary → follower replication for the durable engine: WAL shipping,
+//! snapshot catch-up, bounded-staleness follower reads, and failover by
+//! WAL-position election.
+//!
+//! # Protocol
+//!
+//! The primary is an ordinary [`DurableEngine`]: it appends crc32-framed
+//! insert records and epoch markers to its WAL and periodically compacts
+//! into an atomic snapshot (`snap-<count>.bin`). Replication adds **no new
+//! write path** — a follower *reads* the primary's storage through the
+//! same [`Storage`] trait (a shared filesystem, an object store, or a
+//! [`MemStorage`](tl_support::storage::MemStorage) in tests) and replays
+//! what it finds into a `DurableEngine` of its own:
+//!
+//! 1. **Snapshot catch-up.** When the primary's newest snapshot (chosen by
+//!    *numeric* covered-insert count — see [`crate::wal::snapshot_count`])
+//!    covers more inserts than the follower has applied, the follower bulk
+//!    applies the snapshot's records, publishing at the snapshot's recorded
+//!    epoch. This is how a freshly joined follower reaches the present
+//!    without reading a WAL that may long since have been compacted away.
+//! 2. **WAL tailing.** The follower reads the primary WAL from its ship
+//!    offset ([`Storage::read_from`]), scans complete frames, and applies
+//!    each record via [`DurableEngine::apply_record`] — idempotent by
+//!    insert sequence, publishing at epoch markers. The offset advances
+//!    only past fully applied frames, so torn tails, short reads and
+//!    injected errors simply retry on the next pull.
+//! 3. **Compaction safety.** The primary truncates its WAL only *after*
+//!    atomically writing a snapshot covering it. A follower that observes
+//!    the truncation (WAL shorter than its offset, or a newer snapshot in
+//!    `list()`) resets its offset to zero; a follower that reads a torn
+//!    listing (WAL already truncated, snapshot not yet seen) hits an
+//!    insert-sequence *gap*, which triggers a bounded re-list + snapshot
+//!    catch-up. Sequence-number dedup makes every rescan from zero safe.
+//!
+//! Every fetch edge runs under the configured [`RetryPolicy`].
+//!
+//! # Staleness and failover
+//!
+//! A follower's **bounded staleness** is `epochs_behind = (highest primary
+//! publish observed) − (own published epoch)`, surfaced in
+//! [`HealthReport`] together with `role`. Failover is **election by WAL
+//! position**: [`elect`] picks the candidate with the highest published
+//! epoch, then the most applied inserts, then the lowest id — the replica
+//! that provably lost the least. [`Follower::promote`] flips the winner
+//! into a writable primary in place: its engine *is* a `DurableEngine` on
+//! its own storage, already crash-safe, so promotion is a flag, not a
+//! migration.
+
+use crate::index::DocId;
+use crate::search::{SearchHit, SearchQuery};
+use crate::shard::{
+    EngineSnapshot, HealthReport, SearchOutcome, ShardedSearchConfig, ShardedSearchEngine,
+};
+use crate::wal::{
+    decode_snapshot, encode_record, scan_records, snapshot_count, DurabilityConfig, DurableEngine,
+    WalRecord, WAL_FILE,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use tl_support::storage::{EngineError, RetryPolicy, Storage, StorageError};
+use tl_temporal::Date;
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Replicator
+// ---------------------------------------------------------------------------
+
+/// The fetch side of replication: a read-only, retrying view over the
+/// *primary's* storage. Every operation runs under the [`RetryPolicy`],
+/// and a missing WAL (a primary that has not ingested yet, or one caught
+/// mid-compaction) reads as empty rather than erroring.
+pub struct Replicator {
+    primary: Arc<dyn Storage>,
+    retry: RetryPolicy,
+    retries: AtomicU64,
+}
+
+impl Replicator {
+    /// A replicator reading from `primary` under `retry`.
+    pub fn new(primary: Arc<dyn Storage>, retry: RetryPolicy) -> Self {
+        Self {
+            primary,
+            retry,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch operations retried after a transient error so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// The primary's snapshots as `(count, name)`, ascending by count.
+    fn snapshots(&self) -> Result<Vec<(u64, String)>, StorageError> {
+        let primary = &self.primary;
+        let names = self
+            .retry
+            .run("ship-list", &self.retries, || primary.list())?;
+        let mut out: Vec<(u64, String)> = names
+            .into_iter()
+            .filter_map(|n| snapshot_count(&n).map(|c| (c, n)))
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Read a whole primary file (snapshot shipping).
+    fn read_file(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        let primary = &self.primary;
+        self.retry
+            .run("ship-read", &self.retries, || primary.read(name))
+    }
+
+    /// The primary WAL's current length (0 when it does not exist yet).
+    fn wal_len(&self) -> Result<u64, StorageError> {
+        let primary = &self.primary;
+        self.retry
+            .run("ship-len", &self.retries, || match primary.len(WAL_FILE) {
+                Err(StorageError::NotFound { .. }) => Ok(0),
+                other => other,
+            })
+    }
+
+    /// The primary WAL's bytes from `offset` (empty when missing).
+    fn read_wal_from(&self, offset: u64) -> Result<Vec<u8>, StorageError> {
+        let primary = &self.primary;
+        self.retry.run("ship-wal-read", &self.retries, || {
+            match primary.read_from(WAL_FILE, offset) {
+                Err(StorageError::NotFound { .. }) => Ok(Vec::new()),
+                other => other,
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FollowerState + election
+// ---------------------------------------------------------------------------
+
+/// A point-in-time description of one follower — the ballot it casts in a
+/// [`elect`] and the status surfaced to tests and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerState {
+    /// Node identifier (stable, unique within the deployment).
+    pub id: String,
+    /// `"follower"`, or `"primary"` after promotion.
+    pub role: String,
+    /// Insert records durably applied (published or pending).
+    pub applied: u64,
+    /// Published epoch.
+    pub epoch: u64,
+    /// Highest primary publish this node has observed while shipping.
+    pub primary_published: u64,
+    /// Next byte offset into the primary's WAL.
+    pub ship_offset: u64,
+    /// Total `pull` calls.
+    pub pulls: u64,
+    /// Records applied from shipping (WAL tail + snapshot catch-up).
+    pub shipped_records: u64,
+    /// Snapshot catch-ups performed.
+    pub snapshot_catchups: u64,
+}
+
+impl FollowerState {
+    /// Bounded staleness: observed primary publishes not yet applied here.
+    pub fn epochs_behind(&self) -> u64 {
+        self.primary_published.saturating_sub(self.epoch)
+    }
+}
+
+/// WAL-position election: the winner is the candidate with the highest
+/// published epoch, breaking ties by most applied inserts, then by lowest
+/// id (total order — every node computes the same winner from the same
+/// ballots). Returns `None` only for an empty candidate set.
+pub fn elect(candidates: &[FollowerState]) -> Option<&FollowerState> {
+    candidates.iter().max_by(|a, b| {
+        (a.epoch, a.applied)
+            .cmp(&(b.epoch, b.applied))
+            // Lower id wins ties: reverse the id comparison.
+            .then_with(|| b.id.cmp(&a.id))
+    })
+}
+
+/// Shipping cursor state, guarded by one lock so `pull` is serialized.
+#[derive(Debug)]
+struct ShipState {
+    /// Next byte offset into the primary's WAL (only ever advanced past
+    /// fully applied frames, or reset to zero on compaction).
+    offset: u64,
+    /// Newest primary snapshot count observed (compaction detector).
+    primary_base: u64,
+    /// Highest primary publish observed (staleness numerator).
+    primary_published: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Follower
+// ---------------------------------------------------------------------------
+
+/// A read-only replica: a [`DurableEngine`] on this node's *own* storage
+/// (crash-safe and instantly promotable), fed by a [`Replicator`] over the
+/// primary's storage. Serves epoch-stamped snapshot queries; rejects
+/// writes with [`EngineError::NotPrimary`] naming the current leader until
+/// [`promote`](Self::promote)d.
+pub struct Follower {
+    id: String,
+    leader: Mutex<String>,
+    engine: DurableEngine,
+    replicator: Replicator,
+    ship: Mutex<ShipState>,
+    promoted: AtomicBool,
+    pulls: AtomicU64,
+    shipped_records: AtomicU64,
+    snapshot_catchups: AtomicU64,
+}
+
+impl Follower {
+    /// Open a follower `id` replicating from the primary named `leader`.
+    ///
+    /// `own` is this node's private storage (recovered on open, exactly
+    /// like a primary restart); `primary` is the leader's storage, read
+    /// through the [`Replicator`]. The ship offset starts at zero — a
+    /// restarted follower rescans the primary WAL and dedups by sequence.
+    pub fn open(
+        id: &str,
+        leader: &str,
+        own: Arc<dyn Storage>,
+        primary: Arc<dyn Storage>,
+        search: ShardedSearchConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, EngineError> {
+        let retry = durability.retry;
+        let engine = DurableEngine::open(own, search, durability)?;
+        let primary_published = engine.epoch() as u64;
+        Ok(Self {
+            id: id.to_string(),
+            leader: Mutex::new(leader.to_string()),
+            engine,
+            replicator: Replicator::new(primary, retry),
+            ship: Mutex::new(ShipState {
+                offset: 0,
+                primary_base: 0,
+                primary_published,
+            }),
+            promoted: AtomicBool::new(false),
+            pulls: AtomicU64::new(0),
+            shipped_records: AtomicU64::new(0),
+            snapshot_catchups: AtomicU64::new(0),
+        })
+    }
+
+    /// One replication round: detect compaction, catch up from the newest
+    /// snapshot if it is ahead of us, then tail the primary WAL. Returns
+    /// the number of records applied. A failed pull leaves all progress
+    /// made so far durable; the next pull resumes where it stopped.
+    pub fn pull(&self) -> Result<u64, EngineError> {
+        self.pull_limit(usize::MAX)
+    }
+
+    /// [`pull`](Self::pull) applying at most `max_records` WAL-tail
+    /// records (snapshot catch-up is not budgeted — it is a bulk join).
+    /// Epoch markers beyond the budget are still *observed*, so
+    /// `epochs_behind` reflects a lagging follower honestly.
+    pub fn pull_limit(&self, max_records: usize) -> Result<u64, EngineError> {
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        let mut ship = lock_unpoisoned(&self.ship);
+        let mut applied = 0u64;
+
+        // Compaction detection: a new snapshot means the primary's WAL was
+        // (or is about to be) truncated — restart the tail from zero. The
+        // sequence dedup in `apply_record` makes rescans harmless.
+        let snaps = self.replicator.snapshots()?;
+        if let Some((count, name)) = snaps.last() {
+            if *count > ship.primary_base {
+                ship.primary_base = *count;
+                ship.offset = 0;
+            }
+            // Fresh-join / far-behind catch-up: bulk apply the snapshot.
+            if *count > self.engine.durable_inserts() {
+                self.catch_up(&mut ship, name)?;
+            }
+        }
+
+        let mut attempts = 0;
+        loop {
+            match self.apply_wal_tail(&mut ship, max_records, &mut applied) {
+                Ok(()) => return Ok(applied),
+                // An insert-sequence gap means the WAL no longer bridges
+                // our state — a compaction raced our listing (the torn
+                // listing: truncated WAL read, snapshot not yet seen).
+                // Re-list and catch up, bounded so a genuinely corrupt
+                // stream still surfaces as an error.
+                Err(EngineError::Replay { .. }) if attempts < 2 => {
+                    attempts += 1;
+                    let snaps = self.replicator.snapshots()?;
+                    let Some((_, name)) = snaps.last() else {
+                        return Err(EngineError::Replay {
+                            detail: "shipped stream has a gap and the primary has no snapshot"
+                                .into(),
+                        });
+                    };
+                    self.catch_up(&mut ship, name)?;
+                    ship.offset = 0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Tail the primary WAL from the ship offset, applying complete frames
+    /// up to the budget. The offset advances only past applied frames, so
+    /// torn tails and short reads retry next pull.
+    fn apply_wal_tail(
+        &self,
+        ship: &mut ShipState,
+        max_records: usize,
+        applied: &mut u64,
+    ) -> Result<(), EngineError> {
+        if self.replicator.wal_len()? < ship.offset {
+            // Truncated under us (compaction): restart; dedup skips the
+            // records the snapshot already covered.
+            ship.offset = 0;
+        }
+        let bytes = self.replicator.read_wal_from(ship.offset)?;
+        let scan = scan_records(&bytes);
+        // Observe publish progress from *every* marker in view — including
+        // ones beyond the apply budget — so staleness is honest.
+        for record in &scan.records {
+            if let WalRecord::Epoch { epoch } = record {
+                ship.primary_published = ship.primary_published.max(*epoch);
+            }
+        }
+        for record in &scan.records {
+            if *applied as usize >= max_records {
+                return Ok(());
+            }
+            let changed = self.engine.apply_record(record)?;
+            ship.offset += encode_record(record).len() as u64;
+            if changed {
+                *applied += 1;
+                self.shipped_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk apply one primary snapshot: inserts in sequence order with the
+    /// snapshot's publish boundary honored mid-stream, all idempotent.
+    fn catch_up(&self, ship: &mut ShipState, name: &str) -> Result<(), EngineError> {
+        let bytes = match self.replicator.read_file(name) {
+            Ok(b) => b,
+            // The snapshot was compacted away between list and read; the
+            // next pull will list its successor.
+            Err(StorageError::NotFound { .. }) => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let snap = decode_snapshot(&bytes).map_err(|detail| EngineError::Corrupt {
+            path: name.to_string(),
+            offset: 0,
+            detail,
+        })?;
+        self.snapshot_catchups.fetch_add(1, Ordering::Relaxed);
+        for record in &snap.records {
+            if let WalRecord::Insert { seq, .. } = record {
+                if *seq == snap.published {
+                    self.maybe_publish(snap.published)?;
+                }
+            }
+            if self.engine.apply_record(record)? {
+                self.shipped_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if snap.published == snap.count {
+            self.maybe_publish(snap.published)?;
+        }
+        ship.primary_base = ship.primary_base.max(snap.count);
+        ship.primary_published = ship.primary_published.max(snap.published);
+        Ok(())
+    }
+
+    /// Publish `epoch` iff it is ahead of us and exactly at our applied
+    /// count (the only position where an epoch marker is valid).
+    fn maybe_publish(&self, epoch: u64) -> Result<(), EngineError> {
+        if epoch > self.engine.epoch() as u64 && epoch == self.engine.durable_inserts() {
+            self.engine.apply_record(&WalRecord::Epoch { epoch })?;
+        }
+        Ok(())
+    }
+
+    /// Node identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The node currently accepting writes (self, after promotion).
+    pub fn leader(&self) -> String {
+        lock_unpoisoned(&self.leader).clone()
+    }
+
+    /// Point the rejection message at a new leader (after an election won
+    /// by someone else).
+    pub fn set_leader(&self, leader: &str) {
+        *lock_unpoisoned(&self.leader) = leader.to_string();
+    }
+
+    /// `"follower"`, or `"primary"` once promoted.
+    pub fn role(&self) -> &'static str {
+        if self.promoted.load(Ordering::Relaxed) {
+            "primary"
+        } else {
+            "follower"
+        }
+    }
+
+    /// Failover: become the writable primary. The inner engine already is
+    /// a recovered, crash-safe [`DurableEngine`] on this node's storage,
+    /// so promotion is immediate — no replay, no migration. Publishes any
+    /// shipped-but-pending inserts so the first post-failover read serves
+    /// everything this replica durably holds.
+    pub fn promote(&self) -> Result<usize, EngineError> {
+        self.promoted.store(true, Ordering::Relaxed);
+        *lock_unpoisoned(&self.leader) = self.id.clone();
+        self.engine.publish()
+    }
+
+    /// This node's ballot / status snapshot.
+    pub fn state(&self) -> FollowerState {
+        let ship = lock_unpoisoned(&self.ship);
+        FollowerState {
+            id: self.id.clone(),
+            role: self.role().to_string(),
+            applied: self.engine.durable_inserts(),
+            epoch: self.engine.epoch() as u64,
+            primary_published: ship.primary_published,
+            ship_offset: ship.offset,
+            pulls: self.pulls.load(Ordering::Relaxed),
+            shipped_records: self.shipped_records.load(Ordering::Relaxed),
+            snapshot_catchups: self.snapshot_catchups.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bounded staleness: observed primary publishes minus own epoch
+    /// (always 0 once promoted — this node *is* the reference point).
+    pub fn epochs_behind(&self) -> u64 {
+        if self.promoted.load(Ordering::Relaxed) {
+            return 0;
+        }
+        lock_unpoisoned(&self.ship)
+            .primary_published
+            .saturating_sub(self.engine.epoch() as u64)
+    }
+
+    /// Durably ingest one sentence. Fails with
+    /// [`EngineError::NotPrimary`] until promoted.
+    pub fn insert(&self, date: Date, pub_date: Date, text: &str) -> Result<DocId, EngineError> {
+        self.ensure_primary()?;
+        self.engine.insert(date, pub_date, text)
+    }
+
+    /// Publish pending inserts. Fails with [`EngineError::NotPrimary`]
+    /// until promoted.
+    pub fn publish(&self) -> Result<usize, EngineError> {
+        self.ensure_primary()?;
+        self.engine.publish()
+    }
+
+    fn ensure_primary(&self) -> Result<(), EngineError> {
+        if self.promoted.load(Ordering::Relaxed) {
+            Ok(())
+        } else {
+            Err(EngineError::NotPrimary {
+                leader: self.leader(),
+            })
+        }
+    }
+
+    /// The replica's engine (for the epoch-stamped read path).
+    pub fn engine(&self) -> &ShardedSearchEngine {
+        self.engine.engine()
+    }
+
+    /// The wrapped durable engine (tests; promotion uses it in place).
+    pub fn durable(&self) -> &DurableEngine {
+        &self.engine
+    }
+
+    /// Pin the current published snapshot.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.engine.snapshot()
+    }
+
+    /// Published epoch.
+    pub fn epoch(&self) -> usize {
+        self.engine.epoch()
+    }
+
+    /// Published sentence count.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// True when nothing is published yet.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// Query the current snapshot.
+    pub fn search(&self, query: &SearchQuery) -> Vec<SearchHit> {
+        self.engine.search(query)
+    }
+
+    /// Query with the partial-answer tag.
+    pub fn search_outcome(&self, query: &SearchQuery) -> SearchOutcome {
+        self.engine.search_outcome(query)
+    }
+
+    /// Health: the engine's counters plus replication role, staleness and
+    /// fetch retries.
+    pub fn health(&self) -> HealthReport {
+        let mut report = self.engine.health();
+        report.role = self.role().to_string();
+        report.epochs_behind = self.epochs_behind();
+        report.retries += self.replicator.retries();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tl_support::storage::MemStorage;
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn primary_on(mem: Arc<MemStorage>, snapshot_every: usize) -> DurableEngine {
+        DurableEngine::open(
+            mem,
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default().with_snapshot_every(snapshot_every),
+        )
+        .unwrap()
+    }
+
+    fn follower_on(own: Arc<MemStorage>, primary: Arc<MemStorage>) -> Follower {
+        Follower::open(
+            "f1",
+            "primary",
+            own,
+            primary,
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn follower_tails_the_primary_wal() {
+        let pmem = Arc::new(MemStorage::new());
+        let primary = primary_on(pmem.clone(), 0);
+        let follower = follower_on(Arc::new(MemStorage::new()), pmem);
+        primary.insert(d("2018-06-12"), d("2018-06-12"), "The summit took place.").unwrap();
+        primary.publish().unwrap();
+        assert_eq!(follower.pull().unwrap(), 2, "one insert + one epoch applied");
+        assert_eq!(follower.epoch(), 1);
+        assert_eq!(follower.epochs_behind(), 0);
+        assert_eq!(follower.pull().unwrap(), 0, "idempotent when caught up");
+    }
+
+    #[test]
+    fn follower_rejects_writes_until_promoted() {
+        let pmem = Arc::new(MemStorage::new());
+        let follower = follower_on(Arc::new(MemStorage::new()), pmem);
+        let err = follower.insert(d("2018-01-01"), d("2018-01-01"), "x").unwrap_err();
+        assert!(matches!(err, EngineError::NotPrimary { ref leader } if leader == "primary"));
+        assert!(matches!(follower.publish(), Err(EngineError::NotPrimary { .. })));
+        assert_eq!(follower.role(), "follower");
+        follower.promote().unwrap();
+        assert_eq!(follower.role(), "primary");
+        assert_eq!(follower.leader(), "f1");
+        follower.insert(d("2018-01-01"), d("2018-01-01"), "x").unwrap();
+        follower.publish().unwrap();
+        assert_eq!(follower.len(), 1);
+    }
+
+    #[test]
+    fn fresh_follower_catches_up_from_snapshot() {
+        let pmem = Arc::new(MemStorage::new());
+        let primary = primary_on(pmem.clone(), 0);
+        for i in 0..6 {
+            primary.insert(d("2018-01-01"), d("2018-01-01"), &format!("sentence {i}")).unwrap();
+        }
+        primary.checkpoint().unwrap(); // snapshot written, WAL truncated
+        let follower = follower_on(Arc::new(MemStorage::new()), pmem);
+        follower.pull().unwrap();
+        assert_eq!(follower.epoch(), 6);
+        let state = follower.state();
+        assert_eq!(state.snapshot_catchups, 1);
+        assert_eq!(state.applied, 6);
+    }
+
+    #[test]
+    fn budgeted_pull_reports_honest_staleness() {
+        let pmem = Arc::new(MemStorage::new());
+        let primary = primary_on(pmem.clone(), 0);
+        for i in 0..4 {
+            primary.insert(d("2018-01-01"), d("2018-01-01"), &format!("sentence {i}")).unwrap();
+            primary.publish().unwrap();
+        }
+        let follower = follower_on(Arc::new(MemStorage::new()), pmem);
+        // Budget of 2 records = 1 insert + 1 epoch applied; 3 more
+        // publishes observed but not applied.
+        assert_eq!(follower.pull_limit(2).unwrap(), 2);
+        assert_eq!(follower.epoch(), 1);
+        assert_eq!(follower.epochs_behind(), 3);
+        assert_eq!(follower.health().role, "follower");
+        assert_eq!(follower.health().epochs_behind, 3);
+        follower.pull().unwrap();
+        assert_eq!(follower.epochs_behind(), 0);
+    }
+
+    #[test]
+    fn election_prefers_epoch_then_applied_then_lowest_id() {
+        let mk = |id: &str, epoch: u64, applied: u64| FollowerState {
+            id: id.into(),
+            role: "follower".into(),
+            applied,
+            epoch,
+            primary_published: 0,
+            ship_offset: 0,
+            pulls: 0,
+            shipped_records: 0,
+            snapshot_catchups: 0,
+        };
+        assert!(elect(&[]).is_none());
+        let ballots = [mk("c", 5, 7), mk("a", 5, 9), mk("b", 4, 20)];
+        assert_eq!(elect(&ballots).unwrap().id, "a", "higher applied wins at equal epoch");
+        let ballots = [mk("c", 5, 7), mk("a", 5, 7), mk("b", 6, 6)];
+        assert_eq!(elect(&ballots).unwrap().id, "b", "epoch dominates");
+        let ballots = [mk("c", 5, 7), mk("a", 5, 7)];
+        assert_eq!(elect(&ballots).unwrap().id, "a", "lowest id breaks full ties");
+    }
+}

@@ -156,6 +156,13 @@ pub struct HealthReport {
     pub retries: u64,
     /// Compacted snapshots written.
     pub snapshots_written: u64,
+    /// Replication role: `"primary"` for a writable engine (including a
+    /// standalone one — it accepts writes), `"follower"` for a read-only
+    /// replica.
+    pub role: String,
+    /// Bounded staleness: how many published epochs this node trails the
+    /// primary by (always 0 on the primary itself).
+    pub epochs_behind: u64,
 }
 
 impl tl_support::ToJson for HealthReport {
@@ -171,6 +178,8 @@ impl tl_support::ToJson for HealthReport {
             ("truncated_tails", self.truncated_tails.to_json()),
             ("retries", self.retries.to_json()),
             ("snapshots_written", self.snapshots_written.to_json()),
+            ("role", self.role.to_json()),
+            ("epochs_behind", self.epochs_behind.to_json()),
         ])
     }
 }
@@ -188,6 +197,8 @@ impl tl_support::FromJson for HealthReport {
             truncated_tails: u64::from_json(v.field("truncated_tails")?)?,
             retries: u64::from_json(v.field("retries")?)?,
             snapshots_written: u64::from_json(v.field("snapshots_written")?)?,
+            role: String::from_json(v.field("role")?)?,
+            epochs_behind: u64::from_json(v.field("epochs_behind")?)?,
         })
     }
 }
@@ -950,6 +961,7 @@ impl ShardedSearchEngine {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            role: "primary".into(),
             ..HealthReport::default()
         }
     }

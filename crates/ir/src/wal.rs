@@ -260,6 +260,94 @@ pub fn snapshot_name(count: u64) -> String {
     format!("{SNAPSHOT_PREFIX}{count:012}.bin")
 }
 
+/// Parse the covered-insert count out of a snapshot file name, accepting
+/// any digit width (`snap-9.bin` and `snap-000000000009.bin` are the same
+/// snapshot). Returns `None` for names that are not well-formed snapshots.
+///
+/// Selection by *numeric* count matters: lexicographic ordering would rank
+/// `snap-9.bin` above `snap-000000000010.bin`, silently recovering (or
+/// shipping) from a stale snapshot. Everything that picks a "newest"
+/// snapshot — recovery and the replication shipper — must go through this.
+pub fn snapshot_count(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(SNAPSHOT_PREFIX)?.strip_suffix(".bin")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All well-formed snapshot names in `storage`, as `(count, name)` sorted
+/// by ascending count. Names carrying the snapshot prefix but failing to
+/// parse (temp files, foreign junk) are ignored.
+pub fn list_snapshots(storage: &dyn Storage) -> Result<Vec<(u64, String)>, EngineError> {
+    let mut out: Vec<(u64, String)> = storage
+        .list()?
+        .into_iter()
+        .filter_map(|n| snapshot_count(&n).map(|c| (c, n)))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// WalCursor
+// ---------------------------------------------------------------------------
+
+/// An incremental segment cursor over a stream of framed records: feed it
+/// byte chunks split at *arbitrary* boundaries (mid-header, mid-payload)
+/// and it yields exactly the record sequence a single whole-buffer
+/// [`scan_records`] would — the replication shipper's view of a WAL it
+/// reads in `read_from` slices while the primary keeps appending.
+///
+/// An incomplete frame at the end of the fed bytes is simply *pending*:
+/// the cursor buffers it and completes it on a later `feed`. After the
+/// final chunk, [`tail_issue`](Self::tail_issue) matches the whole-buffer
+/// scan's verdict (`None` for a clean stream, the torn/corrupt reason
+/// otherwise) and [`consumed`](Self::consumed) equals its `valid_len`.
+#[derive(Debug, Default)]
+pub struct WalCursor {
+    tail: Vec<u8>,
+    consumed: u64,
+    issue: Option<String>,
+}
+
+impl WalCursor {
+    /// A cursor at stream offset zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `chunk` to the stream and return every record completed by
+    /// it (possibly none, possibly several).
+    pub fn feed(&mut self, chunk: &[u8]) -> Vec<WalRecord> {
+        self.tail.extend_from_slice(chunk);
+        let scan = scan_records(&self.tail);
+        self.consumed += scan.valid_len;
+        self.tail.drain(..scan.valid_len as usize);
+        self.issue = scan.tail_issue;
+        scan.records
+    }
+
+    /// Total stream bytes consumed by complete, valid frames so far — the
+    /// offset a resuming reader should `read_from` next (buffered partial
+    /// bytes are *not* counted; they are re-validated when completed).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Bytes buffered beyond the last complete frame.
+    pub fn pending(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Why the buffered tail does not (yet) parse, if it doesn't. For a
+    /// live stream this usually means "more bytes coming"; after the final
+    /// chunk it is the same torn/corrupt verdict [`scan_records`] reports.
+    pub fn tail_issue(&self) -> Option<&str> {
+        self.issue.as_deref()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // DurabilityConfig
 // ---------------------------------------------------------------------------
@@ -374,15 +462,11 @@ impl DurableEngine {
         let engine = ShardedSearchEngine::new(search);
         let stats = DurStats::default();
 
-        // Newest snapshot that validates wins; corrupt ones are skipped.
+        // Newest snapshot (by *numeric* covered-insert count — lexicographic
+        // order mis-ranks unpadded names) that validates wins; corrupt ones
+        // are skipped.
         let mut snap: Option<SnapshotFile> = None;
-        let mut names: Vec<String> = storage
-            .list()?
-            .into_iter()
-            .filter(|n| n.starts_with(SNAPSHOT_PREFIX))
-            .collect();
-        names.sort();
-        for name in names.iter().rev() {
+        for (_, name) in list_snapshots(storage.as_ref())?.iter().rev() {
             let bytes = match storage.read(name) {
                 Ok(b) => b,
                 Err(_) => continue,
@@ -676,6 +760,54 @@ impl DurableEngine {
     pub fn durable_inserts(&self) -> u64 {
         self.lock_state().appended
     }
+
+    /// Follower-mode replay: apply one shipped record to this engine,
+    /// logging it in this engine's *own* WAL (so a follower is itself
+    /// crash-safe and instantly promotable). Idempotent by sequence:
+    ///
+    /// * `Insert` with `seq` below the applied count is a duplicate from a
+    ///   rescan — skipped (`Ok(false)`);
+    /// * `Insert` with `seq` above it is a gap (the shipped stream skipped
+    ///   data, e.g. a compaction raced the read) — `EngineError::Replay`,
+    ///   the caller must catch up from a snapshot;
+    /// * `Epoch` at or below the published epoch is stale — skipped;
+    /// * `Epoch` equal to the applied count publishes (replay-to-epoch);
+    ///   any other value is a `Replay` error.
+    ///
+    /// Returns `Ok(true)` when the record changed state.
+    pub fn apply_record(&self, record: &WalRecord) -> Result<bool, EngineError> {
+        match record {
+            WalRecord::Insert { seq, date, pub_date, text } => {
+                let applied = self.lock_state().appended;
+                if *seq < applied {
+                    return Ok(false);
+                }
+                if *seq > applied {
+                    return Err(EngineError::Replay {
+                        detail: format!("shipped insert gap: have {applied}, stream holds {seq}"),
+                    });
+                }
+                self.insert(*date, *pub_date, text)?;
+                Ok(true)
+            }
+            WalRecord::Epoch { epoch } => {
+                let (applied, marked) = {
+                    let state = self.lock_state();
+                    (state.appended, state.marked)
+                };
+                if *epoch <= marked {
+                    return Ok(false);
+                }
+                if *epoch != applied {
+                    return Err(EngineError::Replay {
+                        detail: format!("shipped epoch {epoch} with {applied} inserts applied"),
+                    });
+                }
+                self.publish()?;
+                Ok(true)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -768,6 +900,105 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(decode_snapshot(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn snapshot_count_parses_any_digit_width() {
+        assert_eq!(snapshot_count(&snapshot_name(42)), Some(42));
+        assert_eq!(snapshot_count("snap-9.bin"), Some(9));
+        assert_eq!(snapshot_count("snap-000000000010.bin"), Some(10));
+        assert_eq!(snapshot_count("snap-.bin"), None);
+        assert_eq!(snapshot_count("snap-12x.bin"), None);
+        assert_eq!(snapshot_count("snap-12"), None);
+        assert_eq!(snapshot_count("wal.log"), None);
+    }
+
+    #[test]
+    fn newest_snapshot_is_chosen_numerically_not_lexicographically() {
+        // Regression: "snap-9.bin" sorts lexicographically AFTER
+        // "snap-000000000010.bin", so a string sort recovers 9 records
+        // instead of 10. The numeric selector must pick count 10.
+        let mem = Arc::new(MemStorage::new());
+        let old: Vec<WalRecord> = (0..9).map(|i| rec(i, "2018-01-01", "old")).collect();
+        let new: Vec<WalRecord> = (0..10).map(|i| rec(i, "2018-01-02", "new")).collect();
+        mem.write_atomic("snap-9.bin", &encode_snapshot(9, &old)).unwrap();
+        mem.write_atomic("snap-000000000010.bin", &encode_snapshot(10, &new)).unwrap();
+        let engine = DurableEngine::open(
+            mem,
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.epoch(), 10, "must recover the numerically newest snapshot");
+    }
+
+    #[test]
+    fn cursor_matches_whole_buffer_scan_across_splits() {
+        let records = vec![
+            rec(0, "2018-03-08", "Trump agrees to meet Kim."),
+            WalRecord::Epoch { epoch: 1 },
+            rec(1, "2018-06-12", "The summit took place."),
+            WalRecord::Epoch { epoch: 2 },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        // Feed byte-by-byte: worst-case splits (mid-header, mid-payload).
+        let mut cursor = WalCursor::new();
+        let mut seen = Vec::new();
+        for b in &bytes {
+            seen.extend(cursor.feed(std::slice::from_ref(b)));
+        }
+        assert_eq!(seen, records);
+        assert_eq!(cursor.consumed(), bytes.len() as u64);
+        assert_eq!(cursor.pending(), 0);
+        assert!(cursor.tail_issue().is_none());
+    }
+
+    #[test]
+    fn cursor_buffers_torn_tail_until_completed() {
+        let first = encode_record(&rec(0, "2018-01-01", "first"));
+        let second = encode_record(&rec(1, "2018-01-02", "second"));
+        let mut cursor = WalCursor::new();
+        let mut fed = first.clone();
+        fed.extend_from_slice(&second[..second.len() - 3]);
+        let got = cursor.feed(&fed);
+        assert_eq!(got.len(), 1, "only the complete frame is yielded");
+        assert_eq!(cursor.consumed(), first.len() as u64);
+        assert_eq!(cursor.pending(), second.len() - 3);
+        assert!(cursor.tail_issue().is_some(), "tail is torn *so far*");
+        // The missing bytes arrive: the buffered frame completes.
+        let got = cursor.feed(&second[second.len() - 3..]);
+        assert_eq!(got, vec![rec(1, "2018-01-02", "second")]);
+        assert_eq!(cursor.consumed(), (first.len() + second.len()) as u64);
+        assert!(cursor.tail_issue().is_none());
+    }
+
+    #[test]
+    fn apply_record_is_idempotent_and_gap_safe() {
+        let engine = DurableEngine::open(
+            Arc::new(MemStorage::new()),
+            ShardedSearchConfig::single(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let r0 = rec(0, "2018-01-01", "first");
+        let r1 = rec(1, "2018-01-02", "second");
+        assert!(engine.apply_record(&r0).unwrap());
+        assert!(!engine.apply_record(&r0).unwrap(), "duplicate seq is skipped");
+        assert!(matches!(
+            engine.apply_record(&rec(5, "2018-01-03", "gap")),
+            Err(EngineError::Replay { .. })
+        ));
+        assert!(engine.apply_record(&r1).unwrap());
+        assert!(engine.apply_record(&WalRecord::Epoch { epoch: 2 }).unwrap());
+        assert_eq!(engine.epoch(), 2);
+        assert!(!engine.apply_record(&WalRecord::Epoch { epoch: 1 }).unwrap(), "stale epoch");
+        assert!(matches!(
+            engine.apply_record(&WalRecord::Epoch { epoch: 9 }),
+            Err(EngineError::Replay { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Replication protocol suite (ISSUE 10): snapshot catch-up, compaction
+//! racing the WAL tail, the torn-listing gap retry, follower restart,
+//! faulty read-side shipping, and end-to-end failover with election —
+//! every converged state checked bit-identically against the primary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tl_ir::{
+    elect, DurabilityConfig, DurableEngine, Follower, SearchQuery, ShardedSearchConfig,
+};
+use tl_support::storage::{
+    EngineError, FaultConfig, FaultyStorage, MemStorage, RetryPolicy, Storage, StorageError,
+};
+use tl_temporal::Date;
+
+fn d(s: &str) -> Date {
+    s.parse().unwrap()
+}
+
+fn docs(n: usize) -> Vec<(Date, String)> {
+    (0..n)
+        .map(|i| {
+            (
+                d("2018-01-01").plus_days((i % 40) as i32),
+                format!("summit talks round {i} on peace and sanctions"),
+            )
+        })
+        .collect()
+}
+
+fn primary_on(storage: Arc<dyn Storage>, snapshot_every: usize) -> DurableEngine {
+    DurableEngine::open(
+        storage,
+        ShardedSearchConfig::single(),
+        DurabilityConfig::default().with_snapshot_every(snapshot_every),
+    )
+    .expect("clean open")
+}
+
+fn follower_on(id: &str, own: Arc<dyn Storage>, primary: Arc<dyn Storage>) -> Follower {
+    Follower::open(
+        id,
+        "p0",
+        own,
+        primary,
+        ShardedSearchConfig::single(),
+        DurabilityConfig::default(),
+    )
+    .expect("follower open")
+}
+
+/// Bit-identical (`f64::to_bits`) comparison of a follower against the
+/// primary over a probe query.
+fn assert_matches_primary(follower: &Follower, primary: &DurableEngine, ctx: &str) {
+    assert_eq!(follower.epoch(), primary.epoch(), "{ctx}: epoch");
+    assert_eq!(follower.len(), primary.len(), "{ctx}: published sentences");
+    let q = SearchQuery {
+        keywords: "summit peace".into(),
+        range: None,
+        limit: 50,
+    };
+    let ours = follower.search(&q);
+    let theirs = primary.search(&q);
+    assert_eq!(ours.len(), theirs.len(), "{ctx}: hit counts");
+    for (i, (a, b)) in ours.iter().zip(&theirs).enumerate() {
+        assert_eq!(a.id, b.id, "{ctx}: hit {i} id");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{ctx}: hit {i} score bits"
+        );
+    }
+}
+
+#[test]
+fn compaction_mid_stream_triggers_snapshot_catchup() {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 0);
+    let corpus = docs(12);
+    for (date, text) in &corpus[..5] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    // The follower tails the first five records from the WAL...
+    let follower = follower_on("f1", Arc::new(MemStorage::new()), pmem.clone());
+    follower.pull().unwrap();
+    assert_eq!(follower.epoch(), 5);
+    assert!(follower.state().ship_offset > 0, "tailing, not snapshotting");
+
+    // ...then the primary compacts (snapshot + WAL truncation) and keeps
+    // ingesting into the fresh WAL.
+    primary.checkpoint().unwrap();
+    for (date, text) in &corpus[5..] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    // The follower detects the new snapshot, resets its offset, and
+    // converges: dedup-by-sequence makes the rescan harmless.
+    follower.pull().unwrap();
+    assert_matches_primary(&follower, &primary, "after compaction");
+    assert_eq!(follower.epochs_behind(), 0);
+}
+
+/// A storage view whose `list()` hides snapshot files for the first
+/// `hide_lists` calls — the torn listing: the primary truncated its WAL
+/// before the follower's listing observed the covering snapshot.
+struct TornListing {
+    inner: Arc<dyn Storage>,
+    remaining: AtomicU64,
+}
+
+impl Storage for TornListing {
+    fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        self.inner.read(path)
+    }
+    fn read_from(&self, path: &str, offset: u64) -> Result<Vec<u8>, StorageError> {
+        self.inner.read_from(path, offset)
+    }
+    fn len(&self, path: &str) -> Result<u64, StorageError> {
+        self.inner.len(path)
+    }
+    fn exists(&self, path: &str) -> Result<bool, StorageError> {
+        self.inner.exists(path)
+    }
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.inner.append(path, data)
+    }
+    fn write_atomic(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.inner.write_atomic(path, data)
+    }
+    fn truncate(&self, path: &str, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate(path, len)
+    }
+    fn sync(&self, path: &str) -> Result<(), StorageError> {
+        self.inner.sync(path)
+    }
+    fn remove(&self, path: &str) -> Result<(), StorageError> {
+        self.inner.remove(path)
+    }
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let names = self.inner.list()?;
+        if self.remaining.load(Ordering::Relaxed) > 0 {
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
+            Ok(names.into_iter().filter(|n| !n.starts_with("snap-")).collect())
+        } else {
+            Ok(names)
+        }
+    }
+}
+
+#[test]
+fn torn_listing_gap_recovers_via_relist_and_catchup() {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 0);
+    let corpus = docs(10);
+    for (date, text) in &corpus[..4] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    let view = Arc::new(TornListing {
+        inner: pmem.clone(),
+        remaining: AtomicU64::new(0),
+    });
+    let follower = follower_on("f1", Arc::new(MemStorage::new()), view.clone());
+    follower.pull().unwrap();
+    assert_eq!(follower.epoch(), 4);
+
+    // The primary ingests two records the follower never tails, compacts
+    // them into a snapshot, and continues into a fresh (shorter) WAL: the
+    // new WAL starts past the follower's applied sequence, and only the
+    // snapshot bridges the gap.
+    for (date, text) in &corpus[4..6] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.checkpoint().unwrap();
+    primary.insert(d("2018-04-01"), d("2018-04-01"), "x").unwrap();
+    primary.insert(d("2018-04-02"), d("2018-04-02"), "y").unwrap();
+    primary.publish().unwrap();
+
+    // First listing is torn (no snapshot visible) → the WAL tail has an
+    // insert-sequence gap → the bounded re-list sees the snapshot and
+    // catches up, all within one pull.
+    view.remaining.store(1, Ordering::Relaxed);
+    follower.pull().unwrap();
+    assert_matches_primary(&follower, &primary, "after torn listing");
+    assert!(follower.state().snapshot_catchups >= 1);
+}
+
+#[test]
+fn persistent_gap_with_no_snapshot_is_an_error_not_a_livelock() {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 0);
+    for (date, text) in &docs(3) {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    // A view that *always* hides snapshots: the gap can never be bridged.
+    let view = Arc::new(TornListing {
+        inner: pmem.clone(),
+        remaining: AtomicU64::new(u64::MAX),
+    });
+    let follower = follower_on("f1", Arc::new(MemStorage::new()), view);
+    follower.pull().unwrap();
+    // A record the follower never tailed is compacted away; the fresh WAL
+    // starts past the follower's sequence and no snapshot is ever visible.
+    primary.insert(d("2018-02-01"), d("2018-02-01"), "only in the snapshot").unwrap();
+    primary.checkpoint().unwrap();
+    primary.insert(d("2018-03-01"), d("2018-03-01"), "gap").unwrap();
+    primary.publish().unwrap();
+    let err = follower.pull().unwrap_err();
+    assert!(
+        matches!(err, EngineError::Replay { .. }),
+        "expected a bounded Replay error, got {err:?}"
+    );
+}
+
+#[test]
+fn follower_restart_resumes_from_its_own_durable_state() {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 0);
+    let corpus = docs(8);
+    for (date, text) in &corpus[..4] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    let own: Arc<MemStorage> = Arc::new(MemStorage::new());
+    let follower = follower_on("f1", own.clone(), pmem.clone());
+    follower.pull().unwrap();
+    assert_eq!(follower.epoch(), 4);
+    drop(follower);
+
+    // Kill: unsynced bytes on the follower's own storage are gone. The
+    // restarted follower recovers its published prefix (the publish path
+    // fsyncs honestly) and re-pulls the rest.
+    own.simulate_crash();
+    for (date, text) in &corpus[4..] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+    let follower = follower_on("f1", own, pmem);
+    assert_eq!(follower.epoch(), 4, "published prefix survived the kill");
+    follower.pull().unwrap();
+    assert_matches_primary(&follower, &primary, "after restart");
+}
+
+#[test]
+fn faulty_read_side_shipping_retries_and_converges() {
+    let pmem = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 6);
+    for (date, text) in &docs(25) {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    // Every fetch edge (list / read / len / read_from) fails or returns a
+    // strict prefix with the configured probability; the retry policy must
+    // absorb it without the follower ever seeing a torn frame as data.
+    let view = Arc::new(FaultyStorage::new(
+        pmem.clone(),
+        FaultConfig {
+            seed: 0x5EED,
+            read_fail_prob: 0.25,
+            short_read_prob: 0.25,
+            ..FaultConfig::none()
+        },
+    ));
+    let follower = Follower::open(
+        "f1",
+        "p0",
+        Arc::new(MemStorage::new()),
+        view,
+        ShardedSearchConfig::single(),
+        DurabilityConfig::default().with_retry(RetryPolicy {
+            max_attempts: 8,
+            base_backoff: std::time::Duration::ZERO,
+        }),
+    )
+    .unwrap();
+    // Individual pulls may exhaust retries; replication is a loop.
+    let mut converged = false;
+    for _ in 0..50 {
+        let _ = follower.pull();
+        if follower.epoch() == primary.epoch() {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "faulty shipping never converged");
+    assert_matches_primary(&follower, &primary, "after faulty shipping");
+    assert!(
+        follower.health().retries > 0,
+        "the fault schedule never fired; the adversary is toothless"
+    );
+}
+
+#[test]
+fn failover_elects_the_most_caught_up_follower_and_serves_writes() {
+    let pmem: Arc<MemStorage> = Arc::new(MemStorage::new());
+    let primary = primary_on(pmem.clone(), 0);
+    let corpus = docs(9);
+    for (date, text) in &corpus[..6] {
+        primary.insert(*date, *date, text).unwrap();
+    }
+    primary.publish().unwrap();
+
+    // f1 is fully caught up; f2 lags (budgeted pull).
+    let f1 = follower_on("f1", Arc::new(MemStorage::new()), pmem.clone());
+    let f2 = follower_on("f2", Arc::new(MemStorage::new()), pmem.clone());
+    f1.pull().unwrap();
+    f2.pull_limit(4).unwrap();
+    assert!(f2.epoch() < f1.epoch());
+    assert!(f2.epochs_behind() > 0, "the laggard knows it is behind");
+
+    // The primary dies; its unsynced bytes are gone.
+    drop(primary);
+    pmem.simulate_crash();
+
+    // Everyone casts a ballot; the most caught-up replica wins.
+    let ballots = [f1.state(), f2.state()];
+    let winner = elect(&ballots).unwrap();
+    assert_eq!(winner.id, "f1");
+    f1.promote().unwrap();
+    f2.set_leader("f1");
+    assert_eq!(f1.role(), "primary");
+    assert_eq!(f1.epochs_behind(), 0, "a primary is its own reference");
+    assert_eq!(f1.epoch(), 6, "no acked publish lost in failover");
+
+    // The new primary accepts writes; the demoted laggard still redirects.
+    f1.insert(d("2018-05-01"), d("2018-05-01"), "post failover news").unwrap();
+    f1.publish().unwrap();
+    assert_eq!(f1.epoch(), 7);
+    let err = f2.insert(d("2018-05-01"), d("2018-05-01"), "x").unwrap_err();
+    assert!(matches!(err, EngineError::NotPrimary { ref leader } if leader == "f1"));
+}

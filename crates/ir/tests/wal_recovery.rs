@@ -13,7 +13,8 @@
 use std::sync::Arc;
 use tl_ir::search::SearchHit;
 use tl_ir::wal::{
-    encode_record, snapshot_name, DurabilityConfig, DurableEngine, WalRecord, WAL_FILE,
+    encode_record, scan_records, snapshot_name, DurabilityConfig, DurableEngine, WalCursor,
+    WalRecord, WAL_FILE,
 };
 use tl_ir::{SearchEngine, SearchQuery, ShardedSearchConfig};
 use tl_support::qp_assert;
@@ -327,6 +328,132 @@ fn recovery_after_every_publish_boundary() {
         }
         recovered.snapshot().check_consistency().unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Segment-cursor resumption property
+// ---------------------------------------------------------------------------
+
+/// A framed byte stream plus arbitrary split points to feed it through a
+/// [`WalCursor`] in pieces.
+#[derive(Debug, Clone)]
+struct SplitScenario {
+    bytes: Vec<u8>,
+    /// Strictly increasing interior cut offsets (chunk boundaries).
+    cuts: Vec<usize>,
+    /// Whether a torn final record was appended to the stream.
+    torn_tail: bool,
+}
+
+fn split_gen() -> impl tl_support::quickprop::Gen<Value = SplitScenario> {
+    gens::from_fn(|rng: &mut Rng| {
+        let num_records = rng.bounded_u64(12) as usize;
+        let mut bytes = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..num_records {
+            let record = if rng.bounded_u64(4) == 0 {
+                WalRecord::Epoch { epoch: rng.bounded_u64(64) }
+            } else {
+                let r = WalRecord::Insert {
+                    seq,
+                    date: random_date(rng),
+                    pub_date: random_date(rng),
+                    text: random_sentence(rng),
+                };
+                seq += 1;
+                r
+            };
+            bytes.extend_from_slice(&encode_record(&record));
+        }
+        // Maybe a torn final record: a strict prefix of a valid frame, or
+        // a frame with a flipped payload byte (checksum-corrupt tail).
+        let torn_tail = rng.bounded_u64(2) == 0;
+        if torn_tail {
+            let mut tail = encode_record(&WalRecord::Insert {
+                seq,
+                date: random_date(rng),
+                pub_date: random_date(rng),
+                text: random_sentence(rng),
+            });
+            if rng.bounded_u64(2) == 0 {
+                let keep = rng.bounded_u64(tail.len() as u64) as usize;
+                tail.truncate(keep);
+            } else {
+                let at = 8 + rng.bounded_u64((tail.len() - 8) as u64) as usize;
+                tail[at] ^= 0xFF;
+            }
+            bytes.extend_from_slice(&tail);
+        }
+        let mut cuts: Vec<usize> = (0..rng.bounded_u64(16))
+            .filter_map(|_| {
+                if bytes.is_empty() {
+                    None
+                } else {
+                    Some(rng.bounded_u64(bytes.len() as u64 + 1) as usize)
+                }
+            })
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        SplitScenario { bytes, cuts, torn_tail }
+    })
+}
+
+#[test]
+fn cursor_resumption_matches_whole_buffer_scan() {
+    check_with(
+        &Config {
+            cases: 256,
+            ..Config::default()
+        },
+        "cursor_resumption_matches_whole_buffer_scan",
+        split_gen(),
+        |s| {
+            let whole = scan_records(&s.bytes);
+            let mut cursor = WalCursor::new();
+            let mut seen = Vec::new();
+            let mut at = 0usize;
+            for &cut in s.cuts.iter().chain(std::iter::once(&s.bytes.len())) {
+                seen.extend(cursor.feed(&s.bytes[at..cut]));
+                qp_assert!(
+                    cursor.consumed() <= s.bytes.len() as u64,
+                    "cursor consumed past the stream"
+                );
+                at = cut;
+            }
+            qp_assert!(
+                seen == whole.records,
+                "cursor yielded {} records, whole-buffer scan {}",
+                seen.len(),
+                whole.records.len()
+            );
+            qp_assert!(
+                cursor.consumed() == whole.valid_len,
+                "cursor consumed {} != whole-buffer valid_len {}",
+                cursor.consumed(),
+                whole.valid_len
+            );
+            qp_assert!(
+                cursor.pending() as u64 == s.bytes.len() as u64 - whole.valid_len,
+                "pending bytes {} != stream tail {}",
+                cursor.pending(),
+                s.bytes.len() as u64 - whole.valid_len
+            );
+            qp_assert!(
+                cursor.tail_issue().is_some() == whole.tail_issue.is_some(),
+                "cursor tail verdict {:?} != whole-buffer {:?}",
+                cursor.tail_issue(),
+                whole.tail_issue
+            );
+            if s.torn_tail {
+                qp_assert!(
+                    cursor.tail_issue().is_some() || cursor.pending() == 0,
+                    "a torn tail must be reported or fully truncated away"
+                );
+            }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------

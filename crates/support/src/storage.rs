@@ -143,6 +143,12 @@ pub enum EngineError {
         /// What was inconsistent.
         detail: String,
     },
+    /// A write was sent to a read-only replica; the client should retry
+    /// against the named leader.
+    NotPrimary {
+        /// Identifier of the node currently accepting writes.
+        leader: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -153,6 +159,9 @@ impl fmt::Display for EngineError {
                 write!(f, "corrupt {path} at byte {offset}: {detail}")
             }
             Self::Replay { detail } => write!(f, "replay: {detail}"),
+            Self::NotPrimary { leader } => {
+                write!(f, "not primary: writes go to {leader}")
+            }
         }
     }
 }
@@ -202,6 +211,20 @@ pub trait Storage: Send + Sync {
     fn remove(&self, path: &str) -> Result<(), StorageError>;
     /// All file names, sorted.
     fn list(&self) -> Result<Vec<String>, StorageError>;
+    /// Read everything from byte `offset` to the current end of the file —
+    /// the *shippable log-reader view* a replication follower tails a
+    /// growing WAL through. `offset` past the end yields an empty vector
+    /// (the file may have been truncated since the caller's last look; the
+    /// caller detects that via [`Storage::len`]). A reader racing a
+    /// concurrent appender may observe a prefix of an in-flight append;
+    /// consumers must treat a torn final record as "not yet shipped".
+    fn read_from(&self, path: &str, offset: u64) -> Result<Vec<u8>, StorageError> {
+        let bytes = self.read(path)?;
+        Ok(bytes
+            .get(offset.min(bytes.len() as u64) as usize..)
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default())
+    }
 }
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -458,6 +481,22 @@ impl Storage for FileStorage {
         names.sort();
         Ok(names)
     }
+
+    fn read_from(&self, path: &str, offset: u64) -> Result<Vec<u8>, StorageError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(self.full(path))
+            .map_err(|e| Self::io_err("read-from", path, e))?;
+        let end = f
+            .seek(SeekFrom::End(0))
+            .map_err(|e| Self::io_err("read-from", path, e))?;
+        let at = offset.min(end);
+        f.seek(SeekFrom::Start(at))
+            .map_err(|e| Self::io_err("read-from", path, e))?;
+        let mut out = Vec::with_capacity((end - at) as usize);
+        f.read_to_end(&mut out)
+            .map_err(|e| Self::io_err("read-from", path, e))?;
+        Ok(out)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -479,6 +518,16 @@ pub struct FaultConfig {
     /// Probability that a `sync` is *silently lost*: it reports success
     /// but provides no durability (a crash still drops the unsynced tail).
     pub sync_loss_prob: f64,
+    /// *Additional* failure probability for the read-side operations a
+    /// replication fetch path exercises (`read`, `read_from`, `len`,
+    /// `exists`, `list`), on top of `fail_prob`. Lets a schedule bite hard
+    /// on shipping without making ingestion unusably flaky.
+    pub read_fail_prob: f64,
+    /// Probability that a `read` / `read_from` *silently* returns a strict
+    /// prefix of the real bytes — the legal-but-nasty view a reader gets
+    /// when racing a concurrent append (or a kernel short read). Shipping
+    /// consumers must treat the missing tail as not-yet-written data.
+    pub short_read_prob: f64,
 }
 
 impl FaultConfig {
@@ -489,7 +538,15 @@ impl FaultConfig {
             fail_prob: 0.0,
             torn_prob: 0.0,
             sync_loss_prob: 0.0,
+            read_fail_prob: 0.0,
+            short_read_prob: 0.0,
         }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
     }
 }
 
@@ -554,21 +611,48 @@ impl<S: Storage> FaultyStorage<S> {
             Ok(())
         }
     }
+
+    /// The gate for fetch-path operations: `fail_prob` plus the dedicated
+    /// `read_fail_prob`, so replication shipping faces the same seeded
+    /// adversary as the write path even when a schedule keeps ingestion
+    /// mostly healthy.
+    fn read_gate(&self, op: &'static str, path: &str) -> Result<(), StorageError> {
+        self.gate(op, path)?;
+        if self.roll(self.config.read_fail_prob) {
+            Err(self.inject(op, path, "read-error"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Silently clip `bytes` to a strict prefix when the short-read fault
+    /// fires (no-op on empty reads — there is no strict prefix to return).
+    fn maybe_short(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+        if !bytes.is_empty() && self.roll(self.config.short_read_prob) {
+            let keep = {
+                let mut rng = lock_unpoisoned(&self.rng);
+                rng.bounded_u64(bytes.len() as u64) as usize
+            };
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            bytes.truncate(keep);
+        }
+        bytes
+    }
 }
 
 impl<S: Storage> Storage for FaultyStorage<S> {
     fn read(&self, path: &str) -> Result<Vec<u8>, StorageError> {
-        self.gate("read", path)?;
-        self.inner.read(path)
+        self.read_gate("read", path)?;
+        self.inner.read(path).map(|b| self.maybe_short(b))
     }
 
     fn len(&self, path: &str) -> Result<u64, StorageError> {
-        self.gate("len", path)?;
+        self.read_gate("len", path)?;
         self.inner.len(path)
     }
 
     fn exists(&self, path: &str) -> Result<bool, StorageError> {
-        self.gate("exists", path)?;
+        self.read_gate("exists", path)?;
         self.inner.exists(path)
     }
 
@@ -614,8 +698,15 @@ impl<S: Storage> Storage for FaultyStorage<S> {
     }
 
     fn list(&self) -> Result<Vec<String>, StorageError> {
-        self.gate("list", "<root>")?;
+        self.read_gate("list", "<root>")?;
         self.inner.list()
+    }
+
+    fn read_from(&self, path: &str, offset: u64) -> Result<Vec<u8>, StorageError> {
+        self.read_gate("read-from", path)?;
+        self.inner
+            .read_from(path, offset)
+            .map(|b| self.maybe_short(b))
     }
 }
 
@@ -647,6 +738,9 @@ impl<S: Storage + ?Sized> Storage for Arc<S> {
     }
     fn list(&self) -> Result<Vec<String>, StorageError> {
         (**self).list()
+    }
+    fn read_from(&self, path: &str, offset: u64) -> Result<Vec<u8>, StorageError> {
+        (**self).read_from(path, offset)
     }
 }
 
@@ -804,8 +898,7 @@ mod tests {
                 FaultConfig {
                     seed,
                     fail_prob: 0.5,
-                    torn_prob: 0.0,
-                    sync_loss_prob: 0.0,
+                    ..FaultConfig::none()
                 },
             );
             (0..64).map(|_| s.append("f", b"x").is_ok()).collect()
@@ -820,9 +913,8 @@ mod tests {
             MemStorage::new(),
             FaultConfig {
                 seed: 3,
-                fail_prob: 0.0,
                 torn_prob: 1.0,
-                sync_loss_prob: 0.0,
+                ..FaultConfig::none()
             },
         );
         let data = b"0123456789";
@@ -841,15 +933,131 @@ mod tests {
             Arc::clone(&mem),
             FaultConfig {
                 seed: 11,
-                fail_prob: 0.0,
-                torn_prob: 0.0,
                 sync_loss_prob: 1.0,
+                ..FaultConfig::none()
             },
         );
         s.append("f", b"data").unwrap();
         s.sync("f").unwrap(); // lies
         mem.simulate_crash();
         assert_eq!(mem.read("f").unwrap(), b"", "lost fsync gave no durability");
+    }
+
+    #[test]
+    fn read_from_clamps_and_slices() {
+        let s = MemStorage::new();
+        s.append("f", b"hello world").unwrap();
+        assert_eq!(s.read_from("f", 0).unwrap(), b"hello world");
+        assert_eq!(s.read_from("f", 6).unwrap(), b"world");
+        assert_eq!(s.read_from("f", 11).unwrap(), b"");
+        assert_eq!(s.read_from("f", 1_000).unwrap(), b"", "past-end clamps to empty");
+        assert!(matches!(
+            s.read_from("missing", 0),
+            Err(StorageError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn file_storage_read_from_matches_slice() {
+        let dir = std::env::temp_dir()
+            .join(format!("tl-storage-readfrom-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = FileStorage::open(&dir).unwrap();
+        s.append("wal.log", b"0123456789").unwrap();
+        for off in [0u64, 3, 9, 10, 64] {
+            let whole = s.read("wal.log").unwrap();
+            let want = whole
+                .get(off.min(whole.len() as u64) as usize..)
+                .unwrap_or_default();
+            assert_eq!(s.read_from("wal.log", off).unwrap(), want, "offset {off}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_faults_bite_fetch_paths_only() {
+        let s = FaultyStorage::new(
+            MemStorage::new(),
+            FaultConfig {
+                seed: 21,
+                read_fail_prob: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        // Write path is untouched by read_fail_prob.
+        s.append("f", b"payload").unwrap();
+        s.sync("f").unwrap();
+        for err in [
+            s.read("f").unwrap_err(),
+            s.read_from("f", 0).unwrap_err(),
+            s.len("f").unwrap_err(),
+            s.exists("f").unwrap_err(),
+            s.list().unwrap_err(),
+        ] {
+            assert!(
+                matches!(err, StorageError::Injected { fault: "read-error", .. }),
+                "expected injected read fault, got {err:?}"
+            );
+        }
+        assert_eq!(s.injected_faults(), 5);
+    }
+
+    #[test]
+    fn short_reads_return_strict_prefix() {
+        let s = FaultyStorage::new(
+            MemStorage::new(),
+            FaultConfig {
+                seed: 5,
+                short_read_prob: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        s.append("f", b"0123456789").unwrap();
+        for _ in 0..16 {
+            let got = s.read("f").unwrap();
+            assert!(got.len() < 10, "must be a strict prefix, got {} bytes", got.len());
+            assert_eq!(&b"0123456789"[..got.len()], &got[..]);
+            let got = s.read_from("f", 4).unwrap();
+            assert!(got.len() < 6, "read_from prefix too, got {} bytes", got.len());
+            assert_eq!(&b"456789"[..got.len()], &got[..]);
+        }
+        assert!(s.injected_faults() >= 32);
+        // Empty reads have no strict prefix: never clipped, never counted.
+        let empty = FaultyStorage::new(
+            MemStorage::new(),
+            FaultConfig { seed: 5, short_read_prob: 1.0, ..FaultConfig::none() },
+        );
+        empty.append("e", b"").unwrap();
+        assert_eq!(empty.read("e").unwrap(), b"");
+        assert_eq!(empty.injected_faults(), 0);
+    }
+
+    #[test]
+    fn zero_prob_read_faults_preserve_write_schedules() {
+        // The new read-side knobs at 0.0 must not consume RNG draws, so
+        // pre-existing seeded write-fault schedules replay bit-identically.
+        let run = |cfg: FaultConfig| -> Vec<bool> {
+            let s = FaultyStorage::new(MemStorage::new(), cfg);
+            (0..64)
+                .map(|i| {
+                    let _ = s.read("f");
+                    let _ = s.len("f");
+                    if i % 2 == 0 {
+                        s.append("f", b"x").is_ok()
+                    } else {
+                        s.sync("f").is_ok()
+                    }
+                })
+                .collect()
+        };
+        let base = FaultConfig {
+            seed: 9,
+            fail_prob: 0.3,
+            torn_prob: 0.2,
+            sync_loss_prob: 0.1,
+            ..FaultConfig::none()
+        };
+        assert_eq!(run(base), run(base), "seeded schedule replays");
     }
 
     #[test]

@@ -89,6 +89,23 @@ echo "== durable engine: chaos suite (fixed seed, small budget) =="
 TL_CHAOS_ITERS=1 TL_CHAOS_SEED=5745438 \
     cargo test -q --offline -p tl-wilson --test chaos
 
+echo "== replication: protocol differential gate =="
+# Follower convergence must be bit-identical to the primary (ranked ids
+# and f64 score bits) across snapshot catch-up, compaction racing the WAL
+# tail, the torn-listing gap retry, follower restart, faulty read-side
+# shipping and election/failover.
+cargo test -q --offline -p tl-ir --test replication
+
+echo "== replication: chaos suite (fixed seed, small budget) =="
+# Kills the primary at every WAL byte offset and a follower at every
+# replication offset, then runs seeded dual-sided fault schedules (write
+# faults on the primary, read errors + short reads on the shipping path)
+# ending in primary death + election. Followers must always be a
+# bit-identical prefix of the acked epochs and no honestly-fsynced publish
+# may be lost across failover. Same seed convention (5745438 == 0x57AB1E).
+TL_CHAOS_ITERS=1 TL_CHAOS_SEED=5745438 \
+    cargo test -q --offline -p tl-wilson --test chaos replication
+
 echo "== all-pairs kernel: differential bit-identity gate =="
 # The term-at-a-time similarity kernel must stay bit-identical to the
 # quadratic pairwise reference (stored rows and row totals, f64 bits,
@@ -118,6 +135,15 @@ echo "== bench smoke: durability overhead gate =="
 # committed BENCH_durability.json baseline.
 TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
     cargo test -q --offline --release -p tl-bench --test durability -- \
+    --ignored --nocapture
+
+echo "== bench smoke: replication gate =="
+# Ship latency, fresh-follower catch-up at 1k/10k records and
+# failover-to-first-serve; with TL_BENCH_ENFORCE=1 every replication/*
+# median must stay within 2x of its committed BENCH_replication.json
+# baseline.
+TL_BENCH_REPORT_DIR="$PWD/target/bench-smoke" TL_BENCH_ENFORCE=1 TL_BENCH_ITERS=3 \
+    cargo test -q --offline --release -p tl-bench --test replication -- \
     --ignored --nocapture
 
 echo "== ANN index: recall + date-filter property gate =="
